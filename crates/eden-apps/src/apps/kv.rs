@@ -1,0 +1,111 @@
+//! A UDP key-value client and replica servers demonstrating
+//! application-aware replica selection (mcrouter-style, §2.1.1).
+//!
+//! The client addresses every request to a *virtual* service IP; its stage
+//! attaches the key hash, and the enclave's `replica-select` function
+//! rewrites the destination to a concrete replica — same key, same replica,
+//! so caches stay warm. memcached really does speak UDP, which keeps the
+//! demo faithful as well as connection-free.
+
+use eden_core::{FieldValue, Stage};
+use netsim::{Ctx, EdenMeta, Packet, Time, UdpHeader};
+use transport::{App, ConnId, Stack};
+
+/// KV request op codes carried in the UDP source port's high bit — the
+/// payload is length-only, so servers learn GET/PUT from packet metadata.
+pub const KV_PORT: u16 = 11211;
+
+/// A replica server: counts requests and echoes a response to the sender.
+#[derive(Default)]
+pub struct KvReplica {
+    /// Requests received, by key hash (for distribution checks).
+    pub requests: Vec<i64>,
+}
+
+impl App for KvReplica {
+    fn on_raw(&mut self, packet: Packet, stack: &mut Stack, ctx: &mut Ctx<'_>) {
+        let key_hash = packet.meta.as_ref().map(|m| m.key_hash).unwrap_or(0);
+        self.requests.push(key_hash);
+        // respond to the source with a small value
+        let reply = Packet::udp(
+            stack.addr,
+            packet.ip.src,
+            UdpHeader {
+                src_port: KV_PORT,
+                dst_port: packet
+                    .five_tuple()
+                    .map(|(_, sp, _, _, _)| sp)
+                    .unwrap_or(0),
+            },
+            512,
+        );
+        stack.send_raw(reply, ctx);
+    }
+}
+
+/// The client: sends GET requests for keys drawn from a small keyspace to
+/// the virtual service address.
+pub struct KvClient {
+    /// Virtual service IP the stage-visible application uses.
+    pub service_ip: u32,
+    /// Keys to cycle through.
+    pub keys: Vec<String>,
+    /// Requests to send.
+    pub count: usize,
+    /// Gap between requests.
+    pub gap: Time,
+    pub stage: Stage,
+    sent: usize,
+    /// Responses received, by source replica IP.
+    pub responses: Vec<u32>,
+}
+
+impl KvClient {
+    /// A client that will send `count` GETs round-robin over `keys`.
+    pub fn new(service_ip: u32, keys: Vec<String>, count: usize, gap: Time, stage: Stage) -> Self {
+        KvClient {
+            service_ip,
+            keys,
+            count,
+            gap,
+            stage,
+            sent: 0,
+            responses: Vec::new(),
+        }
+    }
+}
+
+impl App for KvClient {
+    fn on_timer(&mut self, _token: u64, stack: &mut Stack, ctx: &mut Ctx<'_>) {
+        if self.sent >= self.count {
+            return;
+        }
+        let key = &self.keys[self.sent % self.keys.len()];
+        let meta: EdenMeta = self.stage.classify(&[
+            ("msg_type", FieldValue::Str("GET".into())),
+            ("key", FieldValue::Str(key.clone())),
+        ]);
+        let mut packet = Packet::udp(
+            stack.addr,
+            self.service_ip,
+            UdpHeader {
+                src_port: 40000,
+                dst_port: KV_PORT,
+            },
+            64,
+        );
+        packet.meta = Some(meta);
+        stack.send_raw(packet, ctx);
+        self.sent += 1;
+        if self.sent < self.count {
+            ctx.timer_in(self.gap, transport::app_timer_token(0));
+        }
+    }
+
+    fn on_raw(&mut self, packet: Packet, _stack: &mut Stack, _ctx: &mut Ctx<'_>) {
+        self.responses.push(packet.ip.src);
+    }
+
+    // unused TCP callbacks
+    fn on_connected(&mut self, _c: ConnId, _s: &mut Stack, _x: &mut Ctx<'_>) {}
+}

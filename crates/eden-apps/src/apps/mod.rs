@@ -1,0 +1,15 @@
+//! Simulated applications driving the paper's case studies.
+//!
+//! * [`reqresp`] — the request-response worker + client + background
+//!   senders of case study 1 (flow scheduling, Figure 9);
+//! * [`bulk`] — long-running bulk TCP senders and sinks for case study 2
+//!   (WCMP, Figure 10);
+//! * [`storage`] — the storage server and tenant clients of case study 3
+//!   (Pulsar QoS, Figure 11);
+//! * [`kv`] — a UDP key-value client/servers pair demonstrating
+//!   application-aware replica selection (mcrouter-style).
+
+pub mod bulk;
+pub mod kv;
+pub mod reqresp;
+pub mod storage;

@@ -1,0 +1,279 @@
+//! Case study 1 applications (§5.1): a request-response pair under
+//! background load.
+//!
+//! The client fires small requests at the worker following a Poisson
+//! process; the worker answers each with a response flow whose size is
+//! drawn from the search distribution, classified through its stage so the
+//! response packets carry message id/size metadata. Background senders pump
+//! one giant message each toward the client, saturating whatever capacity
+//! the responses leave free. Flow completion time is measured at the
+//! client, per the paper's flow classes (small / intermediate).
+
+use std::collections::{HashMap, VecDeque};
+
+use eden_core::{FieldValue, Stage};
+use netsim::{Ctx, EdenMeta, SimRng, Time};
+use transport::{App, ConnId, Stack};
+
+use crate::workload::{FlowSizeDist, PoissonArrivals};
+
+/// Timer tokens used by [`RequestClient`].
+const START: u64 = 0;
+const ARRIVAL: u64 = 1;
+
+/// One completed request-response exchange.
+#[derive(Debug, Clone, Copy)]
+pub struct Completion {
+    /// Request tag.
+    pub tag: u64,
+    /// Response flow size in bytes.
+    pub size: u32,
+    /// Request-to-full-response latency.
+    pub fct: Time,
+}
+
+/// The measuring client: issues requests, receives responses, sinks
+/// background traffic.
+pub struct RequestClient {
+    pub worker: u32,
+    pub worker_port: u16,
+    pub arrivals: PoissonArrivals,
+    pub rng: SimRng,
+    pub num_conns: usize,
+    /// Stop issuing new requests at this time (drain continues).
+    pub stop_at: Time,
+    /// Port on which background senders are sunk.
+    pub sink_port: u16,
+
+    conns: Vec<ConnId>,
+    free: Vec<usize>,
+    conn_index: HashMap<ConnId, usize>,
+    pending: HashMap<u64, Time>,
+    deferred: VecDeque<u64>,
+    next_tag: u64,
+    /// Completed exchanges.
+    pub completions: Vec<Completion>,
+    /// Requests never answered by `stop_at` + drain (diagnostics).
+    pub outstanding: usize,
+    /// Background bytes sunk.
+    pub background_bytes: u64,
+    background_conns: Vec<ConnId>,
+}
+
+impl RequestClient {
+    /// Build a client; schedule its `START` timer (token 0) at t=0.
+    pub fn new(
+        worker: u32,
+        worker_port: u16,
+        arrivals: PoissonArrivals,
+        rng: SimRng,
+        num_conns: usize,
+        stop_at: Time,
+    ) -> RequestClient {
+        RequestClient {
+            worker,
+            worker_port,
+            arrivals,
+            rng,
+            num_conns,
+            stop_at,
+            sink_port: 7001,
+            conns: Vec::new(),
+            free: Vec::new(),
+            conn_index: HashMap::new(),
+            pending: HashMap::new(),
+            deferred: VecDeque::new(),
+            next_tag: 1,
+            completions: Vec::new(),
+            outstanding: 0,
+            background_bytes: 0,
+            background_conns: Vec::new(),
+        }
+    }
+
+    fn issue(&mut self, tag: u64, stack: &mut Stack, ctx: &mut Ctx<'_>) {
+        match self.free.pop() {
+            Some(idx) => {
+                self.pending.insert(tag, ctx.now());
+                self.outstanding += 1;
+                stack.send_message(self.conns[idx], 100, tag, None, ctx);
+            }
+            None => self.deferred.push_back(tag),
+        }
+    }
+}
+
+impl App for RequestClient {
+    fn on_timer(&mut self, token: u64, stack: &mut Stack, ctx: &mut Ctx<'_>) {
+        match token {
+            START => {
+                stack.listen(self.sink_port);
+                for _ in 0..self.num_conns {
+                    let c = stack.connect(self.worker, self.worker_port, ctx);
+                    self.conn_index.insert(c, self.conns.len());
+                    self.conns.push(c);
+                }
+                let gap = self.arrivals.next_gap_ns(&mut self.rng);
+                ctx.timer_in(Time::from_nanos(gap), transport::app_timer_token(ARRIVAL));
+            }
+            ARRIVAL => {
+                if ctx.now() < self.stop_at {
+                    let tag = self.next_tag;
+                    self.next_tag += 1;
+                    self.issue(tag, stack, ctx);
+                    let gap = self.arrivals.next_gap_ns(&mut self.rng);
+                    ctx.timer_in(Time::from_nanos(gap), transport::app_timer_token(ARRIVAL));
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn on_connected(&mut self, conn: ConnId, _stack: &mut Stack, _ctx: &mut Ctx<'_>) {
+        if let Some(&idx) = self.conn_index.get(&conn) {
+            self.free.push(idx);
+        }
+    }
+
+    fn on_accept(&mut self, conn: ConnId, _stack: &mut Stack, _ctx: &mut Ctx<'_>) {
+        self.background_conns.push(conn);
+    }
+
+    fn on_data(&mut self, conn: ConnId, bytes: u32, _stack: &mut Stack, _ctx: &mut Ctx<'_>) {
+        if self.background_conns.contains(&conn) {
+            self.background_bytes += u64::from(bytes);
+        }
+    }
+
+    fn on_message(
+        &mut self,
+        conn: ConnId,
+        app_tag: u64,
+        size: u32,
+        stack: &mut Stack,
+        ctx: &mut Ctx<'_>,
+    ) {
+        let Some(sent) = self.pending.remove(&app_tag) else {
+            return; // background message completions are not exchanges
+        };
+        self.outstanding -= 1;
+        self.completions.push(Completion {
+            tag: app_tag,
+            size,
+            fct: ctx.now().saturating_sub(sent),
+        });
+        if let Some(&idx) = self.conn_index.get(&conn) {
+            self.free.push(idx);
+        }
+        if let Some(tag) = self.deferred.pop_front() {
+            self.issue(tag, stack, ctx);
+        }
+    }
+}
+
+/// The responding worker: answers each request with a search-sized
+/// response, classified through its stage so packets carry Eden metadata.
+pub struct Worker {
+    pub port: u16,
+    pub dist: FlowSizeDist,
+    pub rng: SimRng,
+    /// Stage classifying responses (msg_type RESP + msg_size).
+    pub stage: Stage,
+    /// Whether to attach stage metadata to responses (off = vanilla app).
+    pub attach_meta: bool,
+    /// Responses sent.
+    pub responses: u64,
+}
+
+impl Worker {
+    /// A worker with a fresh default stage (callers installing enclave
+    /// functions usually build the stage through the controller instead and
+    /// overwrite this field).
+    pub fn new(port: u16, dist: FlowSizeDist, rng: SimRng) -> Worker {
+        Worker {
+            port,
+            dist,
+            rng,
+            stage: Stage::new("worker", &["msg_type", "msg_size"], &["msg_id", "msg_size"]),
+            attach_meta: true,
+            responses: 0,
+        }
+    }
+}
+
+impl App for Worker {
+    fn on_timer(&mut self, _token: u64, stack: &mut Stack, _ctx: &mut Ctx<'_>) {
+        stack.listen(self.port);
+    }
+
+    fn on_message(
+        &mut self,
+        conn: ConnId,
+        app_tag: u64,
+        _size: u32,
+        stack: &mut Stack,
+        ctx: &mut Ctx<'_>,
+    ) {
+        let size = self.dist.sample(&mut self.rng).min(u32::MAX as u64) as u32;
+        let meta = if self.attach_meta {
+            let mut meta = self.stage.classify(&[
+                ("msg_type", FieldValue::Str("RESP".into())),
+                ("msg_size", FieldValue::Int(i64::from(size))),
+            ]);
+            meta.msg_size = i64::from(size);
+            Some(meta)
+        } else {
+            None
+        };
+        self.responses += 1;
+        stack.send_message(conn, size, app_tag, meta, ctx);
+    }
+}
+
+/// A background source: one connection, one giant message, classified as
+/// background so scheduling functions can demote it immediately.
+pub struct BackgroundSender {
+    pub dst: u32,
+    pub dst_port: u16,
+    /// Total bytes to pump (effectively "forever" for the run length).
+    pub bytes: u32,
+    /// Class ids to stamp on the flow (e.g. the background class).
+    pub classes: Vec<u32>,
+    /// Message id base (must be unique across senders).
+    pub msg_id: u64,
+    started: bool,
+}
+
+impl BackgroundSender {
+    /// Sender of one `bytes`-sized background message.
+    pub fn new(dst: u32, dst_port: u16, bytes: u32, classes: Vec<u32>, msg_id: u64) -> Self {
+        BackgroundSender {
+            dst,
+            dst_port,
+            bytes,
+            classes,
+            msg_id,
+            started: false,
+        }
+    }
+}
+
+impl App for BackgroundSender {
+    fn on_timer(&mut self, _token: u64, stack: &mut Stack, ctx: &mut Ctx<'_>) {
+        if !self.started {
+            self.started = true;
+            stack.connect(self.dst, self.dst_port, ctx);
+        }
+    }
+
+    fn on_connected(&mut self, conn: ConnId, stack: &mut Stack, ctx: &mut Ctx<'_>) {
+        let meta = EdenMeta {
+            classes: self.classes.clone(),
+            msg_id: self.msg_id,
+            msg_size: i64::from(self.bytes),
+            msg_start: true,
+            ..Default::default()
+        };
+        stack.send_message(conn, self.bytes, self.msg_id, Some(meta), ctx);
+    }
+}

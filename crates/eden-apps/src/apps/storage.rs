@@ -1,0 +1,253 @@
+//! Case study 3 applications (§5.3): a storage server backed by a RAM-disk
+//! model and closed-loop tenant clients issuing 64 KB IOs.
+//!
+//! The asymmetry the paper exploits: a READ's *request* is a ~100 B packet
+//! but its cost at the server (and on the reverse path) is the full
+//! operation size; a WRITE carries its cost on the forward path. Without
+//! size-aware policing, the READ tenant's tiny requests flood the server's
+//! shared IO queue and starve the WRITE tenant. Pulsar's rate control
+//! charges READ requests by operation size at the *client's* enclave,
+//! restoring balance.
+
+use std::collections::VecDeque;
+
+use eden_core::{FieldValue, Stage};
+use netsim::{Ctx, Time};
+use transport::{App, ConnId, Stack};
+
+use crate::functions::{MSG_TYPE_READ, MSG_TYPE_WRITE};
+
+/// Pack (op type, op size) into the request's app tag so the server learns
+/// the operation without simulated payload parsing.
+pub fn pack_io_tag(seq: u32, msg_type: i64, io_size: u32) -> u64 {
+    debug_assert!(io_size < (1 << 30));
+    (u64::from(seq) << 32) | ((msg_type as u64 & 0x3) << 30) | u64::from(io_size)
+}
+
+/// Reverse of [`pack_io_tag`]: `(seq, msg_type, io_size)`.
+pub fn unpack_io_tag(tag: u64) -> (u32, i64, u32) {
+    (
+        (tag >> 32) as u32,
+        ((tag >> 30) & 0x3) as i64,
+        (tag & ((1 << 30) - 1)) as u32,
+    )
+}
+
+struct PendingIo {
+    conn: ConnId,
+    tag: u64,
+    msg_type: i64,
+    io_size: u32,
+}
+
+/// The storage server: FIFO IO queue in front of a RAM-disk with a fixed
+/// service bandwidth. READs respond with `io_size` bytes; WRITEs with a
+/// 100 B acknowledgement.
+pub struct StorageServer {
+    pub port: u16,
+    /// RAM-disk service bandwidth, bits/second.
+    pub disk_bps: u64,
+    io_queue: VecDeque<PendingIo>,
+    busy: bool,
+    /// Serviced bytes per op type (throughput accounting).
+    pub read_bytes: u64,
+    pub write_bytes: u64,
+    pub ops_serviced: u64,
+    /// Peak IO-queue depth observed (diagnoses the starvation effect).
+    pub peak_queue: usize,
+}
+
+/// Timer token for service completion.
+const SERVICE_DONE: u64 = 10;
+
+impl StorageServer {
+    /// A server on `port` with `disk_bps` of RAM-disk bandwidth.
+    pub fn new(port: u16, disk_bps: u64) -> StorageServer {
+        StorageServer {
+            port,
+            disk_bps,
+            io_queue: VecDeque::new(),
+            busy: false,
+            read_bytes: 0,
+            write_bytes: 0,
+            ops_serviced: 0,
+            peak_queue: 0,
+        }
+    }
+
+    fn start_service(&mut self, ctx: &mut Ctx<'_>) {
+        if self.busy {
+            return;
+        }
+        if let Some(io) = self.io_queue.front() {
+            self.busy = true;
+            let service = Time::serialization(io.io_size as usize, self.disk_bps);
+            ctx.timer_in(service, transport::app_timer_token(SERVICE_DONE));
+        }
+    }
+}
+
+impl App for StorageServer {
+    fn on_timer(&mut self, token: u64, stack: &mut Stack, ctx: &mut Ctx<'_>) {
+        match token {
+            SERVICE_DONE => {
+                self.busy = false;
+                if let Some(io) = self.io_queue.pop_front() {
+                    self.ops_serviced += 1;
+                    match io.msg_type {
+                        MSG_TYPE_READ => {
+                            self.read_bytes += u64::from(io.io_size);
+                            stack.send_message(io.conn, io.io_size, io.tag, None, ctx);
+                        }
+                        _ => {
+                            self.write_bytes += u64::from(io.io_size);
+                            stack.send_message(io.conn, 100, io.tag, None, ctx);
+                        }
+                    }
+                }
+                self.start_service(ctx);
+            }
+            _ => stack.listen(self.port),
+        }
+    }
+
+    fn on_message(
+        &mut self,
+        conn: ConnId,
+        app_tag: u64,
+        _size: u32,
+        _stack: &mut Stack,
+        ctx: &mut Ctx<'_>,
+    ) {
+        let (_seq, msg_type, io_size) = unpack_io_tag(app_tag);
+        self.io_queue.push_back(PendingIo {
+            conn,
+            tag: app_tag,
+            msg_type,
+            io_size,
+        });
+        self.peak_queue = self.peak_queue.max(self.io_queue.len());
+        self.start_service(ctx);
+    }
+}
+
+/// A closed-loop tenant: keeps `window` IOs outstanding against the server.
+pub struct TenantClient {
+    pub server: u32,
+    pub server_port: u16,
+    pub tenant: i64,
+    /// `MSG_TYPE_READ` or `MSG_TYPE_WRITE`.
+    pub msg_type: i64,
+    pub io_size: u32,
+    pub window: usize,
+    /// Stage classifying this tenant's IOs (attaches tenant + op size).
+    pub stage: Stage,
+    /// Issue no new IOs after this time.
+    pub stop_at: Time,
+    conn: Option<ConnId>,
+    next_seq: u32,
+    /// Completed operations and their completion times.
+    pub completions: Vec<(Time, u32)>,
+}
+
+impl TenantClient {
+    /// A tenant client; `stage` should come from
+    /// [`crate::stages::storage_stage`].
+    pub fn new(
+        server: u32,
+        server_port: u16,
+        tenant: i64,
+        msg_type: i64,
+        io_size: u32,
+        window: usize,
+        stage: Stage,
+        stop_at: Time,
+    ) -> TenantClient {
+        TenantClient {
+            server,
+            server_port,
+            tenant,
+            msg_type,
+            io_size,
+            window,
+            stage,
+            stop_at,
+            conn: None,
+            next_seq: 0,
+            completions: Vec::new(),
+        }
+    }
+
+    /// Bytes of completed IO inside `[from, to)`.
+    pub fn bytes_completed_between(&self, from: Time, to: Time) -> u64 {
+        self.completions
+            .iter()
+            .filter(|(t, _)| *t >= from && *t < to)
+            .map(|&(_, b)| u64::from(b))
+            .sum()
+    }
+
+    fn issue(&mut self, stack: &mut Stack, ctx: &mut Ctx<'_>) {
+        let Some(conn) = self.conn else { return };
+        if ctx.now() >= self.stop_at {
+            return;
+        }
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let tag = pack_io_tag(seq, self.msg_type, self.io_size);
+        let mut meta = self.stage.classify(&[
+            ("msg_type", FieldValue::Int(self.msg_type)),
+            ("tenant", FieldValue::Int(self.tenant)),
+            ("msg_size", FieldValue::Int(i64::from(self.io_size))),
+        ]);
+        meta.msg_size = i64::from(self.io_size);
+        meta.tenant = self.tenant;
+        // WRITE carries the data; READ sends a 100B request
+        let wire_bytes = if self.msg_type == MSG_TYPE_WRITE {
+            self.io_size
+        } else {
+            100
+        };
+        stack.send_message(conn, wire_bytes, tag, Some(meta), ctx);
+    }
+}
+
+impl App for TenantClient {
+    fn on_timer(&mut self, _token: u64, stack: &mut Stack, ctx: &mut Ctx<'_>) {
+        if self.conn.is_none() {
+            self.conn = Some(stack.connect(self.server, self.server_port, ctx));
+        }
+    }
+
+    fn on_connected(&mut self, _conn: ConnId, stack: &mut Stack, ctx: &mut Ctx<'_>) {
+        for _ in 0..self.window {
+            self.issue(stack, ctx);
+        }
+    }
+
+    fn on_message(
+        &mut self,
+        _conn: ConnId,
+        app_tag: u64,
+        _size: u32,
+        stack: &mut Stack,
+        ctx: &mut Ctx<'_>,
+    ) {
+        let (_seq, _ty, io_size) = unpack_io_tag(app_tag);
+        self.completions.push((ctx.now(), io_size));
+        self.issue(stack, ctx);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn io_tag_round_trips() {
+        let tag = pack_io_tag(12345, MSG_TYPE_READ, 65536);
+        assert_eq!(unpack_io_tag(tag), (12345, MSG_TYPE_READ, 65536));
+        let tag = pack_io_tag(u32::MAX, MSG_TYPE_WRITE, (1 << 30) - 1);
+        assert_eq!(unpack_io_tag(tag), (u32::MAX, MSG_TYPE_WRITE, (1 << 30) - 1));
+    }
+}

@@ -1,0 +1,994 @@
+//! The network-function library: every Table 1 row Eden supports out of the
+//! box, each in two semantically identical forms:
+//!
+//! * **DSL source** — compiled by the controller and interpreted in the
+//!   enclave (the paper's "Eden" arm);
+//! * **native closure** — the same logic hard-coded in Rust (the paper's
+//!   "native" arm, §5.1).
+//!
+//! Each [`FunctionBundle`] carries both plus the schema (Figure 8-style
+//! annotations) they share. The unit tests at the bottom drive every bundle
+//! with randomized packet streams and assert the two arms agree bit for
+//! bit — the precondition for the evaluation's overhead comparisons.
+
+use eden_core::{InstalledFunction, NativeEnv, NativeFn};
+use eden_lang::{compile, Access, Concurrency, HeaderField, Schema};
+use eden_vm::{Outcome, VmError};
+
+/// One catalogue entry: a network function in both execution forms.
+pub struct FunctionBundle {
+    /// Short identifier, e.g. `"pias"`.
+    pub name: &'static str,
+    /// Paper reference, e.g. `"PIAS [8] / Figure 4"`.
+    pub paper_ref: &'static str,
+    /// DSL source.
+    pub source: &'static str,
+    schema: fn() -> Schema,
+    native: fn() -> NativeFn,
+    /// Concurrency the compiler should derive (checked in tests).
+    pub concurrency: Concurrency,
+}
+
+impl FunctionBundle {
+    /// The state schema both forms bind against.
+    pub fn schema(&self) -> Schema {
+        (self.schema)()
+    }
+
+    /// Compile the DSL form.
+    pub fn interpreted(&self) -> InstalledFunction {
+        let compiled = compile(self.name, self.source, &self.schema())
+            .unwrap_or_else(|e| panic!("{} does not compile: {}", self.name, e.render(self.source)));
+        assert_eq!(
+            compiled.concurrency, self.concurrency,
+            "{}: derived concurrency drifted from the documented one",
+            self.name
+        );
+        InstalledFunction::interpreted(self.name, compiled)
+    }
+
+    /// Build the native form.
+    pub fn native(&self) -> InstalledFunction {
+        InstalledFunction::native(self.name, (self.native)(), self.schema(), self.concurrency)
+    }
+}
+
+// ======================================================================
+// PIAS — flow scheduling without application support (Figure 4 / §2.1.3)
+// ======================================================================
+
+/// Shared schema for the priority-demotion functions.
+fn pias_schema() -> Schema {
+    Schema::new()
+        .packet_field("Size", Access::ReadOnly, Some(HeaderField::Ipv4TotalLength))
+        .packet_field("Priority", Access::ReadWrite, Some(HeaderField::Dot1qPcp))
+        .msg_field("Size", Access::ReadWrite)
+        .msg_field("Priority", Access::ReadOnly)
+        .global_array(
+            "Priorities",
+            &["MessageSizeLimit", "Priority"],
+            Access::ReadOnly,
+        )
+}
+
+const PIAS_SRC: &str = r#"
+fun (packet: Packet, msg: Message, _global: Global) ->
+    let msg_size = msg.Size + packet.Size
+    msg.Size <- msg_size
+    let priorities = _global.Priorities
+    let rec search index =
+        if index >= priorities.Length then 0
+        elif msg_size <= priorities.[index].MessageSizeLimit then
+            priorities.[index].Priority
+        else search (index + 1)
+    packet.Priority <- search (0)
+"#;
+
+fn pias_native() -> NativeFn {
+    Box::new(|env: &mut NativeEnv<'_>| -> Result<Outcome, VmError> {
+        let msg_size = env.msg(0)? + env.pkt(0)?;
+        env.set_msg(0, msg_size)?;
+        let n = env.arr_len(0)? / 2;
+        let mut prio = 0;
+        for i in 0..n {
+            if msg_size <= env.arr(0, i * 2)? {
+                prio = env.arr(0, i * 2 + 1)?;
+                break;
+            }
+        }
+        env.set_pkt(1, prio)?;
+        Ok(Outcome::Done)
+    })
+}
+
+/// PIAS: demote a message's priority as its byte count grows.
+pub fn pias() -> FunctionBundle {
+    FunctionBundle {
+        name: "pias",
+        paper_ref: "PIAS [8] / paper Figure 4",
+        source: PIAS_SRC,
+        schema: pias_schema,
+        native: pias_native,
+        concurrency: Concurrency::PerMessage,
+    }
+}
+
+/// The verbatim Figure 7 port: like [`pias`] but honouring a message's
+/// self-declared background priority (`msg.Priority < 1`).
+pub fn pias_fig7() -> FunctionBundle {
+    const SRC: &str = r#"
+fun (packet: Packet, msg: Message, _global: Global) ->
+    let msg_size = msg.Size + packet.Size
+    msg.Size <- msg_size
+    let priorities = _global.Priorities
+    let rec search index =
+        if index >= priorities.Length then 0
+        elif msg_size <= priorities.[index].MessageSizeLimit then
+            priorities.[index].Priority
+        else search (index + 1)
+    packet.Priority <-
+        let desired = msg.Priority
+        if desired < 1 then desired
+        else search (0)
+"#;
+    fn native() -> NativeFn {
+        Box::new(|env: &mut NativeEnv<'_>| -> Result<Outcome, VmError> {
+            let msg_size = env.msg(0)? + env.pkt(0)?;
+            env.set_msg(0, msg_size)?;
+            let desired = env.msg(1)?;
+            let prio = if desired < 1 {
+                desired
+            } else {
+                let n = env.arr_len(0)? / 2;
+                let mut p = 0;
+                for i in 0..n {
+                    if msg_size <= env.arr(0, i * 2)? {
+                        p = env.arr(0, i * 2 + 1)?;
+                        break;
+                    }
+                }
+                p
+            };
+            env.set_pkt(1, prio)?;
+            Ok(Outcome::Done)
+        })
+    }
+    FunctionBundle {
+        name: "pias-fig7",
+        paper_ref: "paper Figure 7 (verbatim port)",
+        source: SRC,
+        schema: pias_schema,
+        native,
+        concurrency: Concurrency::PerMessage,
+    }
+}
+
+// ======================================================================
+// SFF — shortest flow first with application-provided sizes (§5.1)
+// ======================================================================
+
+fn sff_schema() -> Schema {
+    Schema::new()
+        .packet_field("MsgSize", Access::ReadOnly, Some(HeaderField::MetaMsgSize))
+        .packet_field("Priority", Access::ReadWrite, Some(HeaderField::Dot1qPcp))
+        .global_array(
+            "Priorities",
+            &["MessageSizeLimit", "Priority"],
+            Access::ReadOnly,
+        )
+}
+
+const SFF_SRC: &str = r#"
+fun (packet: Packet, msg: Message, _global: Global) ->
+    let priorities = _global.Priorities
+    let size = packet.MsgSize
+    let rec search index =
+        if index >= priorities.Length then 0
+        elif size <= priorities.[index].MessageSizeLimit then
+            priorities.[index].Priority
+        else search (index + 1)
+    packet.Priority <- search (0)
+"#;
+
+fn sff_native() -> NativeFn {
+    Box::new(|env: &mut NativeEnv<'_>| -> Result<Outcome, VmError> {
+        let size = env.pkt(0)?;
+        let n = env.arr_len(0)? / 2;
+        let mut prio = 0;
+        for i in 0..n {
+            if size <= env.arr(0, i * 2)? {
+                prio = env.arr(0, i * 2 + 1)?;
+                break;
+            }
+        }
+        env.set_pkt(1, prio)?;
+        Ok(Outcome::Done)
+    })
+}
+
+/// SFF: priority from the stage-declared message size — "in
+/// closed-environments like datacenters, it is possible to modify
+/// applications … to directly provide information about the size of a
+/// flow" (§2.1.3). The mapping of flows to classes happens when the flow
+/// starts and never changes (§5.1).
+pub fn sff() -> FunctionBundle {
+    FunctionBundle {
+        name: "sff",
+        paper_ref: "shortest flow first, §5.1",
+        source: SFF_SRC,
+        schema: sff_schema,
+        native: sff_native,
+        concurrency: Concurrency::Parallel,
+    }
+}
+
+// ======================================================================
+// Fixed priority — tag a class with a constant priority (background)
+// ======================================================================
+
+fn fixed_priority_schema() -> Schema {
+    Schema::new()
+        .packet_field("Priority", Access::ReadWrite, Some(HeaderField::Dot1qPcp))
+        .global_field("Level", Access::ReadOnly)
+}
+
+const FIXED_PRIORITY_SRC: &str = "fun (packet, msg, _global) -> packet.Priority <- _global.Level";
+
+fn fixed_priority_native() -> NativeFn {
+    Box::new(|env: &mut NativeEnv<'_>| -> Result<Outcome, VmError> {
+        let level = env.global(0)?;
+        env.set_pkt(0, level)?;
+        Ok(Outcome::Done)
+    })
+}
+
+/// Constant priority for a class (network QoS building block; used for the
+/// background class in case study 1).
+pub fn fixed_priority() -> FunctionBundle {
+    FunctionBundle {
+        name: "fixed-priority",
+        paper_ref: "network QoS [9,51,38,33]",
+        source: FIXED_PRIORITY_SRC,
+        schema: fixed_priority_schema,
+        native: fixed_priority_native,
+        concurrency: Concurrency::Parallel,
+    }
+}
+
+// ======================================================================
+// WCMP — weighted load balancing (Figure 2 / §2.1.1)
+// ======================================================================
+
+fn wcmp_schema() -> Schema {
+    Schema::new()
+        .packet_field("PathLabel", Access::ReadWrite, Some(HeaderField::Dot1qVid))
+        .global_field("TotalWeight", Access::ReadOnly)
+        .global_array("Paths", &["Label", "Weight"], Access::ReadOnly)
+}
+
+const WCMP_SRC: &str = r#"
+fun (packet: Packet, msg: Message, _global: Global) ->
+    let paths = _global.Paths
+    let pick = randRange (_global.TotalWeight)
+    let rec walk index acc =
+        let acc2 = acc + paths.[index].Weight
+        if pick < acc2 then paths.[index].Label
+        else walk (index + 1, acc2)
+    packet.PathLabel <- walk (0, 0)
+"#;
+
+fn wcmp_native() -> NativeFn {
+    Box::new(|env: &mut NativeEnv<'_>| -> Result<Outcome, VmError> {
+        let total = env.global(0)?;
+        let pick = env.rand_range(total)?;
+        let n = env.arr_len(0)? / 2;
+        let mut acc = 0;
+        let mut label = 0;
+        for i in 0..n {
+            acc += env.arr(0, i * 2 + 1)?;
+            if pick < acc {
+                label = env.arr(0, i * 2)?;
+                break;
+            }
+        }
+        env.set_pkt(0, label)?;
+        Ok(Outcome::Done)
+    })
+}
+
+/// Per-packet WCMP: choose a source-route label in a weighted random
+/// fashion (the paper's Figure 2, first listing). ECMP is the same function
+/// with equal weights.
+pub fn wcmp() -> FunctionBundle {
+    FunctionBundle {
+        name: "wcmp",
+        paper_ref: "WCMP [65] / paper Figure 2",
+        source: WCMP_SRC,
+        schema: wcmp_schema,
+        native: wcmp_native,
+        concurrency: Concurrency::Parallel,
+    }
+}
+
+// ======================================================================
+// message-WCMP — all packets of one message take one path (Figure 2)
+// ======================================================================
+
+fn message_wcmp_schema() -> Schema {
+    Schema::new()
+        .packet_field("PathLabel", Access::ReadWrite, Some(HeaderField::Dot1qVid))
+        .msg_field("CachedLabel", Access::ReadWrite)
+        .global_field("TotalWeight", Access::ReadOnly)
+        .global_array("Paths", &["Label", "Weight"], Access::ReadOnly)
+}
+
+const MESSAGE_WCMP_SRC: &str = r#"
+fun (packet: Packet, msg: Message, _global: Global) ->
+    if msg.CachedLabel = 0 then (
+        let paths = _global.Paths
+        let pick = randRange (_global.TotalWeight)
+        let rec walk index acc =
+            let acc2 = acc + paths.[index].Weight
+            if pick < acc2 then paths.[index].Label
+            else walk (index + 1, acc2)
+        msg.CachedLabel <- walk (0, 0)
+    )
+    packet.PathLabel <- msg.CachedLabel
+"#;
+
+fn message_wcmp_native() -> NativeFn {
+    Box::new(|env: &mut NativeEnv<'_>| -> Result<Outcome, VmError> {
+        if env.msg(0)? == 0 {
+            let total = env.global(0)?;
+            let pick = env.rand_range(total)?;
+            let n = env.arr_len(0)? / 2;
+            let mut acc = 0;
+            let mut label = 0;
+            for i in 0..n {
+                acc += env.arr(0, i * 2 + 1)?;
+                if pick < acc {
+                    label = env.arr(0, i * 2)?;
+                    break;
+                }
+            }
+            env.set_msg(0, label)?;
+        }
+        let cached = env.msg(0)?;
+        env.set_pkt(0, cached)?;
+        Ok(Outcome::Done)
+    })
+}
+
+/// Message-level WCMP ("messageWCMP", Figure 2, second listing): the first
+/// packet of a message picks the weighted path; all later packets of the
+/// same message reuse it, trading a little load imbalance for no
+/// reordering. Labels must be non-zero (0 marks "not yet chosen").
+pub fn message_wcmp() -> FunctionBundle {
+    FunctionBundle {
+        name: "message-wcmp",
+        paper_ref: "message-based WCMP / paper Figure 2",
+        source: MESSAGE_WCMP_SRC,
+        schema: message_wcmp_schema,
+        native: message_wcmp_native,
+        concurrency: Concurrency::PerMessage,
+    }
+}
+
+// ======================================================================
+// Pulsar — datacenter QoS with size-aware charging (Figure 3 / §2.1.2)
+// ======================================================================
+
+/// Message type conventions for the storage stage.
+pub const MSG_TYPE_READ: i64 = 1;
+/// WRITE IO.
+pub const MSG_TYPE_WRITE: i64 = 2;
+
+fn pulsar_schema() -> Schema {
+    Schema::new()
+        .packet_field("Size", Access::ReadOnly, Some(HeaderField::Ipv4TotalLength))
+        .packet_field("MsgType", Access::ReadOnly, Some(HeaderField::MetaMsgType))
+        .packet_field("MsgSize", Access::ReadOnly, Some(HeaderField::MetaMsgSize))
+        .packet_field("Tenant", Access::ReadOnly, Some(HeaderField::MetaTenant))
+        .global_array("QueueMap", &[""], Access::ReadOnly)
+}
+
+const PULSAR_SRC: &str = r#"
+fun (packet: Packet, msg: Message, _global: Global) ->
+    let queueMap = _global.QueueMap
+    let size =
+        if packet.MsgType = 1 then packet.MsgSize
+        else packet.Size
+    setQueue (queueMap.[packet.Tenant], size)
+"#;
+
+fn pulsar_native() -> NativeFn {
+    Box::new(|env: &mut NativeEnv<'_>| -> Result<Outcome, VmError> {
+        let size = if env.pkt(1)? == MSG_TYPE_READ {
+            env.pkt(2)?
+        } else {
+            env.pkt(0)?
+        };
+        let tenant = env.pkt(3)?;
+        let queue = env.arr(0, tenant)?;
+        env.set_queue(queue, size)?;
+        Ok(Outcome::Done)
+    })
+}
+
+/// Pulsar rate control (the paper's Figure 3): queue a packet at its
+/// tenant's rate limiter, charging READ requests by *operation* size and
+/// everything else by packet size.
+pub fn pulsar() -> FunctionBundle {
+    FunctionBundle {
+        name: "pulsar",
+        paper_ref: "Pulsar [6] / paper Figure 3",
+        source: PULSAR_SRC,
+        schema: pulsar_schema,
+        native: pulsar_native,
+        concurrency: Concurrency::Parallel,
+    }
+}
+
+// ======================================================================
+// Replica selection — mcrouter/SINBAD-style key routing (§2.1.1)
+// ======================================================================
+
+fn replica_select_schema() -> Schema {
+    Schema::new()
+        .packet_field("KeyHash", Access::ReadOnly, Some(HeaderField::MetaKeyHash))
+        .packet_field("Dst", Access::ReadWrite, Some(HeaderField::Ipv4Dst))
+        .global_array("Replicas", &[""], Access::ReadOnly)
+}
+
+const REPLICA_SELECT_SRC: &str = r#"
+fun (packet: Packet, msg: Message, _global: Global) ->
+    let replicas = _global.Replicas
+    packet.Dst <- replicas.[packet.KeyHash % replicas.Length]
+"#;
+
+fn replica_select_native() -> NativeFn {
+    Box::new(|env: &mut NativeEnv<'_>| -> Result<Outcome, VmError> {
+        let n = env.arr_len(0)?;
+        let idx = env.pkt(0)? % n;
+        let dst = env.arr(0, idx)?;
+        env.set_pkt(1, dst)?;
+        Ok(Outcome::Done)
+    })
+}
+
+/// Key-based replica selection: rewrite the destination address by hashing
+/// the application key over the replica set — the data-plane half of an
+/// mcrouter-style request router. Same key ⇒ same replica, so caches stay
+/// warm.
+pub fn replica_select() -> FunctionBundle {
+    FunctionBundle {
+        name: "replica-select",
+        paper_ref: "mcrouter [40], SINBAD [17]",
+        source: REPLICA_SELECT_SRC,
+        schema: replica_select_schema,
+        native: replica_select_native,
+        concurrency: Concurrency::Parallel,
+    }
+}
+
+// ======================================================================
+// Port knocking — stateful firewall (Table 1 / OpenState [13])
+// ======================================================================
+
+fn port_knock_schema() -> Schema {
+    Schema::new()
+        .packet_field("DstPort", Access::ReadOnly, Some(HeaderField::DstPort))
+        .global_field("Stage", Access::ReadWrite)
+        .global_field("Knock1", Access::ReadOnly)
+        .global_field("Knock2", Access::ReadOnly)
+        .global_field("Knock3", Access::ReadOnly)
+        .global_field("Protected", Access::ReadOnly)
+}
+
+const PORT_KNOCK_SRC: &str = r#"
+fun (packet: Packet, msg: Message, _global: Global) ->
+    let port = packet.DstPort
+    if port = _global.Knock1 && _global.Stage = 0 then
+        _global.Stage <- 1
+    elif port = _global.Knock2 && _global.Stage = 1 then
+        _global.Stage <- 2
+    elif port = _global.Knock3 && _global.Stage = 2 then
+        _global.Stage <- 3
+    elif port = _global.Protected then (
+        if _global.Stage < 3 then drop ()
+    )
+    elif _global.Stage < 3 then
+        _global.Stage <- 0
+"#;
+
+fn port_knock_native() -> NativeFn {
+    Box::new(|env: &mut NativeEnv<'_>| -> Result<Outcome, VmError> {
+        let port = env.pkt(0)?;
+        let stage = env.global(0)?;
+        if port == env.global(1)? && stage == 0 {
+            env.set_global(0, 1)?;
+        } else if port == env.global(2)? && stage == 1 {
+            env.set_global(0, 2)?;
+        } else if port == env.global(3)? && stage == 2 {
+            env.set_global(0, 3)?;
+        } else if port == env.global(4)? {
+            if stage < 3 {
+                env.drop_packet()?;
+                return Ok(Outcome::Dropped);
+            }
+        } else if stage < 3 {
+            env.set_global(0, 0)?;
+        }
+        Ok(Outcome::Done)
+    })
+}
+
+/// Port knocking: packets to the protected port are dropped until the
+/// secret knock sequence has been observed; a wrong port resets progress.
+/// The canonical stateful-firewall example (Table 1's last row).
+pub fn port_knock() -> FunctionBundle {
+    FunctionBundle {
+        name: "port-knock",
+        paper_ref: "port knocking [13]",
+        source: PORT_KNOCK_SRC,
+        schema: port_knock_schema,
+        native: port_knock_native,
+        concurrency: Concurrency::Serialized,
+    }
+}
+
+// ======================================================================
+// Flow counter — telemetry building block (used by ablations)
+// ======================================================================
+
+fn flow_counter_schema() -> Schema {
+    Schema::new()
+        .packet_field("Size", Access::ReadOnly, Some(HeaderField::Ipv4TotalLength))
+        .msg_field("Bytes", Access::ReadWrite)
+        .msg_field("Packets", Access::ReadWrite)
+        .global_field("TotalBytes", Access::ReadWrite)
+        .global_field("TotalPackets", Access::ReadWrite)
+}
+
+const FLOW_COUNTER_SRC: &str = r#"
+fun (packet: Packet, msg: Message, _global: Global) ->
+    msg.Bytes <- msg.Bytes + packet.Size
+    msg.Packets <- msg.Packets + 1
+    _global.TotalBytes <- _global.TotalBytes + packet.Size
+    _global.TotalPackets <- _global.TotalPackets + 1
+"#;
+
+fn flow_counter_native() -> NativeFn {
+    Box::new(|env: &mut NativeEnv<'_>| -> Result<Outcome, VmError> {
+        let size = env.pkt(0)?;
+        let b = env.msg(0)? + size;
+        env.set_msg(0, b)?;
+        let p = env.msg(1)? + 1;
+        env.set_msg(1, p)?;
+        let tb = env.global(0)? + size;
+        env.set_global(0, tb)?;
+        let tp = env.global(1)? + 1;
+        env.set_global(1, tp)?;
+        Ok(Outcome::Done)
+    })
+}
+
+/// Per-message and global byte/packet counters — the minimal stateful
+/// function, used for telemetry and as the ablation workload.
+pub fn flow_counter() -> FunctionBundle {
+    FunctionBundle {
+        name: "flow-counter",
+        paper_ref: "telemetry building block",
+        source: FLOW_COUNTER_SRC,
+        schema: flow_counter_schema,
+        native: flow_counter_native,
+        concurrency: Concurrency::Serialized,
+    }
+}
+
+// ======================================================================
+// QJump-style class enforcement (Table 1: flow scheduling / QJump [28])
+// ======================================================================
+
+fn qjump_schema() -> Schema {
+    Schema::new()
+        .packet_field("Size", Access::ReadOnly, Some(HeaderField::Ipv4TotalLength))
+        .packet_field("Level", Access::ReadOnly, Some(HeaderField::MetaMsgType))
+        .packet_field("Priority", Access::ReadWrite, Some(HeaderField::Dot1qPcp))
+        .global_array("Levels", &["Priority", "Queue"], Access::ReadOnly)
+}
+
+const QJUMP_SRC: &str = r#"
+fun (packet: Packet, msg: Message, _global: Global) ->
+    let levels = _global.Levels
+    let level =
+        if packet.Level < levels.Length then packet.Level
+        else 0
+    packet.Priority <- levels.[level].Priority
+    let queue = levels.[level].Queue
+    if queue >= 0 then
+        setQueue (queue, packet.Size)
+"#;
+
+fn qjump_native() -> NativeFn {
+    Box::new(|env: &mut NativeEnv<'_>| -> Result<Outcome, VmError> {
+        let n = env.arr_len(0)? / 2;
+        let mut level = env.pkt(1)?;
+        if level >= n {
+            level = 0;
+        }
+        let prio = env.arr(0, level * 2)?;
+        env.set_pkt(2, prio)?;
+        let queue = env.arr(0, level * 2 + 1)?;
+        if queue >= 0 {
+            let size = env.pkt(0)?;
+            env.set_queue(queue, size)?;
+        }
+        Ok(Outcome::Done)
+    })
+}
+
+/// QJump-style latency classes: an application-declared level maps to a
+/// network priority *and* a rate-limited queue, trading throughput for
+/// bounded latency at the higher levels. Levels with queue −1 are
+/// unthrottled.
+pub fn qjump() -> FunctionBundle {
+    FunctionBundle {
+        name: "qjump",
+        paper_ref: "QJump [28]",
+        source: QJUMP_SRC,
+        schema: qjump_schema,
+        native: qjump_native,
+        concurrency: Concurrency::Parallel,
+    }
+}
+
+// ======================================================================
+// Connection tracking — stateful firewall over flow state (Table 1)
+// ======================================================================
+
+fn conntrack_schema() -> Schema {
+    Schema::new()
+        .packet_field("Direction", Access::ReadOnly, Some(HeaderField::Direction))
+        .msg_field("Established", Access::ReadWrite)
+        .global_field("Blocked", Access::ReadWrite)
+}
+
+const CONNTRACK_SRC: &str = r#"
+fun (packet: Packet, msg: Message, _global: Global) ->
+    if packet.Direction = 0 then
+        msg.Established <- 1
+    elif msg.Established = 0 then (
+        _global.Blocked <- _global.Blocked + 1
+        drop ()
+    )
+"#;
+
+fn conntrack_native() -> NativeFn {
+    Box::new(|env: &mut NativeEnv<'_>| -> Result<Outcome, VmError> {
+        if env.pkt(0)? == 0 {
+            env.set_msg(0, 1)?;
+        } else if env.msg(0)? == 0 {
+            let blocked = env.global(0)? + 1;
+            env.set_global(0, blocked)?;
+            env.drop_packet()?;
+            return Ok(Outcome::Dropped);
+        }
+        Ok(Outcome::Done)
+    })
+}
+
+/// Connection tracking: outbound packets mark their flow established;
+/// inbound packets of unestablished flows are dropped. Relies on the
+/// enclave's direction-canonical flow-as-message ids, so both directions
+/// of a connection share one state block — the stateful-firewall row of
+/// Table 1 with per-flow (rather than the port-knock demo's global) state.
+pub fn conntrack() -> FunctionBundle {
+    FunctionBundle {
+        name: "conntrack",
+        paper_ref: "stateful firewall / IDS [19]",
+        source: CONNTRACK_SRC,
+        schema: conntrack_schema,
+        native: conntrack_native,
+        concurrency: Concurrency::Serialized,
+    }
+}
+
+/// The whole catalogue, for Table 1 sweeps.
+pub fn catalogue() -> Vec<FunctionBundle> {
+    vec![
+        pias(),
+        pias_fig7(),
+        sff(),
+        fixed_priority(),
+        wcmp(),
+        message_wcmp(),
+        pulsar(),
+        replica_select(),
+        port_knock(),
+        flow_counter(),
+        conntrack(),
+        qjump(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eden_core::{ClassId, Enclave, EnclaveConfig, MatchSpec, TableId};
+    use netsim::{EdenMeta, Packet, SimRng, TcpHeader, Time};
+    use transport::HookVerdict;
+
+    /// Install `bundle` (given form) into a fresh enclave matching class 1,
+    /// with case-study-ish state.
+    fn build(bundle: &FunctionBundle, native: bool) -> Enclave {
+        let mut e = Enclave::new(EnclaveConfig::default());
+        let f = e.install_function(if native {
+            bundle.native()
+        } else {
+            bundle.interpreted()
+        });
+        e.install_rule(TableId(0), MatchSpec::Class(ClassId(1)), f);
+        match bundle.name {
+            "pias" | "pias-fig7" | "sff" => {
+                e.set_array(f, 0, vec![10 * 1024, 7, 1024 * 1024, 5, i64::MAX, 1]);
+            }
+            "fixed-priority" => e.set_global(f, 0, 3),
+            "wcmp" | "message-wcmp" => {
+                e.set_array(f, 0, vec![101, 10, 102, 1]);
+                e.set_global(f, 0, 11);
+            }
+            "pulsar" => e.set_array(f, 0, vec![0, 1, 2]),
+            "qjump" => e.set_array(f, 0, vec![7, 0, 4, 1, 0, -1]),
+            "replica-select" => e.set_array(f, 0, vec![50, 51, 52]),
+            "port-knock" => {
+                e.set_global(f, 1, 1001);
+                e.set_global(f, 2, 1002);
+                e.set_global(f, 3, 1003);
+                e.set_global(f, 4, 22);
+            }
+            _ => {}
+        }
+        e
+    }
+
+    fn packet(rng: &mut SimRng, i: u64) -> Packet {
+        let mut p = Packet::tcp(
+            1,
+            2,
+            TcpHeader {
+                src_port: 40000 + (i % 5) as u16,
+                dst_port: [80, 22, 1001, 1002, 1003][(rng.below(5)) as usize],
+                ..Default::default()
+            },
+            rng.below(1400) as usize,
+        );
+        p.meta = Some(EdenMeta {
+            classes: vec![1],
+            msg_id: 1 + i % 7,
+            msg_type: 1 + (rng.below(2) as i64),
+            msg_size: rng.below(2_000_000) as i64,
+            tenant: rng.below(3) as i64,
+            key_hash: rng.next_i64(),
+            msg_start: false,
+        });
+        p
+    }
+
+    #[test]
+    fn all_bundles_compile_and_state_their_concurrency() {
+        for bundle in catalogue() {
+            let _ = bundle.interpreted(); // asserts concurrency internally
+        }
+    }
+
+    #[test]
+    fn native_and_interpreted_agree_on_random_streams() {
+        for bundle in catalogue() {
+            let mut interp = build(&bundle, false);
+            let mut native = build(&bundle, true);
+            // identical RNG seeds so stochastic functions (WCMP) agree
+            let mut r1 = SimRng::new(99);
+            let mut r2 = SimRng::new(99);
+            let mut gen = SimRng::new(7);
+            for i in 0..3000 {
+                let p = packet(&mut gen, i);
+                let mut a = p.clone();
+                let mut b = p;
+                let va = interp.process(&mut a, &mut r1, Time::from_nanos(i));
+                let vb = native.process(&mut b, &mut r2, Time::from_nanos(i));
+                assert_eq!(va, vb, "{}: verdict diverged at packet {i}", bundle.name);
+                assert_eq!(a, b, "{}: packet state diverged at packet {i}", bundle.name);
+            }
+            assert_eq!(
+                interp.stats.faults, 0,
+                "{}: interpreted form trapped",
+                bundle.name
+            );
+            assert_eq!(native.stats.faults, 0, "{}: native form trapped", bundle.name);
+        }
+    }
+
+    #[test]
+    fn wcmp_distributes_10_to_1() {
+        let mut e = build(&wcmp(), false);
+        let mut rng = SimRng::new(5);
+        let mut gen = SimRng::new(6);
+        let mut counts = [0u32; 2];
+        for i in 0..11_000 {
+            let mut p = packet(&mut gen, i);
+            e.process(&mut p, &mut rng, Time::ZERO);
+            match p.route_label() {
+                101 => counts[0] += 1,
+                102 => counts[1] += 1,
+                other => panic!("unexpected label {other}"),
+            }
+        }
+        assert!(counts[0] > 9_300 && counts[0] < 10_700, "{counts:?}");
+    }
+
+    #[test]
+    fn message_wcmp_pins_messages_to_paths() {
+        let mut e = build(&message_wcmp(), false);
+        let mut rng = SimRng::new(5);
+        // many packets of the same message: all take the same label
+        let mut labels = std::collections::HashSet::new();
+        for _ in 0..200 {
+            let mut p = Packet::tcp(1, 2, TcpHeader::default(), 1000);
+            p.meta = Some(EdenMeta {
+                classes: vec![1],
+                msg_id: 42,
+                ..Default::default()
+            });
+            e.process(&mut p, &mut rng, Time::ZERO);
+            labels.insert(p.route_label());
+        }
+        assert_eq!(labels.len(), 1, "one message, one path");
+
+        // across many messages both paths get used
+        let mut seen = std::collections::HashSet::new();
+        for m in 0..200 {
+            let mut p = Packet::tcp(1, 2, TcpHeader::default(), 1000);
+            p.meta = Some(EdenMeta {
+                classes: vec![1],
+                msg_id: 1000 + m,
+                ..Default::default()
+            });
+            e.process(&mut p, &mut rng, Time::ZERO);
+            seen.insert(p.route_label());
+        }
+        assert_eq!(seen.len(), 2, "different messages spread across paths");
+    }
+
+    #[test]
+    fn pulsar_charges_reads_by_operation_size() {
+        let mut e = build(&pulsar(), false);
+        let mut rng = SimRng::new(5);
+        let mut p = Packet::tcp(1, 2, TcpHeader::default(), 100);
+        p.meta = Some(EdenMeta {
+            classes: vec![1],
+            msg_id: 1,
+            msg_type: MSG_TYPE_READ,
+            msg_size: 65536,
+            tenant: 2,
+            ..Default::default()
+        });
+        let v = e.process(&mut p, &mut rng, Time::ZERO);
+        assert_eq!(
+            v,
+            HookVerdict::Queue {
+                queue: 2,
+                charge: 65536
+            }
+        );
+
+        let mut p = Packet::tcp(1, 2, TcpHeader::default(), 100);
+        p.meta = Some(EdenMeta {
+            classes: vec![1],
+            msg_id: 2,
+            msg_type: MSG_TYPE_WRITE,
+            msg_size: 65536,
+            tenant: 0,
+            ..Default::default()
+        });
+        let v = e.process(&mut p, &mut rng, Time::ZERO);
+        assert_eq!(
+            v,
+            HookVerdict::Queue {
+                queue: 0,
+                charge: 140 // IP total length of a 100B-payload TCP packet
+            }
+        );
+    }
+
+    #[test]
+    fn replica_select_is_stable_per_key() {
+        let mut e = build(&replica_select(), false);
+        let mut rng = SimRng::new(5);
+        let mk = |key_hash: i64| {
+            let mut p = Packet::tcp(1, 2, TcpHeader::default(), 100);
+            p.meta = Some(EdenMeta {
+                classes: vec![1],
+                msg_id: 1,
+                key_hash,
+                ..Default::default()
+            });
+            p
+        };
+        let mut a = mk(12345);
+        let mut b = mk(12345);
+        e.process(&mut a, &mut rng, Time::ZERO);
+        e.process(&mut b, &mut rng, Time::ZERO);
+        assert_eq!(a.ip.dst, b.ip.dst, "same key, same replica");
+        assert!([50, 51, 52].contains(&a.ip.dst));
+
+        // all replicas reachable over many keys
+        let mut gen = SimRng::new(9);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..100 {
+            let mut p = mk(gen.next_i64());
+            e.process(&mut p, &mut rng, Time::ZERO);
+            seen.insert(p.ip.dst);
+        }
+        assert_eq!(seen.len(), 3);
+    }
+
+    #[test]
+    fn port_knock_state_machine() {
+        let mut e = build(&port_knock(), false);
+        let mut rng = SimRng::new(5);
+        let knock = |e: &mut Enclave, rng: &mut SimRng, port: u16| {
+            let mut p = Packet::tcp(
+                1,
+                2,
+                TcpHeader {
+                    dst_port: port,
+                    ..Default::default()
+                },
+                0,
+            );
+            p.meta = Some(EdenMeta {
+                classes: vec![1],
+                msg_id: u64::from(port),
+                ..Default::default()
+            });
+            e.process(&mut p, rng, Time::ZERO)
+        };
+
+        // protected port before the knock: dropped
+        assert_eq!(knock(&mut e, &mut rng, 22), HookVerdict::Drop);
+        // correct sequence
+        assert_eq!(knock(&mut e, &mut rng, 1001), HookVerdict::Pass);
+        assert_eq!(knock(&mut e, &mut rng, 1002), HookVerdict::Pass);
+        assert_eq!(knock(&mut e, &mut rng, 1003), HookVerdict::Pass);
+        // now open
+        assert_eq!(knock(&mut e, &mut rng, 22), HookVerdict::Pass);
+
+        // wrong port mid-sequence resets
+        let mut e = build(&port_knock(), false);
+        assert_eq!(knock(&mut e, &mut rng, 1001), HookVerdict::Pass);
+        assert_eq!(knock(&mut e, &mut rng, 9999), HookVerdict::Pass); // resets
+        assert_eq!(knock(&mut e, &mut rng, 1002), HookVerdict::Pass); // ignored
+        assert_eq!(knock(&mut e, &mut rng, 1003), HookVerdict::Pass); // ignored
+        assert_eq!(knock(&mut e, &mut rng, 22), HookVerdict::Drop, "still locked");
+    }
+
+    #[test]
+    fn flow_counter_counts() {
+        let mut e = build(&flow_counter(), false);
+        let mut rng = SimRng::new(5);
+        for i in 0..10 {
+            let mut p = Packet::tcp(1, 2, TcpHeader::default(), 1000);
+            p.meta = Some(EdenMeta {
+                classes: vec![1],
+                msg_id: 1 + (i % 2),
+                ..Default::default()
+            });
+            e.process(&mut p, &mut rng, Time::ZERO);
+        }
+        // globals: slot 0 TotalBytes, slot 1 TotalPackets
+        let f = eden_core::FuncId(0);
+        assert_eq!(e.global(f, 1), 10);
+        assert_eq!(e.global(f, 0), 10 * 1040);
+    }
+}

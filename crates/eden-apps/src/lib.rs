@@ -1,0 +1,24 @@
+//! # eden-apps — stages, workloads, and the network-function library
+//!
+//! Everything above the architecture layer that the paper's evaluation
+//! needs:
+//!
+//! * [`functions`] — the Table 1 catalogue: every network function the
+//!   paper says Eden supports out of the box, each in two semantically
+//!   identical forms: DSL source (compiled and interpreted — "Eden") and a
+//!   native Rust closure (the evaluation's "native" baseline).
+//! * [`stages`] — ready-made stages with the classification surfaces of
+//!   Table 2: a memcached-like key-value stage, an HTTP-library stage, and
+//!   a storage-IO stage.
+//! * [`workload`] — flow-size distributions (a search-like heavy-tailed
+//!   mix after the DCTCP/PIAS workloads), Poisson arrivals, and helpers.
+//! * [`apps`] — simulated applications driving the case studies: a
+//!   request-response worker (case study 1), bulk senders (case study 2),
+//!   and a storage server with tenant clients (case study 3).
+
+pub mod apps;
+pub mod functions;
+pub mod stages;
+pub mod workload;
+
+pub use functions::FunctionBundle;

@@ -1,0 +1,189 @@
+//! Ready-made stages with the classification surfaces of Table 2.
+//!
+//! | Stage | Classifiers | Meta-data |
+//! |---|---|---|
+//! | memcache | `<msg_type, key>` | msg id, msg type, key, msg size |
+//! | HTTP library | `<msg_type, url>` | msg id, msg type, url, msg size |
+//! | storage | `<msg_type, tenant>` | msg id, msg type, tenant, msg size |
+//! | Eden enclave | five-tuple | msg id |
+//!
+//! (The storage stage is the custom IO application of case study 3; the
+//! enclave's own five-tuple row lives in `eden_core::Enclave::add_flow_rule`.)
+//!
+//! Each builder installs the paper's canonical rule-sets through the
+//! controller, so class names are properly interned and fully qualified.
+
+use eden_core::{ClassId, Controller, Matcher, Stage};
+
+use crate::functions::{MSG_TYPE_READ, MSG_TYPE_WRITE};
+
+/// Classes installed for the memcached stage (Figure 6's rule-sets).
+#[derive(Debug, Clone, Copy)]
+pub struct MemcachedClasses {
+    pub get: ClassId,
+    pub put: ClassId,
+    pub default: ClassId,
+}
+
+/// Build a memcached stage with rule-sets `r1` (GET/PUT) and `r2`
+/// (DEFAULT), per Figure 6.
+pub fn memcached_stage(controller: &mut Controller) -> (Stage, MemcachedClasses) {
+    let mut stage = Stage::new(
+        "memcached",
+        &["msg_type", "key"],
+        &["msg_id", "msg_type", "key", "msg_size"],
+    );
+    controller.create_stage_rule(
+        &mut stage,
+        "r1",
+        vec![("msg_type".into(), Matcher::Exact("GET".into()))],
+        "GET",
+    );
+    controller.create_stage_rule(
+        &mut stage,
+        "r1",
+        vec![("msg_type".into(), Matcher::Exact("PUT".into()))],
+        "PUT",
+    );
+    controller.create_stage_rule(&mut stage, "r2", vec![], "DEFAULT");
+    let classes = MemcachedClasses {
+        get: controller.class("memcached.r1.GET"),
+        put: controller.class("memcached.r1.PUT"),
+        default: controller.class("memcached.r2.DEFAULT"),
+    };
+    (stage, classes)
+}
+
+/// Classes installed for the HTTP stage.
+#[derive(Debug, Clone, Copy)]
+pub struct HttpClasses {
+    pub api: ClassId,
+    pub static_content: ClassId,
+    pub other: ClassId,
+}
+
+/// Build an HTTP-library stage classifying by URL prefix.
+pub fn http_stage(controller: &mut Controller) -> (Stage, HttpClasses) {
+    let mut stage = Stage::new(
+        "http",
+        &["msg_type", "url"],
+        &["msg_id", "msg_type", "url", "msg_size"],
+    );
+    controller.create_stage_rule(
+        &mut stage,
+        "r1",
+        vec![("url".into(), Matcher::Prefix("/api/".into()))],
+        "API",
+    );
+    controller.create_stage_rule(
+        &mut stage,
+        "r1",
+        vec![("url".into(), Matcher::Prefix("/static/".into()))],
+        "STATIC",
+    );
+    controller.create_stage_rule(&mut stage, "r1", vec![], "OTHER");
+    let classes = HttpClasses {
+        api: controller.class("http.r1.API"),
+        static_content: controller.class("http.r1.STATIC"),
+        other: controller.class("http.r1.OTHER"),
+    };
+    (stage, classes)
+}
+
+/// Classes installed for the storage stage.
+#[derive(Debug, Clone, Copy)]
+pub struct StorageClasses {
+    pub read: ClassId,
+    pub write: ClassId,
+    pub io: ClassId,
+}
+
+/// Build the storage-IO stage of case study 3: classifies READ vs WRITE
+/// and tags tenant + operation size, which is exactly what Pulsar's rate
+/// control consumes.
+pub fn storage_stage(controller: &mut Controller) -> (Stage, StorageClasses) {
+    let mut stage = Stage::new(
+        "storage",
+        &["msg_type", "tenant"],
+        &["msg_id", "msg_type", "tenant", "msg_size"],
+    );
+    controller.create_stage_rule(
+        &mut stage,
+        "r1",
+        vec![("msg_type".into(), Matcher::Exact(MSG_TYPE_READ.into()))],
+        "READ",
+    );
+    controller.create_stage_rule(
+        &mut stage,
+        "r1",
+        vec![("msg_type".into(), Matcher::Exact(MSG_TYPE_WRITE.into()))],
+        "WRITE",
+    );
+    controller.create_stage_rule(&mut stage, "r2", vec![], "IO");
+    let classes = StorageClasses {
+        read: controller.class("storage.r1.READ"),
+        write: controller.class("storage.r1.WRITE"),
+        io: controller.class("storage.r2.IO"),
+    };
+    (stage, classes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eden_core::FieldValue;
+
+    #[test]
+    fn memcached_stage_matches_table_2() {
+        let mut c = Controller::new();
+        let (stage, classes) = memcached_stage(&mut c);
+        let info = stage.get_info();
+        assert_eq!(info.classifiers, vec!["msg_type", "key"]);
+        assert!(info.metadata.contains(&"msg_size".to_string()));
+
+        let mut stage = stage;
+        let meta = stage.classify(&[
+            ("msg_type", FieldValue::Str("GET".into())),
+            ("key", FieldValue::Str("user:1".into())),
+            ("msg_size", FieldValue::Int(1234)),
+        ]);
+        assert!(meta.classes.contains(&classes.get.0));
+        assert!(meta.classes.contains(&classes.default.0));
+        assert!(!meta.classes.contains(&classes.put.0));
+        assert_eq!(meta.msg_size, 1234);
+    }
+
+    #[test]
+    fn storage_stage_classifies_reads_and_writes() {
+        let mut c = Controller::new();
+        let (mut stage, classes) = storage_stage(&mut c);
+        let read = stage.classify(&[
+            ("msg_type", FieldValue::Int(super::MSG_TYPE_READ)),
+            ("tenant", FieldValue::Int(0)),
+            ("msg_size", FieldValue::Int(65536)),
+        ]);
+        assert!(read.classes.contains(&classes.read.0));
+        assert!(read.classes.contains(&classes.io.0));
+        assert_eq!(read.msg_type, super::MSG_TYPE_READ);
+        assert_eq!(read.tenant, 0);
+
+        let write = stage.classify(&[
+            ("msg_type", FieldValue::Int(super::MSG_TYPE_WRITE)),
+            ("tenant", FieldValue::Int(1)),
+        ]);
+        assert!(write.classes.contains(&classes.write.0));
+        assert!(!write.classes.contains(&classes.read.0));
+    }
+
+    #[test]
+    fn http_stage_prefix_routing() {
+        let mut c = Controller::new();
+        let (mut stage, classes) = http_stage(&mut c);
+        let api = stage.classify(&[("url", FieldValue::Str("/api/v1/users".into()))]);
+        assert_eq!(api.classes, vec![classes.api.0]);
+        let img = stage.classify(&[("url", FieldValue::Str("/static/logo.png".into()))]);
+        assert_eq!(img.classes, vec![classes.static_content.0]);
+        let other = stage.classify(&[("url", FieldValue::Str("/index.html".into()))]);
+        assert_eq!(other.classes, vec![classes.other.0]);
+    }
+}

@@ -1,0 +1,189 @@
+//! Workload generation for the evaluation.
+//!
+//! Case study 1 uses "a realistic request-response workload, with responses
+//! reflecting the flow size distribution found in search applications
+//! [2, 8]" — mostly small flows of a few packets with a heavy tail, high
+//! flow arrival/termination rate. [`FlowSizeDist::web_search`] reproduces that shape
+//! as an empirical CDF sampled by inverse transform (log-linear
+//! interpolation between knots), after the web-search distribution used by
+//! DCTCP and PIAS.
+
+use netsim::SimRng;
+
+/// An empirical flow-size distribution: `(size_bytes, cdf)` knots, sampled
+/// by inverse transform with log-linear interpolation.
+#[derive(Debug, Clone)]
+pub struct FlowSizeDist {
+    knots: Vec<(f64, f64)>,
+}
+
+impl FlowSizeDist {
+    /// Build from `(size_bytes, cdf)` knots; cdf must start at 0, end at 1,
+    /// and be non-decreasing.
+    pub fn new(knots: &[(u64, f64)]) -> FlowSizeDist {
+        assert!(knots.len() >= 2);
+        assert_eq!(knots[0].1, 0.0, "cdf must start at 0");
+        assert!((knots.last().expect("non-empty").1 - 1.0).abs() < 1e-9);
+        for w in knots.windows(2) {
+            assert!(w[0].1 <= w[1].1, "cdf must be non-decreasing");
+            assert!(w[0].0 < w[1].0, "sizes must be increasing");
+        }
+        FlowSizeDist {
+            knots: knots.iter().map(|&(s, c)| (s as f64, c)).collect(),
+        }
+    }
+
+    /// The web-search distribution (after DCTCP / PIAS): ~60% of
+    /// flows under 10 KB, a heavy tail to 30 MB, mean ≈ 1.6 MB.
+    pub fn web_search() -> FlowSizeDist {
+        FlowSizeDist::new(&[
+            (1_000, 0.0),
+            (2_000, 0.15),
+            (5_000, 0.40),
+            (10_000, 0.60),
+            (50_000, 0.70),
+            (200_000, 0.78),
+            (1_000_000, 0.88),
+            (5_000_000, 0.95),
+            (10_000_000, 0.98),
+            (30_000_000, 1.0),
+        ])
+    }
+
+    /// Sample one flow size in bytes.
+    pub fn sample(&self, rng: &mut SimRng) -> u64 {
+        let u = rng.unit();
+        let idx = self
+            .knots
+            .windows(2)
+            .position(|w| u <= w[1].1)
+            .unwrap_or(self.knots.len() - 2);
+        let (s0, c0) = self.knots[idx];
+        let (s1, c1) = self.knots[idx + 1];
+        if c1 <= c0 {
+            return s1 as u64;
+        }
+        let t = (u - c0) / (c1 - c0);
+        // log-linear interpolation matches heavy-tailed shapes better
+        let ls = s0.ln() + t * (s1.ln() - s0.ln());
+        ls.exp().round().max(1.0) as u64
+    }
+
+    /// Mean flow size by numeric integration over many samples (testing &
+    /// load planning).
+    pub fn empirical_mean(&self, rng: &mut SimRng, samples: usize) -> f64 {
+        let total: f64 = (0..samples).map(|_| self.sample(rng) as f64).sum();
+        total / samples as f64
+    }
+}
+
+/// Poisson arrival process: exponential inter-arrival gaps with a given
+/// mean rate (flows/second).
+#[derive(Debug, Clone)]
+pub struct PoissonArrivals {
+    mean_gap_ns: f64,
+}
+
+impl PoissonArrivals {
+    /// Arrivals at `rate_per_sec`.
+    pub fn new(rate_per_sec: f64) -> PoissonArrivals {
+        assert!(rate_per_sec > 0.0);
+        PoissonArrivals {
+            mean_gap_ns: 1e9 / rate_per_sec,
+        }
+    }
+
+    /// The arrival rate that drives a link of `link_bps` at `load`
+    /// utilization with flows of `mean_flow_bytes`.
+    pub fn for_load(link_bps: f64, load: f64, mean_flow_bytes: f64) -> PoissonArrivals {
+        assert!(load > 0.0 && load < 1.0);
+        let flow_bits = mean_flow_bytes * 8.0;
+        PoissonArrivals::new(link_bps * load / flow_bits)
+    }
+
+    /// Sample the next inter-arrival gap in nanoseconds (≥ 1).
+    pub fn next_gap_ns(&self, rng: &mut SimRng) -> u64 {
+        (rng.exponential(self.mean_gap_ns).round() as u64).max(1)
+    }
+}
+
+/// Flow-class boundaries of case study 1 (§5.1): small (<10 KB),
+/// intermediate (10 KB–1 MB), background (everything larger).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlowClass {
+    Small,
+    Intermediate,
+    Background,
+}
+
+/// Classify a flow size per the case-study boundaries.
+pub fn flow_class(bytes: u64) -> FlowClass {
+    if bytes < 10 * 1024 {
+        FlowClass::Small
+    } else if bytes < 1024 * 1024 {
+        FlowClass::Intermediate
+    } else {
+        FlowClass::Background
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn samples_stay_within_support() {
+        let d = FlowSizeDist::web_search();
+        let mut rng = SimRng::new(1);
+        for _ in 0..10_000 {
+            let s = d.sample(&mut rng);
+            assert!((1_000..=30_000_000).contains(&s), "{s}");
+        }
+    }
+
+    #[test]
+    fn small_flow_fraction_matches_cdf() {
+        let d = FlowSizeDist::web_search();
+        let mut rng = SimRng::new(2);
+        let n = 20_000;
+        let small = (0..n)
+            .filter(|_| d.sample(&mut rng) <= 10_000)
+            .count() as f64
+            / n as f64;
+        assert!((small - 0.60).abs() < 0.02, "small fraction {small}");
+    }
+
+    #[test]
+    fn mean_is_heavy_tail_dominated() {
+        let d = FlowSizeDist::web_search();
+        let mut rng = SimRng::new(3);
+        let mean = d.empirical_mean(&mut rng, 50_000);
+        // mean is far above the median (~7 KB): the tail carries the bytes
+        assert!(mean > 500_000.0, "mean {mean}");
+        assert!(mean < 3_000_000.0, "mean {mean}");
+    }
+
+    #[test]
+    fn poisson_rate_for_load() {
+        // 10G at 70% with 1 MB flows → 875 flows/s → mean gap ~1.14ms
+        let p = PoissonArrivals::for_load(10e9, 0.7, 1e6);
+        let mut rng = SimRng::new(4);
+        let n = 20_000;
+        let total: u64 = (0..n).map(|_| p.next_gap_ns(&mut rng)).sum();
+        let mean_gap = total as f64 / n as f64;
+        assert!((mean_gap - 1.142e6).abs() < 0.05e6, "mean gap {mean_gap}");
+    }
+
+    #[test]
+    fn flow_classes_split_at_case_study_boundaries() {
+        assert_eq!(flow_class(1_000), FlowClass::Small);
+        assert_eq!(flow_class(10 * 1024), FlowClass::Intermediate);
+        assert_eq!(flow_class(1024 * 1024), FlowClass::Background);
+    }
+
+    #[test]
+    #[should_panic(expected = "cdf must start at 0")]
+    fn bad_cdf_rejected() {
+        let _ = FlowSizeDist::new(&[(1, 0.5), (2, 1.0)]);
+    }
+}

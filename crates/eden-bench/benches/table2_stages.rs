@@ -1,0 +1,36 @@
+//! Regenerates **Table 2**: classification capabilities of the example
+//! stages, straight from each stage's `getStageInfo` (the S0 call of the
+//! stage API) plus the enclave's own five-tuple row.
+//!
+//! Run with `cargo bench -p eden-bench --bench table2_stages`.
+
+use eden_apps::stages::{http_stage, memcached_stage, storage_stage};
+use eden_bench::report::Table;
+use eden_core::Controller;
+
+fn main() {
+    println!("== Table 2: classification capabilities of example stages ==\n");
+
+    let mut controller = Controller::new();
+    let (memcached, _) = memcached_stage(&mut controller);
+    let (http, _) = http_stage(&mut controller);
+    let (storage, _) = storage_stage(&mut controller);
+
+    let mut table = Table::new(&["stage", "classifiers", "meta-data"]);
+    for stage in [&memcached, &http, &storage] {
+        let info = stage.get_info();
+        table.row(&[
+            info.name.clone(),
+            format!("<{}>", info.classifiers.join(", ")),
+            format!("{{{}}}", info.metadata.join(", ")),
+        ]);
+    }
+    table.row(&[
+        "Eden enclave".into(),
+        "<src_ip, src_port, dst_ip, dst_port, proto>".into(),
+        "{msg id}".into(),
+    ]);
+    println!("{}", table.render());
+    println!("(first three rows read live from Stage::get_info — the paper's S0 call;");
+    println!(" the enclave row is its five-tuple flow classification, Table 2's last line)");
+}

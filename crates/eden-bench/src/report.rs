@@ -1,0 +1,102 @@
+//! Table rendering shared by the bench targets: aligned columns and
+//! paper-vs-measured rows, so `cargo bench` output reads like the paper's
+//! figures.
+
+use std::fmt::Write as _;
+
+/// A simple fixed-width table printer.
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Start a table with the given column headers.
+    pub fn new(headers: &[&str]) -> Table {
+        Table {
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append one row (must match the header count).
+    pub fn row(&mut self, cells: &[String]) -> &mut Self {
+        assert_eq!(cells.len(), self.headers.len());
+        self.rows.push(cells.to_vec());
+        self
+    }
+
+    /// Render with padded columns.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let line = |out: &mut String, cells: &[String]| {
+            for (i, c) in cells.iter().enumerate() {
+                let _ = write!(out, "| {:<w$} ", c, w = widths[i]);
+            }
+            out.push_str("|\n");
+        };
+        line(&mut out, &self.headers);
+        for (i, w) in widths.iter().enumerate() {
+            let _ = write!(out, "|{:-<w$}", "", w = w + 2);
+            if i + 1 == widths.len() {
+                out.push_str("|\n");
+            }
+        }
+        for row in &self.rows {
+            line(&mut out, row);
+        }
+        out
+    }
+}
+
+/// Format microseconds with sensible precision.
+pub fn us(v: f64) -> String {
+    if v >= 1000.0 {
+        format!("{:.2}ms", v / 1000.0)
+    } else {
+        format!("{v:.0}us")
+    }
+}
+
+/// Format bits/second as Mb/s or Gb/s.
+pub fn bps(v: f64) -> String {
+    if v >= 1e9 {
+        format!("{:.2} Gb/s", v / 1e9)
+    } else {
+        format!("{:.0} Mb/s", v / 1e6)
+    }
+}
+
+/// Format a mean ± half-CI pair.
+pub fn pm(mean: f64, ci: f64, unit: &str) -> String {
+    format!("{mean:.1}±{ci:.1}{unit}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new(&["scheme", "value"]);
+        t.row(&["baseline".into(), "363".into()]);
+        t.row(&["pias".into(), "274".into()]);
+        let s = t.render();
+        assert!(s.contains("| scheme   | value |"));
+        assert!(s.contains("| baseline | 363   |"));
+    }
+
+    #[test]
+    fn unit_formatting() {
+        assert_eq!(us(363.4), "363us");
+        assert_eq!(us(1600.0), "1.60ms");
+        assert_eq!(bps(7.8e9), "7.80 Gb/s");
+        assert_eq!(bps(250e6), "250 Mb/s");
+    }
+}

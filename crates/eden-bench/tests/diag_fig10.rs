@@ -1,0 +1,30 @@
+//! Parameter sweep for fig10 tuning (ignored by default).
+
+use eden_bench::fig10::{run, Balancer, Config, Engine};
+use netsim::Time;
+
+#[test]
+#[ignore]
+fn sweep() {
+    for (flows, window_us, buf, until_ms) in
+        [(1, 100, 150_000, 300), (4, 100, 150_000, 300), (8, 100, 150_000, 300)]
+    {
+        {
+            let cfg = Config {
+                seed: 3,
+                warmup: Time::from_millis(200),
+                until: Time::from_millis(until_ms),
+                flows,
+                reorder_window: Time::from_micros(window_us),
+                switch_buffer_bytes: buf,
+            };
+            let e = run(Balancer::Ecmp, Engine::Native, &cfg);
+            let w = run(Balancer::Wcmp, Engine::Native, &cfg);
+            println!(
+                "flows {flows} window {window_us}us buf {buf}: ecmp {:.2}G wcmp {:.2}G",
+                e / 1e9,
+                w / 1e9
+            );
+        }
+    }
+}

@@ -1,0 +1,20 @@
+//! Diagnostic for the fig11 starvation mechanism (ignored by default).
+
+use eden_apps::apps::storage::{StorageServer, TenantClient};
+use eden_bench::fig11::{run, Config, Mode};
+use netsim::Time;
+
+#[test]
+#[ignore]
+fn diag_simultaneous() {
+    let cfg = Config {
+        seed: 2,
+        warmup: Time::from_millis(50),
+        until: Time::from_millis(250),
+        ..Default::default()
+    };
+    let r = run(Mode::Simultaneous, &cfg);
+    println!("{r:#?}");
+    let _ = StorageServer::new(1, 1);
+    let _ = TenantClient::new;
+}

@@ -1,0 +1,206 @@
+//! Installed action functions: interpreted bytecode or native closures.
+//!
+//! The evaluation compares "Eden" (bytecode through the interpreter) with
+//! "native" (the same logic hard-coded in the enclave, "similar to a
+//! typical implementation through a customised layer in the OS", §5.1).
+//! Both forms run behind the same [`eden_vm::Host`]-shaped state interface,
+//! so state management and the concurrency model are identical — only the
+//! computation engine differs, which is exactly what Figures 9, 10 and 12
+//! isolate.
+
+use eden_lang::{CompiledFunction, Concurrency, Schema, StateEffects};
+use eden_vm::{Effect, Host, Outcome, VmError};
+
+/// Identifies an installed function within an enclave.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FuncId(pub usize);
+
+/// Typed accessors native functions use to touch exactly the same state the
+/// interpreter would — through the enclave's [`Host`] binding, so
+/// HeaderMaps, read-only enforcement, and scoping apply equally.
+pub struct NativeEnv<'a> {
+    host: &'a mut dyn Host,
+    effects: Vec<Effect>,
+}
+
+impl<'a> NativeEnv<'a> {
+    pub(crate) fn new(host: &'a mut dyn Host) -> NativeEnv<'a> {
+        NativeEnv {
+            host,
+            effects: Vec::new(),
+        }
+    }
+
+    /// Read packet field `slot`.
+    pub fn pkt(&mut self, slot: u8) -> Result<i64, VmError> {
+        self.host.load_pkt(slot)
+    }
+
+    /// Write packet field `slot`.
+    pub fn set_pkt(&mut self, slot: u8, v: i64) -> Result<(), VmError> {
+        self.host.store_pkt(slot, v)
+    }
+
+    /// Read message state field `slot`.
+    pub fn msg(&mut self, slot: u8) -> Result<i64, VmError> {
+        self.host.load_msg(slot)
+    }
+
+    /// Write message state field `slot`.
+    pub fn set_msg(&mut self, slot: u8, v: i64) -> Result<(), VmError> {
+        self.host.store_msg(slot, v)
+    }
+
+    /// Read global state field `slot`.
+    pub fn global(&mut self, slot: u8) -> Result<i64, VmError> {
+        self.host.load_glob(slot)
+    }
+
+    /// Write global state field `slot`.
+    pub fn set_global(&mut self, slot: u8, v: i64) -> Result<(), VmError> {
+        self.host.store_glob(slot, v)
+    }
+
+    /// Read global array `array` at flat slot `index`.
+    pub fn arr(&mut self, array: u8, index: i64) -> Result<i64, VmError> {
+        self.host.arr_load(array, index)
+    }
+
+    /// Write global array `array` at flat slot `index`.
+    pub fn set_arr(&mut self, array: u8, index: i64, v: i64) -> Result<(), VmError> {
+        self.host.arr_store(array, index, v)
+    }
+
+    /// Raw slot count of global array `array` (divide by the stride for
+    /// the element count).
+    pub fn arr_len(&mut self, array: u8) -> Result<i64, VmError> {
+        self.host.arr_len(array)
+    }
+
+    /// Uniform non-negative random value.
+    pub fn rand(&mut self) -> i64 {
+        self.host.rand64()
+    }
+
+    /// Uniform value in `[0, n)`.
+    pub fn rand_range(&mut self, n: i64) -> Result<i64, VmError> {
+        if n <= 0 {
+            return Err(VmError::BadRandRange(n));
+        }
+        Ok(self.host.rand64() % n)
+    }
+
+    /// High-frequency clock, nanoseconds.
+    pub fn now_ns(&mut self) -> i64 {
+        self.host.now_ns()
+    }
+
+    /// Direct the packet to rate-limited queue `queue` charging `charge`.
+    pub fn set_queue(&mut self, queue: i64, charge: i64) -> Result<(), VmError> {
+        self.host.effect(Effect::SetQueue { queue, charge })?;
+        self.effects.push(Effect::SetQueue { queue, charge });
+        Ok(())
+    }
+
+    /// Drop the packet (the function should `return Ok(Outcome::Dropped)`
+    /// right after).
+    pub fn drop_packet(&mut self) -> Result<(), VmError> {
+        self.host.effect(Effect::Drop)
+    }
+
+    /// Punt the packet to the controller.
+    pub fn to_controller(&mut self) -> Result<(), VmError> {
+        self.host.effect(Effect::ToController)
+    }
+}
+
+/// A native (compiled-Rust) action function.
+pub type NativeFn = Box<dyn FnMut(&mut NativeEnv<'_>) -> Result<Outcome, VmError> + 'static>;
+
+/// The two execution forms of an action function.
+pub enum ActionImpl {
+    /// Controller-compiled bytecode, run by the Eden interpreter.
+    Interpreted(eden_vm::Program),
+    /// Hard-coded logic (the evaluation's "native" arm).
+    Native(NativeFn),
+}
+
+impl std::fmt::Debug for ActionImpl {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ActionImpl::Interpreted(p) => write!(f, "Interpreted({})", p.name()),
+            ActionImpl::Native(_) => write!(f, "Native(<fn>)"),
+        }
+    }
+}
+
+/// Everything the enclave needs to run one installed function.
+#[derive(Debug)]
+pub struct InstalledFunction {
+    pub name: String,
+    pub action: ActionImpl,
+    pub schema: Schema,
+    pub effects: StateEffects,
+    pub concurrency: Concurrency,
+    /// Invocations completed without a trap.
+    pub invocations: u64,
+    /// Invocations terminated by a trap (the packet fails open: it is
+    /// forwarded unmodified, per §3.4.3's isolation guarantee).
+    pub faults: u64,
+}
+
+impl InstalledFunction {
+    /// Wrap a compiled DSL function.
+    pub fn interpreted(name: &str, compiled: CompiledFunction) -> InstalledFunction {
+        InstalledFunction {
+            name: name.to_string(),
+            concurrency: compiled.concurrency,
+            effects: compiled.effects,
+            schema: compiled.schema,
+            action: ActionImpl::Interpreted(compiled.program),
+            invocations: 0,
+            faults: 0,
+        }
+    }
+
+    /// Install bytecode received over the wire (controller shipping path).
+    /// The blob is decoded and **re-verified**; `schema` and `concurrency`
+    /// travel as enclave configuration, exactly like table rules do.
+    pub fn from_shipped(
+        name: &str,
+        bytecode: &[u8],
+        schema: Schema,
+        concurrency: Concurrency,
+    ) -> Result<InstalledFunction, eden_vm::CodecError> {
+        let program = eden_vm::decode_program(bytecode)?;
+        Ok(InstalledFunction {
+            name: name.to_string(),
+            action: ActionImpl::Interpreted(program),
+            schema,
+            effects: StateEffects::default(),
+            concurrency,
+            invocations: 0,
+            faults: 0,
+        })
+    }
+
+    /// Wrap a native closure. The `schema` still describes its state (for
+    /// binding and slot sizing); `concurrency` mirrors what the compiler
+    /// would derive, stated explicitly since Rust code cannot be analysed.
+    pub fn native(
+        name: &str,
+        f: NativeFn,
+        schema: Schema,
+        concurrency: Concurrency,
+    ) -> InstalledFunction {
+        InstalledFunction {
+            name: name.to_string(),
+            action: ActionImpl::Native(f),
+            schema,
+            effects: StateEffects::default(),
+            concurrency,
+            invocations: 0,
+            faults: 0,
+        }
+    }
+}

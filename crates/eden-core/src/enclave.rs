@@ -1,0 +1,603 @@
+//! The Eden enclave: match-action tables + action-function runtime (§3.4).
+//!
+//! The enclave "resides along the end host network stack" and holds (1) a
+//! set of tables whose rules match on a packet's *class* — not on header
+//! fields, which is what lets functions operate on application-defined
+//! groupings — and (2) a runtime that executes the selected action function
+//! against the packet, its per-message state, and the function's global
+//! state. Functions are interpreted bytecode or native closures
+//! ([`ActionImpl`]); both run behind the same [`eden_vm::Host`] binding.
+//!
+//! Besides stage-assigned classes, the enclave can classify on its own at
+//! packet granularity (Table 2's last row): five-tuple rules assign classes
+//! to traffic from unmodified applications, and packets without stage
+//! metadata get `hash(five-tuple)` as their message id — "when
+//! classification is done at the granularity of TCP flows, each transport
+//! connection is a message".
+//!
+//! Fault isolation (§3.4.3): a trapping function terminates — the packet
+//! then fails open (forwarded unmodified) or closed (dropped) per
+//! [`EnclaveConfig::fail_open`] — and the rest of the system continues.
+
+use eden_lang::{Access, Concurrency, HeaderField, Schema, Scope};
+use eden_vm::{Effect, Host, Interpreter, Limits, Outcome, VmError};
+use netsim::{Packet, SimRng, Time};
+use transport::{HookEnv, HookVerdict, PacketHook};
+
+use crate::action::{ActionImpl, FuncId, InstalledFunction, NativeEnv, NativeFn};
+use crate::class::ClassId;
+use crate::state::FunctionState;
+
+/// Identifies a match-action table within an enclave.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TableId(pub usize);
+
+/// What a rule matches on: the packet's class list.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MatchSpec {
+    /// Matches every packet (default/fallback rules).
+    Any,
+    /// Packet carries this class.
+    Class(ClassId),
+    /// Packet carries any of these classes.
+    AnyOf(Vec<ClassId>),
+}
+
+impl MatchSpec {
+    fn matches(&self, classes: &[u32]) -> bool {
+        match self {
+            MatchSpec::Any => true,
+            MatchSpec::Class(c) => classes.contains(&c.0),
+            MatchSpec::AnyOf(cs) => cs.iter().any(|c| classes.contains(&c.0)),
+        }
+    }
+}
+
+/// `match on class → action function` (Table 4).
+#[derive(Debug, Clone)]
+pub struct Rule {
+    pub spec: MatchSpec,
+    pub func: FuncId,
+}
+
+#[derive(Debug, Default)]
+struct MatchActionTable {
+    rules: Vec<Rule>,
+}
+
+/// A five-tuple classifier for the enclave's own packet-granularity
+/// classification (`None` = wildcard).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FiveTupleMatch {
+    pub src_ip: Option<u32>,
+    pub dst_ip: Option<u32>,
+    pub src_port: Option<u16>,
+    pub dst_port: Option<u16>,
+    pub proto: Option<u8>,
+}
+
+impl FiveTupleMatch {
+    fn matches(&self, p: &Packet) -> bool {
+        let Some((si, sp, di, dp, pr)) = p.five_tuple() else {
+            return false;
+        };
+        self.src_ip.is_none_or(|v| v == si)
+            && self.dst_ip.is_none_or(|v| v == di)
+            && self.src_port.is_none_or(|v| v == sp)
+            && self.dst_port.is_none_or(|v| v == dp)
+            && self.proto.is_none_or(|v| v == pr)
+    }
+}
+
+/// Which direction of the host stack a packet is traversing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlowDirection {
+    /// Leaving the host (the paper's primary enforcement point).
+    Egress,
+    /// Arriving at the host (stateful firewalls, admission control).
+    Ingress,
+}
+
+/// Enclave tuning.
+#[derive(Debug, Clone, Copy)]
+pub struct EnclaveConfig {
+    /// Interpreter resource budgets.
+    pub limits: Limits,
+    /// Per-function cap on live message-state blocks.
+    pub max_messages_per_function: usize,
+    /// On an action-function trap: `true` forwards the packet unmodified,
+    /// `false` drops it.
+    pub fail_open: bool,
+    /// Also run the match-action pipeline on packets *arriving* at the
+    /// host. Off by default: most Eden functions are egress-side, and the
+    /// paper's enclave sits on the send path. Functions can distinguish
+    /// directions through a packet field mapped to
+    /// [`HeaderField::Direction`].
+    pub process_ingress: bool,
+}
+
+impl Default for EnclaveConfig {
+    fn default() -> Self {
+        EnclaveConfig {
+            limits: Limits::default(),
+            max_messages_per_function: 65_536,
+            fail_open: true,
+            process_ingress: false,
+        }
+    }
+}
+
+/// Data-path counters.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EnclaveStats {
+    pub packets: u64,
+    /// Packets for which at least one rule matched.
+    pub matched: u64,
+    pub dropped: u64,
+    pub punted_to_controller: u64,
+    pub faults: u64,
+}
+
+/// The programmable data plane at one end host.
+pub struct Enclave {
+    config: EnclaveConfig,
+    tables: Vec<MatchActionTable>,
+    functions: Vec<InstalledFunction>,
+    /// Precomputed per-function packet-slot bindings: (header map, access).
+    pkt_bindings: Vec<Vec<(Option<HeaderField>, Access)>>,
+    states: Vec<FunctionState>,
+    flow_rules: Vec<(FiveTupleMatch, ClassId)>,
+    interp: Interpreter,
+    /// Packets punted to the controller, awaiting pickup.
+    pub punted: Vec<Packet>,
+    pub stats: EnclaveStats,
+    /// Scratch for unmapped packet fields (packet lifetime).
+    scratch: Vec<i64>,
+    /// Scratch for the packet's class list.
+    classes: Vec<u32>,
+}
+
+impl Enclave {
+    /// An enclave with one empty table.
+    pub fn new(config: EnclaveConfig) -> Enclave {
+        Enclave {
+            config,
+            tables: vec![MatchActionTable::default()],
+            functions: Vec::new(),
+            pkt_bindings: Vec::new(),
+            states: Vec::new(),
+            flow_rules: Vec::new(),
+            interp: Interpreter::new(config.limits),
+            punted: Vec::new(),
+            stats: EnclaveStats::default(),
+            scratch: Vec::new(),
+            classes: Vec::new(),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // enclave API (§3.4.5): the controller programs tables and functions
+    // ------------------------------------------------------------------
+
+    /// Create an additional match-action table; returns its id.
+    pub fn create_table(&mut self) -> TableId {
+        self.tables.push(MatchActionTable::default());
+        TableId(self.tables.len() - 1)
+    }
+
+    /// Install `function`; returns its id for use in rules.
+    pub fn install_function(&mut self, function: InstalledFunction) -> FuncId {
+        let state =
+            FunctionState::for_schema(&function.schema, self.config.max_messages_per_function);
+        let bindings = function
+            .schema
+            .fields()
+            .iter()
+            .filter(|f| f.scope == Scope::Packet)
+            .map(|f| (f.header, f.access))
+            .collect::<Vec<_>>();
+        if bindings.len() > self.scratch.len() {
+            self.scratch.resize(bindings.len(), 0);
+        }
+        self.pkt_bindings.push(bindings);
+        self.functions.push(function);
+        self.states.push(state);
+        FuncId(self.functions.len() - 1)
+    }
+
+    /// Append `rule` to `table` (first match wins).
+    pub fn install_rule(&mut self, table: TableId, spec: MatchSpec, func: FuncId) {
+        assert!(func.0 < self.functions.len(), "unknown function");
+        self.tables[table.0].rules.push(Rule { spec, func });
+    }
+
+    /// Remove all rules from `table`.
+    pub fn clear_table(&mut self, table: TableId) {
+        self.tables[table.0].rules.clear();
+    }
+
+    /// Add an enclave-level five-tuple classification rule.
+    pub fn add_flow_rule(&mut self, spec: FiveTupleMatch, class: ClassId) {
+        self.flow_rules.push((spec, class));
+    }
+
+    /// Write one global scalar of `func` (controller state update).
+    pub fn set_global(&mut self, func: FuncId, slot: usize, value: i64) {
+        self.states[func.0].global[slot] = value;
+    }
+
+    /// Read one global scalar of `func`.
+    pub fn global(&self, func: FuncId, slot: usize) -> i64 {
+        self.states[func.0].global[slot]
+    }
+
+    /// Replace global array `array` of `func` with flattened `values`.
+    pub fn set_array(&mut self, func: FuncId, array: usize, values: Vec<i64>) {
+        self.states[func.0].set_array(array, values);
+    }
+
+    /// Per-function state (instrumentation).
+    pub fn function_state(&self, func: FuncId) -> &FunctionState {
+        &self.states[func.0]
+    }
+
+    /// Installed function metadata.
+    pub fn function(&self, func: FuncId) -> &InstalledFunction {
+        &self.functions[func.0]
+    }
+
+    /// Derived concurrency level of `func` (§3.4.4).
+    pub fn concurrency(&self, func: FuncId) -> Concurrency {
+        self.functions[func.0].concurrency
+    }
+
+    /// Drain packets punted to the controller.
+    pub fn take_punted(&mut self) -> Vec<Packet> {
+        std::mem::take(&mut self.punted)
+    }
+
+    /// Interpreter resource usage of the most recent interpreted run
+    /// (for §5.4 footprint reporting).
+    pub fn last_usage(&self) -> eden_vm::Usage {
+        self.interp.usage()
+    }
+
+    // ------------------------------------------------------------------
+    // data path
+    // ------------------------------------------------------------------
+
+    /// Run the match-action pipeline on one egress packet. This is the
+    /// routine the microbenchmarks time; `on_egress` is a thin wrapper.
+    pub fn process(&mut self, packet: &mut Packet, rng: &mut SimRng, now: Time) -> HookVerdict {
+        self.process_dir(packet, rng, now, FlowDirection::Egress)
+    }
+
+    /// Run the match-action pipeline with an explicit direction.
+    pub fn process_dir(
+        &mut self,
+        packet: &mut Packet,
+        rng: &mut SimRng,
+        now: Time,
+        direction: FlowDirection,
+    ) -> HookVerdict {
+        self.stats.packets += 1;
+
+        // class list: stage-assigned + enclave five-tuple rules
+        self.classes.clear();
+        if let Some(meta) = &packet.meta {
+            self.classes.extend_from_slice(&meta.classes);
+        }
+        for (spec, class) in &self.flow_rules {
+            if spec.matches(packet) {
+                self.classes.push(class.0);
+            }
+        }
+
+        // message identity: stage metadata, else flow-as-message
+        let msg_id = match &packet.meta {
+            Some(m) if m.msg_id != 0 => m.msg_id,
+            _ => flow_msg_id(packet),
+        };
+
+        // packet-lifetime scratch for unmapped fields
+        self.scratch.iter_mut().for_each(|v| *v = 0);
+
+        let mut verdict_queue: Option<(i64, i64)> = None;
+        let mut table = 0usize;
+        let mut hops = 0;
+        let mut matched_any = false;
+
+        'walk: loop {
+            hops += 1;
+            if hops > 8 {
+                break; // table-loop guard
+            }
+            let Some(rule) = self.tables.get(table).and_then(|t| {
+                t.rules
+                    .iter()
+                    .find(|r| r.spec.matches(&self.classes))
+                    .cloned()
+            }) else {
+                break;
+            };
+            matched_any = true;
+            let fid = rule.func.0;
+
+            // split borrows: function (action+schema), its state, interpreter
+            let (msg, global, arrays) = self.states[fid].split_for(msg_id);
+            let mut host = InvocationHost {
+                packet,
+                bindings: &self.pkt_bindings[fid],
+                scratch: &mut self.scratch,
+                msg,
+                global,
+                arrays,
+                rng,
+                now,
+                direction,
+                queue: None,
+            };
+            let func = &mut self.functions[fid];
+            let result = match &mut func.action {
+                ActionImpl::Interpreted(program) => self.interp.run(program, &mut host),
+                ActionImpl::Native(f) => {
+                    let mut env = NativeEnv::new(&mut host);
+                    f(&mut env)
+                }
+            };
+            match result {
+                Ok(outcome) => {
+                    func.invocations += 1;
+                    if let Some(q) = host.queue {
+                        verdict_queue = Some(q);
+                    }
+                    match outcome {
+                        Outcome::Done => break 'walk,
+                        Outcome::Dropped => {
+                            self.stats.dropped += 1;
+                            return HookVerdict::Drop;
+                        }
+                        Outcome::SentToController => {
+                            self.stats.punted_to_controller += 1;
+                            self.punted.push(packet.clone());
+                            return HookVerdict::Drop;
+                        }
+                        Outcome::GotoTable(t) => {
+                            table = t as usize;
+                            continue 'walk;
+                        }
+                    }
+                }
+                Err(_trap) => {
+                    func.faults += 1;
+                    self.stats.faults += 1;
+                    if self.config.fail_open {
+                        break 'walk;
+                    }
+                    self.stats.dropped += 1;
+                    return HookVerdict::Drop;
+                }
+            }
+        }
+
+        if matched_any {
+            self.stats.matched += 1;
+        }
+        match verdict_queue {
+            Some((queue, charge)) => HookVerdict::Queue {
+                queue: queue.max(0) as usize,
+                charge: charge.max(0) as u64,
+            },
+            None => HookVerdict::Pass,
+        }
+    }
+}
+
+impl PacketHook for Enclave {
+    fn on_egress(&mut self, packet: &mut Packet, env: &mut HookEnv<'_>) -> HookVerdict {
+        self.process_dir(packet, env.rng, env.now, FlowDirection::Egress)
+    }
+
+    fn on_ingress(&mut self, packet: &mut Packet, env: &mut HookEnv<'_>) -> HookVerdict {
+        if self.config.process_ingress {
+            self.process_dir(packet, env.rng, env.now, FlowDirection::Ingress)
+        } else {
+            HookVerdict::Pass
+        }
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}
+
+/// Flow-as-message identity for unclassified traffic: a stable,
+/// direction-canonical hash of the five-tuple, offset so it cannot collide
+/// with stage message ids. Both directions of a connection map to the same
+/// message id, which is what lets one function's flow state implement
+/// connection tracking across egress and ingress.
+fn flow_msg_id(p: &Packet) -> u64 {
+    match p.five_tuple() {
+        Some((si, sp, di, dp, pr)) => {
+            let a = (u64::from(si) << 16) | u64::from(sp);
+            let b = (u64::from(di) << 16) | u64::from(dp);
+            let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+            let mut h: u64 = 0xcbf29ce484222325;
+            for v in [lo, hi, u64::from(pr)] {
+                h ^= v;
+                h = h.wrapping_mul(0x100000001b3);
+            }
+            h | (1 << 63)
+        }
+        None => 1 << 63,
+    }
+}
+
+/// The per-invocation state view the VM (or a native function) runs
+/// against. Mapped packet slots read/write real header fields through the
+/// HeaderMap; unmapped slots use packet-lifetime scratch.
+struct InvocationHost<'a> {
+    packet: &'a mut Packet,
+    bindings: &'a [(Option<HeaderField>, Access)],
+    scratch: &'a mut [i64],
+    msg: &'a mut [i64],
+    global: &'a mut [i64],
+    arrays: &'a mut [Vec<i64>],
+    rng: &'a mut SimRng,
+    now: Time,
+    direction: FlowDirection,
+    queue: Option<(i64, i64)>,
+}
+
+impl Host for InvocationHost<'_> {
+    fn load_pkt(&mut self, slot: u8) -> Result<i64, VmError> {
+        match self.bindings.get(slot as usize) {
+            Some((Some(HeaderField::Direction), _)) => Ok(match self.direction {
+                FlowDirection::Egress => 0,
+                FlowDirection::Ingress => 1,
+            }),
+            Some((Some(field), _)) => Ok(crate::headermap::read_header_field(self.packet, *field)),
+            Some((None, _)) => Ok(self.scratch[slot as usize]),
+            None => Err(VmError::BadStateSlot {
+                scope: eden_vm::StateScope::Packet,
+                slot,
+            }),
+        }
+    }
+
+    fn store_pkt(&mut self, slot: u8, value: i64) -> Result<(), VmError> {
+        match self.bindings.get(slot as usize) {
+            Some((_, Access::ReadOnly)) => Err(VmError::ReadOnlyViolation {
+                scope: eden_vm::StateScope::Packet,
+                slot,
+            }),
+            Some((Some(field), _)) => {
+                crate::headermap::write_header_field(self.packet, *field, value);
+                Ok(())
+            }
+            Some((None, _)) => {
+                self.scratch[slot as usize] = value;
+                Ok(())
+            }
+            None => Err(VmError::BadStateSlot {
+                scope: eden_vm::StateScope::Packet,
+                slot,
+            }),
+        }
+    }
+
+    fn load_msg(&mut self, slot: u8) -> Result<i64, VmError> {
+        self.msg
+            .get(slot as usize)
+            .copied()
+            .ok_or(VmError::BadStateSlot {
+                scope: eden_vm::StateScope::Message,
+                slot,
+            })
+    }
+
+    fn store_msg(&mut self, slot: u8, value: i64) -> Result<(), VmError> {
+        match self.msg.get_mut(slot as usize) {
+            Some(s) => {
+                *s = value;
+                Ok(())
+            }
+            None => Err(VmError::BadStateSlot {
+                scope: eden_vm::StateScope::Message,
+                slot,
+            }),
+        }
+    }
+
+    fn load_glob(&mut self, slot: u8) -> Result<i64, VmError> {
+        self.global
+            .get(slot as usize)
+            .copied()
+            .ok_or(VmError::BadStateSlot {
+                scope: eden_vm::StateScope::Global,
+                slot,
+            })
+    }
+
+    fn store_glob(&mut self, slot: u8, value: i64) -> Result<(), VmError> {
+        match self.global.get_mut(slot as usize) {
+            Some(s) => {
+                *s = value;
+                Ok(())
+            }
+            None => Err(VmError::BadStateSlot {
+                scope: eden_vm::StateScope::Global,
+                slot,
+            }),
+        }
+    }
+
+    fn arr_load(&mut self, array: u8, index: i64) -> Result<i64, VmError> {
+        let arr = self
+            .arrays
+            .get(array as usize)
+            .ok_or(VmError::BadArrayAccess { array, index })?;
+        usize::try_from(index)
+            .ok()
+            .and_then(|i| arr.get(i))
+            .copied()
+            .ok_or(VmError::BadArrayAccess { array, index })
+    }
+
+    fn arr_store(&mut self, array: u8, index: i64, value: i64) -> Result<(), VmError> {
+        let arr = self
+            .arrays
+            .get_mut(array as usize)
+            .ok_or(VmError::BadArrayAccess { array, index })?;
+        let slot = usize::try_from(index)
+            .ok()
+            .and_then(|i| arr.get_mut(i))
+            .ok_or(VmError::BadArrayAccess { array, index })?;
+        *slot = value;
+        Ok(())
+    }
+
+    fn arr_len(&mut self, array: u8) -> Result<i64, VmError> {
+        self.arrays
+            .get(array as usize)
+            .map(|a| a.len() as i64)
+            .ok_or(VmError::BadArrayAccess { array, index: -1 })
+    }
+
+    fn rand64(&mut self) -> i64 {
+        self.rng.next_i64()
+    }
+
+    fn now_ns(&mut self) -> i64 {
+        self.now.as_nanos() as i64
+    }
+
+    fn effect(&mut self, effect: Effect) -> Result<(), VmError> {
+        match effect {
+            Effect::SetQueue { queue, charge } => {
+                if queue < 0 {
+                    return Err(VmError::BadQueue(queue));
+                }
+                self.queue = Some((queue, charge));
+                Ok(())
+            }
+            Effect::GotoTable { table } => {
+                if !(0..=u8::MAX as i64).contains(&table) {
+                    return Err(VmError::BadTable(table));
+                }
+                Ok(())
+            }
+            Effect::Drop | Effect::ToController => Ok(()),
+        }
+    }
+}
+
+/// Convenience: build a native [`InstalledFunction`] in one call.
+pub fn native_function(
+    name: &str,
+    schema: Schema,
+    concurrency: Concurrency,
+    f: NativeFn,
+) -> InstalledFunction {
+    InstalledFunction::native(name, f, schema, concurrency)
+}

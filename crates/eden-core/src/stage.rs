@@ -1,0 +1,363 @@
+//! Stages: application-level classification (§3.3, Tables 2–3).
+//!
+//! A stage advertises which application fields it can classify on and which
+//! metadata it can emit ([`StageInfo`], the paper's `getStageInfo`). The
+//! controller installs classification rules of the form
+//! `<classifier> → [class_name, {meta-data}]`, organized into *rule-sets*
+//! such that a message matches at most one rule per rule-set (first match
+//! wins). Classifying a message yields one class per matching rule-set plus
+//! a fresh message identifier; the stage attaches all of it as
+//! [`EdenMeta`] when it sends the message.
+
+use std::collections::HashMap;
+
+use netsim::EdenMeta;
+
+use crate::class::ClassId;
+
+/// A value of an application-level classification field.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FieldValue {
+    Str(String),
+    Int(i64),
+}
+
+impl FieldValue {
+    fn matches(&self, m: &Matcher) -> bool {
+        match m {
+            Matcher::Any => true,
+            Matcher::Exact(v) => self == v,
+            Matcher::Prefix(p) => match self {
+                FieldValue::Str(s) => s.starts_with(p.as_str()),
+                FieldValue::Int(_) => false,
+            },
+        }
+    }
+}
+
+impl From<&str> for FieldValue {
+    fn from(s: &str) -> Self {
+        FieldValue::Str(s.to_string())
+    }
+}
+
+impl From<i64> for FieldValue {
+    fn from(v: i64) -> Self {
+        FieldValue::Int(v)
+    }
+}
+
+/// One classifier term: how a field must look for the rule to match.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Matcher {
+    /// `*` — anything (including an absent field).
+    Any,
+    /// Exact value.
+    Exact(FieldValue),
+    /// String prefix (URL paths, key namespaces).
+    Prefix(String),
+}
+
+/// A classification rule within a rule-set.
+#[derive(Debug, Clone)]
+pub struct StageRule {
+    /// Unique within the stage (returned by `create_rule`).
+    pub id: u64,
+    /// Conjunction of per-field matchers.
+    pub classifier: Vec<(String, Matcher)>,
+    /// Interned class assigned on match.
+    pub class: ClassId,
+}
+
+/// What a stage can classify on and emit (Table 2 rows).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StageInfo {
+    pub name: String,
+    /// Fields usable in classifiers, e.g. `["msg_type", "key"]`.
+    pub classifiers: Vec<String>,
+    /// Metadata fields the stage can attach, e.g. `["msg_id", "msg_size"]`.
+    pub metadata: Vec<String>,
+}
+
+#[derive(Debug, Default)]
+struct RuleSet {
+    rules: Vec<StageRule>,
+}
+
+/// An Eden-compliant application/library component.
+#[derive(Debug)]
+pub struct Stage {
+    info: StageInfo,
+    rule_sets: HashMap<String, RuleSet>,
+    next_rule: u64,
+    next_msg_id: u64,
+    /// Messages classified so far.
+    pub classified: u64,
+}
+
+impl Stage {
+    /// A stage advertising the given classification surface.
+    pub fn new(name: &str, classifiers: &[&str], metadata: &[&str]) -> Stage {
+        Stage {
+            info: StageInfo {
+                name: name.to_string(),
+                classifiers: classifiers.iter().map(|s| s.to_string()).collect(),
+                metadata: metadata.iter().map(|s| s.to_string()).collect(),
+            },
+            rule_sets: HashMap::new(),
+            next_rule: 1,
+            next_msg_id: 1,
+            classified: 0,
+        }
+    }
+
+    /// The paper's `getStageInfo` (S0).
+    pub fn get_info(&self) -> &StageInfo {
+        &self.info
+    }
+
+    /// The paper's `createStageRule` (S1): install
+    /// `<classifier> → [class, {…}]` into `rule_set`, returning the rule id.
+    ///
+    /// # Panics
+    /// Panics if the classifier references a field the stage did not
+    /// advertise — the controller is supposed to consult `get_info` first.
+    pub fn create_rule(
+        &mut self,
+        rule_set: &str,
+        classifier: Vec<(String, Matcher)>,
+        class: ClassId,
+    ) -> u64 {
+        for (field, _) in &classifier {
+            assert!(
+                self.info.classifiers.iter().any(|c| c == field),
+                "stage '{}' cannot classify on '{}'",
+                self.info.name,
+                field
+            );
+        }
+        let id = self.next_rule;
+        self.next_rule += 1;
+        self.rule_sets
+            .entry(rule_set.to_string())
+            .or_default()
+            .rules
+            .push(StageRule {
+                id,
+                classifier,
+                class,
+            });
+        id
+    }
+
+    /// The paper's `removeStageRule` (S2). Returns whether a rule was
+    /// removed.
+    pub fn remove_rule(&mut self, rule_set: &str, rule_id: u64) -> bool {
+        if let Some(rs) = self.rule_sets.get_mut(rule_set) {
+            let before = rs.rules.len();
+            rs.rules.retain(|r| r.id != rule_id);
+            return rs.rules.len() != before;
+        }
+        false
+    }
+
+    /// Classify one application message described by `fields`, producing
+    /// the metadata to attach to its packets: one class per matching
+    /// rule-set (first rule wins within a set) and a fresh message id.
+    ///
+    /// Well-known field names populate the metadata directly: `msg_type`
+    /// and `msg_size` (integers), `tenant`, and `key` (hashed into
+    /// `key_hash`).
+    pub fn classify(&mut self, fields: &[(&str, FieldValue)]) -> EdenMeta {
+        let mut classes = Vec::new();
+        // deterministic order: sort rule-set names
+        let mut set_names: Vec<&String> = self.rule_sets.keys().collect();
+        set_names.sort();
+        for name in set_names {
+            let rs = &self.rule_sets[name];
+            for rule in &rs.rules {
+                let matches = rule.classifier.iter().all(|(field, matcher)| {
+                    match fields.iter().find(|(f, _)| f == field) {
+                        Some((_, v)) => v.matches(matcher),
+                        None => matches!(matcher, Matcher::Any),
+                    }
+                });
+                if matches {
+                    classes.push(rule.class.0);
+                    break;
+                }
+            }
+        }
+        let msg_id = self.next_msg_id;
+        self.next_msg_id += 1;
+        self.classified += 1;
+
+        let mut meta = EdenMeta {
+            classes,
+            msg_id,
+            msg_start: true,
+            ..Default::default()
+        };
+        for (field, value) in fields {
+            match (*field, value) {
+                ("msg_type", FieldValue::Int(v)) => meta.msg_type = *v,
+                ("msg_size", FieldValue::Int(v)) => meta.msg_size = *v,
+                ("tenant", FieldValue::Int(v)) => meta.tenant = *v,
+                ("key", FieldValue::Str(s)) => meta.key_hash = hash_str(s),
+                ("key", FieldValue::Int(v)) => meta.key_hash = *v,
+                _ => {}
+            }
+        }
+        meta
+    }
+}
+
+/// Stable 63-bit FNV-1a string hash for key metadata.
+fn hash_str(s: &str) -> i64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in s.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    (h & (i64::MAX as u64)) as i64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's Figure 6 rule-sets for a memcached stage.
+    fn memcached_stage() -> (Stage, [ClassId; 7]) {
+        let mut s = Stage::new(
+            "memcached",
+            &["msg_type", "key"],
+            &["msg_id", "msg_type", "key", "msg_size"],
+        );
+        // ids as the controller would intern them
+        let get = ClassId(1);
+        let put = ClassId(2);
+        let default = ClassId(3);
+        let geta = ClassId(4);
+        let a = ClassId(5);
+        let other = ClassId(6);
+        let unused = ClassId(7);
+
+        // r1: GET / PUT
+        s.create_rule(
+            "r1",
+            vec![("msg_type".into(), Matcher::Exact("GET".into()))],
+            get,
+        );
+        s.create_rule(
+            "r1",
+            vec![("msg_type".into(), Matcher::Exact("PUT".into()))],
+            put,
+        );
+        // r2: everything → DEFAULT
+        s.create_rule("r2", vec![("msg_type".into(), Matcher::Any)], default);
+        // r3: <GET,"a"> → GETA ; <*,"a"> → A ; <*,*> → OTHER
+        s.create_rule(
+            "r3",
+            vec![
+                ("msg_type".into(), Matcher::Exact("GET".into())),
+                ("key".into(), Matcher::Exact("a".into())),
+            ],
+            geta,
+        );
+        s.create_rule(
+            "r3",
+            vec![("key".into(), Matcher::Exact("a".into()))],
+            a,
+        );
+        s.create_rule("r3", vec![], other);
+        (s, [get, put, default, geta, a, other, unused])
+    }
+
+    #[test]
+    fn figure6_put_for_key_a() {
+        // "a PUT request for key 'a' would be classified as belonging to
+        //  three classes: …PUT, …DEFAULT, and …A."
+        let (mut s, [_, put, default, _, a, _, _]) = memcached_stage();
+        let meta = s.classify(&[
+            ("msg_type", "PUT".into()),
+            ("key", "a".into()),
+            ("msg_size", 4096.into()),
+        ]);
+        assert_eq!(meta.classes, vec![put.0, default.0, a.0]);
+        assert_eq!(meta.msg_size, 4096);
+        assert!(meta.msg_start);
+    }
+
+    #[test]
+    fn figure6_get_for_key_a_hits_geta() {
+        let (mut s, [_, _, default, geta, _, _, _]) = memcached_stage();
+        let meta = s.classify(&[("msg_type", "GET".into()), ("key", "a".into())]);
+        assert!(meta.classes.contains(&geta.0));
+        assert!(meta.classes.contains(&default.0));
+    }
+
+    #[test]
+    fn first_match_wins_within_rule_set() {
+        let (mut s, [get, _, _, _, _, other, _]) = memcached_stage();
+        let meta = s.classify(&[("msg_type", "GET".into()), ("key", "zzz".into())]);
+        assert!(meta.classes.contains(&get.0));
+        assert!(meta.classes.contains(&other.0), "r3 falls through to OTHER");
+    }
+
+    #[test]
+    fn message_ids_are_unique_and_monotonic() {
+        let (mut s, _) = memcached_stage();
+        let a = s.classify(&[("msg_type", "GET".into())]);
+        let b = s.classify(&[("msg_type", "GET".into())]);
+        assert!(b.msg_id > a.msg_id);
+    }
+
+    #[test]
+    fn rule_removal() {
+        let (mut s, [get, ..]) = memcached_stage();
+        // find r1's GET rule id = 1 (first created)
+        assert!(s.remove_rule("r1", 1));
+        let meta = s.classify(&[("msg_type", "GET".into())]);
+        assert!(!meta.classes.contains(&get.0), "GET rule removed");
+        assert!(!s.remove_rule("r1", 999));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot classify on")]
+    fn unadvertised_classifier_rejected() {
+        let mut s = Stage::new("http", &["url"], &["msg_id"]);
+        s.create_rule(
+            "r1",
+            vec![("tenant".into(), Matcher::Any)],
+            ClassId(1),
+        );
+    }
+
+    #[test]
+    fn prefix_matcher() {
+        let mut s = Stage::new("http", &["url"], &["msg_id"]);
+        let api = ClassId(9);
+        s.create_rule(
+            "r1",
+            vec![("url".into(), Matcher::Prefix("/api/".into()))],
+            api,
+        );
+        let m = s.classify(&[("url", "/api/users".into())]);
+        assert_eq!(m.classes, vec![api.0]);
+        let m = s.classify(&[("url", "/static/x.css".into())]);
+        assert!(m.classes.is_empty());
+    }
+
+    #[test]
+    fn tenant_and_key_metadata() {
+        let mut s = Stage::new("storage", &["msg_type"], &["msg_id", "tenant"]);
+        let m = s.classify(&[
+            ("msg_type", 1.into()),
+            ("tenant", 42.into()),
+            ("key", "user:123".into()),
+        ]);
+        assert_eq!(m.tenant, 42);
+        assert_eq!(m.msg_type, 1);
+        assert!(m.key_hash > 0);
+    }
+}

@@ -1,0 +1,159 @@
+//! Authoritative enclave state (§3.4.4).
+//!
+//! "The authoritative state is maintained in the enclave … the enclave
+//! creates a consistent copy of the state needed by the program" — per
+//! function, the enclave owns:
+//!
+//! * **global scalars** — live as long as the function is installed;
+//! * **global arrays** — flattened struct arrays the controller updates
+//!   (`pathMatrix`, `priorityThresholds`, `queueMap`, …);
+//! * **message state** — one block per (function, message id), created on
+//!   first touch, bounded by FIFO eviction (messages are finite; the paper
+//!   keeps state "for the duration of the message").
+//!
+//! Copy-in/copy-out consistency: the VM works on this state through the
+//! host interface during one invocation; the concurrency level (derived
+//! from the annotations) dictates how many invocations may overlap. The
+//! simulator is single-threaded per host, so the discipline is recorded and
+//! *asserted* (see `Enclave::begin_invocation`) rather than lock-enforced;
+//! the `fig12` bench exercises the same state under real threads via
+//! `parking_lot` locks in the multithreaded microbench.
+
+use std::collections::{HashMap, VecDeque};
+
+use eden_lang::{Schema, Scope};
+
+/// Per-function authoritative state.
+#[derive(Debug)]
+pub struct FunctionState {
+    /// Global scalar slots.
+    pub global: Vec<i64>,
+    /// Global arrays (flattened; element stride per the schema).
+    pub arrays: Vec<Vec<i64>>,
+    /// Message-scope slot count (from the schema).
+    msg_slots: usize,
+    /// Live message state blocks.
+    msg_state: HashMap<u64, Vec<i64>>,
+    /// Insertion order for FIFO eviction.
+    msg_order: VecDeque<u64>,
+    /// Maximum live message blocks before eviction.
+    max_messages: usize,
+    /// Message blocks evicted to stay under the cap.
+    pub evictions: u64,
+}
+
+impl FunctionState {
+    /// Sized from the function's schema.
+    pub fn for_schema(schema: &Schema, max_messages: usize) -> FunctionState {
+        FunctionState {
+            global: vec![0; schema.scope_len(Scope::Global)],
+            arrays: schema.arrays().iter().map(|_| Vec::new()).collect(),
+            msg_slots: schema.scope_len(Scope::Message),
+            msg_state: HashMap::new(),
+            msg_order: VecDeque::new(),
+            max_messages,
+            evictions: 0,
+        }
+    }
+
+    /// Borrow (creating if absent) the state block of message `msg_id`.
+    pub fn msg_block(&mut self, msg_id: u64) -> &mut Vec<i64> {
+        if !self.msg_state.contains_key(&msg_id) {
+            if self.msg_state.len() >= self.max_messages {
+                // FIFO eviction keeps the footprint bounded; a long-lived
+                // message that outlives the window simply restarts from
+                // zeroed state, which for the paper's functions (byte
+                // counters) is a conservative reset.
+                if let Some(old) = self.msg_order.pop_front() {
+                    self.msg_state.remove(&old);
+                    self.evictions += 1;
+                }
+            }
+            self.msg_state.insert(msg_id, vec![0; self.msg_slots]);
+            self.msg_order.push_back(msg_id);
+        }
+        self.msg_state.get_mut(&msg_id).expect("inserted above")
+    }
+
+    /// Borrow the message block of `msg_id` together with the global
+    /// scalars and arrays — the three disjoint pieces one invocation needs.
+    pub fn split_for(
+        &mut self,
+        msg_id: u64,
+    ) -> (&mut Vec<i64>, &mut Vec<i64>, &mut Vec<Vec<i64>>) {
+        self.msg_block(msg_id); // ensure presence
+        let msg = self
+            .msg_state
+            .get_mut(&msg_id)
+            .expect("ensured by msg_block");
+        (msg, &mut self.global, &mut self.arrays)
+    }
+
+    /// Explicitly end a message, reclaiming its state.
+    pub fn end_message(&mut self, msg_id: u64) {
+        if self.msg_state.remove(&msg_id).is_some() {
+            self.msg_order.retain(|&m| m != msg_id);
+        }
+    }
+
+    /// Live message blocks.
+    pub fn live_messages(&self) -> usize {
+        self.msg_state.len()
+    }
+
+    /// Replace a global array's contents (controller update).
+    pub fn set_array(&mut self, id: usize, values: Vec<i64>) {
+        self.arrays[id] = values;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eden_lang::Access;
+
+    fn schema() -> Schema {
+        Schema::new()
+            .msg_field("Size", Access::ReadWrite)
+            .msg_field("Priority", Access::ReadOnly)
+            .global_field("Counter", Access::ReadWrite)
+            .global_array("Thresholds", &["Limit", "Prio"], Access::ReadOnly)
+    }
+
+    #[test]
+    fn blocks_sized_from_schema() {
+        let mut st = FunctionState::for_schema(&schema(), 100);
+        assert_eq!(st.global.len(), 1);
+        assert_eq!(st.arrays.len(), 1);
+        assert_eq!(st.msg_block(7).len(), 2);
+    }
+
+    #[test]
+    fn message_state_persists_across_packets() {
+        let mut st = FunctionState::for_schema(&schema(), 100);
+        st.msg_block(1)[0] = 1460;
+        st.msg_block(2)[0] = 99;
+        assert_eq!(st.msg_block(1)[0], 1460, "message 1 unaffected by 2");
+    }
+
+    #[test]
+    fn fifo_eviction_bounds_memory() {
+        let mut st = FunctionState::for_schema(&schema(), 3);
+        for id in 0..10 {
+            st.msg_block(id)[0] = id as i64;
+        }
+        assert_eq!(st.live_messages(), 3);
+        assert_eq!(st.evictions, 7);
+        // oldest evicted; re-touching restarts from zero
+        assert_eq!(st.msg_block(0)[0], 0);
+    }
+
+    #[test]
+    fn explicit_message_end() {
+        let mut st = FunctionState::for_schema(&schema(), 100);
+        st.msg_block(5)[0] = 42;
+        st.end_message(5);
+        assert_eq!(st.live_messages(), 0);
+        assert_eq!(st.msg_block(5)[0], 0);
+    }
+}

@@ -1,0 +1,144 @@
+//! Abstract syntax of action functions.
+//!
+//! This is the tree the paper obtains from F# code quotations; here the
+//! parser produces it. Spans are kept on every node so the type checker and
+//! compiler report errors against the original source.
+
+use crate::token::Span;
+
+/// Binary operators (integer-valued; comparisons yield 0/1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Rem,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    And,
+    Or,
+}
+
+/// The target of an assignment `lhs <- e`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LValue {
+    /// A `let mutable` local.
+    Local(String),
+    /// `param.Field` on one of the three state parameters.
+    Field { param: String, field: String },
+    /// `arr.[index]` or `arr.[index].Field` on a global array alias.
+    ArrayElem {
+        array: String,
+        index: Box<Expr>,
+        field: Option<String>,
+    },
+}
+
+/// Expressions (statements are unit-typed expressions).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExprKind {
+    /// Integer literal (booleans lex as 1/0).
+    Int(i64),
+    /// Variable reference — a local, parameter, or array alias.
+    Var(String),
+    /// `param.Field` read, or `alias.Length` on an array.
+    Field { base: String, field: String },
+    /// `arr.[index]` or `arr.[index].Field` read.
+    Index {
+        array: String,
+        index: Box<Expr>,
+        field: Option<String>,
+    },
+    /// Binary operation. `&&`/`||` short-circuit.
+    Bin {
+        op: BinOp,
+        lhs: Box<Expr>,
+        rhs: Box<Expr>,
+    },
+    /// Unary negation `-e`.
+    Neg(Box<Expr>),
+    /// Boolean negation `not e`.
+    Not(Box<Expr>),
+    /// `let [mutable] name = value` followed by the continuation `body`.
+    Let {
+        name: String,
+        mutable: bool,
+        value: Box<Expr>,
+        body: Box<Expr>,
+    },
+    /// `let rec name params = fn_body` followed by the continuation `body`.
+    LetRec {
+        name: String,
+        params: Vec<String>,
+        fn_body: Box<Expr>,
+        body: Box<Expr>,
+    },
+    /// `lhs <- value`; unit-typed.
+    Assign { lhs: LValue, value: Box<Expr> },
+    /// `if cond then a [else b]`; without `else`, both arms must be unit.
+    If {
+        cond: Box<Expr>,
+        then: Box<Expr>,
+        els: Option<Box<Expr>>,
+    },
+    /// `e1; e2; …` — all but the last are evaluated for effect.
+    Seq(Vec<Expr>),
+    /// `name (a, b, …)` — call of a `let rec` function or a builtin.
+    Call { name: String, args: Vec<Expr> },
+}
+
+/// A spanned expression node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Expr {
+    pub kind: ExprKind,
+    pub span: Span,
+}
+
+impl Expr {
+    pub(crate) fn new(kind: ExprKind, span: Span) -> Self {
+        Expr { kind, span }
+    }
+}
+
+/// A parsed action function: `fun (packet, msg, _global) -> body`.
+///
+/// The three parameters bind, in order, to the packet, message, and global
+/// state scopes — exactly the calling convention of the paper's Figure 7.
+/// Names are the programmer's choice; position determines the scope.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Function {
+    /// Parameter names in scope order: packet, message, global.
+    pub params: Vec<String>,
+    pub body: Expr,
+}
+
+/// Names of the builtin functions, in one place so the parser, type checker
+/// and compiler agree.
+pub const BUILTINS: &[(&str, usize)] = &[
+    ("rand", 0),
+    ("randRange", 1),
+    ("now", 0),
+    ("hash", 2),
+    ("drop", 0),
+    ("setQueue", 2),
+    ("toController", 0),
+    ("gotoTable", 1),
+];
+
+/// Arity of a builtin, if `name` is one.
+pub fn builtin_arity(name: &str) -> Option<usize> {
+    BUILTINS
+        .iter()
+        .find(|(n, _)| *n == name)
+        .map(|(_, arity)| *arity)
+}
+
+/// Whether a builtin returns a value (`true`) or is a unit-typed effect.
+pub fn builtin_returns_value(name: &str) -> bool {
+    matches!(name, "rand" | "randRange" | "now" | "hash")
+}

@@ -1,0 +1,369 @@
+//! HIR → bytecode code generation.
+//!
+//! Mostly a straightforward stack-code walk; the interesting part is the
+//! optimization the paper highlights in §3.4.4 — "recognizing tail
+//! recursion and compiling it as a loop": a self-call in tail position
+//! stores the new argument values into the parameter locals and jumps back
+//! to the function entry instead of growing the call stack, so programs
+//! like Figure 7's `search` run in constant space (and fit the paper's
+//! 64-byte operand stack).
+
+use eden_vm::{Program, ProgramBuilder};
+
+use crate::ast::BinOp;
+use crate::error::{CompileError, ErrorKind};
+use crate::lexer::lex;
+use crate::parser::parse;
+use crate::schema::{Concurrency, Schema, StateEffects};
+use crate::token::Span;
+use crate::optimize::fold;
+use crate::typeck::{check, Builtin, HExpr};
+
+/// A fully compiled action function, ready to install into an enclave.
+#[derive(Debug, Clone)]
+pub struct CompiledFunction {
+    /// Verified bytecode.
+    pub program: Program,
+    /// State the function reads/writes, per scope — the enclave's
+    /// materialization list.
+    pub effects: StateEffects,
+    /// Concurrency level derived from the write sets (§3.4.4).
+    pub concurrency: Concurrency,
+    /// The schema the slot numbers were resolved against; the enclave binds
+    /// the same schema to agree on the layout.
+    pub schema: Schema,
+}
+
+/// Compile DSL `source` against `schema` into bytecode named `name`.
+///
+/// Runs the full pipeline: lex → parse → type check (annotations, access
+/// control, effect inference) → code generation (with tail-call-to-loop) →
+/// bytecode verification.
+pub fn compile(
+    name: &str,
+    source: &str,
+    schema: &Schema,
+) -> Result<CompiledFunction, CompileError> {
+    let tokens = lex(source)?;
+    let function = parse(&tokens)?;
+    let mut checked = check(&function, schema)?;
+    checked.body = fold(checked.body);
+    for f in &mut checked.funcs {
+        f.body = fold(std::mem::replace(&mut f.body, HExpr::Int(0)));
+    }
+
+    let mut gen = Gen {
+        b: ProgramBuilder::new()
+            .named(name)
+            .with_entry_locals(checked.entry_locals),
+    };
+    // top-level body
+    let diverged = gen.emit(&checked.body, None)?;
+    if !diverged {
+        gen.b.halt();
+    }
+    // then each local function
+    for (id, f) in checked.funcs.iter().enumerate() {
+        let fid = gen.b.begin_func(f.arity, f.n_locals);
+        debug_assert_eq!(fid as usize, id);
+        let entry = gen.b.new_label();
+        gen.b.bind(entry);
+        let ctx = FnCtx {
+            id: id as u16,
+            entry,
+            arity: f.arity,
+        };
+        let diverged = gen.emit_tail(&f.body, Some(ctx))?;
+        if !diverged {
+            gen.b.ret();
+        }
+    }
+
+    let program = gen.b.build().map_err(|e| {
+        CompileError::new(
+            ErrorKind::Codegen(format!("internal: emitted invalid bytecode: {e}")),
+            Span::default(),
+        )
+    })?;
+
+    Ok(CompiledFunction {
+        program,
+        concurrency: checked.effects.concurrency(),
+        effects: checked.effects,
+        schema: schema.clone(),
+    })
+}
+
+/// Context of the function currently being emitted (for tail-call loops).
+#[derive(Clone, Copy)]
+struct FnCtx {
+    id: u16,
+    entry: eden_vm::Label,
+    arity: u8,
+}
+
+struct Gen {
+    b: ProgramBuilder,
+}
+
+impl Gen {
+    /// Emit `e` in non-tail position. Returns `true` if the emitted code
+    /// diverges (never falls through).
+    fn emit(&mut self, e: &HExpr, ctx: Option<FnCtx>) -> Result<bool, CompileError> {
+        self.emit_inner(e, ctx, false)
+    }
+
+    /// Emit `e` in tail position (function result).
+    fn emit_tail(&mut self, e: &HExpr, ctx: Option<FnCtx>) -> Result<bool, CompileError> {
+        self.emit_inner(e, ctx, true)
+    }
+
+    fn emit_inner(&mut self, e: &HExpr, ctx: Option<FnCtx>, tail: bool) -> Result<bool, CompileError> {
+        match e {
+            HExpr::Int(v) => {
+                self.b.push(*v);
+                Ok(false)
+            }
+            HExpr::Local(s) => {
+                self.b.load_local(*s);
+                Ok(false)
+            }
+            HExpr::LoadField(scope, slot) => {
+                match scope {
+                    crate::schema::Scope::Packet => self.b.load_pkt(*slot),
+                    crate::schema::Scope::Message => self.b.load_msg(*slot),
+                    crate::schema::Scope::Global => self.b.load_glob(*slot),
+                };
+                Ok(false)
+            }
+            HExpr::LoadArr {
+                id,
+                stride,
+                offset,
+                index,
+            } => {
+                self.emit(index, ctx)?;
+                self.scale_index(*stride, *offset);
+                self.b.arr_load(*id);
+                Ok(false)
+            }
+            HExpr::ArrLen { id, stride } => {
+                self.b.arr_len(*id);
+                if *stride > 1 {
+                    self.b.push(*stride as i64).div();
+                }
+                Ok(false)
+            }
+            HExpr::Bin { op, lhs, rhs } => self.emit_bin(*op, lhs, rhs, ctx),
+            HExpr::Neg(x) => {
+                self.emit(x, ctx)?;
+                self.b.neg();
+                Ok(false)
+            }
+            HExpr::Not(x) => {
+                self.emit(x, ctx)?;
+                self.b.not();
+                Ok(false)
+            }
+            HExpr::StoreLocal(slot, v) => {
+                self.emit(v, ctx)?;
+                self.b.store_local(*slot);
+                Ok(false)
+            }
+            HExpr::StoreField(scope, slot, v) => {
+                self.emit(v, ctx)?;
+                match scope {
+                    crate::schema::Scope::Packet => self.b.store_pkt(*slot),
+                    crate::schema::Scope::Message => self.b.store_msg(*slot),
+                    crate::schema::Scope::Global => self.b.store_glob(*slot),
+                };
+                Ok(false)
+            }
+            HExpr::StoreArr {
+                id,
+                stride,
+                offset,
+                index,
+                value,
+            } => {
+                self.emit(index, ctx)?;
+                self.scale_index(*stride, *offset);
+                self.emit(value, ctx)?;
+                self.b.arr_store(*id);
+                Ok(false)
+            }
+            HExpr::If {
+                cond, then, els, ..
+            } => {
+                self.emit(cond, ctx)?;
+                match els {
+                    Some(f) => {
+                        let lelse = self.b.new_label();
+                        let lend = self.b.new_label();
+                        self.b.jmp_if_not(lelse);
+                        let d1 = self.emit_inner(then, ctx, tail)?;
+                        if !d1 {
+                            self.b.jmp(lend);
+                        }
+                        self.b.bind(lelse);
+                        let d2 = self.emit_inner(f, ctx, tail)?;
+                        self.b.bind(lend);
+                        Ok(d1 && d2)
+                    }
+                    None => {
+                        let lend = self.b.new_label();
+                        self.b.jmp_if_not(lend);
+                        self.emit_inner(then, ctx, tail)?;
+                        self.b.bind(lend);
+                        Ok(false)
+                    }
+                }
+            }
+            HExpr::Seq(stmts) => {
+                for (i, s) in stmts.iter().enumerate() {
+                    let is_last = i + 1 == stmts.len();
+                    let d = self.emit_inner(s, ctx, tail && is_last)?;
+                    if d {
+                        return Ok(true); // rest is unreachable
+                    }
+                }
+                Ok(false)
+            }
+            HExpr::Discard(x) => {
+                let d = self.emit(x, ctx)?;
+                if !d {
+                    self.b.pop();
+                }
+                Ok(d)
+            }
+            HExpr::Call { func, args } => {
+                // Tail self-call → loop (the paper's §3.4.4 optimization).
+                if tail {
+                    if let Some(c) = ctx {
+                        if c.id == *func {
+                            debug_assert_eq!(args.len(), c.arity as usize);
+                            for a in args {
+                                self.emit(a, ctx)?;
+                            }
+                            for slot in (0..args.len()).rev() {
+                                self.b.store_local(slot as u8);
+                            }
+                            self.b.jmp(c.entry);
+                            return Ok(true);
+                        }
+                    }
+                }
+                for a in args {
+                    self.emit(a, ctx)?;
+                }
+                self.b.call(*func);
+                Ok(false)
+            }
+            HExpr::CallBuiltin { builtin, args } => {
+                for a in args {
+                    self.emit(a, ctx)?;
+                }
+                match builtin {
+                    Builtin::Rand => {
+                        self.b.rand();
+                        Ok(false)
+                    }
+                    Builtin::RandRange => {
+                        self.b.rand_range();
+                        Ok(false)
+                    }
+                    Builtin::Now => {
+                        self.b.now();
+                        Ok(false)
+                    }
+                    Builtin::Hash => {
+                        self.b.hash();
+                        Ok(false)
+                    }
+                    Builtin::SetQueue => {
+                        self.b.set_queue();
+                        Ok(false)
+                    }
+                    Builtin::Drop => {
+                        self.b.drop_packet();
+                        Ok(true)
+                    }
+                    Builtin::ToController => {
+                        self.b.to_controller();
+                        Ok(true)
+                    }
+                    Builtin::GotoTable => {
+                        self.b.goto_table();
+                        Ok(true)
+                    }
+                }
+            }
+        }
+    }
+
+    fn emit_bin(
+        &mut self,
+        op: BinOp,
+        lhs: &HExpr,
+        rhs: &HExpr,
+        ctx: Option<FnCtx>,
+    ) -> Result<bool, CompileError> {
+        match op {
+            BinOp::And => {
+                let lfalse = self.b.new_label();
+                let lend = self.b.new_label();
+                self.emit(lhs, ctx)?;
+                self.b.jmp_if_not(lfalse);
+                self.emit(rhs, ctx)?;
+                self.b.jmp_if_not(lfalse);
+                self.b.push(1).jmp(lend);
+                self.b.bind(lfalse);
+                self.b.push(0);
+                self.b.bind(lend);
+                Ok(false)
+            }
+            BinOp::Or => {
+                let ltrue = self.b.new_label();
+                let lend = self.b.new_label();
+                self.emit(lhs, ctx)?;
+                self.b.jmp_if(ltrue);
+                self.emit(rhs, ctx)?;
+                self.b.jmp_if(ltrue);
+                self.b.push(0).jmp(lend);
+                self.b.bind(ltrue);
+                self.b.push(1);
+                self.b.bind(lend);
+                Ok(false)
+            }
+            _ => {
+                self.emit(lhs, ctx)?;
+                self.emit(rhs, ctx)?;
+                match op {
+                    BinOp::Add => self.b.add(),
+                    BinOp::Sub => self.b.sub(),
+                    BinOp::Mul => self.b.mul(),
+                    BinOp::Div => self.b.div(),
+                    BinOp::Rem => self.b.rem(),
+                    BinOp::Eq => self.b.eq(),
+                    BinOp::Ne => self.b.ne(),
+                    BinOp::Lt => self.b.lt(),
+                    BinOp::Le => self.b.le(),
+                    BinOp::Gt => self.b.gt(),
+                    BinOp::Ge => self.b.ge(),
+                    BinOp::And | BinOp::Or => unreachable!("handled above"),
+                };
+                Ok(false)
+            }
+        }
+    }
+
+    /// Turn an element index on the stack into a slot index.
+    fn scale_index(&mut self, stride: u8, offset: u8) {
+        if stride > 1 {
+            self.b.push(stride as i64).mul();
+        }
+        if offset > 0 {
+            self.b.push(offset as i64).add();
+        }
+    }
+}

@@ -1,0 +1,86 @@
+//! Compilation diagnostics.
+
+use std::fmt;
+
+use crate::token::Span;
+
+/// What went wrong, by pipeline phase.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ErrorKind {
+    /// Lexical error.
+    Lex(String),
+    /// Syntax error.
+    Parse(String),
+    /// Type or scope error (includes access-control violations — the static
+    /// half of the paper's read-only enforcement).
+    Type(String),
+    /// Code-generation constraint (e.g. too many locals for the VM's 8-bit
+    /// slot operands).
+    Codegen(String),
+}
+
+/// A compile error with its source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompileError {
+    pub kind: ErrorKind,
+    pub span: Span,
+}
+
+impl CompileError {
+    pub(crate) fn new(kind: ErrorKind, span: Span) -> Self {
+        CompileError { kind, span }
+    }
+
+    /// Render the error with the offending source line and a caret marker:
+    ///
+    /// ```text
+    /// 3:17: type error: packet field 'Size' is read-only
+    ///     msg.Size <- packet.Size
+    ///                 ^^^^
+    /// ```
+    pub fn render(&self, source: &str) -> String {
+        let mut out = format!("{self}");
+        if let Some(line) = source.lines().nth(self.span.line.saturating_sub(1) as usize) {
+            out.push_str(&format!("\n    {line}\n    "));
+            for _ in 1..self.span.col {
+                out.push(' ');
+            }
+            for _ in 0..self.span.len.max(1) {
+                out.push('^');
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let (phase, msg) = match &self.kind {
+            ErrorKind::Lex(m) => ("lex error", m),
+            ErrorKind::Parse(m) => ("parse error", m),
+            ErrorKind::Type(m) => ("type error", m),
+            ErrorKind::Codegen(m) => ("codegen error", m),
+        };
+        write!(f, "{}: {phase}: {msg}", self.span)
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_shows_caret_under_offender() {
+        let src = "let x = 1\nlet y = $";
+        let err = CompileError::new(
+            ErrorKind::Lex("unexpected character '$'".into()),
+            Span::new(2, 9, 1),
+        );
+        let rendered = err.render(src);
+        assert!(rendered.contains("2:9"));
+        assert!(rendered.contains("let y = $"));
+        assert!(rendered.ends_with("        ^"));
+    }
+}

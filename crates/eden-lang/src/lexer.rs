@@ -1,0 +1,392 @@
+//! Hand-rolled lexer.
+//!
+//! `//` line comments are supported (the paper's listings use them).
+//! Consecutive newlines collapse to one `Newline` token; a trailing
+//! `Newline` before `Eof` is always emitted so the parser can treat
+//! end-of-block uniformly.
+
+use crate::error::{CompileError, ErrorKind};
+use crate::token::{Span, Tok, Token};
+
+/// Tokenize `source`.
+pub fn lex(source: &str) -> Result<Vec<Token>, CompileError> {
+    let mut tokens = Vec::new();
+    let mut chars = source.chars().peekable();
+    let mut line: u32 = 1;
+    let mut col: u32 = 1;
+
+    macro_rules! tok {
+        ($t:expr, $len:expr) => {
+            tokens.push(Token {
+                tok: $t,
+                span: Span::new(line, col, $len),
+            })
+        };
+    }
+
+    while let Some(&c) = chars.peek() {
+        match c {
+            ' ' | '\t' | '\r' => {
+                chars.next();
+                col += 1;
+            }
+            '\n' => {
+                chars.next();
+                if !matches!(tokens.last().map(|t: &Token| &t.tok), Some(Tok::Newline) | None) {
+                    tok!(Tok::Newline, 1);
+                }
+                line += 1;
+                col = 1;
+            }
+            '/' => {
+                chars.next();
+                if chars.peek() == Some(&'/') {
+                    // comment to end of line
+                    while let Some(&c2) = chars.peek() {
+                        if c2 == '\n' {
+                            break;
+                        }
+                        chars.next();
+                        col += 1;
+                    }
+                } else {
+                    tok!(Tok::Slash, 1);
+                    col += 1;
+                }
+            }
+            '0'..='9' => {
+                let start_col = col;
+                let mut value: i64 = 0;
+                let mut overflow = false;
+                let mut len = 0u32;
+                while let Some(&d) = chars.peek() {
+                    if let Some(dv) = d.to_digit(10) {
+                        let (v, o1) = value.overflowing_mul(10);
+                        let (v, o2) = v.overflowing_add(dv as i64);
+                        overflow |= o1 || o2;
+                        value = v;
+                        chars.next();
+                        col += 1;
+                        len += 1;
+                    } else if d == '_' {
+                        chars.next();
+                        col += 1;
+                        len += 1;
+                    } else {
+                        break;
+                    }
+                }
+                if overflow {
+                    return Err(CompileError::new(
+                        ErrorKind::Lex("integer literal overflows i64".into()),
+                        Span::new(line, start_col, len),
+                    ));
+                }
+                tokens.push(Token {
+                    tok: Tok::Int(value),
+                    span: Span::new(line, start_col, len),
+                });
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let start_col = col;
+                let mut name = String::new();
+                while let Some(&d) = chars.peek() {
+                    if d.is_alphanumeric() || d == '_' {
+                        name.push(d);
+                        chars.next();
+                        col += 1;
+                    } else {
+                        break;
+                    }
+                }
+                let len = name.chars().count() as u32;
+                let tok = match name.as_str() {
+                    "fun" => Tok::Fun,
+                    "let" => Tok::Let,
+                    "rec" => Tok::Rec,
+                    "mutable" => Tok::Mutable,
+                    "if" => Tok::If,
+                    "then" => Tok::Then,
+                    "elif" => Tok::Elif,
+                    "else" => Tok::Else,
+                    "true" => Tok::True,
+                    "false" => Tok::False,
+                    "not" => Tok::Not,
+                    _ => Tok::Ident(name),
+                };
+                tokens.push(Token {
+                    tok,
+                    span: Span::new(line, start_col, len),
+                });
+            }
+            '(' => {
+                chars.next();
+                tok!(Tok::LParen, 1);
+                col += 1;
+            }
+            ')' => {
+                chars.next();
+                tok!(Tok::RParen, 1);
+                col += 1;
+            }
+            ']' => {
+                chars.next();
+                tok!(Tok::RBracket, 1);
+                col += 1;
+            }
+            '.' => {
+                chars.next();
+                if chars.peek() == Some(&'[') {
+                    chars.next();
+                    tok!(Tok::DotBracket, 2);
+                    col += 2;
+                } else {
+                    tok!(Tok::Dot, 1);
+                    col += 1;
+                }
+            }
+            ',' => {
+                chars.next();
+                tok!(Tok::Comma, 1);
+                col += 1;
+            }
+            ':' => {
+                chars.next();
+                tok!(Tok::Colon, 1);
+                col += 1;
+            }
+            ';' => {
+                chars.next();
+                tok!(Tok::Semi, 1);
+                col += 1;
+            }
+            '+' => {
+                chars.next();
+                tok!(Tok::Plus, 1);
+                col += 1;
+            }
+            '-' => {
+                chars.next();
+                if chars.peek() == Some(&'>') {
+                    chars.next();
+                    tok!(Tok::Arrow, 2);
+                    col += 2;
+                } else {
+                    tok!(Tok::Minus, 1);
+                    col += 1;
+                }
+            }
+            '*' => {
+                chars.next();
+                tok!(Tok::Star, 1);
+                col += 1;
+            }
+            '%' => {
+                chars.next();
+                tok!(Tok::Percent, 1);
+                col += 1;
+            }
+            '=' => {
+                chars.next();
+                tok!(Tok::Eq, 1);
+                col += 1;
+            }
+            '<' => {
+                chars.next();
+                match chars.peek() {
+                    Some(&'-') => {
+                        chars.next();
+                        tok!(Tok::LeftArrow, 2);
+                        col += 2;
+                    }
+                    Some(&'=') => {
+                        chars.next();
+                        tok!(Tok::Le, 2);
+                        col += 2;
+                    }
+                    Some(&'>') => {
+                        chars.next();
+                        tok!(Tok::Ne, 2);
+                        col += 2;
+                    }
+                    _ => {
+                        tok!(Tok::Lt, 1);
+                        col += 1;
+                    }
+                }
+            }
+            '>' => {
+                chars.next();
+                if chars.peek() == Some(&'=') {
+                    chars.next();
+                    tok!(Tok::Ge, 2);
+                    col += 2;
+                } else {
+                    tok!(Tok::Gt, 1);
+                    col += 1;
+                }
+            }
+            '&' => {
+                chars.next();
+                if chars.peek() == Some(&'&') {
+                    chars.next();
+                    tok!(Tok::AndAnd, 2);
+                    col += 2;
+                } else {
+                    return Err(CompileError::new(
+                        ErrorKind::Lex("expected '&&'".into()),
+                        Span::new(line, col, 1),
+                    ));
+                }
+            }
+            '|' => {
+                chars.next();
+                if chars.peek() == Some(&'|') {
+                    chars.next();
+                    tok!(Tok::OrOr, 2);
+                    col += 2;
+                } else {
+                    return Err(CompileError::new(
+                        ErrorKind::Lex("expected '||'".into()),
+                        Span::new(line, col, 1),
+                    ));
+                }
+            }
+            other => {
+                return Err(CompileError::new(
+                    ErrorKind::Lex(format!("unexpected character '{other}'")),
+                    Span::new(line, col, 1),
+                ));
+            }
+        }
+    }
+
+    if !matches!(tokens.last().map(|t| &t.tok), Some(Tok::Newline)) {
+        tokens.push(Token {
+            tok: Tok::Newline,
+            span: Span::new(line, col, 0),
+        });
+    }
+    tokens.push(Token {
+        tok: Tok::Eof,
+        span: Span::new(line, col, 0),
+    });
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|t| t.tok).collect()
+    }
+
+    #[test]
+    fn basic_tokens() {
+        assert_eq!(
+            kinds("let x = 1 + 2"),
+            vec![
+                Tok::Let,
+                Tok::Ident("x".into()),
+                Tok::Eq,
+                Tok::Int(1),
+                Tok::Plus,
+                Tok::Int(2),
+                Tok::Newline,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn arrows_and_comparisons() {
+        assert_eq!(
+            kinds("-> <- <= >= <> < >"),
+            vec![
+                Tok::Arrow,
+                Tok::LeftArrow,
+                Tok::Le,
+                Tok::Ge,
+                Tok::Ne,
+                Tok::Lt,
+                Tok::Gt,
+                Tok::Newline,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn dot_bracket_indexing() {
+        assert_eq!(
+            kinds("xs.[i].Field"),
+            vec![
+                Tok::Ident("xs".into()),
+                Tok::DotBracket,
+                Tok::Ident("i".into()),
+                Tok::RBracket,
+                Tok::Dot,
+                Tok::Ident("Field".into()),
+                Tok::Newline,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        assert_eq!(
+            kinds("1 // the answer\n2"),
+            vec![Tok::Int(1), Tok::Newline, Tok::Int(2), Tok::Newline, Tok::Eof]
+        );
+    }
+
+    #[test]
+    fn newlines_collapse() {
+        assert_eq!(
+            kinds("1\n\n\n2"),
+            vec![Tok::Int(1), Tok::Newline, Tok::Int(2), Tok::Newline, Tok::Eof]
+        );
+    }
+
+    #[test]
+    fn underscore_identifiers_and_numeric_separator() {
+        assert_eq!(
+            kinds("_global 10_000"),
+            vec![
+                Tok::Ident("_global".into()),
+                Tok::Int(10_000),
+                Tok::Newline,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn spans_track_lines_and_columns() {
+        let toks = lex("let x\n  = 5").unwrap();
+        assert_eq!(toks[0].span.line, 1);
+        assert_eq!(toks[0].span.col, 1);
+        let eq = toks.iter().find(|t| t.tok == Tok::Eq).unwrap();
+        assert_eq!(eq.span.line, 2);
+        assert_eq!(eq.span.col, 3);
+    }
+
+    #[test]
+    fn lex_errors_have_positions() {
+        let err = lex("let $ = 1").unwrap_err();
+        assert_eq!(err.span.line, 1);
+        assert_eq!(err.span.col, 5);
+    }
+
+    #[test]
+    fn integer_overflow_rejected() {
+        assert!(lex("99999999999999999999999").is_err());
+    }
+
+    #[test]
+    fn single_ampersand_rejected() {
+        assert!(lex("a & b").is_err());
+    }
+}

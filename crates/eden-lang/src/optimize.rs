@@ -1,0 +1,301 @@
+//! HIR optimizations, applied between type checking and code generation.
+//!
+//! The paper notes its compiler performs "a number of optimizations such as
+//! recognizing tail recursion and compiling it as a loop" (§3.4.4). Tail
+//! calls are handled in codegen; this pass adds the classical
+//! cycle-shavers that matter for a per-packet interpreter:
+//!
+//! * **constant folding** — `10 * 1024` in a threshold expression becomes
+//!   one `Push`, not three dispatches per packet;
+//! * **algebraic identities** — `x + 0`, `x * 1`, `x * 0` (the latter only
+//!   when `x` is effect-free);
+//! * **branch elimination** — `if 1 then a else b` drops the untaken arm,
+//!   and constant `&&`/`||` operands short-circuit at compile time;
+//! * **dead-sequence pruning** — effect-free discarded values disappear.
+//!
+//! Semantics are preserved exactly: division/remainder by a constant zero
+//! is *not* folded (the runtime trap is the defined behaviour), and nothing
+//! with side effects (state writes, builtins) is ever removed.
+
+use crate::ast::BinOp;
+use crate::typeck::HExpr;
+
+/// Fold `e` recursively.
+pub fn fold(e: HExpr) -> HExpr {
+    match e {
+        HExpr::Bin { op, lhs, rhs } => fold_bin(op, fold(*lhs), fold(*rhs)),
+        HExpr::Neg(x) => match fold(*x) {
+            HExpr::Int(v) => HExpr::Int(v.wrapping_neg()),
+            other => HExpr::Neg(Box::new(other)),
+        },
+        HExpr::Not(x) => match fold(*x) {
+            HExpr::Int(v) => HExpr::Int(i64::from(v == 0)),
+            other => HExpr::Not(Box::new(other)),
+        },
+        HExpr::If {
+            cond,
+            then,
+            els,
+            has_value,
+        } => {
+            let cond = fold(*cond);
+            let then = fold(*then);
+            let els = els.map(|f| Box::new(fold(*f)));
+            match cond {
+                HExpr::Int(0) => match els {
+                    Some(f) => *f,
+                    None => HExpr::Seq(vec![]),
+                },
+                HExpr::Int(_) => then,
+                cond => HExpr::If {
+                    cond: Box::new(cond),
+                    then: Box::new(then),
+                    els,
+                    has_value,
+                },
+            }
+        }
+        HExpr::Seq(stmts) => {
+            let mut out = Vec::with_capacity(stmts.len());
+            let n = stmts.len();
+            for (i, s) in stmts.into_iter().enumerate() {
+                let folded = fold(s);
+                let is_last = i + 1 == n;
+                // drop effect-free non-final statements (incl. empty Seqs
+                // left by eliminated branches)
+                if !is_last && is_effect_free(&folded) {
+                    continue;
+                }
+                out.push(folded);
+            }
+            if out.len() == 1 {
+                out.pop().expect("len checked")
+            } else {
+                HExpr::Seq(out)
+            }
+        }
+        HExpr::Discard(x) => {
+            let x = fold(*x);
+            if is_effect_free(&x) {
+                HExpr::Seq(vec![])
+            } else {
+                HExpr::Discard(Box::new(x))
+            }
+        }
+        HExpr::StoreLocal(s, v) => HExpr::StoreLocal(s, Box::new(fold(*v))),
+        HExpr::StoreField(sc, s, v) => HExpr::StoreField(sc, s, Box::new(fold(*v))),
+        HExpr::StoreArr {
+            id,
+            stride,
+            offset,
+            index,
+            value,
+        } => HExpr::StoreArr {
+            id,
+            stride,
+            offset,
+            index: Box::new(fold(*index)),
+            value: Box::new(fold(*value)),
+        },
+        HExpr::LoadArr {
+            id,
+            stride,
+            offset,
+            index,
+        } => HExpr::LoadArr {
+            id,
+            stride,
+            offset,
+            index: Box::new(fold(*index)),
+        },
+        HExpr::Call { func, args } => HExpr::Call {
+            func,
+            args: args.into_iter().map(fold).collect(),
+        },
+        HExpr::CallBuiltin { builtin, args } => HExpr::CallBuiltin {
+            builtin,
+            args: args.into_iter().map(fold).collect(),
+        },
+        leaf @ (HExpr::Int(_)
+        | HExpr::Local(_)
+        | HExpr::LoadField(..)
+        | HExpr::ArrLen { .. }) => leaf,
+    }
+}
+
+fn fold_bin(op: BinOp, lhs: HExpr, rhs: HExpr) -> HExpr {
+    use BinOp::*;
+    // constant ⊕ constant
+    if let (HExpr::Int(a), HExpr::Int(b)) = (&lhs, &rhs) {
+        let (a, b) = (*a, *b);
+        let v = match op {
+            Add => Some(a.wrapping_add(b)),
+            Sub => Some(a.wrapping_sub(b)),
+            Mul => Some(a.wrapping_mul(b)),
+            // preserve the runtime trap for /0 and %0
+            Div if b != 0 => Some(a.wrapping_div(b)),
+            Rem if b != 0 => Some(a.wrapping_rem(b)),
+            Eq => Some(i64::from(a == b)),
+            Ne => Some(i64::from(a != b)),
+            Lt => Some(i64::from(a < b)),
+            Le => Some(i64::from(a <= b)),
+            Gt => Some(i64::from(a > b)),
+            Ge => Some(i64::from(a >= b)),
+            And => Some(i64::from(a != 0 && b != 0)),
+            Or => Some(i64::from(a != 0 || b != 0)),
+            _ => None,
+        };
+        if let Some(v) = v {
+            return HExpr::Int(v);
+        }
+    }
+    // algebraic identities (only when dropping a side is effect-free)
+    match (op, &lhs, &rhs) {
+        (Add, HExpr::Int(0), _) => return rhs,
+        (Add | Sub, _, HExpr::Int(0)) => return lhs,
+        (Mul, HExpr::Int(1), _) => return rhs,
+        (Mul, _, HExpr::Int(1)) | (Div, _, HExpr::Int(1)) => return lhs,
+        (Mul, HExpr::Int(0), r) if is_effect_free(r) => return HExpr::Int(0),
+        (Mul, l, HExpr::Int(0)) if is_effect_free(l) => return HExpr::Int(0),
+        // short-circuit with a constant left operand
+        (And, HExpr::Int(0), _) => return HExpr::Int(0),
+        (And, HExpr::Int(_), r) if !matches!(r, HExpr::Int(_)) => {
+            return normalize_bool(rhs);
+        }
+        (Or, HExpr::Int(l), _) if *l != 0 => return HExpr::Int(1),
+        (Or, HExpr::Int(0), r) if !matches!(r, HExpr::Int(_)) => {
+            return normalize_bool(rhs);
+        }
+        _ => {}
+    }
+    HExpr::Bin {
+        op,
+        lhs: Box::new(lhs),
+        rhs: Box::new(rhs),
+    }
+}
+
+/// `x && true`-style results must still be 0/1.
+fn normalize_bool(e: HExpr) -> HExpr {
+    HExpr::Bin {
+        op: BinOp::Ne,
+        lhs: Box::new(e),
+        rhs: Box::new(HExpr::Int(0)),
+    }
+}
+
+/// Whether evaluating `e` has no observable effect (no state writes, no
+/// builtins — `rand()` counts as an effect because it advances the RNG).
+fn is_effect_free(e: &HExpr) -> bool {
+    match e {
+        HExpr::Int(_) | HExpr::Local(_) | HExpr::LoadField(..) | HExpr::ArrLen { .. } => true,
+        // array loads can trap on a bad index → keep them
+        HExpr::LoadArr { .. } => false,
+        HExpr::Bin { op, lhs, rhs } => {
+            // division can trap
+            !matches!(op, BinOp::Div | BinOp::Rem)
+                && is_effect_free(lhs)
+                && is_effect_free(rhs)
+        }
+        HExpr::Neg(x) | HExpr::Not(x) => is_effect_free(x),
+        HExpr::Seq(stmts) => stmts.iter().all(is_effect_free),
+        HExpr::If { cond, then, els, .. } => {
+            is_effect_free(cond)
+                && is_effect_free(then)
+                && els.as_deref().is_none_or(is_effect_free)
+        }
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Scope;
+
+    fn int(v: i64) -> HExpr {
+        HExpr::Int(v)
+    }
+
+    fn bin(op: BinOp, l: HExpr, r: HExpr) -> HExpr {
+        HExpr::Bin {
+            op,
+            lhs: Box::new(l),
+            rhs: Box::new(r),
+        }
+    }
+
+    #[test]
+    fn folds_arithmetic() {
+        assert_eq!(fold(bin(BinOp::Mul, int(10), int(1024))), int(10240));
+        assert_eq!(
+            fold(bin(BinOp::Add, bin(BinOp::Mul, int(2), int(3)), int(4))),
+            int(10)
+        );
+    }
+
+    #[test]
+    fn preserves_division_by_zero_trap() {
+        let e = fold(bin(BinOp::Div, int(1), int(0)));
+        assert!(matches!(e, HExpr::Bin { op: BinOp::Div, .. }));
+    }
+
+    #[test]
+    fn identities() {
+        let x = HExpr::LoadField(Scope::Packet, 0);
+        assert_eq!(fold(bin(BinOp::Add, x.clone(), int(0))), x);
+        assert_eq!(fold(bin(BinOp::Mul, int(1), x.clone())), x);
+        assert_eq!(fold(bin(BinOp::Mul, x.clone(), int(0))), int(0));
+    }
+
+    #[test]
+    fn zero_mul_keeps_effects() {
+        // rand() * 0 must NOT fold away the rand() (RNG stream position!)
+        let e = fold(bin(
+            BinOp::Mul,
+            HExpr::CallBuiltin {
+                builtin: crate::typeck::Builtin::Rand,
+                args: vec![],
+            },
+            int(0),
+        ));
+        assert!(matches!(e, HExpr::Bin { .. }));
+    }
+
+    #[test]
+    fn dead_branches_eliminated() {
+        let e = fold(HExpr::If {
+            cond: Box::new(int(1)),
+            then: Box::new(int(42)),
+            els: Some(Box::new(int(7))),
+            has_value: true,
+        });
+        assert_eq!(e, int(42));
+        let e = fold(HExpr::If {
+            cond: Box::new(int(0)),
+            then: Box::new(int(42)),
+            els: Some(Box::new(int(7))),
+            has_value: true,
+        });
+        assert_eq!(e, int(7));
+    }
+
+    #[test]
+    fn constant_logic_short_circuits() {
+        assert_eq!(fold(bin(BinOp::And, int(0), int(1))), int(0));
+        assert_eq!(fold(bin(BinOp::Or, int(5), int(0))), int(1));
+        // true && x → x != 0
+        let x = HExpr::LoadField(Scope::Packet, 0);
+        let e = fold(bin(BinOp::And, int(1), x));
+        assert!(matches!(e, HExpr::Bin { op: BinOp::Ne, .. }));
+    }
+
+    #[test]
+    fn discarded_pure_values_vanish() {
+        let e = fold(HExpr::Discard(Box::new(bin(BinOp::Add, int(1), int(2)))));
+        assert_eq!(e, HExpr::Seq(vec![]));
+        // but discarded stores stay (they're not wrapped in Discard anyway)
+        let store = HExpr::StoreLocal(0, Box::new(int(5)));
+        assert_eq!(fold(store.clone()), store);
+    }
+}

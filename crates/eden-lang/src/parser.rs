@@ -1,0 +1,848 @@
+//! Recursive-descent parser.
+//!
+//! F# resolves statement boundaries with indentation; we approximate its
+//! look with a newline-aware grammar instead:
+//!
+//! * a newline *separates statements* wherever an expression is complete;
+//! * newlines are skipped wherever the grammar knows more input must follow
+//!   (after `=`, `<-`, `then`, `else`, a binary operator, inside `(` … `)`
+//!   argument lists);
+//! * `;` is always accepted as an explicit separator.
+//!
+//! Two entry contexts keep assignment right-hand sides sane:
+//! *value* expressions (`let` initializers, `<-` right-hand sides, `if`
+//! arms) never absorb following statements, while *block* expressions
+//! (function bodies, parenthesized groups) are statement sequences.
+
+use crate::ast::{builtin_arity, BinOp, Expr, ExprKind, Function, LValue};
+use crate::error::{CompileError, ErrorKind};
+use crate::token::{Span, Tok, Token};
+
+/// Parse a full action function from its token stream.
+pub fn parse(tokens: &[Token]) -> Result<Function, CompileError> {
+    let mut p = Parser { tokens, pos: 0 };
+    p.function()
+}
+
+struct Parser<'a> {
+    tokens: &'a [Token],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> &Tok {
+        &self.tokens[self.pos].tok
+    }
+
+    fn span(&self) -> Span {
+        self.tokens[self.pos].span
+    }
+
+    fn prev_span(&self) -> Span {
+        self.tokens[self.pos.saturating_sub(1)].span
+    }
+
+    fn bump(&mut self) -> &Tok {
+        let t = &self.tokens[self.pos].tok;
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat(&mut self, tok: &Tok) -> bool {
+        if self.peek() == tok {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, tok: Tok) -> Result<(), CompileError> {
+        if self.peek() == &tok {
+            self.bump();
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {tok}, found {}", self.peek())))
+        }
+    }
+
+    fn err(&self, msg: String) -> CompileError {
+        CompileError::new(ErrorKind::Parse(msg), self.span())
+    }
+
+    fn skip_newlines(&mut self) {
+        while matches!(self.peek(), Tok::Newline) {
+            self.bump();
+        }
+    }
+
+    /// Consume one or more statement separators (newline or `;`).
+    fn separators(&mut self) -> bool {
+        let mut any = false;
+        while matches!(self.peek(), Tok::Newline | Tok::Semi) {
+            self.bump();
+            any = true;
+        }
+        any
+    }
+
+    fn ident(&mut self) -> Result<String, CompileError> {
+        match self.peek().clone() {
+            Tok::Ident(name) => {
+                self.bump();
+                Ok(name)
+            }
+            other => Err(self.err(format!("expected identifier, found {other}"))),
+        }
+    }
+
+    // ----- entry ----------------------------------------------------------
+
+    fn function(&mut self) -> Result<Function, CompileError> {
+        self.skip_newlines();
+        self.expect(Tok::Fun)?;
+        self.expect(Tok::LParen)?;
+        let mut params = Vec::new();
+        loop {
+            self.skip_newlines();
+            params.push(self.ident()?);
+            // optional `: TypeName` annotation — accepted and ignored; the
+            // parameter's position (packet, msg, global) fixes its scope.
+            if self.eat(&Tok::Colon) {
+                self.ident()?;
+            }
+            self.skip_newlines();
+            if !self.eat(&Tok::Comma) {
+                break;
+            }
+        }
+        self.expect(Tok::RParen)?;
+        self.skip_newlines();
+        self.expect(Tok::Arrow)?;
+        self.skip_newlines();
+        if params.len() != 3 {
+            return Err(CompileError::new(
+                ErrorKind::Parse(format!(
+                    "action functions take exactly 3 parameters (packet, msg, global), found {}",
+                    params.len()
+                )),
+                self.prev_span(),
+            ));
+        }
+        let body = self.expr_block()?;
+        self.skip_newlines();
+        if self.peek() != &Tok::Eof {
+            return Err(self.err(format!("expected end of input, found {}", self.peek())));
+        }
+        Ok(Function { params, body })
+    }
+
+    // ----- blocks & sequences ---------------------------------------------
+
+    /// Can `tok` begin a statement? Used to decide whether a newline ends
+    /// the sequence or merely separates statements.
+    fn starts_statement(tok: &Tok) -> bool {
+        matches!(
+            tok,
+            Tok::Int(_)
+                | Tok::Ident(_)
+                | Tok::True
+                | Tok::False
+                | Tok::Not
+                | Tok::Minus
+                | Tok::LParen
+                | Tok::If
+                | Tok::Let
+        )
+    }
+
+    /// Block context: `let`-chains and statement sequences.
+    fn expr_block(&mut self) -> Result<Expr, CompileError> {
+        let start = self.span();
+        if self.peek() == &Tok::Let {
+            return self.let_expr(/*block=*/ true);
+        }
+        let first = self.statement()?;
+        let mut stmts = vec![first];
+        loop {
+            let checkpoint = self.pos;
+            if !self.separators() {
+                break;
+            }
+            if self.peek() == &Tok::Let {
+                // `let` mid-sequence: the binding scopes over the rest of
+                // the block, which becomes the sequence's final value.
+                let tail = self.let_expr(true)?;
+                stmts.push(tail);
+                break;
+            }
+            if !Self::starts_statement(self.peek()) {
+                self.pos = checkpoint; // leave separators for the caller
+                break;
+            }
+            stmts.push(self.statement()?);
+        }
+        if stmts.len() == 1 {
+            Ok(stmts.pop().expect("len checked"))
+        } else {
+            Ok(Expr::new(ExprKind::Seq(stmts), start))
+        }
+    }
+
+    /// `let [mutable] x = value …` or `let rec f a b = body …`.
+    /// `block` selects the continuation context.
+    fn let_expr(&mut self, block: bool) -> Result<Expr, CompileError> {
+        let start = self.span();
+        self.expect(Tok::Let)?;
+        if self.eat(&Tok::Rec) {
+            let name = self.ident()?;
+            let mut params = Vec::new();
+            while matches!(self.peek(), Tok::Ident(_)) {
+                params.push(self.ident()?);
+            }
+            if params.is_empty() {
+                return Err(self.err("'let rec' function needs at least one parameter".into()));
+            }
+            self.expect(Tok::Eq)?;
+            self.skip_newlines();
+            let fn_body = self.expr_value()?;
+            if !self.separators() {
+                return Err(self.err("expected newline or ';' after 'let rec' body".into()));
+            }
+            let body = if block {
+                self.expr_block()?
+            } else {
+                self.expr_value()?
+            };
+            Ok(Expr::new(
+                ExprKind::LetRec {
+                    name,
+                    params,
+                    fn_body: Box::new(fn_body),
+                    body: Box::new(body),
+                },
+                start,
+            ))
+        } else {
+            let mutable = self.eat(&Tok::Mutable);
+            let name = self.ident()?;
+            self.expect(Tok::Eq)?;
+            self.skip_newlines();
+            let value = self.expr_value()?;
+            if !self.separators() {
+                return Err(self.err("expected newline or ';' after 'let' binding".into()));
+            }
+            let body = if block {
+                self.expr_block()?
+            } else {
+                self.expr_value()?
+            };
+            Ok(Expr::new(
+                ExprKind::Let {
+                    name,
+                    mutable,
+                    value: Box::new(value),
+                    body: Box::new(body),
+                },
+                start,
+            ))
+        }
+    }
+
+    // ----- value expressions ----------------------------------------------
+
+    /// Value context: a single expression (possibly a `let`-chain), never a
+    /// statement sequence. Used for `let` initializers, `<-` right-hand
+    /// sides, `if` arms and conditions, call arguments.
+    fn expr_value(&mut self) -> Result<Expr, CompileError> {
+        if self.peek() == &Tok::Let {
+            return self.let_expr(/*block=*/ false);
+        }
+        self.statement()
+    }
+
+    /// assignment | or-expression
+    fn statement(&mut self) -> Result<Expr, CompileError> {
+        let start = self.span();
+        let lhs = self.or_expr()?;
+        if self.eat(&Tok::LeftArrow) {
+            self.skip_newlines();
+            let lvalue = Self::to_lvalue(&lhs)
+                .ok_or_else(|| CompileError::new(
+                    ErrorKind::Parse("invalid assignment target (expected a mutable local, 'param.Field', or 'array.[i]')".into()),
+                    lhs.span,
+                ))?;
+            let value = self.expr_value()?;
+            Ok(Expr::new(
+                ExprKind::Assign {
+                    lhs: lvalue,
+                    value: Box::new(value),
+                },
+                start,
+            ))
+        } else {
+            Ok(lhs)
+        }
+    }
+
+    fn to_lvalue(e: &Expr) -> Option<LValue> {
+        match &e.kind {
+            ExprKind::Var(name) => Some(LValue::Local(name.clone())),
+            ExprKind::Field { base, field } => Some(LValue::Field {
+                param: base.clone(),
+                field: field.clone(),
+            }),
+            ExprKind::Index {
+                array,
+                index,
+                field,
+            } => Some(LValue::ArrayElem {
+                array: array.clone(),
+                index: index.clone(),
+                field: field.clone(),
+            }),
+            _ => None,
+        }
+    }
+
+    fn or_expr(&mut self) -> Result<Expr, CompileError> {
+        let mut lhs = self.and_expr()?;
+        while self.peek() == &Tok::OrOr {
+            let span = self.span();
+            self.bump();
+            self.skip_newlines();
+            let rhs = self.and_expr()?;
+            lhs = Expr::new(
+                ExprKind::Bin {
+                    op: BinOp::Or,
+                    lhs: Box::new(lhs),
+                    rhs: Box::new(rhs),
+                },
+                span,
+            );
+        }
+        Ok(lhs)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr, CompileError> {
+        let mut lhs = self.cmp_expr()?;
+        while self.peek() == &Tok::AndAnd {
+            let span = self.span();
+            self.bump();
+            self.skip_newlines();
+            let rhs = self.cmp_expr()?;
+            lhs = Expr::new(
+                ExprKind::Bin {
+                    op: BinOp::And,
+                    lhs: Box::new(lhs),
+                    rhs: Box::new(rhs),
+                },
+                span,
+            );
+        }
+        Ok(lhs)
+    }
+
+    fn cmp_expr(&mut self) -> Result<Expr, CompileError> {
+        let lhs = self.add_expr()?;
+        let op = match self.peek() {
+            Tok::Eq => BinOp::Eq,
+            Tok::Ne => BinOp::Ne,
+            Tok::Lt => BinOp::Lt,
+            Tok::Le => BinOp::Le,
+            Tok::Gt => BinOp::Gt,
+            Tok::Ge => BinOp::Ge,
+            _ => return Ok(lhs),
+        };
+        let span = self.span();
+        self.bump();
+        self.skip_newlines();
+        let rhs = self.add_expr()?;
+        Ok(Expr::new(
+            ExprKind::Bin {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            },
+            span,
+        ))
+    }
+
+    fn add_expr(&mut self) -> Result<Expr, CompileError> {
+        let mut lhs = self.mul_expr()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Plus => BinOp::Add,
+                Tok::Minus => BinOp::Sub,
+                _ => break,
+            };
+            let span = self.span();
+            self.bump();
+            self.skip_newlines();
+            let rhs = self.mul_expr()?;
+            lhs = Expr::new(
+                ExprKind::Bin {
+                    op,
+                    lhs: Box::new(lhs),
+                    rhs: Box::new(rhs),
+                },
+                span,
+            );
+        }
+        Ok(lhs)
+    }
+
+    fn mul_expr(&mut self) -> Result<Expr, CompileError> {
+        let mut lhs = self.unary()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Star => BinOp::Mul,
+                Tok::Slash => BinOp::Div,
+                Tok::Percent => BinOp::Rem,
+                _ => break,
+            };
+            let span = self.span();
+            self.bump();
+            self.skip_newlines();
+            let rhs = self.unary()?;
+            lhs = Expr::new(
+                ExprKind::Bin {
+                    op,
+                    lhs: Box::new(lhs),
+                    rhs: Box::new(rhs),
+                },
+                span,
+            );
+        }
+        Ok(lhs)
+    }
+
+    fn unary(&mut self) -> Result<Expr, CompileError> {
+        let span = self.span();
+        if self.eat(&Tok::Minus) {
+            let e = self.unary()?;
+            Ok(Expr::new(ExprKind::Neg(Box::new(e)), span))
+        } else if self.eat(&Tok::Not) {
+            let e = self.unary()?;
+            Ok(Expr::new(ExprKind::Not(Box::new(e)), span))
+        } else {
+            self.postfix()
+        }
+    }
+
+    fn postfix(&mut self) -> Result<Expr, CompileError> {
+        let start = self.span();
+        let mut e = self.atom()?;
+        loop {
+            match self.peek() {
+                Tok::Dot => {
+                    self.bump();
+                    let field = self.ident()?;
+                    let base = match &e.kind {
+                        ExprKind::Var(name) => name.clone(),
+                        _ => {
+                            return Err(CompileError::new(
+                                ErrorKind::Parse(
+                                    "field access is only allowed on parameters and array aliases"
+                                        .into(),
+                                ),
+                                start,
+                            ))
+                        }
+                    };
+                    e = Expr::new(ExprKind::Field { base, field }, start);
+                }
+                Tok::DotBracket => {
+                    self.bump();
+                    self.skip_newlines();
+                    let index = self.expr_value()?;
+                    self.skip_newlines();
+                    self.expect(Tok::RBracket)?;
+                    let array = match &e.kind {
+                        ExprKind::Var(name) => name.clone(),
+                        _ => {
+                            return Err(CompileError::new(
+                                ErrorKind::Parse(
+                                    "indexing is only allowed on array aliases".into(),
+                                ),
+                                start,
+                            ))
+                        }
+                    };
+                    // optional struct-field selector after the index
+                    let field = if self.peek() == &Tok::Dot {
+                        self.bump();
+                        Some(self.ident()?)
+                    } else {
+                        None
+                    };
+                    e = Expr::new(
+                        ExprKind::Index {
+                            array,
+                            index: Box::new(index),
+                            field,
+                        },
+                        start,
+                    );
+                }
+                Tok::LParen => {
+                    let name = match &e.kind {
+                        ExprKind::Var(name) => name.clone(),
+                        _ => break, // `(expr)(…)` is not callable; leave for caller
+                    };
+                    self.bump();
+                    let mut args = Vec::new();
+                    self.skip_newlines();
+                    if self.peek() != &Tok::RParen {
+                        loop {
+                            args.push(self.expr_value()?);
+                            self.skip_newlines();
+                            if !self.eat(&Tok::Comma) {
+                                break;
+                            }
+                            self.skip_newlines();
+                        }
+                    }
+                    self.expect(Tok::RParen)?;
+                    if let Some(arity) = builtin_arity(&name) {
+                        if args.len() != arity {
+                            return Err(CompileError::new(
+                                ErrorKind::Parse(format!(
+                                    "builtin '{name}' takes {arity} argument(s), found {}",
+                                    args.len()
+                                )),
+                                start,
+                            ));
+                        }
+                    }
+                    e = Expr::new(ExprKind::Call { name, args }, start);
+                }
+                _ => break,
+            }
+        }
+        Ok(e)
+    }
+
+    fn atom(&mut self) -> Result<Expr, CompileError> {
+        let span = self.span();
+        match self.peek().clone() {
+            Tok::Int(v) => {
+                self.bump();
+                Ok(Expr::new(ExprKind::Int(v), span))
+            }
+            Tok::True => {
+                self.bump();
+                Ok(Expr::new(ExprKind::Int(1), span))
+            }
+            Tok::False => {
+                self.bump();
+                Ok(Expr::new(ExprKind::Int(0), span))
+            }
+            Tok::Ident(name) => {
+                self.bump();
+                Ok(Expr::new(ExprKind::Var(name), span))
+            }
+            Tok::LParen => {
+                self.bump();
+                self.skip_newlines();
+                let inner = self.expr_block()?;
+                self.skip_newlines();
+                self.expect(Tok::RParen)?;
+                Ok(inner)
+            }
+            Tok::If => self.if_expr(),
+            other => Err(self.err(format!("expected expression, found {other}"))),
+        }
+    }
+
+    fn if_expr(&mut self) -> Result<Expr, CompileError> {
+        let span = self.span();
+        self.expect(Tok::If)?;
+        self.skip_newlines();
+        let cond = self.expr_value()?;
+        self.skip_newlines();
+        self.expect(Tok::Then)?;
+        self.skip_newlines();
+        let then = self.expr_value()?;
+
+        // `elif`/`else` may sit on the next line; backtrack if absent so the
+        // newline still separates statements for the enclosing block.
+        let checkpoint = self.pos;
+        self.skip_newlines();
+        let els = if self.peek() == &Tok::Elif {
+            // rewrite `elif` to a nested `if` by reusing this routine
+            let nested_span = self.span();
+            self.bump();
+            self.skip_newlines();
+            let cond2 = self.expr_value()?;
+            self.skip_newlines();
+            self.expect(Tok::Then)?;
+            self.skip_newlines();
+            let then2 = self.expr_value()?;
+            let rest = self.elif_tail()?;
+            Some(Box::new(Expr::new(
+                ExprKind::If {
+                    cond: Box::new(cond2),
+                    then: Box::new(then2),
+                    els: rest,
+                },
+                nested_span,
+            )))
+        } else if self.peek() == &Tok::Else {
+            self.bump();
+            self.skip_newlines();
+            Some(Box::new(self.expr_value()?))
+        } else {
+            self.pos = checkpoint;
+            None
+        };
+        Ok(Expr::new(
+            ExprKind::If {
+                cond: Box::new(cond),
+                then: Box::new(then),
+                els,
+            },
+            span,
+        ))
+    }
+
+    /// Shared tail for `elif` chains.
+    fn elif_tail(&mut self) -> Result<Option<Box<Expr>>, CompileError> {
+        let checkpoint = self.pos;
+        self.skip_newlines();
+        if self.peek() == &Tok::Elif {
+            let span = self.span();
+            self.bump();
+            self.skip_newlines();
+            let cond = self.expr_value()?;
+            self.skip_newlines();
+            self.expect(Tok::Then)?;
+            self.skip_newlines();
+            let then = self.expr_value()?;
+            let rest = self.elif_tail()?;
+            Ok(Some(Box::new(Expr::new(
+                ExprKind::If {
+                    cond: Box::new(cond),
+                    then: Box::new(then),
+                    els: rest,
+                },
+                span,
+            ))))
+        } else if self.peek() == &Tok::Else {
+            self.bump();
+            self.skip_newlines();
+            Ok(Some(Box::new(self.expr_value()?)))
+        } else {
+            self.pos = checkpoint;
+            Ok(None)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn parse_src(src: &str) -> Result<Function, CompileError> {
+        parse(&lex(src)?)
+    }
+
+    fn body(src: &str) -> Expr {
+        parse_src(&format!("fun (p, m, g) ->\n{src}")).unwrap().body
+    }
+
+    #[test]
+    fn minimal_function() {
+        let f = parse_src("fun (packet: Packet, msg: Message, _global: Global) -> 0").unwrap();
+        assert_eq!(f.params, vec!["packet", "msg", "_global"]);
+        assert!(matches!(f.body.kind, ExprKind::Int(0)));
+    }
+
+    #[test]
+    fn wrong_param_count_rejected() {
+        assert!(parse_src("fun (a, b) -> 0").is_err());
+        assert!(parse_src("fun (a, b, c, d) -> 0").is_err());
+    }
+
+    #[test]
+    fn field_read_and_assignment() {
+        let e = body("p.Priority <- m.Size + 1");
+        match e.kind {
+            ExprKind::Assign { lhs, value } => {
+                assert_eq!(
+                    lhs,
+                    LValue::Field {
+                        param: "p".into(),
+                        field: "Priority".into()
+                    }
+                );
+                assert!(matches!(value.kind, ExprKind::Bin { op: BinOp::Add, .. }));
+            }
+            other => panic!("expected assignment, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn sequences_split_on_newlines() {
+        let e = body("m.Size <- 1\nm.Size <- 2\nm.Size <- 3");
+        match e.kind {
+            ExprKind::Seq(stmts) => assert_eq!(stmts.len(), 3),
+            other => panic!("expected sequence, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn let_chain_scopes_over_rest_of_block() {
+        let e = body("let x = 5\nm.Size <- x\nm.Size <- x");
+        match e.kind {
+            ExprKind::Let { name, body, .. } => {
+                assert_eq!(name, "x");
+                assert!(matches!(body.kind, ExprKind::Seq(_)));
+            }
+            other => panic!("expected let, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn assignment_rhs_does_not_swallow_next_statement() {
+        let e = body("p.Priority <- if 1 then 2 else 3\nm.Size <- 4");
+        match e.kind {
+            ExprKind::Seq(stmts) => {
+                assert_eq!(stmts.len(), 2);
+                assert!(matches!(stmts[0].kind, ExprKind::Assign { .. }));
+                assert!(matches!(stmts[1].kind, ExprKind::Assign { .. }));
+            }
+            other => panic!("expected 2-stmt sequence, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn elif_chains_nest() {
+        let e = body("if 1 then 10 elif 2 then 20 elif 3 then 30 else 40");
+        match e.kind {
+            ExprKind::If { els, .. } => {
+                let e1 = els.expect("has else");
+                match e1.kind {
+                    ExprKind::If { els, .. } => {
+                        let e2 = els.expect("has else");
+                        assert!(matches!(e2.kind, ExprKind::If { .. }));
+                    }
+                    other => panic!("expected nested if, got {other:?}"),
+                }
+            }
+            other => panic!("expected if, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn else_on_next_line() {
+        let e = body("if 1 then 10\nelse 20");
+        match e.kind {
+            ExprKind::If { els, .. } => assert!(els.is_some()),
+            other => panic!("expected if, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn if_without_else_does_not_eat_next_statement() {
+        let e = body("if 1 then m.Size <- 5\nm.Size <- 6");
+        match e.kind {
+            ExprKind::Seq(stmts) => {
+                assert_eq!(stmts.len(), 2);
+                match &stmts[0].kind {
+                    ExprKind::If { els, .. } => assert!(els.is_none()),
+                    other => panic!("expected if, got {other:?}"),
+                }
+            }
+            other => panic!("expected sequence, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parenthesized_sequences_in_if_arms() {
+        let e = body("if 1 then (m.Size <- 1; m.Size <- 2) else m.Size <- 3");
+        match e.kind {
+            ExprKind::If { then, .. } => {
+                assert!(matches!(then.kind, ExprKind::Seq(ref v) if v.len() == 2));
+            }
+            other => panic!("expected if, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn array_indexing_with_struct_field() {
+        let e = body("let ps = g.Priorities\nm.Size <- ps.[2].Limit");
+        match e.kind {
+            ExprKind::Let { body, .. } => match &body.kind {
+                ExprKind::Assign { value, .. } => match &value.kind {
+                    ExprKind::Index { array, field, .. } => {
+                        assert_eq!(array, "ps");
+                        assert_eq!(field.as_deref(), Some("Limit"));
+                    }
+                    other => panic!("expected index, got {other:?}"),
+                },
+                other => panic!("expected assign, got {other:?}"),
+            },
+            other => panic!("expected let, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn let_rec_with_params() {
+        let e = body("let rec f i acc = if i = 0 then acc else f (i - 1, acc + i)\nm.Size <- f (10, 0)");
+        match e.kind {
+            ExprKind::LetRec { name, params, .. } => {
+                assert_eq!(name, "f");
+                assert_eq!(params, vec!["i", "acc"]);
+            }
+            other => panic!("expected let rec, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn builtin_arity_checked_at_parse_time() {
+        let r = parse_src("fun (p, m, g) -> setQueue (1)");
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn multiline_rhs_after_left_arrow() {
+        let e = body("p.Priority <-\n    let d = m.Size\n    if d < 1 then d\n    else 0");
+        assert!(matches!(e.kind, ExprKind::Assign { .. }));
+    }
+
+    #[test]
+    fn figure7_parses() {
+        let src = r#"
+fun (packet: Packet, msg: Message, _global: Global) ->
+    let msg_size = msg.Size + packet.Size
+    msg.Size <- msg_size
+    let priorities = _global.Priorities
+    let rec search index =
+        if index >= priorities.Length then 0
+        elif msg_size <= priorities.[index].MessageSizeLimit then
+            priorities.[index].Priority
+        else search (index + 1)
+    packet.Priority <-
+        let desired = msg.Priority
+        if desired < 1 then desired
+        else search (0)
+"#;
+        let f = parse_src(src).unwrap();
+        assert_eq!(f.params[0], "packet");
+    }
+
+    #[test]
+    fn trailing_let_without_continuation_is_error() {
+        assert!(parse_src("fun (p, m, g) -> let x = 1").is_err());
+    }
+
+    #[test]
+    fn parse_errors_carry_spans() {
+        let err = parse_src("fun (p, m, g) ->\n    p.Priority <- +").unwrap_err();
+        assert_eq!(err.span.line, 2);
+    }
+}

@@ -1,0 +1,371 @@
+//! State schemas — the paper's type annotations (Figure 8).
+//!
+//! The programmer declares, per state variable: its **lifetime** (does it
+//! live with the packet, the message, or the function?), its **access
+//! permissions** (read-only or read-write for the action function), and —
+//! for packet fields — the **header mapping** onto a wire field. The
+//! compiler uses the schema to resolve `packet.X` / `msg.Y` / `_global.Z`
+//! to numbered slots, reject writes to read-only state, and derive the
+//! function's concurrency level (§3.4.4):
+//!
+//! * read-only message & global state → invocations may run **in parallel**;
+//! * writes to message state → **one packet per message** at a time;
+//! * writes to global state → **one invocation** at a time.
+//!
+//! Lifetime is implied by the scope a field is declared in — packet fields
+//! have `Granularity.Packet`, message fields `Granularity.Message`, global
+//! fields and arrays live as long as the function is installed.
+
+use std::fmt;
+
+/// The three state scopes, in parameter order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Scope {
+    /// First parameter — per-packet state, usually header-mapped.
+    Packet,
+    /// Second parameter — per-message state kept by the enclave runtime.
+    Message,
+    /// Third parameter — per-function global state.
+    Global,
+}
+
+impl fmt::Display for Scope {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Scope::Packet => write!(f, "packet"),
+            Scope::Message => write!(f, "message"),
+            Scope::Global => write!(f, "global"),
+        }
+    }
+}
+
+/// Access permission of a field, from the action function's point of view
+/// (the paper's `AccessControl(Entity.PacketProcessor, …)`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Access {
+    ReadOnly,
+    ReadWrite,
+}
+
+/// Wire fields a packet-scope variable can map onto (the paper's
+/// `HeaderMap("IPv4", "TotalLength")` etc.). The enclave binds these to real
+/// header bytes; `Meta*` fields address the Eden metadata that stages attach
+/// (message id/size/type, tenant, class), which travels with the packet
+/// through the host stack but not onto the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum HeaderField {
+    /// IPv4 `TotalLength`.
+    Ipv4TotalLength,
+    /// IPv4 source address (as u32).
+    Ipv4Src,
+    /// IPv4 destination address (as u32).
+    Ipv4Dst,
+    /// IPv4 `Protocol`.
+    Ipv4Protocol,
+    /// IPv4 DSCP bits.
+    Ipv4Dscp,
+    /// TCP/UDP source port.
+    SrcPort,
+    /// TCP/UDP destination port.
+    DstPort,
+    /// TCP sequence number.
+    TcpSeq,
+    /// 802.1Q Priority Code Point (3 bits) — the paper's priority channel.
+    Dot1qPcp,
+    /// 802.1Q VLAN id (12 bits) — the paper's source-routing label (§3.5).
+    Dot1qVid,
+    /// Stage metadata: unique message identifier.
+    MetaMsgId,
+    /// Stage metadata: message type tag (e.g. GET/PUT/READ/WRITE).
+    MetaMsgType,
+    /// Stage metadata: total message size in bytes.
+    MetaMsgSize,
+    /// Stage metadata: tenant id.
+    MetaTenant,
+    /// Stage metadata: application-supplied key hash.
+    MetaKeyHash,
+    /// 1 on the first packet of a message, else 0 ("packet belongs to a new
+    /// message" in the paper's pseudo-code).
+    MetaMsgStart,
+    /// 0 when the function runs on the egress path, 1 on ingress. Supplied
+    /// by the enclave runtime, not by packet bytes — lets one function (and
+    /// one flow-state block) handle both directions of a connection, which
+    /// is what connection tracking needs.
+    Direction,
+}
+
+/// A declared scalar field.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FieldDecl {
+    pub name: String,
+    pub scope: Scope,
+    pub access: Access,
+    /// Packet-scope fields may map onto a wire/metadata field.
+    pub header: Option<HeaderField>,
+    /// Slot index within the scope, assigned in declaration order.
+    pub slot: u8,
+}
+
+/// A declared global array of structs; elements are flattened row-major
+/// (`stride = fields.len()`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArrayDecl {
+    pub name: String,
+    /// Struct field names, in element order. A plain `i64` array has one
+    /// unnamed field — use `&[""]`.
+    pub fields: Vec<String>,
+    pub access: Access,
+    /// Array id, assigned in declaration order.
+    pub id: u8,
+}
+
+impl ArrayDecl {
+    /// i64 slots per element.
+    pub fn stride(&self) -> usize {
+        self.fields.len().max(1)
+    }
+
+    /// Offset of `field` within an element.
+    pub fn field_offset(&self, field: &str) -> Option<usize> {
+        self.fields.iter().position(|f| f == field)
+    }
+}
+
+/// Declared state layout for one action function.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Schema {
+    fields: Vec<FieldDecl>,
+    arrays: Vec<ArrayDecl>,
+}
+
+impl Schema {
+    /// Empty schema.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn push_field(
+        mut self,
+        name: &str,
+        scope: Scope,
+        access: Access,
+        header: Option<HeaderField>,
+    ) -> Self {
+        let slot = self.fields.iter().filter(|f| f.scope == scope).count();
+        assert!(slot <= u8::MAX as usize, "too many fields in scope {scope}");
+        assert!(
+            !self
+                .fields
+                .iter()
+                .any(|f| f.scope == scope && f.name == name),
+            "duplicate field '{name}' in scope {scope}"
+        );
+        self.fields.push(FieldDecl {
+            name: name.to_string(),
+            scope,
+            access,
+            header,
+            slot: slot as u8,
+        });
+        self
+    }
+
+    /// Declare a packet-scope field, optionally header-mapped.
+    pub fn packet_field(self, name: &str, access: Access, header: Option<HeaderField>) -> Self {
+        self.push_field(name, Scope::Packet, access, header)
+    }
+
+    /// Declare a per-message state field.
+    pub fn msg_field(self, name: &str, access: Access) -> Self {
+        self.push_field(name, Scope::Message, access, None)
+    }
+
+    /// Declare a global scalar field.
+    pub fn global_field(self, name: &str, access: Access) -> Self {
+        self.push_field(name, Scope::Global, access, None)
+    }
+
+    /// Declare a global array of structs with the given field names.
+    pub fn global_array(mut self, name: &str, fields: &[&str], access: Access) -> Self {
+        assert!(
+            !self.arrays.iter().any(|a| a.name == name),
+            "duplicate array '{name}'"
+        );
+        let id = self.arrays.len();
+        assert!(id <= u8::MAX as usize, "too many global arrays");
+        self.arrays.push(ArrayDecl {
+            name: name.to_string(),
+            fields: fields.iter().map(|s| s.to_string()).collect(),
+            access,
+            id: id as u8,
+        });
+        self
+    }
+
+    /// Look up a scalar field by scope and name.
+    pub fn field(&self, scope: Scope, name: &str) -> Option<&FieldDecl> {
+        self.fields.iter().find(|f| f.scope == scope && f.name == name)
+    }
+
+    /// Look up a global array by name.
+    pub fn array(&self, name: &str) -> Option<&ArrayDecl> {
+        self.arrays.iter().find(|a| a.name == name)
+    }
+
+    /// All declared fields.
+    pub fn fields(&self) -> &[FieldDecl] {
+        &self.fields
+    }
+
+    /// All declared arrays.
+    pub fn arrays(&self) -> &[ArrayDecl] {
+        &self.arrays
+    }
+
+    /// Number of slots in a scope (for sizing enclave state blocks).
+    pub fn scope_len(&self, scope: Scope) -> usize {
+        self.fields.iter().filter(|f| f.scope == scope).count()
+    }
+}
+
+/// Which state a compiled function actually reads and writes; the compiler
+/// derives it, the enclave uses it to schedule invocations and to know which
+/// header fields to materialize before running the program and write back
+/// after (§3.4.4 "determining its input dependencies").
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StateEffects {
+    /// Packet-scope slots read (slot, header mapping if any).
+    pub pkt_reads: Vec<u8>,
+    /// Packet-scope slots written.
+    pub pkt_writes: Vec<u8>,
+    /// Message-scope slots read.
+    pub msg_reads: Vec<u8>,
+    /// Message-scope slots written.
+    pub msg_writes: Vec<u8>,
+    /// Global slots read.
+    pub glob_reads: Vec<u8>,
+    /// Global slots written.
+    pub glob_writes: Vec<u8>,
+    /// Global arrays read.
+    pub arr_reads: Vec<u8>,
+    /// Global arrays written.
+    pub arr_writes: Vec<u8>,
+}
+
+impl StateEffects {
+    fn note(list: &mut Vec<u8>, v: u8) {
+        if !list.contains(&v) {
+            list.push(v);
+        }
+    }
+
+    pub(crate) fn read(&mut self, scope: Scope, slot: u8) {
+        match scope {
+            Scope::Packet => Self::note(&mut self.pkt_reads, slot),
+            Scope::Message => Self::note(&mut self.msg_reads, slot),
+            Scope::Global => Self::note(&mut self.glob_reads, slot),
+        }
+    }
+
+    pub(crate) fn write(&mut self, scope: Scope, slot: u8) {
+        match scope {
+            Scope::Packet => Self::note(&mut self.pkt_writes, slot),
+            Scope::Message => Self::note(&mut self.msg_writes, slot),
+            Scope::Global => Self::note(&mut self.glob_writes, slot),
+        }
+    }
+
+    pub(crate) fn read_array(&mut self, id: u8) {
+        Self::note(&mut self.arr_reads, id);
+    }
+
+    pub(crate) fn write_array(&mut self, id: u8) {
+        Self::note(&mut self.arr_writes, id);
+    }
+
+    /// Derive the paper's concurrency level from the write sets.
+    pub fn concurrency(&self) -> Concurrency {
+        if !self.glob_writes.is_empty() || !self.arr_writes.is_empty() {
+            Concurrency::Serialized
+        } else if !self.msg_writes.is_empty() {
+            Concurrency::PerMessage
+        } else {
+            Concurrency::Parallel
+        }
+    }
+}
+
+/// How many invocations of a function may run concurrently (§3.4.4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Concurrency {
+    /// Only packet state is written: any number of invocations in parallel.
+    Parallel,
+    /// Message state is written: at most one packet per message at a time.
+    PerMessage,
+    /// Global state is written: one invocation at a time.
+    Serialized,
+}
+
+impl fmt::Display for Concurrency {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Concurrency::Parallel => write!(f, "parallel"),
+            Concurrency::PerMessage => write!(f, "per-message"),
+            Concurrency::Serialized => write!(f, "serialized"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slots_assigned_per_scope_in_order() {
+        let s = Schema::new()
+            .packet_field("A", Access::ReadOnly, None)
+            .msg_field("B", Access::ReadWrite)
+            .packet_field("C", Access::ReadWrite, None);
+        assert_eq!(s.field(Scope::Packet, "A").unwrap().slot, 0);
+        assert_eq!(s.field(Scope::Packet, "C").unwrap().slot, 1);
+        assert_eq!(s.field(Scope::Message, "B").unwrap().slot, 0);
+        assert_eq!(s.scope_len(Scope::Packet), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate field")]
+    fn duplicate_field_panics() {
+        let _ = Schema::new()
+            .packet_field("A", Access::ReadOnly, None)
+            .packet_field("A", Access::ReadOnly, None);
+    }
+
+    #[test]
+    fn array_stride_and_offsets() {
+        let s = Schema::new().global_array("P", &["Limit", "Prio"], Access::ReadOnly);
+        let a = s.array("P").unwrap();
+        assert_eq!(a.stride(), 2);
+        assert_eq!(a.field_offset("Prio"), Some(1));
+        assert_eq!(a.field_offset("Nope"), None);
+    }
+
+    #[test]
+    fn concurrency_derivation() {
+        let mut e = StateEffects::default();
+        assert_eq!(e.concurrency(), Concurrency::Parallel);
+        e.write(Scope::Packet, 0);
+        assert_eq!(e.concurrency(), Concurrency::Parallel);
+        e.write(Scope::Message, 0);
+        assert_eq!(e.concurrency(), Concurrency::PerMessage);
+        e.write(Scope::Global, 0);
+        assert_eq!(e.concurrency(), Concurrency::Serialized);
+    }
+
+    #[test]
+    fn effects_deduplicate() {
+        let mut e = StateEffects::default();
+        e.read(Scope::Packet, 3);
+        e.read(Scope::Packet, 3);
+        assert_eq!(e.pkt_reads, vec![3]);
+    }
+}

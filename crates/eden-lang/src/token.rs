@@ -1,0 +1,136 @@
+//! Tokens and source positions.
+
+use std::fmt;
+
+/// A half-open byte/line/column region of the source, for diagnostics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Span {
+    /// 1-based line of the first character.
+    pub line: u32,
+    /// 1-based column of the first character.
+    pub col: u32,
+    /// Length in characters (for caret rendering; clamped to the line).
+    pub len: u32,
+}
+
+impl Span {
+    pub(crate) fn new(line: u32, col: u32, len: u32) -> Self {
+        Span { line, col, len }
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// Lexical token kinds.
+///
+/// Newlines are tokens: the parser uses them as soft statement separators
+/// (skipped wherever an expression is syntactically incomplete, e.g. right
+/// after `<-` or `then`), which is how we approximate F#'s layout rule
+/// without implementing indentation sensitivity.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    // literals & names
+    Int(i64),
+    Ident(String),
+
+    // keywords
+    Fun,
+    Let,
+    Rec,
+    Mutable,
+    If,
+    Then,
+    Elif,
+    Else,
+    True,
+    False,
+    Not,
+
+    // punctuation
+    LParen,
+    RParen,
+    /// `.[` — F# array indexing
+    DotBracket,
+    RBracket,
+    Dot,
+    Comma,
+    Colon,
+    Semi,
+    Newline,
+
+    // operators
+    Arrow,     // ->
+    LeftArrow, // <-
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Percent,
+    Eq,   // =
+    Ne,   // <>
+    Lt,   // <
+    Le,   // <=
+    Gt,   // >
+    Ge,   // >=
+    AndAnd,
+    OrOr,
+
+    Eof,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        use Tok::*;
+        match self {
+            Int(v) => write!(f, "integer {v}"),
+            Ident(s) => write!(f, "identifier '{s}'"),
+            Fun => write!(f, "'fun'"),
+            Let => write!(f, "'let'"),
+            Rec => write!(f, "'rec'"),
+            Mutable => write!(f, "'mutable'"),
+            If => write!(f, "'if'"),
+            Then => write!(f, "'then'"),
+            Elif => write!(f, "'elif'"),
+            Else => write!(f, "'else'"),
+            True => write!(f, "'true'"),
+            False => write!(f, "'false'"),
+            Not => write!(f, "'not'"),
+            LParen => write!(f, "'('"),
+            RParen => write!(f, "')'"),
+            DotBracket => write!(f, "'.['"),
+            RBracket => write!(f, "']'"),
+            Dot => write!(f, "'.'"),
+            Comma => write!(f, "','"),
+            Colon => write!(f, "':'"),
+            Semi => write!(f, "';'"),
+            Newline => write!(f, "end of line"),
+            Arrow => write!(f, "'->'"),
+            LeftArrow => write!(f, "'<-'"),
+            Plus => write!(f, "'+'"),
+            Minus => write!(f, "'-'"),
+            Star => write!(f, "'*'"),
+            Slash => write!(f, "'/'"),
+            Percent => write!(f, "'%'"),
+            Eq => write!(f, "'='"),
+            Ne => write!(f, "'<>'"),
+            Lt => write!(f, "'<'"),
+            Le => write!(f, "'<='"),
+            Gt => write!(f, "'>'"),
+            Ge => write!(f, "'>='"),
+            AndAnd => write!(f, "'&&'"),
+            OrOr => write!(f, "'||'"),
+            Eof => write!(f, "end of input"),
+        }
+    }
+}
+
+/// A token with its source location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    pub tok: Tok,
+    pub span: Span,
+}

@@ -1,0 +1,447 @@
+//! Bytecode wire format: how the controller ships compiled action
+//! functions to enclaves.
+//!
+//! The paper's controller compiles on its side and injects *bytecode* into
+//! enclaves ("avoids the complexities of dynamically loading code in the OS
+//! or the NIC", §3.4.3). This module is that wire format: a compact,
+//! versioned, self-describing encoding. Decoding **re-runs the verifier**
+//! (via [`Program::new`]), so an enclave never executes a program a
+//! corrupted or malicious update could smuggle past the checks — the
+//! trust stays in the interpreter and verifier, exactly as §3.4.3 argues.
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! magic   u32   0x4E454445 ("EDEN")
+//! version u16   1
+//! nlocals u8    entry locals
+//! nfuncs  u16   function-table entries
+//! nops    u32   instruction count
+//! name    u16-prefixed UTF-8
+//! funcs   nfuncs × { entry u32, arity u8, n_locals u8 }
+//! ops     nops × { opcode u8, operand varies }
+//! ```
+
+use crate::op::Op;
+use crate::program::{FuncInfo, Program};
+use crate::verify::VerifyError;
+
+/// Wire-format magic: "EDEN".
+pub const MAGIC: u32 = 0x4E45_4445;
+/// Current format version.
+pub const VERSION: u16 = 1;
+
+/// Decode failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// Missing or wrong magic.
+    BadMagic,
+    /// Unknown format version.
+    BadVersion(u16),
+    /// Ran out of bytes mid-structure.
+    Truncated,
+    /// Unknown opcode byte.
+    BadOpcode(u8),
+    /// Program name is not UTF-8.
+    BadName,
+    /// Decoded program failed verification.
+    Verify(VerifyError),
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodecError::BadMagic => write!(f, "not an Eden bytecode blob"),
+            CodecError::BadVersion(v) => write!(f, "unsupported bytecode version {v}"),
+            CodecError::Truncated => write!(f, "truncated bytecode"),
+            CodecError::BadOpcode(b) => write!(f, "unknown opcode byte {b:#04x}"),
+            CodecError::BadName => write!(f, "program name is not valid UTF-8"),
+            CodecError::Verify(e) => write!(f, "shipped program failed verification: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+// opcode byte assignments (stable across versions within VERSION 1)
+const OP_PUSH: u8 = 0x01;
+const OP_DUP: u8 = 0x02;
+const OP_POP: u8 = 0x03;
+const OP_SWAP: u8 = 0x04;
+const OP_LLOAD: u8 = 0x05;
+const OP_LSTORE: u8 = 0x06;
+const OP_PLOAD: u8 = 0x07;
+const OP_PSTORE: u8 = 0x08;
+const OP_MLOAD: u8 = 0x09;
+const OP_MSTORE: u8 = 0x0A;
+const OP_GLOAD: u8 = 0x0B;
+const OP_GSTORE: u8 = 0x0C;
+const OP_ALOAD: u8 = 0x0D;
+const OP_ASTORE: u8 = 0x0E;
+const OP_ALEN: u8 = 0x0F;
+const OP_ADD: u8 = 0x10;
+const OP_SUB: u8 = 0x11;
+const OP_MUL: u8 = 0x12;
+const OP_DIV: u8 = 0x13;
+const OP_REM: u8 = 0x14;
+const OP_NEG: u8 = 0x15;
+const OP_AND: u8 = 0x16;
+const OP_OR: u8 = 0x17;
+const OP_XOR: u8 = 0x18;
+const OP_NOT: u8 = 0x19;
+const OP_SHL: u8 = 0x1A;
+const OP_SHR: u8 = 0x1B;
+const OP_EQ: u8 = 0x20;
+const OP_NE: u8 = 0x21;
+const OP_LT: u8 = 0x22;
+const OP_LE: u8 = 0x23;
+const OP_GT: u8 = 0x24;
+const OP_GE: u8 = 0x25;
+const OP_JMP: u8 = 0x30;
+const OP_JMPIF: u8 = 0x31;
+const OP_JMPIFNOT: u8 = 0x32;
+const OP_CALL: u8 = 0x33;
+const OP_RET: u8 = 0x34;
+const OP_HALT: u8 = 0x35;
+const OP_RAND: u8 = 0x40;
+const OP_RANDRANGE: u8 = 0x41;
+const OP_NOW: u8 = 0x42;
+const OP_HASH: u8 = 0x43;
+const OP_DROP: u8 = 0x50;
+const OP_SETQUEUE: u8 = 0x51;
+const OP_TOCONTROLLER: u8 = 0x52;
+const OP_GOTOTABLE: u8 = 0x53;
+
+/// Serialize `program` into the wire format.
+pub fn encode(program: &Program) -> Vec<u8> {
+    let mut out = Vec::with_capacity(program.wire_size());
+    out.extend_from_slice(&MAGIC.to_le_bytes());
+    out.extend_from_slice(&VERSION.to_le_bytes());
+    out.push(program.entry_locals());
+    out.extend_from_slice(&(program.funcs().len() as u16).to_le_bytes());
+    out.extend_from_slice(&(program.ops().len() as u32).to_le_bytes());
+    let name = program.name().as_bytes();
+    out.extend_from_slice(&(name.len() as u16).to_le_bytes());
+    out.extend_from_slice(name);
+    for f in program.funcs() {
+        out.extend_from_slice(&f.entry.to_le_bytes());
+        out.push(f.arity);
+        out.push(f.n_locals);
+    }
+    for &op in program.ops() {
+        encode_op(op, &mut out);
+    }
+    out
+}
+
+fn encode_op(op: Op, out: &mut Vec<u8>) {
+    use Op::*;
+    match op {
+        Push(v) => {
+            out.push(OP_PUSH);
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        Dup => out.push(OP_DUP),
+        Pop => out.push(OP_POP),
+        Swap => out.push(OP_SWAP),
+        LoadLocal(s) => {
+            out.push(OP_LLOAD);
+            out.push(s);
+        }
+        StoreLocal(s) => {
+            out.push(OP_LSTORE);
+            out.push(s);
+        }
+        LoadPkt(s) => {
+            out.push(OP_PLOAD);
+            out.push(s);
+        }
+        StorePkt(s) => {
+            out.push(OP_PSTORE);
+            out.push(s);
+        }
+        LoadMsg(s) => {
+            out.push(OP_MLOAD);
+            out.push(s);
+        }
+        StoreMsg(s) => {
+            out.push(OP_MSTORE);
+            out.push(s);
+        }
+        LoadGlob(s) => {
+            out.push(OP_GLOAD);
+            out.push(s);
+        }
+        StoreGlob(s) => {
+            out.push(OP_GSTORE);
+            out.push(s);
+        }
+        ArrLoad(a) => {
+            out.push(OP_ALOAD);
+            out.push(a);
+        }
+        ArrStore(a) => {
+            out.push(OP_ASTORE);
+            out.push(a);
+        }
+        ArrLen(a) => {
+            out.push(OP_ALEN);
+            out.push(a);
+        }
+        Add => out.push(OP_ADD),
+        Sub => out.push(OP_SUB),
+        Mul => out.push(OP_MUL),
+        Div => out.push(OP_DIV),
+        Rem => out.push(OP_REM),
+        Neg => out.push(OP_NEG),
+        And => out.push(OP_AND),
+        Or => out.push(OP_OR),
+        Xor => out.push(OP_XOR),
+        Not => out.push(OP_NOT),
+        Shl => out.push(OP_SHL),
+        Shr => out.push(OP_SHR),
+        Eq => out.push(OP_EQ),
+        Ne => out.push(OP_NE),
+        Lt => out.push(OP_LT),
+        Le => out.push(OP_LE),
+        Gt => out.push(OP_GT),
+        Ge => out.push(OP_GE),
+        Jmp(t) => {
+            out.push(OP_JMP);
+            out.extend_from_slice(&t.to_le_bytes());
+        }
+        JmpIf(t) => {
+            out.push(OP_JMPIF);
+            out.extend_from_slice(&t.to_le_bytes());
+        }
+        JmpIfNot(t) => {
+            out.push(OP_JMPIFNOT);
+            out.extend_from_slice(&t.to_le_bytes());
+        }
+        Call(id) => {
+            out.push(OP_CALL);
+            out.extend_from_slice(&id.to_le_bytes());
+        }
+        Ret => out.push(OP_RET),
+        Halt => out.push(OP_HALT),
+        Rand => out.push(OP_RAND),
+        RandRange => out.push(OP_RANDRANGE),
+        Now => out.push(OP_NOW),
+        Hash => out.push(OP_HASH),
+        Drop => out.push(OP_DROP),
+        SetQueue => out.push(OP_SETQUEUE),
+        ToController => out.push(OP_TOCONTROLLER),
+        GotoTable => out.push(OP_GOTOTABLE),
+    }
+}
+
+struct Reader<'a> {
+    data: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
+        if self.at + n > self.data.len() {
+            return Err(CodecError::Truncated);
+        }
+        let s = &self.data[self.at..self.at + n];
+        self.at += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, CodecError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, CodecError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("len 2")))
+    }
+
+    fn u32(&mut self) -> Result<u32, CodecError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("len 4")))
+    }
+
+    fn i64(&mut self) -> Result<i64, CodecError> {
+        Ok(i64::from_le_bytes(self.take(8)?.try_into().expect("len 8")))
+    }
+}
+
+/// Deserialize and **verify** a program shipped by a controller.
+pub fn decode(data: &[u8]) -> Result<Program, CodecError> {
+    let mut r = Reader { data, at: 0 };
+    if r.u32()? != MAGIC {
+        return Err(CodecError::BadMagic);
+    }
+    let version = r.u16()?;
+    if version != VERSION {
+        return Err(CodecError::BadVersion(version));
+    }
+    let entry_locals = r.u8()?;
+    let nfuncs = r.u16()? as usize;
+    let nops = r.u32()? as usize;
+    let name_len = r.u16()? as usize;
+    let name = std::str::from_utf8(r.take(name_len)?)
+        .map_err(|_| CodecError::BadName)?
+        .to_string();
+
+    let mut funcs = Vec::with_capacity(nfuncs.min(1024));
+    for _ in 0..nfuncs {
+        funcs.push(FuncInfo {
+            entry: r.u32()?,
+            arity: r.u8()?,
+            n_locals: r.u8()?,
+        });
+    }
+
+    let mut ops = Vec::with_capacity(nops.min(1 << 16));
+    for _ in 0..nops {
+        let b = r.u8()?;
+        let op = match b {
+            OP_PUSH => Op::Push(r.i64()?),
+            OP_DUP => Op::Dup,
+            OP_POP => Op::Pop,
+            OP_SWAP => Op::Swap,
+            OP_LLOAD => Op::LoadLocal(r.u8()?),
+            OP_LSTORE => Op::StoreLocal(r.u8()?),
+            OP_PLOAD => Op::LoadPkt(r.u8()?),
+            OP_PSTORE => Op::StorePkt(r.u8()?),
+            OP_MLOAD => Op::LoadMsg(r.u8()?),
+            OP_MSTORE => Op::StoreMsg(r.u8()?),
+            OP_GLOAD => Op::LoadGlob(r.u8()?),
+            OP_GSTORE => Op::StoreGlob(r.u8()?),
+            OP_ALOAD => Op::ArrLoad(r.u8()?),
+            OP_ASTORE => Op::ArrStore(r.u8()?),
+            OP_ALEN => Op::ArrLen(r.u8()?),
+            OP_ADD => Op::Add,
+            OP_SUB => Op::Sub,
+            OP_MUL => Op::Mul,
+            OP_DIV => Op::Div,
+            OP_REM => Op::Rem,
+            OP_NEG => Op::Neg,
+            OP_AND => Op::And,
+            OP_OR => Op::Or,
+            OP_XOR => Op::Xor,
+            OP_NOT => Op::Not,
+            OP_SHL => Op::Shl,
+            OP_SHR => Op::Shr,
+            OP_EQ => Op::Eq,
+            OP_NE => Op::Ne,
+            OP_LT => Op::Lt,
+            OP_LE => Op::Le,
+            OP_GT => Op::Gt,
+            OP_GE => Op::Ge,
+            OP_JMP => Op::Jmp(r.u32()?),
+            OP_JMPIF => Op::JmpIf(r.u32()?),
+            OP_JMPIFNOT => Op::JmpIfNot(r.u32()?),
+            OP_CALL => Op::Call(r.u16()?),
+            OP_RET => Op::Ret,
+            OP_HALT => Op::Halt,
+            OP_RAND => Op::Rand,
+            OP_RANDRANGE => Op::RandRange,
+            OP_NOW => Op::Now,
+            OP_HASH => Op::Hash,
+            OP_DROP => Op::Drop,
+            OP_SETQUEUE => Op::SetQueue,
+            OP_TOCONTROLLER => Op::ToController,
+            OP_GOTOTABLE => Op::GotoTable,
+            other => return Err(CodecError::BadOpcode(other)),
+        };
+        ops.push(op);
+    }
+
+    Program::new(name, ops, funcs, entry_locals).map_err(CodecError::Verify)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProgramBuilder;
+    use crate::{Interpreter, Limits, VecHost};
+
+    fn sample() -> Program {
+        let mut b = ProgramBuilder::new().named("ship-me").with_entry_locals(2);
+        let head = b.new_label();
+        let done = b.new_label();
+        b.push(5).store_local(0);
+        b.push(0).store_local(1);
+        b.bind(head);
+        b.load_local(0).jmp_if_not(done);
+        b.load_local(1).load_local(0).add().store_local(1);
+        b.load_local(0).push(1).sub().store_local(0);
+        b.jmp(head);
+        b.bind(done);
+        b.load_local(1).store_pkt(0).halt();
+        b.build().expect("valid")
+    }
+
+    #[test]
+    fn round_trip_preserves_semantics() {
+        let p = sample();
+        let bytes = encode(&p);
+        let q = decode(&bytes).expect("decodes");
+        assert_eq!(q, p);
+
+        let mut h = VecHost::with_slots(1, 0, 0);
+        Interpreter::new(Limits::default()).run(&q, &mut h).unwrap();
+        assert_eq!(h.packet[0], 15); // 5+4+3+2+1
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut bytes = encode(&sample());
+        bytes[0] ^= 0xFF;
+        assert_eq!(decode(&bytes), Err(CodecError::BadMagic));
+    }
+
+    #[test]
+    fn wrong_version_rejected() {
+        let mut bytes = encode(&sample());
+        bytes[4] = 99;
+        assert_eq!(decode(&bytes), Err(CodecError::BadVersion(99)));
+    }
+
+    #[test]
+    fn truncation_rejected_everywhere() {
+        let bytes = encode(&sample());
+        for cut in 0..bytes.len() {
+            let r = decode(&bytes[..cut]);
+            assert!(r.is_err(), "cut at {cut} must fail");
+        }
+    }
+
+    #[test]
+    fn corrupted_jump_targets_fail_verification_not_execution() {
+        let p = sample();
+        let bytes = encode(&p);
+        // find the Jmp(head) and corrupt its target to something huge
+        let mut corrupted = bytes.clone();
+        let mut found = false;
+        for i in 0..corrupted.len() - 4 {
+            if corrupted[i] == OP_JMP {
+                corrupted[i + 1..i + 5].copy_from_slice(&9999u32.to_le_bytes());
+                found = true;
+                break;
+            }
+        }
+        assert!(found);
+        match decode(&corrupted) {
+            Err(CodecError::Verify(_)) => {}
+            other => panic!("expected verification failure, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn garbage_never_panics() {
+        let mut rng_state = 0x12345u64;
+        for len in 0..256 {
+            let bytes: Vec<u8> = (0..len)
+                .map(|_| {
+                    rng_state = rng_state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                    (rng_state >> 33) as u8
+                })
+                .collect();
+            let _ = decode(&bytes); // may error, must not panic
+        }
+    }
+}

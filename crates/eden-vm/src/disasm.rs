@@ -1,0 +1,63 @@
+//! Human-readable program dumps.
+//!
+//! Used by the controller's debug surface and the `quickstart` example to
+//! show what actually ships to an enclave after compilation.
+
+use std::fmt::Write as _;
+
+use crate::program::Program;
+
+/// Render `program` as one instruction per line, annotating function entry
+/// points. The output is stable and suitable for golden tests.
+pub fn disassemble(program: &Program) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "; program '{}' — {} ops, {} function(s), {} entry locals",
+        program.name(),
+        program.ops().len(),
+        program.funcs().len(),
+        program.entry_locals()
+    );
+    for (pc, op) in program.ops().iter().enumerate() {
+        for (id, func) in program.funcs().iter().enumerate() {
+            if func.entry as usize == pc {
+                let _ = writeln!(
+                    out,
+                    "; fn {id} (arity {}, locals {}):",
+                    func.arity, func.n_locals
+                );
+            }
+        }
+        let _ = writeln!(out, "{pc:4}: {op}");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProgramBuilder;
+
+    #[test]
+    fn disassembly_is_stable() {
+        let mut b = ProgramBuilder::new().named("demo");
+        b.push(1).push(2).add().store_pkt(0).halt();
+        let p = b.build().unwrap();
+        let text = disassemble(&p);
+        assert!(text.contains("; program 'demo'"));
+        assert!(text.contains("   0: push 1"));
+        assert!(text.contains("   2: add"));
+        assert!(text.contains("   4: halt"));
+    }
+
+    #[test]
+    fn function_entries_annotated() {
+        let mut b = ProgramBuilder::new().named("f");
+        b.push(1).call(0).pop().halt();
+        b.begin_func(1, 1);
+        b.load_local(0).ret();
+        let p = b.build().unwrap();
+        assert!(disassemble(&p).contains("; fn 0 (arity 1, locals 1):"));
+    }
+}

@@ -1,0 +1,103 @@
+//! VM trap conditions.
+//!
+//! The paper's safety story (§3.4.3): "a faulty action function will result
+//! in terminating the execution of that program, but will not affect the
+//! rest of the system." Every error below terminates the offending program;
+//! the enclave then applies its fail-open/fail-closed policy to the packet
+//! and keeps forwarding.
+
+use std::fmt;
+
+/// Why an action function was terminated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VmError {
+    /// Operand stack exceeded [`Limits::max_stack`](crate::Limits).
+    StackOverflow,
+    /// An op needed more operands than the stack held. Unreachable for
+    /// verified programs.
+    StackUnderflow,
+    /// Locals arena ("heap") exceeded [`Limits::max_heap_slots`](crate::Limits).
+    HeapOverflow,
+    /// Call depth exceeded [`Limits::max_call_depth`](crate::Limits).
+    CallDepthExceeded,
+    /// The optional instruction budget ran out.
+    OutOfFuel,
+    /// Integer division or remainder by zero.
+    DivideByZero,
+    /// `RandRange` invoked with a non-positive bound.
+    BadRandRange(i64),
+    /// Jump or fall-through past the end of the program. Unreachable for
+    /// verified programs.
+    BadJump(u32),
+    /// `Call` referenced a function id not in the program's function table.
+    BadFunction(u16),
+    /// A local slot index was out of range for the current frame.
+    BadLocal(u8),
+    /// The host rejected a state slot (packet/message/global field id not in
+    /// the bound schema).
+    BadStateSlot { scope: StateScope, slot: u8 },
+    /// A global-array access was out of bounds or referenced an unknown
+    /// array.
+    BadArrayAccess { array: u8, index: i64 },
+    /// The host refused a write (e.g. the schema marks the field read-only;
+    /// defence in depth — the compiler rejects these statically too).
+    ReadOnlyViolation { scope: StateScope, slot: u8 },
+    /// `Ret` executed with no call frame (top level uses `Halt`).
+    ReturnFromTopLevel,
+    /// An invalid queue id was passed to `SetQueue`.
+    BadQueue(i64),
+    /// An invalid table id was passed to `GotoTable`.
+    BadTable(i64),
+}
+
+/// Which of the three state scopes an access touched.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StateScope {
+    /// Packet header fields (HeaderMap-resolved).
+    Packet,
+    /// Per-message state ("exists for the duration of the message").
+    Message,
+    /// Per-function global state ("till the function is being used in the
+    /// enclave").
+    Global,
+}
+
+impl fmt::Display for StateScope {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StateScope::Packet => write!(f, "packet"),
+            StateScope::Message => write!(f, "message"),
+            StateScope::Global => write!(f, "global"),
+        }
+    }
+}
+
+impl fmt::Display for VmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        use VmError::*;
+        match self {
+            StackOverflow => write!(f, "operand stack overflow"),
+            StackUnderflow => write!(f, "operand stack underflow"),
+            HeapOverflow => write!(f, "locals/heap overflow"),
+            CallDepthExceeded => write!(f, "call depth exceeded"),
+            OutOfFuel => write!(f, "instruction budget exhausted"),
+            DivideByZero => write!(f, "division by zero"),
+            BadRandRange(n) => write!(f, "randrange bound must be positive, got {n}"),
+            BadJump(t) => write!(f, "jump target {t} out of range"),
+            BadFunction(id) => write!(f, "unknown function id {id}"),
+            BadLocal(s) => write!(f, "local slot {s} out of range"),
+            BadStateSlot { scope, slot } => write!(f, "unknown {scope} state slot {slot}"),
+            BadArrayAccess { array, index } => {
+                write!(f, "array {array} access at index {index} out of bounds")
+            }
+            ReadOnlyViolation { scope, slot } => {
+                write!(f, "write to read-only {scope} state slot {slot}")
+            }
+            ReturnFromTopLevel => write!(f, "ret executed outside any function"),
+            BadQueue(q) => write!(f, "invalid rate-limit queue id {q}"),
+            BadTable(t) => write!(f, "invalid match-action table id {t}"),
+        }
+    }
+}
+
+impl std::error::Error for VmError {}

@@ -1,0 +1,323 @@
+//! The interpreter ↔ enclave boundary.
+//!
+//! An action function only ever sees three things (§3.4.2): the packet, its
+//! message state, and its function-global state — plus builtin randomness
+//! and a clock. All of them reach the VM through [`Host`]. The enclave in
+//! `eden-core` implements `Host` over its authoritative state tables, which
+//! is what gives the paper's guarantee that a program "can read and modify
+//! only the state related to that program".
+//!
+//! [`VecHost`] is a plain vector-backed implementation used by unit tests,
+//! property tests, and the interpreter microbenchmarks.
+
+use crate::error::{StateScope, VmError};
+
+/// Side effects an action function can request (§3.4.2: "control routing
+/// decisions for the packet, including dropping it, sending it to a specific
+/// queue associated with rate limits, sending it to a specific match-action
+/// table or forwarding it to the controller").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Effect {
+    /// Drop the packet.
+    Drop,
+    /// Direct the packet to rate-limited queue `queue`, charging `charge`
+    /// bytes against that queue's budget (may differ from the packet size —
+    /// Pulsar's READ-request charging, §2.1.2).
+    SetQueue { queue: i64, charge: i64 },
+    /// Punt the packet to the controller.
+    ToController,
+    /// Continue matching in another enclave table.
+    GotoTable { table: i64 },
+}
+
+/// Environment an action function executes against.
+///
+/// Slot numbers are assigned by the `eden-lang` compiler from the state
+/// schema; the enclave binds the same schema, so both sides agree on the
+/// layout without shipping names to the data plane.
+pub trait Host {
+    /// Read packet field `slot` (HeaderMap-resolved by the enclave).
+    fn load_pkt(&mut self, slot: u8) -> Result<i64, VmError>;
+    /// Write packet field `slot`.
+    fn store_pkt(&mut self, slot: u8, value: i64) -> Result<(), VmError>;
+    /// Read per-message state field `slot`.
+    fn load_msg(&mut self, slot: u8) -> Result<i64, VmError>;
+    /// Write per-message state field `slot`.
+    fn store_msg(&mut self, slot: u8, value: i64) -> Result<(), VmError>;
+    /// Read global state field `slot`.
+    fn load_glob(&mut self, slot: u8) -> Result<i64, VmError>;
+    /// Write global state field `slot`.
+    fn store_glob(&mut self, slot: u8, value: i64) -> Result<(), VmError>;
+    /// Read `array[index]` from global array `array`.
+    fn arr_load(&mut self, array: u8, index: i64) -> Result<i64, VmError>;
+    /// Write `array[index]` of global array `array`.
+    fn arr_store(&mut self, array: u8, index: i64, value: i64) -> Result<(), VmError>;
+    /// Element count of global array `array`.
+    fn arr_len(&mut self, array: u8) -> Result<i64, VmError>;
+    /// A uniformly distributed non-negative random value.
+    fn rand64(&mut self) -> i64;
+    /// High-frequency clock in nanoseconds. In the simulator this is virtual
+    /// time, which keeps whole experiments deterministic.
+    fn now_ns(&mut self) -> i64;
+    /// Record a packet-disposition side effect. `Drop`, `ToController` and
+    /// `GotoTable` terminate the program; `SetQueue` does not.
+    fn effect(&mut self, effect: Effect) -> Result<(), VmError>;
+}
+
+/// A vector-backed [`Host`] for tests and microbenchmarks.
+///
+/// State scopes are plain `Vec<i64>`; unknown slots trap exactly like the
+/// real enclave host. Randomness is a self-contained SplitMix64 so the crate
+/// stays dependency-free; the clock ticks 1 ns per call.
+#[derive(Debug, Clone)]
+pub struct VecHost {
+    /// Packet field values, indexed by slot.
+    pub packet: Vec<i64>,
+    /// Message state values, indexed by slot.
+    pub msg: Vec<i64>,
+    /// Global state values, indexed by slot.
+    pub global: Vec<i64>,
+    /// Global arrays, indexed by array id.
+    pub arrays: Vec<Vec<i64>>,
+    /// Slots that reject writes, as `(scope, slot)` — mirrors the schema's
+    /// ReadOnly annotations for tests.
+    pub read_only: Vec<(StateScope, u8)>,
+    /// Effects recorded so far, in order.
+    pub effects: Vec<Effect>,
+    /// Current clock value; incremented on every `now_ns` call.
+    pub clock: i64,
+    rng_state: u64,
+}
+
+impl Default for VecHost {
+    fn default() -> Self {
+        VecHost {
+            packet: Vec::new(),
+            msg: Vec::new(),
+            global: Vec::new(),
+            arrays: Vec::new(),
+            read_only: Vec::new(),
+            effects: Vec::new(),
+            clock: 0,
+            rng_state: 0x9E3779B97F4A7C15,
+        }
+    }
+}
+
+impl VecHost {
+    /// Create a host with the given number of zeroed slots per scope.
+    pub fn with_slots(packet: usize, msg: usize, global: usize) -> Self {
+        VecHost {
+            packet: vec![0; packet],
+            msg: vec![0; msg],
+            global: vec![0; global],
+            ..Self::default()
+        }
+    }
+
+    /// Reseed the internal RNG (deterministic sequences in tests).
+    pub fn seed(&mut self, seed: u64) {
+        self.rng_state = seed | 1;
+    }
+
+    fn get(v: &[i64], scope: StateScope, slot: u8) -> Result<i64, VmError> {
+        v.get(slot as usize)
+            .copied()
+            .ok_or(VmError::BadStateSlot { scope, slot })
+    }
+
+    fn set(
+        v: &mut [i64],
+        ro: &[(StateScope, u8)],
+        scope: StateScope,
+        slot: u8,
+        value: i64,
+    ) -> Result<(), VmError> {
+        if ro.contains(&(scope, slot)) {
+            return Err(VmError::ReadOnlyViolation { scope, slot });
+        }
+        match v.get_mut(slot as usize) {
+            Some(p) => {
+                *p = value;
+                Ok(())
+            }
+            None => Err(VmError::BadStateSlot { scope, slot }),
+        }
+    }
+}
+
+impl Host for VecHost {
+    fn load_pkt(&mut self, slot: u8) -> Result<i64, VmError> {
+        Self::get(&self.packet, StateScope::Packet, slot)
+    }
+
+    fn store_pkt(&mut self, slot: u8, value: i64) -> Result<(), VmError> {
+        Self::set(
+            &mut self.packet,
+            &self.read_only,
+            StateScope::Packet,
+            slot,
+            value,
+        )
+    }
+
+    fn load_msg(&mut self, slot: u8) -> Result<i64, VmError> {
+        Self::get(&self.msg, StateScope::Message, slot)
+    }
+
+    fn store_msg(&mut self, slot: u8, value: i64) -> Result<(), VmError> {
+        Self::set(
+            &mut self.msg,
+            &self.read_only,
+            StateScope::Message,
+            slot,
+            value,
+        )
+    }
+
+    fn load_glob(&mut self, slot: u8) -> Result<i64, VmError> {
+        Self::get(&self.global, StateScope::Global, slot)
+    }
+
+    fn store_glob(&mut self, slot: u8, value: i64) -> Result<(), VmError> {
+        Self::set(
+            &mut self.global,
+            &self.read_only,
+            StateScope::Global,
+            slot,
+            value,
+        )
+    }
+
+    fn arr_load(&mut self, array: u8, index: i64) -> Result<i64, VmError> {
+        let arr = self
+            .arrays
+            .get(array as usize)
+            .ok_or(VmError::BadArrayAccess { array, index })?;
+        usize::try_from(index)
+            .ok()
+            .and_then(|i| arr.get(i))
+            .copied()
+            .ok_or(VmError::BadArrayAccess { array, index })
+    }
+
+    fn arr_store(&mut self, array: u8, index: i64, value: i64) -> Result<(), VmError> {
+        let arr = self
+            .arrays
+            .get_mut(array as usize)
+            .ok_or(VmError::BadArrayAccess { array, index })?;
+        let slot = usize::try_from(index)
+            .ok()
+            .and_then(|i| arr.get_mut(i))
+            .ok_or(VmError::BadArrayAccess { array, index })?;
+        *slot = value;
+        Ok(())
+    }
+
+    fn arr_len(&mut self, array: u8) -> Result<i64, VmError> {
+        self.arrays
+            .get(array as usize)
+            .map(|a| a.len() as i64)
+            .ok_or(VmError::BadArrayAccess { array, index: -1 })
+    }
+
+    fn rand64(&mut self) -> i64 {
+        // SplitMix64, masked to non-negative.
+        self.rng_state = self.rng_state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.rng_state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        ((z ^ (z >> 31)) & (i64::MAX as u64)) as i64
+    }
+
+    fn now_ns(&mut self) -> i64 {
+        self.clock += 1;
+        self.clock
+    }
+
+    fn effect(&mut self, effect: Effect) -> Result<(), VmError> {
+        if let Effect::SetQueue { queue, .. } = effect {
+            if queue < 0 {
+                return Err(VmError::BadQueue(queue));
+            }
+        }
+        if let Effect::GotoTable { table } = effect {
+            if table < 0 || table > u8::MAX as i64 {
+                return Err(VmError::BadTable(table));
+            }
+        }
+        self.effects.push(effect);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unknown_slot_traps() {
+        let mut h = VecHost::with_slots(1, 0, 0);
+        assert!(h.load_pkt(0).is_ok());
+        assert_eq!(
+            h.load_pkt(1),
+            Err(VmError::BadStateSlot {
+                scope: StateScope::Packet,
+                slot: 1
+            })
+        );
+    }
+
+    #[test]
+    fn read_only_slots_reject_writes() {
+        let mut h = VecHost::with_slots(2, 0, 0);
+        h.read_only.push((StateScope::Packet, 0));
+        assert!(h.store_pkt(1, 5).is_ok());
+        assert_eq!(
+            h.store_pkt(0, 5),
+            Err(VmError::ReadOnlyViolation {
+                scope: StateScope::Packet,
+                slot: 0
+            })
+        );
+    }
+
+    #[test]
+    fn array_bounds() {
+        let mut h = VecHost::default();
+        h.arrays.push(vec![10, 20, 30]);
+        assert_eq!(h.arr_load(0, 2).unwrap(), 30);
+        assert!(h.arr_load(0, 3).is_err());
+        assert!(h.arr_load(0, -1).is_err());
+        assert!(h.arr_load(1, 0).is_err());
+        assert_eq!(h.arr_len(0).unwrap(), 3);
+    }
+
+    #[test]
+    fn rand_is_deterministic_under_seed() {
+        let mut a = VecHost::default();
+        let mut b = VecHost::default();
+        a.seed(7);
+        b.seed(7);
+        let xs: Vec<i64> = (0..4).map(|_| a.rand64()).collect();
+        let ys: Vec<i64> = (0..4).map(|_| b.rand64()).collect();
+        assert_eq!(xs, ys);
+        assert!(xs.iter().all(|&x| x >= 0));
+    }
+
+    #[test]
+    fn bad_queue_and_table_rejected() {
+        let mut h = VecHost::default();
+        assert_eq!(
+            h.effect(Effect::SetQueue {
+                queue: -1,
+                charge: 0
+            }),
+            Err(VmError::BadQueue(-1))
+        );
+        assert_eq!(
+            h.effect(Effect::GotoTable { table: 300 }),
+            Err(VmError::BadTable(300))
+        );
+    }
+}

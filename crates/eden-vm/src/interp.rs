@@ -1,0 +1,580 @@
+//! The interpreter proper: a classic dispatch loop over verified bytecode.
+//!
+//! An [`Interpreter`] is a reusable execution context — the enclave keeps
+//! one per worker and runs every action function through it, so the operand
+//! stack and locals arena are allocated once and reused across millions of
+//! packets. This is the component whose overhead Figure 12 of the paper
+//! quantifies; `eden-bench`'s `micro` and `fig12_overheads` benches measure
+//! this exact code.
+
+use crate::error::VmError;
+use crate::host::{Effect, Host};
+use crate::limits::{Limits, Usage};
+use crate::op::Op;
+use crate::program::Program;
+
+/// How an action function finished.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Outcome {
+    /// Ran to `Halt`; the packet proceeds normally.
+    Done,
+    /// The function dropped the packet.
+    Dropped,
+    /// The function punted the packet to the controller.
+    SentToController,
+    /// The function redirected matching to another enclave table.
+    GotoTable(u8),
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Frame {
+    ret_pc: u32,
+    locals_base: u32,
+}
+
+/// Reusable execution context (operand stack + locals arena + call stack).
+#[derive(Debug)]
+pub struct Interpreter {
+    limits: Limits,
+    stack: Vec<i64>,
+    locals: Vec<i64>,
+    frames: Vec<Frame>,
+    usage: Usage,
+}
+
+impl Interpreter {
+    /// Create an interpreter with the given resource limits.
+    pub fn new(limits: Limits) -> Self {
+        Interpreter {
+            limits,
+            stack: Vec::with_capacity(limits.max_stack),
+            locals: Vec::with_capacity(limits.max_heap_slots),
+            frames: Vec::with_capacity(limits.max_call_depth),
+            usage: Usage::default(),
+        }
+    }
+
+    /// Resource limits this interpreter enforces.
+    pub fn limits(&self) -> Limits {
+        self.limits
+    }
+
+    /// High-water marks from the most recent [`run`](Self::run).
+    pub fn usage(&self) -> Usage {
+        self.usage
+    }
+
+    /// Execute `program` against `host`. Returns the packet disposition, or
+    /// the trap that terminated the program.
+    ///
+    /// The program must have been verified (guaranteed by
+    /// [`Program::new`]), so operand-stack underflow and wild jumps cannot
+    /// occur; the checks that remain at runtime are the dynamic ones:
+    /// limits, division by zero, array bounds, unknown state slots.
+    pub fn run(&mut self, program: &Program, host: &mut dyn Host) -> Result<Outcome, VmError> {
+        self.stack.clear();
+        self.locals.clear();
+        self.frames.clear();
+        self.usage = Usage::default();
+
+        let entry_locals = program.entry_locals() as usize;
+        if entry_locals > self.limits.max_heap_slots {
+            return Err(VmError::HeapOverflow);
+        }
+        self.locals.resize(entry_locals, 0);
+        self.usage.peak_heap_slots = entry_locals;
+
+        let ops = program.ops();
+        let mut pc: usize = 0;
+        let mut fuel = self.limits.fuel;
+        let mut locals_base: usize = 0;
+
+        macro_rules! push {
+            ($v:expr) => {{
+                if self.stack.len() >= self.limits.max_stack {
+                    return Err(VmError::StackOverflow);
+                }
+                self.stack.push($v);
+                if self.stack.len() > self.usage.peak_stack {
+                    self.usage.peak_stack = self.stack.len();
+                }
+            }};
+        }
+        // Pop is infallible on verified programs; the error path is kept for
+        // defence in depth (a Host could not cause it, but a future op bug
+        // should trap, not panic).
+        macro_rules! pop {
+            () => {
+                match self.stack.pop() {
+                    Some(v) => v,
+                    None => return Err(VmError::StackUnderflow),
+                }
+            };
+        }
+        macro_rules! binop {
+            ($f:expr) => {{
+                let b = pop!();
+                let a = pop!();
+                let r = $f(a, b);
+                push!(r);
+            }};
+        }
+
+        loop {
+            if let Some(ref mut f) = fuel {
+                if *f == 0 {
+                    return Err(VmError::OutOfFuel);
+                }
+                *f -= 1;
+            }
+            self.usage.steps += 1;
+
+            let op = match ops.get(pc) {
+                Some(op) => *op,
+                None => return Err(VmError::BadJump(pc as u32)),
+            };
+            pc += 1;
+
+            match op {
+                Op::Push(v) => push!(v),
+                Op::Dup => {
+                    let v = *self.stack.last().ok_or(VmError::StackUnderflow)?;
+                    push!(v);
+                }
+                Op::Pop => {
+                    pop!();
+                }
+                Op::Swap => {
+                    let n = self.stack.len();
+                    if n < 2 {
+                        return Err(VmError::StackUnderflow);
+                    }
+                    self.stack.swap(n - 1, n - 2);
+                }
+
+                Op::LoadLocal(s) => {
+                    let idx = locals_base + s as usize;
+                    let v = *self.locals.get(idx).ok_or(VmError::BadLocal(s))?;
+                    push!(v);
+                }
+                Op::StoreLocal(s) => {
+                    let v = pop!();
+                    let idx = locals_base + s as usize;
+                    *self.locals.get_mut(idx).ok_or(VmError::BadLocal(s))? = v;
+                }
+
+                Op::LoadPkt(s) => push!(host.load_pkt(s)?),
+                Op::StorePkt(s) => {
+                    let v = pop!();
+                    host.store_pkt(s, v)?;
+                }
+                Op::LoadMsg(s) => push!(host.load_msg(s)?),
+                Op::StoreMsg(s) => {
+                    let v = pop!();
+                    host.store_msg(s, v)?;
+                }
+                Op::LoadGlob(s) => push!(host.load_glob(s)?),
+                Op::StoreGlob(s) => {
+                    let v = pop!();
+                    host.store_glob(s, v)?;
+                }
+
+                Op::ArrLoad(a) => {
+                    let idx = pop!();
+                    push!(host.arr_load(a, idx)?);
+                }
+                Op::ArrStore(a) => {
+                    let v = pop!();
+                    let idx = pop!();
+                    host.arr_store(a, idx, v)?;
+                }
+                Op::ArrLen(a) => push!(host.arr_len(a)?),
+
+                Op::Add => binop!(|a: i64, b: i64| a.wrapping_add(b)),
+                Op::Sub => binop!(|a: i64, b: i64| a.wrapping_sub(b)),
+                Op::Mul => binop!(|a: i64, b: i64| a.wrapping_mul(b)),
+                Op::Div => {
+                    let b = pop!();
+                    let a = pop!();
+                    if b == 0 {
+                        return Err(VmError::DivideByZero);
+                    }
+                    push!(a.wrapping_div(b));
+                }
+                Op::Rem => {
+                    let b = pop!();
+                    let a = pop!();
+                    if b == 0 {
+                        return Err(VmError::DivideByZero);
+                    }
+                    push!(a.wrapping_rem(b));
+                }
+                Op::Neg => {
+                    let a = pop!();
+                    push!(a.wrapping_neg());
+                }
+                Op::And => binop!(|a: i64, b: i64| a & b),
+                Op::Or => binop!(|a: i64, b: i64| a | b),
+                Op::Xor => binop!(|a: i64, b: i64| a ^ b),
+                Op::Not => {
+                    let a = pop!();
+                    push!(if a == 0 { 1 } else { 0 });
+                }
+                Op::Shl => binop!(|a: i64, b: i64| a.wrapping_shl(b as u32 & 63)),
+                Op::Shr => binop!(|a: i64, b: i64| a.wrapping_shr(b as u32 & 63)),
+
+                Op::Eq => binop!(|a, b| (a == b) as i64),
+                Op::Ne => binop!(|a, b| (a != b) as i64),
+                Op::Lt => binop!(|a, b| (a < b) as i64),
+                Op::Le => binop!(|a, b| (a <= b) as i64),
+                Op::Gt => binop!(|a, b| (a > b) as i64),
+                Op::Ge => binop!(|a, b| (a >= b) as i64),
+
+                Op::Jmp(t) => pc = t as usize,
+                Op::JmpIf(t) => {
+                    if pop!() != 0 {
+                        pc = t as usize;
+                    }
+                }
+                Op::JmpIfNot(t) => {
+                    if pop!() == 0 {
+                        pc = t as usize;
+                    }
+                }
+
+                Op::Call(id) => {
+                    let func = *program
+                        .funcs()
+                        .get(id as usize)
+                        .ok_or(VmError::BadFunction(id))?;
+                    if self.frames.len() >= self.limits.max_call_depth {
+                        return Err(VmError::CallDepthExceeded);
+                    }
+                    let new_base = self.locals.len();
+                    if new_base + func.n_locals as usize > self.limits.max_heap_slots {
+                        return Err(VmError::HeapOverflow);
+                    }
+                    self.locals.resize(new_base + func.n_locals as usize, 0);
+                    if self.locals.len() > self.usage.peak_heap_slots {
+                        self.usage.peak_heap_slots = self.locals.len();
+                    }
+                    // pop args right-to-left into locals 0..arity
+                    for i in (0..func.arity).rev() {
+                        let v = pop!();
+                        self.locals[new_base + i as usize] = v;
+                    }
+                    self.frames.push(Frame {
+                        ret_pc: pc as u32,
+                        locals_base: locals_base as u32,
+                    });
+                    if self.frames.len() > self.usage.peak_call_depth {
+                        self.usage.peak_call_depth = self.frames.len();
+                    }
+                    locals_base = new_base;
+                    pc = func.entry as usize;
+                }
+                Op::Ret => {
+                    let frame = self.frames.pop().ok_or(VmError::ReturnFromTopLevel)?;
+                    // callee's locals are freed; its result stays on the stack
+                    self.locals.truncate(locals_base);
+                    locals_base = frame.locals_base as usize;
+                    pc = frame.ret_pc as usize;
+                }
+                Op::Halt => return Ok(Outcome::Done),
+
+                Op::Rand => push!(host.rand64()),
+                Op::RandRange => {
+                    let n = pop!();
+                    if n <= 0 {
+                        return Err(VmError::BadRandRange(n));
+                    }
+                    // Rejection-free modulo is fine here: hosts provide 63
+                    // uniform bits and bounds are tiny (path counts, queue
+                    // counts), so bias is negligible for the paper's uses.
+                    push!(host.rand64() % n);
+                }
+                Op::Now => push!(host.now_ns()),
+                Op::Hash => {
+                    let b = pop!() as u64;
+                    let a = pop!() as u64;
+                    let mut z = a ^ b.rotate_left(32) ^ 0x9E3779B97F4A7C15;
+                    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+                    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+                    push!(((z ^ (z >> 31)) & (i64::MAX as u64)) as i64);
+                }
+
+                Op::Drop => {
+                    host.effect(Effect::Drop)?;
+                    return Ok(Outcome::Dropped);
+                }
+                Op::SetQueue => {
+                    let charge = pop!();
+                    let queue = pop!();
+                    host.effect(Effect::SetQueue { queue, charge })?;
+                }
+                Op::ToController => {
+                    host.effect(Effect::ToController)?;
+                    return Ok(Outcome::SentToController);
+                }
+                Op::GotoTable => {
+                    let table = pop!();
+                    host.effect(Effect::GotoTable { table })?;
+                    if !(0..=u8::MAX as i64).contains(&table) {
+                        return Err(VmError::BadTable(table));
+                    }
+                    return Ok(Outcome::GotoTable(table as u8));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProgramBuilder;
+    use crate::host::VecHost;
+    use crate::program::FuncInfo;
+
+    fn run(ops: Vec<Op>, host: &mut VecHost) -> Result<Outcome, VmError> {
+        let p = Program::new("t", ops, vec![], 8).unwrap();
+        Interpreter::new(Limits::default()).run(&p, host)
+    }
+
+    #[test]
+    fn arithmetic() {
+        let mut h = VecHost::with_slots(1, 0, 0);
+        run(
+            vec![
+                Op::Push(6),
+                Op::Push(7),
+                Op::Mul,
+                Op::Push(2),
+                Op::Add,
+                Op::StorePkt(0),
+                Op::Halt,
+            ],
+            &mut h,
+        )
+        .unwrap();
+        assert_eq!(h.packet[0], 44);
+    }
+
+    #[test]
+    fn division_by_zero_traps() {
+        let mut h = VecHost::default();
+        let e = run(vec![Op::Push(1), Op::Push(0), Op::Div, Op::Pop, Op::Halt], &mut h);
+        assert_eq!(e, Err(VmError::DivideByZero));
+    }
+
+    #[test]
+    fn loop_sums_with_builder() {
+        let mut b = ProgramBuilder::new();
+        let head = b.new_label();
+        let done = b.new_label();
+        b.push(1).store_local(0); // i = 1
+        b.push(0).store_local(1); // acc = 0
+        b.bind(head);
+        b.load_local(0).push(10).le().jmp_if_not(done);
+        b.load_local(1).load_local(0).add().store_local(1);
+        b.load_local(0).push(1).add().store_local(0);
+        b.jmp(head);
+        b.bind(done);
+        b.load_local(1).store_pkt(0).halt();
+        let p = b.with_entry_locals(2).build().unwrap();
+
+        let mut h = VecHost::with_slots(1, 0, 0);
+        let mut i = Interpreter::new(Limits::default());
+        assert_eq!(i.run(&p, &mut h).unwrap(), Outcome::Done);
+        assert_eq!(h.packet[0], 55);
+        assert!(i.usage().steps > 50);
+    }
+
+    #[test]
+    fn function_call_and_return() {
+        // top: push 20, push 22, call add2, store pkt0
+        let p = Program::new(
+            "t",
+            vec![
+                Op::Push(20),
+                Op::Push(22),
+                Op::Call(0),
+                Op::StorePkt(0),
+                Op::Halt,
+                Op::LoadLocal(0),
+                Op::LoadLocal(1),
+                Op::Add,
+                Op::Ret,
+            ],
+            vec![FuncInfo {
+                entry: 5,
+                arity: 2,
+                n_locals: 2,
+            }],
+            0,
+        )
+        .unwrap();
+        let mut h = VecHost::with_slots(1, 0, 0);
+        let mut i = Interpreter::new(Limits::default());
+        i.run(&p, &mut h).unwrap();
+        assert_eq!(h.packet[0], 42);
+        assert_eq!(i.usage().peak_call_depth, 1);
+    }
+
+    #[test]
+    fn deep_recursion_hits_call_depth() {
+        // f() = f()  — infinite recursion
+        let p = Program::new(
+            "t",
+            vec![
+                Op::Call(0),
+                Op::Pop,
+                Op::Halt,
+                Op::Call(0), // 3: f calls f
+                Op::Ret,
+            ],
+            vec![FuncInfo {
+                entry: 3,
+                arity: 0,
+                n_locals: 0,
+            }],
+            0,
+        )
+        .unwrap();
+        let mut h = VecHost::default();
+        let e = Interpreter::new(Limits::default()).run(&p, &mut h);
+        assert_eq!(e, Err(VmError::CallDepthExceeded));
+    }
+
+    #[test]
+    fn fuel_limits_runaway_loops() {
+        let p = Program::new("t", vec![Op::Jmp(0)], vec![], 0).unwrap();
+        let mut h = VecHost::default();
+        let mut limits = Limits::default();
+        limits.fuel = Some(1000);
+        let e = Interpreter::new(limits).run(&p, &mut h);
+        assert_eq!(e, Err(VmError::OutOfFuel));
+    }
+
+    #[test]
+    fn drop_and_controller_outcomes() {
+        let mut h = VecHost::default();
+        assert_eq!(run(vec![Op::Drop], &mut h).unwrap(), Outcome::Dropped);
+        assert_eq!(h.effects, vec![Effect::Drop]);
+
+        let mut h = VecHost::default();
+        assert_eq!(
+            run(vec![Op::ToController], &mut h).unwrap(),
+            Outcome::SentToController
+        );
+    }
+
+    #[test]
+    fn set_queue_records_charge() {
+        let mut h = VecHost::default();
+        assert_eq!(
+            run(
+                vec![Op::Push(3), Op::Push(65536), Op::SetQueue, Op::Halt],
+                &mut h
+            )
+            .unwrap(),
+            Outcome::Done
+        );
+        assert_eq!(
+            h.effects,
+            vec![Effect::SetQueue {
+                queue: 3,
+                charge: 65536
+            }]
+        );
+    }
+
+    #[test]
+    fn goto_table_outcome() {
+        let mut h = VecHost::default();
+        assert_eq!(
+            run(vec![Op::Push(2), Op::GotoTable], &mut h).unwrap(),
+            Outcome::GotoTable(2)
+        );
+    }
+
+    #[test]
+    fn usage_tracks_stack_high_water() {
+        let mut h = VecHost::default();
+        let p = Program::new(
+            "t",
+            vec![
+                Op::Push(1),
+                Op::Push(2),
+                Op::Push(3),
+                Op::Add,
+                Op::Add,
+                Op::Pop,
+                Op::Halt,
+            ],
+            vec![],
+            0,
+        )
+        .unwrap();
+        let mut i = Interpreter::new(Limits::default());
+        i.run(&p, &mut h).unwrap();
+        assert_eq!(i.usage().peak_stack, 3);
+    }
+
+    #[test]
+    fn rand_range_bounds() {
+        let mut h = VecHost::default();
+        h.seed(42);
+        let p = Program::new(
+            "t",
+            vec![Op::Push(10), Op::RandRange, Op::StorePkt(0), Op::Halt],
+            vec![],
+            0,
+        )
+        .unwrap();
+        let mut i = Interpreter::new(Limits::default());
+        let mut h2 = VecHost::with_slots(1, 0, 0);
+        h2.seed(42);
+        for _ in 0..100 {
+            i.run(&p, &mut h2).unwrap();
+            assert!((0..10).contains(&h2.packet[0]));
+        }
+        // non-positive bound traps
+        let p = Program::new("t", vec![Op::Push(0), Op::RandRange, Op::Pop, Op::Halt], vec![], 0)
+            .unwrap();
+        assert_eq!(
+            i.run(&p, &mut h2),
+            Err(VmError::BadRandRange(0))
+        );
+    }
+
+    #[test]
+    fn stack_overflow_enforced() {
+        // The verifier statically rejects loops that grow the stack, so at
+        // runtime an overflow means the program's (verified, finite) peak
+        // depth exceeds this interpreter's configured budget.
+        let mut limits = Limits::default();
+        limits.max_stack = 4;
+        let mut b = ProgramBuilder::new();
+        for i in 0..6 {
+            b.push(i);
+        }
+        for _ in 0..6 {
+            b.pop();
+        }
+        b.halt();
+        let p = b.build().unwrap();
+        let mut h = VecHost::default();
+        let e = Interpreter::new(limits).run(&p, &mut h);
+        assert_eq!(e, Err(VmError::StackOverflow));
+    }
+
+    #[test]
+    fn verifier_rejects_stack_growing_loops() {
+        let mut b = ProgramBuilder::new();
+        let head = b.new_label();
+        b.bind(head);
+        b.push(1).jmp(head);
+        assert!(b.build().is_err());
+    }
+}

@@ -1,0 +1,125 @@
+//! Resource budgets and usage accounting.
+//!
+//! §5.4 of the paper: "the (operand) stack and heap space of the interpreter
+//! are in the order of 64 and 256 bytes respectively" for the case-study
+//! programs. §6: the enclave "can, in principle, limit the amount of
+//! resources (memory and computational cycles) used by an action function",
+//! but the authors "chose not to restrict the complexity of the computation"
+//! — the administrator decides. We expose all three budgets; the instruction
+//! budget (`fuel`) defaults to unlimited to match the paper's stance, while
+//! stack and heap default to generous multiples of the paper's footprint.
+
+/// Resource limits for one action-function execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Limits {
+    /// Maximum operand-stack depth, in 8-byte slots.
+    pub max_stack: usize,
+    /// Maximum total locals across all live frames, in 8-byte slots. This is
+    /// the interpreter's "heap" in the paper's terminology: all
+    /// function-local state lives here.
+    pub max_heap_slots: usize,
+    /// Maximum call-frame depth (the paper's programs are small; recursion
+    /// is expected to be compiled to loops when it is tail recursion).
+    pub max_call_depth: usize,
+    /// Optional instruction budget. `None` (the default) reproduces the
+    /// paper's choice of not capping data-plane computation.
+    pub fuel: Option<u64>,
+}
+
+impl Default for Limits {
+    fn default() -> Self {
+        Limits {
+            // 64 slots = 512 B; the paper's programs used ~8 slots (64 B).
+            max_stack: 64,
+            // 256 slots = 2 KiB; the paper's programs used ~32 slots (256 B).
+            max_heap_slots: 256,
+            max_call_depth: 16,
+            fuel: None,
+        }
+    }
+}
+
+impl Limits {
+    /// The paper's reported footprint: 64-byte operand stack, 256-byte heap
+    /// (8 and 32 slots). Useful for demonstrating that the case-study
+    /// programs really fit (§5.4) and in tests.
+    pub fn paper_footprint() -> Self {
+        Limits {
+            max_stack: 8,
+            max_heap_slots: 32,
+            max_call_depth: 8,
+            fuel: None,
+        }
+    }
+
+    /// A hardened profile for untrusted tenant programs: small memory plus a
+    /// bounded instruction budget.
+    pub fn strict() -> Self {
+        Limits {
+            max_stack: 32,
+            max_heap_slots: 128,
+            max_call_depth: 8,
+            fuel: Some(100_000),
+        }
+    }
+}
+
+/// High-water marks observed during execution; reset per run.
+///
+/// The `fig12` harness reads these to reproduce the paper's §5.4 footprint
+/// numbers for our ports of the case-study programs.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Usage {
+    /// Deepest operand stack reached, in slots.
+    pub peak_stack: usize,
+    /// Most locals live at once across all frames, in slots.
+    pub peak_heap_slots: usize,
+    /// Deepest call nesting reached.
+    pub peak_call_depth: usize,
+    /// Instructions executed.
+    pub steps: u64,
+}
+
+impl Usage {
+    /// Stack high-water mark in bytes (8-byte slots).
+    pub fn peak_stack_bytes(&self) -> usize {
+        self.peak_stack * 8
+    }
+
+    /// Heap high-water mark in bytes (8-byte slots).
+    pub fn peak_heap_bytes(&self) -> usize {
+        self.peak_heap_slots * 8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let l = Limits::default();
+        assert!(l.max_stack >= 8);
+        assert!(l.max_heap_slots >= 32);
+        assert!(l.fuel.is_none());
+    }
+
+    #[test]
+    fn paper_footprint_matches_section_5_4() {
+        let l = Limits::paper_footprint();
+        assert_eq!(l.max_stack * 8, 64);
+        assert_eq!(l.max_heap_slots * 8, 256);
+    }
+
+    #[test]
+    fn usage_bytes() {
+        let u = Usage {
+            peak_stack: 5,
+            peak_heap_slots: 10,
+            peak_call_depth: 2,
+            steps: 100,
+        };
+        assert_eq!(u.peak_stack_bytes(), 40);
+        assert_eq!(u.peak_heap_bytes(), 80);
+    }
+}

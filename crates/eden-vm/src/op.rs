@@ -1,0 +1,232 @@
+//! Bytecode instruction set.
+//!
+//! The paper models its interpreter on a subset of the JVM: "basic load and
+//! store, arithmetic, branches, and conditionals", plus "a limited set of
+//! basic functions, such as picking random numbers and accessing a
+//! high-frequency clock" implemented as opcodes. We mirror that set, with
+//! three scoped state spaces (packet / message / global) instead of the
+//! JVM's object model — the scopes correspond to the three parameters of
+//! every action function (`packet`, `msg`, `_global`) and to the state
+//! lifetimes of §3.4.4.
+
+use std::fmt;
+
+/// A single VM instruction.
+///
+/// Jump targets are absolute instruction indices. Slot operands index into
+/// the flattened field layout computed by the `eden-lang` compiler from the
+/// state schema; array ids index the global array table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Op {
+    // --- constants & operand-stack shuffling ---------------------------
+    /// Push an immediate integer.
+    Push(i64),
+    /// Duplicate the top of stack.
+    Dup,
+    /// Discard the top of stack.
+    Pop,
+    /// Swap the two top stack values.
+    Swap,
+
+    // --- locals (per-frame registers) ----------------------------------
+    /// Push local `slot` of the current frame.
+    LoadLocal(u8),
+    /// Pop into local `slot` of the current frame.
+    StoreLocal(u8),
+
+    // --- scoped state ---------------------------------------------------
+    /// Push packet field `slot` (resolved via the schema's HeaderMap).
+    LoadPkt(u8),
+    /// Pop into packet field `slot`.
+    StorePkt(u8),
+    /// Push per-message state field `slot`.
+    LoadMsg(u8),
+    /// Pop into per-message state field `slot`.
+    StoreMsg(u8),
+    /// Push global state field `slot`.
+    LoadGlob(u8),
+    /// Pop into global state field `slot`.
+    StoreGlob(u8),
+
+    // --- global arrays ---------------------------------------------------
+    /// Pop index, push `array[index]` of global array `id`.
+    ArrLoad(u8),
+    /// Pop value then index, store into global array `id`.
+    ArrStore(u8),
+    /// Push the element count of global array `id`.
+    ArrLen(u8),
+
+    // --- arithmetic / logic (operate on i64, wrap like release Rust) ----
+    Add,
+    Sub,
+    Mul,
+    /// Signed division; division by zero is a trapped [`VmError::DivideByZero`](crate::VmError).
+    Div,
+    /// Signed remainder; rem by zero traps like [`Op::Div`].
+    Rem,
+    Neg,
+    And,
+    Or,
+    Xor,
+    Not,
+    Shl,
+    Shr,
+
+    // --- comparisons (push 1 or 0) ---------------------------------------
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+
+    // --- control flow -----------------------------------------------------
+    /// Unconditional jump to instruction index.
+    Jmp(u32),
+    /// Pop; jump if non-zero.
+    JmpIf(u32),
+    /// Pop; jump if zero.
+    JmpIfNot(u32),
+    /// Call function `id` from the program's function table. Arguments are
+    /// popped from the operand stack into the callee's first locals
+    /// (argument 0 is popped last, so callers push arguments left to right).
+    Call(u16),
+    /// Return from the current function; the callee's top of stack (its
+    /// result) is pushed onto the caller's stack.
+    Ret,
+    /// Stop execution; the packet proceeds with whatever state/header
+    /// mutations have been applied.
+    Halt,
+
+    // --- builtins ("basic functions ... implemented as op-codes") --------
+    /// Push a uniformly random non-negative i64 from the host.
+    Rand,
+    /// Pop `n`, push a uniform value in `[0, n)`; traps if `n <= 0`.
+    RandRange,
+    /// Push the host's high-frequency clock, in nanoseconds.
+    Now,
+    /// Pop two values, push a 63-bit mix hash of them.
+    Hash,
+
+    // --- packet disposition side effects ---------------------------------
+    /// Drop the packet and stop execution.
+    Drop,
+    /// Pop `charge` then `queue`: direct the packet to rate-limited queue
+    /// `queue`, charging it `charge` bytes (Pulsar-style; §2.1.2).
+    SetQueue,
+    /// Forward the packet to the controller and stop (the OpenFlow-style
+    /// punt path).
+    ToController,
+    /// Pop `table`: continue matching in enclave table `table` after this
+    /// function finishes.
+    GotoTable,
+}
+
+impl Op {
+    /// Net change this op applies to the operand stack depth, used by the
+    /// verifier. `Call` is handled separately (depends on arity).
+    pub(crate) fn stack_delta(&self) -> i32 {
+        use Op::*;
+        match self {
+            Push(_) | Dup | LoadLocal(_) | LoadPkt(_) | LoadMsg(_) | LoadGlob(_) | ArrLen(_)
+            | Rand | Now => 1,
+            Pop | StoreLocal(_) | StorePkt(_) | StoreMsg(_) | StoreGlob(_) | Add | Sub | Mul
+            | Div | Rem | And | Or | Xor | Shl | Shr | Eq | Ne | Lt | Le | Gt | Ge | JmpIf(_)
+            | JmpIfNot(_) | Hash | GotoTable => -1,
+            ArrStore(_) | SetQueue => -2,
+            Swap | Neg | Not | ArrLoad(_) | Jmp(_) | Halt | Drop | ToController | RandRange => 0,
+            Call(_) | Ret => 0, // handled by the verifier explicitly
+        }
+    }
+
+    /// Minimum operand-stack depth required before executing this op.
+    pub(crate) fn stack_need(&self) -> i32 {
+        use Op::*;
+        match self {
+            Push(_) | LoadLocal(_) | LoadPkt(_) | LoadMsg(_) | LoadGlob(_) | ArrLen(_) | Rand
+            | Now | Jmp(_) | Halt | ToController | Drop => 0,
+            Dup | Pop | StoreLocal(_) | StorePkt(_) | StoreMsg(_) | StoreGlob(_) | ArrLoad(_)
+            | Neg | Not | JmpIf(_) | JmpIfNot(_) | RandRange | GotoTable => 1,
+            Swap | Add | Sub | Mul | Div | Rem | And | Or | Xor | Shl | Shr | Eq | Ne | Lt
+            | Le | Gt | Ge | Hash | SetQueue => 2,
+            ArrStore(_) => 2,
+            Call(_) | Ret => 0, // handled by the verifier explicitly
+        }
+    }
+}
+
+impl fmt::Display for Op {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        use Op::*;
+        match self {
+            Push(v) => write!(f, "push {v}"),
+            Dup => write!(f, "dup"),
+            Pop => write!(f, "pop"),
+            Swap => write!(f, "swap"),
+            LoadLocal(s) => write!(f, "lload {s}"),
+            StoreLocal(s) => write!(f, "lstore {s}"),
+            LoadPkt(s) => write!(f, "pload {s}"),
+            StorePkt(s) => write!(f, "pstore {s}"),
+            LoadMsg(s) => write!(f, "mload {s}"),
+            StoreMsg(s) => write!(f, "mstore {s}"),
+            LoadGlob(s) => write!(f, "gload {s}"),
+            StoreGlob(s) => write!(f, "gstore {s}"),
+            ArrLoad(a) => write!(f, "aload {a}"),
+            ArrStore(a) => write!(f, "astore {a}"),
+            ArrLen(a) => write!(f, "alen {a}"),
+            Add => write!(f, "add"),
+            Sub => write!(f, "sub"),
+            Mul => write!(f, "mul"),
+            Div => write!(f, "div"),
+            Rem => write!(f, "rem"),
+            Neg => write!(f, "neg"),
+            And => write!(f, "and"),
+            Or => write!(f, "or"),
+            Xor => write!(f, "xor"),
+            Not => write!(f, "not"),
+            Shl => write!(f, "shl"),
+            Shr => write!(f, "shr"),
+            Eq => write!(f, "eq"),
+            Ne => write!(f, "ne"),
+            Lt => write!(f, "lt"),
+            Le => write!(f, "le"),
+            Gt => write!(f, "gt"),
+            Ge => write!(f, "ge"),
+            Jmp(t) => write!(f, "jmp {t}"),
+            JmpIf(t) => write!(f, "jmpif {t}"),
+            JmpIfNot(t) => write!(f, "jmpifnot {t}"),
+            Call(id) => write!(f, "call {id}"),
+            Ret => write!(f, "ret"),
+            Halt => write!(f, "halt"),
+            Rand => write!(f, "rand"),
+            RandRange => write!(f, "randrange"),
+            Now => write!(f, "now"),
+            Hash => write!(f, "hash"),
+            Drop => write!(f, "drop"),
+            SetQueue => write!(f, "setqueue"),
+            ToController => write!(f, "tocontroller"),
+            GotoTable => write!(f, "gototable"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lossless_enough_for_disasm() {
+        assert_eq!(Op::Push(-3).to_string(), "push -3");
+        assert_eq!(Op::JmpIfNot(7).to_string(), "jmpifnot 7");
+        assert_eq!(Op::ArrLen(2).to_string(), "alen 2");
+    }
+
+    #[test]
+    fn stack_deltas_match_needs() {
+        // every op must be executable when the stack holds exactly
+        // `stack_need` values, and may not underflow.
+        for op in [Op::Add, Op::Dup, Op::SetQueue, Op::ArrStore(0), Op::Hash] {
+            assert!(op.stack_need() >= -op.stack_delta());
+        }
+    }
+}

@@ -1,0 +1,85 @@
+//! Property tests for the bytecode wire codec: round-trips over arbitrary
+//! *valid* programs, and arbitrary byte mutations never panic the decoder.
+
+use eden_vm::{decode_program, encode_program, Interpreter, Limits, Op, Program, VecHost};
+use proptest::prelude::*;
+
+/// Generate a random straight-line (always-valid) program: balanced pushes
+/// and arithmetic, state touches, ending in Halt.
+fn arb_program() -> impl Strategy<Value = Program> {
+    proptest::collection::vec(
+        prop_oneof![
+            (-1000i64..1000).prop_map(|v| vec![Op::Push(v), Op::Pop]),
+            Just(vec![Op::Push(3), Op::Push(4), Op::Add, Op::Pop]),
+            Just(vec![Op::Push(9), Op::Push(2), Op::Mul, Op::StoreMsg(0)]),
+            (0u8..4).prop_map(|s| vec![Op::LoadPkt(s), Op::StorePkt(0)]),
+            Just(vec![Op::Rand, Op::Pop]),
+            Just(vec![Op::Now, Op::StoreGlob(0)]),
+            (0u8..2).prop_map(|s| vec![Op::LoadLocal(s), Op::Push(1), Op::Add, Op::StoreLocal(s)]),
+        ],
+        1..40,
+    )
+    .prop_map(|chunks| {
+        let mut ops: Vec<Op> = chunks.into_iter().flatten().collect();
+        ops.push(Op::Halt);
+        Program::new("arb", ops, vec![], 2).expect("straight-line chunks are valid")
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn codec_round_trips(p in arb_program()) {
+        let bytes = encode_program(&p);
+        let q = decode_program(&bytes).expect("own encoding decodes");
+        prop_assert_eq!(&q, &p);
+
+        // and the decoded program executes identically
+        let mut h1 = VecHost::with_slots(4, 1, 1);
+        let mut h2 = VecHost::with_slots(4, 1, 1);
+        h1.seed(7);
+        h2.seed(7);
+        let mut i1 = Interpreter::new(Limits::default());
+        let mut i2 = Interpreter::new(Limits::default());
+        let r1 = i1.run(&p, &mut h1);
+        let r2 = i2.run(&q, &mut h2);
+        prop_assert_eq!(r1, r2);
+        prop_assert_eq!(h1.packet, h2.packet);
+        prop_assert_eq!(h1.msg, h2.msg);
+        prop_assert_eq!(h1.global, h2.global);
+    }
+
+    #[test]
+    fn mutated_blobs_never_panic(p in arb_program(), at in 0usize..2000, xor in 1u8..=255) {
+        let mut bytes = encode_program(&p);
+        let n = bytes.len();
+        bytes[at % n] ^= xor;
+        // may decode to a different-but-valid program, or error; never panic
+        if let Ok(q) = decode_program(&bytes) {
+            // if it decodes, it must still be runnable without panicking
+            let mut h = VecHost::with_slots(4, 1, 1);
+            let mut interp = Interpreter::new(Limits {
+                fuel: Some(100_000),
+                ..Limits::default()
+            });
+            let _ = interp.run(&q, &mut h);
+        }
+    }
+
+    #[test]
+    fn truncated_blobs_never_decode_to_unverified_programs(p in arb_program(), cut in 1usize..100) {
+        let bytes = encode_program(&p);
+        let n = bytes.len().saturating_sub(cut);
+        if let Ok(q) = decode_program(&bytes[..n]) {
+            // truncation that still decodes (ops count is in the header, so
+            // this should be impossible) must at least be verified
+            let mut h = VecHost::with_slots(4, 1, 1);
+            let mut interp = Interpreter::new(Limits {
+                fuel: Some(100_000),
+                ..Limits::default()
+            });
+            let _ = interp.run(&q, &mut h);
+        }
+    }
+}

@@ -1,0 +1,154 @@
+//! The event queue: a binary heap with deterministic tie-breaking.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::Time;
+
+/// A scheduled entry: payload `T` due at `at`, ordered by (time, sequence).
+struct Entry<T> {
+    at: Time,
+    seq: u64,
+    payload: T,
+}
+
+impl<T> PartialEq for Entry<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<T> Eq for Entry<T> {}
+impl<T> PartialOrd for Entry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T> Ord for Entry<T> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want earliest first; ties
+        // break by insertion order for determinism.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// Min-heap of timed events with stable FIFO ordering among equal times.
+pub struct EventQueue<T> {
+    heap: BinaryHeap<Entry<T>>,
+    seq: u64,
+    now: Time,
+}
+
+impl<T> Default for EventQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> EventQueue<T> {
+    /// Empty queue at time zero.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+            now: Time::ZERO,
+        }
+    }
+
+    /// Current virtual time (the timestamp of the last popped event).
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// Schedule `payload` at absolute time `at`.
+    ///
+    /// # Panics
+    /// Panics if `at` is in the past — that is always a simulator bug.
+    pub fn schedule(&mut self, at: Time, payload: T) {
+        assert!(at >= self.now, "scheduling into the past ({at} < {})", self.now);
+        self.heap.push(Entry {
+            at,
+            seq: self.seq,
+            payload,
+        });
+        self.seq += 1;
+    }
+
+    /// Schedule `payload` `delay` after now.
+    pub fn schedule_in(&mut self, delay: Time, payload: T) {
+        self.schedule(self.now + delay, payload);
+    }
+
+    /// Pop the earliest event, advancing the clock to it.
+    pub fn pop(&mut self) -> Option<(Time, T)> {
+        self.heap.pop().map(|e| {
+            debug_assert!(e.at >= self.now);
+            self.now = e.at;
+            (e.at, e.payload)
+        })
+    }
+
+    /// Timestamp of the next event without popping.
+    pub fn peek_time(&self) -> Option<Time> {
+        self.heap.peek().map(|e| e.at)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(Time(30), "c");
+        q.schedule(Time(10), "a");
+        q.schedule(Time(20), "b");
+        assert_eq!(q.pop(), Some((Time(10), "a")));
+        assert_eq!(q.pop(), Some((Time(20), "b")));
+        assert_eq!(q.pop(), Some((Time(30), "c")));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn ties_break_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.schedule(Time(5), i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop(), Some((Time(5), i)));
+        }
+    }
+
+    #[test]
+    fn clock_advances_with_pops() {
+        let mut q = EventQueue::new();
+        q.schedule(Time(10), ());
+        q.pop();
+        assert_eq!(q.now(), Time(10));
+        q.schedule_in(Time(5), ());
+        assert_eq!(q.peek_time(), Some(Time(15)));
+    }
+
+    #[test]
+    #[should_panic(expected = "scheduling into the past")]
+    fn past_scheduling_panics() {
+        let mut q = EventQueue::new();
+        q.schedule(Time(10), ());
+        q.pop();
+        q.schedule(Time(5), ());
+    }
+}

@@ -1,0 +1,481 @@
+//! The network: nodes, links, and the event loop.
+
+use crate::event::EventQueue;
+use crate::node::{Action, Ctx, Node, NodeEvent};
+use crate::packet::Packet;
+use crate::rng::SimRng;
+use crate::stats::LinkStats;
+use crate::time::Time;
+
+/// Index of a node in the network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub usize);
+
+/// Index of a port *within one node* (assigned in connect order).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PortId(pub usize);
+
+/// Index of a link in the network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LinkId(pub usize);
+
+/// Physical properties of a full-duplex link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LinkSpec {
+    /// Rate in bits per second (each direction).
+    pub rate_bps: u64,
+    /// One-way propagation delay.
+    pub propagation: Time,
+    /// Maximum IPv4 total length accepted (typical 1500).
+    pub mtu: usize,
+}
+
+impl LinkSpec {
+    /// 10 Gbps, 1 µs propagation, 1500 B MTU — the paper's testbed links.
+    pub fn ten_gbps() -> LinkSpec {
+        LinkSpec {
+            rate_bps: 10_000_000_000,
+            propagation: Time::from_micros(1),
+            mtu: 1500,
+        }
+    }
+
+    /// 1 Gbps, 1 µs propagation, 1500 B MTU — the slow path in Figure 1 and
+    /// the storage link of case study 3.
+    pub fn one_gbps() -> LinkSpec {
+        LinkSpec {
+            rate_bps: 1_000_000_000,
+            propagation: Time::from_micros(1),
+            mtu: 1500,
+        }
+    }
+
+    /// 40 Gbps aggregation link.
+    pub fn forty_gbps() -> LinkSpec {
+        LinkSpec {
+            rate_bps: 40_000_000_000,
+            propagation: Time::from_micros(1),
+            mtu: 1500,
+        }
+    }
+}
+
+/// One endpoint of a link.
+#[derive(Debug, Clone, Copy)]
+struct Endpoint {
+    node: NodeId,
+    port: PortId,
+}
+
+struct Link {
+    ends: [Endpoint; 2],
+    spec: LinkSpec,
+    /// Per direction (indexed by sender side 0/1): when the sender's
+    /// serializer frees up.
+    busy_until: [Time; 2],
+    stats: [LinkStats; 2],
+}
+
+/// A port's view: which link it attaches to and which side it is.
+#[derive(Debug, Clone, Copy)]
+struct PortRef {
+    link: LinkId,
+    side: usize,
+}
+
+enum Ev {
+    Node { node: NodeId, event: NodeEvent },
+}
+
+/// The simulated network: topology + event loop.
+///
+/// ```
+/// use netsim::{Network, LinkSpec, Switch, SwitchConfig};
+///
+/// let mut net = Network::new(42);
+/// let s = net.add_node(Switch::new(SwitchConfig::default()));
+/// // hosts come from the `transport` crate; see its docs
+/// # let _ = s;
+/// ```
+pub struct Network {
+    queue: EventQueue<Ev>,
+    nodes: Vec<Box<dyn Node>>,
+    ports: Vec<Vec<PortRef>>,
+    links: Vec<Link>,
+    rng: SimRng,
+    packet_seq: u64,
+    events_processed: u64,
+    /// Scratch buffers reused across dispatches.
+    actions: Vec<Action>,
+    port_rates_scratch: Vec<u64>,
+}
+
+impl Network {
+    /// Empty network with a deterministic seed.
+    pub fn new(seed: u64) -> Network {
+        Network {
+            queue: EventQueue::new(),
+            nodes: Vec::new(),
+            ports: Vec::new(),
+            links: Vec::new(),
+            rng: SimRng::new(seed),
+            packet_seq: 1,
+            events_processed: 0,
+            actions: Vec::new(),
+            port_rates_scratch: Vec::new(),
+        }
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> Time {
+        self.queue.now()
+    }
+
+    /// Events dispatched so far.
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    /// Add a node; returns its id.
+    pub fn add_node(&mut self, node: impl Node) -> NodeId {
+        self.nodes.push(Box::new(node));
+        self.ports.push(Vec::new());
+        NodeId(self.nodes.len() - 1)
+    }
+
+    /// Connect two nodes with a full-duplex link; returns the new port id on
+    /// each side (in argument order).
+    pub fn connect(&mut self, a: NodeId, b: NodeId, spec: LinkSpec) -> (PortId, PortId) {
+        let link = LinkId(self.links.len());
+        let pa = PortId(self.ports[a.0].len());
+        let pb = PortId(self.ports[b.0].len());
+        self.links.push(Link {
+            ends: [Endpoint { node: a, port: pa }, Endpoint { node: b, port: pb }],
+            spec,
+            busy_until: [Time::ZERO; 2],
+            stats: [LinkStats::default(); 2],
+        });
+        self.ports[a.0].push(PortRef { link, side: 0 });
+        self.ports[b.0].push(PortRef { link, side: 1 });
+        (pa, pb)
+    }
+
+    /// Schedule a timer for `node` at absolute time `at` (used to kick off
+    /// applications before the loop starts).
+    pub fn schedule_timer(&mut self, node: NodeId, at: Time, token: u64) {
+        self.queue.schedule(
+            at,
+            Ev::Node {
+                node,
+                event: NodeEvent::Timer { token },
+            },
+        );
+    }
+
+    /// Borrow a node downcast to its concrete type (for configuration and
+    /// post-run stats collection).
+    pub fn node<T: Node>(&self, id: NodeId) -> &T {
+        self.nodes[id.0]
+            .as_any()
+            .downcast_ref::<T>()
+            .expect("node type mismatch")
+    }
+
+    /// Mutably borrow a node downcast to its concrete type.
+    pub fn node_mut<T: Node>(&mut self, id: NodeId) -> &mut T {
+        self.nodes[id.0]
+            .as_any_mut()
+            .downcast_mut::<T>()
+            .expect("node type mismatch")
+    }
+
+    /// Like [`node`](Self::node), but `None` on a type mismatch.
+    pub fn try_node<T: Node>(&self, id: NodeId) -> Option<&T> {
+        self.nodes[id.0].as_any().downcast_ref::<T>()
+    }
+
+    /// Like [`node_mut`](Self::node_mut), but `None` on a type mismatch.
+    pub fn try_node_mut<T: Node>(&mut self, id: NodeId) -> Option<&mut T> {
+        self.nodes[id.0].as_any_mut().downcast_mut::<T>()
+    }
+
+    /// Per-direction stats of `link`: index 0 is the a→b direction of the
+    /// original [`connect`](Self::connect) call.
+    pub fn link_stats(&self, link: LinkId) -> [LinkStats; 2] {
+        self.links[link.0].stats
+    }
+
+    /// The link attached to `(node, port)` and which side the node is.
+    pub fn port_link(&self, node: NodeId, port: PortId) -> (LinkId, usize) {
+        let pr = self.ports[node.0][port.0];
+        (pr.link, pr.side)
+    }
+
+    /// Run until the event queue is empty or `limit` is reached.
+    pub fn run_until(&mut self, limit: Time) {
+        while let Some(next) = self.queue.peek_time() {
+            if next > limit {
+                break;
+            }
+            let (_, ev) = self.queue.pop().expect("peeked");
+            self.dispatch(ev);
+        }
+    }
+
+    /// Run until the event queue is fully drained.
+    pub fn run_to_completion(&mut self) {
+        while let Some((_, ev)) = self.queue.pop() {
+            self.dispatch(ev);
+        }
+    }
+
+    fn dispatch(&mut self, ev: Ev) {
+        let Ev::Node { node, event } = ev;
+        self.events_processed += 1;
+
+        // Populate per-port rates for the node's ctx.
+        self.port_rates_scratch.clear();
+        for pr in &self.ports[node.0] {
+            self.port_rates_scratch.push(self.links[pr.link.0].spec.rate_bps);
+        }
+
+        debug_assert!(self.actions.is_empty());
+        let mut ctx = Ctx {
+            now: self.queue.now(),
+            rng: &mut self.rng,
+            actions: &mut self.actions,
+            port_rates: &self.port_rates_scratch,
+        };
+        self.nodes[node.0].on_event(event, &mut ctx);
+
+        // Apply deferred actions.
+        let mut actions = std::mem::take(&mut self.actions);
+        for action in actions.drain(..) {
+            match action {
+                Action::Timer { at, token } => {
+                    self.queue.schedule(
+                        at,
+                        Ev::Node {
+                            node,
+                            event: NodeEvent::Timer { token },
+                        },
+                    );
+                }
+                Action::StartTx { port, packet } => self.start_tx(node, port, packet),
+            }
+        }
+        self.actions = actions;
+    }
+
+    fn start_tx(&mut self, node: NodeId, port: PortId, mut packet: Packet) {
+        let now = self.queue.now();
+        let pr = self.ports[node.0][port.0];
+        let link = &mut self.links[pr.link.0];
+        assert!(
+            (packet.ip.total_length as usize) <= link.spec.mtu,
+            "packet of {}B exceeds link MTU {} (node {:?} port {:?})",
+            packet.ip.total_length,
+            link.spec.mtu,
+            node,
+            port
+        );
+        assert!(
+            now >= link.busy_until[pr.side],
+            "start_tx on busy port (node {node:?} port {port:?}): now {now}, busy until {}",
+            link.busy_until[pr.side]
+        );
+
+        if packet.id == 0 {
+            packet.id = self.packet_seq;
+            self.packet_seq += 1;
+        }
+        if packet.sent_at == Time::ZERO {
+            packet.sent_at = now;
+        }
+
+        let ser = Time::serialization(packet.wire_len(), link.spec.rate_bps);
+        let done = now + ser;
+        let arrive = done + link.spec.propagation;
+        link.busy_until[pr.side] = done;
+        link.stats[pr.side].packets += 1;
+        link.stats[pr.side].bytes += packet.wire_len() as u64;
+
+        let peer = link.ends[1 - pr.side];
+        self.queue.schedule(
+            done,
+            Ev::Node {
+                node,
+                event: NodeEvent::TxDone { port },
+            },
+        );
+        self.queue.schedule(
+            arrive,
+            Ev::Node {
+                node: peer.node,
+                event: NodeEvent::Packet {
+                    port: peer.port,
+                    packet,
+                },
+            },
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::{Packet, TcpHeader};
+    use std::any::Any;
+
+    /// Test node: echoes received packets back out the same port after
+    /// `TxDone`-aware queueing, and records arrivals.
+    #[derive(Default)]
+    struct Recorder {
+        received: Vec<(Time, Packet)>,
+        to_send: Vec<Packet>,
+        port_busy: bool,
+    }
+
+    impl Node for Recorder {
+        fn on_event(&mut self, event: NodeEvent, ctx: &mut Ctx<'_>) {
+            match event {
+                NodeEvent::Packet { packet, .. } => {
+                    self.received.push((ctx.now(), packet));
+                }
+                NodeEvent::Timer { .. } => {
+                    if !self.port_busy {
+                        if let Some(p) = self.to_send.pop() {
+                            ctx.start_tx(PortId(0), p);
+                            self.port_busy = true;
+                        }
+                    }
+                }
+                NodeEvent::TxDone { .. } => {
+                    self.port_busy = false;
+                    if let Some(p) = self.to_send.pop() {
+                        ctx.start_tx(PortId(0), p);
+                        self.port_busy = true;
+                    }
+                }
+            }
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    fn pkt(payload: usize) -> Packet {
+        Packet::tcp(1, 2, TcpHeader::default(), payload)
+    }
+
+    #[test]
+    fn packet_takes_serialization_plus_propagation() {
+        let mut net = Network::new(0);
+        let a = net.add_node(Recorder::default());
+        let b = net.add_node(Recorder::default());
+        net.connect(a, b, LinkSpec::ten_gbps());
+
+        net.node_mut::<Recorder>(a).to_send.push(pkt(1460)); // 1500B IP
+        net.schedule_timer(a, Time::ZERO, 0);
+        net.run_to_completion();
+
+        let rec = &net.node::<Recorder>(b).received;
+        assert_eq!(rec.len(), 1);
+        // wire = 14 + 1500 = 1514B; at 10G that is 1211.2 -> 1212ns; + 1us prop
+        let expect = Time::serialization(1514, 10_000_000_000) + Time::from_micros(1);
+        assert_eq!(rec[0].0, expect);
+    }
+
+    #[test]
+    fn back_to_back_packets_serialize_sequentially() {
+        let mut net = Network::new(0);
+        let a = net.add_node(Recorder::default());
+        let b = net.add_node(Recorder::default());
+        net.connect(a, b, LinkSpec::one_gbps());
+
+        for _ in 0..3 {
+            net.node_mut::<Recorder>(a).to_send.push(pkt(960)); // 1000B IP, 1014B wire
+        }
+        net.schedule_timer(a, Time::ZERO, 0);
+        net.run_to_completion();
+
+        let rec = &net.node::<Recorder>(b).received;
+        assert_eq!(rec.len(), 3);
+        let ser = Time::serialization(1014, 1_000_000_000);
+        assert_eq!(rec[1].0 - rec[0].0, ser);
+        assert_eq!(rec[2].0 - rec[1].0, ser);
+    }
+
+    #[test]
+    fn packet_ids_are_unique() {
+        let mut net = Network::new(0);
+        let a = net.add_node(Recorder::default());
+        let b = net.add_node(Recorder::default());
+        net.connect(a, b, LinkSpec::ten_gbps());
+        for _ in 0..5 {
+            net.node_mut::<Recorder>(a).to_send.push(pkt(100));
+        }
+        net.schedule_timer(a, Time::ZERO, 0);
+        net.run_to_completion();
+        let mut ids: Vec<u64> = net
+            .node::<Recorder>(b)
+            .received
+            .iter()
+            .map(|(_, p)| p.id)
+            .collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 5);
+    }
+
+    #[test]
+    fn link_stats_count_tx() {
+        let mut net = Network::new(0);
+        let a = net.add_node(Recorder::default());
+        let b = net.add_node(Recorder::default());
+        net.connect(a, b, LinkSpec::ten_gbps());
+        net.node_mut::<Recorder>(a).to_send.push(pkt(100));
+        net.schedule_timer(a, Time::ZERO, 0);
+        net.run_to_completion();
+        let stats = net.link_stats(LinkId(0));
+        assert_eq!(stats[0].packets, 1);
+        assert_eq!(stats[0].bytes, 14 + 140);
+        assert_eq!(stats[1].packets, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds link MTU")]
+    fn mtu_enforced() {
+        let mut net = Network::new(0);
+        let a = net.add_node(Recorder::default());
+        let b = net.add_node(Recorder::default());
+        net.connect(a, b, LinkSpec::ten_gbps());
+        net.node_mut::<Recorder>(a).to_send.push(pkt(2000));
+        net.schedule_timer(a, Time::ZERO, 0);
+        net.run_to_completion();
+    }
+
+    #[test]
+    fn identical_seeds_identical_traces() {
+        let run = |seed| {
+            let mut net = Network::new(seed);
+            let a = net.add_node(Recorder::default());
+            let b = net.add_node(Recorder::default());
+            net.connect(a, b, LinkSpec::ten_gbps());
+            for i in 0..10 {
+                net.node_mut::<Recorder>(a).to_send.push(pkt(100 + i * 10));
+            }
+            net.schedule_timer(a, Time::ZERO, 0);
+            net.run_to_completion();
+            net.node::<Recorder>(b)
+                .received
+                .iter()
+                .map(|(t, p)| (t.as_nanos(), p.ip.total_length))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(7), run(7));
+    }
+}

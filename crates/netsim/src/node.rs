@@ -1,0 +1,102 @@
+//! The node abstraction: anything attached to the fabric.
+//!
+//! Switches (this crate), hosts (the `transport` crate), and test fixtures
+//! all implement [`Node`]. A node reacts to three event kinds — packet
+//! arrival, transmit-complete on one of its ports, and its own timers — and
+//! influences the world only through [`Ctx`], which defers the effects until
+//! the handler returns (so the network structure is never aliased while a
+//! node runs).
+
+use std::any::Any;
+
+use crate::net::PortId;
+use crate::packet::Packet;
+use crate::rng::SimRng;
+use crate::time::Time;
+
+/// Events delivered to a node.
+#[derive(Debug)]
+pub enum NodeEvent {
+    /// A packet finished arriving on `port`.
+    Packet { port: PortId, packet: Packet },
+    /// The transmission started earlier on `port` has left the NIC; the
+    /// port is idle again and the node may start the next one.
+    TxDone { port: PortId },
+    /// A timer set via [`Ctx::timer_at`]/[`Ctx::timer_in`] fired.
+    Timer { token: u64 },
+}
+
+/// Deferred effects a node requests during an event handler.
+#[derive(Debug)]
+pub(crate) enum Action {
+    StartTx { port: PortId, packet: Packet },
+    Timer { at: Time, token: u64 },
+}
+
+/// Per-dispatch context handed to [`Node::on_event`].
+pub struct Ctx<'a> {
+    pub(crate) now: Time,
+    pub(crate) rng: &'a mut SimRng,
+    pub(crate) actions: &'a mut Vec<Action>,
+    /// Link rate of each of this node's ports, bits/second.
+    pub(crate) port_rates: &'a [u64],
+}
+
+impl<'a> Ctx<'a> {
+    /// Current virtual time.
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// The simulation RNG.
+    pub fn rng(&mut self) -> &mut SimRng {
+        self.rng
+    }
+
+    /// Begin transmitting `packet` on `port`.
+    ///
+    /// The port must be idle: a node learns idleness from the initial state
+    /// (all ports idle) and subsequent [`NodeEvent::TxDone`] events.
+    /// Transmitting on a busy port is a node bug and panics at apply time.
+    pub fn start_tx(&mut self, port: PortId, packet: Packet) {
+        self.actions.push(Action::StartTx { port, packet });
+    }
+
+    /// Fire [`NodeEvent::Timer`] with `token` at absolute time `at`.
+    pub fn timer_at(&mut self, at: Time, token: u64) {
+        self.actions.push(Action::Timer { at, token });
+    }
+
+    /// Fire [`NodeEvent::Timer`] with `token` after `delay`.
+    pub fn timer_in(&mut self, delay: Time, token: u64) {
+        let at = self.now + delay;
+        self.actions.push(Action::Timer { at, token });
+    }
+
+    /// Number of ports attached to this node.
+    pub fn num_ports(&self) -> usize {
+        self.port_rates.len()
+    }
+
+    /// Link rate of `port` in bits per second.
+    pub fn port_rate(&self, port: PortId) -> u64 {
+        self.port_rates[port.0]
+    }
+
+    /// Serialization time of `bytes` on `port`.
+    pub fn tx_time(&self, port: PortId, bytes: usize) -> Time {
+        Time::serialization(bytes, self.port_rates[port.0])
+    }
+}
+
+/// A device attached to the network.
+pub trait Node: Any {
+    /// Handle one event. All effects go through `ctx`.
+    fn on_event(&mut self, event: NodeEvent, ctx: &mut Ctx<'_>);
+
+    /// Downcast support for post-run inspection and configuration.
+    fn as_any(&self) -> &dyn Any;
+
+    /// Mutable downcast support.
+    fn as_any_mut(&mut self) -> &mut dyn Any;
+}

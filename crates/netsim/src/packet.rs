@@ -1,0 +1,315 @@
+//! Structured packet representation.
+//!
+//! The simulator moves structured headers (fast, allocation-light); the
+//! byte-level encodings live in [`crate::wire`] and round-trip these structs.
+//! Payload is represented by its length only — the evaluation never inspects
+//! payload bytes, and carrying megabytes of zeroes would only slow the
+//! experiments down.
+//!
+//! [`EdenMeta`] is the paper's stage-attached metadata (§3.3): class names,
+//! message identifier, message size/type, tenant. It travels with the packet
+//! *through the host stack* (socket → enclave) but is not serialized onto
+//! the wire — on the wire Eden uses only the 802.1Q PCP (priority) and VID
+//! (route label) fields, exactly as §3.5 prescribes.
+
+use crate::time::Time;
+
+/// Ethernet II header (MACs are node ids in the simulator).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct EthHeader {
+    pub src: u64,
+    pub dst: u64,
+    /// Optional 802.1Q tag.
+    pub vlan: Option<VlanTag>,
+}
+
+/// 802.1Q tag: 3-bit priority code point + 12-bit VLAN id.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct VlanTag {
+    /// Priority Code Point, 0..=7. Eden's priority channel.
+    pub pcp: u8,
+    /// VLAN id, 0..=4095. Eden's source-route label (§3.5).
+    pub vid: u16,
+}
+
+/// IPv4 header (no options).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Ipv4Header {
+    pub src: u32,
+    pub dst: u32,
+    pub protocol: u8,
+    pub dscp: u8,
+    pub ttl: u8,
+    /// Header + L4 + payload, in bytes.
+    pub total_length: u16,
+}
+
+/// TCP flag bits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TcpFlags {
+    pub syn: bool,
+    pub ack: bool,
+    pub fin: bool,
+    pub rst: bool,
+    pub psh: bool,
+}
+
+/// TCP header (20 bytes, no options).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TcpHeader {
+    pub src_port: u16,
+    pub dst_port: u16,
+    pub seq: u32,
+    pub ack: u32,
+    pub flags: TcpFlags,
+    pub window: u16,
+}
+
+/// UDP header (8 bytes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct UdpHeader {
+    pub src_port: u16,
+    pub dst_port: u16,
+}
+
+/// Transport header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum L4Header {
+    Tcp(TcpHeader),
+    Udp(UdpHeader),
+}
+
+impl L4Header {
+    /// Header length in bytes.
+    pub fn header_len(&self) -> usize {
+        match self {
+            L4Header::Tcp(_) => 20,
+            L4Header::Udp(_) => 8,
+        }
+    }
+
+    /// IP protocol number.
+    pub fn protocol(&self) -> u8 {
+        match self {
+            L4Header::Tcp(_) => 6,
+            L4Header::Udp(_) => 17,
+        }
+    }
+}
+
+/// Eden stage metadata attached to a packet inside the host (§3.3, §4.2).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct EdenMeta {
+    /// Interned class ids, one per rule-set the message matched. The
+    /// numeric ids are assigned by `eden-core`'s class registry.
+    pub classes: Vec<u32>,
+    /// Unique message identifier.
+    pub msg_id: u64,
+    /// Message type tag (stage-specific: GET/PUT, READ/WRITE, …).
+    pub msg_type: i64,
+    /// Total message size in bytes, when the stage knows it.
+    pub msg_size: i64,
+    /// Tenant id (Pulsar-style aggregate guarantees).
+    pub tenant: i64,
+    /// Hash of the application key, when the stage provides one.
+    pub key_hash: i64,
+    /// True on the first packet of a message.
+    pub msg_start: bool,
+}
+
+/// Application framing carried in the payload of the segment that ends a
+/// message. In a real stack this is the application's own header inside the
+/// payload bytes; since payloads are length-only in the simulator, the
+/// framing rides as a sidecar. Unlike [`EdenMeta`] (host-local, stripped at
+/// the NIC in reality), this *is* wire data and survives end to end.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AppMarker {
+    /// Application-chosen message tag (request id, response id, …).
+    pub app_tag: u64,
+    /// TCP sequence number one past the message's last byte.
+    pub end_seq: u32,
+    /// Total message size in bytes.
+    pub msg_size: u32,
+}
+
+/// A simulated packet.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Packet {
+    /// Globally unique id, for tracing.
+    pub id: u64,
+    pub eth: EthHeader,
+    pub ip: Ipv4Header,
+    pub l4: L4Header,
+    /// Application payload bytes represented by length only.
+    pub payload_len: usize,
+    /// Host-local Eden metadata; `None` for unclassified traffic.
+    pub meta: Option<EdenMeta>,
+    /// Application framing for the message this segment completes.
+    pub app_marker: Option<AppMarker>,
+    /// When the packet was first handed to a NIC (for latency accounting).
+    pub sent_at: Time,
+}
+
+impl Packet {
+    /// Build a TCP packet with consistent lengths.
+    pub fn tcp(src: u32, dst: u32, tcp: TcpHeader, payload_len: usize) -> Packet {
+        let total = 20 + 20 + payload_len;
+        assert!(total <= u16::MAX as usize, "packet too large for IPv4");
+        Packet {
+            id: 0,
+            eth: EthHeader::default(),
+            ip: Ipv4Header {
+                src,
+                dst,
+                protocol: 6,
+                dscp: 0,
+                ttl: 64,
+                total_length: total as u16,
+            },
+            l4: L4Header::Tcp(tcp),
+            payload_len,
+            meta: None,
+            app_marker: None,
+            sent_at: Time::ZERO,
+        }
+    }
+
+    /// Build a UDP packet with consistent lengths.
+    pub fn udp(src: u32, dst: u32, udp: UdpHeader, payload_len: usize) -> Packet {
+        let total = 20 + 8 + payload_len;
+        assert!(total <= u16::MAX as usize, "packet too large for IPv4");
+        Packet {
+            id: 0,
+            eth: EthHeader::default(),
+            ip: Ipv4Header {
+                src,
+                dst,
+                protocol: 17,
+                dscp: 0,
+                ttl: 64,
+                total_length: total as u16,
+            },
+            l4: L4Header::Udp(udp),
+            payload_len,
+            meta: None,
+            app_marker: None,
+            sent_at: Time::ZERO,
+        }
+    }
+
+    /// Total bytes on the wire: Ethernet (+ VLAN tag) + IP total length.
+    pub fn wire_len(&self) -> usize {
+        14 + if self.eth.vlan.is_some() { 4 } else { 0 } + self.ip.total_length as usize
+    }
+
+    /// The packet's 802.1p priority (0 if untagged).
+    pub fn priority(&self) -> u8 {
+        self.eth.vlan.map(|v| v.pcp).unwrap_or(0)
+    }
+
+    /// Set the 802.1p priority, adding a VLAN tag if needed.
+    pub fn set_priority(&mut self, pcp: u8) {
+        debug_assert!(pcp <= 7);
+        match &mut self.eth.vlan {
+            Some(tag) => tag.pcp = pcp & 7,
+            None => {
+                self.eth.vlan = Some(VlanTag { pcp: pcp & 7, vid: 0 });
+            }
+        }
+    }
+
+    /// The packet's route label (VLAN id; 0 if untagged).
+    pub fn route_label(&self) -> u16 {
+        self.eth.vlan.map(|v| v.vid).unwrap_or(0)
+    }
+
+    /// Set the route label, adding a VLAN tag if needed.
+    pub fn set_route_label(&mut self, vid: u16) {
+        debug_assert!(vid <= 4095);
+        match &mut self.eth.vlan {
+            Some(tag) => tag.vid = vid & 0xFFF,
+            None => {
+                self.eth.vlan = Some(VlanTag { pcp: 0, vid: vid & 0xFFF });
+            }
+        }
+    }
+
+    /// TCP five-tuple (src ip, src port, dst ip, dst port, proto), if TCP.
+    pub fn five_tuple(&self) -> Option<(u32, u16, u32, u16, u8)> {
+        match &self.l4 {
+            L4Header::Tcp(t) => Some((self.ip.src, t.src_port, self.ip.dst, t.dst_port, 6)),
+            L4Header::Udp(u) => Some((self.ip.src, u.src_port, self.ip.dst, u.dst_port, 17)),
+        }
+    }
+
+    /// Borrow the TCP header, if TCP.
+    pub fn tcp_header(&self) -> Option<&TcpHeader> {
+        match &self.l4 {
+            L4Header::Tcp(t) => Some(t),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tcp_lengths_consistent() {
+        let p = Packet::tcp(1, 2, TcpHeader::default(), 1000);
+        assert_eq!(p.ip.total_length, 1040);
+        assert_eq!(p.wire_len(), 14 + 1040);
+    }
+
+    #[test]
+    fn vlan_adds_four_bytes() {
+        let mut p = Packet::tcp(1, 2, TcpHeader::default(), 0);
+        let before = p.wire_len();
+        p.set_priority(5);
+        assert_eq!(p.wire_len(), before + 4);
+        assert_eq!(p.priority(), 5);
+    }
+
+    #[test]
+    fn priority_and_label_coexist() {
+        let mut p = Packet::tcp(1, 2, TcpHeader::default(), 0);
+        p.set_priority(3);
+        p.set_route_label(100);
+        assert_eq!(p.priority(), 3);
+        assert_eq!(p.route_label(), 100);
+        p.set_priority(7);
+        assert_eq!(p.route_label(), 100, "label survives priority update");
+    }
+
+    #[test]
+    fn five_tuple_for_both_protocols() {
+        let t = Packet::tcp(
+            10,
+            20,
+            TcpHeader {
+                src_port: 1111,
+                dst_port: 80,
+                ..Default::default()
+            },
+            0,
+        );
+        assert_eq!(t.five_tuple(), Some((10, 1111, 20, 80, 6)));
+        let u = Packet::udp(
+            10,
+            20,
+            UdpHeader {
+                src_port: 53,
+                dst_port: 53,
+            },
+            0,
+        );
+        assert_eq!(u.five_tuple(), Some((10, 53, 20, 53, 17)));
+    }
+
+    #[test]
+    #[should_panic(expected = "too large")]
+    fn oversized_packet_panics() {
+        let _ = Packet::tcp(1, 2, TcpHeader::default(), 70_000);
+    }
+}

@@ -1,0 +1,159 @@
+//! Measurement helpers: link counters and sample summaries.
+//!
+//! The paper reports averages, 95th percentiles, and 95% confidence
+//! intervals over ten runs; [`Summary`] computes all three so the bench
+//! harnesses print rows in the paper's own terms.
+
+/// Per-direction link counters, maintained by the framework on every
+/// transmission start.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LinkStats {
+    /// Packets transmitted.
+    pub packets: u64,
+    /// Bytes transmitted (wire bytes, including Ethernet framing).
+    pub bytes: u64,
+}
+
+impl LinkStats {
+    /// Average throughput over `seconds`, in bits per second.
+    pub fn throughput_bps(&self, seconds: f64) -> f64 {
+        if seconds <= 0.0 {
+            return 0.0;
+        }
+        self.bytes as f64 * 8.0 / seconds
+    }
+}
+
+/// Summary statistics over a sample of f64 observations.
+#[derive(Debug, Clone)]
+pub struct Summary {
+    sorted: Vec<f64>,
+}
+
+impl Summary {
+    /// Build from observations (NaNs are rejected).
+    pub fn new(mut samples: Vec<f64>) -> Summary {
+        assert!(
+            samples.iter().all(|x| !x.is_nan()),
+            "NaN in sample set"
+        );
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs"));
+        Summary { sorted: samples }
+    }
+
+    /// Number of observations.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Whether the sample set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// Arithmetic mean (0 for an empty set).
+    pub fn mean(&self) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        self.sorted.iter().sum::<f64>() / self.sorted.len() as f64
+    }
+
+    /// Percentile in `[0, 100]` by nearest-rank.
+    pub fn percentile(&self, p: f64) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        let rank = ((p / 100.0) * (self.sorted.len() as f64 - 1.0)).round() as usize;
+        self.sorted[rank.min(self.sorted.len() - 1)]
+    }
+
+    /// Median.
+    pub fn median(&self) -> f64 {
+        self.percentile(50.0)
+    }
+
+    /// Sample standard deviation (0 for fewer than two observations).
+    pub fn stddev(&self) -> f64 {
+        let n = self.sorted.len();
+        if n < 2 {
+            return 0.0;
+        }
+        let mean = self.mean();
+        let var = self
+            .sorted
+            .iter()
+            .map(|x| (x - mean) * (x - mean))
+            .sum::<f64>()
+            / (n as f64 - 1.0);
+        var.sqrt()
+    }
+
+    /// Half-width of the 95% confidence interval of the mean (normal
+    /// approximation, 1.96 σ/√n) — the error bars in Figures 9–11.
+    pub fn ci95(&self) -> f64 {
+        let n = self.sorted.len();
+        if n < 2 {
+            return 0.0;
+        }
+        1.96 * self.stddev() / (n as f64).sqrt()
+    }
+
+    /// Smallest observation.
+    pub fn min(&self) -> f64 {
+        self.sorted.first().copied().unwrap_or(0.0)
+    }
+
+    /// Largest observation.
+    pub fn max(&self) -> f64 {
+        self.sorted.last().copied().unwrap_or(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_percentiles() {
+        let s = Summary::new((1..=100).map(|x| x as f64).collect());
+        assert!((s.mean() - 50.5).abs() < 1e-9);
+        assert_eq!(s.percentile(0.0), 1.0);
+        assert_eq!(s.percentile(100.0), 100.0);
+        assert_eq!(s.percentile(95.0), 95.0);
+        // nearest-rank on an even-sized sample picks the upper middle
+        assert_eq!(s.median(), 51.0);
+        assert_eq!(s.min(), 1.0);
+        assert_eq!(s.max(), 100.0);
+    }
+
+    #[test]
+    fn empty_summary_is_zeroes() {
+        let s = Summary::new(vec![]);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.percentile(95.0), 0.0);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn ci_shrinks_with_sample_size() {
+        let small = Summary::new(vec![1.0, 2.0, 3.0, 4.0]);
+        let big = Summary::new((0..400).map(|i| 1.0 + (i % 4) as f64).collect());
+        assert!(big.ci95() < small.ci95());
+    }
+
+    #[test]
+    fn throughput_math() {
+        let s = LinkStats {
+            packets: 1,
+            bytes: 125_000_000,
+        };
+        assert_eq!(s.throughput_bps(1.0), 1e9);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_rejected() {
+        let _ = Summary::new(vec![f64::NAN]);
+    }
+}

@@ -1,0 +1,372 @@
+//! Byte-level wire formats: Ethernet II, 802.1Q, IPv4 (with checksum), TCP,
+//! UDP.
+//!
+//! The simulator's hot path moves structured [`Packet`]s, but the formats
+//! here are the ground truth: encode/decode round-trips are property-tested,
+//! the IPv4 checksum is computed and verified, and the 802.1Q fields the
+//! Eden enclave manipulates (PCP = priority, VID = route label) sit at their
+//! real bit offsets. `eden-core`'s HeaderMap tests use this module to show
+//! that an action-function write to `packet.Priority` lands in the right
+//! three bits of an actual frame.
+
+use bytes::{Buf, BufMut, BytesMut};
+
+use crate::packet::{
+    EthHeader, Ipv4Header, L4Header, Packet, TcpFlags, TcpHeader, UdpHeader, VlanTag,
+};
+use crate::time::Time;
+
+/// Ethertypes we emit.
+pub const ETHERTYPE_IPV4: u16 = 0x0800;
+/// 802.1Q tag protocol identifier.
+pub const ETHERTYPE_VLAN: u16 = 0x8100;
+
+/// Decode failure reasons.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// Fewer bytes than the fixed header requires.
+    Truncated { need: usize, have: usize },
+    /// Ethertype we do not speak.
+    UnknownEthertype(u16),
+    /// IP protocol we do not speak.
+    UnknownProtocol(u8),
+    /// IPv4 version field was not 4, or IHL < 5.
+    BadIpv4Header,
+    /// Header checksum mismatch.
+    BadChecksum { expected: u16, found: u16 },
+    /// IPv4 total length disagrees with the buffer.
+    BadLength,
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Truncated { need, have } => {
+                write!(f, "truncated: need {need} bytes, have {have}")
+            }
+            WireError::UnknownEthertype(t) => write!(f, "unknown ethertype {t:#06x}"),
+            WireError::UnknownProtocol(p) => write!(f, "unknown ip protocol {p}"),
+            WireError::BadIpv4Header => write!(f, "malformed ipv4 header"),
+            WireError::BadChecksum { expected, found } => {
+                write!(f, "ipv4 checksum mismatch: expected {expected:#06x}, found {found:#06x}")
+            }
+            WireError::BadLength => write!(f, "ipv4 total length disagrees with frame"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// RFC 1071 Internet checksum over `data` (pad odd length with zero).
+pub fn internet_checksum(data: &[u8]) -> u16 {
+    let mut sum: u32 = 0;
+    let mut chunks = data.chunks_exact(2);
+    for c in &mut chunks {
+        sum += u32::from(u16::from_be_bytes([c[0], c[1]]));
+    }
+    if let [last] = chunks.remainder() {
+        sum += u32::from(u16::from_be_bytes([*last, 0]));
+    }
+    while sum > 0xFFFF {
+        sum = (sum & 0xFFFF) + (sum >> 16);
+    }
+    !(sum as u16)
+}
+
+/// Encode a full frame: Ethernet (+VLAN) + IPv4 + L4 header + `payload_len`
+/// zero bytes standing in for application data.
+pub fn encode(packet: &Packet) -> BytesMut {
+    let mut buf = BytesMut::with_capacity(packet.wire_len());
+    // Ethernet
+    buf.put_slice(&packet.eth.dst.to_be_bytes()[2..8]);
+    buf.put_slice(&packet.eth.src.to_be_bytes()[2..8]);
+    if let Some(tag) = packet.eth.vlan {
+        buf.put_u16(ETHERTYPE_VLAN);
+        let tci = (u16::from(tag.pcp & 7) << 13) | (tag.vid & 0x0FFF);
+        buf.put_u16(tci);
+    }
+    buf.put_u16(ETHERTYPE_IPV4);
+
+    // IPv4 (20 bytes, checksum patched after)
+    let ip_start = buf.len();
+    buf.put_u8(0x45); // version 4, IHL 5
+    buf.put_u8(packet.ip.dscp << 2);
+    buf.put_u16(packet.ip.total_length);
+    buf.put_u16(0); // identification
+    buf.put_u16(0x4000); // DF, no fragments
+    buf.put_u8(packet.ip.ttl);
+    buf.put_u8(packet.ip.protocol);
+    buf.put_u16(0); // checksum placeholder
+    buf.put_u32(packet.ip.src);
+    buf.put_u32(packet.ip.dst);
+    let csum = internet_checksum(&buf[ip_start..ip_start + 20]);
+    buf[ip_start + 10..ip_start + 12].copy_from_slice(&csum.to_be_bytes());
+
+    // L4
+    match &packet.l4 {
+        L4Header::Tcp(t) => {
+            buf.put_u16(t.src_port);
+            buf.put_u16(t.dst_port);
+            buf.put_u32(t.seq);
+            buf.put_u32(t.ack);
+            let mut flags: u16 = 5 << 12; // data offset 5 words
+            if t.flags.fin {
+                flags |= 0x01;
+            }
+            if t.flags.syn {
+                flags |= 0x02;
+            }
+            if t.flags.rst {
+                flags |= 0x04;
+            }
+            if t.flags.psh {
+                flags |= 0x08;
+            }
+            if t.flags.ack {
+                flags |= 0x10;
+            }
+            buf.put_u16(flags);
+            buf.put_u16(t.window);
+            buf.put_u16(0); // checksum: elided in the simulator
+            buf.put_u16(0); // urgent
+        }
+        L4Header::Udp(u) => {
+            buf.put_u16(u.src_port);
+            buf.put_u16(u.dst_port);
+            buf.put_u16((8 + packet.payload_len) as u16);
+            buf.put_u16(0); // checksum optional in IPv4
+        }
+    }
+    buf.put_bytes(0, packet.payload_len);
+    buf
+}
+
+/// Decode a frame produced by [`encode`], verifying the IPv4 checksum.
+pub fn decode(mut data: &[u8]) -> Result<Packet, WireError> {
+    let total = data.len();
+    let need = |n: usize, data: &[u8]| -> Result<(), WireError> {
+        if data.remaining() < n {
+            Err(WireError::Truncated {
+                need: total - data.remaining() + n,
+                have: total,
+            })
+        } else {
+            Ok(())
+        }
+    };
+
+    need(14, &data)?;
+    let mut mac = [0u8; 8];
+    data.copy_to_slice(&mut mac[2..8]);
+    let dst = u64::from_be_bytes(mac);
+    data.copy_to_slice(&mut mac[2..8]);
+    let src = u64::from_be_bytes(mac);
+    let mut ethertype = data.get_u16();
+    let vlan = if ethertype == ETHERTYPE_VLAN {
+        need(4, &data)?;
+        let tci = data.get_u16();
+        ethertype = data.get_u16();
+        Some(VlanTag {
+            pcp: (tci >> 13) as u8,
+            vid: tci & 0x0FFF,
+        })
+    } else {
+        None
+    };
+    if ethertype != ETHERTYPE_IPV4 {
+        return Err(WireError::UnknownEthertype(ethertype));
+    }
+
+    need(20, &data)?;
+    let ip_bytes = &data[..20];
+    let found = u16::from_be_bytes([ip_bytes[10], ip_bytes[11]]);
+    let mut check = [0u8; 20];
+    check.copy_from_slice(ip_bytes);
+    check[10] = 0;
+    check[11] = 0;
+    let expected = internet_checksum(&check);
+    if expected != found {
+        return Err(WireError::BadChecksum { expected, found });
+    }
+    let vihl = data.get_u8();
+    if vihl != 0x45 {
+        return Err(WireError::BadIpv4Header);
+    }
+    let dscp = data.get_u8() >> 2;
+    let total_length = data.get_u16();
+    let _ident = data.get_u16();
+    let _frag = data.get_u16();
+    let ttl = data.get_u8();
+    let protocol = data.get_u8();
+    let _csum = data.get_u16();
+    let ip_src = data.get_u32();
+    let ip_dst = data.get_u32();
+
+    let l4 = match protocol {
+        6 => {
+            need(20, &data)?;
+            let src_port = data.get_u16();
+            let dst_port = data.get_u16();
+            let seq = data.get_u32();
+            let ack = data.get_u32();
+            let flags = data.get_u16();
+            let window = data.get_u16();
+            let _csum = data.get_u16();
+            let _urg = data.get_u16();
+            L4Header::Tcp(TcpHeader {
+                src_port,
+                dst_port,
+                seq,
+                ack,
+                window,
+                flags: TcpFlags {
+                    fin: flags & 0x01 != 0,
+                    syn: flags & 0x02 != 0,
+                    rst: flags & 0x04 != 0,
+                    psh: flags & 0x08 != 0,
+                    ack: flags & 0x10 != 0,
+                },
+            })
+        }
+        17 => {
+            need(8, &data)?;
+            let src_port = data.get_u16();
+            let dst_port = data.get_u16();
+            let _len = data.get_u16();
+            let _csum = data.get_u16();
+            L4Header::Udp(UdpHeader { src_port, dst_port })
+        }
+        other => return Err(WireError::UnknownProtocol(other)),
+    };
+
+    let header_len = 20 + l4.header_len();
+    let payload_len = (total_length as usize)
+        .checked_sub(header_len)
+        .ok_or(WireError::BadLength)?;
+    if data.remaining() < payload_len {
+        return Err(WireError::BadLength);
+    }
+
+    Ok(Packet {
+        id: 0,
+        eth: EthHeader { src, dst, vlan },
+        ip: Ipv4Header {
+            src: ip_src,
+            dst: ip_dst,
+            protocol,
+            dscp,
+            ttl,
+            total_length,
+        },
+        l4,
+        payload_len,
+        meta: None,
+        app_marker: None,
+        sent_at: Time::ZERO,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Packet {
+        let mut p = Packet::tcp(
+            0x0A000001,
+            0x0A000002,
+            TcpHeader {
+                src_port: 49152,
+                dst_port: 11211,
+                seq: 1_000_000,
+                ack: 77,
+                window: 65535,
+                flags: TcpFlags {
+                    ack: true,
+                    psh: true,
+                    ..Default::default()
+                },
+            },
+            512,
+        );
+        p.eth.src = 0x0000_AABBCCDD0001;
+        p.eth.dst = 0x0000_AABBCCDD0002;
+        p
+    }
+
+    #[test]
+    fn round_trip_plain() {
+        let p = sample();
+        let bytes = encode(&p);
+        assert_eq!(bytes.len(), p.wire_len());
+        let q = decode(&bytes).unwrap();
+        assert_eq!(q.ip, p.ip);
+        assert_eq!(q.l4, p.l4);
+        assert_eq!(q.eth, p.eth);
+        assert_eq!(q.payload_len, p.payload_len);
+    }
+
+    #[test]
+    fn round_trip_with_vlan() {
+        let mut p = sample();
+        p.set_priority(6);
+        p.set_route_label(0x123);
+        let bytes = encode(&p);
+        let q = decode(&bytes).unwrap();
+        assert_eq!(q.eth.vlan, Some(VlanTag { pcp: 6, vid: 0x123 }));
+    }
+
+    #[test]
+    fn pcp_sits_in_top_three_bits_of_tci() {
+        let mut p = sample();
+        p.set_priority(7);
+        p.set_route_label(0);
+        let bytes = encode(&p);
+        // TCI is bytes 14..16 of the frame (after dst+src MACs + TPID)
+        let tci = u16::from_be_bytes([bytes[14], bytes[15]]);
+        assert_eq!(tci >> 13, 7);
+    }
+
+    #[test]
+    fn checksum_detects_corruption() {
+        let p = sample();
+        let mut bytes = encode(&p);
+        bytes[20] ^= 0xFF; // corrupt an IPv4 header byte
+        match decode(&bytes) {
+            Err(WireError::BadChecksum { .. }) => {}
+            other => panic!("expected checksum error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let p = sample();
+        let bytes = encode(&p);
+        assert!(matches!(
+            decode(&bytes[..10]),
+            Err(WireError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn udp_round_trip() {
+        let p = Packet::udp(
+            1,
+            2,
+            UdpHeader {
+                src_port: 5353,
+                dst_port: 53,
+            },
+            100,
+        );
+        let q = decode(&encode(&p)).unwrap();
+        assert_eq!(q.l4, p.l4);
+        assert_eq!(q.payload_len, 100);
+    }
+
+    #[test]
+    fn internet_checksum_known_vector() {
+        // RFC 1071 example: 0x0001 0xf203 0xf4f5 0xf6f7 → sum 0xddf2 → ~ = 0x220d
+        let data = [0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7];
+        assert_eq!(internet_checksum(&data), 0x220d);
+    }
+}

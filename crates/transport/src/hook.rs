@@ -1,0 +1,66 @@
+//! The egress/ingress hook: where the Eden enclave attaches.
+//!
+//! The paper's enclave "resides along the end host network stack" and
+//! "extends and replaces functionality typically performed by the end host
+//! virtual switch" (§3.1). This trait is that attachment point, kept in
+//! `transport` so the stack does not depend on `eden-core`: the enclave
+//! implements [`PacketHook`], a host installs it with
+//! [`Stack::set_hook`](crate::Stack::set_hook), and from then on every
+//! packet leaving (and entering) the host passes through it.
+//!
+//! The verdicts mirror the side effects an action function may request
+//! (§3.4.2): continue, drop, or send to a rate-limited queue charging an
+//! explicit number of bytes. Header modifications (priority, route label)
+//! happen by mutating the packet in place.
+
+use netsim::{Packet, SimRng, Time};
+
+/// What the hook decided about a packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HookVerdict {
+    /// Continue down the stack (possibly with mutated headers).
+    Pass,
+    /// Drop the packet (stateful firewall, admission control, …).
+    Drop,
+    /// Send to rate-limited queue `queue`, charging `charge` bytes against
+    /// its token budget (Pulsar's size-aware policing, §2.1.2).
+    Queue { queue: usize, charge: u64 },
+}
+
+/// Environment handed to the hook on each packet.
+pub struct HookEnv<'a> {
+    /// Virtual time now.
+    pub now: Time,
+    /// Deterministic randomness (action functions' `rand()`).
+    pub rng: &'a mut SimRng,
+}
+
+/// A packet processor sitting at the bottom of the host stack.
+pub trait PacketHook: 'static {
+    /// Called for every packet about to leave the host (after TCP, before
+    /// the NIC queues).
+    fn on_egress(&mut self, packet: &mut Packet, env: &mut HookEnv<'_>) -> HookVerdict;
+
+    /// Called for every packet arriving at the host, before TCP. The
+    /// default passes everything (most Eden functions are egress-side).
+    fn on_ingress(&mut self, _packet: &mut Packet, _env: &mut HookEnv<'_>) -> HookVerdict {
+        HookVerdict::Pass
+    }
+
+    /// Downcast support, so the controller can reach an installed enclave
+    /// through [`Stack::hook_mut`](crate::Stack::hook_mut).
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any;
+}
+
+/// A hook that does nothing — the "vanilla TCP" baseline of §5.1.
+pub struct NullHook;
+
+impl PacketHook for NullHook {
+    fn on_egress(&mut self, _packet: &mut Packet, _env: &mut HookEnv<'_>) -> HookVerdict {
+        HookVerdict::Pass
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}

@@ -1,0 +1,124 @@
+//! The host node: a [`Stack`] plus an application.
+//!
+//! Applications implement [`App`] and receive socket events with `&mut
+//! Stack` in hand, so a request handler can immediately send its response.
+//! Timer tokens are partitioned: applications own the `TOKEN_APP` subsystem
+//! (56 usable bits); TCP RTOs and limiter releases use the others.
+
+use std::any::Any;
+
+use netsim::{Ctx, Node, NodeEvent};
+
+use crate::stack::{
+    token, AppEvent, Stack, TOKEN_APP, TOKEN_LIMITER, TOKEN_PAYLOAD_MASK, TOKEN_REORDER,
+    TOKEN_RTO,
+};
+
+/// Application logic running on a host. All methods default to no-ops so
+/// simple apps implement only what they need.
+#[allow(unused_variables)]
+pub trait App: 'static {
+    /// An application timer (scheduled with a token from
+    /// [`app_timer_token`]) fired.
+    fn on_timer(&mut self, token: u64, stack: &mut Stack, ctx: &mut Ctx<'_>) {}
+
+    /// An active open completed.
+    fn on_connected(&mut self, conn: crate::ConnId, stack: &mut Stack, ctx: &mut Ctx<'_>) {}
+
+    /// A passive open completed.
+    fn on_accept(&mut self, conn: crate::ConnId, stack: &mut Stack, ctx: &mut Ctx<'_>) {}
+
+    /// New in-order bytes were delivered on `conn`.
+    fn on_data(&mut self, conn: crate::ConnId, bytes: u32, stack: &mut Stack, ctx: &mut Ctx<'_>) {}
+
+    /// A complete application message arrived on `conn`.
+    fn on_message(
+        &mut self,
+        conn: crate::ConnId,
+        app_tag: u64,
+        size: u32,
+        stack: &mut Stack,
+        ctx: &mut Ctx<'_>,
+    ) {
+    }
+
+    /// The peer closed `conn`.
+    fn on_peer_closed(&mut self, conn: crate::ConnId, stack: &mut Stack, ctx: &mut Ctx<'_>) {}
+
+    /// Our close of `conn` completed.
+    fn on_closed(&mut self, conn: crate::ConnId, stack: &mut Stack, ctx: &mut Ctx<'_>) {}
+
+    /// A non-TCP packet arrived.
+    fn on_raw(&mut self, packet: netsim::Packet, stack: &mut Stack, ctx: &mut Ctx<'_>) {}
+}
+
+/// Token an application passes to [`netsim::Ctx::timer_at`] directly (the
+/// host demultiplexes it back to [`App::on_timer`] with `payload`).
+pub fn app_timer_token(payload: u64) -> u64 {
+    token(TOKEN_APP, payload)
+}
+
+/// A host node: stack + application.
+pub struct Host<A: App> {
+    pub stack: Stack,
+    pub app: A,
+}
+
+impl<A: App> Host<A> {
+    /// Build a host from a stack and application.
+    pub fn new(stack: Stack, app: A) -> Host<A> {
+        Host { stack, app }
+    }
+
+    fn drain_events(&mut self, ctx: &mut Ctx<'_>) {
+        // App callbacks may trigger sends that produce further events;
+        // loop until quiescent.
+        while let Some(ev) = self.stack.take_event() {
+            match ev {
+                AppEvent::Connected(c) => self.app.on_connected(c, &mut self.stack, ctx),
+                AppEvent::Accepted(c) => self.app.on_accept(c, &mut self.stack, ctx),
+                AppEvent::Data { conn, bytes } => {
+                    self.app.on_data(conn, bytes, &mut self.stack, ctx)
+                }
+                AppEvent::Message {
+                    conn,
+                    app_tag,
+                    size,
+                } => self
+                    .app
+                    .on_message(conn, app_tag, size, &mut self.stack, ctx),
+                AppEvent::PeerClosed(c) => self.app.on_peer_closed(c, &mut self.stack, ctx),
+                AppEvent::Closed(c) => self.app.on_closed(c, &mut self.stack, ctx),
+                AppEvent::Raw(p) => self.app.on_raw(p, &mut self.stack, ctx),
+            }
+        }
+    }
+}
+
+impl<A: App> Node for Host<A> {
+    fn on_event(&mut self, event: NodeEvent, ctx: &mut Ctx<'_>) {
+        match event {
+            NodeEvent::Packet { packet, .. } => self.stack.handle_ingress(packet, ctx),
+            NodeEvent::TxDone { .. } => self.stack.handle_tx_done(ctx),
+            NodeEvent::Timer { token: t } => {
+                let payload = t & TOKEN_PAYLOAD_MASK;
+                match t >> 56 {
+                    TOKEN_APP => self.app.on_timer(payload, &mut self.stack, ctx),
+                    TOKEN_RTO => self.stack.handle_rto_timer(payload, ctx),
+                    TOKEN_REORDER => self.stack.handle_reorder_timer(payload, ctx),
+                    TOKEN_LIMITER => self.stack.handle_limiter_timer(payload as usize, ctx),
+                    other => panic!("unknown timer subsystem {other}"),
+                }
+            }
+        }
+        self.drain_events(ctx);
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}

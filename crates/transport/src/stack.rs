@@ -1,0 +1,455 @@
+//! The per-host stack: socket table, demux, NIC queues, rate limiters, and
+//! the enclave hook.
+//!
+//! Packet path down: TCP emits a segment → the §4.2 intercept has already
+//! tagged it with its message's metadata → [`PacketHook::on_egress`] (the
+//! Eden enclave) → verdict: pass to the NIC's priority queues, drop, or
+//! detour through a token-bucket rate limiter → NIC serializer.
+//!
+//! Packet path up: NIC → [`PacketHook::on_ingress`] → TCP demux →
+//! application events.
+
+use std::collections::{HashMap, HashSet};
+
+use netsim::{Ctx, EdenMeta, Packet, PortId, PriorityPort, Time};
+
+use crate::hook::{HookEnv, HookVerdict, PacketHook};
+use crate::ratelimit::TokenBucket;
+use crate::tcp::{Conn, ConnState, ConnStats, TcpConfig, TcpEvent, TcpOutput};
+
+/// Handle to one connection on a host.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ConnId(pub usize);
+
+/// Stack construction parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct StackConfig {
+    pub tcp: TcpConfig,
+    /// Per-priority-class byte capacity of the NIC egress queues.
+    pub nic_queue_bytes: usize,
+}
+
+impl Default for StackConfig {
+    fn default() -> Self {
+        StackConfig {
+            tcp: TcpConfig::default(),
+            nic_queue_bytes: 1 << 20,
+        }
+    }
+}
+
+/// Events surfaced to the application (see [`crate::host::App`]).
+#[derive(Debug)]
+pub enum AppEvent {
+    /// Active open completed.
+    Connected(ConnId),
+    /// Passive open completed.
+    Accepted(ConnId),
+    /// In-order payload delivered.
+    Data { conn: ConnId, bytes: u32 },
+    /// A full application message arrived.
+    Message {
+        conn: ConnId,
+        app_tag: u64,
+        size: u32,
+    },
+    /// The peer closed its half of the connection.
+    PeerClosed(ConnId),
+    /// Our close completed.
+    Closed(ConnId),
+    /// A non-TCP packet arrived (raw apps, e.g. the port-knocking example).
+    Raw(Packet),
+}
+
+// Timer-token subsystems (top byte of the u64 token).
+pub(crate) const TOKEN_APP: u64 = 0;
+pub(crate) const TOKEN_RTO: u64 = 1;
+pub(crate) const TOKEN_LIMITER: u64 = 2;
+pub(crate) const TOKEN_REORDER: u64 = 3;
+pub(crate) const TOKEN_PAYLOAD_MASK: u64 = (1 << 56) - 1;
+
+pub(crate) fn token(subsystem: u64, payload: u64) -> u64 {
+    (subsystem << 56) | (payload & TOKEN_PAYLOAD_MASK)
+}
+
+/// The host network stack.
+pub struct Stack {
+    /// This host's IPv4 address.
+    pub addr: u32,
+    cfg: StackConfig,
+    conns: Vec<Conn>,
+    /// (remote ip, remote port, local port) → connection index.
+    demux: HashMap<(u32, u16, u16), usize>,
+    listeners: HashSet<u16>,
+    next_ephemeral: u16,
+    hook: Option<Box<dyn PacketHook>>,
+    limiters: Vec<TokenBucket>,
+    limiter_armed: Vec<bool>,
+    nic: PriorityPort,
+    events: Vec<AppEvent>,
+    /// Packets dropped by the hook's `Drop` verdict.
+    pub hook_drops: u64,
+    /// Packets dropped at the NIC queues (overflow).
+    pub nic_drops: u64,
+    /// Packets directed to a queue id that does not exist.
+    pub bad_queue_drops: u64,
+}
+
+impl Stack {
+    /// A stack for a host with address `addr`.
+    pub fn new(addr: u32, cfg: StackConfig) -> Stack {
+        Stack {
+            addr,
+            cfg,
+            conns: Vec::new(),
+            demux: HashMap::new(),
+            listeners: HashSet::new(),
+            next_ephemeral: 40_000,
+            hook: None,
+            limiters: Vec::new(),
+            limiter_armed: Vec::new(),
+            nic: PriorityPort::new(cfg.nic_queue_bytes),
+            events: Vec::new(),
+            hook_drops: 0,
+            nic_drops: 0,
+            bad_queue_drops: 0,
+        }
+    }
+
+    /// Install the enclave (or any packet processor).
+    pub fn set_hook(&mut self, hook: impl PacketHook) {
+        self.hook = Some(Box::new(hook));
+    }
+
+    /// Remove the hook, returning to the vanilla path.
+    pub fn clear_hook(&mut self) {
+        self.hook = None;
+    }
+
+    /// Borrow the hook downcast to a concrete type (controller access to an
+    /// installed enclave).
+    pub fn hook_mut<T: PacketHook>(&mut self) -> Option<&mut T> {
+        self.hook
+            .as_mut()
+            .and_then(|h| h.as_any_mut().downcast_mut::<T>())
+    }
+
+    /// Create a rate-limited queue (Pulsar's `queueMap` targets); returns
+    /// its queue id for `HookVerdict::Queue`.
+    pub fn add_limiter(&mut self, rate_bps: u64, burst_bytes: u64) -> usize {
+        self.limiters.push(TokenBucket::new(rate_bps, burst_bytes));
+        self.limiter_armed.push(false);
+        self.limiters.len() - 1
+    }
+
+    /// Update a limiter's rate at runtime (controller action).
+    pub fn set_limiter_rate(&mut self, queue: usize, rate_bps: u64, now: Time) {
+        self.limiters[queue].set_rate(rate_bps, now);
+    }
+
+    /// Borrow a limiter (stats).
+    pub fn limiter(&self, queue: usize) -> &TokenBucket {
+        &self.limiters[queue]
+    }
+
+    /// Start listening on `port`.
+    pub fn listen(&mut self, port: u16) {
+        self.listeners.insert(port);
+    }
+
+    /// Active-open a connection; the SYN leaves immediately.
+    pub fn connect(&mut self, remote_ip: u32, remote_port: u16, ctx: &mut Ctx<'_>) -> ConnId {
+        let local_port = self.next_ephemeral;
+        self.next_ephemeral = self.next_ephemeral.wrapping_add(1).max(40_000);
+        let mut out = TcpOutput::default();
+        let conn = Conn::connect(
+            self.cfg.tcp,
+            (self.addr, local_port),
+            (remote_ip, remote_port),
+            ctx.now(),
+            &mut out,
+        );
+        let idx = self.conns.len();
+        self.conns.push(conn);
+        self.demux
+            .insert((remote_ip, remote_port, local_port), idx);
+        self.apply_output(idx, out, ctx);
+        ConnId(idx)
+    }
+
+    /// The paper's extended send primitive (§4.2): send `bytes` as one
+    /// application message with optional class/metadata information. The
+    /// final segment carries `app_tag` so the receiving application can
+    /// frame the message.
+    pub fn send_message(
+        &mut self,
+        conn: ConnId,
+        bytes: u32,
+        app_tag: u64,
+        meta: Option<EdenMeta>,
+        ctx: &mut Ctx<'_>,
+    ) {
+        let mut out = TcpOutput::default();
+        self.conns[conn.0].send_message(bytes, app_tag, meta, ctx.now(), &mut out);
+        self.conns[conn.0].gc_messages();
+        self.apply_output(conn.0, out, ctx);
+    }
+
+    /// Close after all queued data drains.
+    pub fn close(&mut self, conn: ConnId, ctx: &mut Ctx<'_>) {
+        let mut out = TcpOutput::default();
+        self.conns[conn.0].close(ctx.now(), &mut out);
+        self.apply_output(conn.0, out, ctx);
+    }
+
+    /// Connection state (for tests/instrumentation).
+    pub fn conn_state(&self, conn: ConnId) -> ConnState {
+        self.conns[conn.0].state
+    }
+
+    /// Connection counters.
+    pub fn conn_stats(&self, conn: ConnId) -> ConnStats {
+        self.conns[conn.0].stats
+    }
+
+    /// Congestion window, bytes.
+    pub fn conn_cwnd(&self, conn: ConnId) -> u32 {
+        self.conns[conn.0].cwnd()
+    }
+
+    /// Smoothed RTT, nanoseconds.
+    pub fn conn_srtt_ns(&self, conn: ConnId) -> u64 {
+        self.conns[conn.0].srtt_ns()
+    }
+
+    /// Bytes in flight.
+    pub fn conn_in_flight(&self, conn: ConnId) -> u32 {
+        self.conns[conn.0].in_flight()
+    }
+
+    /// Whether all data queued on `conn` has been acknowledged.
+    pub fn conn_all_acked(&self, conn: ConnId) -> bool {
+        self.conns[conn.0].all_acked()
+    }
+
+    /// Number of connections ever created on this stack.
+    pub fn conn_count(&self) -> usize {
+        self.conns.len()
+    }
+
+    /// Send a raw (typically UDP) packet through the egress path.
+    pub fn send_raw(&mut self, packet: Packet, ctx: &mut Ctx<'_>) {
+        self.egress(packet, ctx);
+    }
+
+    /// Drain application events produced by the last stack call.
+    pub fn take_event(&mut self) -> Option<AppEvent> {
+        if self.events.is_empty() {
+            None
+        } else {
+            Some(self.events.remove(0))
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // fabric-facing entry points (called by Host)
+    // ------------------------------------------------------------------
+
+    /// A packet arrived from the NIC.
+    pub(crate) fn handle_ingress(&mut self, mut packet: Packet, ctx: &mut Ctx<'_>) {
+        if let Some(hook) = self.hook.as_mut() {
+            let mut env = HookEnv {
+                now: ctx.now(),
+                rng: ctx.rng(),
+            };
+            match hook.on_ingress(&mut packet, &mut env) {
+                HookVerdict::Pass => {}
+                HookVerdict::Drop => {
+                    self.hook_drops += 1;
+                    return;
+                }
+                HookVerdict::Queue { .. } => {
+                    // rate limiting on ingress is not part of the model
+                    self.hook_drops += 1;
+                    return;
+                }
+            }
+        }
+        let Some(hdr) = packet.tcp_header().copied() else {
+            self.events.push(AppEvent::Raw(packet));
+            return;
+        };
+        let key = (packet.ip.src, hdr.src_port, hdr.dst_port);
+        if let Some(&idx) = self.demux.get(&key) {
+            let mut out = TcpOutput::default();
+            self.conns[idx].on_segment(&packet, ctx.now(), &mut out);
+            self.apply_output(idx, out, ctx);
+        } else if hdr.flags.syn && !hdr.flags.ack && self.listeners.contains(&hdr.dst_port) {
+            let mut out = TcpOutput::default();
+            let conn = Conn::accept(
+                self.cfg.tcp,
+                (self.addr, hdr.dst_port),
+                (packet.ip.src, hdr.src_port),
+                hdr.seq,
+                ctx.now(),
+                &mut out,
+            );
+            let idx = self.conns.len();
+            self.conns.push(conn);
+            self.demux.insert(key, idx);
+            self.apply_output(idx, out, ctx);
+        }
+        // else: no socket — silently dropped (no RST machinery)
+    }
+
+    /// The NIC finished serializing a packet.
+    pub(crate) fn handle_tx_done(&mut self, ctx: &mut Ctx<'_>) {
+        match self.nic.dequeue() {
+            Some(next) => ctx.start_tx(PortId(0), next),
+            None => self.nic.busy = false,
+        }
+    }
+
+    /// An RTO timer fired; `payload` encodes (conn, generation).
+    pub(crate) fn handle_rto_timer(&mut self, payload: u64, ctx: &mut Ctx<'_>) {
+        let idx = (payload >> 24) as usize;
+        let generation = payload & ((1 << 24) - 1);
+        let Some(conn) = self.conns.get_mut(idx) else {
+            return;
+        };
+        if !conn.rto_armed || (conn.rto_gen & ((1 << 24) - 1)) != generation {
+            return; // stale timer
+        }
+        let mut out = TcpOutput::default();
+        conn.on_rto(ctx.now(), &mut out);
+        self.apply_output(idx, out, ctx);
+    }
+
+    /// A reorder-tolerance timer fired; `payload` encodes (conn, generation).
+    pub(crate) fn handle_reorder_timer(&mut self, payload: u64, ctx: &mut Ctx<'_>) {
+        let idx = (payload >> 24) as usize;
+        let generation = payload & ((1 << 24) - 1);
+        let Some(conn) = self.conns.get_mut(idx) else {
+            return;
+        };
+        if !conn.reorder_armed || (conn.reorder_gen & ((1 << 24) - 1)) != generation {
+            return; // resolved or superseded
+        }
+        let mut out = TcpOutput::default();
+        conn.on_reorder_timeout(ctx.now(), &mut out);
+        self.apply_output(idx, out, ctx);
+    }
+
+    /// A limiter release timer fired.
+    pub(crate) fn handle_limiter_timer(&mut self, queue: usize, ctx: &mut Ctx<'_>) {
+        if queue >= self.limiters.len() {
+            return;
+        }
+        self.limiter_armed[queue] = false;
+        let released = self.limiters[queue].release(ctx.now());
+        for p in released {
+            self.nic_enqueue(p, ctx);
+        }
+        self.arm_limiter(queue, ctx);
+    }
+
+    // ------------------------------------------------------------------
+    // internals
+    // ------------------------------------------------------------------
+
+    fn apply_output(&mut self, idx: usize, out: TcpOutput, ctx: &mut Ctx<'_>) {
+        for ev in out.events {
+            let conn = ConnId(idx);
+            self.events.push(match ev {
+                TcpEvent::Connected => AppEvent::Connected(conn),
+                TcpEvent::Accepted => AppEvent::Accepted(conn),
+                TcpEvent::Data { bytes } => AppEvent::Data { conn, bytes },
+                TcpEvent::Message { app_tag, size } => AppEvent::Message {
+                    conn,
+                    app_tag,
+                    size,
+                },
+                TcpEvent::PeerClosed => AppEvent::PeerClosed(conn),
+                TcpEvent::Closed => AppEvent::Closed(conn),
+            });
+        }
+        if let Some(deadline) = out.arm_rto {
+            let generation = self.conns[idx].rto_gen & ((1 << 24) - 1);
+            let payload = ((idx as u64) << 24) | generation;
+            ctx.timer_at(deadline, token(TOKEN_RTO, payload));
+        }
+        if let Some(deadline) = out.arm_reorder {
+            let generation = self.conns[idx].reorder_gen & ((1 << 24) - 1);
+            let payload = ((idx as u64) << 24) | generation;
+            ctx.timer_at(deadline, token(TOKEN_REORDER, payload));
+        }
+        for packet in out.packets {
+            self.egress(packet, ctx);
+        }
+    }
+
+    fn egress(&mut self, mut packet: Packet, ctx: &mut Ctx<'_>) {
+        packet.eth.src = u64::from(self.addr);
+        if let Some(hook) = self.hook.as_mut() {
+            let mut env = HookEnv {
+                now: ctx.now(),
+                rng: ctx.rng(),
+            };
+            match hook.on_egress(&mut packet, &mut env) {
+                HookVerdict::Pass => {}
+                HookVerdict::Drop => {
+                    self.hook_drops += 1;
+                    return;
+                }
+                HookVerdict::Queue { queue, charge } => {
+                    if queue >= self.limiters.len() {
+                        self.bad_queue_drops += 1;
+                        return;
+                    }
+                    self.limiters[queue].enqueue(packet, charge, ctx.now());
+                    let released = self.limiters[queue].release(ctx.now());
+                    for p in released {
+                        self.nic_enqueue(p, ctx);
+                    }
+                    self.arm_limiter(queue, ctx);
+                    return;
+                }
+            }
+        }
+        self.nic_enqueue(packet, ctx);
+    }
+
+    fn arm_limiter(&mut self, queue: usize, ctx: &mut Ctx<'_>) {
+        if self.limiter_armed[queue] {
+            return;
+        }
+        if let Some(at) = self.limiters[queue].next_release_at(ctx.now()) {
+            let at = at.max(ctx.now() + Time::from_nanos(1));
+            self.limiter_armed[queue] = true;
+            ctx.timer_at(at, token(TOKEN_LIMITER, queue as u64));
+        }
+    }
+
+    fn nic_enqueue(&mut self, packet: Packet, ctx: &mut Ctx<'_>) {
+        if !self.nic.busy && !self.nic.has_backlog() {
+            self.nic.busy = true;
+            ctx.start_tx(PortId(0), packet);
+            return;
+        }
+        // Local ACK prioritization: pure control packets (no payload) jump
+        // the host's own data backlog, like real stacks' thin-stream
+        // handling. This is host-local — the wire 802.1Q priority is
+        // untouched, so switches still schedule by the enclave's marking.
+        // Without it, a host saturating its uplink with data starves the
+        // ACK stream that clocks its peers (visible as total WRITE-tenant
+        // collapse in the Figure 11 scenario).
+        let class = if packet.payload_len == 0 {
+            7
+        } else {
+            packet.priority()
+        };
+        if !self.nic.enqueue_with_class(packet, class) {
+            self.nic_drops += 1;
+        }
+    }
+}

@@ -1,0 +1,106 @@
+//! Reproduction of the prop_loss stall (diagnostic, ignored by default).
+
+use netsim::{Ctx, LinkSpec, Network, Packet, PortId, SimRng, Time};
+use transport::{
+    app_timer_token, App, ConnId, Host, HookEnv, HookVerdict, PacketHook, Stack, StackConfig,
+};
+
+struct PatternLoss {
+    pattern: Vec<bool>,
+    at: usize,
+}
+
+impl PacketHook for PatternLoss {
+    fn on_egress(&mut self, packet: &mut Packet, _env: &mut HookEnv<'_>) -> HookVerdict {
+        if packet.payload_len == 0 {
+            return HookVerdict::Pass;
+        }
+        let drop = self.pattern.get(self.at).copied().unwrap_or(false);
+        self.at += 1;
+        if drop {
+            HookVerdict::Drop
+        } else {
+            HookVerdict::Pass
+        }
+    }
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}
+
+struct Sender {
+    sizes: Vec<u32>,
+}
+impl App for Sender {
+    fn on_timer(&mut self, _t: u64, stack: &mut Stack, ctx: &mut Ctx<'_>) {
+        stack.connect(2, 7000, ctx);
+    }
+    fn on_connected(&mut self, conn: ConnId, stack: &mut Stack, ctx: &mut Ctx<'_>) {
+        for (i, &size) in self.sizes.iter().enumerate() {
+            stack.send_message(conn, size, i as u64, None, ctx);
+        }
+    }
+}
+
+#[derive(Default)]
+struct Collector {
+    got: Vec<(u64, u32)>,
+}
+impl App for Collector {
+    fn on_timer(&mut self, _t: u64, stack: &mut Stack, _ctx: &mut Ctx<'_>) {
+        stack.listen(7000);
+    }
+    fn on_message(&mut self, _c: ConnId, tag: u64, size: u32, _s: &mut Stack, _x: &mut Ctx<'_>) {
+        self.got.push((tag, size));
+    }
+}
+
+#[test]
+#[ignore]
+fn diag() {
+    let sizes = vec![30661u32, 47449, 35041, 43801, 36501];
+    let seed = 209u64;
+    let mut gen = SimRng::new(seed);
+    let pattern: Vec<bool> = (0..400).map(|_| gen.below(100) < 17).collect();
+
+    let mut net = Network::new(seed);
+    let s = net.add_node(Host::new(
+        Stack::new(1, StackConfig::default()),
+        Sender { sizes },
+    ));
+    let r = net.add_node(Host::new(
+        Stack::new(2, StackConfig::default()),
+        Collector::default(),
+    ));
+    let sw = net.add_node(netsim::Switch::new(netsim::SwitchConfig::default()));
+    net.connect(s, sw, LinkSpec::ten_gbps());
+    net.connect(r, sw, LinkSpec::ten_gbps());
+    {
+        let swn = net.node_mut::<netsim::Switch>(sw);
+        swn.install_route(1, PortId(0));
+        swn.install_route(2, PortId(1));
+    }
+    net.node_mut::<Host<Sender>>(s)
+        .stack
+        .set_hook(PatternLoss { pattern, at: 0 });
+    net.schedule_timer(r, Time::ZERO, app_timer_token(0));
+    net.schedule_timer(s, Time::from_nanos(10), app_timer_token(0));
+    net.run_until(Time::from_secs(30));
+
+    let host = net.node::<Host<Sender>>(s);
+    let st = host.stack.conn_stats(ConnId(0));
+    eprintln!(
+        "sender: sent {} rexmit {} fast {} rto {} dupacks {} reorder {} inflight {} cwnd {} all_acked {}",
+        st.packets_sent,
+        st.retransmits,
+        st.fast_retransmits,
+        st.timeouts,
+        st.dup_acks_received,
+        st.reorder_events,
+        host.stack.conn_in_flight(ConnId(0)),
+        host.stack.conn_cwnd(ConnId(0)),
+        host.stack.conn_all_acked(ConnId(0)),
+    );
+    eprintln!("got: {:?}", net.node::<Host<Collector>>(r).app.got);
+    eprintln!("events: {}", net.events_processed());
+}

@@ -1,0 +1,148 @@
+//! Property tests: TCP delivers every message intact under arbitrary
+//! (bounded) loss patterns injected at the sender's egress hook.
+
+use netsim::{Ctx, LinkSpec, Network, Packet, PortId, SimRng, Time};
+use proptest::prelude::*;
+use transport::{
+    app_timer_token, App, ConnId, Host, HookEnv, HookVerdict, PacketHook, Stack, StackConfig,
+};
+
+/// Drops data packets according to a pre-drawn Bernoulli pattern, then
+/// passes everything once the pattern is exhausted (so runs terminate).
+struct PatternLoss {
+    pattern: Vec<bool>,
+    at: usize,
+}
+
+impl PacketHook for PatternLoss {
+    fn on_egress(&mut self, packet: &mut Packet, _env: &mut HookEnv<'_>) -> HookVerdict {
+        if packet.payload_len == 0 {
+            return HookVerdict::Pass;
+        }
+        let drop = self.pattern.get(self.at).copied().unwrap_or(false);
+        self.at += 1;
+        if drop {
+            HookVerdict::Drop
+        } else {
+            HookVerdict::Pass
+        }
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}
+
+struct Sender {
+    sizes: Vec<u32>,
+}
+
+impl App for Sender {
+    fn on_timer(&mut self, _t: u64, stack: &mut Stack, ctx: &mut Ctx<'_>) {
+        stack.connect(2, 7000, ctx);
+    }
+    fn on_connected(&mut self, conn: ConnId, stack: &mut Stack, ctx: &mut Ctx<'_>) {
+        for (i, &size) in self.sizes.iter().enumerate() {
+            stack.send_message(conn, size, i as u64, None, ctx);
+        }
+    }
+}
+
+#[derive(Default)]
+struct Collector {
+    got: Vec<(u64, u32)>,
+}
+
+impl App for Collector {
+    fn on_timer(&mut self, _t: u64, stack: &mut Stack, _ctx: &mut Ctx<'_>) {
+        stack.listen(7000);
+    }
+    fn on_message(&mut self, _c: ConnId, tag: u64, size: u32, _s: &mut Stack, _x: &mut Ctx<'_>) {
+        self.got.push((tag, size));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn all_messages_survive_bounded_loss(
+        sizes in proptest::collection::vec(1u32..60_000, 1..8),
+        seed in 0u64..500,
+        loss_pct in 0u32..25,
+    ) {
+        let mut gen = SimRng::new(seed);
+        let pattern: Vec<bool> = (0..400)
+            .map(|_| gen.below(100) < u64::from(loss_pct))
+            .collect();
+
+        let mut net = Network::new(seed);
+        let s = net.add_node(Host::new(
+            Stack::new(1, StackConfig::default()),
+            Sender { sizes: sizes.clone() },
+        ));
+        let r = net.add_node(Host::new(
+            Stack::new(2, StackConfig::default()),
+            Collector::default(),
+        ));
+        let sw = net.add_node(netsim::Switch::new(netsim::SwitchConfig::default()));
+        net.connect(s, sw, LinkSpec::ten_gbps());
+        net.connect(r, sw, LinkSpec::ten_gbps());
+        {
+            let swn = net.node_mut::<netsim::Switch>(sw);
+            swn.install_route(1, PortId(0));
+            swn.install_route(2, PortId(1));
+        }
+        net.node_mut::<Host<Sender>>(s)
+            .stack
+            .set_hook(PatternLoss { pattern, at: 0 });
+        net.schedule_timer(r, Time::ZERO, app_timer_token(0));
+        net.schedule_timer(s, Time::from_nanos(10), app_timer_token(0));
+        net.run_until(Time::from_secs(30)); // generous: RTO backoff may bite
+
+        let expected: Vec<(u64, u32)> =
+            sizes.iter().enumerate().map(|(i, &s)| (i as u64, s)).collect();
+        let got = &net.node::<Host<Collector>>(r).app.got;
+        prop_assert_eq!(got, &expected, "messages in order, intact, exactly once");
+    }
+
+    #[test]
+    fn reorder_tolerant_tcp_also_survives_loss(
+        sizes in proptest::collection::vec(1u32..60_000, 1..6),
+        seed in 0u64..200,
+    ) {
+        // With the RACK-style reorder window enabled, loss recovery still
+        // works (just delayed by the window).
+        let mut gen = SimRng::new(seed);
+        let pattern: Vec<bool> = (0..300).map(|_| gen.below(100) < 10).collect();
+        let cfg = StackConfig {
+            tcp: transport::TcpConfig {
+                reorder_window: Some(Time::from_micros(200)),
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+
+        let mut net = Network::new(seed);
+        let s = net.add_node(Host::new(Stack::new(1, cfg), Sender { sizes: sizes.clone() }));
+        let r = net.add_node(Host::new(Stack::new(2, cfg), Collector::default()));
+        let sw = net.add_node(netsim::Switch::new(netsim::SwitchConfig::default()));
+        net.connect(s, sw, LinkSpec::ten_gbps());
+        net.connect(r, sw, LinkSpec::ten_gbps());
+        {
+            let swn = net.node_mut::<netsim::Switch>(sw);
+            swn.install_route(1, PortId(0));
+            swn.install_route(2, PortId(1));
+        }
+        net.node_mut::<Host<Sender>>(s)
+            .stack
+            .set_hook(PatternLoss { pattern, at: 0 });
+        net.schedule_timer(r, Time::ZERO, app_timer_token(0));
+        net.schedule_timer(s, Time::from_nanos(10), app_timer_token(0));
+        net.run_until(Time::from_secs(30));
+
+        let expected: Vec<(u64, u32)> =
+            sizes.iter().enumerate().map(|(i, &s)| (i as u64, s)).collect();
+        prop_assert_eq!(&net.node::<Host<Collector>>(r).app.got, &expected);
+    }
+}

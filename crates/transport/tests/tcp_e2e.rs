@@ -1,0 +1,429 @@
+//! End-to-end transport tests over the simulated fabric: handshake, bulk
+//! transfer at line rate, loss recovery (fast retransmit and RTO),
+//! message framing, rate-limited queues, and close.
+
+use netsim::{Ctx, LinkSpec, Network, NodeId, Packet, PortId, Time};
+use transport::{
+    app_timer_token, App, ConnId, Host, HookEnv, HookVerdict, PacketHook, Stack, StackConfig,
+    MSS,
+};
+
+/// Client: at t=0 connects and sends `send_bytes` as one message; records
+/// when its request is fully acked and when a response arrives.
+#[derive(Default)]
+struct Client {
+    server: u32,
+    port: u16,
+    send_bytes: u32,
+    conn: Option<ConnId>,
+    connected_at: Option<Time>,
+    response_at: Option<Time>,
+    response_size: u32,
+}
+
+impl App for Client {
+    fn on_timer(&mut self, _token: u64, stack: &mut Stack, ctx: &mut Ctx<'_>) {
+        let conn = stack.connect(self.server, self.port, ctx);
+        self.conn = Some(conn);
+    }
+
+    fn on_connected(&mut self, conn: ConnId, stack: &mut Stack, ctx: &mut Ctx<'_>) {
+        self.connected_at = Some(ctx.now());
+        if self.send_bytes > 0 {
+            stack.send_message(conn, self.send_bytes, 1, None, ctx);
+        }
+    }
+
+    fn on_message(
+        &mut self,
+        _conn: ConnId,
+        _tag: u64,
+        size: u32,
+        _stack: &mut Stack,
+        ctx: &mut Ctx<'_>,
+    ) {
+        self.response_at = Some(ctx.now());
+        self.response_size = size;
+    }
+}
+
+/// Server: listens; when a full request message arrives, responds with
+/// `respond_bytes` (0 = no response).
+#[derive(Default)]
+struct Server {
+    respond_bytes: u32,
+    requests: Vec<(Time, u64, u32)>,
+}
+
+impl App for Server {
+    fn on_timer(&mut self, _token: u64, stack: &mut Stack, _ctx: &mut Ctx<'_>) {
+        stack.listen(7000);
+    }
+
+    fn on_message(
+        &mut self,
+        conn: ConnId,
+        app_tag: u64,
+        size: u32,
+        stack: &mut Stack,
+        ctx: &mut Ctx<'_>,
+    ) {
+        self.requests.push((ctx.now(), app_tag, size));
+        if self.respond_bytes > 0 {
+            stack.send_message(conn, self.respond_bytes, app_tag | 0x8000_0000, None, ctx);
+        }
+    }
+}
+
+/// Build: client(ip=1) — switch — server(ip=2), both links `spec`.
+fn pair(spec: LinkSpec, client: Client, server: Server) -> (Network, NodeId, NodeId) {
+    let mut net = Network::new(1);
+    let c = net.add_node(Host::new(Stack::new(1, StackConfig::default()), client));
+    let s = net.add_node(Host::new(Stack::new(2, StackConfig::default()), server));
+    let sw = net.add_node(netsim::Switch::new(netsim::SwitchConfig::default()));
+    net.connect(c, sw, spec);
+    net.connect(s, sw, spec);
+    {
+        let swn = net.node_mut::<netsim::Switch>(sw);
+        swn.install_route(1, PortId(0));
+        swn.install_route(2, PortId(1));
+    }
+    net.schedule_timer(s, Time::ZERO, app_timer_token(0));
+    net.schedule_timer(c, Time::from_nanos(10), app_timer_token(0));
+    (net, c, s)
+}
+
+type CHost = Host<Client>;
+type SHost = Host<Server>;
+
+#[test]
+fn handshake_completes() {
+    let (mut net, c, _s) = pair(
+        LinkSpec::ten_gbps(),
+        Client {
+            server: 2,
+            port: 7000,
+            send_bytes: 0,
+            ..Default::default()
+        },
+        Server::default(),
+    );
+    net.run_until(Time::from_millis(10));
+    let client = net.node::<CHost>(c);
+    let t = client.app.connected_at.expect("handshake done");
+    // SYN + SYN-ACK ≈ 2 * (serialization + propagation) ≈ a few microseconds
+    assert!(t < Time::from_micros(20), "handshake took {t}");
+}
+
+#[test]
+fn message_delivered_intact() {
+    let (mut net, _c, s) = pair(
+        LinkSpec::ten_gbps(),
+        Client {
+            server: 2,
+            port: 7000,
+            send_bytes: 123_456,
+            ..Default::default()
+        },
+        Server::default(),
+    );
+    net.run_until(Time::from_millis(100));
+    let server = net.node::<SHost>(s);
+    assert_eq!(server.app.requests.len(), 1);
+    let (_, tag, size) = server.app.requests[0];
+    assert_eq!(tag, 1);
+    assert_eq!(size, 123_456);
+}
+
+#[test]
+fn request_response_round_trip() {
+    let (mut net, c, _s) = pair(
+        LinkSpec::ten_gbps(),
+        Client {
+            server: 2,
+            port: 7000,
+            send_bytes: 100,
+            ..Default::default()
+        },
+        Server {
+            respond_bytes: 20_000,
+            ..Default::default()
+        },
+    );
+    net.run_until(Time::from_millis(100));
+    let client = net.node::<CHost>(c);
+    assert_eq!(client.app.response_size, 20_000);
+    let fct = client.app.response_at.expect("response arrived");
+    assert!(fct < Time::from_millis(1), "20KB over 10G took {fct}");
+}
+
+#[test]
+fn bulk_flow_approaches_line_rate() {
+    // 10 MB over 1 Gbps ≈ 80ms at line rate (plus slow start).
+    let (mut net, _c, s) = pair(
+        LinkSpec::one_gbps(),
+        Client {
+            server: 2,
+            port: 7000,
+            send_bytes: 10_000_000,
+            ..Default::default()
+        },
+        Server::default(),
+    );
+    net.run_until(Time::from_secs(2));
+    let server = net.node::<SHost>(s);
+    assert_eq!(server.app.requests.len(), 1, "flow completed");
+    let (t, _, size) = server.app.requests[0];
+    assert_eq!(size, 10_000_000);
+    let goodput = size as f64 * 8.0 / t.as_secs_f64();
+    assert!(
+        goodput > 0.85e9,
+        "goodput {:.0} Mbps below 85% of line rate",
+        goodput / 1e6
+    );
+    assert!(goodput < 1.0e9, "goodput cannot exceed line rate");
+}
+
+/// Hook that drops chosen data packets (by count of data segments seen).
+struct DropNth {
+    drop: Vec<u64>,
+    seen: u64,
+}
+
+impl PacketHook for DropNth {
+    fn on_egress(&mut self, packet: &mut Packet, _env: &mut HookEnv<'_>) -> HookVerdict {
+        if packet.payload_len == 0 {
+            return HookVerdict::Pass;
+        }
+        self.seen += 1;
+        if self.drop.contains(&self.seen) {
+            HookVerdict::Drop
+        } else {
+            HookVerdict::Pass
+        }
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}
+
+#[test]
+fn fast_retransmit_recovers_single_loss() {
+    let (mut net, c, s) = pair(
+        LinkSpec::ten_gbps(),
+        Client {
+            server: 2,
+            port: 7000,
+            send_bytes: 500_000,
+            ..Default::default()
+        },
+        Server::default(),
+    );
+    // Drop the 20th data segment at the client's egress.
+    net.node_mut::<CHost>(c).stack.set_hook(DropNth {
+        drop: vec![20],
+        seen: 0,
+    });
+    net.run_until(Time::from_secs(1));
+    let server = net.node::<SHost>(s);
+    assert_eq!(server.app.requests.len(), 1, "flow still completes");
+    let client = net.node::<CHost>(c);
+    let conn = client.app.conn.expect("connected");
+    let stats = client.stack.conn_stats(conn);
+    assert!(
+        stats.fast_retransmits >= 1,
+        "loss in a big window must trigger fast retransmit: {stats:?}"
+    );
+    assert_eq!(
+        stats.timeouts, 0,
+        "single mid-window loss should not need an RTO: {stats:?}"
+    );
+}
+
+#[test]
+fn rto_recovers_tail_loss() {
+    // Drop the very last data segment: no dup ACKs follow, so recovery must
+    // come from the retransmission timer.
+    let total: u32 = 10 * MSS as u32;
+    let last_seg = total.div_ceil(MSS as u32) as u64;
+    let (mut net, c, s) = pair(
+        LinkSpec::ten_gbps(),
+        Client {
+            server: 2,
+            port: 7000,
+            send_bytes: total,
+            ..Default::default()
+        },
+        Server::default(),
+    );
+    net.node_mut::<CHost>(c).stack.set_hook(DropNth {
+        drop: vec![last_seg],
+        seen: 0,
+    });
+    net.run_until(Time::from_secs(1));
+    let server = net.node::<SHost>(s);
+    assert_eq!(server.app.requests.len(), 1, "flow completes after RTO");
+    let client = net.node::<CHost>(c);
+    let stats = client.stack.conn_stats(client.app.conn.unwrap());
+    assert!(stats.timeouts >= 1, "tail loss needs the timer: {stats:?}");
+}
+
+#[test]
+fn multiple_messages_frame_independently() {
+    #[derive(Default)]
+    struct Multi {
+        conn: Option<ConnId>,
+    }
+    impl App for Multi {
+        fn on_timer(&mut self, _t: u64, stack: &mut Stack, ctx: &mut Ctx<'_>) {
+            self.conn = Some(stack.connect(2, 7000, ctx));
+        }
+        fn on_connected(&mut self, conn: ConnId, stack: &mut Stack, ctx: &mut Ctx<'_>) {
+            for (i, size) in [5_000u32, 100, 40_000, 1].iter().enumerate() {
+                stack.send_message(conn, *size, 100 + i as u64, None, ctx);
+            }
+        }
+    }
+
+    let mut net = Network::new(1);
+    let c = net.add_node(Host::new(Stack::new(1, StackConfig::default()), Multi::default()));
+    let s = net.add_node(Host::new(Stack::new(2, StackConfig::default()), Server::default()));
+    let sw = net.add_node(netsim::Switch::new(netsim::SwitchConfig::default()));
+    net.connect(c, sw, LinkSpec::ten_gbps());
+    net.connect(s, sw, LinkSpec::ten_gbps());
+    {
+        let swn = net.node_mut::<netsim::Switch>(sw);
+        swn.install_route(1, PortId(0));
+        swn.install_route(2, PortId(1));
+    }
+    net.schedule_timer(s, Time::ZERO, app_timer_token(0));
+    net.schedule_timer(c, Time::from_nanos(10), app_timer_token(0));
+    net.run_until(Time::from_millis(100));
+
+    let server = net.node::<SHost>(s);
+    let got: Vec<(u64, u32)> = server.app.requests.iter().map(|&(_, t, s)| (t, s)).collect();
+    assert_eq!(
+        got,
+        vec![(100, 5_000), (101, 100), (102, 40_000), (103, 1)],
+        "messages delivered in order with correct sizes"
+    );
+}
+
+/// Hook that diverts every data packet to rate-limit queue 0, charging the
+/// packet's wire size.
+struct LimitAll;
+
+impl PacketHook for LimitAll {
+    fn on_egress(&mut self, packet: &mut Packet, _env: &mut HookEnv<'_>) -> HookVerdict {
+        if packet.payload_len == 0 {
+            HookVerdict::Pass
+        } else {
+            HookVerdict::Queue {
+                queue: 0,
+                charge: packet.wire_len() as u64,
+            }
+        }
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}
+
+#[test]
+fn rate_limited_queue_caps_throughput() {
+    let (mut net, c, s) = pair(
+        LinkSpec::ten_gbps(),
+        Client {
+            server: 2,
+            port: 7000,
+            send_bytes: 1_000_000,
+            ..Default::default()
+        },
+        Server::default(),
+    );
+    {
+        let host = net.node_mut::<CHost>(c);
+        let q = host.stack.add_limiter(100_000_000, 30_000); // 100 Mbps
+        assert_eq!(q, 0);
+        host.stack.set_hook(LimitAll);
+    }
+    net.run_until(Time::from_secs(2));
+    let server = net.node::<SHost>(s);
+    assert_eq!(server.app.requests.len(), 1);
+    let (t, _, size) = server.app.requests[0];
+    let goodput = size as f64 * 8.0 / t.as_secs_f64();
+    assert!(
+        goodput < 115e6,
+        "limiter must cap at ~100 Mbps, got {:.0} Mbps",
+        goodput / 1e6
+    );
+    assert!(
+        goodput > 60e6,
+        "limiter should not strangle the flow: {:.0} Mbps",
+        goodput / 1e6
+    );
+}
+
+#[test]
+fn close_handshake_completes() {
+    #[derive(Default)]
+    struct Closer {
+        conn: Option<ConnId>,
+        closed_at: Option<Time>,
+    }
+    impl App for Closer {
+        fn on_timer(&mut self, _t: u64, stack: &mut Stack, ctx: &mut Ctx<'_>) {
+            self.conn = Some(stack.connect(2, 7000, ctx));
+        }
+        fn on_connected(&mut self, conn: ConnId, stack: &mut Stack, ctx: &mut Ctx<'_>) {
+            stack.send_message(conn, 5000, 9, None, ctx);
+            stack.close(conn, ctx);
+        }
+        fn on_closed(&mut self, _c: ConnId, _s: &mut Stack, ctx: &mut Ctx<'_>) {
+            self.closed_at = Some(ctx.now());
+        }
+    }
+
+    let mut net = Network::new(1);
+    let c = net.add_node(Host::new(Stack::new(1, StackConfig::default()), Closer::default()));
+    let s = net.add_node(Host::new(Stack::new(2, StackConfig::default()), Server::default()));
+    let sw = net.add_node(netsim::Switch::new(netsim::SwitchConfig::default()));
+    net.connect(c, sw, LinkSpec::ten_gbps());
+    net.connect(s, sw, LinkSpec::ten_gbps());
+    {
+        let swn = net.node_mut::<netsim::Switch>(sw);
+        swn.install_route(1, PortId(0));
+        swn.install_route(2, PortId(1));
+    }
+    net.schedule_timer(s, Time::ZERO, app_timer_token(0));
+    net.schedule_timer(c, Time::from_nanos(10), app_timer_token(0));
+    net.run_until(Time::from_millis(50));
+
+    let closer = net.node::<Host<Closer>>(c);
+    assert!(closer.app.closed_at.is_some(), "FIN acked");
+    let server = net.node::<SHost>(s);
+    assert_eq!(server.app.requests.len(), 1, "data before FIN delivered");
+}
+
+#[test]
+fn deterministic_across_runs() {
+    let run = || {
+        let (mut net, c, _s) = pair(
+            LinkSpec::ten_gbps(),
+            Client {
+                server: 2,
+                port: 7000,
+                send_bytes: 250_000,
+                ..Default::default()
+            },
+            Server::default(),
+        );
+        net.run_until(Time::from_millis(50));
+        let client = net.node::<CHost>(c);
+        let stats = client.stack.conn_stats(client.app.conn.unwrap());
+        (stats.packets_sent, stats.bytes_acked, net.events_processed())
+    };
+    assert_eq!(run(), run());
+}

@@ -1,0 +1,68 @@
+//! Developer tool: compile a DSL action function and inspect everything the
+//! controller would learn about it — effects, concurrency, bytecode,
+//! shipped size — the debugging convenience §6 attributes to the DSL
+//! approach ("run and debug the programs locally").
+//!
+//! Usage:
+//!   cargo run --example compile_inspect            # inspects built-in PIAS
+//!   cargo run --example compile_inspect -- FILE    # compiles FILE against
+//!                                                  # the PIAS schema
+//!
+//! Exits non-zero with a rendered diagnostic (source line + caret) on
+//! compile errors, so it doubles as a syntax checker.
+
+use eden::apps::functions;
+use eden::lang::Scope;
+use eden::vm::disassemble;
+
+fn main() {
+    let bundle = functions::pias_fig7();
+    let (name, source) = match std::env::args().nth(1) {
+        Some(path) => {
+            let src = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+                eprintln!("cannot read {path}: {e}");
+                std::process::exit(2);
+            });
+            (path, src)
+        }
+        None => ("pias-fig7 (built-in)".to_string(), bundle.source.to_string()),
+    };
+    let schema = bundle.schema();
+
+    println!("compiling '{name}' against the PIAS schema\n");
+    let compiled = match eden::lang::compile("inspect", &source, &schema) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("{}", e.render(&source));
+            std::process::exit(1);
+        }
+    };
+
+    println!("== state bindings (Figure 8 annotations) ==");
+    for f in schema.fields() {
+        println!(
+            "  {:<8} {:<12} {:?} header={:?}",
+            f.scope.to_string(),
+            f.name,
+            f.access,
+            f.header
+        );
+    }
+    for a in schema.arrays() {
+        println!("  global   {:<12} array of {:?} ({:?})", a.name, a.fields, a.access);
+    }
+
+    println!("\n== derived effects ==");
+    let e = &compiled.effects;
+    println!("  packet reads {:?} writes {:?}", e.pkt_reads, e.pkt_writes);
+    println!("  message reads {:?} writes {:?}", e.msg_reads, e.msg_writes);
+    println!("  global reads {:?} writes {:?}", e.glob_reads, e.glob_writes);
+    println!("  arrays reads {:?} writes {:?}", e.arr_reads, e.arr_writes);
+    println!("  concurrency: {}", compiled.concurrency);
+
+    println!("\n== bytecode ({} ops, ships as {} bytes) ==", compiled.program.ops().len(), eden::vm::encode_program(&compiled.program).len());
+    println!("{}", disassemble(&compiled.program));
+
+    let msg_slots = schema.scope_len(Scope::Message);
+    println!("enclave will keep {msg_slots} i64 slot(s) of state per live message");
+}

@@ -1,0 +1,37 @@
+//! Case study 2 (paper §5.2) as a runnable scenario: per-packet ECMP vs
+//! WCMP source routing over the asymmetric two-path topology of the
+//! paper's Figure 1, with the balancing decision made by the Eden
+//! interpreter in the sender's enclave.
+//!
+//! Run with `cargo run --release --example load_balancing`.
+
+use eden::netsim::Time;
+use eden_bench::fig10::{run, Balancer, Config, Engine};
+
+fn main() {
+    let cfg = Config {
+        seed: 7,
+        warmup: Time::from_millis(50),
+        until: Time::from_millis(250),
+        ..Default::default()
+    };
+
+    println!("case study 2: two paths between the hosts — one 10 Gbps, one 1 Gbps.");
+    println!("the sender's enclave stamps a VLAN route label on every packet,");
+    println!("chosen in a weighted random fashion by the WCMP action function.\n");
+
+    let ecmp = run(Balancer::Ecmp, Engine::Eden, &cfg);
+    println!("ECMP (1:1 weights):  {:>6.2} Gb/s   — dominated by the slow path", ecmp / 1e9);
+    let wcmp = run(Balancer::Wcmp, Engine::Eden, &cfg);
+    println!("WCMP (10:1 weights): {:>6.2} Gb/s   — approaches the 11 Gb/s min-cut", wcmp / 1e9);
+    println!(
+        "\nWCMP / ECMP = {:.1}x  (the paper's testbed measured ~2.1 vs ~7.8 Gb/s)",
+        wcmp / ecmp
+    );
+
+    let native = run(Balancer::Wcmp, Engine::Native, &cfg);
+    println!(
+        "native WCMP for comparison: {:.2} Gb/s (identical decisions, same RNG)",
+        native / 1e9
+    );
+}
