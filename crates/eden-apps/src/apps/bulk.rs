@@ -21,7 +21,13 @@ pub struct BulkSender {
 
 impl BulkSender {
     /// A sender of `flows` flows tagged with `classes`.
-    pub fn new(dst: u32, dst_port: u16, flows: usize, bytes_per_flow: u32, classes: Vec<u32>) -> Self {
+    pub fn new(
+        dst: u32,
+        dst_port: u16,
+        flows: usize,
+        bytes_per_flow: u32,
+        classes: Vec<u32>,
+    ) -> Self {
         BulkSender {
             dst,
             dst_port,
@@ -81,9 +87,7 @@ impl MeteredSink {
     /// Average goodput in bits/second over the observed window.
     pub fn goodput_bps(&self) -> f64 {
         match (self.first_at, self.last_at) {
-            (Some(a), Some(b)) if b > a => {
-                self.bytes as f64 * 8.0 / (b - a).as_secs_f64()
-            }
+            (Some(a), Some(b)) if b > a => self.bytes as f64 * 8.0 / (b - a).as_secs_f64(),
             _ => 0.0,
         }
     }

@@ -32,10 +32,7 @@ impl App for KvReplica {
             packet.ip.src,
             UdpHeader {
                 src_port: KV_PORT,
-                dst_port: packet
-                    .five_tuple()
-                    .map(|(_, sp, _, _, _)| sp)
-                    .unwrap_or(0),
+                dst_port: packet.five_tuple().map(|(_, sp, _, _, _)| sp).unwrap_or(0),
             },
             512,
         );

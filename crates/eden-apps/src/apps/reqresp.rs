@@ -116,14 +116,12 @@ impl App for RequestClient {
                 let gap = self.arrivals.next_gap_ns(&mut self.rng);
                 ctx.timer_in(Time::from_nanos(gap), transport::app_timer_token(ARRIVAL));
             }
-            ARRIVAL => {
-                if ctx.now() < self.stop_at {
-                    let tag = self.next_tag;
-                    self.next_tag += 1;
-                    self.issue(tag, stack, ctx);
-                    let gap = self.arrivals.next_gap_ns(&mut self.rng);
-                    ctx.timer_in(Time::from_nanos(gap), transport::app_timer_token(ARRIVAL));
-                }
+            ARRIVAL if ctx.now() < self.stop_at => {
+                let tag = self.next_tag;
+                self.next_tag += 1;
+                self.issue(tag, stack, ctx);
+                let gap = self.arrivals.next_gap_ns(&mut self.rng);
+                ctx.timer_in(Time::from_nanos(gap), transport::app_timer_token(ARRIVAL));
             }
             _ => {}
         }

@@ -153,6 +153,7 @@ pub struct TenantClient {
 impl TenantClient {
     /// A tenant client; `stage` should come from
     /// [`crate::stages::storage_stage`].
+    #[allow(clippy::too_many_arguments)]
     pub fn new(
         server: u32,
         server_port: u16,
@@ -248,6 +249,9 @@ mod tests {
         let tag = pack_io_tag(12345, MSG_TYPE_READ, 65536);
         assert_eq!(unpack_io_tag(tag), (12345, MSG_TYPE_READ, 65536));
         let tag = pack_io_tag(u32::MAX, MSG_TYPE_WRITE, (1 << 30) - 1);
-        assert_eq!(unpack_io_tag(tag), (u32::MAX, MSG_TYPE_WRITE, (1 << 30) - 1));
+        assert_eq!(
+            unpack_io_tag(tag),
+            (u32::MAX, MSG_TYPE_WRITE, (1 << 30) - 1)
+        );
     }
 }

@@ -37,8 +37,9 @@ impl FunctionBundle {
 
     /// Compile the DSL form.
     pub fn interpreted(&self) -> InstalledFunction {
-        let compiled = compile(self.name, self.source, &self.schema())
-            .unwrap_or_else(|e| panic!("{} does not compile: {}", self.name, e.render(self.source)));
+        let compiled = compile(self.name, self.source, &self.schema()).unwrap_or_else(|e| {
+            panic!("{} does not compile: {}", self.name, e.render(self.source))
+        });
         assert_eq!(
             compiled.concurrency, self.concurrency,
             "{}: derived concurrency drifted from the documented one",
@@ -805,7 +806,11 @@ mod tests {
                 "{}: interpreted form trapped",
                 bundle.name
             );
-            assert_eq!(native.stats.faults, 0, "{}: native form trapped", bundle.name);
+            assert_eq!(
+                native.stats.faults, 0,
+                "{}: native form trapped",
+                bundle.name
+            );
         }
     }
 
@@ -970,7 +975,11 @@ mod tests {
         assert_eq!(knock(&mut e, &mut rng, 9999), HookVerdict::Pass); // resets
         assert_eq!(knock(&mut e, &mut rng, 1002), HookVerdict::Pass); // ignored
         assert_eq!(knock(&mut e, &mut rng, 1003), HookVerdict::Pass); // ignored
-        assert_eq!(knock(&mut e, &mut rng, 22), HookVerdict::Drop, "still locked");
+        assert_eq!(
+            knock(&mut e, &mut rng, 22),
+            HookVerdict::Drop,
+            "still locked"
+        );
     }
 
     #[test]

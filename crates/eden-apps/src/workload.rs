@@ -146,10 +146,7 @@ mod tests {
         let d = FlowSizeDist::web_search();
         let mut rng = SimRng::new(2);
         let n = 20_000;
-        let small = (0..n)
-            .filter(|_| d.sample(&mut rng) <= 10_000)
-            .count() as f64
-            / n as f64;
+        let small = (0..n).filter(|_| d.sample(&mut rng) <= 10_000).count() as f64 / n as f64;
         assert!((small - 0.60).abs() < 0.02, "small fraction {small}");
     }
 

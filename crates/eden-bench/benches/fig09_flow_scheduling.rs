@@ -32,12 +32,16 @@ fn main() {
     ];
 
     println!("== Figure 9: flow completion times (case study 1) ==");
-    println!(
-        "workload: search-distribution responses at 70% load + background; {runs} runs/arm\n"
-    );
+    println!("workload: search-distribution responses at 70% load + background; {runs} runs/arm\n");
 
     let mut table = Table::new(&[
-        "scheme", "engine", "small avg", "small p95", "interm avg", "interm p95", "n",
+        "scheme",
+        "engine",
+        "small avg",
+        "small p95",
+        "interm avg",
+        "interm p95",
+        "n",
     ]);
     for (name, scheme, engine, engine_name) in arms {
         let mut small_avg = Vec::new();

@@ -9,7 +9,8 @@
 //! Run with `cargo bench -p eden-bench --bench fig12_overheads`.
 
 use eden_bench::fig12;
-use eden_bench::report::Table;
+use eden_bench::report::{emit_json, Table};
+use eden_telemetry::{Json, ToJson};
 
 fn main() {
     println!("== Figure 12: CPU overheads of Eden components ==");
@@ -40,8 +41,9 @@ fn main() {
     println!("paper (testbed): total < ~8% avg / ~10% p95 over vanilla TCP\n");
 
     println!("== Section 5.4: interpreter footprint of the case-study programs ==");
+    let footprints = fig12::footprints();
     let mut fp_table = Table::new(&["program", "operand stack", "heap (locals)"]);
-    for fp in fig12::footprints() {
+    for fp in &footprints {
         fp_table.row(&[
             fp.name.into(),
             format!("{} B", fp.stack_bytes),
@@ -50,4 +52,16 @@ fn main() {
     }
     println!("{}", fp_table.render());
     println!("paper: \"in the order of 64 and 256 bytes respectively\"");
+
+    let artifact = Json::obj(vec![
+        ("overheads", r.to_json()),
+        (
+            "footprints",
+            Json::Arr(footprints.iter().map(|f| f.to_json()).collect()),
+        ),
+    ]);
+    match emit_json("fig12", &artifact) {
+        Ok(path) => println!("\nwrote {}", path.display()),
+        Err(e) => eprintln!("\ncould not write BENCH_fig12.json: {e}"),
+    }
 }

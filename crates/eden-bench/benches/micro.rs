@@ -12,7 +12,9 @@ use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use std::hint::black_box;
 
 use eden_apps::functions;
-use eden_core::{ClassId, Controller, Enclave, EnclaveConfig, FieldValue, MatchSpec, Stage, TableId};
+use eden_core::{
+    ClassId, Controller, Enclave, EnclaveConfig, FieldValue, MatchSpec, Stage, TableId,
+};
 use eden_vm::{Interpreter, Limits, ProgramBuilder, VecHost};
 use netsim::{wire, EdenMeta, Packet, SimRng, TcpHeader, Time};
 
@@ -150,11 +152,7 @@ fn bench_table_scaling(c: &mut Criterion) {
         enclave.set_global(f, 0, 3);
         // rules 2..=rules+1 miss; the matching class is installed last
         for miss in 0..rules - 1 {
-            enclave.install_rule(
-                TableId(0),
-                MatchSpec::Class(ClassId(1000 + miss as u32)),
-                f,
-            );
+            enclave.install_rule(TableId(0), MatchSpec::Class(ClassId(1000 + miss as u32)), f);
         }
         enclave.install_rule(TableId(0), MatchSpec::Class(ClassId(1)), f);
         let mut rng = SimRng::new(1);

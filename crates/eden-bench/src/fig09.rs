@@ -156,11 +156,7 @@ pub fn run(scheme: Scheme, engine: Engine, cfg: &Config) -> RunResult {
         64,
         cfg.duration,
     );
-    let mut worker_app = Worker::new(
-        7000,
-        dist,
-        SimRng::new(cfg.seed.wrapping_add(22)),
-    );
+    let mut worker_app = Worker::new(7000, dist, SimRng::new(cfg.seed.wrapping_add(22)));
     let mut stage = Stage::new("app", &["msg_type", "msg_size"], &["msg_id", "msg_size"]);
     controller.create_stage_rule(&mut stage, "flows", vec![], "ALL");
     worker_app.stage = stage;
@@ -207,7 +203,11 @@ pub fn run(scheme: Scheme, engine: Engine, cfg: &Config) -> RunResult {
     net.schedule_timer(worker, Time::ZERO, app_timer_token(0));
     net.schedule_timer(client, Time::from_micros(1), app_timer_token(0));
     for (i, &bg) in bg_nodes.iter().enumerate() {
-        net.schedule_timer(bg, Time::from_micros(100 + 7 * i as u64), app_timer_token(0));
+        net.schedule_timer(
+            bg,
+            Time::from_micros(100 + 7 * i as u64),
+            app_timer_token(0),
+        );
     }
     // generous drain so late small flows complete
     net.run_until(cfg.duration + Time::from_millis(30));

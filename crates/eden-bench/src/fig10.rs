@@ -88,11 +88,15 @@ pub fn run(balancer: Balancer, engine: Engine, cfg: &Config) -> f64 {
     let (_, sw0_host_port) = net.connect(sender, sw0, LinkSpec::ten_gbps());
     let (sw0_fast, sw1_fast) = net.connect(sw0, sw1, LinkSpec::ten_gbps());
     let (sw0_slow, sw1_slow) = net.connect(sw0, sw1, LinkSpec::one_gbps());
-    let (_, sw1_host_port) = net.connect(receiver, sw1, LinkSpec {
-        rate_bps: 40_000_000_000,
-        propagation: Time::from_micros(1),
-        mtu: 1500,
-    });
+    let (_, sw1_host_port) = net.connect(
+        receiver,
+        sw1,
+        LinkSpec {
+            rate_bps: 40_000_000_000,
+            propagation: Time::from_micros(1),
+            mtu: 1500,
+        },
+    );
 
     // labels: 1 = fast path, 2 = slow path (paper §3.5's label routing)
     {

@@ -31,6 +31,7 @@ use std::time::Instant;
 
 use eden_apps::functions;
 use eden_core::{ClassId, Controller, Enclave, EnclaveConfig, MatchSpec, Stage, TableId};
+use eden_telemetry::{Json, ToJson};
 use netsim::{wire, EdenMeta, Packet, SimRng, Summary, TcpHeader, Time};
 
 /// Reference per-packet CPU cost of a vanilla kernel TCP stack, ns.
@@ -62,12 +63,46 @@ pub struct RunResult {
     pub interpreter_ns: f64,
 }
 
+impl ToJson for Overheads {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("api_pct", self.api_pct.into()),
+            ("enclave_pct", self.enclave_pct.into()),
+            ("interpreter_pct", self.interpreter_pct.into()),
+        ])
+    }
+}
+
+impl ToJson for RunResult {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("reference_stack_ns", reference_stack_ns().into()),
+            ("average", self.average.to_json()),
+            ("p95", self.p95.to_json()),
+            ("baseline_ns", self.baseline_ns.into()),
+            ("api_ns", self.api_ns.into()),
+            ("enclave_ns", self.enclave_ns.into()),
+            ("interpreter_ns", self.interpreter_ns.into()),
+        ])
+    }
+}
+
 /// §5.4 footprint of one case-study program.
 #[derive(Debug, Clone, Copy)]
 pub struct Footprint {
     pub name: &'static str,
     pub stack_bytes: usize,
     pub heap_bytes: usize,
+}
+
+impl ToJson for Footprint {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("name", self.name.into()),
+            ("stack_bytes", self.stack_bytes.into()),
+            ("heap_bytes", self.heap_bytes.into()),
+        ])
+    }
 }
 
 fn make_packet(i: u64, with_meta: bool) -> Packet {

@@ -1,8 +1,13 @@
 //! Table rendering shared by the bench targets: aligned columns and
 //! paper-vs-measured rows, so `cargo bench` output reads like the paper's
-//! figures.
+//! figures — plus machine-readable `BENCH_<figure>.json` emission so runs
+//! can be diffed and plotted without scraping stdout.
 
 use std::fmt::Write as _;
+use std::io::Write as _;
+use std::path::PathBuf;
+
+use eden_telemetry::Json;
 
 /// A simple fixed-width table printer.
 pub struct Table {
@@ -55,6 +60,19 @@ impl Table {
     }
 }
 
+/// Write `value` as `BENCH_<figure>.json` under `EDEN_BENCH_DIR`
+/// (default: the current directory) and return the path. Bench targets
+/// call this after printing their human-readable tables so every run
+/// leaves a machine-readable artifact behind.
+pub fn emit_json(figure: &str, value: &Json) -> std::io::Result<PathBuf> {
+    let dir = std::env::var("EDEN_BENCH_DIR").unwrap_or_else(|_| ".".to_string());
+    let path = PathBuf::from(dir).join(format!("BENCH_{figure}.json"));
+    let mut f = std::fs::File::create(&path)?;
+    f.write_all(value.render().as_bytes())?;
+    f.write_all(b"\n")?;
+    Ok(path)
+}
+
 /// Format microseconds with sensible precision.
 pub fn us(v: f64) -> String {
     if v >= 1000.0 {
@@ -90,6 +108,20 @@ mod tests {
         let s = t.render();
         assert!(s.contains("| scheme   | value |"));
         assert!(s.contains("| baseline | 363   |"));
+    }
+
+    #[test]
+    fn emit_json_writes_bench_artifact() {
+        let dir = std::env::temp_dir().join("eden-bench-emit-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        std::env::set_var("EDEN_BENCH_DIR", &dir);
+        let value = Json::obj(vec![("answer", 42u64.into())]);
+        let path = emit_json("figtest", &value).unwrap();
+        std::env::remove_var("EDEN_BENCH_DIR");
+        assert!(path.ends_with("BENCH_figtest.json"));
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text, "{\"answer\":42}\n");
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

@@ -6,9 +6,11 @@ use netsim::Time;
 #[test]
 #[ignore]
 fn sweep() {
-    for (flows, window_us, buf, until_ms) in
-        [(1, 100, 150_000, 300), (4, 100, 150_000, 300), (8, 100, 150_000, 300)]
-    {
+    for (flows, window_us, buf, until_ms) in [
+        (1, 100, 150_000, 300),
+        (4, 100, 150_000, 300),
+        (8, 100, 150_000, 300),
+    ] {
         {
             let cfg = Config {
                 seed: 3,

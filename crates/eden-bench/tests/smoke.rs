@@ -35,7 +35,11 @@ fn fig10_wcmp_beats_ecmp_by_about_3x() {
     // Eden ≈ native
     let wcmp_eden = fig10::run(fig10::Balancer::Wcmp, fig10::Engine::Eden, &cfg);
     let diff = (wcmp_eden - wcmp).abs() / wcmp;
-    println!("wcmp native {:.2}G eden {:.2}G", wcmp / 1e9, wcmp_eden / 1e9);
+    println!(
+        "wcmp native {:.2}G eden {:.2}G",
+        wcmp / 1e9,
+        wcmp_eden / 1e9
+    );
     assert!(diff < 0.10, "Eden within 10% of native, diff {diff:.3}");
 }
 
@@ -51,12 +55,24 @@ fn fig11_reads_starve_writes_until_rate_controlled() {
     let wi = fig11::run(fig11::Mode::WriteIsolated, &cfg);
     let sim = fig11::run(fig11::Mode::Simultaneous, &cfg);
     let rc = fig11::run(fig11::Mode::RateControlled, &cfg);
-    println!("isolated  read {:.0} write {:.0} MB/s", ri.read_mbps, wi.write_mbps);
-    println!("simult    read {:.0} write {:.0} MB/s", sim.read_mbps, sim.write_mbps);
-    println!("ratectl   read {:.0} write {:.0} MB/s", rc.read_mbps, rc.write_mbps);
+    println!(
+        "isolated  read {:.0} write {:.0} MB/s",
+        ri.read_mbps, wi.write_mbps
+    );
+    println!(
+        "simult    read {:.0} write {:.0} MB/s",
+        sim.read_mbps, sim.write_mbps
+    );
+    println!(
+        "ratectl   read {:.0} write {:.0} MB/s",
+        rc.read_mbps, rc.write_mbps
+    );
 
     assert!(ri.read_mbps > 90.0, "isolated reads near line rate: {ri:?}");
-    assert!(wi.write_mbps > 90.0, "isolated writes near line rate: {wi:?}");
+    assert!(
+        wi.write_mbps > 90.0,
+        "isolated writes near line rate: {wi:?}"
+    );
     let drop = 1.0 - sim.write_mbps / wi.write_mbps;
     assert!(
         drop > 0.5,
@@ -141,7 +157,10 @@ fn fig12_interpreter_overhead_is_modest() {
 #[test]
 fn fig12_footprints_match_section_5_4() {
     for fp in fig12::footprints() {
-        println!("{}: stack {}B heap {}B", fp.name, fp.stack_bytes, fp.heap_bytes);
+        println!(
+            "{}: stack {}B heap {}B",
+            fp.name, fp.stack_bytes, fp.heap_bytes
+        );
         assert!(
             fp.stack_bytes <= 64,
             "{}: operand stack {}B exceeds the paper's 64B",

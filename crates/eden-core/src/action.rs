@@ -147,6 +147,14 @@ pub struct InstalledFunction {
     /// Invocations terminated by a trap (the packet fails open: it is
     /// forwarded unmodified, per §3.4.3's isolation guarantee).
     pub faults: u64,
+    /// Invocations that returned a drop verdict.
+    pub drops: u64,
+    /// Invocations that punted the packet to the controller.
+    pub punts: u64,
+    /// Packet-header fields this function wrote.
+    pub header_modifies: u64,
+    /// Bytes this function charged to queue verdicts (Pulsar accounting).
+    pub enqueue_charge_bytes: u64,
 }
 
 impl InstalledFunction {
@@ -160,6 +168,10 @@ impl InstalledFunction {
             action: ActionImpl::Interpreted(compiled.program),
             invocations: 0,
             faults: 0,
+            drops: 0,
+            punts: 0,
+            header_modifies: 0,
+            enqueue_charge_bytes: 0,
         }
     }
 
@@ -181,6 +193,10 @@ impl InstalledFunction {
             concurrency,
             invocations: 0,
             faults: 0,
+            drops: 0,
+            punts: 0,
+            header_modifies: 0,
+            enqueue_charge_bytes: 0,
         })
     }
 
@@ -201,6 +217,10 @@ impl InstalledFunction {
             concurrency,
             invocations: 0,
             faults: 0,
+            drops: 0,
+            punts: 0,
+            header_modifies: 0,
+            enqueue_charge_bytes: 0,
         }
     }
 }

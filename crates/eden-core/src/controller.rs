@@ -21,6 +21,7 @@
 //! surface* is the paper's, the RPC plumbing is not modelled.
 
 use eden_lang::{compile, CompileError, CompiledFunction, Schema};
+use eden_telemetry::{StatsSnapshot, Telemetry};
 use netsim::Switch;
 
 use crate::action::{FuncId, InstalledFunction};
@@ -147,6 +148,31 @@ impl Controller {
         for &(label, port) in entries {
             switch.install_label(label, port);
         }
+    }
+
+    // ------------------------------------------------------------------
+    // statistics pull (§3.2: the controller polls enclaves for stats)
+    // ------------------------------------------------------------------
+
+    /// Pull a point-in-time [`StatsSnapshot`] from `enclave` — the
+    /// controller-side half of the [`Telemetry`] API. Non-perturbing: the
+    /// enclave's counters keep accumulating.
+    pub fn pull_stats(&self, enclave: &Enclave) -> StatsSnapshot {
+        enclave.snapshot()
+    }
+
+    /// Pull a snapshot from the enclave installed on `stack`, merged with
+    /// the stack's own telemetry: per-flow TCP counters and host-level
+    /// drop counters. Returns `None` when no [`Enclave`] hook is
+    /// installed.
+    pub fn pull_host_stats(&self, stack: &mut transport::Stack) -> Option<StatsSnapshot> {
+        let flows = stack.flow_counters();
+        let host = stack.host_counters();
+        let enclave = stack.hook_mut::<Enclave>()?;
+        let mut snap = enclave.snapshot();
+        snap.flows = flows;
+        snap.host = Some(host);
+        Some(snap)
     }
 
     // ------------------------------------------------------------------

@@ -20,6 +20,10 @@
 //! [`EnclaveConfig::fail_open`] — and the rest of the system continues.
 
 use eden_lang::{Access, Concurrency, HeaderField, Schema, Scope};
+use eden_telemetry::{
+    EnclaveCounters, FunctionCounters, RuleCounters, StatsSnapshot, TableCounters, Telemetry,
+    VmCounters,
+};
 use eden_vm::{Effect, Host, Interpreter, Limits, Outcome, VmError};
 use netsim::{Packet, SimRng, Time};
 use transport::{HookEnv, HookVerdict, PacketHook};
@@ -58,11 +62,19 @@ impl MatchSpec {
 pub struct Rule {
     pub spec: MatchSpec,
     pub func: FuncId,
+    /// Packets that matched this rule (telemetry).
+    pub hits: u64,
 }
 
 #[derive(Debug, Default)]
 struct MatchActionTable {
     rules: Vec<Rule>,
+    /// Lookups performed against this table (telemetry).
+    lookups: u64,
+    /// Lookups that hit some rule.
+    matched: u64,
+    /// Lookups that hit no rule.
+    missed: u64,
 }
 
 /// A five-tuple classifier for the enclave's own packet-granularity
@@ -128,14 +140,36 @@ impl Default for EnclaveConfig {
 }
 
 /// Data-path counters.
+///
+/// Conservation invariant: every processed packet leaves the enclave
+/// exactly one way, so `packets == forwarded + dropped +
+/// punted_to_controller` at all times (checked by
+/// [`EnclaveStats::conserved`], pinned by a property test).
 #[derive(Debug, Clone, Copy, Default)]
 pub struct EnclaveStats {
     pub packets: u64,
     /// Packets for which at least one rule matched.
     pub matched: u64,
+    /// Packets that matched no rule in any table walked.
+    pub missed: u64,
+    /// Packets that left toward the NIC (pass or queue verdicts).
+    pub forwarded: u64,
     pub dropped: u64,
     pub punted_to_controller: u64,
+    /// Of the forwarded packets, those steered to a NIC priority queue.
+    pub queued: u64,
     pub faults: u64,
+    /// Packet-header fields written by action functions.
+    pub header_modifies: u64,
+    /// Bytes charged to queue verdicts (Pulsar-style accounting, §2.1.2).
+    pub enqueue_charge_bytes: u64,
+}
+
+impl EnclaveStats {
+    /// Every processed packet left the enclave exactly one way.
+    pub fn conserved(&self) -> bool {
+        self.packets == self.forwarded + self.dropped + self.punted_to_controller
+    }
 }
 
 /// The programmable data plane at one end host.
@@ -155,6 +189,9 @@ pub struct Enclave {
     scratch: Vec<i64>,
     /// Scratch for the packet's class list.
     classes: Vec<u32>,
+    /// Simulated time of the most recent processed packet, stamped onto
+    /// stats snapshots (the enclave has no clock of its own).
+    last_now: Time,
 }
 
 impl Enclave {
@@ -172,6 +209,7 @@ impl Enclave {
             stats: EnclaveStats::default(),
             scratch: Vec::new(),
             classes: Vec::new(),
+            last_now: Time::ZERO,
         }
     }
 
@@ -208,7 +246,11 @@ impl Enclave {
     /// Append `rule` to `table` (first match wins).
     pub fn install_rule(&mut self, table: TableId, spec: MatchSpec, func: FuncId) {
         assert!(func.0 < self.functions.len(), "unknown function");
-        self.tables[table.0].rules.push(Rule { spec, func });
+        self.tables[table.0].rules.push(Rule {
+            spec,
+            func,
+            hits: 0,
+        });
     }
 
     /// Remove all rules from `table`.
@@ -281,6 +323,7 @@ impl Enclave {
         direction: FlowDirection,
     ) -> HookVerdict {
         self.stats.packets += 1;
+        self.last_now = now;
 
         // class list: stage-assigned + enclave five-tuple rules
         self.classes.clear();
@@ -312,15 +355,21 @@ impl Enclave {
             if hops > 8 {
                 break; // table-loop guard
             }
-            let Some(rule) = self.tables.get(table).and_then(|t| {
-                t.rules
-                    .iter()
-                    .find(|r| r.spec.matches(&self.classes))
-                    .cloned()
-            }) else {
+            let Some(tbl) = self.tables.get_mut(table) else {
                 break;
             };
-            matched_any = true;
+            tbl.lookups += 1;
+            let Some(idx) = tbl.rules.iter().position(|r| r.spec.matches(&self.classes)) else {
+                tbl.missed += 1;
+                break;
+            };
+            tbl.matched += 1;
+            tbl.rules[idx].hits += 1;
+            let rule = tbl.rules[idx].clone();
+            if !matched_any {
+                matched_any = true;
+                self.stats.matched += 1;
+            }
             let fid = rule.func.0;
 
             // split borrows: function (action+schema), its state, interpreter
@@ -336,6 +385,7 @@ impl Enclave {
                 now,
                 direction,
                 queue: None,
+                header_modifies: 0,
             };
             let func = &mut self.functions[fid];
             let result = match &mut func.action {
@@ -345,19 +395,27 @@ impl Enclave {
                     f(&mut env)
                 }
             };
+            // header writes happened even if the function later trapped or
+            // dropped, so merge them on every exit path
+            let header_modifies = host.header_modifies;
+            func.header_modifies += header_modifies;
+            self.stats.header_modifies += header_modifies;
             match result {
                 Ok(outcome) => {
                     func.invocations += 1;
-                    if let Some(q) = host.queue {
-                        verdict_queue = Some(q);
+                    if let Some((q, charge)) = host.queue {
+                        verdict_queue = Some((q, charge));
+                        func.enqueue_charge_bytes += charge.max(0) as u64;
                     }
                     match outcome {
                         Outcome::Done => break 'walk,
                         Outcome::Dropped => {
+                            func.drops += 1;
                             self.stats.dropped += 1;
                             return HookVerdict::Drop;
                         }
                         Outcome::SentToController => {
+                            func.punts += 1;
                             self.stats.punted_to_controller += 1;
                             self.punted.push(packet.clone());
                             return HookVerdict::Drop;
@@ -380,16 +438,123 @@ impl Enclave {
             }
         }
 
-        if matched_any {
-            self.stats.matched += 1;
+        if !matched_any {
+            self.stats.missed += 1;
         }
+        self.stats.forwarded += 1;
         match verdict_queue {
-            Some((queue, charge)) => HookVerdict::Queue {
-                queue: queue.max(0) as usize,
-                charge: charge.max(0) as u64,
-            },
+            Some((queue, charge)) => {
+                self.stats.queued += 1;
+                self.stats.enqueue_charge_bytes += charge.max(0) as u64;
+                HookVerdict::Queue {
+                    queue: queue.max(0) as usize,
+                    charge: charge.max(0) as u64,
+                }
+            }
             None => HookVerdict::Pass,
         }
+    }
+
+    // ------------------------------------------------------------------
+    // telemetry (stats-pull API)
+    // ------------------------------------------------------------------
+
+    /// Copy every data-path counter into a point-in-time
+    /// [`StatsSnapshot`]: enclave totals, per-table and per-rule match
+    /// counts, per-function invocation/fault/verdict counts, and the
+    /// interpreter's accumulated cost. `flows` is empty and `host` is
+    /// `None` — the controller merges those in from the host stack (see
+    /// [`Controller::pull_host_stats`](crate::Controller::pull_host_stats)).
+    pub fn stats_snapshot(&self) -> StatsSnapshot {
+        let enclave = EnclaveCounters {
+            processed: self.stats.packets,
+            matched: self.stats.matched,
+            misses: self.stats.missed,
+            forwarded: self.stats.forwarded,
+            dropped: self.stats.dropped,
+            punted: self.stats.punted_to_controller,
+            queued: self.stats.queued,
+            faults: self.stats.faults,
+            header_modifies: self.stats.header_modifies,
+            enqueue_charge_bytes: self.stats.enqueue_charge_bytes,
+        };
+        let tables = self
+            .tables
+            .iter()
+            .enumerate()
+            .map(|(i, t)| TableCounters {
+                table: i,
+                lookups: t.lookups,
+                matches: t.matched,
+                misses: t.missed,
+            })
+            .collect();
+        let rules = self
+            .tables
+            .iter()
+            .enumerate()
+            .flat_map(|(ti, t)| {
+                t.rules.iter().enumerate().map(move |(ri, r)| RuleCounters {
+                    table: ti,
+                    rule: ri,
+                    func: r.func.0,
+                    hits: r.hits,
+                })
+            })
+            .collect();
+        let functions = self
+            .functions
+            .iter()
+            .enumerate()
+            .map(|(i, f)| FunctionCounters {
+                func: i,
+                name: f.name.clone(),
+                invocations: f.invocations,
+                faults: f.faults,
+                drops: f.drops,
+                punts: f.punts,
+                header_modifies: f.header_modifies,
+                enqueue_charge_bytes: f.enqueue_charge_bytes,
+            })
+            .collect();
+        let vmc = self.interp.counters();
+        let opcode_counts = match self.interp.opcode_histogram() {
+            Some(hist) => hist
+                .iter()
+                .enumerate()
+                .filter(|&(_, &n)| n > 0)
+                .map(|(i, &n)| (eden_vm::Op::kind_name(i).to_string(), n))
+                .collect(),
+            None => Vec::new(),
+        };
+        StatsSnapshot {
+            captured_at_ns: self.last_now.as_nanos(),
+            enclave,
+            tables,
+            rules,
+            functions,
+            vm: VmCounters {
+                invocations: vmc.invocations,
+                traps: vmc.traps,
+                steps: vmc.steps,
+                elapsed_ns: vmc.elapsed_ns,
+                opcode_counts,
+            },
+            flows: Vec::new(),
+            host: None,
+        }
+    }
+
+    /// Enable or disable the interpreter's per-opcode histogram (off by
+    /// default; see [`eden_vm::Interpreter::set_opcode_profiling`]).
+    pub fn set_opcode_profiling(&mut self, enabled: bool) {
+        self.interp.set_opcode_profiling(enabled);
+    }
+}
+
+impl Telemetry for Enclave {
+    fn snapshot(&self) -> StatsSnapshot {
+        self.stats_snapshot()
     }
 }
 
@@ -447,6 +612,8 @@ struct InvocationHost<'a> {
     now: Time,
     direction: FlowDirection,
     queue: Option<(i64, i64)>,
+    /// Mapped header fields written during this invocation (telemetry).
+    header_modifies: u64,
 }
 
 impl Host for InvocationHost<'_> {
@@ -473,6 +640,7 @@ impl Host for InvocationHost<'_> {
             }),
             Some((Some(field), _)) => {
                 crate::headermap::write_header_field(self.packet, *field, value);
+                self.header_modifies += 1;
                 Ok(())
             }
             Some((None, _)) => {

@@ -37,6 +37,7 @@ pub mod state;
 pub use action::{ActionImpl, FuncId, InstalledFunction, NativeEnv, NativeFn};
 pub use class::{ClassId, ClassRegistry};
 pub use controller::{Controller, PathSpec};
+pub use eden_telemetry::{StatsSnapshot, Telemetry};
 pub use enclave::{
     native_function, Enclave, EnclaveConfig, EnclaveStats, FiveTupleMatch, FlowDirection,
     MatchSpec, Rule, TableId,

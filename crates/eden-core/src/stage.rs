@@ -264,11 +264,7 @@ mod tests {
             ],
             geta,
         );
-        s.create_rule(
-            "r3",
-            vec![("key".into(), Matcher::Exact("a".into()))],
-            a,
-        );
+        s.create_rule("r3", vec![("key".into(), Matcher::Exact("a".into()))], a);
         s.create_rule("r3", vec![], other);
         (s, [get, put, default, geta, a, other, unused])
     }
@@ -326,11 +322,7 @@ mod tests {
     #[should_panic(expected = "cannot classify on")]
     fn unadvertised_classifier_rejected() {
         let mut s = Stage::new("http", &["url"], &["msg_id"]);
-        s.create_rule(
-            "r1",
-            vec![("tenant".into(), Matcher::Any)],
-            ClassId(1),
-        );
+        s.create_rule("r1", vec![("tenant".into(), Matcher::Any)], ClassId(1));
     }
 
     #[test]

@@ -77,10 +77,7 @@ impl FunctionState {
 
     /// Borrow the message block of `msg_id` together with the global
     /// scalars and arrays — the three disjoint pieces one invocation needs.
-    pub fn split_for(
-        &mut self,
-        msg_id: u64,
-    ) -> (&mut Vec<i64>, &mut Vec<i64>, &mut Vec<Vec<i64>>) {
+    pub fn split_for(&mut self, msg_id: u64) -> (&mut Vec<i64>, &mut Vec<i64>, &mut Vec<Vec<i64>>) {
         self.msg_block(msg_id); // ensure presence
         let msg = self
             .msg_state

@@ -18,7 +18,11 @@ fn pias_schema() -> Schema {
         .packet_field("Priority", Access::ReadWrite, Some(HeaderField::Dot1qPcp))
         .msg_field("Size", Access::ReadWrite)
         .msg_field("Priority", Access::ReadOnly)
-        .global_array("Priorities", &["MessageSizeLimit", "Priority"], Access::ReadOnly)
+        .global_array(
+            "Priorities",
+            &["MessageSizeLimit", "Priority"],
+            Access::ReadOnly,
+        )
 }
 
 const PIAS_SRC: &str = r#"
@@ -335,7 +339,8 @@ fn faulting_function_fails_open_and_isolates() {
     // A function that divides by zero must not affect forwarding.
     let mut controller = Controller::new();
     let c = controller.class("x.r.ALL");
-    let schema = Schema::new().packet_field("Size", Access::ReadOnly, Some(HeaderField::Ipv4TotalLength));
+    let schema =
+        Schema::new().packet_field("Size", Access::ReadOnly, Some(HeaderField::Ipv4TotalLength));
     let src = "fun (p, m, g) -> p.Size / (p.Size - p.Size) // div by zero\n";
     // note: expression result is discarded; the div traps at runtime
     let mut enclave = Enclave::new(EnclaveConfig::default());

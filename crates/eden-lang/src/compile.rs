@@ -13,10 +13,10 @@ use eden_vm::{Program, ProgramBuilder};
 use crate::ast::BinOp;
 use crate::error::{CompileError, ErrorKind};
 use crate::lexer::lex;
+use crate::optimize::fold;
 use crate::parser::parse;
 use crate::schema::{Concurrency, Schema, StateEffects};
 use crate::token::Span;
-use crate::optimize::fold;
 use crate::typeck::{check, Builtin, HExpr};
 
 /// A fully compiled action function, ready to install into an enclave.
@@ -118,7 +118,12 @@ impl Gen {
         self.emit_inner(e, ctx, true)
     }
 
-    fn emit_inner(&mut self, e: &HExpr, ctx: Option<FnCtx>, tail: bool) -> Result<bool, CompileError> {
+    fn emit_inner(
+        &mut self,
+        e: &HExpr,
+        ctx: Option<FnCtx>,
+        tail: bool,
+    ) -> Result<bool, CompileError> {
         match e {
             HExpr::Int(v) => {
                 self.b.push(*v);

@@ -40,7 +40,10 @@ impl CompileError {
     /// ```
     pub fn render(&self, source: &str) -> String {
         let mut out = format!("{self}");
-        if let Some(line) = source.lines().nth(self.span.line.saturating_sub(1) as usize) {
+        if let Some(line) = source
+            .lines()
+            .nth(self.span.line.saturating_sub(1) as usize)
+        {
             out.push_str(&format!("\n    {line}\n    "));
             for _ in 1..self.span.col {
                 out.push(' ');

@@ -32,7 +32,10 @@ pub fn lex(source: &str) -> Result<Vec<Token>, CompileError> {
             }
             '\n' => {
                 chars.next();
-                if !matches!(tokens.last().map(|t: &Token| &t.tok), Some(Tok::Newline) | None) {
+                if !matches!(
+                    tokens.last().map(|t: &Token| &t.tok),
+                    Some(Tok::Newline) | None
+                ) {
                     tok!(Tok::Newline, 1);
                 }
                 line += 1;
@@ -338,7 +341,13 @@ mod tests {
     fn comments_are_skipped() {
         assert_eq!(
             kinds("1 // the answer\n2"),
-            vec![Tok::Int(1), Tok::Newline, Tok::Int(2), Tok::Newline, Tok::Eof]
+            vec![
+                Tok::Int(1),
+                Tok::Newline,
+                Tok::Int(2),
+                Tok::Newline,
+                Tok::Eof
+            ]
         );
     }
 
@@ -346,7 +355,13 @@ mod tests {
     fn newlines_collapse() {
         assert_eq!(
             kinds("1\n\n\n2"),
-            vec![Tok::Int(1), Tok::Newline, Tok::Int(2), Tok::Newline, Tok::Eof]
+            vec![
+                Tok::Int(1),
+                Tok::Newline,
+                Tok::Int(2),
+                Tok::Newline,
+                Tok::Eof
+            ]
         );
     }
 

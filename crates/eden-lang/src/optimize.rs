@@ -116,10 +116,9 @@ pub fn fold(e: HExpr) -> HExpr {
             builtin,
             args: args.into_iter().map(fold).collect(),
         },
-        leaf @ (HExpr::Int(_)
-        | HExpr::Local(_)
-        | HExpr::LoadField(..)
-        | HExpr::ArrLen { .. }) => leaf,
+        leaf @ (HExpr::Int(_) | HExpr::Local(_) | HExpr::LoadField(..) | HExpr::ArrLen { .. }) => {
+            leaf
+        }
     }
 }
 
@@ -193,13 +192,13 @@ fn is_effect_free(e: &HExpr) -> bool {
         HExpr::LoadArr { .. } => false,
         HExpr::Bin { op, lhs, rhs } => {
             // division can trap
-            !matches!(op, BinOp::Div | BinOp::Rem)
-                && is_effect_free(lhs)
-                && is_effect_free(rhs)
+            !matches!(op, BinOp::Div | BinOp::Rem) && is_effect_free(lhs) && is_effect_free(rhs)
         }
         HExpr::Neg(x) | HExpr::Not(x) => is_effect_free(x),
         HExpr::Seq(stmts) => stmts.iter().all(is_effect_free),
-        HExpr::If { cond, then, els, .. } => {
+        HExpr::If {
+            cond, then, els, ..
+        } => {
             is_effect_free(cond)
                 && is_effect_free(then)
                 && els.as_deref().is_none_or(is_effect_free)

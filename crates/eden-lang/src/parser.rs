@@ -440,18 +440,17 @@ impl<'a> Parser<'a> {
                 Tok::Dot => {
                     self.bump();
                     let field = self.ident()?;
-                    let base = match &e.kind {
-                        ExprKind::Var(name) => name.clone(),
-                        _ => {
-                            return Err(CompileError::new(
+                    let base =
+                        match &e.kind {
+                            ExprKind::Var(name) => name.clone(),
+                            _ => return Err(CompileError::new(
                                 ErrorKind::Parse(
                                     "field access is only allowed on parameters and array aliases"
                                         .into(),
                                 ),
                                 start,
-                            ))
-                        }
-                    };
+                            )),
+                        };
                     e = Expr::new(ExprKind::Field { base, field }, start);
                 }
                 Tok::DotBracket => {
@@ -792,7 +791,9 @@ mod tests {
 
     #[test]
     fn let_rec_with_params() {
-        let e = body("let rec f i acc = if i = 0 then acc else f (i - 1, acc + i)\nm.Size <- f (10, 0)");
+        let e = body(
+            "let rec f i acc = if i = 0 then acc else f (i - 1, acc + i)\nm.Size <- f (10, 0)",
+        );
         match e.kind {
             ExprKind::LetRec { name, params, .. } => {
                 assert_eq!(name, "f");

@@ -204,7 +204,9 @@ impl Schema {
 
     /// Look up a scalar field by scope and name.
     pub fn field(&self, scope: Scope, name: &str) -> Option<&FieldDecl> {
-        self.fields.iter().find(|f| f.scope == scope && f.name == name)
+        self.fields
+            .iter()
+            .find(|f| f.scope == scope && f.name == name)
     }
 
     /// Look up a global array by name.

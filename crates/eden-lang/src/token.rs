@@ -70,12 +70,12 @@ pub enum Tok {
     Star,
     Slash,
     Percent,
-    Eq,   // =
-    Ne,   // <>
-    Lt,   // <
-    Le,   // <=
-    Gt,   // >
-    Ge,   // >=
+    Eq, // =
+    Ne, // <>
+    Lt, // <
+    Le, // <=
+    Gt, // >
+    Ge, // >=
     AndAnd,
     OrOr,
 

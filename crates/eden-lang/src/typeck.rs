@@ -67,7 +67,10 @@ pub enum HExpr {
         index: Box<HExpr>,
     },
     /// Element count of a global array.
-    ArrLen { id: u8, stride: u8 },
+    ArrLen {
+        id: u8,
+        stride: u8,
+    },
     Bin {
         op: BinOp,
         lhs: Box<HExpr>,
@@ -96,8 +99,14 @@ pub enum HExpr {
     /// Evaluate for effect, pop the produced value.
     Discard(Box<HExpr>),
     /// Call local function `func` (capture arguments already appended).
-    Call { func: u16, args: Vec<HExpr> },
-    CallBuiltin { builtin: Builtin, args: Vec<HExpr> },
+    Call {
+        func: u16,
+        args: Vec<HExpr>,
+    },
+    CallBuiltin {
+        builtin: Builtin,
+        args: Vec<HExpr>,
+    },
 }
 
 /// A lowered local function: closed, `arity` params (declared + captures),
@@ -272,10 +281,9 @@ impl<'a> Checker<'a> {
                 let id = match frame.lookup(array) {
                     Some(Binding::Array(id)) => *id,
                     _ => {
-                        return Err(self.type_err(
-                            format!("'{array}' is not a global array alias"),
-                            span,
-                        ))
+                        return Err(
+                            self.type_err(format!("'{array}' is not a global array alias"), span)
+                        )
                     }
                 };
                 let (stride, offset) = self.array_target(id, field.as_deref(), span)?;
@@ -333,10 +341,9 @@ impl<'a> Checker<'a> {
                     if is_global_param {
                         if let Some(decl) = self.schema.array(field) {
                             if *mutable {
-                                return Err(self.type_err(
-                                    "array aliases cannot be 'mutable'".into(),
-                                    span,
-                                ));
+                                return Err(
+                                    self.type_err("array aliases cannot be 'mutable'".into(), span)
+                                );
                             }
                             let id = decl.id;
                             frame.scopes.push(HashMap::new());
@@ -452,10 +459,7 @@ impl<'a> Checker<'a> {
     ) -> Result<(HExpr, Ty), CompileError> {
         // --- capture pre-scan ------------------------------------------
         let mut bound: Vec<Vec<String>> =
-            vec![params.to_vec()
-                .into_iter()
-                .chain([name.to_string()])
-                .collect()];
+            vec![params.iter().cloned().chain([name.to_string()]).collect()];
         let mut captures: Vec<String> = Vec::new();
         scan_free_locals(fn_body, &mut bound, frame, &mut captures);
 
@@ -578,9 +582,7 @@ impl<'a> Checker<'a> {
                     HExpr::StoreLocal(*slot, Box::new(v))
                 }
                 Some(_) => {
-                    return Err(
-                        self.type_err(format!("'{name}' is not an assignable local"), span)
-                    )
+                    return Err(self.type_err(format!("'{name}' is not an assignable local"), span))
                 }
                 None => return Err(self.type_err(format!("unknown variable '{name}'"), span)),
             },
@@ -605,10 +607,9 @@ impl<'a> Checker<'a> {
                 let id = match frame.lookup(array) {
                     Some(Binding::Array(id)) => *id,
                     _ => {
-                        return Err(self.type_err(
-                            format!("'{array}' is not a global array alias"),
-                            span,
-                        ))
+                        return Err(
+                            self.type_err(format!("'{array}' is not a global array alias"), span)
+                        )
                     }
                 };
                 if self.schema.arrays()[id as usize].access != Access::ReadWrite {
@@ -704,9 +705,7 @@ impl<'a> Checker<'a> {
                 Some(Binding::Local { slot, .. }) => hargs.push(HExpr::Local(*slot)),
                 _ => {
                     return Err(self.type_err(
-                        format!(
-                            "function '{name}' captures '{cname}', which is not in scope here"
-                        ),
+                        format!("function '{name}' captures '{cname}', which is not in scope here"),
                         span,
                     ))
                 }
@@ -774,15 +773,9 @@ impl<'a> Checker<'a> {
 /// `frame` (the frame where the `let rec` is being defined). `bound` holds
 /// names bound inside the function body so far. Calls to previously-defined
 /// functions pull that function's captures in transitively.
-fn scan_free_locals(
-    e: &Expr,
-    bound: &mut Vec<Vec<String>>,
-    frame: &Frame,
-    acc: &mut Vec<String>,
-) {
-    let is_bound = |bound: &Vec<Vec<String>>, n: &str| {
-        bound.iter().any(|scope| scope.iter().any(|b| b == n))
-    };
+fn scan_free_locals(e: &Expr, bound: &mut Vec<Vec<String>>, frame: &Frame, acc: &mut Vec<String>) {
+    let is_bound =
+        |bound: &Vec<Vec<String>>, n: &str| bound.iter().any(|scope| scope.iter().any(|b| b == n));
     let note = |bound: &Vec<Vec<String>>, acc: &mut Vec<String>, n: &str| {
         if !is_bound(bound, n)
             && matches!(frame.lookup(n), Some(Binding::Local { .. }))

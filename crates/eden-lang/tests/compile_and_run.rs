@@ -7,11 +7,7 @@
 use eden_lang::{compile, Access, Concurrency, HeaderField, Schema};
 use eden_vm::{Effect, Interpreter, Limits, Outcome, VecHost};
 
-fn run_with(
-    src: &str,
-    schema: &Schema,
-    host: &mut VecHost,
-) -> (Outcome, eden_vm::Usage) {
+fn run_with(src: &str, schema: &Schema, host: &mut VecHost) -> (Outcome, eden_vm::Usage) {
     let compiled = compile("test", src, schema).unwrap_or_else(|e| panic!("{}", e.render(src)));
     let mut interp = Interpreter::new(Limits::default());
     let outcome = interp
@@ -26,7 +22,11 @@ fn pias_schema() -> Schema {
         .packet_field("Priority", Access::ReadWrite, Some(HeaderField::Dot1qPcp))
         .msg_field("Size", Access::ReadWrite)
         .msg_field("Priority", Access::ReadOnly)
-        .global_array("Priorities", &["MessageSizeLimit", "Priority"], Access::ReadOnly)
+        .global_array(
+            "Priorities",
+            &["MessageSizeLimit", "Priority"],
+            Access::ReadOnly,
+        )
 }
 
 const PIAS_SRC: &str = r#"
@@ -101,8 +101,16 @@ fn figure7_fits_paper_footprint() {
         .run(&compiled.program, &mut h)
         .expect("fig7 must fit the paper's 64B/256B footprint");
     let usage = interp.usage();
-    assert!(usage.peak_stack_bytes() <= 64, "stack {}B", usage.peak_stack_bytes());
-    assert!(usage.peak_heap_bytes() <= 256, "heap {}B", usage.peak_heap_bytes());
+    assert!(
+        usage.peak_stack_bytes() <= 64,
+        "stack {}B",
+        usage.peak_stack_bytes()
+    );
+    assert!(
+        usage.peak_heap_bytes() <= 256,
+        "heap {}B",
+        usage.peak_heap_bytes()
+    );
 }
 
 #[test]

@@ -62,7 +62,10 @@ fn type_errors() {
     assert_msg("fun (p, m, g) -> p.Size <- 1", "read-only");
     assert_msg("fun (p, m, g) -> g.Limit <- 1", "read-only");
     assert_msg("fun (p, m, g) -> p.Priority <- p.Nope", "no field 'Nope'");
-    assert_msg("fun (p, m, g) -> p.Priority <- zzz", "unknown variable 'zzz'");
+    assert_msg(
+        "fun (p, m, g) -> p.Priority <- zzz",
+        "unknown variable 'zzz'",
+    );
     assert_msg(
         "fun (p, m, g) -> p.Priority <- zzz (1)",
         "unknown function 'zzz'",
@@ -87,10 +90,7 @@ fn type_errors() {
         "fun (p, m, g) -> m.Count <- g.Table",
         "must be bound with 'let'",
     );
-    assert_msg(
-        "fun (p, m, g) -> m.Count <- p",
-        "cannot be used as a value",
-    );
+    assert_msg("fun (p, m, g) -> m.Count <- p", "cannot be used as a value");
     assert_msg(
         "fun (p, m, g) ->\n    let rec f x = x + 1\n    m.Count <- f (1, 2)",
         "takes 1 argument",

@@ -27,10 +27,7 @@ enum E {
 }
 
 fn arb_expr() -> impl Strategy<Value = E> {
-    let leaf = prop_oneof![
-        (-100i64..100).prop_map(E::Int),
-        (0u8..4).prop_map(E::Pkt),
-    ];
+    let leaf = prop_oneof![(-100i64..100).prop_map(E::Int), (0u8..4).prop_map(E::Pkt),];
     leaf.prop_recursive(4, 48, 3, |inner| {
         prop_oneof![
             (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Add(Box::new(a), Box::new(b))),
@@ -41,8 +38,11 @@ fn arb_expr() -> impl Strategy<Value = E> {
             (inner.clone(), inner.clone()).prop_map(|(a, b)| E::And(Box::new(a), Box::new(b))),
             (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Or(Box::new(a), Box::new(b))),
             inner.clone().prop_map(|a| E::Not(Box::new(a))),
-            (inner.clone(), inner.clone(), inner)
-                .prop_map(|(c, t, f)| E::If(Box::new(c), Box::new(t), Box::new(f))),
+            (inner.clone(), inner.clone(), inner).prop_map(|(c, t, f)| E::If(
+                Box::new(c),
+                Box::new(t),
+                Box::new(f)
+            )),
         ]
     })
 }
@@ -129,7 +129,7 @@ proptest! {
     fn compiled_dsl_matches_reference(e in arb_expr(), pkt in proptest::collection::vec(-20i64..20, 4)) {
         let src = format!("fun (p, m, g) ->\n    m.Out <- {}\n", render(&e));
         let compiled = compile("prop", &src, &schema())
-            .map_err(|err| TestCaseError::fail(format!("{}", err.render(&src))))?;
+            .map_err(|err| TestCaseError::fail(err.render(&src)))?;
 
         let mut host = VecHost::with_slots(4, 1, 0);
         host.packet.copy_from_slice(&pkt);

@@ -1,0 +1,32 @@
+//! # eden-telemetry — shared observability types for the Eden workspace
+//!
+//! Every layer of the reproduction (interpreter, enclave, host stack,
+//! fabric, bench harnesses) exposes counters; this crate defines the
+//! *common language* they are reported in, so the controller can pull one
+//! [`StatsSnapshot`] from a running enclave and the bench harnesses can
+//! dump machine-readable `BENCH_*.json` files without a serde dependency:
+//!
+//! * [`StatsSnapshot`] + [`Telemetry`] — the point-in-time stats-pull API
+//!   (§3.2: the controller "can poll the enclave for statistics");
+//! * [`TraceRing`] / [`TraceEvent`] — a bounded ring buffer following
+//!   packets from `send_message` through the enclave to the wire;
+//! * [`TimeSeries`] — bounded time series for queue occupancy and drop
+//!   sampling in the fabric;
+//! * [`Json`] / [`ToJson`] — a small hand-rolled JSON tree, because the
+//!   build environment is offline and the snapshot types are simple.
+//!
+//! The crate is deliberately dependency-free so that any workspace crate
+//! can use it without layering concerns.
+
+mod json;
+mod series;
+mod snapshot;
+mod trace;
+
+pub use json::{Json, ToJson};
+pub use series::TimeSeries;
+pub use snapshot::{
+    EnclaveCounters, FlowCounters, FunctionCounters, HostCounters, RuleCounters, StatsSnapshot,
+    TableCounters, Telemetry, VmCounters,
+};
+pub use trace::{TraceEvent, TraceLayer, TraceRing, TraceVerdict};

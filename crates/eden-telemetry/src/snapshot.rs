@@ -1,0 +1,371 @@
+//! The stats-pull API: point-in-time counter snapshots.
+//!
+//! The paper's controller "can poll the enclave for statistics" (§3.2) —
+//! [`Telemetry::snapshot`] is that pull. A [`StatsSnapshot`] aggregates
+//! counters from every layer that has them: the enclave's match-action
+//! pipeline (per-table, per-rule, per-function), the interpreter, the
+//! host stack's flows, and host-level drop counters. All fields are plain
+//! integers copied out at snapshot time; taking a snapshot never perturbs
+//! the counters themselves.
+
+use crate::json::{Json, ToJson};
+
+/// Enclave-level packet accounting.
+///
+/// The conservation invariant (checked by [`EnclaveCounters::conserved`])
+/// is that every packet the enclave processed left it exactly one way:
+/// `processed == forwarded + dropped + punted`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EnclaveCounters {
+    /// Packets that entered the match-action pipeline.
+    pub processed: u64,
+    /// Packets that matched at least one rule.
+    pub matched: u64,
+    /// Packets that matched no rule in any table walked.
+    pub misses: u64,
+    /// Packets that left toward the NIC (pass or queue verdicts).
+    pub forwarded: u64,
+    /// Packets dropped by an action function (or fail-closed fault).
+    pub dropped: u64,
+    /// Packets punted to the controller.
+    pub punted: u64,
+    /// Of the forwarded packets, those steered to a NIC priority queue.
+    pub queued: u64,
+    /// Action-function faults (trap, fuel exhaustion, …).
+    pub faults: u64,
+    /// Packet-header fields written by action functions.
+    pub header_modifies: u64,
+    /// Bytes charged to queue verdicts (enqueue-charge accounting).
+    pub enqueue_charge_bytes: u64,
+}
+
+impl EnclaveCounters {
+    /// Every processed packet left the enclave exactly one way.
+    pub fn conserved(&self) -> bool {
+        self.processed == self.forwarded + self.dropped + self.punted
+    }
+}
+
+impl ToJson for EnclaveCounters {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("processed", self.processed.into()),
+            ("matched", self.matched.into()),
+            ("misses", self.misses.into()),
+            ("forwarded", self.forwarded.into()),
+            ("dropped", self.dropped.into()),
+            ("punted", self.punted.into()),
+            ("queued", self.queued.into()),
+            ("faults", self.faults.into()),
+            ("header_modifies", self.header_modifies.into()),
+            ("enqueue_charge_bytes", self.enqueue_charge_bytes.into()),
+        ])
+    }
+}
+
+/// Per-table lookup accounting.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TableCounters {
+    /// Table index in the enclave pipeline.
+    pub table: usize,
+    /// Lookups performed against this table.
+    pub lookups: u64,
+    /// Lookups that hit some rule.
+    pub matches: u64,
+    /// Lookups that hit no rule.
+    pub misses: u64,
+}
+
+impl ToJson for TableCounters {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("table", self.table.into()),
+            ("lookups", self.lookups.into()),
+            ("matches", self.matches.into()),
+            ("misses", self.misses.into()),
+        ])
+    }
+}
+
+/// Per-rule hit accounting.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RuleCounters {
+    /// Table index the rule lives in.
+    pub table: usize,
+    /// Rule index within the table.
+    pub rule: usize,
+    /// Function id the rule invokes.
+    pub func: usize,
+    /// Packets that matched this rule.
+    pub hits: u64,
+}
+
+impl ToJson for RuleCounters {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("table", self.table.into()),
+            ("rule", self.rule.into()),
+            ("func", self.func.into()),
+            ("hits", self.hits.into()),
+        ])
+    }
+}
+
+/// Per-action-function accounting.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FunctionCounters {
+    /// Function id in the enclave's function store.
+    pub func: usize,
+    pub name: String,
+    /// Completed invocations (faults counted separately).
+    pub invocations: u64,
+    pub faults: u64,
+    /// Invocations that returned a drop verdict.
+    pub drops: u64,
+    /// Invocations that punted to the controller.
+    pub punts: u64,
+    /// Header fields this function wrote.
+    pub header_modifies: u64,
+    /// Bytes this function charged to queue verdicts.
+    pub enqueue_charge_bytes: u64,
+}
+
+impl ToJson for FunctionCounters {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("func", self.func.into()),
+            ("name", self.name.as_str().into()),
+            ("invocations", self.invocations.into()),
+            ("faults", self.faults.into()),
+            ("drops", self.drops.into()),
+            ("punts", self.punts.into()),
+            ("header_modifies", self.header_modifies.into()),
+            ("enqueue_charge_bytes", self.enqueue_charge_bytes.into()),
+        ])
+    }
+}
+
+/// Interpreter-level accounting, aggregated over all bytecode invocations.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct VmCounters {
+    /// Bytecode program runs.
+    pub invocations: u64,
+    /// Runs that ended in a trap (fault).
+    pub traps: u64,
+    /// Instructions executed across all runs.
+    pub steps: u64,
+    /// Wall-clock nanoseconds spent interpreting, across all runs.
+    pub elapsed_ns: u64,
+    /// Per-opcode execution counts, present only when opcode profiling
+    /// was enabled; `(mnemonic, count)` pairs with non-zero counts.
+    pub opcode_counts: Vec<(String, u64)>,
+}
+
+impl ToJson for VmCounters {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("invocations", self.invocations.into()),
+            ("traps", self.traps.into()),
+            ("steps", self.steps.into()),
+            ("elapsed_ns", self.elapsed_ns.into()),
+            (
+                "opcode_counts",
+                Json::Obj(
+                    self.opcode_counts
+                        .iter()
+                        .map(|(name, n)| (name.clone(), (*n).into()))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+/// Per-flow transport accounting (one entry per TCP connection).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FlowCounters {
+    /// Connection index within the host stack.
+    pub conn: usize,
+    /// Connection state name (e.g. `"Established"`).
+    pub state: String,
+    pub packets_sent: u64,
+    pub bytes_acked: u64,
+    pub retransmits: u64,
+    pub fast_retransmits: u64,
+    /// Retransmission timeouts fired.
+    pub timeouts: u64,
+    pub dup_acks: u64,
+    pub reorder_events: u64,
+    /// Congestion window at snapshot time, bytes.
+    pub cwnd_bytes: u64,
+    /// Smoothed RTT at snapshot time, nanoseconds (0 if unsampled).
+    pub srtt_ns: u64,
+    /// Bytes in flight at snapshot time.
+    pub in_flight: u64,
+}
+
+impl ToJson for FlowCounters {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("conn", self.conn.into()),
+            ("state", self.state.as_str().into()),
+            ("packets_sent", self.packets_sent.into()),
+            ("bytes_acked", self.bytes_acked.into()),
+            ("retransmits", self.retransmits.into()),
+            ("fast_retransmits", self.fast_retransmits.into()),
+            ("timeouts", self.timeouts.into()),
+            ("dup_acks", self.dup_acks.into()),
+            ("reorder_events", self.reorder_events.into()),
+            ("cwnd_bytes", self.cwnd_bytes.into()),
+            ("srtt_ns", self.srtt_ns.into()),
+            ("in_flight", self.in_flight.into()),
+        ])
+    }
+}
+
+/// Host-stack drop accounting outside the enclave.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HostCounters {
+    /// Packets dropped by packet hooks (egress + ingress).
+    pub hook_drops: u64,
+    /// Packets dropped at the NIC queue (overflow).
+    pub nic_drops: u64,
+    /// Packets dropped for targeting a nonexistent NIC queue.
+    pub bad_queue_drops: u64,
+}
+
+impl ToJson for HostCounters {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("hook_drops", self.hook_drops.into()),
+            ("nic_drops", self.nic_drops.into()),
+            ("bad_queue_drops", self.bad_queue_drops.into()),
+        ])
+    }
+}
+
+/// A point-in-time snapshot of every counter a layer exposes.
+///
+/// Produced by [`Telemetry::snapshot`]; sections not applicable to the
+/// producing layer are empty (`flows` for a bare enclave) or `None`
+/// (`host` unless the controller merged host-stack counters in).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct StatsSnapshot {
+    /// Simulated time the snapshot was taken, nanoseconds.
+    pub captured_at_ns: u64,
+    pub enclave: EnclaveCounters,
+    pub tables: Vec<TableCounters>,
+    pub rules: Vec<RuleCounters>,
+    pub functions: Vec<FunctionCounters>,
+    pub vm: VmCounters,
+    pub flows: Vec<FlowCounters>,
+    pub host: Option<HostCounters>,
+}
+
+impl ToJson for StatsSnapshot {
+    fn to_json(&self) -> Json {
+        fn arr<T: ToJson>(items: &[T]) -> Json {
+            Json::Arr(items.iter().map(|i| i.to_json()).collect())
+        }
+        Json::obj(vec![
+            ("captured_at_ns", self.captured_at_ns.into()),
+            ("enclave", self.enclave.to_json()),
+            ("tables", arr(&self.tables)),
+            ("rules", arr(&self.rules)),
+            ("functions", arr(&self.functions)),
+            ("vm", self.vm.to_json()),
+            ("flows", arr(&self.flows)),
+            (
+                "host",
+                match &self.host {
+                    Some(h) => h.to_json(),
+                    None => Json::Null,
+                },
+            ),
+        ])
+    }
+}
+
+/// Anything the controller can pull a [`StatsSnapshot`] from.
+pub trait Telemetry {
+    /// Copy out the current counters. Must not reset or perturb them.
+    fn snapshot(&self) -> StatsSnapshot;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conservation_holds_and_breaks() {
+        let mut c = EnclaveCounters::default();
+        assert!(c.conserved());
+        c.processed = 10;
+        c.forwarded = 7;
+        c.dropped = 2;
+        c.punted = 1;
+        assert!(c.conserved());
+        c.dropped = 3;
+        assert!(!c.conserved());
+    }
+
+    #[test]
+    fn snapshot_renders_all_sections() {
+        let snap = StatsSnapshot {
+            captured_at_ns: 42,
+            enclave: EnclaveCounters {
+                processed: 1,
+                matched: 1,
+                forwarded: 1,
+                ..Default::default()
+            },
+            tables: vec![TableCounters {
+                table: 0,
+                lookups: 1,
+                matches: 1,
+                misses: 0,
+            }],
+            rules: vec![RuleCounters {
+                table: 0,
+                rule: 0,
+                func: 3,
+                hits: 1,
+            }],
+            functions: vec![FunctionCounters {
+                func: 3,
+                name: "pias".into(),
+                invocations: 1,
+                ..Default::default()
+            }],
+            vm: VmCounters {
+                invocations: 1,
+                steps: 12,
+                opcode_counts: vec![("push".into(), 5)],
+                ..Default::default()
+            },
+            flows: vec![],
+            host: None,
+        };
+        let text = snap.to_json().render();
+        assert!(text.contains(r#""captured_at_ns":42"#));
+        assert!(text.contains(r#""processed":1"#));
+        assert!(text.contains(r#""name":"pias""#));
+        assert!(text.contains(r#""opcode_counts":{"push":5}"#));
+        assert!(text.contains(r#""host":null"#));
+    }
+
+    #[test]
+    fn telemetry_trait_is_object_safe() {
+        struct Fixed;
+        impl Telemetry for Fixed {
+            fn snapshot(&self) -> StatsSnapshot {
+                StatsSnapshot {
+                    captured_at_ns: 5,
+                    ..Default::default()
+                }
+            }
+        }
+        let t: &dyn Telemetry = &Fixed;
+        assert_eq!(t.snapshot().captured_at_ns, 5);
+    }
+}

@@ -1,0 +1,246 @@
+//! Packet-path tracing: a bounded ring buffer of [`TraceEvent`]s that
+//! follows a packet from the application's `send_message` through the
+//! enclave's verdict, the rate limiter, the NIC queue, and onto the wire.
+//!
+//! The ring is capacity-bounded (oldest events are evicted first) so
+//! tracing a long run keeps the most recent window; `recorded`/`evicted`
+//! counters let a consumer detect truncation. The whole ring dumps as a
+//! JSON array alongside the existing pcap trace.
+
+use std::collections::VecDeque;
+use std::io;
+
+use crate::json::{Json, ToJson};
+
+/// Which layer of the end-host stack observed the packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceLayer {
+    /// Application API (`send_message`).
+    App,
+    /// Eden enclave (match-action pipeline).
+    Enclave,
+    /// Per-class rate limiter.
+    Limiter,
+    /// NIC queue.
+    Nic,
+    /// Physical wire (transmit start / delivery).
+    Wire,
+}
+
+impl TraceLayer {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            TraceLayer::App => "app",
+            TraceLayer::Enclave => "enclave",
+            TraceLayer::Limiter => "limiter",
+            TraceLayer::Nic => "nic",
+            TraceLayer::Wire => "wire",
+        }
+    }
+}
+
+/// What happened to the packet at that layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceVerdict {
+    /// Application handed a message to the stack.
+    Send,
+    /// Enclave passed the packet unchanged (or modified in place).
+    Pass,
+    /// Packet was dropped at this layer.
+    Drop,
+    /// Enclave steered the packet to a NIC priority queue.
+    Queue,
+    /// Enclave punted the packet to the controller.
+    Punt,
+    /// Packet entered a queue (limiter or NIC) to wait its turn.
+    Enqueue,
+    /// Packet started transmitting on the wire.
+    Tx,
+    /// Packet was delivered up the receive path.
+    Deliver,
+}
+
+impl TraceVerdict {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            TraceVerdict::Send => "send",
+            TraceVerdict::Pass => "pass",
+            TraceVerdict::Drop => "drop",
+            TraceVerdict::Queue => "queue",
+            TraceVerdict::Punt => "punt",
+            TraceVerdict::Enqueue => "enqueue",
+            TraceVerdict::Tx => "tx",
+            TraceVerdict::Deliver => "deliver",
+        }
+    }
+}
+
+/// One observation of a packet at one layer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceEvent {
+    /// Simulated time of the observation, nanoseconds.
+    pub at_ns: u64,
+    /// Packet identity. At the [`TraceLayer::App`] layer this is the
+    /// application's message tag; below it, the stack's per-host packet id.
+    pub packet_id: u64,
+    /// Eden traffic class the packet belongs to (0 = unclassified).
+    pub class: u32,
+    pub layer: TraceLayer,
+    pub verdict: TraceVerdict,
+}
+
+impl ToJson for TraceEvent {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("at_ns", self.at_ns.into()),
+            ("packet_id", self.packet_id.into()),
+            ("class", u64::from(self.class).into()),
+            ("layer", self.layer.as_str().into()),
+            ("verdict", self.verdict.as_str().into()),
+        ])
+    }
+}
+
+/// Bounded ring buffer of [`TraceEvent`]s.
+#[derive(Debug, Default)]
+pub struct TraceRing {
+    buf: VecDeque<TraceEvent>,
+    capacity: usize,
+    /// Total events ever recorded (including evicted ones).
+    pub recorded: u64,
+    /// Events evicted to make room.
+    pub evicted: u64,
+}
+
+impl TraceRing {
+    /// An empty ring holding at most `capacity` events (min 1).
+    pub fn new(capacity: usize) -> TraceRing {
+        TraceRing {
+            buf: VecDeque::new(),
+            capacity: capacity.max(1),
+            recorded: 0,
+            evicted: 0,
+        }
+    }
+
+    /// Record one event, evicting the oldest if the ring is full.
+    pub fn push(&mut self, event: TraceEvent) {
+        if self.buf.len() == self.capacity {
+            self.buf.pop_front();
+            self.evicted += 1;
+        }
+        self.buf.push_back(event);
+        self.recorded += 1;
+    }
+
+    /// Convenience: record an event from its fields.
+    pub fn record(
+        &mut self,
+        at_ns: u64,
+        packet_id: u64,
+        class: u32,
+        layer: TraceLayer,
+        verdict: TraceVerdict,
+    ) {
+        self.push(TraceEvent {
+            at_ns,
+            packet_id,
+            class,
+            layer,
+            verdict,
+        });
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether no events are retained.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Iterate over retained events, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.buf.iter()
+    }
+
+    /// Retained events for `packet_id`, oldest first.
+    pub fn for_packet(&self, packet_id: u64) -> Vec<&TraceEvent> {
+        self.buf
+            .iter()
+            .filter(|e| e.packet_id == packet_id)
+            .collect()
+    }
+
+    /// Dump the ring as a JSON object (`recorded`, `evicted`, `events`).
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("recorded", self.recorded.into()),
+            ("evicted", self.evicted.into()),
+            (
+                "events",
+                Json::Arr(self.iter().map(|e| e.to_json()).collect()),
+            ),
+        ])
+    }
+
+    /// Write the JSON dump to `out` (e.g. a file next to the pcap).
+    pub fn write_json<W: io::Write>(&self, out: &mut W) -> io::Result<()> {
+        out.write_all(self.to_json().render().as_bytes())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(at: u64, id: u64) -> TraceEvent {
+        TraceEvent {
+            at_ns: at,
+            packet_id: id,
+            class: 7,
+            layer: TraceLayer::Enclave,
+            verdict: TraceVerdict::Pass,
+        }
+    }
+
+    #[test]
+    fn ring_evicts_oldest() {
+        let mut r = TraceRing::new(2);
+        r.push(ev(1, 10));
+        r.push(ev(2, 11));
+        r.push(ev(3, 12));
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.recorded, 3);
+        assert_eq!(r.evicted, 1);
+        let ids: Vec<u64> = r.iter().map(|e| e.packet_id).collect();
+        assert_eq!(ids, vec![11, 12]);
+    }
+
+    #[test]
+    fn filter_by_packet() {
+        let mut r = TraceRing::new(8);
+        r.record(1, 5, 0, TraceLayer::App, TraceVerdict::Send);
+        r.record(2, 6, 1, TraceLayer::Nic, TraceVerdict::Enqueue);
+        r.record(3, 5, 0, TraceLayer::Wire, TraceVerdict::Tx);
+        let path = r.for_packet(5);
+        assert_eq!(path.len(), 2);
+        assert_eq!(path[0].verdict, TraceVerdict::Send);
+        assert_eq!(path[1].verdict, TraceVerdict::Tx);
+    }
+
+    #[test]
+    fn json_dump_shape() {
+        let mut r = TraceRing::new(4);
+        r.record(9, 1, 2, TraceLayer::Limiter, TraceVerdict::Enqueue);
+        assert_eq!(
+            r.to_json().render(),
+            r#"{"recorded":1,"evicted":0,"events":[{"at_ns":9,"packet_id":1,"class":2,"layer":"limiter","verdict":"enqueue"}]}"#
+        );
+        let mut buf = Vec::new();
+        r.write_json(&mut buf).unwrap();
+        assert_eq!(String::from_utf8(buf).unwrap(), r.to_json().render());
+    }
+}

@@ -111,8 +111,7 @@ impl ProgramBuilder {
                 other => unreachable!("fixup on non-jump op {other}"),
             };
         }
-        Program::new(self.name, self.ops, self.funcs, self.entry_locals)
-            .map_err(BuildError::Verify)
+        Program::new(self.name, self.ops, self.funcs, self.entry_locals).map_err(BuildError::Verify)
     }
 
     // --- one helper per op, so emission code reads like assembly ---------

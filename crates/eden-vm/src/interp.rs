@@ -32,6 +32,23 @@ struct Frame {
     locals_base: u32,
 }
 
+/// Cheap always-on counters accumulated across [`Interpreter::run`] calls.
+///
+/// These are the interpreter's contribution to a telemetry
+/// `StatsSnapshot`; the enclave copies them out on a stats pull. Cleared
+/// by [`Interpreter::reset_counters`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct VmCounters {
+    /// Completed `run` calls (including trapped ones).
+    pub invocations: u64,
+    /// `run` calls that ended in a trap.
+    pub traps: u64,
+    /// Instructions executed, across all runs.
+    pub steps: u64,
+    /// Wall-clock nanoseconds spent inside `run`, across all runs.
+    pub elapsed_ns: u64,
+}
+
 /// Reusable execution context (operand stack + locals arena + call stack).
 #[derive(Debug)]
 pub struct Interpreter {
@@ -40,6 +57,10 @@ pub struct Interpreter {
     locals: Vec<i64>,
     frames: Vec<Frame>,
     usage: Usage,
+    counters: VmCounters,
+    /// Per-opcode execution histogram, allocated only while profiling is
+    /// enabled so the disabled cost is a single well-predicted branch.
+    profile: Option<Box<[u64; Op::KIND_COUNT]>>,
 }
 
 impl Interpreter {
@@ -51,6 +72,8 @@ impl Interpreter {
             locals: Vec::with_capacity(limits.max_heap_slots),
             frames: Vec::with_capacity(limits.max_call_depth),
             usage: Usage::default(),
+            counters: VmCounters::default(),
+            profile: None,
         }
     }
 
@@ -64,6 +87,40 @@ impl Interpreter {
         self.usage
     }
 
+    /// Counters accumulated over all [`run`](Self::run) calls since
+    /// creation or the last [`reset_counters`](Self::reset_counters).
+    pub fn counters(&self) -> VmCounters {
+        self.counters
+    }
+
+    /// Clear the accumulated counters (and the opcode histogram, if
+    /// profiling is enabled).
+    pub fn reset_counters(&mut self) {
+        self.counters = VmCounters::default();
+        if let Some(hist) = self.profile.as_deref_mut() {
+            hist.fill(0);
+        }
+    }
+
+    /// Enable or disable the per-opcode histogram. Enabling allocates the
+    /// histogram (zeroed); disabling drops it. Off by default — when off,
+    /// the dispatch loop pays one predictable branch per instruction.
+    pub fn set_opcode_profiling(&mut self, enabled: bool) {
+        if enabled {
+            if self.profile.is_none() {
+                self.profile = Some(Box::new([0; Op::KIND_COUNT]));
+            }
+        } else {
+            self.profile = None;
+        }
+    }
+
+    /// The opcode histogram, if profiling is enabled: counts indexed by
+    /// [`Op::kind_index`] (use [`Op::kind_name`] for mnemonics).
+    pub fn opcode_histogram(&self) -> Option<&[u64; Op::KIND_COUNT]> {
+        self.profile.as_deref()
+    }
+
     /// Execute `program` against `host`. Returns the packet disposition, or
     /// the trap that terminated the program.
     ///
@@ -72,6 +129,16 @@ impl Interpreter {
     /// occur; the checks that remain at runtime are the dynamic ones:
     /// limits, division by zero, array bounds, unknown state slots.
     pub fn run(&mut self, program: &Program, host: &mut dyn Host) -> Result<Outcome, VmError> {
+        let started = std::time::Instant::now();
+        let result = self.run_inner(program, host);
+        self.counters.invocations += 1;
+        self.counters.traps += result.is_err() as u64;
+        self.counters.steps += self.usage.steps;
+        self.counters.elapsed_ns += started.elapsed().as_nanos() as u64;
+        result
+    }
+
+    fn run_inner(&mut self, program: &Program, host: &mut dyn Host) -> Result<Outcome, VmError> {
         self.stack.clear();
         self.locals.clear();
         self.frames.clear();
@@ -134,6 +201,10 @@ impl Interpreter {
                 None => return Err(VmError::BadJump(pc as u32)),
             };
             pc += 1;
+
+            if let Some(hist) = self.profile.as_deref_mut() {
+                hist[op.kind_index()] += 1;
+            }
 
             match op {
                 Op::Push(v) => push!(v),
@@ -363,8 +434,71 @@ mod tests {
     #[test]
     fn division_by_zero_traps() {
         let mut h = VecHost::default();
-        let e = run(vec![Op::Push(1), Op::Push(0), Op::Div, Op::Pop, Op::Halt], &mut h);
+        let e = run(
+            vec![Op::Push(1), Op::Push(0), Op::Div, Op::Pop, Op::Halt],
+            &mut h,
+        );
         assert_eq!(e, Err(VmError::DivideByZero));
+    }
+
+    #[test]
+    fn counters_accumulate_across_runs() {
+        let p = Program::new("t", vec![Op::Push(1), Op::Pop, Op::Halt], vec![], 0).unwrap();
+        let trap = Program::new(
+            "z",
+            vec![Op::Push(1), Op::Push(0), Op::Div, Op::Pop, Op::Halt],
+            vec![],
+            0,
+        )
+        .unwrap();
+        let mut h = VecHost::default();
+        let mut i = Interpreter::new(Limits::default());
+        assert_eq!(i.counters(), VmCounters::default());
+
+        i.run(&p, &mut h).unwrap();
+        i.run(&p, &mut h).unwrap();
+        assert!(i.run(&trap, &mut h).is_err());
+
+        let c = i.counters();
+        assert_eq!(c.invocations, 3);
+        assert_eq!(c.traps, 1);
+        assert_eq!(c.steps, 3 + 3 + 3); // both programs execute 3 ops
+                                        // wall-clock cost is monotone; exact value is host-dependent
+        let elapsed_after_three = c.elapsed_ns;
+        i.run(&p, &mut h).unwrap();
+        assert!(i.counters().elapsed_ns >= elapsed_after_three);
+
+        i.reset_counters();
+        assert_eq!(i.counters(), VmCounters::default());
+    }
+
+    #[test]
+    fn opcode_profiling_is_opt_in() {
+        let p = Program::new(
+            "t",
+            vec![Op::Push(2), Op::Push(3), Op::Add, Op::Pop, Op::Halt],
+            vec![],
+            0,
+        )
+        .unwrap();
+        let mut h = VecHost::default();
+        let mut i = Interpreter::new(Limits::default());
+        i.run(&p, &mut h).unwrap();
+        assert!(i.opcode_histogram().is_none());
+
+        i.set_opcode_profiling(true);
+        i.run(&p, &mut h).unwrap();
+        i.run(&p, &mut h).unwrap();
+        let hist = i.opcode_histogram().unwrap();
+        assert_eq!(hist[Op::Push(0).kind_index()], 4);
+        assert_eq!(hist[Op::Add.kind_index()], 2);
+        assert_eq!(hist[Op::Halt.kind_index()], 2);
+        assert_eq!(hist[Op::Mul.kind_index()], 0);
+
+        i.reset_counters();
+        assert!(i.opcode_histogram().unwrap().iter().all(|&n| n == 0));
+        i.set_opcode_profiling(false);
+        assert!(i.opcode_histogram().is_none());
     }
 
     #[test]
@@ -450,8 +584,10 @@ mod tests {
     fn fuel_limits_runaway_loops() {
         let p = Program::new("t", vec![Op::Jmp(0)], vec![], 0).unwrap();
         let mut h = VecHost::default();
-        let mut limits = Limits::default();
-        limits.fuel = Some(1000);
+        let limits = Limits {
+            fuel: Some(1000),
+            ..Limits::default()
+        };
         let e = Interpreter::new(limits).run(&p, &mut h);
         assert_eq!(e, Err(VmError::OutOfFuel));
     }
@@ -540,12 +676,14 @@ mod tests {
             assert!((0..10).contains(&h2.packet[0]));
         }
         // non-positive bound traps
-        let p = Program::new("t", vec![Op::Push(0), Op::RandRange, Op::Pop, Op::Halt], vec![], 0)
-            .unwrap();
-        assert_eq!(
-            i.run(&p, &mut h2),
-            Err(VmError::BadRandRange(0))
-        );
+        let p = Program::new(
+            "t",
+            vec![Op::Push(0), Op::RandRange, Op::Pop, Op::Halt],
+            vec![],
+            0,
+        )
+        .unwrap();
+        assert_eq!(i.run(&p, &mut h2), Err(VmError::BadRandRange(0)));
     }
 
     #[test]
@@ -553,8 +691,10 @@ mod tests {
         // The verifier statically rejects loops that grow the stack, so at
         // runtime an overflow means the program's (verified, finite) peak
         // depth exceeds this interpreter's configured budget.
-        let mut limits = Limits::default();
-        limits.max_stack = 4;
+        let limits = Limits {
+            max_stack: 4,
+            ..Limits::default()
+        };
         let mut b = ProgramBuilder::new();
         for i in 0..6 {
             b.push(i);

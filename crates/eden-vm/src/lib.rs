@@ -54,7 +54,7 @@ pub use codec::{decode as decode_program, encode as encode_program, CodecError};
 pub use disasm::disassemble;
 pub use error::{StateScope, VmError};
 pub use host::{Effect, Host, VecHost};
-pub use interp::{Interpreter, Outcome};
+pub use interp::{Interpreter, Outcome, VmCounters};
 pub use limits::{Limits, Usage};
 pub use op::Op;
 pub use program::{FuncInfo, Program};

@@ -122,7 +122,122 @@ pub enum Op {
     GotoTable,
 }
 
+/// Mnemonics indexed by [`Op::kind_index`], in declaration order.
+const KIND_NAMES: [&str; Op::KIND_COUNT] = [
+    "push",
+    "dup",
+    "pop",
+    "swap",
+    "lload",
+    "lstore",
+    "pload",
+    "pstore",
+    "mload",
+    "mstore",
+    "gload",
+    "gstore",
+    "aload",
+    "astore",
+    "alen",
+    "add",
+    "sub",
+    "mul",
+    "div",
+    "rem",
+    "neg",
+    "and",
+    "or",
+    "xor",
+    "not",
+    "shl",
+    "shr",
+    "eq",
+    "ne",
+    "lt",
+    "le",
+    "gt",
+    "ge",
+    "jmp",
+    "jmpif",
+    "jmpifnot",
+    "call",
+    "ret",
+    "halt",
+    "rand",
+    "randrange",
+    "now",
+    "hash",
+    "drop",
+    "setqueue",
+    "tocontroller",
+    "gototable",
+];
+
 impl Op {
+    /// Number of opcode kinds — the size of a per-opcode histogram.
+    pub const KIND_COUNT: usize = 47;
+
+    /// Dense index of this op's kind (operands ignored), in declaration
+    /// order; always `< KIND_COUNT`. Used by the interpreter's optional
+    /// per-opcode profiling histogram.
+    pub fn kind_index(&self) -> usize {
+        use Op::*;
+        match self {
+            Push(_) => 0,
+            Dup => 1,
+            Pop => 2,
+            Swap => 3,
+            LoadLocal(_) => 4,
+            StoreLocal(_) => 5,
+            LoadPkt(_) => 6,
+            StorePkt(_) => 7,
+            LoadMsg(_) => 8,
+            StoreMsg(_) => 9,
+            LoadGlob(_) => 10,
+            StoreGlob(_) => 11,
+            ArrLoad(_) => 12,
+            ArrStore(_) => 13,
+            ArrLen(_) => 14,
+            Add => 15,
+            Sub => 16,
+            Mul => 17,
+            Div => 18,
+            Rem => 19,
+            Neg => 20,
+            And => 21,
+            Or => 22,
+            Xor => 23,
+            Not => 24,
+            Shl => 25,
+            Shr => 26,
+            Eq => 27,
+            Ne => 28,
+            Lt => 29,
+            Le => 30,
+            Gt => 31,
+            Ge => 32,
+            Jmp(_) => 33,
+            JmpIf(_) => 34,
+            JmpIfNot(_) => 35,
+            Call(_) => 36,
+            Ret => 37,
+            Halt => 38,
+            Rand => 39,
+            RandRange => 40,
+            Now => 41,
+            Hash => 42,
+            Drop => 43,
+            SetQueue => 44,
+            ToController => 45,
+            GotoTable => 46,
+        }
+    }
+
+    /// Mnemonic for a kind index (panics if `index >= KIND_COUNT`).
+    pub fn kind_name(index: usize) -> &'static str {
+        KIND_NAMES[index]
+    }
+
     /// Net change this op applies to the operand stack depth, used by the
     /// verifier. `Call` is handled separately (depends on arity).
     pub(crate) fn stack_delta(&self) -> i32 {
@@ -147,8 +262,8 @@ impl Op {
             | Now | Jmp(_) | Halt | ToController | Drop => 0,
             Dup | Pop | StoreLocal(_) | StorePkt(_) | StoreMsg(_) | StoreGlob(_) | ArrLoad(_)
             | Neg | Not | JmpIf(_) | JmpIfNot(_) | RandRange | GotoTable => 1,
-            Swap | Add | Sub | Mul | Div | Rem | And | Or | Xor | Shl | Shr | Eq | Ne | Lt
-            | Le | Gt | Ge | Hash | SetQueue => 2,
+            Swap | Add | Sub | Mul | Div | Rem | And | Or | Xor | Shl | Shr | Eq | Ne | Lt | Le
+            | Gt | Ge | Hash | SetQueue => 2,
             ArrStore(_) => 2,
             Call(_) | Ret => 0, // handled by the verifier explicitly
         }
@@ -219,6 +334,67 @@ mod tests {
         assert_eq!(Op::Push(-3).to_string(), "push -3");
         assert_eq!(Op::JmpIfNot(7).to_string(), "jmpifnot 7");
         assert_eq!(Op::ArrLen(2).to_string(), "alen 2");
+    }
+
+    #[test]
+    fn kind_index_is_dense_and_named() {
+        let ops = [
+            Op::Push(0),
+            Op::Dup,
+            Op::Pop,
+            Op::Swap,
+            Op::LoadLocal(0),
+            Op::StoreLocal(0),
+            Op::LoadPkt(0),
+            Op::StorePkt(0),
+            Op::LoadMsg(0),
+            Op::StoreMsg(0),
+            Op::LoadGlob(0),
+            Op::StoreGlob(0),
+            Op::ArrLoad(0),
+            Op::ArrStore(0),
+            Op::ArrLen(0),
+            Op::Add,
+            Op::Sub,
+            Op::Mul,
+            Op::Div,
+            Op::Rem,
+            Op::Neg,
+            Op::And,
+            Op::Or,
+            Op::Xor,
+            Op::Not,
+            Op::Shl,
+            Op::Shr,
+            Op::Eq,
+            Op::Ne,
+            Op::Lt,
+            Op::Le,
+            Op::Gt,
+            Op::Ge,
+            Op::Jmp(0),
+            Op::JmpIf(0),
+            Op::JmpIfNot(0),
+            Op::Call(0),
+            Op::Ret,
+            Op::Halt,
+            Op::Rand,
+            Op::RandRange,
+            Op::Now,
+            Op::Hash,
+            Op::Drop,
+            Op::SetQueue,
+            Op::ToController,
+            Op::GotoTable,
+        ];
+        assert_eq!(ops.len(), Op::KIND_COUNT);
+        for (i, op) in ops.iter().enumerate() {
+            assert_eq!(op.kind_index(), i, "kind_index out of order for {op}");
+            // the mnemonic is the first token of the Display form
+            let display = op.to_string();
+            let mnemonic = display.split(' ').next().unwrap();
+            assert_eq!(Op::kind_name(i), mnemonic);
+        }
     }
 
     #[test]

@@ -48,8 +48,12 @@ impl fmt::Display for VerifyError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         use VerifyError::*;
         match self {
-            JumpOutOfRange { at, target } => write!(f, "op {at}: jump target {target} out of range"),
-            FallsOffEnd { entry } => write!(f, "control flow from entry {entry} can fall off the end"),
+            JumpOutOfRange { at, target } => {
+                write!(f, "op {at}: jump target {target} out of range")
+            }
+            FallsOffEnd { entry } => {
+                write!(f, "control flow from entry {entry} can fall off the end")
+            }
             InconsistentStack { at, a, b } => {
                 write!(f, "op {at}: inconsistent stack depth at join ({a} vs {b})")
             }
@@ -60,7 +64,9 @@ impl fmt::Display for VerifyError {
                 write!(f, "op {at}: local {slot} out of range (frame has {frame})")
             }
             UnknownFunction { at, id } => write!(f, "op {at}: unknown function {id}"),
-            BadFunctionEntry { id, entry } => write!(f, "function {id}: entry {entry} out of range"),
+            BadFunctionEntry { id, entry } => {
+                write!(f, "function {id}: entry {entry} out of range")
+            }
             ArityExceedsLocals { id } => write!(f, "function {id}: arity exceeds declared locals"),
             RetAtTopLevel { at } => write!(f, "op {at}: ret in top-level code"),
             TooLarge(n) => write!(f, "program of {n} ops exceeds the maximum size"),

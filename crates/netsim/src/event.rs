@@ -67,7 +67,11 @@ impl<T> EventQueue<T> {
     /// # Panics
     /// Panics if `at` is in the past — that is always a simulator bug.
     pub fn schedule(&mut self, at: Time, payload: T) {
-        assert!(at >= self.now, "scheduling into the past ({at} < {})", self.now);
+        assert!(
+            at >= self.now,
+            "scheduling into the past ({at} < {})",
+            self.now
+        );
         self.heap.push(Entry {
             at,
             seq: self.seq,

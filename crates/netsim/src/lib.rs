@@ -22,6 +22,7 @@
 //! round-trips through the byte-level encoders in tests.
 
 pub mod event;
+pub mod monitor;
 pub mod net;
 pub mod node;
 pub mod packet;
@@ -34,9 +35,13 @@ pub mod time;
 pub mod wire;
 
 pub use event::EventQueue;
+pub use monitor::{QueueMonitor, SwitchSeries};
 pub use net::{LinkId, LinkSpec, Network, NodeId, PortId};
 pub use node::{Ctx, Node, NodeEvent};
-pub use packet::{AppMarker, EdenMeta, EthHeader, Ipv4Header, L4Header, Packet, TcpFlags, TcpHeader, UdpHeader, VlanTag};
+pub use packet::{
+    AppMarker, EdenMeta, EthHeader, Ipv4Header, L4Header, Packet, TcpFlags, TcpHeader, UdpHeader,
+    VlanTag,
+};
 pub use queue::{DropTailQueue, PriorityPort};
 pub use rng::SimRng;
 pub use stats::{LinkStats, Summary};

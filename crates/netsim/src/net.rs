@@ -150,7 +150,10 @@ impl Network {
         let pa = PortId(self.ports[a.0].len());
         let pb = PortId(self.ports[b.0].len());
         self.links.push(Link {
-            ends: [Endpoint { node: a, port: pa }, Endpoint { node: b, port: pb }],
+            ends: [
+                Endpoint { node: a, port: pa },
+                Endpoint { node: b, port: pb },
+            ],
             spec,
             busy_until: [Time::ZERO; 2],
             stats: [LinkStats::default(); 2],
@@ -236,7 +239,8 @@ impl Network {
         // Populate per-port rates for the node's ctx.
         self.port_rates_scratch.clear();
         for pr in &self.ports[node.0] {
-            self.port_rates_scratch.push(self.links[pr.link.0].spec.rate_bps);
+            self.port_rates_scratch
+                .push(self.links[pr.link.0].spec.rate_bps);
         }
 
         debug_assert!(self.actions.is_empty());

@@ -213,7 +213,10 @@ impl Packet {
         match &mut self.eth.vlan {
             Some(tag) => tag.pcp = pcp & 7,
             None => {
-                self.eth.vlan = Some(VlanTag { pcp: pcp & 7, vid: 0 });
+                self.eth.vlan = Some(VlanTag {
+                    pcp: pcp & 7,
+                    vid: 0,
+                });
             }
         }
     }
@@ -229,7 +232,10 @@ impl Packet {
         match &mut self.eth.vlan {
             Some(tag) => tag.vid = vid & 0xFFF,
             None => {
-                self.eth.vlan = Some(VlanTag { pcp: 0, vid: vid & 0xFFF });
+                self.eth.vlan = Some(VlanTag {
+                    pcp: 0,
+                    vid: vid & 0xFFF,
+                });
             }
         }
     }

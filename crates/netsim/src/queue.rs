@@ -85,7 +85,9 @@ impl PriorityPort {
     /// Eight queues with `per_queue_bytes` capacity each.
     pub fn new(per_queue_bytes: usize) -> Self {
         PriorityPort {
-            queues: (0..8).map(|_| DropTailQueue::new(per_queue_bytes)).collect(),
+            queues: (0..8)
+                .map(|_| DropTailQueue::new(per_queue_bytes))
+                .collect(),
             busy: false,
         }
     }

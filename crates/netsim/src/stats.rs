@@ -33,10 +33,7 @@ pub struct Summary {
 impl Summary {
     /// Build from observations (NaNs are rejected).
     pub fn new(mut samples: Vec<f64>) -> Summary {
-        assert!(
-            samples.iter().all(|x| !x.is_nan()),
-            "NaN in sample set"
-        );
+        assert!(samples.iter().all(|x| !x.is_nan()), "NaN in sample set");
         samples.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs"));
         Summary { sorted: samples }
     }
@@ -59,11 +56,16 @@ impl Summary {
         self.sorted.iter().sum::<f64>() / self.sorted.len() as f64
     }
 
-    /// Percentile in `[0, 100]` by nearest-rank.
+    /// Percentile by nearest-rank: the sample at index
+    /// `round(p/100 · (n−1))` of the sorted set. `p` is clamped to
+    /// `[0, 100]` (a NaN `p` reads as 0), so no input can index out of
+    /// bounds; empty sets return 0 and single-element sets return their
+    /// only observation for every `p`.
     pub fn percentile(&self, p: f64) -> f64 {
         if self.sorted.is_empty() {
             return 0.0;
         }
+        let p = if p.is_nan() { 0.0 } else { p.clamp(0.0, 100.0) };
         let rank = ((p / 100.0) * (self.sorted.len() as f64 - 1.0)).round() as usize;
         self.sorted[rank.min(self.sorted.len() - 1)]
     }
@@ -132,7 +134,42 @@ mod tests {
         let s = Summary::new(vec![]);
         assert_eq!(s.mean(), 0.0);
         assert_eq!(s.percentile(95.0), 0.0);
+        assert_eq!(s.ci95(), 0.0);
+        assert_eq!(s.stddev(), 0.0);
+        assert_eq!(s.min(), 0.0);
+        assert_eq!(s.max(), 0.0);
         assert!(s.is_empty());
+    }
+
+    #[test]
+    fn single_element_summary_never_panics() {
+        let s = Summary::new(vec![42.0]);
+        for p in [0.0, 50.0, 95.0, 100.0] {
+            assert_eq!(s.percentile(p), 42.0);
+        }
+        assert_eq!(s.mean(), 42.0);
+        assert_eq!(s.ci95(), 0.0, "one observation has no interval");
+        assert_eq!(s.stddev(), 0.0);
+    }
+
+    #[test]
+    fn percentile_out_of_range_p_is_clamped() {
+        let s = Summary::new(vec![1.0, 2.0, 3.0]);
+        assert_eq!(s.percentile(-10.0), 1.0);
+        assert_eq!(s.percentile(250.0), 3.0);
+        assert_eq!(s.percentile(f64::NAN), 1.0, "NaN p reads as 0");
+    }
+
+    #[test]
+    fn percentile_interpolation_rule_is_nearest_rank() {
+        // 10 elements: rank(p95) = round(0.95 * 9) = round(8.55) = 9
+        let s = Summary::new((1..=10).map(f64::from).collect());
+        assert_eq!(s.percentile(95.0), 10.0);
+        // rank(p50) = round(0.5 * 9) = round(4.5) = 5 (round half away
+        // from zero) -> element 6
+        assert_eq!(s.median(), 6.0);
+        // rank(p90) = round(8.1) = 8 -> element 9
+        assert_eq!(s.percentile(90.0), 9.0);
     }
 
     #[test]

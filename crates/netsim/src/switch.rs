@@ -84,9 +84,16 @@ impl Switch {
         self.ports.iter().map(|p| p.drops_at(pcp)).sum()
     }
 
+    /// Total bytes queued across all egress ports right now (telemetry:
+    /// the occupancy a [`QueueMonitor`](crate::QueueMonitor) samples).
+    pub fn total_backlog_bytes(&self) -> usize {
+        self.ports.iter().map(|p| p.backlog_bytes()).sum()
+    }
+
     fn ensure_ports(&mut self, n: usize) {
         while self.ports.len() < n {
-            self.ports.push(PriorityPort::new(self.config.per_queue_bytes));
+            self.ports
+                .push(PriorityPort::new(self.config.per_queue_bytes));
         }
     }
 

@@ -48,7 +48,10 @@ impl std::fmt::Display for WireError {
             WireError::UnknownProtocol(p) => write!(f, "unknown ip protocol {p}"),
             WireError::BadIpv4Header => write!(f, "malformed ipv4 header"),
             WireError::BadChecksum { expected, found } => {
-                write!(f, "ipv4 checksum mismatch: expected {expected:#06x}, found {found:#06x}")
+                write!(
+                    f,
+                    "ipv4 checksum mismatch: expected {expected:#06x}, found {found:#06x}"
+                )
             }
             WireError::BadLength => write!(f, "ipv4 total length disagrees with frame"),
         }
@@ -155,7 +158,7 @@ pub fn decode(mut data: &[u8]) -> Result<Packet, WireError> {
         }
     };
 
-    need(14, &data)?;
+    need(14, data)?;
     let mut mac = [0u8; 8];
     data.copy_to_slice(&mut mac[2..8]);
     let dst = u64::from_be_bytes(mac);
@@ -163,7 +166,7 @@ pub fn decode(mut data: &[u8]) -> Result<Packet, WireError> {
     let src = u64::from_be_bytes(mac);
     let mut ethertype = data.get_u16();
     let vlan = if ethertype == ETHERTYPE_VLAN {
-        need(4, &data)?;
+        need(4, data)?;
         let tci = data.get_u16();
         ethertype = data.get_u16();
         Some(VlanTag {
@@ -177,7 +180,7 @@ pub fn decode(mut data: &[u8]) -> Result<Packet, WireError> {
         return Err(WireError::UnknownEthertype(ethertype));
     }
 
-    need(20, &data)?;
+    need(20, data)?;
     let ip_bytes = &data[..20];
     let found = u16::from_be_bytes([ip_bytes[10], ip_bytes[11]]);
     let mut check = [0u8; 20];
@@ -204,7 +207,7 @@ pub fn decode(mut data: &[u8]) -> Result<Packet, WireError> {
 
     let l4 = match protocol {
         6 => {
-            need(20, &data)?;
+            need(20, data)?;
             let src_port = data.get_u16();
             let dst_port = data.get_u16();
             let seq = data.get_u32();
@@ -229,7 +232,7 @@ pub fn decode(mut data: &[u8]) -> Result<Packet, WireError> {
             })
         }
         17 => {
-            need(8, &data)?;
+            need(8, data)?;
             let src_port = data.get_u16();
             let dst_port = data.get_u16();
             let _len = data.get_u16();

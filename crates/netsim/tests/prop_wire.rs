@@ -7,18 +7,18 @@ use proptest::prelude::*;
 
 fn arb_packet() -> impl Strategy<Value = Packet> {
     (
-        any::<u32>(),                   // src ip
-        any::<u32>(),                   // dst ip
-        any::<u16>(),                   // src port
-        any::<u16>(),                   // dst port
-        any::<u32>(),                   // seq
-        any::<u32>(),                   // ack
-        any::<u16>(),                   // window
-        proptest::bool::ANY,            // tcp?
+        any::<u32>(),                               // src ip
+        any::<u32>(),                               // dst ip
+        any::<u16>(),                               // src port
+        any::<u16>(),                               // dst port
+        any::<u32>(),                               // seq
+        any::<u32>(),                               // ack
+        any::<u16>(),                               // window
+        proptest::bool::ANY,                        // tcp?
         proptest::option::of((0u8..8, 0u16..4096)), // vlan
-        0usize..1400,                   // payload
-        any::<[bool; 5]>(),             // flags
-        0u8..64,                        // dscp
+        0usize..1400,                               // payload
+        any::<[bool; 5]>(),                         // flags
+        0u8..64,                                    // dscp
     )
         .prop_map(
             |(src, dst, sp, dp, seq, ack, window, is_tcp, vlan, payload, fl, dscp)| {

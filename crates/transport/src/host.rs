@@ -10,8 +10,7 @@ use std::any::Any;
 use netsim::{Ctx, Node, NodeEvent};
 
 use crate::stack::{
-    token, AppEvent, Stack, TOKEN_APP, TOKEN_LIMITER, TOKEN_PAYLOAD_MASK, TOKEN_REORDER,
-    TOKEN_RTO,
+    token, AppEvent, Stack, TOKEN_APP, TOKEN_LIMITER, TOKEN_PAYLOAD_MASK, TOKEN_REORDER, TOKEN_RTO,
 };
 
 /// Application logic running on a host. All methods default to no-ops so

@@ -160,10 +160,7 @@ mod tests {
     fn rate_change_applies() {
         let mut tb = TokenBucket::new(8_000, 0); // 1 KB/s, no burst
         tb.enqueue(pkt(100), 1000, Time::ZERO);
-        assert_eq!(
-            tb.next_release_at(Time::ZERO).unwrap(),
-            Time::from_secs(1)
-        );
+        assert_eq!(tb.next_release_at(Time::ZERO).unwrap(), Time::from_secs(1));
         tb.set_rate(8_000_000, Time::ZERO); // 1 MB/s
         assert_eq!(
             tb.next_release_at(Time::ZERO).unwrap(),

@@ -11,6 +11,7 @@
 
 use std::collections::{HashMap, HashSet};
 
+use eden_telemetry::{FlowCounters, HostCounters, TimeSeries, TraceLayer, TraceRing, TraceVerdict};
 use netsim::{Ctx, EdenMeta, Packet, PortId, PriorityPort, Time};
 
 use crate::hook::{HookEnv, HookVerdict, PacketHook};
@@ -93,11 +94,38 @@ pub struct Stack {
     pub nic_drops: u64,
     /// Packets directed to a queue id that does not exist.
     pub bad_queue_drops: u64,
+    /// Packet-path trace ring; `None` (the default) records nothing and
+    /// costs one branch per trace point. Enabled by the `EDEN_TRACE` env
+    /// var or [`Stack::enable_trace`].
+    trace: Option<TraceRing>,
+    /// Per-host sequence for trace packet ids (only advanced while
+    /// tracing; ids are namespaced by `addr` so two hosts' traces can be
+    /// merged without collisions).
+    trace_pkt_seq: u64,
+    /// Per-connection cwnd time series, filled by [`Stack::sample_flows`].
+    cwnd_series: Vec<TimeSeries>,
+}
+
+/// First Eden class on a packet (0 = unclassified) — the class a trace
+/// event is labelled with.
+fn pkt_class(p: &Packet) -> u32 {
+    p.meta
+        .as_ref()
+        .and_then(|m| m.classes.first().copied())
+        .unwrap_or(0)
 }
 
 impl Stack {
     /// A stack for a host with address `addr`.
+    ///
+    /// Packet-path tracing starts enabled when the `EDEN_TRACE` env var is
+    /// set to anything but `0`; a numeric value is used as the ring
+    /// capacity (default 4096).
     pub fn new(addr: u32, cfg: StackConfig) -> Stack {
+        let trace = match std::env::var("EDEN_TRACE") {
+            Ok(v) if !v.is_empty() && v != "0" => Some(TraceRing::new(v.parse().unwrap_or(4096))),
+            _ => None,
+        };
         Stack {
             addr,
             cfg,
@@ -113,7 +141,78 @@ impl Stack {
             hook_drops: 0,
             nic_drops: 0,
             bad_queue_drops: 0,
+            trace,
+            trace_pkt_seq: 0,
+            cwnd_series: Vec::new(),
         }
+    }
+
+    // ------------------------------------------------------------------
+    // telemetry
+    // ------------------------------------------------------------------
+
+    /// Start packet-path tracing into a fresh ring of `capacity` events
+    /// (replaces any existing ring).
+    pub fn enable_trace(&mut self, capacity: usize) {
+        self.trace = Some(TraceRing::new(capacity));
+    }
+
+    /// Stop tracing and hand over the ring (e.g. to dump as JSON).
+    pub fn take_trace(&mut self) -> Option<TraceRing> {
+        self.trace.take()
+    }
+
+    /// Borrow the trace ring, if tracing is enabled.
+    pub fn trace(&self) -> Option<&TraceRing> {
+        self.trace.as_ref()
+    }
+
+    /// Per-flow TCP counters for every connection ever created here.
+    pub fn flow_counters(&self) -> Vec<FlowCounters> {
+        self.conns
+            .iter()
+            .enumerate()
+            .map(|(i, c)| FlowCounters {
+                conn: i,
+                state: format!("{:?}", c.state),
+                packets_sent: c.stats.packets_sent,
+                bytes_acked: c.stats.bytes_acked,
+                retransmits: c.stats.retransmits,
+                fast_retransmits: c.stats.fast_retransmits,
+                timeouts: c.stats.timeouts,
+                dup_acks: c.stats.dup_acks_received,
+                reorder_events: c.stats.reorder_events,
+                cwnd_bytes: u64::from(c.cwnd()),
+                srtt_ns: c.srtt_ns(),
+                in_flight: u64::from(c.in_flight()),
+            })
+            .collect()
+    }
+
+    /// Host-level drop counters outside the enclave.
+    pub fn host_counters(&self) -> HostCounters {
+        HostCounters {
+            hook_drops: self.hook_drops,
+            nic_drops: self.nic_drops,
+            bad_queue_drops: self.bad_queue_drops,
+        }
+    }
+
+    /// Append one cwnd sample per connection to the per-flow time series
+    /// (call periodically from the driving application or host).
+    pub fn sample_flows(&mut self, now: Time) {
+        for (i, c) in self.conns.iter().enumerate() {
+            if self.cwnd_series.len() <= i {
+                self.cwnd_series
+                    .push(TimeSeries::new(format!("conn{i}.cwnd"), 4096));
+            }
+            self.cwnd_series[i].push(now.as_nanos(), f64::from(c.cwnd()));
+        }
+    }
+
+    /// The cwnd series filled by [`Stack::sample_flows`].
+    pub fn cwnd_series(&self) -> &[TimeSeries] {
+        &self.cwnd_series
     }
 
     /// Install the enclave (or any packet processor).
@@ -171,8 +270,7 @@ impl Stack {
         );
         let idx = self.conns.len();
         self.conns.push(conn);
-        self.demux
-            .insert((remote_ip, remote_port, local_port), idx);
+        self.demux.insert((remote_ip, remote_port, local_port), idx);
         self.apply_output(idx, out, ctx);
         ConnId(idx)
     }
@@ -189,6 +287,21 @@ impl Stack {
         meta: Option<EdenMeta>,
         ctx: &mut Ctx<'_>,
     ) {
+        if let Some(t) = self.trace.as_mut() {
+            let class = meta
+                .as_ref()
+                .and_then(|m| m.classes.first().copied())
+                .unwrap_or(0);
+            // at the app layer the packet doesn't exist yet; the message's
+            // app_tag stands in as the event id
+            t.record(
+                ctx.now().as_nanos(),
+                app_tag,
+                class,
+                TraceLayer::App,
+                TraceVerdict::Send,
+            );
+        }
         let mut out = TcpOutput::default();
         self.conns[conn.0].send_message(bytes, app_tag, meta, ctx.now(), &mut out);
         self.conns[conn.0].gc_messages();
@@ -257,20 +370,36 @@ impl Stack {
 
     /// A packet arrived from the NIC.
     pub(crate) fn handle_ingress(&mut self, mut packet: Packet, ctx: &mut Ctx<'_>) {
+        if let Some(t) = self.trace.as_mut() {
+            t.record(
+                ctx.now().as_nanos(),
+                packet.id,
+                pkt_class(&packet),
+                TraceLayer::Wire,
+                TraceVerdict::Deliver,
+            );
+        }
         if let Some(hook) = self.hook.as_mut() {
             let mut env = HookEnv {
                 now: ctx.now(),
                 rng: ctx.rng(),
             };
-            match hook.on_ingress(&mut packet, &mut env) {
+            let verdict = hook.on_ingress(&mut packet, &mut env);
+            match verdict {
                 HookVerdict::Pass => {}
-                HookVerdict::Drop => {
+                HookVerdict::Drop | HookVerdict::Queue { .. } => {
+                    // a Queue verdict on ingress is not part of the model
+                    // and drops like a Drop verdict
                     self.hook_drops += 1;
-                    return;
-                }
-                HookVerdict::Queue { .. } => {
-                    // rate limiting on ingress is not part of the model
-                    self.hook_drops += 1;
+                    if let Some(t) = self.trace.as_mut() {
+                        t.record(
+                            ctx.now().as_nanos(),
+                            packet.id,
+                            pkt_class(&packet),
+                            TraceLayer::Enclave,
+                            TraceVerdict::Drop,
+                        );
+                    }
                     return;
                 }
             }
@@ -305,7 +434,18 @@ impl Stack {
     /// The NIC finished serializing a packet.
     pub(crate) fn handle_tx_done(&mut self, ctx: &mut Ctx<'_>) {
         match self.nic.dequeue() {
-            Some(next) => ctx.start_tx(PortId(0), next),
+            Some(next) => {
+                if let Some(t) = self.trace.as_mut() {
+                    t.record(
+                        ctx.now().as_nanos(),
+                        next.id,
+                        pkt_class(&next),
+                        TraceLayer::Wire,
+                        TraceVerdict::Tx,
+                    );
+                }
+                ctx.start_tx(PortId(0), next)
+            }
             None => self.nic.busy = false,
         }
     }
@@ -390,12 +530,35 @@ impl Stack {
 
     fn egress(&mut self, mut packet: Packet, ctx: &mut Ctx<'_>) {
         packet.eth.src = u64::from(self.addr);
+        // Trace packet ids are assigned here, namespaced by host address so
+        // merged multi-host traces cannot collide with each other or with
+        // the fabric's small sequential ids. Only done while tracing —
+        // with tracing off the packet is untouched.
+        if self.trace.is_some() && packet.id == 0 {
+            self.trace_pkt_seq += 1;
+            packet.id = (u64::from(self.addr) << 40) | self.trace_pkt_seq;
+        }
         if let Some(hook) = self.hook.as_mut() {
             let mut env = HookEnv {
                 now: ctx.now(),
                 rng: ctx.rng(),
             };
-            match hook.on_egress(&mut packet, &mut env) {
+            let verdict = hook.on_egress(&mut packet, &mut env);
+            if let Some(t) = self.trace.as_mut() {
+                let v = match verdict {
+                    HookVerdict::Pass => TraceVerdict::Pass,
+                    HookVerdict::Drop => TraceVerdict::Drop,
+                    HookVerdict::Queue { .. } => TraceVerdict::Queue,
+                };
+                t.record(
+                    ctx.now().as_nanos(),
+                    packet.id,
+                    pkt_class(&packet),
+                    TraceLayer::Enclave,
+                    v,
+                );
+            }
+            match verdict {
                 HookVerdict::Pass => {}
                 HookVerdict::Drop => {
                     self.hook_drops += 1;
@@ -404,7 +567,25 @@ impl Stack {
                 HookVerdict::Queue { queue, charge } => {
                     if queue >= self.limiters.len() {
                         self.bad_queue_drops += 1;
+                        if let Some(t) = self.trace.as_mut() {
+                            t.record(
+                                ctx.now().as_nanos(),
+                                packet.id,
+                                pkt_class(&packet),
+                                TraceLayer::Limiter,
+                                TraceVerdict::Drop,
+                            );
+                        }
                         return;
+                    }
+                    if let Some(t) = self.trace.as_mut() {
+                        t.record(
+                            ctx.now().as_nanos(),
+                            packet.id,
+                            pkt_class(&packet),
+                            TraceLayer::Limiter,
+                            TraceVerdict::Enqueue,
+                        );
                     }
                     self.limiters[queue].enqueue(packet, charge, ctx.now());
                     let released = self.limiters[queue].release(ctx.now());
@@ -432,6 +613,15 @@ impl Stack {
 
     fn nic_enqueue(&mut self, packet: Packet, ctx: &mut Ctx<'_>) {
         if !self.nic.busy && !self.nic.has_backlog() {
+            if let Some(t) = self.trace.as_mut() {
+                t.record(
+                    ctx.now().as_nanos(),
+                    packet.id,
+                    pkt_class(&packet),
+                    TraceLayer::Wire,
+                    TraceVerdict::Tx,
+                );
+            }
             self.nic.busy = true;
             ctx.start_tx(PortId(0), packet);
             return;
@@ -448,8 +638,23 @@ impl Stack {
         } else {
             packet.priority()
         };
-        if !self.nic.enqueue_with_class(packet, class) {
+        let (pid, pclass) = (packet.id, pkt_class(&packet));
+        let accepted = self.nic.enqueue_with_class(packet, class);
+        if !accepted {
             self.nic_drops += 1;
+        }
+        if let Some(t) = self.trace.as_mut() {
+            t.record(
+                ctx.now().as_nanos(),
+                pid,
+                pclass,
+                TraceLayer::Nic,
+                if accepted {
+                    TraceVerdict::Enqueue
+                } else {
+                    TraceVerdict::Drop
+                },
+            );
         }
     }
 }

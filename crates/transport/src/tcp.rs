@@ -183,12 +183,7 @@ pub struct TcpOutput {
 }
 
 impl Conn {
-    fn new(
-        cfg: TcpConfig,
-        state: ConnState,
-        local: (u32, u16),
-        remote: (u32, u16),
-    ) -> Conn {
+    fn new(cfg: TcpConfig, state: ConnState, local: (u32, u16), remote: (u32, u16)) -> Conn {
         Conn {
             state,
             local_ip: local.0,
@@ -588,7 +583,7 @@ impl Conn {
             }
 
             // FIN acknowledged?
-            if self.fin_sent && ack >= self.buffered_end + 1 && self.state == ConnState::FinWait {
+            if self.fin_sent && ack > self.buffered_end && self.state == ConnState::FinWait {
                 self.state = ConnState::Closed;
                 self.cancel_rto();
                 out.events.push(TcpEvent::Closed);
@@ -641,10 +636,7 @@ impl Conn {
                 self.pending_markers.push(m);
             }
             // drain contiguous out-of-order segments
-            loop {
-                let Some((&s, &(l, marker))) = self.ooo.iter().next() else {
-                    break;
-                };
+            while let Some((&s, &(l, marker))) = self.ooo.iter().next() {
                 if s > self.rcv_nxt {
                     break;
                 }

@@ -2,7 +2,7 @@
 
 use netsim::{Ctx, LinkSpec, Network, Packet, PortId, SimRng, Time};
 use transport::{
-    app_timer_token, App, ConnId, Host, HookEnv, HookVerdict, PacketHook, Stack, StackConfig,
+    app_timer_token, App, ConnId, HookEnv, HookVerdict, Host, PacketHook, Stack, StackConfig,
 };
 
 struct PatternLoss {

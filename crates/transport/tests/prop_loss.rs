@@ -4,7 +4,7 @@
 use netsim::{Ctx, LinkSpec, Network, Packet, PortId, SimRng, Time};
 use proptest::prelude::*;
 use transport::{
-    app_timer_token, App, ConnId, Host, HookEnv, HookVerdict, PacketHook, Stack, StackConfig,
+    app_timer_token, App, ConnId, HookEnv, HookVerdict, Host, PacketHook, Stack, StackConfig,
 };
 
 /// Drops data packets according to a pre-drawn Bernoulli pattern, then

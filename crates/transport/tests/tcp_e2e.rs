@@ -4,8 +4,7 @@
 
 use netsim::{Ctx, LinkSpec, Network, NodeId, Packet, PortId, Time};
 use transport::{
-    app_timer_token, App, ConnId, Host, HookEnv, HookVerdict, PacketHook, Stack, StackConfig,
-    MSS,
+    app_timer_token, App, ConnId, HookEnv, HookVerdict, Host, PacketHook, Stack, StackConfig, MSS,
 };
 
 /// Client: at t=0 connects and sends `send_bytes` as one message; records
@@ -287,8 +286,14 @@ fn multiple_messages_frame_independently() {
     }
 
     let mut net = Network::new(1);
-    let c = net.add_node(Host::new(Stack::new(1, StackConfig::default()), Multi::default()));
-    let s = net.add_node(Host::new(Stack::new(2, StackConfig::default()), Server::default()));
+    let c = net.add_node(Host::new(
+        Stack::new(1, StackConfig::default()),
+        Multi::default(),
+    ));
+    let s = net.add_node(Host::new(
+        Stack::new(2, StackConfig::default()),
+        Server::default(),
+    ));
     let sw = net.add_node(netsim::Switch::new(netsim::SwitchConfig::default()));
     net.connect(c, sw, LinkSpec::ten_gbps());
     net.connect(s, sw, LinkSpec::ten_gbps());
@@ -302,7 +307,12 @@ fn multiple_messages_frame_independently() {
     net.run_until(Time::from_millis(100));
 
     let server = net.node::<SHost>(s);
-    let got: Vec<(u64, u32)> = server.app.requests.iter().map(|&(_, t, s)| (t, s)).collect();
+    let got: Vec<(u64, u32)> = server
+        .app
+        .requests
+        .iter()
+        .map(|&(_, t, s)| (t, s))
+        .collect();
     assert_eq!(
         got,
         vec![(100, 5_000), (101, 100), (102, 40_000), (103, 1)],
@@ -387,8 +397,14 @@ fn close_handshake_completes() {
     }
 
     let mut net = Network::new(1);
-    let c = net.add_node(Host::new(Stack::new(1, StackConfig::default()), Closer::default()));
-    let s = net.add_node(Host::new(Stack::new(2, StackConfig::default()), Server::default()));
+    let c = net.add_node(Host::new(
+        Stack::new(1, StackConfig::default()),
+        Closer::default(),
+    ));
+    let s = net.add_node(Host::new(
+        Stack::new(2, StackConfig::default()),
+        Server::default(),
+    ));
     let sw = net.add_node(netsim::Switch::new(netsim::SwitchConfig::default()));
     net.connect(c, sw, LinkSpec::ten_gbps());
     net.connect(s, sw, LinkSpec::ten_gbps());
@@ -423,7 +439,11 @@ fn deterministic_across_runs() {
         net.run_until(Time::from_millis(50));
         let client = net.node::<CHost>(c);
         let stats = client.stack.conn_stats(client.app.conn.unwrap());
-        (stats.packets_sent, stats.bytes_acked, net.events_processed())
+        (
+            stats.packets_sent,
+            stats.bytes_acked,
+            net.events_processed(),
+        )
     };
     assert_eq!(run(), run());
 }

@@ -25,7 +25,10 @@ fn main() {
             });
             (path, src)
         }
-        None => ("pias-fig7 (built-in)".to_string(), bundle.source.to_string()),
+        None => (
+            "pias-fig7 (built-in)".to_string(),
+            bundle.source.to_string(),
+        ),
     };
     let schema = bundle.schema();
 
@@ -49,18 +52,31 @@ fn main() {
         );
     }
     for a in schema.arrays() {
-        println!("  global   {:<12} array of {:?} ({:?})", a.name, a.fields, a.access);
+        println!(
+            "  global   {:<12} array of {:?} ({:?})",
+            a.name, a.fields, a.access
+        );
     }
 
     println!("\n== derived effects ==");
     let e = &compiled.effects;
     println!("  packet reads {:?} writes {:?}", e.pkt_reads, e.pkt_writes);
-    println!("  message reads {:?} writes {:?}", e.msg_reads, e.msg_writes);
-    println!("  global reads {:?} writes {:?}", e.glob_reads, e.glob_writes);
+    println!(
+        "  message reads {:?} writes {:?}",
+        e.msg_reads, e.msg_writes
+    );
+    println!(
+        "  global reads {:?} writes {:?}",
+        e.glob_reads, e.glob_writes
+    );
     println!("  arrays reads {:?} writes {:?}", e.arr_reads, e.arr_writes);
     println!("  concurrency: {}", compiled.concurrency);
 
-    println!("\n== bytecode ({} ops, ships as {} bytes) ==", compiled.program.ops().len(), eden::vm::encode_program(&compiled.program).len());
+    println!(
+        "\n== bytecode ({} ops, ships as {} bytes) ==",
+        compiled.program.ops().len(),
+        eden::vm::encode_program(&compiled.program).len()
+    );
     println!("{}", disassemble(&compiled.program));
 
     let msg_slots = schema.scope_len(Scope::Message);

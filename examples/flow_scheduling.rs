@@ -18,7 +18,11 @@ fn main() {
     println!("70% load) while three background hosts blast the same 10G downlink.\n");
 
     for (name, scheme, engine) in [
-        ("baseline (no prioritization)", Scheme::Baseline, Engine::Native),
+        (
+            "baseline (no prioritization)",
+            Scheme::Baseline,
+            Engine::Native,
+        ),
         ("PIAS via the Eden interpreter", Scheme::Pias, Engine::Eden),
         ("SFF  via the Eden interpreter", Scheme::Sff, Engine::Eden),
     ] {
@@ -38,10 +42,7 @@ fn main() {
             mid.percentile(95.0),
             mid.len()
         );
-        println!(
-            "  background sunk: {} MB\n",
-            r.background_bytes / 1_000_000
-        );
+        println!("  background sunk: {} MB\n", r.background_bytes / 1_000_000);
     }
     println!("expected: PIAS and SFF cut small-flow completion times well below");
     println!("baseline while background still saturates the remaining capacity —");

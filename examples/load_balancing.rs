@@ -21,9 +21,15 @@ fn main() {
     println!("chosen in a weighted random fashion by the WCMP action function.\n");
 
     let ecmp = run(Balancer::Ecmp, Engine::Eden, &cfg);
-    println!("ECMP (1:1 weights):  {:>6.2} Gb/s   — dominated by the slow path", ecmp / 1e9);
+    println!(
+        "ECMP (1:1 weights):  {:>6.2} Gb/s   — dominated by the slow path",
+        ecmp / 1e9
+    );
     let wcmp = run(Balancer::Wcmp, Engine::Eden, &cfg);
-    println!("WCMP (10:1 weights): {:>6.2} Gb/s   — approaches the 11 Gb/s min-cut", wcmp / 1e9);
+    println!(
+        "WCMP (10:1 weights): {:>6.2} Gb/s   — approaches the 11 Gb/s min-cut",
+        wcmp / 1e9
+    );
     println!(
         "\nWCMP / ECMP = {:.1}x  (the paper's testbed measured ~2.1 vs ~7.8 Gb/s)",
         wcmp / ecmp

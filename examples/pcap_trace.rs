@@ -11,7 +11,9 @@ use eden::apps::functions;
 use eden::core::{Controller, Enclave, EnclaveConfig, MatchSpec, TableId};
 use eden::netsim::pcap::PcapTrace;
 use eden::netsim::{LinkSpec, Network, Packet, Switch, SwitchConfig, Time};
-use eden::transport::{app_timer_token, Host, HookEnv, HookVerdict, PacketHook, Stack, StackConfig};
+use eden::transport::{
+    app_timer_token, HookEnv, HookVerdict, Host, PacketHook, Stack, StackConfig,
+};
 
 /// Ingress tap: records every arriving frame into a pcap trace.
 struct Tap {
@@ -68,13 +70,17 @@ fn main() {
     enclave.install_rule(TableId(0), MatchSpec::Class(lb), f);
     enclave.set_array(f, 0, vec![1, 10, 2, 1]);
     enclave.set_global(f, 0, 11);
-    net.node_mut::<Host<BulkSender>>(sender).stack.set_hook(enclave);
+    net.node_mut::<Host<BulkSender>>(sender)
+        .stack
+        .set_hook(enclave);
 
     // pcap tap at the receiver
-    net.node_mut::<Host<MeteredSink>>(receiver).stack.set_hook(Tap {
-        trace: PcapTrace::new(),
-        limit: 500,
-    });
+    net.node_mut::<Host<MeteredSink>>(receiver)
+        .stack
+        .set_hook(Tap {
+            trace: PcapTrace::new(),
+            limit: 500,
+        });
 
     net.schedule_timer(receiver, Time::ZERO, app_timer_token(0));
     net.schedule_timer(sender, Time::from_micros(10), app_timer_token(0));

@@ -66,15 +66,42 @@ fn main() {
         }
     };
 
-    println!("\nSYN to :22 before knocking ......... {}", send(&mut enclave, 22));
-    println!("knock :1001 ........................ {}", send(&mut enclave, 1001));
-    println!("knock :1002 ........................ {}", send(&mut enclave, 1002));
-    println!("stray packet to :8080 (resets) ..... {}", send(&mut enclave, 8080));
-    println!("SYN to :22 after broken knock ...... {}", send(&mut enclave, 22));
-    println!("knock :1001 ........................ {}", send(&mut enclave, 1001));
-    println!("knock :1002 ........................ {}", send(&mut enclave, 1002));
-    println!("knock :1003 ........................ {}", send(&mut enclave, 1003));
-    println!("SYN to :22 after full knock ........ {}", send(&mut enclave, 22));
+    println!(
+        "\nSYN to :22 before knocking ......... {}",
+        send(&mut enclave, 22)
+    );
+    println!(
+        "knock :1001 ........................ {}",
+        send(&mut enclave, 1001)
+    );
+    println!(
+        "knock :1002 ........................ {}",
+        send(&mut enclave, 1002)
+    );
+    println!(
+        "stray packet to :8080 (resets) ..... {}",
+        send(&mut enclave, 8080)
+    );
+    println!(
+        "SYN to :22 after broken knock ...... {}",
+        send(&mut enclave, 22)
+    );
+    println!(
+        "knock :1001 ........................ {}",
+        send(&mut enclave, 1001)
+    );
+    println!(
+        "knock :1002 ........................ {}",
+        send(&mut enclave, 1002)
+    );
+    println!(
+        "knock :1003 ........................ {}",
+        send(&mut enclave, 1003)
+    );
+    println!(
+        "SYN to :22 after full knock ........ {}",
+        send(&mut enclave, 22)
+    );
     println!(
         "\nenclave stats: {} packets, {} dropped, {} faults",
         enclave.stats.packets, enclave.stats.dropped, enclave.stats.faults

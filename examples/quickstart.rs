@@ -52,7 +52,11 @@ fn main() {
         .packet_field("Priority", Access::ReadWrite, Some(HeaderField::Dot1qPcp))
         .msg_field("Size", Access::ReadWrite)
         .msg_field("Priority", Access::ReadOnly)
-        .global_array("Priorities", &["MessageSizeLimit", "Priority"], Access::ReadOnly);
+        .global_array(
+            "Priorities",
+            &["MessageSizeLimit", "Priority"],
+            Access::ReadOnly,
+        );
 
     let compiled = controller
         .compile_function("pias", PIAS_SRC, &schema)
@@ -104,12 +108,7 @@ fn main() {
         packet.meta = Some(meta.clone());
         enclave.process(&mut packet, &mut rng, Time::from_nanos(u64::from(i)));
         if [0, 6, 7, 8, 700, 719, 720, 799].contains(&i) {
-            println!(
-                "{:>7}   {:>9}   {}",
-                i,
-                (i + 1) * 1500,
-                packet.priority()
-            );
+            println!("{:>7}   {:>9}   {}", i, (i + 1) * 1500, packet.priority());
         }
     }
     println!("\nthe message started at priority 7, crossed 10KB into priority 5,");

@@ -65,7 +65,9 @@ fn main() {
     let f = enclave.install_function(bundle.interpreted());
     enclave.install_rule(TableId(0), MatchSpec::Class(get_class), f);
     enclave.set_array(f, 0, REPLICAS.iter().map(|&ip| i64::from(ip)).collect());
-    net.node_mut::<Host<KvClient>>(client).stack.set_hook(enclave);
+    net.node_mut::<Host<KvClient>>(client)
+        .stack
+        .set_hook(enclave);
 
     // --- run ------------------------------------------------------------------
     net.schedule_timer(client, Time::ZERO, app_timer_token(0));

@@ -83,14 +83,12 @@ fn enclave_priorities_reach_the_switch_scheduler() {
     let bundle = eden::apps::functions::sff();
     let build_enclave = |controller: &Controller| {
         let mut e = Enclave::new(EnclaveConfig::default());
-        let f = e.install_function(
-            eden::core::InstalledFunction::interpreted(
-                "sff",
-                controller
-                    .compile_function("sff", bundle.source, &bundle.schema())
-                    .expect("compiles"),
-            ),
-        );
+        let f = e.install_function(eden::core::InstalledFunction::interpreted(
+            "sff",
+            controller
+                .compile_function("sff", bundle.source, &bundle.schema())
+                .expect("compiles"),
+        ));
         e.install_rule(TableId(0), MatchSpec::AnyOf(vec![bulk, small]), f);
         e.set_array(f, 0, vec![10 * 1024, 7, i64::MAX, 0]);
         e

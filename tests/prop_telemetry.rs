@@ -1,0 +1,130 @@
+//! Property tests for the telemetry layer: the enclave's counter
+//! conservation invariant (`processed = forwarded + dropped + punted`)
+//! must hold for every interleaving of pass/drop/punt/queue verdicts,
+//! and the punt counter must agree with the punt mailbox.
+
+use eden::core::{native_function, ClassId, Enclave, EnclaveConfig, MatchSpec, TableId};
+use eden::lang::{Concurrency, Schema};
+use eden::netsim::{EdenMeta, Packet, SimRng, TcpHeader, Time};
+use eden::telemetry::Telemetry;
+use eden::vm::Outcome;
+use proptest::prelude::*;
+
+/// An enclave with four native functions on classes 1–4, one per verdict:
+/// class 1 passes, class 2 drops, class 3 punts, class 4 queues.
+fn verdict_enclave() -> Enclave {
+    let mut e = Enclave::new(EnclaveConfig::default());
+    let pass = e.install_function(native_function(
+        "pass",
+        Schema::new(),
+        Concurrency::Parallel,
+        Box::new(|_env| Ok(Outcome::Done)),
+    ));
+    let drop = e.install_function(native_function(
+        "drop",
+        Schema::new(),
+        Concurrency::Parallel,
+        Box::new(|env| {
+            env.drop_packet()?;
+            Ok(Outcome::Dropped)
+        }),
+    ));
+    let punt = e.install_function(native_function(
+        "punt",
+        Schema::new(),
+        Concurrency::Parallel,
+        Box::new(|env| {
+            env.to_controller()?;
+            Ok(Outcome::SentToController)
+        }),
+    ));
+    let queue = e.install_function(native_function(
+        "queue",
+        Schema::new(),
+        Concurrency::Parallel,
+        Box::new(|env| {
+            env.set_queue(1, 100)?;
+            Ok(Outcome::Done)
+        }),
+    ));
+    e.install_rule(TableId(0), MatchSpec::Class(ClassId(1)), pass);
+    e.install_rule(TableId(0), MatchSpec::Class(ClassId(2)), drop);
+    e.install_rule(TableId(0), MatchSpec::Class(ClassId(3)), punt);
+    e.install_rule(TableId(0), MatchSpec::Class(ClassId(4)), queue);
+    e
+}
+
+fn classed(class: u32, payload: usize) -> Packet {
+    let mut p = Packet::tcp(1, 2, TcpHeader::default(), payload);
+    p.meta = Some(EdenMeta {
+        classes: vec![class],
+        msg_id: u64::from(class),
+        msg_size: payload as i64,
+        ..Default::default()
+    });
+    p
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Conservation: every processed packet is accounted for exactly once
+    /// as forwarded, dropped, or punted — under arbitrary streams mixing
+    /// all four verdicts and unmatched classes.
+    #[test]
+    fn counters_conserve_under_random_streams(
+        stream in proptest::collection::vec((0u32..6, 1usize..1460), 1..300),
+    ) {
+        let mut e = verdict_enclave();
+        let mut rng = SimRng::new(3);
+        let mut expect_punts = 0u64;
+        for (i, (class, payload)) in stream.iter().enumerate() {
+            let mut p = classed(*class, *payload);
+            e.process(&mut p, &mut rng, Time::from_nanos(i as u64));
+            if *class == 3 {
+                expect_punts += 1;
+            }
+        }
+        prop_assert_eq!(e.stats.packets, stream.len() as u64);
+        prop_assert!(
+            e.stats.conserved(),
+            "processed {} != forwarded {} + dropped {} + punted {}",
+            e.stats.packets, e.stats.forwarded, e.stats.dropped,
+            e.stats.punted_to_controller
+        );
+        prop_assert_eq!(e.stats.punted_to_controller, expect_punts);
+        prop_assert_eq!(e.stats.faults, 0);
+
+        // the snapshot reports the same invariant
+        let snap = e.snapshot();
+        prop_assert!(snap.enclave.conserved());
+        prop_assert_eq!(snap.enclave.processed, e.stats.packets);
+    }
+
+    /// The punt mailbox and the punt counter agree: `take_punted` yields
+    /// exactly as many packets as `punted_to_controller` counted, and a
+    /// second take yields nothing without disturbing the counter.
+    #[test]
+    fn take_punted_agrees_with_punt_counter(
+        stream in proptest::collection::vec(1u32..5, 1..100),
+    ) {
+        let mut e = verdict_enclave();
+        let mut rng = SimRng::new(4);
+        for (i, class) in stream.iter().enumerate() {
+            let mut p = classed(*class, 600);
+            e.process(&mut p, &mut rng, Time::from_nanos(i as u64));
+        }
+        let punted = e.take_punted();
+        prop_assert_eq!(punted.len() as u64, e.stats.punted_to_controller);
+        let all_class3 = punted
+            .iter()
+            .all(|p| p.meta.as_ref().is_some_and(|m| m.classes.contains(&3)));
+        prop_assert!(all_class3, "only class-3 packets are punted");
+        prop_assert!(e.take_punted().is_empty(), "mailbox drained");
+        prop_assert_eq!(
+            e.stats.punted_to_controller,
+            stream.iter().filter(|&&c| c == 3).count() as u64,
+            "draining the mailbox must not reset the counter"
+        );
+    }
+}

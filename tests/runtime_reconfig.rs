@@ -105,7 +105,7 @@ fn controller_retunes_and_replaces_functions_mid_run() {
     ));
     let sink = net.add_node(Host::new(
         Stack::new(2, StackConfig::default()),
-        PrioritySink::default(),
+        PrioritySink,
     ));
     let sw = net.add_node(Switch::new(SwitchConfig::default()));
     let (_, p1) = net.connect(sender, sw, LinkSpec::ten_gbps());
@@ -138,10 +138,7 @@ fn controller_retunes_and_replaces_functions_mid_run() {
     // --- controller action (a): retune thresholds in the live enclave ----
     {
         let host = net.node_mut::<Host<Ticker>>(sender);
-        let enclave = host
-            .stack
-            .hook_mut::<Enclave>()
-            .expect("enclave installed");
+        let enclave = host.stack.hook_mut::<Enclave>().expect("enclave installed");
         enclave.set_array(f, 0, vec![1 << 20, 7, i64::MAX, 0]);
     }
     net.run_until(Time::from_millis(10));
@@ -149,10 +146,7 @@ fn controller_retunes_and_replaces_functions_mid_run() {
     // --- controller action (b): ship a different function + rewire -------
     {
         let host = net.node_mut::<Host<Ticker>>(sender);
-        let enclave = host
-            .stack
-            .hook_mut::<Enclave>()
-            .expect("enclave installed");
+        let enclave = host.stack.hook_mut::<Enclave>().expect("enclave installed");
         let fixed = functions::fixed_priority();
         let blob = controller
             .ship_function("fixed", fixed.source, &fixed.schema())
@@ -180,20 +174,21 @@ fn controller_retunes_and_replaces_functions_mid_run() {
         .expect("recorder installed")
         .seen
         .clone();
-    let epoch =
-        |from: u64, to: u64| -> Vec<u8> {
-            seen.iter()
-                .filter(|(t, _)| {
-                    *t > Time::from_millis(from) + Time::from_micros(200)
-                        && *t < Time::from_millis(to)
-                })
-                .map(|&(_, p)| p)
-                .collect()
-        };
+    let epoch = |from: u64, to: u64| -> Vec<u8> {
+        seen.iter()
+            .filter(|(t, _)| {
+                *t > Time::from_millis(from) + Time::from_micros(200) && *t < Time::from_millis(to)
+            })
+            .map(|&(_, p)| p)
+            .collect()
+    };
     let e1 = epoch(0, 5);
     let e2 = epoch(5, 10);
     let e3 = epoch(10, 15);
-    assert!(e1.len() > 20 && e2.len() > 20 && e3.len() > 20, "traffic flowed in every epoch");
+    assert!(
+        e1.len() > 20 && e2.len() > 20 && e3.len() > 20,
+        "traffic flowed in every epoch"
+    );
     assert!(e1.iter().all(|&p| p == 5), "epoch 1 at priority 5: {e1:?}");
     assert!(e2.iter().all(|&p| p == 7), "epoch 2 retuned to 7");
     assert!(e3.iter().all(|&p| p == 2), "epoch 3 replaced function at 2");

@@ -1,0 +1,231 @@
+//! Offline stand-in for the `bytes` crate.
+//!
+//! The container this repo builds in has no network access and no cargo
+//! registry cache, so the workspace vendors the *tiny* subset of `bytes`
+//! that `netsim::wire` actually uses: a growable byte buffer with
+//! big-endian put/get helpers and a cursor-style [`Buf`] view over
+//! `&[u8]`. Semantics match the real crate for this subset (big-endian
+//! integer encoding, panics on out-of-bounds reads), so swapping the real
+//! dependency back in is a one-line Cargo.toml change.
+
+// Vendored stand-in: keep the workspace clippy gate focused on product code.
+#![allow(clippy::all)]
+
+use std::ops::{Deref, DerefMut};
+
+/// A growable, uniquely-owned byte buffer (subset of `bytes::BytesMut`).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    inner: Vec<u8>,
+}
+
+impl BytesMut {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        BytesMut { inner: Vec::new() }
+    }
+
+    /// An empty buffer with `capacity` bytes pre-allocated.
+    pub fn with_capacity(capacity: usize) -> Self {
+        BytesMut {
+            inner: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Consume the buffer, yielding the underlying vector.
+    pub fn into_vec(self) -> Vec<u8> {
+        self.inner
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.inner
+    }
+}
+
+impl DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.inner
+    }
+}
+
+impl From<Vec<u8>> for BytesMut {
+    fn from(v: Vec<u8>) -> Self {
+        BytesMut { inner: v }
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        &self.inner
+    }
+}
+
+/// Write-side trait: append encoded values to a buffer (subset of
+/// `bytes::BufMut`; all integers are big-endian like the real crate).
+pub trait BufMut {
+    /// Append raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+    /// Append `count` copies of `val`.
+    fn put_bytes(&mut self, val: u8, count: usize);
+    /// Append one byte.
+    fn put_u8(&mut self, v: u8);
+    /// Append a big-endian u16.
+    fn put_u16(&mut self, v: u16);
+    /// Append a big-endian u32.
+    fn put_u32(&mut self, v: u32);
+    /// Append a big-endian u64.
+    fn put_u64(&mut self, v: u64);
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.inner.extend_from_slice(src);
+    }
+
+    fn put_bytes(&mut self, val: u8, count: usize) {
+        self.inner.resize(self.inner.len() + count, val);
+    }
+
+    fn put_u8(&mut self, v: u8) {
+        self.inner.push(v);
+    }
+
+    fn put_u16(&mut self, v: u16) {
+        self.inner.extend_from_slice(&v.to_be_bytes());
+    }
+
+    fn put_u32(&mut self, v: u32) {
+        self.inner.extend_from_slice(&v.to_be_bytes());
+    }
+
+    fn put_u64(&mut self, v: u64) {
+        self.inner.extend_from_slice(&v.to_be_bytes());
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+
+    fn put_bytes(&mut self, val: u8, count: usize) {
+        self.resize(self.len() + count, val);
+    }
+
+    fn put_u8(&mut self, v: u8) {
+        self.push(v);
+    }
+
+    fn put_u16(&mut self, v: u16) {
+        self.extend_from_slice(&v.to_be_bytes());
+    }
+
+    fn put_u32(&mut self, v: u32) {
+        self.extend_from_slice(&v.to_be_bytes());
+    }
+
+    fn put_u64(&mut self, v: u64) {
+        self.extend_from_slice(&v.to_be_bytes());
+    }
+}
+
+/// Read-side trait: a cursor that consumes from the front (subset of
+/// `bytes::Buf`). Implemented for `&[u8]`, which re-slices as it reads.
+///
+/// Like the real crate, the `get_*`/`copy_to_slice` methods panic when
+/// fewer than the required bytes remain; callers guard with
+/// [`Buf::remaining`].
+pub trait Buf {
+    /// Bytes left to read.
+    fn remaining(&self) -> usize;
+    /// Consume `dst.len()` bytes into `dst`.
+    fn copy_to_slice(&mut self, dst: &mut [u8]);
+    /// Consume one byte.
+    fn get_u8(&mut self) -> u8;
+    /// Consume a big-endian u16.
+    fn get_u16(&mut self) -> u16;
+    /// Consume a big-endian u32.
+    fn get_u32(&mut self) -> u32;
+    /// Consume a big-endian u64.
+    fn get_u64(&mut self) -> u64;
+    /// Skip `n` bytes.
+    fn advance(&mut self, n: usize);
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        let (head, tail) = self.split_at(dst.len());
+        dst.copy_from_slice(head);
+        *self = tail;
+    }
+
+    fn get_u8(&mut self) -> u8 {
+        let mut b = [0u8; 1];
+        self.copy_to_slice(&mut b);
+        b[0]
+    }
+
+    fn get_u16(&mut self) -> u16 {
+        let mut b = [0u8; 2];
+        self.copy_to_slice(&mut b);
+        u16::from_be_bytes(b)
+    }
+
+    fn get_u32(&mut self) -> u32 {
+        let mut b = [0u8; 4];
+        self.copy_to_slice(&mut b);
+        u32::from_be_bytes(b)
+    }
+
+    fn get_u64(&mut self) -> u64 {
+        let mut b = [0u8; 8];
+        self.copy_to_slice(&mut b);
+        u64::from_be_bytes(b)
+    }
+
+    fn advance(&mut self, n: usize) {
+        *self = &self[n..];
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_get_round_trip() {
+        let mut buf = BytesMut::with_capacity(16);
+        buf.put_u8(0xAB);
+        buf.put_u16(0x1234);
+        buf.put_u32(0xDEADBEEF);
+        buf.put_slice(&[1, 2]);
+        buf.put_bytes(0, 3);
+        assert_eq!(buf.len(), 12);
+
+        let mut cur: &[u8] = &buf;
+        assert_eq!(cur.remaining(), 12);
+        assert_eq!(cur.get_u8(), 0xAB);
+        assert_eq!(cur.get_u16(), 0x1234);
+        assert_eq!(cur.get_u32(), 0xDEADBEEF);
+        let mut two = [0u8; 2];
+        cur.copy_to_slice(&mut two);
+        assert_eq!(two, [1, 2]);
+        cur.advance(3);
+        assert_eq!(cur.remaining(), 0);
+    }
+
+    #[test]
+    fn index_and_mutate_through_deref() {
+        let mut buf = BytesMut::new();
+        buf.put_u32(0);
+        buf[1..3].copy_from_slice(&[7, 8]);
+        assert_eq!(&buf[..], &[0, 7, 8, 0]);
+    }
+}

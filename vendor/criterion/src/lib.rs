@@ -1,0 +1,214 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the API subset `eden-bench`'s microbenchmarks use —
+//! [`Criterion`], benchmark groups, [`Throughput`], `criterion_group!` /
+//! `criterion_main!` — over a simple calibrated timing loop: warm up,
+//! size batches to ~20 ms of work, take the median of several samples,
+//! and print ns/iter plus derived throughput. No statistics engine, no
+//! HTML reports; numbers land on stdout in a stable greppable format.
+
+// Vendored stand-in: keep the workspace clippy gate focused on product code.
+#![allow(clippy::all)]
+
+use std::time::{Duration, Instant};
+
+/// Work per iteration, for throughput reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Iterations process this many logical elements.
+    Elements(u64),
+    /// Iterations process this many bytes.
+    Bytes(u64),
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Accepted for API compatibility; CLI filtering is not implemented.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            throughput: None,
+            sample_count: 12,
+        }
+    }
+
+    /// Run a stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&name.into(), None, 12, f);
+        self
+    }
+}
+
+/// A group of related benchmarks sharing throughput settings.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_count: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Report per-iteration throughput alongside the time.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Number of timing samples per benchmark (clamped to ≥ 4).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_count = n.clamp(4, 64);
+        self
+    }
+
+    /// Run one benchmark in this group.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, name.into());
+        run_one(&full, self.throughput, self.sample_count, f);
+        self
+    }
+
+    /// End the group (printing is incremental, so this is a no-op).
+    pub fn finish(self) {}
+}
+
+/// Handed to the benchmark closure; call [`Bencher::iter`] with the
+/// code under test.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `iters` executions of `routine`.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn time_batch<F>(f: &mut F, iters: u64) -> Duration
+where
+    F: FnMut(&mut Bencher),
+{
+    let mut b = Bencher {
+        iters,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    b.elapsed
+}
+
+fn run_one<F>(name: &str, throughput: Option<Throughput>, samples: usize, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    // Calibrate: grow the batch until one batch costs ≥ ~5 ms.
+    let mut iters: u64 = 1;
+    loop {
+        let t = time_batch(&mut f, iters);
+        if t >= Duration::from_millis(5) || iters >= 1 << 24 {
+            break;
+        }
+        iters = if t.is_zero() {
+            iters * 16
+        } else {
+            // aim directly for ~8 ms, at most 16× per step
+            let target = Duration::from_millis(8).as_nanos() as u64;
+            (iters.saturating_mul(target / (t.as_nanos() as u64).max(1)))
+                .clamp(iters + 1, iters * 16)
+        };
+    }
+
+    let mut per_iter: Vec<f64> = (0..samples)
+        .map(|_| time_batch(&mut f, iters).as_nanos() as f64 / iters as f64)
+        .collect();
+    per_iter.sort_by(|a, b| a.total_cmp(b));
+    let median = per_iter[per_iter.len() / 2];
+    let best = per_iter[0];
+    let worst = per_iter[per_iter.len() - 1];
+
+    let tp = match throughput {
+        Some(Throughput::Elements(n)) if median > 0.0 => {
+            format!("  {:>10.1} Melem/s", n as f64 * 1e3 / median)
+        }
+        Some(Throughput::Bytes(n)) if median > 0.0 => {
+            format!(
+                "  {:>10.1} MiB/s",
+                n as f64 * 1e9 / median / (1024.0 * 1024.0)
+            )
+        }
+        _ => String::new(),
+    };
+    println!(
+        "bench {name:<48} {median:>12.1} ns/iter (min {best:.1}, max {worst:.1}, {iters} iters x {samples} samples){tp}"
+    );
+}
+
+/// Bundle benchmark functions into one runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Produce `main` running the named groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_runs_requested_iterations() {
+        let mut count = 0u64;
+        let mut b = Bencher {
+            iters: 100,
+            elapsed: Duration::ZERO,
+        };
+        b.iter(|| count += 1);
+        assert_eq!(count, 100);
+    }
+
+    #[test]
+    fn group_api_chains() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("smoke");
+        g.throughput(Throughput::Elements(1)).sample_size(4);
+        g.bench_function("noop", |b| b.iter(|| 1 + 1));
+        g.finish();
+    }
+}

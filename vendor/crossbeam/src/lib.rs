@@ -1,0 +1,68 @@
+//! Offline stand-in for `crossbeam`: the `scope` API, implemented over
+//! `std::thread::scope` (which adopted crossbeam's design in Rust 1.63).
+//!
+//! Matches crossbeam's shape: the scope closure and every spawned
+//! closure receive `&Scope`, and `scope()` returns `Err` with the panic
+//! payload if any thread panicked instead of unwinding directly.
+
+// Vendored stand-in: keep the workspace clippy gate focused on product code.
+#![allow(clippy::all)]
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// A scope in which threads borrowing local state may be spawned.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawn a thread that may borrow from the enclosing scope. The
+    /// closure receives the scope again (crossbeam's nested-spawn
+    /// support).
+    pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let inner = self.inner;
+        inner.spawn(move || f(&Scope { inner }))
+    }
+}
+
+/// Run `f` with a scope handle; all spawned threads are joined before
+/// this returns. `Err` carries the payload of the first panic.
+pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn std::any::Any + Send + 'static>>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    catch_unwind(AssertUnwindSafe(|| {
+        std::thread::scope(|s| f(&Scope { inner: s }))
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn spawned_threads_borrow_and_join() {
+        let counter = AtomicU64::new(0);
+        super::scope(|scope| {
+            for _ in 0..8 {
+                scope.spawn(|_| {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+        })
+        .expect("threads join");
+        assert_eq!(counter.load(Ordering::SeqCst), 8);
+    }
+
+    #[test]
+    fn panics_surface_as_err() {
+        let r = super::scope(|scope| {
+            scope.spawn(|_| panic!("boom"));
+        });
+        assert!(r.is_err());
+    }
+}

@@ -1,0 +1,90 @@
+//! `any::<T>()` — canonical strategies per type.
+
+use std::fmt::Debug;
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Types with a canonical "anything goes" strategy.
+pub trait Arbitrary: Debug + Sized {
+    /// The strategy [`any`] returns for this type.
+    type Strategy: Strategy<Value = Self>;
+
+    /// Build the canonical strategy.
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// The canonical strategy for `A`: the full value space, uniformly.
+pub fn any<A: Arbitrary>() -> A::Strategy {
+    A::arbitrary()
+}
+
+macro_rules! impl_arbitrary_uint {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            type Strategy = ::std::ops::RangeInclusive<$t>;
+            fn arbitrary() -> Self::Strategy {
+                <$t>::MIN..=<$t>::MAX
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_uint!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    type Strategy = crate::bool::BoolAny;
+    fn arbitrary() -> Self::Strategy {
+        crate::bool::ANY
+    }
+}
+
+/// Strategy for fixed-size arrays of an [`Arbitrary`] element.
+#[derive(Debug)]
+pub struct ArrayStrategy<S, const N: usize>(S);
+
+impl<S: Strategy, const N: usize> Strategy for ArrayStrategy<S, N>
+where
+    S::Value: Debug,
+{
+    type Value = [S::Value; N];
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        std::array::from_fn(|_| self.0.generate(rng))
+    }
+}
+
+impl<T: Arbitrary, const N: usize> Arbitrary for [T; N] {
+    type Strategy = ArrayStrategy<T::Strategy, N>;
+    fn arbitrary() -> Self::Strategy {
+        ArrayStrategy(T::arbitrary())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn any_covers_extremes_eventually() {
+        let mut rng = TestRng::new(11);
+        let s = any::<u8>();
+        let mut lo = false;
+        let mut hi = false;
+        for _ in 0..20_000 {
+            match s.generate(&mut rng) {
+                0 => lo = true,
+                255 => hi = true,
+                _ => {}
+            }
+        }
+        assert!(lo && hi);
+    }
+
+    #[test]
+    fn bool_arrays_generate() {
+        let mut rng = TestRng::new(12);
+        let s = any::<[bool; 5]>();
+        let v = s.generate(&mut rng);
+        assert_eq!(v.len(), 5);
+    }
+}

@@ -1,0 +1,382 @@
+//! The [`Strategy`] trait and the combinators the workspace's tests use.
+
+use std::fmt::Debug;
+use std::ops::{Range, RangeInclusive};
+use std::rc::Rc;
+
+use crate::test_runner::TestRng;
+
+/// A recipe for generating values of one type.
+///
+/// Unlike the real proptest there is no value tree / shrinking: a
+/// strategy is just a deterministic function of the case RNG.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value: Debug;
+
+    /// Generate one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values with `fun`.
+    fn prop_map<O, F>(self, fun: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        O: Debug,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { source: self, fun }
+    }
+
+    /// Build a recursive strategy: `self` generates leaves, and `recurse`
+    /// maps a strategy for depth-`n` values to one for depth-`n+1`
+    /// values. `depth` bounds nesting; `desired_size` and
+    /// `expected_branch_size` are accepted for API compatibility but the
+    /// simplified generator bounds size by depth alone.
+    fn prop_recursive<R, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        recurse: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        R: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> R,
+    {
+        let leaf = self.boxed();
+        let mut current = leaf.clone();
+        for _ in 0..depth {
+            let deeper = recurse(current).boxed();
+            // At every level, fall back to a leaf 1 time in 3 so
+            // generated trees stay modest even at full depth.
+            current = Union::weighted(vec![(1, leaf.clone()), (2, deeper)]).boxed();
+        }
+        current
+    }
+
+    /// Type-erase this strategy (cheaply cloneable).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy {
+            gen: Rc::new(move |rng| self.generate(rng)),
+        }
+    }
+}
+
+/// Output of [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    source: S,
+    fun: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    O: Debug,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.fun)(self.source.generate(rng))
+    }
+}
+
+/// A type-erased, cheaply-cloneable strategy.
+pub struct BoxedStrategy<V> {
+    gen: Rc<dyn Fn(&mut TestRng) -> V>,
+}
+
+impl<V> Clone for BoxedStrategy<V> {
+    fn clone(&self) -> Self {
+        BoxedStrategy {
+            gen: Rc::clone(&self.gen),
+        }
+    }
+}
+
+impl<V> Debug for BoxedStrategy<V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("BoxedStrategy")
+    }
+}
+
+impl<V: Debug> Strategy for BoxedStrategy<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut TestRng) -> V {
+        (self.gen)(rng)
+    }
+}
+
+/// Always generate a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone + Debug> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Choose among several strategies for the same type (`prop_oneof!`).
+#[derive(Clone)]
+pub struct Union<V> {
+    arms: Vec<(u32, BoxedStrategy<V>)>,
+    total_weight: u64,
+}
+
+impl<V: Debug> Union<V> {
+    /// Uniform choice among `arms`.
+    pub fn new(arms: Vec<BoxedStrategy<V>>) -> Self {
+        Union::weighted(arms.into_iter().map(|s| (1, s)).collect())
+    }
+
+    /// Weighted choice among `arms`.
+    pub fn weighted(arms: Vec<(u32, BoxedStrategy<V>)>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        let total_weight = arms.iter().map(|(w, _)| u64::from(*w)).sum();
+        assert!(total_weight > 0, "prop_oneof! weights sum to zero");
+        Union { arms, total_weight }
+    }
+}
+
+impl<V: Debug> Strategy for Union<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut TestRng) -> V {
+        let mut pick = rng.below(self.total_weight);
+        for (weight, arm) in &self.arms {
+            let w = u64::from(*weight);
+            if pick < w {
+                return arm.generate(rng);
+            }
+            pick -= w;
+        }
+        unreachable!("weights exhausted")
+    }
+}
+
+macro_rules! impl_int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let width = self.end.wrapping_sub(self.start) as u64;
+                self.start.wrapping_add(rng.below(width) as $t)
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "empty range strategy");
+                let width = end.wrapping_sub(start) as u64;
+                if width == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                start.wrapping_add(rng.below(width + 1) as $t)
+            }
+        }
+    )*};
+}
+
+impl_int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident : $idx:tt),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A: 0);
+impl_tuple_strategy!(A: 0, B: 1);
+impl_tuple_strategy!(A: 0, B: 1, C: 2);
+impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3);
+impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4);
+impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5);
+impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6);
+impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6, H: 7);
+impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6, H: 7, I: 8);
+impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6, H: 7, I: 8, J: 9);
+impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6, H: 7, I: 8, J: 9, K: 10);
+impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6, H: 7, I: 8, J: 9, K: 10, L: 11);
+
+/// String strategies from a pattern literal: `"[a-z]{1,8}"` etc.
+///
+/// Supports the tiny regex dialect the tests use: literal characters,
+/// character classes with ranges (`[a-z0-9_]`), and the quantifiers
+/// `{n}`, `{m,n}`, `?`, `+`, `*` (the open-ended ones capped at 8).
+impl Strategy for &str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        let mut chars = self.chars().peekable();
+        while let Some(c) = chars.next() {
+            // one atom: a char class or a literal
+            let choices: Vec<char> = match c {
+                '[' => {
+                    let mut set = Vec::new();
+                    let mut prev: Option<char> = None;
+                    for d in chars.by_ref() {
+                        match d {
+                            ']' => break,
+                            '-' if prev.is_some() => {
+                                // range: prev already pushed; extend to the
+                                // upcoming end char when the loop sees it
+                                set.push('-'); // placeholder, patched below
+                            }
+                            other => {
+                                if set.last() == Some(&'-') && prev.is_some() {
+                                    set.pop();
+                                    let lo = prev.unwrap();
+                                    for ch in (lo as u32 + 1)..=(other as u32) {
+                                        if let Some(ch) = char::from_u32(ch) {
+                                            set.push(ch);
+                                        }
+                                    }
+                                } else {
+                                    set.push(other);
+                                }
+                                prev = Some(other);
+                            }
+                        }
+                    }
+                    set
+                }
+                '\\' => vec![chars.next().unwrap_or('\\')],
+                lit => vec![lit],
+            };
+            // optional quantifier
+            let (min, max) = match chars.peek() {
+                Some('{') => {
+                    chars.next();
+                    let mut spec = String::new();
+                    for d in chars.by_ref() {
+                        if d == '}' {
+                            break;
+                        }
+                        spec.push(d);
+                    }
+                    match spec.split_once(',') {
+                        Some((m, n)) => {
+                            (m.trim().parse().unwrap_or(0), n.trim().parse().unwrap_or(8))
+                        }
+                        None => {
+                            let n: usize = spec.trim().parse().unwrap_or(1);
+                            (n, n)
+                        }
+                    }
+                }
+                Some('?') => {
+                    chars.next();
+                    (0, 1)
+                }
+                Some('+') => {
+                    chars.next();
+                    (1, 8)
+                }
+                Some('*') => {
+                    chars.next();
+                    (0, 8)
+                }
+                _ => (1, 1),
+            };
+            let count = min + rng.below((max - min + 1) as u64) as usize;
+            for _ in 0..count {
+                if choices.is_empty() {
+                    continue;
+                }
+                out.push(choices[rng.below(choices.len() as u64) as usize]);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_hit_their_bounds_only() {
+        let mut rng = TestRng::new(1);
+        let s = 3u32..7;
+        let mut seen = [false; 10];
+        for _ in 0..1000 {
+            let v = s.generate(&mut rng);
+            assert!((3..7).contains(&v));
+            seen[v as usize] = true;
+        }
+        assert!(seen[3] && seen[4] && seen[5] && seen[6]);
+    }
+
+    #[test]
+    fn regex_class_with_counted_repeat() {
+        let mut rng = TestRng::new(2);
+        for _ in 0..500 {
+            let s = "[a-z]{1,8}".generate(&mut rng);
+            assert!((1..=8).contains(&s.len()), "len {}", s.len());
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn regex_literals_and_quantifiers() {
+        let mut rng = TestRng::new(3);
+        let s = "ab{3}".generate(&mut rng);
+        assert_eq!(s, "abbb");
+        let t = "x?".generate(&mut rng);
+        assert!(t.is_empty() || t == "x");
+    }
+
+    #[test]
+    fn union_picks_every_arm() {
+        let mut rng = TestRng::new(4);
+        let u = Union::new(vec![Just(1i64).boxed(), Just(2i64).boxed()]);
+        let mut saw = [false; 3];
+        for _ in 0..100 {
+            saw[u.generate(&mut rng) as usize] = true;
+        }
+        assert!(saw[1] && saw[2]);
+    }
+
+    #[test]
+    fn recursive_strategies_terminate() {
+        #[derive(Debug, Clone)]
+        enum T {
+            Leaf(i64),
+            Node(Box<T>, Box<T>),
+        }
+        fn size(t: &T) -> usize {
+            match t {
+                T::Leaf(v) => {
+                    assert!((0..10).contains(v), "leaf out of range");
+                    1
+                }
+                T::Node(a, b) => 1 + size(a) + size(b),
+            }
+        }
+        let strat = (0i64..10)
+            .prop_map(T::Leaf)
+            .prop_recursive(4, 32, 2, |inner| {
+                (inner.clone(), inner).prop_map(|(a, b)| T::Node(Box::new(a), Box::new(b)))
+            });
+        let mut rng = TestRng::new(5);
+        for _ in 0..200 {
+            // depth 4, binary → at most 2^5 - 1 nodes
+            assert!(size(&strat.generate(&mut rng)) <= 31);
+        }
+    }
+}

@@ -1,0 +1,179 @@
+//! Offline stand-in for the `rand` crate (0.10-style trait names).
+//!
+//! Provides exactly the surface `netsim::rng` consumes: [`RngCore`],
+//! [`SeedableRng::seed_from_u64`], and the [`RngExt`] extension with
+//! `random()` / `random_range()`. Distribution quality comes from the
+//! backing generator (see the sibling `rand_chacha` shim); this crate is
+//! just the trait plumbing plus unbiased-enough range mapping.
+
+// Vendored stand-in: keep the workspace clippy gate focused on product code.
+#![allow(clippy::all)]
+
+/// A source of random 64-bit words.
+pub trait RngCore {
+    /// Next uniform 64-bit word.
+    fn next_u64(&mut self) -> u64;
+
+    /// Next uniform 32-bit word (default: high half of [`Self::next_u64`]).
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Construction from seeds.
+pub trait SeedableRng: Sized {
+    /// Build a generator whose stream is a pure function of `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types producible uniformly by [`RngExt::random`].
+pub trait Standard: Sized {
+    /// Draw one value from `rng`.
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for u64 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+
+impl Standard for u16 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 48) as u16
+    }
+}
+
+impl Standard for u8 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 56) as u8
+    }
+}
+
+impl Standard for bool {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 uniform mantissa bits → [0, 1)
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Ranges usable with [`RngExt::random_range`].
+pub trait SampleRange<T> {
+    /// Draw one value uniformly from the range.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! impl_int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for std::ops::Range<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "empty range");
+                let width = self.end.wrapping_sub(self.start) as u64;
+                // Multiply-shift (Lemire) keeps bias below 2^-64 per draw.
+                let hi = ((u128::from(rng.next_u64()) * u128::from(width)) >> 64) as u64;
+                self.start.wrapping_add(hi as $t)
+            }
+        }
+
+        impl SampleRange<$t> for std::ops::RangeInclusive<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "empty range");
+                let width = end.wrapping_sub(start) as u64;
+                if width == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                let hi = ((u128::from(rng.next_u64()) * u128::from(width + 1)) >> 64) as u64;
+                start.wrapping_add(hi as $t)
+            }
+        }
+    )*};
+}
+
+impl_int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleRange<f64> for std::ops::Range<f64> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "empty range");
+        let u = f64::sample_standard(rng); // [0, 1)
+        let v = self.start + u * (self.end - self.start);
+        // Guard against rounding landing exactly on `end` or below `start`.
+        if v >= self.end {
+            self.start
+        } else {
+            v.max(self.start)
+        }
+    }
+}
+
+/// Convenience draws over any [`RngCore`] (rand 0.10's `Rng`/`RngExt`).
+pub trait RngExt: RngCore {
+    /// A uniform value of type `T`.
+    fn random<T: Standard>(&mut self) -> T {
+        T::sample_standard(self)
+    }
+
+    /// A uniform value in `range`.
+    fn random_range<T, Rg: SampleRange<T>>(&mut self, range: Rg) -> T {
+        range.sample_from(self)
+    }
+
+    /// A coin flip with probability `p` of `true`.
+    fn random_bool(&mut self, p: f64) -> bool {
+        f64::sample_standard(self) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> RngExt for R {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Counter(u64);
+    impl RngCore for Counter {
+        fn next_u64(&mut self) -> u64 {
+            // splitmix64 so range mapping sees well-spread bits
+            self.0 = self.0.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut r = Counter(1);
+        for _ in 0..10_000 {
+            let v: u64 = r.random_range(0..10);
+            assert!(v < 10);
+            let f: f64 = r.random_range(0.0..1.0);
+            assert!((0.0..1.0).contains(&f));
+            let i: i64 = r.random_range(-5i64..5);
+            assert!((-5..5).contains(&i));
+            let b: u8 = r.random_range(1u8..=255);
+            assert!(b >= 1);
+        }
+    }
+
+    #[test]
+    fn unit_interval_covers_low_and_high() {
+        let mut r = Counter(2);
+        let draws: Vec<f64> = (0..10_000).map(|_| r.random::<f64>()).collect();
+        assert!(draws.iter().any(|&v| v < 0.1));
+        assert!(draws.iter().any(|&v| v > 0.9));
+    }
+}
