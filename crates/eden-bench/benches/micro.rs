@@ -236,9 +236,43 @@ fn bench_catalogue_ratio(c: &mut Criterion) {
     group.finish();
 }
 
+/// The batched data path vs the per-packet loop: same SFF policy, same
+/// packets, batch sizes that stay serial vs fan out to worker lanes.
+fn bench_batch_process(c: &mut Criterion) {
+    let mut group = c.benchmark_group("enclave_batch");
+    group.sample_size(30);
+    for (name, lanes, batch) in [
+        ("serial_64", 1usize, 64usize),
+        ("lanes4_64", 4, 64),
+        ("lanes4_512", 4, 512),
+    ] {
+        let bundle = functions::sff();
+        let mut enclave = Enclave::new(EnclaveConfig {
+            lanes,
+            parallel_batch_min: 2,
+            ..EnclaveConfig::default()
+        });
+        let f = enclave.install_function(bundle.interpreted());
+        enclave.install_rule(TableId(0), MatchSpec::Class(ClassId(1)), f);
+        enclave.set_array(f, 0, vec![10 * 1024, 7, 1024 * 1024, 5, i64::MAX, 1]);
+        let mut rng = SimRng::new(1);
+        let mut i = 0u64;
+        group.throughput(Throughput::Elements(batch as u64));
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut pkts: Vec<Packet> = (0..batch as u64).map(|k| make_packet(i + k)).collect();
+                i += batch as u64;
+                black_box(enclave.process_batch(&mut pkts, &mut rng, Time::from_nanos(i)))
+            })
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_enclave,
+    bench_batch_process,
     bench_interpreter_dispatch,
     bench_classification,
     bench_wire,

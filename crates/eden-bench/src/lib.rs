@@ -14,6 +14,7 @@
 //! | [`fig12`] | Figure 12 — CPU overhead of Eden components + §5.4 footprint |
 //! | [`report`] | table-rendering helpers shared by the bench targets |
 
+pub mod batch;
 pub mod fig09;
 pub mod fig10;
 pub mod fig11;

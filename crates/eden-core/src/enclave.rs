@@ -8,6 +8,26 @@
 //! state. Functions are interpreted bytecode or native closures
 //! ([`ActionImpl`]); both run behind the same [`eden_vm::Host`] binding.
 //!
+//! The data path is staged — **classify → match → execute**:
+//!
+//! * *classify* derives the packet's class list (stage-assigned metadata
+//!   plus the enclave's own five-tuple rules), its message identity, and a
+//!   per-packet random stream;
+//! * *match* resolves the class list against table 0 through a class→rule
+//!   index (single-class rules are a hash lookup, not a linear scan);
+//! * *execute* walks the table pipeline, running the matched function —
+//!   and any `GotoTable` continuations — against the packet and its state.
+//!
+//! [`Enclave::process_dir`] runs the stages for one packet;
+//! [`Enclave::process_batch`] runs them for a batch, and — when every
+//! installed function's derived concurrency level (§3.4.4) permits —
+//! executes the batch on parallel worker lanes partitioned by message id:
+//! *read-only* and *per-message serial* functions parallelize (a message
+//! never spans two lanes), *fully serial* (global-writer) functions force
+//! the bit-identical serial fallback. The batch path is verdict-for-verdict
+//! and state-for-state equivalent to the per-packet path, pinned by a
+//! property test.
+//!
 //! Besides stage-assigned classes, the enclave can classify on its own at
 //! packet granularity (Table 2's last row): five-tuple rules assign classes
 //! to traffic from unmodified applications, and packets without stage
@@ -19,18 +39,20 @@
 //! then fails open (forwarded unmodified) or closed (dropped) per
 //! [`EnclaveConfig::fail_open`] — and the rest of the system continues.
 
+use std::collections::HashMap;
+
 use eden_lang::{Access, Concurrency, HeaderField, Schema, Scope};
 use eden_telemetry::{
     EnclaveCounters, FunctionCounters, RuleCounters, StatsSnapshot, TableCounters, Telemetry,
     VmCounters,
 };
-use eden_vm::{Effect, Host, Interpreter, Limits, Outcome, VmError};
-use netsim::{Packet, SimRng, Time};
+use eden_vm::{Effect, Host, Interpreter, InterpreterPool, Limits, Outcome, Program, VmError};
+use netsim::{Packet, PacketRng, SimRng, Time};
 use transport::{HookEnv, HookVerdict, PacketHook};
 
 use crate::action::{ActionImpl, FuncId, InstalledFunction, NativeEnv, NativeFn};
 use crate::class::ClassId;
-use crate::state::FunctionState;
+use crate::state::{FunctionState, MsgShard};
 
 /// Identifies a match-action table within an enclave.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -66,15 +88,63 @@ pub struct Rule {
     pub hits: u64,
 }
 
+/// One match-action table, with a class→rule index so the common case —
+/// single-class rules — resolves by hash lookup instead of a linear scan.
+/// First-match-wins order is preserved: the index stores the *earliest*
+/// rule per class, and `general` keeps the (ordered) `Any`/`AnyOf` rules
+/// that still need a scan.
 #[derive(Debug, Default)]
 struct MatchActionTable {
     rules: Vec<Rule>,
+    /// class → index of the first `MatchSpec::Class` rule for it.
+    class_index: HashMap<u32, usize>,
+    /// Ordered indices of `Any` / `AnyOf` rules.
+    general: Vec<usize>,
     /// Lookups performed against this table (telemetry).
     lookups: u64,
     /// Lookups that hit some rule.
     matched: u64,
     /// Lookups that hit no rule.
     missed: u64,
+}
+
+impl MatchActionTable {
+    fn push_rule(&mut self, rule: Rule) {
+        let idx = self.rules.len();
+        match &rule.spec {
+            MatchSpec::Class(c) => {
+                self.class_index.entry(c.0).or_insert(idx);
+            }
+            MatchSpec::Any | MatchSpec::AnyOf(_) => self.general.push(idx),
+        }
+        self.rules.push(rule);
+    }
+
+    fn clear(&mut self) {
+        self.rules.clear();
+        self.class_index.clear();
+        self.general.clear();
+    }
+
+    /// First-match-wins rule lookup via the class index.
+    fn find(&self, classes: &[u32]) -> Option<usize> {
+        let mut best = usize::MAX;
+        for c in classes {
+            if let Some(&i) = self.class_index.get(c) {
+                best = best.min(i);
+            }
+        }
+        for &gi in &self.general {
+            if gi >= best {
+                break; // an earlier single-class rule already won
+            }
+            if self.rules[gi].spec.matches(classes) {
+                best = gi;
+                break;
+            }
+        }
+        (best != usize::MAX).then_some(best)
+    }
 }
 
 /// A five-tuple classifier for the enclave's own packet-granularity
@@ -126,6 +196,16 @@ pub struct EnclaveConfig {
     /// directions through a packet field mapped to
     /// [`HeaderField::Direction`].
     pub process_ingress: bool,
+    /// Worker lanes for the batched data path (interpreters + message-state
+    /// shards). `1` disables parallel execution entirely.
+    pub lanes: usize,
+    /// Cap on the punted-packet mailbox; the oldest punt is evicted (and
+    /// counted in `punt_drops`) when a punt-heavy workload outruns the
+    /// controller's pickup.
+    pub max_punted: usize,
+    /// Smallest batch worth fanning out to worker lanes; below it the
+    /// batch runs on the serial path (thread handoff would dominate).
+    pub parallel_batch_min: usize,
 }
 
 impl Default for EnclaveConfig {
@@ -135,6 +215,9 @@ impl Default for EnclaveConfig {
             max_messages_per_function: 65_536,
             fail_open: true,
             process_ingress: false,
+            lanes: 4,
+            max_punted: 1024,
+            parallel_batch_min: 32,
         }
     }
 }
@@ -145,7 +228,7 @@ impl Default for EnclaveConfig {
 /// exactly one way, so `packets == forwarded + dropped +
 /// punted_to_controller` at all times (checked by
 /// [`EnclaveStats::conserved`], pinned by a property test).
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct EnclaveStats {
     pub packets: u64,
     /// Packets for which at least one rule matched.
@@ -163,12 +246,65 @@ pub struct EnclaveStats {
     pub header_modifies: u64,
     /// Bytes charged to queue verdicts (Pulsar-style accounting, §2.1.2).
     pub enqueue_charge_bytes: u64,
+    /// Punted packets evicted from the bounded mailbox (see
+    /// [`EnclaveConfig::max_punted`]).
+    pub punt_drops: u64,
+    /// Table walks aborted by the `GotoTable` loop guard.
+    pub table_loop_aborts: u64,
 }
 
 impl EnclaveStats {
     /// Every processed packet left the enclave exactly one way.
     pub fn conserved(&self) -> bool {
         self.packets == self.forwarded + self.dropped + self.punted_to_controller
+    }
+
+    /// Fold one packet's walk outcome into the counters (everything except
+    /// the `packets` count and the punt mailbox, which the caller owns).
+    fn account_walk(&mut self, w: &WalkResult) {
+        if w.matched_any {
+            self.matched += 1;
+        } else {
+            self.missed += 1;
+        }
+        if w.fault {
+            self.faults += 1;
+        }
+        if w.loop_abort {
+            self.table_loop_aborts += 1;
+        }
+        self.header_modifies += w.header_modifies;
+        match w.verdict {
+            HookVerdict::Pass => self.forwarded += 1,
+            HookVerdict::Queue { charge, .. } => {
+                self.forwarded += 1;
+                self.queued += 1;
+                self.enqueue_charge_bytes += charge;
+            }
+            HookVerdict::Drop => {
+                if w.punt {
+                    self.punted_to_controller += 1;
+                } else {
+                    self.dropped += 1;
+                }
+            }
+        }
+    }
+
+    /// Add a worker lane's partial counters (batch merge).
+    fn merge(&mut self, d: &EnclaveStats) {
+        self.packets += d.packets;
+        self.matched += d.matched;
+        self.missed += d.missed;
+        self.forwarded += d.forwarded;
+        self.dropped += d.dropped;
+        self.punted_to_controller += d.punted_to_controller;
+        self.queued += d.queued;
+        self.faults += d.faults;
+        self.header_modifies += d.header_modifies;
+        self.enqueue_charge_bytes += d.enqueue_charge_bytes;
+        self.punt_drops += d.punt_drops;
+        self.table_loop_aborts += d.table_loop_aborts;
     }
 }
 
@@ -181,8 +317,13 @@ pub struct Enclave {
     pkt_bindings: Vec<Vec<(Option<HeaderField>, Access)>>,
     states: Vec<FunctionState>,
     flow_rules: Vec<(FiveTupleMatch, ClassId)>,
-    interp: Interpreter,
-    /// Packets punted to the controller, awaiting pickup.
+    /// One interpreter per worker lane; lane 0 is the serial path's.
+    pool: InterpreterPool,
+    /// `true` while every installed function may run on a worker lane:
+    /// interpreted (native closures are not `Send`) and not `Serialized`.
+    lane_safe: bool,
+    /// Packets punted to the controller, awaiting pickup (bounded by
+    /// [`EnclaveConfig::max_punted`]).
     pub punted: Vec<Packet>,
     pub stats: EnclaveStats,
     /// Scratch for unmapped packet fields (packet lifetime).
@@ -204,7 +345,8 @@ impl Enclave {
             pkt_bindings: Vec::new(),
             states: Vec::new(),
             flow_rules: Vec::new(),
-            interp: Interpreter::new(config.limits),
+            pool: InterpreterPool::new(config.limits, config.lanes),
+            lane_safe: true,
             punted: Vec::new(),
             stats: EnclaveStats::default(),
             scratch: Vec::new(),
@@ -225,8 +367,11 @@ impl Enclave {
 
     /// Install `function`; returns its id for use in rules.
     pub fn install_function(&mut self, function: InstalledFunction) -> FuncId {
-        let state =
-            FunctionState::for_schema(&function.schema, self.config.max_messages_per_function);
+        let state = FunctionState::for_schema_sharded(
+            &function.schema,
+            self.config.max_messages_per_function,
+            self.pool.lanes(),
+        );
         let bindings = function
             .schema
             .fields()
@@ -237,6 +382,8 @@ impl Enclave {
         if bindings.len() > self.scratch.len() {
             self.scratch.resize(bindings.len(), 0);
         }
+        self.lane_safe &= matches!(function.action, ActionImpl::Interpreted(_))
+            && function.concurrency != Concurrency::Serialized;
         self.pkt_bindings.push(bindings);
         self.functions.push(function);
         self.states.push(state);
@@ -246,7 +393,7 @@ impl Enclave {
     /// Append `rule` to `table` (first match wins).
     pub fn install_rule(&mut self, table: TableId, spec: MatchSpec, func: FuncId) {
         assert!(func.0 < self.functions.len(), "unknown function");
-        self.tables[table.0].rules.push(Rule {
+        self.tables[table.0].push_rule(Rule {
             spec,
             func,
             hits: 0,
@@ -255,7 +402,7 @@ impl Enclave {
 
     /// Remove all rules from `table`.
     pub fn clear_table(&mut self, table: TableId) {
-        self.tables[table.0].rules.clear();
+        self.tables[table.0].clear();
     }
 
     /// Add an enclave-level five-tuple classification rule.
@@ -298,10 +445,10 @@ impl Enclave {
         std::mem::take(&mut self.punted)
     }
 
-    /// Interpreter resource usage of the most recent interpreted run
-    /// (for §5.4 footprint reporting).
+    /// Interpreter resource usage of the most recent interpreted run on
+    /// the serial path (for §5.4 footprint reporting).
     pub fn last_usage(&self) -> eden_vm::Usage {
-        self.interp.usage()
+        self.pool.lane(0).usage()
     }
 
     // ------------------------------------------------------------------
@@ -325,134 +472,258 @@ impl Enclave {
         self.stats.packets += 1;
         self.last_now = now;
 
-        // class list: stage-assigned + enclave five-tuple rules
+        // --- classify: class list, message identity, per-packet RNG ----
         self.classes.clear();
-        if let Some(meta) = &packet.meta {
-            self.classes.extend_from_slice(&meta.classes);
-        }
-        for (spec, class) in &self.flow_rules {
-            if spec.matches(packet) {
-                self.classes.push(class.0);
-            }
-        }
-
-        // message identity: stage metadata, else flow-as-message
-        let msg_id = match &packet.meta {
-            Some(m) if m.msg_id != 0 => m.msg_id,
-            _ => flow_msg_id(packet),
-        };
+        classify(packet, &self.flow_rules, &mut self.classes);
+        let msg_id = message_id(packet);
+        let mut prng = rng.fork_packet();
 
         // packet-lifetime scratch for unmapped fields
         self.scratch.iter_mut().for_each(|v| *v = 0);
 
-        let mut verdict_queue: Option<(i64, i64)> = None;
-        let mut table = 0usize;
-        let mut hops = 0;
-        let mut matched_any = false;
-
-        'walk: loop {
-            hops += 1;
-            if hops > 8 {
-                break; // table-loop guard
-            }
-            let Some(tbl) = self.tables.get_mut(table) else {
-                break;
+        // --- match + execute: serial walk on lane 0 --------------------
+        let walk = {
+            let mut tables = DirectTables(&mut self.tables);
+            let mut inv = SerialInvoker {
+                functions: &mut self.functions,
+                bindings: &self.pkt_bindings,
+                states: &mut self.states,
+                interp: self.pool.lane_mut(0),
             };
-            tbl.lookups += 1;
-            let Some(idx) = tbl.rules.iter().position(|r| r.spec.matches(&self.classes)) else {
-                tbl.missed += 1;
-                break;
-            };
-            tbl.matched += 1;
-            tbl.rules[idx].hits += 1;
-            let rule = tbl.rules[idx].clone();
-            if !matched_any {
-                matched_any = true;
-                self.stats.matched += 1;
-            }
-            let fid = rule.func.0;
-
-            // split borrows: function (action+schema), its state, interpreter
-            let (msg, global, arrays) = self.states[fid].split_for(msg_id);
-            let mut host = InvocationHost {
+            walk_packet(
+                &mut tables,
+                &mut inv,
+                &self.classes,
+                msg_id,
                 packet,
-                bindings: &self.pkt_bindings[fid],
-                scratch: &mut self.scratch,
-                msg,
-                global,
-                arrays,
-                rng,
+                &mut self.scratch,
+                &mut prng,
                 now,
                 direction,
-                queue: None,
-                header_modifies: 0,
-            };
-            let func = &mut self.functions[fid];
-            let result = match &mut func.action {
-                ActionImpl::Interpreted(program) => self.interp.run(program, &mut host),
-                ActionImpl::Native(f) => {
-                    let mut env = NativeEnv::new(&mut host);
-                    f(&mut env)
+                self.config.fail_open,
+                None,
+            )
+        };
+        if walk.punt {
+            self.push_punt(packet.clone());
+        }
+        self.stats.account_walk(&walk);
+        walk.verdict
+    }
+
+    /// Run the match-action pipeline on a batch of egress packets.
+    ///
+    /// Equivalent — verdict for verdict, header byte for header byte,
+    /// state word for state word — to calling [`process`](Self::process)
+    /// on each packet in order; the batch path exists so the stages can
+    /// amortize per-call costs and, when every installed function is
+    /// interpreted and non-`Serialized`, execute message lanes on a
+    /// scoped worker pool.
+    pub fn process_batch(
+        &mut self,
+        packets: &mut [Packet],
+        rng: &mut SimRng,
+        now: Time,
+    ) -> Vec<HookVerdict> {
+        self.process_batch_dir(packets, rng, now, FlowDirection::Egress)
+    }
+
+    /// Batch processing with an explicit direction.
+    pub fn process_batch_dir(
+        &mut self,
+        packets: &mut [Packet],
+        rng: &mut SimRng,
+        now: Time,
+        direction: FlowDirection,
+    ) -> Vec<HookVerdict> {
+        if !self.parallel_eligible(packets.len()) {
+            // serial fallback: literally the per-packet path
+            return packets
+                .iter_mut()
+                .map(|p| self.process_dir(p, rng, now, direction))
+                .collect();
+        }
+        self.process_batch_parallel(packets, rng, now, direction)
+    }
+
+    /// May this batch take the parallel path? All functions lane-safe
+    /// (interpreted, not `Serialized`), more than one lane, batch large
+    /// enough to pay for the thread handoff, and enough message-state
+    /// headroom that lane-side block creation can never trigger a FIFO
+    /// eviction (eviction order is only defined on the serial path).
+    fn parallel_eligible(&self, n: usize) -> bool {
+        self.lane_safe
+            && !self.functions.is_empty()
+            && self.pool.lanes() > 1
+            && n >= self.config.parallel_batch_min.max(1)
+            && self.states.iter().all(|s| s.headroom() >= n)
+    }
+
+    fn process_batch_parallel(
+        &mut self,
+        packets: &mut [Packet],
+        rng: &mut SimRng,
+        now: Time,
+        direction: FlowDirection,
+    ) -> Vec<HookVerdict> {
+        let n = packets.len();
+        let lanes = self.pool.lanes();
+        self.stats.packets += n as u64;
+        self.last_now = now;
+
+        // --- classify stage (batch order: RNG forks must match serial) --
+        let metas: Vec<Classified> = packets
+            .iter()
+            .map(|p| {
+                let mut classes = Vec::new();
+                classify(p, &self.flow_rules, &mut classes);
+                Classified {
+                    classes,
+                    msg_id: message_id(p),
+                    prng: rng.fork_packet(),
                 }
-            };
-            // header writes happened even if the function later trapped or
-            // dropped, so merge them on every exit path
-            let header_modifies = host.header_modifies;
-            func.header_modifies += header_modifies;
-            self.stats.header_modifies += header_modifies;
-            match result {
-                Ok(outcome) => {
-                    func.invocations += 1;
-                    if let Some((q, charge)) = host.queue {
-                        verdict_queue = Some((q, charge));
-                        func.enqueue_charge_bytes += charge.max(0) as u64;
-                    }
-                    match outcome {
-                        Outcome::Done => break 'walk,
-                        Outcome::Dropped => {
-                            func.drops += 1;
-                            self.stats.dropped += 1;
-                            return HookVerdict::Drop;
-                        }
-                        Outcome::SentToController => {
-                            func.punts += 1;
-                            self.stats.punted_to_controller += 1;
-                            self.punted.push(packet.clone());
-                            return HookVerdict::Drop;
-                        }
-                        Outcome::GotoTable(t) => {
-                            table = t as usize;
-                            continue 'walk;
-                        }
-                    }
-                }
-                Err(_trap) => {
-                    func.faults += 1;
-                    self.stats.faults += 1;
-                    if self.config.fail_open {
-                        break 'walk;
-                    }
-                    self.stats.dropped += 1;
-                    return HookVerdict::Drop;
-                }
+            })
+            .collect();
+
+        // --- match stage: table-0 resolution with live counters ---------
+        let firsts: Vec<Lookup> = {
+            let mut tables = DirectTables(&mut self.tables);
+            metas.iter().map(|m| tables.lookup(0, &m.classes)).collect()
+        };
+
+        // --- partition into lanes by message id -------------------------
+        let mut lane_work: Vec<Vec<LaneItem<'_>>> = (0..lanes).map(|_| Vec::new()).collect();
+        for (idx, ((packet, meta), first)) in packets.iter_mut().zip(metas).zip(firsts).enumerate()
+        {
+            let lane = (meta.msg_id % lanes as u64) as usize;
+            lane_work[lane].push(LaneItem {
+                idx,
+                packet,
+                classes: meta.classes,
+                msg_id: meta.msg_id,
+                prng: meta.prng,
+                first,
+            });
+        }
+
+        // --- execute stage: scoped worker lanes --------------------------
+        let lane_funcs: Vec<LaneFunc<'_>> = self
+            .functions
+            .iter()
+            .map(|f| match &f.action {
+                ActionImpl::Interpreted(program) => LaneFunc {
+                    program,
+                    concurrency: f.concurrency,
+                },
+                ActionImpl::Native(_) => unreachable!("parallel path requires interpreted"),
+            })
+            .collect();
+        let mut lane_states: Vec<Vec<LaneFnState<'_>>> = (0..lanes)
+            .map(|_| Vec::with_capacity(self.functions.len()))
+            .collect();
+        for state in self.states.iter_mut() {
+            let msg_slots = state.msg_slots();
+            let (shards, global, arrays) = state.split_shards();
+            debug_assert_eq!(shards.len(), lanes, "shard count tracks lane count");
+            for (lane, shard) in shards.into_iter().enumerate() {
+                lane_states[lane].push(LaneFnState {
+                    shard,
+                    msg_slots,
+                    global,
+                    arrays,
+                });
             }
         }
 
-        if !matched_any {
-            self.stats.missed += 1;
-        }
-        self.stats.forwarded += 1;
-        match verdict_queue {
-            Some((queue, charge)) => {
-                self.stats.queued += 1;
-                self.stats.enqueue_charge_bytes += charge.max(0) as u64;
-                HookVerdict::Queue {
-                    queue: queue.max(0) as usize,
-                    charge: charge.max(0) as u64,
+        let tables = &self.tables;
+        let bindings = &self.pkt_bindings;
+        let fail_open = self.config.fail_open;
+        let rule_counts: Vec<usize> = tables.iter().map(|t| t.rules.len()).collect();
+        let interps = self.pool.lanes_mut();
+
+        let outs: Vec<LaneOut> = {
+            let lane_funcs = &lane_funcs;
+            let rule_counts = &rule_counts;
+            crossbeam::scope(|s| {
+                let handles: Vec<_> = lane_work
+                    .into_iter()
+                    .zip(lane_states)
+                    .zip(interps.iter_mut())
+                    .map(|((work, states), interp)| {
+                        s.spawn(move |_| {
+                            run_lane(
+                                work,
+                                tables,
+                                lane_funcs,
+                                bindings,
+                                states,
+                                interp,
+                                rule_counts,
+                                now,
+                                direction,
+                                fail_open,
+                            )
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("lane thread panicked"))
+                    .collect()
+            })
+            .expect("worker scope")
+        };
+
+        // --- merge stage: counters in lane order, packet-ordered queues --
+        let mut verdicts = vec![HookVerdict::Pass; n];
+        let mut all_punts: Vec<(usize, Packet)> = Vec::new();
+        let mut all_created: Vec<(usize, usize, u64)> = Vec::new();
+        for out in outs {
+            self.stats.merge(&out.stats);
+            for (tbl, d) in self.tables.iter_mut().zip(out.table_deltas) {
+                tbl.lookups += d.lookups;
+                tbl.matched += d.matched;
+                tbl.missed += d.missed;
+                for (rule, hits) in tbl.rules.iter_mut().zip(d.rule_hits) {
+                    rule.hits += hits;
                 }
             }
-            None => HookVerdict::Pass,
+            for (f, d) in self.functions.iter_mut().zip(out.func_deltas) {
+                d.apply_to(f);
+            }
+            for (idx, v) in out.verdicts {
+                verdicts[idx] = v;
+            }
+            all_punts.extend(out.punts);
+            all_created.extend(out.created);
         }
+        // replay lane-side message-block creations and punts in packet
+        // arrival order, so FIFO bookkeeping and the mailbox match the
+        // serial path exactly (sorts are stable; each packet lives on one
+        // lane, so its entries are already internally ordered)
+        all_created.sort_by_key(|&(idx, _, _)| idx);
+        for (_, fid, msg_id) in all_created {
+            self.states[fid].note_created(msg_id);
+        }
+        all_punts.sort_by_key(|&(idx, _)| idx);
+        for (_, p) in all_punts {
+            self.push_punt(p);
+        }
+        verdicts
+    }
+
+    /// Append to the bounded punt mailbox, evicting the oldest punt (and
+    /// counting it) when full.
+    fn push_punt(&mut self, packet: Packet) {
+        if self.config.max_punted == 0 {
+            self.stats.punt_drops += 1;
+            return;
+        }
+        if self.punted.len() >= self.config.max_punted {
+            self.punted.remove(0);
+            self.stats.punt_drops += 1;
+        }
+        self.punted.push(packet);
     }
 
     // ------------------------------------------------------------------
@@ -462,8 +733,9 @@ impl Enclave {
     /// Copy every data-path counter into a point-in-time
     /// [`StatsSnapshot`]: enclave totals, per-table and per-rule match
     /// counts, per-function invocation/fault/verdict counts, and the
-    /// interpreter's accumulated cost. `flows` is empty and `host` is
-    /// `None` — the controller merges those in from the host stack (see
+    /// interpreter pool's accumulated cost (summed over lanes). `flows` is
+    /// empty and `host` is `None` — the controller merges those in from
+    /// the host stack (see
     /// [`Controller::pull_host_stats`](crate::Controller::pull_host_stats)).
     pub fn stats_snapshot(&self) -> StatsSnapshot {
         let enclave = EnclaveCounters {
@@ -477,6 +749,8 @@ impl Enclave {
             faults: self.stats.faults,
             header_modifies: self.stats.header_modifies,
             enqueue_charge_bytes: self.stats.enqueue_charge_bytes,
+            punt_drops: self.stats.punt_drops,
+            table_loop_aborts: self.stats.table_loop_aborts,
         };
         let tables = self
             .tables
@@ -517,8 +791,8 @@ impl Enclave {
                 enqueue_charge_bytes: f.enqueue_charge_bytes,
             })
             .collect();
-        let vmc = self.interp.counters();
-        let opcode_counts = match self.interp.opcode_histogram() {
+        let vmc = self.pool.counters();
+        let opcode_counts = match self.pool.opcode_histogram() {
             Some(hist) => hist
                 .iter()
                 .enumerate()
@@ -545,10 +819,10 @@ impl Enclave {
         }
     }
 
-    /// Enable or disable the interpreter's per-opcode histogram (off by
-    /// default; see [`eden_vm::Interpreter::set_opcode_profiling`]).
+    /// Enable or disable the interpreter pool's per-opcode histogram (off
+    /// by default; see [`eden_vm::Interpreter::set_opcode_profiling`]).
     pub fn set_opcode_profiling(&mut self, enabled: bool) {
-        self.interp.set_opcode_profiling(enabled);
+        self.pool.set_opcode_profiling(enabled);
     }
 }
 
@@ -563,6 +837,14 @@ impl PacketHook for Enclave {
         self.process_dir(packet, env.rng, env.now, FlowDirection::Egress)
     }
 
+    fn on_egress_batch(
+        &mut self,
+        packets: &mut [Packet],
+        env: &mut HookEnv<'_>,
+    ) -> Vec<HookVerdict> {
+        self.process_batch_dir(packets, env.rng, env.now, FlowDirection::Egress)
+    }
+
     fn on_ingress(&mut self, packet: &mut Packet, env: &mut HookEnv<'_>) -> HookVerdict {
         if self.config.process_ingress {
             self.process_dir(packet, env.rng, env.now, FlowDirection::Ingress)
@@ -573,6 +855,31 @@ impl PacketHook for Enclave {
 
     fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
         self
+    }
+}
+
+// ----------------------------------------------------------------------
+// classify stage
+// ----------------------------------------------------------------------
+
+/// Derive the class list: stage-assigned metadata plus enclave five-tuple
+/// rules.
+fn classify(packet: &Packet, flow_rules: &[(FiveTupleMatch, ClassId)], out: &mut Vec<u32>) {
+    if let Some(meta) = &packet.meta {
+        out.extend_from_slice(&meta.classes);
+    }
+    for (spec, class) in flow_rules {
+        if spec.matches(packet) {
+            out.push(class.0);
+        }
+    }
+}
+
+/// Message identity: stage metadata, else flow-as-message.
+fn message_id(packet: &Packet) -> u64 {
+    match &packet.meta {
+        Some(m) if m.msg_id != 0 => m.msg_id,
+        _ => flow_msg_id(packet),
     }
 }
 
@@ -598,22 +905,538 @@ fn flow_msg_id(p: &Packet) -> u64 {
     }
 }
 
+// ----------------------------------------------------------------------
+// match stage
+// ----------------------------------------------------------------------
+
+/// Outcome of one table lookup.
+#[derive(Debug, Clone, Copy)]
+enum Lookup {
+    /// The table id does not exist (bad `GotoTable`).
+    NoTable,
+    /// No rule matched.
+    Miss,
+    /// First matching rule's action function.
+    Hit(usize),
+}
+
+/// How a walk reaches the tables: the serial path counts hits in place;
+/// worker lanes see the tables read-only and record deltas.
+trait TableAccess {
+    fn lookup(&mut self, table: usize, classes: &[u32]) -> Lookup;
+}
+
+struct DirectTables<'a>(&'a mut [MatchActionTable]);
+
+impl TableAccess for DirectTables<'_> {
+    fn lookup(&mut self, table: usize, classes: &[u32]) -> Lookup {
+        let Some(tbl) = self.0.get_mut(table) else {
+            return Lookup::NoTable;
+        };
+        tbl.lookups += 1;
+        match tbl.find(classes) {
+            Some(idx) => {
+                tbl.matched += 1;
+                tbl.rules[idx].hits += 1;
+                Lookup::Hit(tbl.rules[idx].func.0)
+            }
+            None => {
+                tbl.missed += 1;
+                Lookup::Miss
+            }
+        }
+    }
+}
+
+/// Per-table counter deltas accumulated by one worker lane.
+#[derive(Debug)]
+struct TableDelta {
+    lookups: u64,
+    matched: u64,
+    missed: u64,
+    rule_hits: Vec<u64>,
+}
+
+impl TableDelta {
+    fn for_rules(rules: usize) -> TableDelta {
+        TableDelta {
+            lookups: 0,
+            matched: 0,
+            missed: 0,
+            rule_hits: vec![0; rules],
+        }
+    }
+}
+
+struct SharedTables<'a, 'b> {
+    tables: &'a [MatchActionTable],
+    deltas: &'b mut [TableDelta],
+}
+
+impl TableAccess for SharedTables<'_, '_> {
+    fn lookup(&mut self, table: usize, classes: &[u32]) -> Lookup {
+        let Some(tbl) = self.tables.get(table) else {
+            return Lookup::NoTable;
+        };
+        let d = &mut self.deltas[table];
+        d.lookups += 1;
+        match tbl.find(classes) {
+            Some(idx) => {
+                d.matched += 1;
+                d.rule_hits[idx] += 1;
+                Lookup::Hit(tbl.rules[idx].func.0)
+            }
+            None => {
+                d.missed += 1;
+                Lookup::Miss
+            }
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// execute stage
+// ----------------------------------------------------------------------
+
+/// What one invocation produced.
+struct InvokeOut {
+    result: Result<Outcome, VmError>,
+    queue: Option<(i64, i64)>,
+    header_modifies: u64,
+}
+
+/// Per-function counter deltas for one invocation (or one lane's worth).
+#[derive(Debug, Default, Clone)]
+struct FuncDelta {
+    invocations: u64,
+    faults: u64,
+    drops: u64,
+    punts: u64,
+    header_modifies: u64,
+    enqueue_charge_bytes: u64,
+}
+
+impl FuncDelta {
+    fn record(&mut self, out: &InvokeOut) {
+        self.header_modifies += out.header_modifies;
+        match &out.result {
+            Ok(outcome) => {
+                self.invocations += 1;
+                if let Some((_, charge)) = out.queue {
+                    self.enqueue_charge_bytes += charge.max(0) as u64;
+                }
+                match outcome {
+                    Outcome::Dropped => self.drops += 1,
+                    Outcome::SentToController => self.punts += 1,
+                    Outcome::Done | Outcome::GotoTable(_) => {}
+                }
+            }
+            Err(_) => self.faults += 1,
+        }
+    }
+
+    fn apply_to(&self, f: &mut InstalledFunction) {
+        f.invocations += self.invocations;
+        f.faults += self.faults;
+        f.drops += self.drops;
+        f.punts += self.punts;
+        f.header_modifies += self.header_modifies;
+        f.enqueue_charge_bytes += self.enqueue_charge_bytes;
+    }
+}
+
+/// How a walk runs one action function: the serial path owns every
+/// function and its full state (and supports native closures); a worker
+/// lane owns one message shard per function and its own interpreter.
+trait Invoker {
+    #[allow(clippy::too_many_arguments)]
+    fn invoke(
+        &mut self,
+        fid: usize,
+        msg_id: u64,
+        packet: &mut Packet,
+        scratch: &mut [i64],
+        rng: &mut PacketRng,
+        now: Time,
+        direction: FlowDirection,
+    ) -> InvokeOut;
+}
+
+struct SerialInvoker<'a> {
+    functions: &'a mut [InstalledFunction],
+    bindings: &'a [Vec<(Option<HeaderField>, Access)>],
+    states: &'a mut [FunctionState],
+    interp: &'a mut Interpreter,
+}
+
+impl Invoker for SerialInvoker<'_> {
+    fn invoke(
+        &mut self,
+        fid: usize,
+        msg_id: u64,
+        packet: &mut Packet,
+        scratch: &mut [i64],
+        rng: &mut PacketRng,
+        now: Time,
+        direction: FlowDirection,
+    ) -> InvokeOut {
+        let concurrency = self.functions[fid].concurrency;
+        let (msg, global, arrays) = self.states[fid].split_for(msg_id);
+        let mut host = InvocationHost {
+            packet,
+            bindings: &self.bindings[fid],
+            scratch,
+            msg,
+            state: GlobalView::Excl { global, arrays },
+            rng,
+            now,
+            direction,
+            queue: None,
+            header_modifies: 0,
+            concurrency,
+        };
+        let func = &mut self.functions[fid];
+        let result = match &mut func.action {
+            ActionImpl::Interpreted(program) => self.interp.run(program, &mut host),
+            ActionImpl::Native(f) => {
+                let mut env = NativeEnv::new(&mut host);
+                f(&mut env)
+            }
+        };
+        let out = InvokeOut {
+            result,
+            queue: host.queue,
+            header_modifies: host.header_modifies,
+        };
+        let mut d = FuncDelta::default();
+        d.record(&out);
+        d.apply_to(func);
+        out
+    }
+}
+
+/// A lane's view of one interpreted function.
+struct LaneFunc<'a> {
+    program: &'a Program,
+    concurrency: Concurrency,
+}
+
+/// A lane's view of one function's state: its own message shard, shared
+/// read-only globals.
+struct LaneFnState<'a> {
+    shard: &'a mut MsgShard,
+    msg_slots: usize,
+    global: &'a [i64],
+    arrays: &'a [Vec<i64>],
+}
+
+struct LaneInvoker<'a, 'b> {
+    funcs: &'a [LaneFunc<'a>],
+    bindings: &'a [Vec<(Option<HeaderField>, Access)>],
+    states: &'b mut [LaneFnState<'a>],
+    func_deltas: &'b mut [FuncDelta],
+    interp: &'b mut Interpreter,
+    /// (batch index, function, message) of blocks this lane created, for
+    /// packet-order FIFO replay at merge time.
+    created: &'b mut Vec<(usize, usize, u64)>,
+    batch_idx: usize,
+}
+
+impl Invoker for LaneInvoker<'_, '_> {
+    fn invoke(
+        &mut self,
+        fid: usize,
+        msg_id: u64,
+        packet: &mut Packet,
+        scratch: &mut [i64],
+        rng: &mut PacketRng,
+        now: Time,
+        direction: FlowDirection,
+    ) -> InvokeOut {
+        let st = &mut self.states[fid];
+        if !st.shard.contains_key(&msg_id) {
+            // headroom was verified before the fan-out: creating here can
+            // never force an eviction, so FIFO replay at merge suffices
+            st.shard.insert(msg_id, vec![0; st.msg_slots]);
+            self.created.push((self.batch_idx, fid, msg_id));
+        }
+        let msg = st.shard.get_mut(&msg_id).expect("inserted above");
+        let func = &self.funcs[fid];
+        let mut host = InvocationHost {
+            packet,
+            bindings: &self.bindings[fid],
+            scratch,
+            msg,
+            state: GlobalView::Shared {
+                global: st.global,
+                arrays: st.arrays,
+            },
+            rng,
+            now,
+            direction,
+            queue: None,
+            header_modifies: 0,
+            concurrency: func.concurrency,
+        };
+        let result = self.interp.run(func.program, &mut host);
+        let out = InvokeOut {
+            result,
+            queue: host.queue,
+            header_modifies: host.header_modifies,
+        };
+        self.func_deltas[fid].record(&out);
+        out
+    }
+}
+
+/// One packet's assignment to a worker lane.
+struct LaneItem<'p> {
+    idx: usize,
+    packet: &'p mut Packet,
+    classes: Vec<u32>,
+    msg_id: u64,
+    prng: PacketRng,
+    first: Lookup,
+}
+
+/// Classify-stage output for one packet.
+struct Classified {
+    classes: Vec<u32>,
+    msg_id: u64,
+    prng: PacketRng,
+}
+
+/// Everything one worker lane hands back for the merge stage.
+struct LaneOut {
+    verdicts: Vec<(usize, HookVerdict)>,
+    stats: EnclaveStats,
+    table_deltas: Vec<TableDelta>,
+    func_deltas: Vec<FuncDelta>,
+    punts: Vec<(usize, Packet)>,
+    created: Vec<(usize, usize, u64)>,
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_lane<'a>(
+    work: Vec<LaneItem<'_>>,
+    tables: &[MatchActionTable],
+    funcs: &'a [LaneFunc<'a>],
+    bindings: &'a [Vec<(Option<HeaderField>, Access)>],
+    mut states: Vec<LaneFnState<'a>>,
+    interp: &mut Interpreter,
+    rule_counts: &[usize],
+    now: Time,
+    direction: FlowDirection,
+    fail_open: bool,
+) -> LaneOut {
+    let mut table_deltas: Vec<TableDelta> = rule_counts
+        .iter()
+        .map(|&n| TableDelta::for_rules(n))
+        .collect();
+    let mut func_deltas: Vec<FuncDelta> = vec![FuncDelta::default(); funcs.len()];
+    let mut stats = EnclaveStats::default();
+    let mut verdicts = Vec::with_capacity(work.len());
+    let mut punts = Vec::new();
+    let mut created = Vec::new();
+    let mut scratch = vec![0i64; bindings.iter().map(|b| b.len()).max().unwrap_or(0)];
+    for mut item in work {
+        scratch.iter_mut().for_each(|v| *v = 0);
+        let walk = {
+            let mut tbl = SharedTables {
+                tables,
+                deltas: &mut table_deltas,
+            };
+            let mut inv = LaneInvoker {
+                funcs,
+                bindings,
+                states: &mut states,
+                func_deltas: &mut func_deltas,
+                interp,
+                created: &mut created,
+                batch_idx: item.idx,
+            };
+            walk_packet(
+                &mut tbl,
+                &mut inv,
+                &item.classes,
+                item.msg_id,
+                item.packet,
+                &mut scratch,
+                &mut item.prng,
+                now,
+                direction,
+                fail_open,
+                Some(item.first),
+            )
+        };
+        if walk.punt {
+            punts.push((item.idx, item.packet.clone()));
+        }
+        stats.account_walk(&walk);
+        verdicts.push((item.idx, walk.verdict));
+    }
+    LaneOut {
+        verdicts,
+        stats,
+        table_deltas,
+        func_deltas,
+        punts,
+        created,
+    }
+}
+
+/// One packet's trip through the execute stage.
+struct WalkResult {
+    verdict: HookVerdict,
+    /// Verdict was a controller punt (the caller clones into the mailbox).
+    punt: bool,
+    matched_any: bool,
+    fault: bool,
+    header_modifies: u64,
+    loop_abort: bool,
+}
+
+/// The table walk: lookup → invoke → verdict, with `GotoTable`
+/// continuations. One implementation serves both the serial path and the
+/// worker lanes — the [`TableAccess`]/[`Invoker`] pair carries the
+/// difference — which is what makes batch/serial equivalence structural
+/// rather than a property to re-prove after every change.
+#[allow(clippy::too_many_arguments)]
+fn walk_packet<T: TableAccess, I: Invoker>(
+    tables: &mut T,
+    inv: &mut I,
+    classes: &[u32],
+    msg_id: u64,
+    packet: &mut Packet,
+    scratch: &mut [i64],
+    rng: &mut PacketRng,
+    now: Time,
+    direction: FlowDirection,
+    fail_open: bool,
+    mut first: Option<Lookup>,
+) -> WalkResult {
+    let mut res = WalkResult {
+        verdict: HookVerdict::Pass,
+        punt: false,
+        matched_any: false,
+        fault: false,
+        header_modifies: 0,
+        loop_abort: false,
+    };
+    let mut verdict_queue: Option<(i64, i64)> = None;
+    let mut table = 0usize;
+    let mut hops = 0u32;
+    'walk: loop {
+        hops += 1;
+        if hops > 8 {
+            res.loop_abort = true; // table-loop guard: fail open, counted
+            break 'walk;
+        }
+        let lookup = match first.take() {
+            Some(precomputed) => precomputed,
+            None => tables.lookup(table, classes),
+        };
+        let fid = match lookup {
+            Lookup::NoTable | Lookup::Miss => break 'walk,
+            Lookup::Hit(fid) => fid,
+        };
+        res.matched_any = true;
+        let out = inv.invoke(fid, msg_id, packet, scratch, rng, now, direction);
+        // header writes happened even if the function later trapped or
+        // dropped, so they are merged on every exit path
+        res.header_modifies += out.header_modifies;
+        match out.result {
+            Ok(outcome) => {
+                if let Some(q) = out.queue {
+                    verdict_queue = Some(q);
+                }
+                match outcome {
+                    Outcome::Done => break 'walk,
+                    Outcome::Dropped => {
+                        res.verdict = HookVerdict::Drop;
+                        return res;
+                    }
+                    Outcome::SentToController => {
+                        res.verdict = HookVerdict::Drop;
+                        res.punt = true;
+                        return res;
+                    }
+                    Outcome::GotoTable(t) => {
+                        table = t as usize;
+                        continue 'walk;
+                    }
+                }
+            }
+            Err(_trap) => {
+                res.fault = true;
+                if fail_open {
+                    break 'walk;
+                }
+                res.verdict = HookVerdict::Drop;
+                return res;
+            }
+        }
+    }
+    res.verdict = match verdict_queue {
+        Some((queue, charge)) => HookVerdict::Queue {
+            queue: queue.max(0) as usize,
+            charge: charge.max(0) as u64,
+        },
+        None => HookVerdict::Pass,
+    };
+    res
+}
+
+/// A function's view of the shared globals: the serial path holds them
+/// exclusively; worker lanes share them read-only (safe because only
+/// `Serialized` functions may write, and those never reach a lane).
+enum GlobalView<'a> {
+    Excl {
+        global: &'a mut [i64],
+        arrays: &'a mut [Vec<i64>],
+    },
+    Shared {
+        global: &'a [i64],
+        arrays: &'a [Vec<i64>],
+    },
+}
+
+impl GlobalView<'_> {
+    fn global(&self, slot: usize) -> Option<i64> {
+        match self {
+            GlobalView::Excl { global, .. } => global.get(slot).copied(),
+            GlobalView::Shared { global, .. } => global.get(slot).copied(),
+        }
+    }
+
+    fn array(&self, array: usize) -> Option<&[i64]> {
+        match self {
+            GlobalView::Excl { arrays, .. } => arrays.get(array).map(|a| a.as_slice()),
+            GlobalView::Shared { arrays, .. } => arrays.get(array).map(|a| a.as_slice()),
+        }
+    }
+}
+
 /// The per-invocation state view the VM (or a native function) runs
 /// against. Mapped packet slots read/write real header fields through the
-/// HeaderMap; unmapped slots use packet-lifetime scratch.
+/// HeaderMap; unmapped slots use packet-lifetime scratch. The function's
+/// derived concurrency level (§3.4.4) is enforced here: a `Parallel`
+/// (read-only) function may not write message or global state, a
+/// `PerMessage` function may not write global state — violations trap like
+/// any other fault, on the serial path and on lanes alike.
 struct InvocationHost<'a> {
     packet: &'a mut Packet,
     bindings: &'a [(Option<HeaderField>, Access)],
     scratch: &'a mut [i64],
     msg: &'a mut [i64],
-    global: &'a mut [i64],
-    arrays: &'a mut [Vec<i64>],
-    rng: &'a mut SimRng,
+    state: GlobalView<'a>,
+    rng: &'a mut PacketRng,
     now: Time,
     direction: FlowDirection,
     queue: Option<(i64, i64)>,
     /// Mapped header fields written during this invocation (telemetry).
     header_modifies: u64,
+    concurrency: Concurrency,
 }
 
 impl Host for InvocationHost<'_> {
@@ -665,6 +1488,14 @@ impl Host for InvocationHost<'_> {
     }
 
     fn store_msg(&mut self, slot: u8, value: i64) -> Result<(), VmError> {
+        if self.concurrency == Concurrency::Parallel {
+            // a read-only function writing message state would invalidate
+            // its derived concurrency level — trap instead of racing
+            return Err(VmError::ReadOnlyViolation {
+                scope: eden_vm::StateScope::Message,
+                slot,
+            });
+        }
         match self.msg.get_mut(slot as usize) {
             Some(s) => {
                 *s = value;
@@ -678,9 +1509,8 @@ impl Host for InvocationHost<'_> {
     }
 
     fn load_glob(&mut self, slot: u8) -> Result<i64, VmError> {
-        self.global
-            .get(slot as usize)
-            .copied()
+        self.state
+            .global(slot as usize)
             .ok_or(VmError::BadStateSlot {
                 scope: eden_vm::StateScope::Global,
                 slot,
@@ -688,12 +1518,26 @@ impl Host for InvocationHost<'_> {
     }
 
     fn store_glob(&mut self, slot: u8, value: i64) -> Result<(), VmError> {
-        match self.global.get_mut(slot as usize) {
-            Some(s) => {
-                *s = value;
-                Ok(())
-            }
-            None => Err(VmError::BadStateSlot {
+        if self.concurrency != Concurrency::Serialized {
+            return Err(VmError::ReadOnlyViolation {
+                scope: eden_vm::StateScope::Global,
+                slot,
+            });
+        }
+        match &mut self.state {
+            GlobalView::Excl { global, .. } => match global.get_mut(slot as usize) {
+                Some(s) => {
+                    *s = value;
+                    Ok(())
+                }
+                None => Err(VmError::BadStateSlot {
+                    scope: eden_vm::StateScope::Global,
+                    slot,
+                }),
+            },
+            // unreachable in practice: Serialized functions never run on a
+            // lane, but fail safe rather than assume
+            GlobalView::Shared { .. } => Err(VmError::ReadOnlyViolation {
                 scope: eden_vm::StateScope::Global,
                 slot,
             }),
@@ -702,8 +1546,8 @@ impl Host for InvocationHost<'_> {
 
     fn arr_load(&mut self, array: u8, index: i64) -> Result<i64, VmError> {
         let arr = self
-            .arrays
-            .get(array as usize)
+            .state
+            .array(array as usize)
             .ok_or(VmError::BadArrayAccess { array, index })?;
         usize::try_from(index)
             .ok()
@@ -713,21 +1557,34 @@ impl Host for InvocationHost<'_> {
     }
 
     fn arr_store(&mut self, array: u8, index: i64, value: i64) -> Result<(), VmError> {
-        let arr = self
-            .arrays
-            .get_mut(array as usize)
-            .ok_or(VmError::BadArrayAccess { array, index })?;
-        let slot = usize::try_from(index)
-            .ok()
-            .and_then(|i| arr.get_mut(i))
-            .ok_or(VmError::BadArrayAccess { array, index })?;
-        *slot = value;
-        Ok(())
+        if self.concurrency != Concurrency::Serialized {
+            return Err(VmError::ReadOnlyViolation {
+                scope: eden_vm::StateScope::Global,
+                slot: array,
+            });
+        }
+        match &mut self.state {
+            GlobalView::Excl { arrays, .. } => {
+                let arr = arrays
+                    .get_mut(array as usize)
+                    .ok_or(VmError::BadArrayAccess { array, index })?;
+                let slot = usize::try_from(index)
+                    .ok()
+                    .and_then(|i| arr.get_mut(i))
+                    .ok_or(VmError::BadArrayAccess { array, index })?;
+                *slot = value;
+                Ok(())
+            }
+            GlobalView::Shared { .. } => Err(VmError::ReadOnlyViolation {
+                scope: eden_vm::StateScope::Global,
+                slot: array,
+            }),
+        }
     }
 
     fn arr_len(&mut self, array: u8) -> Result<i64, VmError> {
-        self.arrays
-            .get(array as usize)
+        self.state
+            .array(array as usize)
             .map(|a| a.len() as i64)
             .ok_or(VmError::BadArrayAccess { array, index: -1 })
     }
@@ -768,4 +1625,109 @@ pub fn native_function(
     f: NativeFn,
 ) -> InstalledFunction {
     InstalledFunction::native(name, f, schema, concurrency)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eden_lang::compile;
+
+    fn interp_fn(src: &str, schema: Schema) -> InstalledFunction {
+        let compiled = compile("t", src, &schema).expect("test source compiles");
+        InstalledFunction::interpreted("t", compiled)
+    }
+
+    #[test]
+    fn rule_index_is_first_match_wins() {
+        let mut t = MatchActionTable::default();
+        for (spec, func) in [
+            (MatchSpec::Class(ClassId(7)), 0),
+            (MatchSpec::Any, 1),
+            (MatchSpec::Class(ClassId(9)), 2),
+            (MatchSpec::AnyOf(vec![ClassId(3), ClassId(4)]), 3),
+        ] {
+            t.push_rule(Rule {
+                spec,
+                func: FuncId(func),
+                hits: 0,
+            });
+        }
+        assert_eq!(t.find(&[7]), Some(0));
+        assert_eq!(t.find(&[9]), Some(1), "Any precedes the class-9 rule");
+        assert_eq!(t.find(&[4]), Some(1), "Any precedes the AnyOf rule");
+        assert_eq!(t.find(&[]), Some(1));
+
+        let mut t2 = MatchActionTable::default();
+        t2.push_rule(Rule {
+            spec: MatchSpec::AnyOf(vec![ClassId(3)]),
+            func: FuncId(0),
+            hits: 0,
+        });
+        t2.push_rule(Rule {
+            spec: MatchSpec::Class(ClassId(5)),
+            func: FuncId(1),
+            hits: 0,
+        });
+        assert_eq!(t2.find(&[5]), Some(1));
+        assert_eq!(t2.find(&[3, 5]), Some(0), "earlier AnyOf wins");
+        assert_eq!(t2.find(&[9]), None);
+    }
+
+    #[test]
+    fn parallel_eligibility_gates() {
+        // default config: 4 lanes, batch minimum 32
+        let mut e = Enclave::new(EnclaveConfig::default());
+        assert!(!e.parallel_eligible(64), "no functions installed");
+        let schema = Schema::new().packet_field("Priority", Access::ReadWrite, None);
+        let f = e.install_function(interp_fn(
+            "fun (packet, msg, _global) -> packet.Priority <- 1",
+            schema,
+        ));
+        e.install_rule(TableId(0), MatchSpec::Any, f);
+        assert!(e.parallel_eligible(32));
+        assert!(!e.parallel_eligible(31), "below the batch minimum");
+
+        // a native function is not Send: the whole enclave falls back
+        e.install_function(native_function(
+            "n",
+            Schema::new(),
+            Concurrency::Parallel,
+            Box::new(|_| Ok(Outcome::Done)),
+        ));
+        assert!(!e.parallel_eligible(1024));
+    }
+
+    #[test]
+    fn serialized_function_disables_lanes() {
+        let mut e = Enclave::new(EnclaveConfig::default());
+        let schema = Schema::new().global_field("C", Access::ReadWrite);
+        let f = e.install_function(interp_fn(
+            "fun (packet, msg, _global) -> _global.C <- _global.C + 1",
+            schema,
+        ));
+        e.install_rule(TableId(0), MatchSpec::Any, f);
+        assert!(!e.parallel_eligible(1024), "global writer must stay serial");
+    }
+
+    #[test]
+    fn headroom_gate_blocks_oversized_batches() {
+        let mut e = Enclave::new(EnclaveConfig {
+            max_messages_per_function: 10,
+            parallel_batch_min: 1,
+            ..EnclaveConfig::default()
+        });
+        let schema = Schema::new()
+            .packet_field("Size", Access::ReadOnly, Some(HeaderField::Ipv4TotalLength))
+            .msg_field("B", Access::ReadWrite);
+        let f = e.install_function(interp_fn(
+            "fun (packet, msg, _global) -> msg.B <- msg.B + packet.Size",
+            schema,
+        ));
+        e.install_rule(TableId(0), MatchSpec::Any, f);
+        assert!(e.parallel_eligible(10));
+        assert!(
+            !e.parallel_eligible(11),
+            "a batch that could evict must run serially"
+        );
+    }
 }

@@ -11,17 +11,24 @@
 //!   first touch, bounded by FIFO eviction (messages are finite; the paper
 //!   keeps state "for the duration of the message").
 //!
+//! Message blocks live in `shards` keyed by `msg_id % shards`, so a batch
+//! of packets partitions into execution lanes that each own a disjoint
+//! shard — two packets of the same message always land in the same lane,
+//! which is what makes the paper's *per-message serial* concurrency level
+//! safe to run with lanes in parallel (see `Enclave::process_batch`). The
+//! FIFO eviction window stays global across shards: shard count is an
+//! execution detail and must not change which message gets evicted.
+//!
 //! Copy-in/copy-out consistency: the VM works on this state through the
 //! host interface during one invocation; the concurrency level (derived
-//! from the annotations) dictates how many invocations may overlap. The
-//! simulator is single-threaded per host, so the discipline is recorded and
-//! *asserted* (see `Enclave::begin_invocation`) rather than lock-enforced;
-//! the `fig12` bench exercises the same state under real threads via
-//! `parking_lot` locks in the multithreaded microbench.
+//! from the annotations) dictates how many invocations may overlap.
 
 use std::collections::{HashMap, VecDeque};
 
 use eden_lang::{Schema, Scope};
+
+/// One shard of a function's message state.
+pub type MsgShard = HashMap<u64, Vec<i64>>;
 
 /// Per-function authoritative state.
 #[derive(Debug)]
@@ -32,9 +39,9 @@ pub struct FunctionState {
     pub arrays: Vec<Vec<i64>>,
     /// Message-scope slot count (from the schema).
     msg_slots: usize,
-    /// Live message state blocks.
-    msg_state: HashMap<u64, Vec<i64>>,
-    /// Insertion order for FIFO eviction.
+    /// Live message state blocks, sharded by `msg_id % shards.len()`.
+    shards: Vec<MsgShard>,
+    /// Insertion order for FIFO eviction, global across shards.
     msg_order: VecDeque<u64>,
     /// Maximum live message blocks before eviction.
     max_messages: usize,
@@ -43,59 +50,121 @@ pub struct FunctionState {
 }
 
 impl FunctionState {
-    /// Sized from the function's schema.
+    /// Sized from the function's schema, with one message shard.
     pub fn for_schema(schema: &Schema, max_messages: usize) -> FunctionState {
+        FunctionState::for_schema_sharded(schema, max_messages, 1)
+    }
+
+    /// Sized from the function's schema, with `shards` message shards (one
+    /// per enclave execution lane; at least one).
+    pub fn for_schema_sharded(
+        schema: &Schema,
+        max_messages: usize,
+        shards: usize,
+    ) -> FunctionState {
         FunctionState {
             global: vec![0; schema.scope_len(Scope::Global)],
             arrays: schema.arrays().iter().map(|_| Vec::new()).collect(),
             msg_slots: schema.scope_len(Scope::Message),
-            msg_state: HashMap::new(),
+            shards: (0..shards.max(1)).map(|_| MsgShard::new()).collect(),
             msg_order: VecDeque::new(),
             max_messages,
             evictions: 0,
         }
     }
 
+    fn shard_of(&self, msg_id: u64) -> usize {
+        (msg_id % self.shards.len() as u64) as usize
+    }
+
+    /// Message-scope slots per block (from the schema).
+    pub fn msg_slots(&self) -> usize {
+        self.msg_slots
+    }
+
     /// Borrow (creating if absent) the state block of message `msg_id`.
     pub fn msg_block(&mut self, msg_id: u64) -> &mut Vec<i64> {
-        if !self.msg_state.contains_key(&msg_id) {
-            if self.msg_state.len() >= self.max_messages {
+        let shard = self.shard_of(msg_id);
+        if !self.shards[shard].contains_key(&msg_id) {
+            if self.live_messages() >= self.max_messages {
                 // FIFO eviction keeps the footprint bounded; a long-lived
                 // message that outlives the window simply restarts from
                 // zeroed state, which for the paper's functions (byte
                 // counters) is a conservative reset.
                 if let Some(old) = self.msg_order.pop_front() {
-                    self.msg_state.remove(&old);
+                    let old_shard = self.shard_of(old);
+                    self.shards[old_shard].remove(&old);
                     self.evictions += 1;
                 }
             }
-            self.msg_state.insert(msg_id, vec![0; self.msg_slots]);
+            self.shards[shard].insert(msg_id, vec![0; self.msg_slots]);
             self.msg_order.push_back(msg_id);
         }
-        self.msg_state.get_mut(&msg_id).expect("inserted above")
+        self.shards[shard].get_mut(&msg_id).expect("inserted above")
     }
 
     /// Borrow the message block of `msg_id` together with the global
     /// scalars and arrays — the three disjoint pieces one invocation needs.
     pub fn split_for(&mut self, msg_id: u64) -> (&mut Vec<i64>, &mut Vec<i64>, &mut Vec<Vec<i64>>) {
         self.msg_block(msg_id); // ensure presence
-        let msg = self
-            .msg_state
+        let shard = self.shard_of(msg_id);
+        let msg = self.shards[shard]
             .get_mut(&msg_id)
             .expect("ensured by msg_block");
         (msg, &mut self.global, &mut self.arrays)
     }
 
+    /// Split the message shards apart from the (now read-only) globals, so
+    /// each execution lane can own one `&mut` shard while all lanes share
+    /// the global scalars and arrays. Lane `l` must only touch messages
+    /// with `msg_id % lanes == l` — guaranteed by the enclave's lane
+    /// assignment, which uses the same modulus.
+    pub fn split_shards(&mut self) -> (Vec<&mut MsgShard>, &[i64], &[Vec<i64>]) {
+        let FunctionState {
+            shards,
+            global,
+            arrays,
+            ..
+        } = self;
+        (shards.iter_mut().collect(), global, arrays)
+    }
+
+    /// Record a message block created lane-side (directly in a shard,
+    /// outside [`msg_block`](Self::msg_block)) into the FIFO order. The
+    /// caller replays creations in packet-arrival order and must have
+    /// verified headroom beforehand — lane-side creation never evicts.
+    pub fn note_created(&mut self, msg_id: u64) {
+        self.msg_order.push_back(msg_id);
+    }
+
+    /// How many more message blocks fit before FIFO eviction starts.
+    pub fn headroom(&self) -> usize {
+        self.max_messages.saturating_sub(self.live_messages())
+    }
+
     /// Explicitly end a message, reclaiming its state.
     pub fn end_message(&mut self, msg_id: u64) {
-        if self.msg_state.remove(&msg_id).is_some() {
+        let shard = self.shard_of(msg_id);
+        if self.shards[shard].remove(&msg_id).is_some() {
             self.msg_order.retain(|&m| m != msg_id);
         }
     }
 
     /// Live message blocks.
     pub fn live_messages(&self) -> usize {
-        self.msg_state.len()
+        self.shards.iter().map(|s| s.len()).sum()
+    }
+
+    /// Every live message block, sorted by message id (normalized view for
+    /// state-equivalence checks: independent of shard count).
+    pub fn msg_dump(&self) -> Vec<(u64, Vec<i64>)> {
+        let mut all: Vec<(u64, Vec<i64>)> = self
+            .shards
+            .iter()
+            .flat_map(|s| s.iter().map(|(&id, block)| (id, block.clone())))
+            .collect();
+        all.sort_by_key(|&(id, _)| id);
+        all
     }
 
     /// Replace a global array's contents (controller update).
@@ -146,11 +215,41 @@ mod tests {
     }
 
     #[test]
+    fn fifo_eviction_is_shard_count_independent() {
+        // the eviction window is global: the same touch sequence evicts the
+        // same messages no matter how the blocks are sharded
+        let mut one = FunctionState::for_schema_sharded(&schema(), 3, 1);
+        let mut four = FunctionState::for_schema_sharded(&schema(), 3, 4);
+        for id in [9, 4, 11, 2, 9, 5, 4, 7] {
+            one.msg_block(id)[0] += 1;
+            four.msg_block(id)[0] += 1;
+        }
+        assert_eq!(one.evictions, four.evictions);
+        assert_eq!(one.msg_dump(), four.msg_dump());
+    }
+
+    #[test]
     fn explicit_message_end() {
         let mut st = FunctionState::for_schema(&schema(), 100);
         st.msg_block(5)[0] = 42;
         st.end_message(5);
         assert_eq!(st.live_messages(), 0);
         assert_eq!(st.msg_block(5)[0], 0);
+    }
+
+    #[test]
+    fn split_shards_partitions_by_modulus() {
+        let mut st = FunctionState::for_schema_sharded(&schema(), 100, 4);
+        for id in 0..8 {
+            st.msg_block(id)[0] = id as i64;
+        }
+        let (shards, global, arrays) = st.split_shards();
+        assert_eq!(shards.len(), 4);
+        assert_eq!(global.len(), 1);
+        assert_eq!(arrays.len(), 1);
+        for (lane, shard) in shards.iter().enumerate() {
+            assert_eq!(shard.len(), 2);
+            assert!(shard.keys().all(|&id| id % 4 == lane as u64));
+        }
     }
 }

@@ -37,6 +37,13 @@ pub struct EnclaveCounters {
     pub header_modifies: u64,
     /// Bytes charged to queue verdicts (enqueue-charge accounting).
     pub enqueue_charge_bytes: u64,
+    /// Punted packets evicted from the bounded controller mailbox before
+    /// the controller picked them up.
+    pub punt_drops: u64,
+    /// Table walks aborted by the table-loop guard (a `GotoTable` cycle);
+    /// the packet still fails open, but the controller should know its
+    /// pipeline is looping.
+    pub table_loop_aborts: u64,
 }
 
 impl EnclaveCounters {
@@ -59,6 +66,8 @@ impl ToJson for EnclaveCounters {
             ("faults", self.faults.into()),
             ("header_modifies", self.header_modifies.into()),
             ("enqueue_charge_bytes", self.enqueue_charge_bytes.into()),
+            ("punt_drops", self.punt_drops.into()),
+            ("table_loop_aborts", self.table_loop_aborts.into()),
         ])
     }
 }
@@ -352,6 +361,8 @@ mod tests {
         assert!(text.contains(r#""name":"pias""#));
         assert!(text.contains(r#""opcode_counts":{"push":5}"#));
         assert!(text.contains(r#""host":null"#));
+        assert!(text.contains(r#""punt_drops":0"#));
+        assert!(text.contains(r#""table_loop_aborts":0"#));
     }
 
     #[test]

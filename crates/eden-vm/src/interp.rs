@@ -49,6 +49,16 @@ pub struct VmCounters {
     pub elapsed_ns: u64,
 }
 
+impl VmCounters {
+    /// Fold another interpreter's counters into this one (pool rollup).
+    pub fn merge(&mut self, other: VmCounters) {
+        self.invocations += other.invocations;
+        self.traps += other.traps;
+        self.steps += other.steps;
+        self.elapsed_ns += other.elapsed_ns;
+    }
+}
+
 /// Reusable execution context (operand stack + locals arena + call stack).
 #[derive(Debug)]
 pub struct Interpreter {

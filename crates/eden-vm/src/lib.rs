@@ -46,6 +46,7 @@ mod host;
 mod interp;
 mod limits;
 mod op;
+mod pool;
 mod program;
 mod verify;
 
@@ -57,5 +58,6 @@ pub use host::{Effect, Host, VecHost};
 pub use interp::{Interpreter, Outcome, VmCounters};
 pub use limits::{Limits, Usage};
 pub use op::Op;
+pub use pool::InterpreterPool;
 pub use program::{FuncInfo, Program};
 pub use verify::verify;

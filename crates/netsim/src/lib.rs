@@ -43,7 +43,7 @@ pub use packet::{
     VlanTag,
 };
 pub use queue::{DropTailQueue, PriorityPort};
-pub use rng::SimRng;
+pub use rng::{PacketRng, SimRng};
 pub use stats::{LinkStats, Summary};
 pub use switch::{Switch, SwitchConfig};
 pub use time::Time;

@@ -41,6 +41,18 @@ pub trait PacketHook: 'static {
     /// the NIC queues).
     fn on_egress(&mut self, packet: &mut Packet, env: &mut HookEnv<'_>) -> HookVerdict;
 
+    /// Called with every packet the host emits in one transmission
+    /// opportunity, returning one verdict per packet (same order). The
+    /// default simply loops [`on_egress`](Self::on_egress); hooks with a
+    /// real batch path (the Eden enclave's staged pipeline) override it.
+    fn on_egress_batch(
+        &mut self,
+        packets: &mut [Packet],
+        env: &mut HookEnv<'_>,
+    ) -> Vec<HookVerdict> {
+        packets.iter_mut().map(|p| self.on_egress(p, env)).collect()
+    }
+
     /// Called for every packet arriving at the host, before TCP. The
     /// default passes everything (most Eden functions are egress-side).
     fn on_ingress(&mut self, _packet: &mut Packet, _env: &mut HookEnv<'_>) -> HookVerdict {

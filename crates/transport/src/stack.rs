@@ -523,81 +523,125 @@ impl Stack {
             let payload = ((idx as u64) << 24) | generation;
             ctx.timer_at(deadline, token(TOKEN_REORDER, payload));
         }
-        for packet in out.packets {
-            self.egress(packet, ctx);
-        }
+        // Everything TCP emitted in this transmission opportunity leaves as
+        // one batch, so a hook with a real batch path (the enclave's staged
+        // pipeline) sees the packets together.
+        self.egress_batch(out.packets, ctx);
     }
 
-    fn egress(&mut self, mut packet: Packet, ctx: &mut Ctx<'_>) {
+    /// Pre-hook egress fixup: stamp the source address and, while tracing,
+    /// assign the packet a trace id namespaced by host address so merged
+    /// multi-host traces cannot collide with each other or with the
+    /// fabric's small sequential ids. With tracing off the id is untouched.
+    fn prep_egress(&mut self, packet: &mut Packet) {
         packet.eth.src = u64::from(self.addr);
-        // Trace packet ids are assigned here, namespaced by host address so
-        // merged multi-host traces cannot collide with each other or with
-        // the fabric's small sequential ids. Only done while tracing —
-        // with tracing off the packet is untouched.
         if self.trace.is_some() && packet.id == 0 {
             self.trace_pkt_seq += 1;
             packet.id = (u64::from(self.addr) << 40) | self.trace_pkt_seq;
         }
-        if let Some(hook) = self.hook.as_mut() {
+    }
+
+    fn egress(&mut self, mut packet: Packet, ctx: &mut Ctx<'_>) {
+        self.prep_egress(&mut packet);
+        if self.hook.is_some() {
+            let verdict = {
+                let hook = self.hook.as_mut().expect("checked above");
+                let mut env = HookEnv {
+                    now: ctx.now(),
+                    rng: ctx.rng(),
+                };
+                hook.on_egress(&mut packet, &mut env)
+            };
+            self.route_egress_verdict(packet, verdict, ctx);
+        } else {
+            self.nic_enqueue(packet, ctx);
+        }
+    }
+
+    /// Send a same-tick batch of packets through the hook and route each
+    /// verdict, in order — observably identical to calling
+    /// [`egress`](Self::egress) per packet, since everything happens at one
+    /// simulated instant and verdict routing preserves batch order.
+    fn egress_batch(&mut self, mut packets: Vec<Packet>, ctx: &mut Ctx<'_>) {
+        if packets.len() == 1 {
+            let packet = packets.pop().expect("length checked");
+            self.egress(packet, ctx);
+            return;
+        }
+        for packet in packets.iter_mut() {
+            self.prep_egress(packet);
+        }
+        if self.hook.is_none() {
+            for packet in packets {
+                self.nic_enqueue(packet, ctx);
+            }
+            return;
+        }
+        let verdicts = {
+            let hook = self.hook.as_mut().expect("checked above");
             let mut env = HookEnv {
                 now: ctx.now(),
                 rng: ctx.rng(),
             };
-            let verdict = hook.on_egress(&mut packet, &mut env);
-            if let Some(t) = self.trace.as_mut() {
-                let v = match verdict {
-                    HookVerdict::Pass => TraceVerdict::Pass,
-                    HookVerdict::Drop => TraceVerdict::Drop,
-                    HookVerdict::Queue { .. } => TraceVerdict::Queue,
-                };
-                t.record(
-                    ctx.now().as_nanos(),
-                    packet.id,
-                    pkt_class(&packet),
-                    TraceLayer::Enclave,
-                    v,
-                );
+            hook.on_egress_batch(&mut packets, &mut env)
+        };
+        debug_assert_eq!(verdicts.len(), packets.len(), "one verdict per packet");
+        for (packet, verdict) in packets.into_iter().zip(verdicts) {
+            self.route_egress_verdict(packet, verdict, ctx);
+        }
+    }
+
+    fn route_egress_verdict(&mut self, packet: Packet, verdict: HookVerdict, ctx: &mut Ctx<'_>) {
+        if let Some(t) = self.trace.as_mut() {
+            let v = match verdict {
+                HookVerdict::Pass => TraceVerdict::Pass,
+                HookVerdict::Drop => TraceVerdict::Drop,
+                HookVerdict::Queue { .. } => TraceVerdict::Queue,
+            };
+            t.record(
+                ctx.now().as_nanos(),
+                packet.id,
+                pkt_class(&packet),
+                TraceLayer::Enclave,
+                v,
+            );
+        }
+        match verdict {
+            HookVerdict::Pass => self.nic_enqueue(packet, ctx),
+            HookVerdict::Drop => {
+                self.hook_drops += 1;
             }
-            match verdict {
-                HookVerdict::Pass => {}
-                HookVerdict::Drop => {
-                    self.hook_drops += 1;
-                    return;
-                }
-                HookVerdict::Queue { queue, charge } => {
-                    if queue >= self.limiters.len() {
-                        self.bad_queue_drops += 1;
-                        if let Some(t) = self.trace.as_mut() {
-                            t.record(
-                                ctx.now().as_nanos(),
-                                packet.id,
-                                pkt_class(&packet),
-                                TraceLayer::Limiter,
-                                TraceVerdict::Drop,
-                            );
-                        }
-                        return;
-                    }
+            HookVerdict::Queue { queue, charge } => {
+                if queue >= self.limiters.len() {
+                    self.bad_queue_drops += 1;
                     if let Some(t) = self.trace.as_mut() {
                         t.record(
                             ctx.now().as_nanos(),
                             packet.id,
                             pkt_class(&packet),
                             TraceLayer::Limiter,
-                            TraceVerdict::Enqueue,
+                            TraceVerdict::Drop,
                         );
                     }
-                    self.limiters[queue].enqueue(packet, charge, ctx.now());
-                    let released = self.limiters[queue].release(ctx.now());
-                    for p in released {
-                        self.nic_enqueue(p, ctx);
-                    }
-                    self.arm_limiter(queue, ctx);
                     return;
                 }
+                if let Some(t) = self.trace.as_mut() {
+                    t.record(
+                        ctx.now().as_nanos(),
+                        packet.id,
+                        pkt_class(&packet),
+                        TraceLayer::Limiter,
+                        TraceVerdict::Enqueue,
+                    );
+                }
+                self.limiters[queue].enqueue(packet, charge, ctx.now());
+                let released = self.limiters[queue].release(ctx.now());
+                for p in released {
+                    self.nic_enqueue(p, ctx);
+                }
+                self.arm_limiter(queue, ctx);
             }
         }
-        self.nic_enqueue(packet, ctx);
     }
 
     fn arm_limiter(&mut self, queue: usize, ctx: &mut Ctx<'_>) {

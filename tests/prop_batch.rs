@@ -1,0 +1,294 @@
+//! Batch/serial equivalence (§3.4.4).
+//!
+//! `Enclave::process_batch` must be indistinguishable from calling
+//! `process` on each packet in order — verdict for verdict, header byte
+//! for header byte, state word for state word — for every concurrency
+//! level: `Parallel` and `PerMessage` functions actually execute on
+//! worker lanes (the batch minimum is forced to 1 here, so even tiny
+//! chunks fan out), `Serialized` and native functions take the serial
+//! fallback. The properties below drive both paths over arbitrary packet
+//! streams, chunkings, and RNG seeds, then compare everything observable:
+//! verdicts, the packets themselves, enclave counters, punt mailboxes,
+//! per-function message state, globals, arrays, and eviction counts.
+
+use eden::apps::functions::{self, FunctionBundle};
+use eden::core::{ClassId, Enclave, EnclaveConfig, FuncId, InstalledFunction, MatchSpec, TableId};
+use eden::lang::{compile, Concurrency};
+use eden::netsim::{EdenMeta, Packet, SimRng, TcpHeader, Time};
+use eden::vm::encode_program;
+use proptest::prelude::*;
+
+/// Install a catalogue function (interpreted or native) with the state its
+/// logic expects, and route one class to it.
+fn install(e: &mut Enclave, bundle: &FunctionBundle, interpreted: bool, class: u32) -> FuncId {
+    let f = if interpreted {
+        e.install_function(bundle.interpreted())
+    } else {
+        e.install_function(bundle.native())
+    };
+    match bundle.name {
+        "sff" | "pias" => e.set_array(f, 0, vec![10_000, 7, 1_000_000, 5, i64::MAX, 1]),
+        "wcmp" | "message-wcmp" => {
+            e.set_array(f, 0, vec![11, 3, 22, 2, 33, 5]);
+            e.set_global(f, 0, 10);
+        }
+        "fixed-priority" => e.set_global(f, 0, 3),
+        _ => {}
+    }
+    e.install_rule(TableId(0), MatchSpec::Class(ClassId(class)), f);
+    f
+}
+
+/// Enclave config that forces the parallel path whenever the installed
+/// functions allow it: four lanes, no minimum batch size.
+fn batchy_config() -> EnclaveConfig {
+    EnclaveConfig {
+        lanes: 4,
+        parallel_batch_min: 1,
+        ..EnclaveConfig::default()
+    }
+}
+
+/// A packet carrying `class` (0 = no metadata at all, so it misses) and a
+/// message id from a small pool, to force same-message collisions within
+/// and across batches.
+fn packet(class: u32, msg: u64, payload: usize, port: u16) -> Packet {
+    let hdr = TcpHeader {
+        src_port: 9000 + port,
+        dst_port: 80,
+        ..TcpHeader::default()
+    };
+    let mut p = Packet::tcp(1, 2, hdr, payload.max(1));
+    if class > 0 {
+        p.meta = Some(EdenMeta {
+            classes: vec![class],
+            msg_id: msg,
+            msg_size: payload as i64,
+            ..EdenMeta::default()
+        });
+    }
+    p
+}
+
+/// Run the same stream through a per-packet enclave and a batched enclave
+/// (both built by `mk`) and require every observable to match.
+fn assert_equivalent(
+    mk: impl Fn() -> (Enclave, Vec<FuncId>),
+    stream: &[(u32, u64, usize, u16)],
+    chunk: usize,
+    seed: u64,
+) -> Result<(), TestCaseError> {
+    let (mut serial, funcs) = mk();
+    let (mut batched, _) = mk();
+    let mut serial_rng = SimRng::new(seed);
+    let mut batched_rng = SimRng::new(seed);
+
+    let mut serial_pkts: Vec<Packet> = Vec::new();
+    let mut serial_verdicts = Vec::new();
+    let mut batched_pkts: Vec<Packet> = Vec::new();
+    let mut batched_verdicts = Vec::new();
+
+    for (ci, chunk_specs) in stream.chunks(chunk).enumerate() {
+        // a batch leaves at one simulated instant, so the per-packet
+        // reference uses the same timestamp for the whole chunk
+        let now = Time::from_nanos(1 + ci as u64);
+        for &(class, msg, payload, port) in chunk_specs {
+            let mut p = packet(class, msg, payload, port);
+            serial_verdicts.push(serial.process(&mut p, &mut serial_rng, now));
+            serial_pkts.push(p);
+        }
+        let mut batch: Vec<Packet> = chunk_specs
+            .iter()
+            .map(|&(class, msg, payload, port)| packet(class, msg, payload, port))
+            .collect();
+        batched_verdicts.extend(batched.process_batch(&mut batch, &mut batched_rng, now));
+        batched_pkts.extend(batch);
+    }
+
+    prop_assert_eq!(&serial_verdicts, &batched_verdicts);
+    prop_assert_eq!(&serial_pkts, &batched_pkts, "header bytes must match");
+    prop_assert_eq!(serial.stats, batched.stats);
+    prop_assert!(serial.stats.conserved());
+    prop_assert_eq!(serial.take_punted(), batched.take_punted());
+    for &f in &funcs {
+        let (a, b) = (serial.function_state(f), batched.function_state(f));
+        prop_assert_eq!(a.msg_dump(), b.msg_dump(), "message state of func {}", f.0);
+        prop_assert_eq!(&a.global, &b.global, "globals of func {}", f.0);
+        prop_assert_eq!(&a.arrays, &b.arrays, "arrays of func {}", f.0);
+        prop_assert_eq!(a.evictions, b.evictions, "evictions of func {}", f.0);
+    }
+    // the two RNGs must have advanced in lockstep (one fork per packet)
+    prop_assert_eq!(serial_rng.next_u64(), batched_rng.next_u64());
+    Ok(())
+}
+
+/// Stream generator: (class, message id, payload, source port).
+fn streams() -> impl Strategy<Value = Vec<(u32, u64, usize, u16)>> {
+    proptest::collection::vec((0u32..5, 0u64..6, 1usize..1460, 0u16..4), 1..200)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Read-only (`Parallel`) interpreted functions on worker lanes: SFF
+    /// and fixed-priority on separate classes, plus missing classes.
+    #[test]
+    fn parallel_interpreted_matches_serial(
+        stream in streams(), chunk in 1usize..80, seed in any::<u64>(),
+    ) {
+        assert_equivalent(|| {
+            let mut e = Enclave::new(batchy_config());
+            let a = install(&mut e, &functions::sff(), true, 1);
+            let b = install(&mut e, &functions::fixed_priority(), true, 2);
+            (e, vec![a, b])
+        }, &stream, chunk, seed)?;
+    }
+
+    /// Message-writing (`PerMessage`) interpreted functions on worker
+    /// lanes: PIAS accumulates message bytes, message-WCMP caches a
+    /// randomly chosen path label — covering lane-side state writes,
+    /// lane-side block creation, and per-packet RNG in one go.
+    #[test]
+    fn per_message_interpreted_matches_serial(
+        stream in streams(), chunk in 1usize..80, seed in any::<u64>(),
+    ) {
+        assert_equivalent(|| {
+            let mut e = Enclave::new(batchy_config());
+            let a = install(&mut e, &functions::pias(), true, 1);
+            let b = install(&mut e, &functions::message_wcmp(), true, 2);
+            (e, vec![a, b])
+        }, &stream, chunk, seed)?;
+    }
+
+    /// Global-writing (`Serialized`) functions force the serial fallback —
+    /// which must still agree with the per-packet path, including FIFO
+    /// eviction under a tiny message cap.
+    #[test]
+    fn serialized_interpreted_matches_serial(
+        stream in streams(), chunk in 1usize..80, seed in any::<u64>(),
+    ) {
+        assert_equivalent(|| {
+            let mut e = Enclave::new(EnclaveConfig {
+                max_messages_per_function: 3,
+                ..batchy_config()
+            });
+            let f = install(&mut e, &functions::flow_counter(), true, 1);
+            (e, vec![f])
+        }, &stream, chunk, seed)?;
+    }
+
+    /// Native closures are not lane-safe, so they also take the serial
+    /// fallback; WCMP's weighted random pick checks that the per-packet
+    /// RNG forking is chunk-size independent.
+    #[test]
+    fn native_functions_match_serial(
+        stream in streams(), chunk in 1usize..80, seed in any::<u64>(),
+    ) {
+        assert_equivalent(|| {
+            let mut e = Enclave::new(batchy_config());
+            let a = install(&mut e, &functions::wcmp(), false, 1);
+            let b = install(&mut e, &functions::pias(), false, 2);
+            let c = install(&mut e, &functions::flow_counter(), false, 3);
+            (e, vec![a, b, c])
+        }, &stream, chunk, seed)?;
+    }
+
+    /// A mixed interpreted table — all three lane-safe catalogue levels at
+    /// once (`Parallel` + `PerMessage`), message ids drawn from one pool so
+    /// different functions share lane assignments.
+    #[test]
+    fn mixed_interpreted_table_matches_serial(
+        stream in streams(), chunk in 1usize..80, seed in any::<u64>(),
+    ) {
+        assert_equivalent(|| {
+            let mut e = Enclave::new(batchy_config());
+            let a = install(&mut e, &functions::sff(), true, 1);
+            let b = install(&mut e, &functions::pias(), true, 2);
+            let c = install(&mut e, &functions::qjump(), true, 3);
+            let d = install(&mut e, &functions::message_wcmp(), true, 4);
+            (e, vec![a, b, c, d])
+        }, &stream, chunk, seed)?;
+    }
+}
+
+/// Concurrency enforcement: a function *declared* read-only but shipped
+/// with message-writing bytecode traps (`ReadOnlyViolation`) instead of
+/// racing — identically on the serial path and on worker lanes, failing
+/// open like any other fault.
+#[test]
+fn dishonest_concurrency_declaration_traps_identically() {
+    let bundle = functions::pias(); // writes msg.Size; honestly PerMessage
+    let compiled = compile(bundle.name, bundle.source, &bundle.schema()).unwrap();
+    let bytecode = encode_program(&compiled.program);
+    let mk = || {
+        let mut e = Enclave::new(batchy_config());
+        let f = e.install_function(
+            InstalledFunction::from_shipped(
+                "dishonest-pias",
+                &bytecode,
+                bundle.schema(),
+                Concurrency::Parallel, // lie: claims read-only
+            )
+            .unwrap(),
+        );
+        e.set_array(f, 0, vec![i64::MAX, 1]);
+        e.install_rule(TableId(0), MatchSpec::Class(ClassId(1)), f);
+        e
+    };
+
+    let mut serial = mk();
+    let mut batched = mk();
+    let mut rng_a = SimRng::new(7);
+    let mut rng_b = SimRng::new(7);
+    let now = Time::from_nanos(1);
+
+    let mut pkts_a: Vec<Packet> = (0..64).map(|i| packet(1, i % 4, 700, 0)).collect();
+    let mut pkts_b = pkts_a.clone();
+    let verdicts_a: Vec<_> = pkts_a
+        .iter_mut()
+        .map(|p| serial.process(p, &mut rng_a, now))
+        .collect();
+    let verdicts_b = batched.process_batch(&mut pkts_b, &mut rng_b, now);
+
+    assert_eq!(verdicts_a, verdicts_b);
+    assert_eq!(pkts_a, pkts_b);
+    assert_eq!(serial.stats, batched.stats);
+    assert_eq!(serial.stats.faults, 64, "every invocation trapped");
+    assert_eq!(serial.stats.forwarded, 64, "faults fail open");
+}
+
+/// The punt mailbox is bounded: overflowing it evicts the oldest punt and
+/// counts the eviction, so a punt-heavy workload cannot grow memory
+/// without bound.
+#[test]
+fn punt_mailbox_is_bounded() {
+    use eden::core::native_function;
+    use eden::lang::Schema;
+    use eden::vm::Outcome;
+
+    let mut e = Enclave::new(EnclaveConfig {
+        max_punted: 8,
+        ..EnclaveConfig::default()
+    });
+    let f = e.install_function(native_function(
+        "punt-everything",
+        Schema::new(),
+        Concurrency::Parallel,
+        Box::new(|env| {
+            env.to_controller()?;
+            Ok(Outcome::SentToController)
+        }),
+    ));
+    e.install_rule(TableId(0), MatchSpec::Any, f);
+
+    let mut rng = SimRng::new(1);
+    for i in 0..20u64 {
+        let mut p = packet(1, i, 100, (i % 4) as u16);
+        e.process(&mut p, &mut rng, Time::from_nanos(i));
+    }
+    assert_eq!(e.stats.punted_to_controller, 20);
+    assert_eq!(e.stats.punt_drops, 12, "evicted punts are counted");
+    assert_eq!(e.punted.len(), 8, "mailbox stays at its cap");
+    let snap = e.stats_snapshot();
+    assert_eq!(snap.enclave.punt_drops, 12);
+}
