@@ -13,8 +13,10 @@
 //! | [`fig11`] | Figure 11 — Pulsar READ/WRITE isolation |
 //! | [`fig12`] | Figure 12 — CPU overhead of Eden components + §5.4 footprint |
 //! | [`report`] | table-rendering helpers shared by the bench targets |
+//! | [`ctrl`] | control-plane convergence under loss and partitions |
 
 pub mod batch;
+pub mod ctrl;
 pub mod fig09;
 pub mod fig10;
 pub mod fig11;

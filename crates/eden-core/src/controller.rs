@@ -27,6 +27,7 @@ use netsim::Switch;
 use crate::action::{FuncId, InstalledFunction};
 use crate::class::{ClassId, ClassRegistry};
 use crate::enclave::Enclave;
+use crate::ops::EnclaveOp;
 use crate::stage::{Matcher, Stage, StageInfo};
 
 /// A candidate network path for weighted load balancing: the controller
@@ -93,9 +94,20 @@ impl Controller {
         stage.create_rule(rule_set, classifier, class)
     }
 
-    /// S2: remove a rule.
+    /// S2: remove a rule. Returns `false` — with a warning on stderr —
+    /// when `rule_set`/`rule_id` names nothing; callers should check it
+    /// (a missed removal usually means the rule id was captured from the
+    /// wrong rule set).
+    #[must_use = "a false return means the rule was not found"]
     pub fn remove_stage_rule(&self, stage: &mut Stage, rule_set: &str, rule_id: u64) -> bool {
-        stage.remove_rule(rule_set, rule_id)
+        let removed = stage.remove_rule(rule_set, rule_id);
+        if !removed {
+            eprintln!(
+                "warning: remove_stage_rule: no rule {rule_id} in rule set '{rule_set}' of stage '{}'",
+                stage.get_info().name
+            );
+        }
+        removed
     }
 
     // ------------------------------------------------------------------
@@ -136,6 +148,27 @@ impl Controller {
     ) -> Result<Vec<u8>, CompileError> {
         let compiled = self.compile_function(name, source, schema)?;
         Ok(eden_vm::encode_program(&compiled.program))
+    }
+
+    /// Compile `source` into a protocol op ready to ship inside an epoch:
+    /// the [`EnclaveOp::InstallFunction`] carrying verified bytecode plus
+    /// the schema and derived concurrency the enclave needs to host it.
+    /// This is how the distributed control plane (`eden-ctrl`) installs
+    /// programs — [`install_program`](Self::install_program) is the
+    /// same-process shortcut.
+    pub fn plan_function(
+        &self,
+        name: &str,
+        source: &str,
+        schema: &Schema,
+    ) -> Result<EnclaveOp, CompileError> {
+        let compiled = self.compile_function(name, source, schema)?;
+        Ok(EnclaveOp::InstallFunction {
+            name: name.to_string(),
+            bytecode: eden_vm::encode_program(&compiled.program),
+            schema: schema.clone(),
+            concurrency: compiled.concurrency,
+        })
     }
 
     // ------------------------------------------------------------------

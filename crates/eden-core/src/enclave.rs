@@ -52,7 +52,36 @@ use transport::{HookEnv, HookVerdict, PacketHook};
 
 use crate::action::{ActionImpl, FuncId, InstalledFunction, NativeEnv, NativeFn};
 use crate::class::ClassId;
+use crate::ops::{ApplyError, EnclaveOp};
 use crate::state::{FunctionState, MsgShard};
+
+/// Minimal FNV-1a, for the structural configuration digest.
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Fnv {
+        Fnv(0xcbf29ce484222325)
+    }
+
+    fn write_bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x100000001b3);
+        }
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        self.write_bytes(&v.to_le_bytes());
+    }
+
+    fn write_usize(&mut self, v: usize) {
+        self.write_u64(v as u64);
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
 
 /// Identifies a match-action table within an enclave.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -86,6 +115,10 @@ pub struct Rule {
     pub func: FuncId,
     /// Packets that matched this rule (telemetry).
     pub hits: u64,
+    /// Configuration epoch this rule was installed under. The two-phase
+    /// update protocol guarantees every rule in a served table carries the
+    /// enclave's active epoch (checked by [`Enclave::serves_single_epoch`]).
+    pub epoch: u64,
 }
 
 /// One match-action table, with a class→rule index so the common case —
@@ -124,6 +157,22 @@ impl MatchActionTable {
         self.rules.clear();
         self.class_index.clear();
         self.general.clear();
+    }
+
+    /// Remove the rule at `idx` (later rules shift down) and rebuild the
+    /// class index and general list, preserving first-match-wins order.
+    fn remove_rule(&mut self, idx: usize) {
+        self.rules.remove(idx);
+        self.class_index.clear();
+        self.general.clear();
+        for (i, rule) in self.rules.iter().enumerate() {
+            match &rule.spec {
+                MatchSpec::Class(c) => {
+                    self.class_index.entry(c.0).or_insert(i);
+                }
+                MatchSpec::Any | MatchSpec::AnyOf(_) => self.general.push(i),
+            }
+        }
     }
 
     /// First-match-wins rule lookup via the class index.
@@ -333,6 +382,54 @@ pub struct Enclave {
     /// Simulated time of the most recent processed packet, stamped onto
     /// stats snapshots (the enclave has no clock of its own).
     last_now: Time,
+    /// Configuration epoch currently served by the data path.
+    active_epoch: u64,
+    /// A prepared-but-uncommitted epoch (two-phase update, phase one).
+    staged: Option<StagedEpoch>,
+}
+
+/// A fully validated epoch awaiting commit: every op checked against the
+/// shape the configuration will have at that point in the sequence, and
+/// every shipped program already decoded and re-verified — so commit
+/// itself is infallible and atomic between packets.
+struct StagedEpoch {
+    epoch: u64,
+    ops: Vec<ReadyOp>,
+}
+
+/// [`EnclaveOp`] after stage-time validation (programs decoded).
+enum ReadyOp {
+    Reset,
+    CreateTable,
+    ClearTable(usize),
+    InstallFunction(Box<InstalledFunction>),
+    InstallRule {
+        table: usize,
+        spec: MatchSpec,
+        func: usize,
+    },
+    RemoveRule {
+        table: usize,
+        rule: usize,
+    },
+    SetGlobal {
+        func: usize,
+        slot: usize,
+        value: i64,
+    },
+    SetArray {
+        func: usize,
+        array: usize,
+        values: Vec<i64>,
+    },
+}
+
+/// Shape of an enclave configuration, tracked during stage-time
+/// validation: per-table rule counts and per-function (global slots,
+/// array count).
+struct ConfigShape {
+    rules_per_table: Vec<usize>,
+    funcs: Vec<(usize, usize)>,
 }
 
 impl Enclave {
@@ -352,6 +449,8 @@ impl Enclave {
             scratch: Vec::new(),
             classes: Vec::new(),
             last_now: Time::ZERO,
+            active_epoch: 0,
+            staged: None,
         }
     }
 
@@ -393,11 +492,26 @@ impl Enclave {
     /// Append `rule` to `table` (first match wins).
     pub fn install_rule(&mut self, table: TableId, spec: MatchSpec, func: FuncId) {
         assert!(func.0 < self.functions.len(), "unknown function");
+        let epoch = self.active_epoch;
         self.tables[table.0].push_rule(Rule {
             spec,
             func,
             hits: 0,
+            epoch,
         });
+    }
+
+    /// Remove rule `rule` (by position) from `table`; later rules shift
+    /// down. Returns `false` when no such rule exists.
+    pub fn remove_rule(&mut self, table: TableId, rule: usize) -> bool {
+        let Some(t) = self.tables.get_mut(table.0) else {
+            return false;
+        };
+        if rule >= t.rules.len() {
+            return false;
+        }
+        t.remove_rule(rule);
+        true
     }
 
     /// Remove all rules from `table`.
@@ -449,6 +563,308 @@ impl Enclave {
     /// the serial path (for §5.4 footprint reporting).
     pub fn last_usage(&self) -> eden_vm::Usage {
         self.pool.lane(0).usage()
+    }
+
+    // ------------------------------------------------------------------
+    // epoch-based configuration updates (two-phase, eden-ctrl)
+    // ------------------------------------------------------------------
+
+    /// Configuration epoch the data path currently serves.
+    pub fn active_epoch(&self) -> u64 {
+        self.active_epoch
+    }
+
+    /// Epoch staged by [`stage_epoch`](Self::stage_epoch), if any.
+    pub fn staged_epoch(&self) -> Option<u64> {
+        self.staged.as_ref().map(|s| s.epoch)
+    }
+
+    /// Phase one of a two-phase update: validate `ops` as a unit and hold
+    /// them ready. Nothing the data path observes changes. Every op is
+    /// checked against the configuration shape it will meet at its point
+    /// in the sequence, and every shipped program is decoded and
+    /// re-verified — any error rejects the whole epoch and leaves prior
+    /// staged state untouched only if the epoch differs; restaging the
+    /// same or a newer epoch replaces the previous staging (controller
+    /// retries are idempotent).
+    pub fn stage_epoch(&mut self, epoch: u64, ops: &[EnclaveOp]) -> Result<(), ApplyError> {
+        let ready = self.validate_ops(ops)?;
+        self.staged = Some(StagedEpoch { epoch, ops: ready });
+        Ok(())
+    }
+
+    /// Phase two: atomically apply the staged epoch. Called between
+    /// packets (the simulator's event loop never interleaves a commit
+    /// with a batch), so the data path observes the old configuration for
+    /// every packet before this call and the new one for every packet
+    /// after — never a mix. Returns `false` when `epoch` is not the
+    /// staged epoch (nothing happens); a duplicate commit of the already
+    /// active epoch is reported as success.
+    pub fn commit_epoch(&mut self, epoch: u64) -> bool {
+        match self.staged.as_ref() {
+            Some(s) if s.epoch == epoch => {}
+            _ => return self.active_epoch == epoch && self.staged.is_none(),
+        }
+        let staged = self.staged.take().expect("matched above");
+        self.active_epoch = epoch;
+        for op in staged.ops {
+            self.apply_ready(op);
+        }
+        true
+    }
+
+    /// Abort a prepared update: discard the staged epoch if it matches.
+    pub fn abort_epoch(&mut self, epoch: u64) {
+        if self.staged.as_ref().is_some_and(|s| s.epoch == epoch) {
+            self.staged = None;
+        }
+    }
+
+    /// Validate and apply one op immediately, outside any epoch (local
+    /// administration; the control plane goes through
+    /// [`stage_epoch`](Self::stage_epoch) / [`commit_epoch`](Self::commit_epoch)).
+    pub fn apply_op(&mut self, op: EnclaveOp) -> Result<(), ApplyError> {
+        let mut ready = self.validate_ops(std::slice::from_ref(&op))?;
+        self.apply_ready(ready.remove(0));
+        Ok(())
+    }
+
+    /// Every rule in every table was installed under the active epoch —
+    /// the invariant the two-phase protocol maintains; property-tested
+    /// under loss, reordering, and partitions.
+    pub fn serves_single_epoch(&self) -> bool {
+        self.tables
+            .iter()
+            .flat_map(|t| t.rules.iter())
+            .all(|r| r.epoch == self.active_epoch)
+    }
+
+    /// FNV-1a digest of the *structural* configuration: tables and rules
+    /// (spec + function index), installed functions (name, concurrency,
+    /// schema, and bytecode for interpreted functions). Runtime state and
+    /// counters are excluded, so the digest is stable across traffic. The
+    /// controller compares an enclave's reported digest against a shadow
+    /// enclave holding the desired configuration to detect drift.
+    pub fn config_digest(&self) -> u64 {
+        let mut h = Fnv::new();
+        h.write_usize(self.tables.len());
+        for t in &self.tables {
+            h.write_usize(t.rules.len());
+            for r in &t.rules {
+                match &r.spec {
+                    MatchSpec::Any => h.write_u64(1),
+                    MatchSpec::Class(c) => {
+                        h.write_u64(2);
+                        h.write_u64(u64::from(c.0));
+                    }
+                    MatchSpec::AnyOf(cs) => {
+                        h.write_u64(3);
+                        h.write_usize(cs.len());
+                        for c in cs {
+                            h.write_u64(u64::from(c.0));
+                        }
+                    }
+                }
+                h.write_usize(r.func.0);
+            }
+        }
+        h.write_usize(self.functions.len());
+        for f in &self.functions {
+            h.write_bytes(f.name.as_bytes());
+            h.write_u64(match f.concurrency {
+                Concurrency::Parallel => 0,
+                Concurrency::PerMessage => 1,
+                Concurrency::Serialized => 2,
+            });
+            h.write_usize(f.schema.fields().len());
+            for fd in f.schema.fields() {
+                h.write_bytes(fd.name.as_bytes());
+                h.write_u64(fd.slot as u64);
+            }
+            h.write_usize(f.schema.arrays().len());
+            for a in f.schema.arrays() {
+                h.write_bytes(a.name.as_bytes());
+                h.write_usize(a.stride());
+            }
+            match &f.action {
+                ActionImpl::Interpreted(p) => h.write_bytes(&eden_vm::encode_program(p)),
+                ActionImpl::Native(_) => h.write_bytes(b"<native>"),
+            }
+        }
+        h.finish()
+    }
+
+    /// Drop every table (recreating empty table 0), every function, and
+    /// all function state — the anchor of a full-replacement epoch.
+    fn reset_config(&mut self) {
+        self.tables.clear();
+        self.tables.push(MatchActionTable::default());
+        self.functions.clear();
+        self.pkt_bindings.clear();
+        self.states.clear();
+        self.lane_safe = true;
+    }
+
+    /// Current configuration shape, the starting point for validation.
+    fn shape(&self) -> ConfigShape {
+        ConfigShape {
+            rules_per_table: self.tables.iter().map(|t| t.rules.len()).collect(),
+            funcs: self
+                .functions
+                .iter()
+                .map(|f| (f.schema.scope_len(Scope::Global), f.schema.arrays().len()))
+                .collect(),
+        }
+    }
+
+    /// Check `ops` against the evolving configuration shape and decode
+    /// shipped programs; all-or-nothing.
+    fn validate_ops(&self, ops: &[EnclaveOp]) -> Result<Vec<ReadyOp>, ApplyError> {
+        let mut shape = self.shape();
+        let mut ready = Vec::with_capacity(ops.len());
+        for (i, op) in ops.iter().enumerate() {
+            let r =
+                match op {
+                    EnclaveOp::Reset => {
+                        shape.rules_per_table = vec![0];
+                        shape.funcs.clear();
+                        ReadyOp::Reset
+                    }
+                    EnclaveOp::CreateTable => {
+                        shape.rules_per_table.push(0);
+                        ReadyOp::CreateTable
+                    }
+                    EnclaveOp::ClearTable { table } => {
+                        let n = shape.rules_per_table.get_mut(*table).ok_or(
+                            ApplyError::NoSuchTable {
+                                op: i,
+                                table: *table,
+                            },
+                        )?;
+                        *n = 0;
+                        ReadyOp::ClearTable(*table)
+                    }
+                    EnclaveOp::InstallFunction {
+                        name,
+                        bytecode,
+                        schema,
+                        concurrency,
+                    } => {
+                        let f = InstalledFunction::from_shipped(
+                            name,
+                            bytecode,
+                            schema.clone(),
+                            *concurrency,
+                        )
+                        .map_err(|e| ApplyError::BadBytecode {
+                            op: i,
+                            reason: format!("{e:?}"),
+                        })?;
+                        shape
+                            .funcs
+                            .push((schema.scope_len(Scope::Global), schema.arrays().len()));
+                        ReadyOp::InstallFunction(Box::new(f))
+                    }
+                    EnclaveOp::InstallRule { table, spec, func } => {
+                        let n = shape.rules_per_table.get_mut(*table).ok_or(
+                            ApplyError::NoSuchTable {
+                                op: i,
+                                table: *table,
+                            },
+                        )?;
+                        if *func >= shape.funcs.len() {
+                            return Err(ApplyError::NoSuchFunction { op: i, func: *func });
+                        }
+                        *n += 1;
+                        ReadyOp::InstallRule {
+                            table: *table,
+                            spec: spec.clone(),
+                            func: *func,
+                        }
+                    }
+                    EnclaveOp::RemoveRule { table, rule } => {
+                        let n = shape.rules_per_table.get_mut(*table).ok_or(
+                            ApplyError::NoSuchTable {
+                                op: i,
+                                table: *table,
+                            },
+                        )?;
+                        if *rule >= *n {
+                            return Err(ApplyError::NoSuchRule { op: i, rule: *rule });
+                        }
+                        *n -= 1;
+                        ReadyOp::RemoveRule {
+                            table: *table,
+                            rule: *rule,
+                        }
+                    }
+                    EnclaveOp::SetGlobal { func, slot, value } => {
+                        let &(slots, _) = shape
+                            .funcs
+                            .get(*func)
+                            .ok_or(ApplyError::NoSuchFunction { op: i, func: *func })?;
+                        if *slot >= slots {
+                            return Err(ApplyError::NoSuchSlot { op: i, slot: *slot });
+                        }
+                        ReadyOp::SetGlobal {
+                            func: *func,
+                            slot: *slot,
+                            value: *value,
+                        }
+                    }
+                    EnclaveOp::SetArray {
+                        func,
+                        array,
+                        values,
+                    } => {
+                        let &(_, arrays) = shape
+                            .funcs
+                            .get(*func)
+                            .ok_or(ApplyError::NoSuchFunction { op: i, func: *func })?;
+                        if *array >= arrays {
+                            return Err(ApplyError::NoSuchArray {
+                                op: i,
+                                array: *array,
+                            });
+                        }
+                        ReadyOp::SetArray {
+                            func: *func,
+                            array: *array,
+                            values: values.clone(),
+                        }
+                    }
+                };
+            ready.push(r);
+        }
+        Ok(ready)
+    }
+
+    /// Apply one validated op. Infallible by construction: validation
+    /// checked every index against the shape this op meets.
+    fn apply_ready(&mut self, op: ReadyOp) {
+        match op {
+            ReadyOp::Reset => self.reset_config(),
+            ReadyOp::CreateTable => {
+                self.create_table();
+            }
+            ReadyOp::ClearTable(t) => self.clear_table(TableId(t)),
+            ReadyOp::InstallFunction(f) => {
+                self.install_function(*f);
+            }
+            ReadyOp::InstallRule { table, spec, func } => {
+                self.install_rule(TableId(table), spec, FuncId(func));
+            }
+            ReadyOp::RemoveRule { table, rule } => {
+                let removed = self.remove_rule(TableId(table), rule);
+                debug_assert!(removed, "validated rule index");
+            }
+            ReadyOp::SetGlobal { func, slot, value } => self.set_global(FuncId(func), slot, value),
+            ReadyOp::SetArray {
+                func,
+                array,
+                values,
+            } => self.set_array(FuncId(func), array, values),
+        }
     }
 
     // ------------------------------------------------------------------
@@ -1650,6 +2066,7 @@ mod tests {
                 spec,
                 func: FuncId(func),
                 hits: 0,
+                epoch: 0,
             });
         }
         assert_eq!(t.find(&[7]), Some(0));
@@ -1662,11 +2079,13 @@ mod tests {
             spec: MatchSpec::AnyOf(vec![ClassId(3)]),
             func: FuncId(0),
             hits: 0,
+            epoch: 0,
         });
         t2.push_rule(Rule {
             spec: MatchSpec::Class(ClassId(5)),
             func: FuncId(1),
             hits: 0,
+            epoch: 0,
         });
         assert_eq!(t2.find(&[5]), Some(1));
         assert_eq!(t2.find(&[3, 5]), Some(0), "earlier AnyOf wins");
@@ -1729,5 +2148,179 @@ mod tests {
             !e.parallel_eligible(11),
             "a batch that could evict must run serially"
         );
+    }
+
+    /// A Reset-led full-replacement epoch: one priority-setter function and
+    /// one Any rule, priority = `prio`.
+    fn epoch_ops(prio: u8) -> Vec<EnclaveOp> {
+        let schema =
+            Schema::new().packet_field("Priority", Access::ReadWrite, Some(HeaderField::Dot1qPcp));
+        let src = format!("fun (packet, msg, _global) -> packet.Priority <- {prio}");
+        let compiled = compile("set_prio", &src, &schema).expect("compiles");
+        vec![
+            EnclaveOp::Reset,
+            EnclaveOp::InstallFunction {
+                name: "set_prio".into(),
+                bytecode: eden_vm::encode_program(&compiled.program),
+                schema,
+                concurrency: compiled.concurrency,
+            },
+            EnclaveOp::InstallRule {
+                table: 0,
+                spec: MatchSpec::Any,
+                func: 0,
+            },
+        ]
+    }
+
+    fn run_one(e: &mut Enclave) -> u8 {
+        let mut p = Packet::udp(1, 2, netsim::UdpHeader::default(), 100);
+        let mut rng = SimRng::new(1);
+        e.process(&mut p, &mut rng, Time::ZERO);
+        p.priority()
+    }
+
+    #[test]
+    fn staged_epoch_is_invisible_until_commit() {
+        let mut e = Enclave::new(EnclaveConfig::default());
+        e.stage_epoch(1, &epoch_ops(3)).expect("valid epoch");
+        assert_eq!(e.active_epoch(), 0);
+        assert_eq!(e.staged_epoch(), Some(1));
+        assert_eq!(run_one(&mut e), 0, "staged config must not process packets");
+
+        assert!(e.commit_epoch(1));
+        assert_eq!(e.active_epoch(), 1);
+        assert_eq!(e.staged_epoch(), None);
+        assert_eq!(run_one(&mut e), 3);
+        assert!(e.serves_single_epoch());
+    }
+
+    #[test]
+    fn commit_is_idempotent_and_rejects_unknown_epochs() {
+        let mut e = Enclave::new(EnclaveConfig::default());
+        e.stage_epoch(1, &epoch_ops(3)).expect("valid");
+        assert!(!e.commit_epoch(2), "not the staged epoch");
+        assert!(e.commit_epoch(1));
+        assert!(e.commit_epoch(1), "duplicate commit of active epoch is ok");
+        assert!(!e.commit_epoch(2), "never prepared");
+    }
+
+    #[test]
+    fn abort_discards_staged_epoch() {
+        let mut e = Enclave::new(EnclaveConfig::default());
+        e.stage_epoch(1, &epoch_ops(3)).expect("valid");
+        e.abort_epoch(2);
+        assert_eq!(e.staged_epoch(), Some(1), "mismatched abort is a no-op");
+        e.abort_epoch(1);
+        assert_eq!(e.staged_epoch(), None);
+        assert!(!e.commit_epoch(1), "aborted epoch cannot commit");
+        assert_eq!(run_one(&mut e), 0);
+    }
+
+    #[test]
+    fn restaging_replaces_previous_staging() {
+        let mut e = Enclave::new(EnclaveConfig::default());
+        e.stage_epoch(1, &epoch_ops(3)).expect("valid");
+        e.stage_epoch(2, &epoch_ops(5)).expect("valid");
+        assert_eq!(e.staged_epoch(), Some(2));
+        assert!(e.commit_epoch(2));
+        assert_eq!(run_one(&mut e), 5);
+    }
+
+    #[test]
+    fn invalid_epochs_are_rejected_whole() {
+        let mut e = Enclave::new(EnclaveConfig::default());
+        let mut ops = epoch_ops(3);
+        ops.push(EnclaveOp::InstallRule {
+            table: 7,
+            spec: MatchSpec::Any,
+            func: 0,
+        });
+        let err = e.stage_epoch(1, &ops).expect_err("bad table index");
+        assert!(matches!(err, ApplyError::NoSuchTable { table: 7, .. }));
+        assert_eq!(e.staged_epoch(), None, "nothing staged on error");
+
+        let err = e
+            .stage_epoch(
+                1,
+                &[EnclaveOp::SetGlobal {
+                    func: 0,
+                    slot: 0,
+                    value: 1,
+                }],
+            )
+            .expect_err("no functions installed");
+        assert!(matches!(err, ApplyError::NoSuchFunction { func: 0, .. }));
+
+        let err = e
+            .stage_epoch(
+                1,
+                &[EnclaveOp::InstallFunction {
+                    name: "junk".into(),
+                    bytecode: vec![0xFF, 0x00, 0x13],
+                    schema: Schema::new(),
+                    concurrency: Concurrency::Parallel,
+                }],
+            )
+            .expect_err("garbage bytecode");
+        assert!(matches!(err, ApplyError::BadBytecode { .. }));
+    }
+
+    #[test]
+    fn config_digest_tracks_structure_not_counters() {
+        let mut a = Enclave::new(EnclaveConfig::default());
+        let mut b = Enclave::new(EnclaveConfig::default());
+        a.stage_epoch(1, &epoch_ops(3)).expect("valid");
+        assert!(a.commit_epoch(1));
+        b.stage_epoch(1, &epoch_ops(3)).expect("valid");
+        assert!(b.commit_epoch(1));
+        assert_eq!(a.config_digest(), b.config_digest());
+
+        // Traffic moves counters but not the digest.
+        let before = a.config_digest();
+        run_one(&mut a);
+        assert_eq!(a.config_digest(), before);
+
+        // A different program does move it.
+        let mut c = Enclave::new(EnclaveConfig::default());
+        c.stage_epoch(1, &epoch_ops(5)).expect("valid");
+        assert!(c.commit_epoch(1));
+        assert_ne!(a.config_digest(), c.config_digest());
+    }
+
+    #[test]
+    fn remove_rule_rebuilds_first_match_index() {
+        let mut e = Enclave::new(EnclaveConfig::default());
+        let schema = Schema::new().packet_field("Priority", Access::ReadWrite, None);
+        let f = e.install_function(interp_fn(
+            "fun (packet, msg, _global) -> packet.Priority <- 1",
+            schema,
+        ));
+        e.install_rule(TableId(0), MatchSpec::Class(ClassId(1)), f);
+        e.install_rule(TableId(0), MatchSpec::Class(ClassId(2)), f);
+        e.install_rule(TableId(0), MatchSpec::Any, f);
+        assert!(e.remove_rule(TableId(0), 0));
+        assert!(!e.remove_rule(TableId(0), 9), "out of range");
+        let t = &e.tables[0];
+        assert_eq!(t.find(&[2]), Some(0), "class-2 rule shifted down");
+        assert_eq!(t.find(&[1]), Some(1), "class-1 traffic now hits Any");
+        assert_eq!(t.rules.len(), 2);
+    }
+
+    #[test]
+    fn apply_op_validates_against_current_shape() {
+        let mut e = Enclave::new(EnclaveConfig::default());
+        assert!(e
+            .apply_op(EnclaveOp::InstallRule {
+                table: 0,
+                spec: MatchSpec::Any,
+                func: 0,
+            })
+            .is_err());
+        e.apply_op(EnclaveOp::CreateTable).expect("valid");
+        assert_eq!(e.tables.len(), 2);
+        e.apply_op(EnclaveOp::Reset).expect("valid");
+        assert_eq!(e.tables.len(), 1);
+        assert!(e.functions.is_empty());
     }
 }

@@ -31,6 +31,7 @@ pub mod class;
 pub mod controller;
 pub mod enclave;
 pub mod headermap;
+pub mod ops;
 pub mod stage;
 pub mod state;
 
@@ -43,5 +44,6 @@ pub use enclave::{
     MatchSpec, Rule, TableId,
 };
 pub use headermap::{read_header_field, write_header_field};
+pub use ops::{ApplyError, EnclaveOp};
 pub use stage::{FieldValue, Matcher, Stage, StageInfo, StageRule};
 pub use state::FunctionState;

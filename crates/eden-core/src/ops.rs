@@ -1,0 +1,103 @@
+//! Enclave configuration operations — the unit of control-plane updates.
+//!
+//! The paper's controller programs enclaves through a narrow API (§3.4.5);
+//! `eden-ctrl` carries that API over the wire as a sequence of
+//! [`EnclaveOp`]s grouped into an *epoch*. An epoch is staged as a whole
+//! ([`Enclave::stage_epoch`](crate::Enclave::stage_epoch)) — every op
+//! validated and every shipped program decoded and re-verified up front —
+//! and later committed atomically between packets
+//! ([`Enclave::commit_epoch`](crate::Enclave::commit_epoch)), so the data
+//! path never observes a rule table mixing configuration from two epochs.
+
+use eden_lang::{Concurrency, Schema};
+
+use crate::enclave::MatchSpec;
+
+/// One enclave configuration operation, as carried by the control plane.
+///
+/// Indices (`table`, `func`, `rule`) refer to the enclave's configuration
+/// *as of this op*, i.e. after all preceding ops in the same epoch have
+/// applied. Controller updates are normally `Reset`-led full replacements,
+/// which makes index assignment deterministic on both sides.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EnclaveOp {
+    /// Drop every table (recreating empty table 0), function, and all
+    /// function state. The anchor of a full-replacement epoch.
+    Reset,
+    /// Append an empty match-action table.
+    CreateTable,
+    /// Remove all rules from table `table`.
+    ClearTable { table: usize },
+    /// Install a compiled function shipped as verified bytecode.
+    InstallFunction {
+        name: String,
+        bytecode: Vec<u8>,
+        schema: Schema,
+        concurrency: Concurrency,
+    },
+    /// Append a rule to `table` (first match wins).
+    InstallRule {
+        table: usize,
+        spec: MatchSpec,
+        func: usize,
+    },
+    /// Remove rule `rule` (by position) from `table`; later rules shift
+    /// down by one.
+    RemoveRule { table: usize, rule: usize },
+    /// Write one global scalar of function `func`.
+    SetGlobal {
+        func: usize,
+        slot: usize,
+        value: i64,
+    },
+    /// Replace global array `array` of function `func` with flattened
+    /// `values`.
+    SetArray {
+        func: usize,
+        array: usize,
+        values: Vec<i64>,
+    },
+}
+
+/// Why an epoch failed to stage. Reported back to the controller in a
+/// `Nack`, which aborts the two-phase update cluster-wide.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ApplyError {
+    /// `table` index out of range at that point in the op sequence.
+    NoSuchTable { op: usize, table: usize },
+    /// `func` index out of range at that point in the op sequence.
+    NoSuchFunction { op: usize, func: usize },
+    /// `rule` index out of range for its table.
+    NoSuchRule { op: usize, rule: usize },
+    /// Global scalar slot out of range for the function's schema.
+    NoSuchSlot { op: usize, slot: usize },
+    /// Global array id out of range for the function's schema.
+    NoSuchArray { op: usize, array: usize },
+    /// Shipped bytecode failed to decode or re-verify.
+    BadBytecode { op: usize, reason: String },
+}
+
+impl std::fmt::Display for ApplyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ApplyError::NoSuchTable { op, table } => {
+                write!(f, "op {op}: no such table {table}")
+            }
+            ApplyError::NoSuchFunction { op, func } => {
+                write!(f, "op {op}: no such function {func}")
+            }
+            ApplyError::NoSuchRule { op, rule } => write!(f, "op {op}: no such rule {rule}"),
+            ApplyError::NoSuchSlot { op, slot } => {
+                write!(f, "op {op}: global slot {slot} out of range")
+            }
+            ApplyError::NoSuchArray { op, array } => {
+                write!(f, "op {op}: global array {array} out of range")
+            }
+            ApplyError::BadBytecode { op, reason } => {
+                write!(f, "op {op}: bad bytecode: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ApplyError {}

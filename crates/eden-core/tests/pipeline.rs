@@ -60,6 +60,45 @@ fn tagged_packet(msg_id: u64, classes: Vec<u32>, payload: usize) -> Packet {
     p
 }
 
+/// Rule removal reports success, and callers must check it: a removed
+/// rule stops classifying, a bogus id returns `false` (with a stderr
+/// warning) and changes nothing.
+#[test]
+fn remove_stage_rule_result_reflects_what_happened() {
+    let mut controller = Controller::new();
+    let mut stage = Stage::new("memcached", &["msg_type", "key"], &["msg_id", "msg_size"]);
+    let rule = controller.create_stage_rule(
+        &mut stage,
+        "r1",
+        vec![("msg_type".into(), Matcher::Exact("GET".into()))],
+        "GET",
+    );
+    let get_class = controller.class("memcached.r1.GET");
+
+    let meta = stage.classify(&[("msg_type", "GET".into()), ("msg_size", 100.into())]);
+    assert_eq!(
+        meta.classes,
+        vec![get_class.0],
+        "rule classifies while live"
+    );
+
+    assert!(
+        controller.remove_stage_rule(&mut stage, "r1", rule),
+        "existing rule removes"
+    );
+    let meta = stage.classify(&[("msg_type", "GET".into()), ("msg_size", 100.into())]);
+    assert!(meta.classes.is_empty(), "removed rule no longer classifies");
+
+    assert!(
+        !controller.remove_stage_rule(&mut stage, "r1", rule),
+        "double removal reports false"
+    );
+    assert!(
+        !controller.remove_stage_rule(&mut stage, "nope", rule),
+        "unknown rule set reports false"
+    );
+}
+
 #[test]
 fn stage_to_enclave_pias_pipeline() {
     let mut controller = Controller::new();

@@ -1,0 +1,783 @@
+//! The controller application: desired state, two-phase pushes, failure
+//! detection, and reconciliation — all driven by one periodic timer.
+//!
+//! [`ControllerApp`] runs as a [`transport::App`] on an ordinary host, so
+//! every control message pays real wire time on the same links the data
+//! plane uses (§3.2: the controller "communicates with enclaves over the
+//! network"). The state machine:
+//!
+//! * **Desired state** is a Reset-led op list tagged with an epoch. A
+//!   shadow enclave on the controller replays it, which both validates the
+//!   ops before anything touches the wire and yields the expected config
+//!   digest for convergence checks.
+//! * **Pushes are two-phase**: `Prepare` to every live host, and only when
+//!   *all* of them ack does `Commit` go out — so the fleet can never serve
+//!   a mix of old and new epochs because half the hosts raced ahead. A
+//!   `Nack` aborts the round everywhere and rolls desired state back.
+//! * **Failure detection** is heartbeat-driven: a host that stays silent
+//!   past `fail_after` is marked [`HostStatus::Down`] and dropped from the
+//!   current round (2PC over an asynchronous network cannot wait forever);
+//!   heartbeats keep flowing so its rejoin is noticed.
+//! * **Reconciliation** closes the loop: every pong carries the host's
+//!   epoch + digest, and any host that differs from desired state while no
+//!   round is active gets an individual prepare/commit resync — this is
+//!   how a partitioned host catches up after the partition heals.
+//!
+//! Message loss is handled with per-request retries under exponential
+//! backoff with jitter; message ids correlate replies, so a late duplicate
+//! ack can never be mistaken for the answer to a newer request.
+//!
+//! The driver must kick the timer wheel once:
+//!
+//! ```ignore
+//! net.schedule_timer(ctrl_node, Time::ZERO, transport::app_timer_token(eden_ctrl::TICK));
+//! ```
+
+use eden_core::{ApplyError, Enclave, EnclaveConfig, EnclaveOp};
+use eden_telemetry::{ClusterStats, HostReport};
+use netsim::{Ctx, Packet, Time, UdpHeader};
+use transport::{App, Stack};
+
+use crate::proto::{self, AckPhase, CtrlMsg, CtrlReply, Reassembler};
+
+/// Timer payload of the controller's periodic tick (pass through
+/// [`transport::app_timer_token`] when scheduling the first one).
+pub const TICK: u64 = 0x71C4;
+
+/// Timing and port knobs. The defaults suit the workspace's default
+/// fabric (10 Gb/s links, microsecond propagation); everything scales
+/// linearly if a scenario runs slower links.
+#[derive(Debug, Clone)]
+pub struct CtrlConfig {
+    /// UDP port the enclave agents listen on (`Stack::set_ctrl_port`).
+    pub ctrl_port: u16,
+    /// UDP source port for controller-originated messages.
+    pub src_port: u16,
+    /// Cadence of the controller's internal tick.
+    pub tick_every: Time,
+    /// Heartbeat interval per host.
+    pub heartbeat_every: Time,
+    /// Stats-pull interval per host; `Time::ZERO` disables pulling.
+    pub stats_every: Time,
+    /// First retransmit delay; doubles per retry (plus jitter).
+    pub retry_base: Time,
+    /// Retransmit delay ceiling.
+    pub retry_max: Time,
+    /// Retransmits before the controller gives up on a request and marks
+    /// the host down.
+    pub max_retries: u32,
+    /// Silence threshold for failure detection.
+    pub fail_after: Time,
+}
+
+impl Default for CtrlConfig {
+    fn default() -> CtrlConfig {
+        CtrlConfig {
+            ctrl_port: 799,
+            src_port: 7990,
+            tick_every: Time::from_micros(100),
+            heartbeat_every: Time::from_micros(1_000),
+            stats_every: Time::ZERO,
+            retry_base: Time::from_micros(500),
+            retry_max: Time::from_micros(10_000),
+            max_retries: 10,
+            fail_after: Time::from_micros(5_000),
+        }
+    }
+}
+
+/// Liveness verdict for one managed host.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HostStatus {
+    /// Answering heartbeats (or not yet past the silence threshold).
+    Up,
+    /// Silent past `fail_after`, or exhausted a request's retries.
+    Down,
+}
+
+/// Whether an in-flight request belongs to a cluster-wide round or a
+/// single-host resync.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Origin {
+    Round,
+    Resync,
+}
+
+#[derive(Debug)]
+struct Inflight {
+    msg_id: u32,
+    msg: CtrlMsg,
+    phase: AckPhase,
+    origin: Origin,
+    retries: u32,
+    next_retry: Time,
+}
+
+#[derive(Debug)]
+struct HostState {
+    addr: u32,
+    status: HostStatus,
+    last_heard: Time,
+    ever_heard: bool,
+    /// Last `(epoch, digest)` the host reported (pong or stats).
+    reported: Option<(u64, u64)>,
+    inflight: Option<Inflight>,
+    next_heartbeat: Time,
+    /// Earliest time the reconciler may try this host again after a
+    /// failed resync (doubles per failure, resets on success).
+    next_resync: Time,
+    resync_backoff: Time,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum RoundPhase {
+    Preparing,
+    Committing,
+    Aborting,
+}
+
+#[derive(Debug)]
+struct Round {
+    epoch: u64,
+    phase: RoundPhase,
+    /// Hosts whose ack for the current phase is still outstanding.
+    pending: Vec<u32>,
+    /// Hosts that acked `Prepare` (the commit/abort fan-out set).
+    acked: Vec<u32>,
+}
+
+/// One version of desired state.
+struct DesiredEntry {
+    epoch: u64,
+    ops: Vec<EnclaveOp>,
+    digest: u64,
+}
+
+/// The cluster controller, run as a host [`App`].
+pub struct ControllerApp {
+    cfg: CtrlConfig,
+    /// Compilation front end, for building [`EnclaveOp`] lists
+    /// (`core.plan_function(...)`).
+    pub core: eden_core::Controller,
+    hosts: Vec<HostState>,
+    /// Desired-state history; the last entry is current. Kept so a
+    /// nacked round can roll back to the previous version.
+    history: Vec<DesiredEntry>,
+    /// Shadow enclave replaying desired state (validation + digest).
+    shadow: Enclave,
+    round: Option<Round>,
+    /// Set by [`set_desired`](Self::set_desired); the next tick opens the
+    /// round (sending needs the stack, which only event handlers hold).
+    want_round: bool,
+    cluster: ClusterStats,
+    reasm: Reassembler,
+    msg_seq: u32,
+    nonce_seq: u64,
+    next_stats: Time,
+}
+
+impl ControllerApp {
+    /// A controller managing the enclave agents at `hosts`.
+    pub fn new(cfg: CtrlConfig, hosts: &[u32]) -> ControllerApp {
+        let shadow = Enclave::new(EnclaveConfig::default());
+        let history = vec![DesiredEntry {
+            epoch: 0,
+            ops: Vec::new(),
+            digest: shadow.config_digest(),
+        }];
+        ControllerApp {
+            cfg,
+            core: eden_core::Controller::new(),
+            hosts: hosts
+                .iter()
+                .map(|&addr| HostState {
+                    addr,
+                    status: HostStatus::Up,
+                    last_heard: Time::ZERO,
+                    ever_heard: false,
+                    reported: None,
+                    inflight: None,
+                    next_heartbeat: Time::ZERO,
+                    next_resync: Time::ZERO,
+                    resync_backoff: Time::ZERO,
+                })
+                .collect(),
+            history,
+            shadow,
+            round: None,
+            want_round: false,
+            cluster: ClusterStats::new(),
+            reasm: Reassembler::default(),
+            msg_seq: 0,
+            nonce_seq: 0,
+            next_stats: Time::ZERO,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // public surface
+    // ------------------------------------------------------------------
+
+    /// Replace desired state with `ops` (validated against the shadow
+    /// enclave first). Returns the new epoch; the push itself starts on
+    /// the next tick. `ops` should be Reset-led — a full description of
+    /// the intended configuration — so that resyncing a diverged host is
+    /// always a plain replay.
+    pub fn set_desired(&mut self, ops: Vec<EnclaveOp>) -> Result<u64, ApplyError> {
+        let epoch = self.desired().epoch + 1;
+        self.shadow.stage_epoch(epoch, &ops)?;
+        assert!(self.shadow.commit_epoch(epoch));
+        let digest = self.shadow.config_digest();
+        self.history.push(DesiredEntry { epoch, ops, digest });
+        self.want_round = true;
+        Ok(epoch)
+    }
+
+    /// The epoch the cluster should converge to.
+    pub fn desired_epoch(&self) -> u64 {
+        self.desired().epoch
+    }
+
+    /// The config digest every host should report at convergence.
+    pub fn desired_digest(&self) -> u64 {
+        self.desired().digest
+    }
+
+    /// Whether every managed host has *reported* the desired epoch and
+    /// digest — the convergence predicate benchmarks wait on. Down hosts
+    /// count: convergence requires the whole fleet.
+    pub fn all_in_sync(&self) -> bool {
+        self.hosts.len() == self.in_sync_count()
+    }
+
+    /// How many hosts currently report the desired epoch + digest.
+    pub fn in_sync_count(&self) -> usize {
+        let want = (self.desired().epoch, self.desired().digest);
+        self.hosts
+            .iter()
+            .filter(|h| h.reported == Some(want))
+            .count()
+    }
+
+    /// Liveness verdict for `addr` (None if unmanaged).
+    pub fn host_status(&self, addr: u32) -> Option<HostStatus> {
+        self.hosts.iter().find(|h| h.addr == addr).map(|h| h.status)
+    }
+
+    /// Whether a cluster-wide update round is still in flight.
+    pub fn round_active(&self) -> bool {
+        self.round.is_some() || self.want_round
+    }
+
+    /// Aggregated per-host stats (filled by `stats_every` pulls).
+    pub fn cluster(&self) -> &ClusterStats {
+        &self.cluster
+    }
+
+    // ------------------------------------------------------------------
+    // internals
+    // ------------------------------------------------------------------
+
+    fn desired(&self) -> &DesiredEntry {
+        self.history.last().expect("history never empty")
+    }
+
+    fn digest_of(&self, epoch: u64) -> Option<u64> {
+        self.history
+            .iter()
+            .find(|e| e.epoch == epoch)
+            .map(|e| e.digest)
+    }
+
+    /// Send `msg` to `to` as one or more control frames, returning the
+    /// message id (which replies echo as `re`).
+    fn send(
+        seq: &mut u32,
+        cfg: &CtrlConfig,
+        to: u32,
+        msg: &CtrlMsg,
+        stack: &mut Stack,
+        ctx: &mut Ctx<'_>,
+    ) -> u32 {
+        *seq = seq.wrapping_add(1);
+        let id = *seq;
+        let udp = UdpHeader {
+            src_port: cfg.src_port,
+            dst_port: cfg.ctrl_port,
+        };
+        for frame in proto::fragment(id, &proto::encode_msg(msg)) {
+            stack.send_raw(Packet::ctrl(stack.addr, to, udp, frame), ctx);
+        }
+        id
+    }
+
+    /// Install `msg` as the host's tracked request and transmit it.
+    fn send_tracked(
+        &mut self,
+        host_idx: usize,
+        msg: CtrlMsg,
+        phase: AckPhase,
+        origin: Origin,
+        stack: &mut Stack,
+        ctx: &mut Ctx<'_>,
+    ) {
+        let to = self.hosts[host_idx].addr;
+        let id = Self::send(&mut self.msg_seq, &self.cfg, to, &msg, stack, ctx);
+        let jitter = Time::from_nanos(ctx.rng().below(self.cfg.retry_base.as_nanos() / 2 + 1));
+        self.hosts[host_idx].inflight = Some(Inflight {
+            msg_id: id,
+            msg,
+            phase,
+            origin,
+            retries: 0,
+            next_retry: ctx.now() + self.cfg.retry_base + jitter,
+        });
+    }
+
+    fn tick(&mut self, stack: &mut Stack, ctx: &mut Ctx<'_>) {
+        let now = ctx.now();
+
+        // Failure detection: silence past the threshold takes a host out
+        // of the current round (and marks it Down). Heartbeats continue,
+        // so a later pong flips it back Up.
+        for i in 0..self.hosts.len() {
+            let silent = now
+                .as_nanos()
+                .saturating_sub(self.hosts[i].last_heard.as_nanos())
+                > self.cfg.fail_after.as_nanos();
+            if self.hosts[i].status == HostStatus::Up && silent {
+                self.mark_down(i);
+            }
+        }
+
+        // Heartbeats (fire-and-forget; the reply, not the send, is
+        // tracked — via last_heard).
+        for i in 0..self.hosts.len() {
+            if now >= self.hosts[i].next_heartbeat {
+                self.nonce_seq += 1;
+                let msg = CtrlMsg::Heartbeat {
+                    nonce: self.nonce_seq,
+                };
+                let to = self.hosts[i].addr;
+                Self::send(&mut self.msg_seq, &self.cfg, to, &msg, stack, ctx);
+                self.hosts[i].next_heartbeat = now + self.cfg.heartbeat_every;
+            }
+        }
+
+        // Periodic stats pulls.
+        if self.cfg.stats_every > Time::ZERO && now >= self.next_stats {
+            for i in 0..self.hosts.len() {
+                if self.hosts[i].status == HostStatus::Up {
+                    let to = self.hosts[i].addr;
+                    Self::send(
+                        &mut self.msg_seq,
+                        &self.cfg,
+                        to,
+                        &CtrlMsg::PullStats,
+                        stack,
+                        ctx,
+                    );
+                }
+            }
+            self.next_stats = now + self.cfg.stats_every;
+        }
+
+        // Retransmits, with exponential backoff + jitter. Exhausted
+        // retries count as host failure.
+        for i in 0..self.hosts.len() {
+            let Some(inflight) = self.hosts[i].inflight.as_ref() else {
+                continue;
+            };
+            if now < inflight.next_retry {
+                continue;
+            }
+            if inflight.retries >= self.cfg.max_retries {
+                self.mark_down(i);
+                continue;
+            }
+            let to = self.hosts[i].addr;
+            let msg = self.hosts[i].inflight.as_ref().unwrap().msg.clone();
+            // Retries reuse the message id: the agent-side reassembler
+            // and handlers are idempotent, and the reply still correlates.
+            let id = self.hosts[i].inflight.as_ref().unwrap().msg_id;
+            let udp = UdpHeader {
+                src_port: self.cfg.src_port,
+                dst_port: self.cfg.ctrl_port,
+            };
+            for frame in proto::fragment(id, &proto::encode_msg(&msg)) {
+                stack.send_raw(Packet::ctrl(stack.addr, to, udp, frame), ctx);
+            }
+            let inflight = self.hosts[i].inflight.as_mut().unwrap();
+            inflight.retries += 1;
+            let base = self.cfg.retry_base.as_nanos() << inflight.retries.min(20);
+            let backoff = Time::from_nanos(base.min(self.cfg.retry_max.as_nanos()));
+            let jitter = Time::from_nanos(ctx.rng().below(self.cfg.retry_base.as_nanos() / 2 + 1));
+            self.hosts[i].inflight.as_mut().unwrap().next_retry = now + backoff + jitter;
+        }
+
+        // A Preparing round whose last pending host was just marked down
+        // needs its phase pushed here (mark_down cannot send).
+        self.push_round_phase(stack, ctx);
+
+        // Open a pending cluster round.
+        if self.want_round && self.round.is_none() {
+            self.want_round = false;
+            self.open_round(stack, ctx);
+        }
+
+        // Reconciliation: with no round in flight, any host whose report
+        // differs from desired gets an individual resync.
+        if self.round.is_none() {
+            self.reconcile(stack, ctx);
+        }
+
+        ctx.timer_in(self.cfg.tick_every, transport::app_timer_token(TICK));
+    }
+
+    fn mark_down(&mut self, i: usize) {
+        self.hosts[i].status = HostStatus::Down;
+        self.hosts[i].inflight = None;
+        let addr = self.hosts[i].addr;
+        if let Some(round) = self.round.as_mut() {
+            round.pending.retain(|&a| a != addr);
+        }
+        self.advance_round_if_done();
+    }
+
+    fn open_round(&mut self, stack: &mut Stack, ctx: &mut Ctx<'_>) {
+        let epoch = self.desired().epoch;
+        let ops = self.desired().ops.clone();
+        let targets: Vec<usize> = (0..self.hosts.len())
+            .filter(|&i| self.hosts[i].status == HostStatus::Up)
+            .collect();
+        if targets.is_empty() {
+            // Nobody reachable: desired state stands, reconciliation
+            // will push it to hosts as they come back.
+            return;
+        }
+        let mut pending = Vec::with_capacity(targets.len());
+        for i in targets {
+            // An individual resync in flight is superseded by the round.
+            self.send_tracked(
+                i,
+                CtrlMsg::Prepare {
+                    epoch,
+                    ops: ops.clone(),
+                },
+                AckPhase::Prepare,
+                Origin::Round,
+                stack,
+                ctx,
+            );
+            pending.push(self.hosts[i].addr);
+        }
+        self.round = Some(Round {
+            epoch,
+            phase: RoundPhase::Preparing,
+            pending,
+            acked: Vec::new(),
+        });
+    }
+
+    fn reconcile(&mut self, stack: &mut Stack, ctx: &mut Ctx<'_>) {
+        let now = ctx.now();
+        let want = (self.desired().epoch, self.desired().digest);
+        for i in 0..self.hosts.len() {
+            let h = &self.hosts[i];
+            if h.status != HostStatus::Up || h.inflight.is_some() || now < h.next_resync {
+                continue;
+            }
+            let Some(reported) = h.reported else {
+                continue; // never heard: wait for the first pong
+            };
+            if reported == want {
+                continue;
+            }
+            if reported.0 >= want.0 {
+                // Same (or newer) epoch but wrong digest: the host
+                // diverged. Re-issue desired state under a fresh epoch so
+                // a plain prepare/commit replay heals the whole fleet.
+                let entry = self.desired();
+                let epoch = reported.0 + 1;
+                let ops = entry.ops.clone();
+                self.shadow
+                    .stage_epoch(epoch, &ops)
+                    .expect("desired ops validated when set");
+                assert!(self.shadow.commit_epoch(epoch));
+                let digest = self.shadow.config_digest();
+                self.history.push(DesiredEntry { epoch, ops, digest });
+                self.want_round = true;
+                return;
+            }
+            let epoch = want.0;
+            let ops = self.desired().ops.clone();
+            self.send_tracked(
+                i,
+                CtrlMsg::Prepare { epoch, ops },
+                AckPhase::Prepare,
+                Origin::Resync,
+                stack,
+                ctx,
+            );
+        }
+    }
+
+    fn advance_round_if_done(&mut self) {
+        let Some(round) = self.round.as_ref() else {
+            return;
+        };
+        if !round.pending.is_empty() {
+            return;
+        }
+        match round.phase {
+            // Phase transitions that need the stack are handled where the
+            // triggering ack arrives (handle_reply); an empty pending set
+            // reached via mark_down on the *last* pending host is resolved
+            // on the next ack or tick through round_needs_push.
+            RoundPhase::Preparing => {}
+            RoundPhase::Committing | RoundPhase::Aborting => {
+                self.round = None;
+            }
+        }
+    }
+
+    /// Move a fully prepare-acked round into its commit fan-out. Called
+    /// from contexts that hold the stack.
+    fn push_round_phase(&mut self, stack: &mut Stack, ctx: &mut Ctx<'_>) {
+        let Some(round) = self.round.as_ref() else {
+            return;
+        };
+        if round.phase != RoundPhase::Preparing || !round.pending.is_empty() {
+            return;
+        }
+        let epoch = round.epoch;
+        let acked = round.acked.clone();
+        if acked.is_empty() {
+            // Every target died mid-prepare; nothing to commit.
+            self.round = None;
+            return;
+        }
+        let mut pending = Vec::with_capacity(acked.len());
+        for addr in acked {
+            if let Some(i) = self.hosts.iter().position(|h| h.addr == addr) {
+                if self.hosts[i].status != HostStatus::Up {
+                    continue;
+                }
+                self.send_tracked(
+                    i,
+                    CtrlMsg::Commit { epoch },
+                    AckPhase::Commit,
+                    Origin::Round,
+                    stack,
+                    ctx,
+                );
+                pending.push(addr);
+            }
+        }
+        let round = self.round.as_mut().unwrap();
+        round.phase = RoundPhase::Committing;
+        round.pending = pending;
+        self.advance_round_if_done();
+    }
+
+    /// A prepare was nacked: abort everywhere and roll desired state back.
+    fn abort_round(&mut self, stack: &mut Stack, ctx: &mut Ctx<'_>) {
+        let Some(round) = self.round.as_ref() else {
+            return;
+        };
+        let epoch = round.epoch;
+        // Roll back desired state (the initial entry always stays).
+        if self.history.len() > 1 && self.desired().epoch == epoch {
+            self.history.pop();
+            self.rebuild_shadow();
+        }
+        let scope: Vec<u32> = self
+            .hosts
+            .iter()
+            .filter(|h| h.status == HostStatus::Up)
+            .map(|h| h.addr)
+            .collect();
+        let mut pending = Vec::with_capacity(scope.len());
+        for addr in scope {
+            let i = self.hosts.iter().position(|h| h.addr == addr).unwrap();
+            self.send_tracked(
+                i,
+                CtrlMsg::Abort { epoch },
+                AckPhase::Abort,
+                Origin::Round,
+                stack,
+                ctx,
+            );
+            pending.push(addr);
+        }
+        let round = self.round.as_mut().unwrap();
+        round.phase = RoundPhase::Aborting;
+        round.pending = pending;
+        round.acked.clear();
+        self.advance_round_if_done();
+    }
+
+    /// Reset the shadow enclave to the (possibly rolled-back) desired
+    /// entry by replaying it from scratch.
+    fn rebuild_shadow(&mut self) {
+        let mut shadow = Enclave::new(EnclaveConfig::default());
+        let entry = self.desired();
+        if entry.epoch > 0 {
+            shadow
+                .stage_epoch(entry.epoch, &entry.ops)
+                .expect("desired ops validated when set");
+            assert!(shadow.commit_epoch(entry.epoch));
+        }
+        self.shadow = shadow;
+    }
+
+    fn handle_reply(&mut self, from: u32, reply: CtrlReply, stack: &mut Stack, ctx: &mut Ctx<'_>) {
+        let now = ctx.now();
+        let Some(i) = self.hosts.iter().position(|h| h.addr == from) else {
+            return; // not one of ours
+        };
+        self.hosts[i].last_heard = now;
+        self.hosts[i].ever_heard = true;
+        if self.hosts[i].status == HostStatus::Down {
+            self.hosts[i].status = HostStatus::Up;
+        }
+        match reply {
+            CtrlReply::Pong { epoch, digest, .. } => {
+                self.hosts[i].reported = Some((epoch, digest));
+            }
+            CtrlReply::Stats {
+                epoch,
+                digest,
+                captured_at_ns,
+                counters,
+                ..
+            } => {
+                self.hosts[i].reported = Some((epoch, digest));
+                self.cluster.record(HostReport {
+                    host: from,
+                    epoch,
+                    digest,
+                    captured_at_ns,
+                    enclave: counters,
+                });
+            }
+            CtrlReply::Ack { re, epoch, phase } => {
+                let matches = self.hosts[i]
+                    .inflight
+                    .as_ref()
+                    .is_some_and(|f| f.msg_id == re && f.phase == phase);
+                if !matches {
+                    return; // stale or duplicate ack
+                }
+                let origin = self.hosts[i].inflight.as_ref().unwrap().origin;
+                self.hosts[i].inflight = None;
+                match (origin, phase) {
+                    (Origin::Round, AckPhase::Prepare) => {
+                        if let Some(round) = self.round.as_mut() {
+                            round.pending.retain(|&a| a != from);
+                            round.acked.push(from);
+                        }
+                        self.push_round_phase(stack, ctx);
+                    }
+                    (Origin::Round, AckPhase::Commit) => {
+                        let digest = self.digest_of(epoch);
+                        if let Some(d) = digest {
+                            self.hosts[i].reported = Some((epoch, d));
+                        }
+                        if let Some(round) = self.round.as_mut() {
+                            round.pending.retain(|&a| a != from);
+                        }
+                        self.advance_round_if_done();
+                    }
+                    (Origin::Round, AckPhase::Abort) => {
+                        if let Some(round) = self.round.as_mut() {
+                            round.pending.retain(|&a| a != from);
+                        }
+                        self.advance_round_if_done();
+                    }
+                    (Origin::Resync, AckPhase::Prepare) => {
+                        self.send_tracked(
+                            i,
+                            CtrlMsg::Commit { epoch },
+                            AckPhase::Commit,
+                            Origin::Resync,
+                            stack,
+                            ctx,
+                        );
+                    }
+                    (Origin::Resync, AckPhase::Commit) => {
+                        if let Some(d) = self.digest_of(epoch) {
+                            self.hosts[i].reported = Some((epoch, d));
+                        }
+                        self.hosts[i].resync_backoff = Time::ZERO;
+                        self.hosts[i].next_resync = now;
+                    }
+                    (Origin::Resync, AckPhase::Abort) => {}
+                }
+            }
+            CtrlReply::Nack { re, .. } => {
+                let matches = self.hosts[i]
+                    .inflight
+                    .as_ref()
+                    .is_some_and(|f| f.msg_id == re);
+                if !matches {
+                    return;
+                }
+                let (origin, phase) = {
+                    let f = self.hosts[i].inflight.as_ref().unwrap();
+                    (f.origin, f.phase)
+                };
+                self.hosts[i].inflight = None;
+                match (origin, phase) {
+                    (Origin::Round, AckPhase::Prepare) => self.abort_round(stack, ctx),
+                    (Origin::Round, _) => {
+                        // A commit/abort nack means the host lost its
+                        // staging (e.g. rebooted mid-round). Drop it from
+                        // the round; reconciliation will resync it.
+                        if let Some(round) = self.round.as_mut() {
+                            round.pending.retain(|&a| a != from);
+                        }
+                        self.advance_round_if_done();
+                    }
+                    (Origin::Resync, _) => {
+                        // Back off before retrying this host so a
+                        // persistently unhappy host cannot hot-loop.
+                        let b = self.hosts[i].resync_backoff.as_nanos();
+                        let next = (b * 2).clamp(
+                            self.cfg.retry_base.as_nanos(),
+                            self.cfg.fail_after.as_nanos() * 4,
+                        );
+                        self.hosts[i].resync_backoff = Time::from_nanos(next);
+                        self.hosts[i].next_resync = now + Time::from_nanos(next);
+                    }
+                }
+            }
+        }
+        // A round stuck in Preparing with an emptied pending set (last
+        // pending host died) still needs its push.
+        self.push_round_phase(stack, ctx);
+    }
+}
+
+impl App for ControllerApp {
+    fn on_timer(&mut self, token: u64, stack: &mut Stack, ctx: &mut Ctx<'_>) {
+        if token == TICK {
+            self.tick(stack, ctx);
+        }
+    }
+
+    fn on_raw(&mut self, packet: Packet, stack: &mut Stack, ctx: &mut Ctx<'_>) {
+        let Some(frame) = packet.ctrl.as_deref() else {
+            return;
+        };
+        let from = packet.ip.src;
+        let payload = match self.reasm.accept(from, frame) {
+            Ok(Some(p)) => p,
+            Ok(None) | Err(_) => return,
+        };
+        let Ok(reply) = proto::decode_reply(&payload) else {
+            return;
+        };
+        self.handle_reply(from, reply, stack, ctx);
+    }
+}

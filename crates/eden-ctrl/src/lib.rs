@@ -1,0 +1,48 @@
+//! # eden-ctrl — the distributed control plane
+//!
+//! The paper's architecture (§3) is a *logically centralized* controller
+//! managing enclaves that live on every end host. Earlier layers of this
+//! reproduction wired controller and enclave together in one process;
+//! this crate separates them by a network: the controller runs as an
+//! application on one simulated host ([`ControllerApp`]), each managed
+//! enclave is wrapped in an [`EnclaveAgent`] answering a control endpoint
+//! on its host's stack, and everything they say to each other is
+//! serialized ([`proto`]), fragmented to MTU-sized frames, and carried
+//! *in-band* over the same links as data traffic.
+//!
+//! Three guarantees the crate is built around:
+//!
+//! 1. **Atomic updates.** Configuration changes ship as whole epochs via
+//!    two-phase commit — validate-and-stage on every host, then commit.
+//!    A data-path batch on any host always runs against exactly one
+//!    epoch's rule table, and a nack anywhere aborts the round everywhere.
+//! 2. **Failure detection.** Heartbeats with epoch/digest piggybacked;
+//!    silence past a threshold (or an exhausted retry budget) marks a
+//!    host down without stalling updates for the rest of the fleet.
+//! 3. **Convergence.** The controller holds desired state and reconciles
+//!    any host that reports a different epoch or digest — a partitioned
+//!    host catches up automatically once its links heal, with bounded
+//!    retry backoff on every path (no livelock).
+//!
+//! Bootstrap sketch (see `examples/ctrl_cluster.rs` for the full
+//! version):
+//!
+//! ```ignore
+//! // each managed host: enclave behind an agent, ctrl endpoint open
+//! let mut stack = Stack::new(addr, StackConfig::default());
+//! stack.set_hook(Box::new(EnclaveAgent::new(Enclave::new(cfg))));
+//! stack.set_ctrl_port(CtrlConfig::default().ctrl_port);
+//!
+//! // the controller host: an ordinary App
+//! let ctrl = ControllerApp::new(CtrlConfig::default(), &[h1, h2, h3]);
+//! // ...build Network, then kick the controller's timer wheel:
+//! net.schedule_timer(ctrl_node, Time::ZERO, transport::app_timer_token(TICK));
+//! ```
+
+pub mod agent;
+pub mod controller;
+pub mod proto;
+
+pub use agent::EnclaveAgent;
+pub use controller::{ControllerApp, CtrlConfig, HostStatus, TICK};
+pub use proto::{AckPhase, CtrlMsg, CtrlReply, ProtoError, Reassembler};

@@ -1,0 +1,971 @@
+//! The control-plane wire protocol: messages, replies, and fragmentation.
+//!
+//! Control traffic is *in-band* — frames ride the same links as data
+//! packets (as UDP payloads, see [`netsim::Packet::ctrl`]) and therefore
+//! respect the 1500-byte MTU. A logical message is encoded to bytes here,
+//! split into numbered fragments by [`fragment`], and put back together by
+//! a [`Reassembler`] on the far side. Retransmissions reuse the message id,
+//! so duplicate and reordered fragments are harmless; receivers must treat
+//! duplicate *messages* as idempotent (every handler in this crate does).
+//!
+//! Encoding is hand-rolled little-endian TLV — the workspace builds
+//! offline, and the message set is small enough that a serde dependency
+//! would be all cost.
+
+use eden_core::{ClassId, EnclaveOp, MatchSpec};
+use eden_lang::{Access, Concurrency, HeaderField, Schema};
+use eden_telemetry::EnclaveCounters;
+
+/// First two bytes of every control frame.
+pub const MAGIC: u16 = 0xED0C;
+
+/// Fragment header: magic (2) + msg id (4) + index (2) + count (2).
+pub const FRAG_HEADER: usize = 10;
+
+/// Payload bytes per fragment. With UDP (8) + IPv4 (20) + the header this
+/// stays well under a 1500-byte MTU while still exercising multi-fragment
+/// reassembly for any realistic program push.
+pub const MAX_CHUNK: usize = 1024;
+
+/// Controller → enclave-agent messages. `InstallFunction` / `InstallRule`
+/// / `RemoveRule` travel as [`EnclaveOp`]s inside `Prepare`: configuration
+/// only ever changes as an epoch, never as a lone op on the wire.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CtrlMsg {
+    /// Phase one of a two-phase update: validate and hold `ops` as epoch
+    /// `epoch`. Re-sending (retry) restages and re-acks.
+    Prepare { epoch: u64, ops: Vec<EnclaveOp> },
+    /// Phase two: atomically apply the staged epoch.
+    Commit { epoch: u64 },
+    /// Roll back a prepared epoch.
+    Abort { epoch: u64 },
+    /// Liveness probe; also carries the reconciliation state in its reply.
+    Heartbeat { nonce: u64 },
+    /// Ask for the enclave's counters.
+    PullStats,
+}
+
+/// Which request an [`CtrlReply::Ack`] acknowledges.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AckPhase {
+    Prepare,
+    Commit,
+    Abort,
+}
+
+/// Enclave-agent → controller replies. Every reply carries `re`, the
+/// message id of the request it answers, so a late duplicate reply can
+/// never be mistaken for the answer to a newer request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CtrlReply {
+    /// The request succeeded; `epoch` echoes the request's epoch.
+    Ack {
+        re: u32,
+        epoch: u64,
+        phase: AckPhase,
+    },
+    /// The request failed (validation error, unknown epoch, …).
+    Nack { re: u32, epoch: u64, reason: String },
+    /// Heartbeat reply: the enclave's served epoch and config digest.
+    Pong {
+        re: u32,
+        nonce: u64,
+        epoch: u64,
+        digest: u64,
+    },
+    /// Stats reply.
+    Stats {
+        re: u32,
+        epoch: u64,
+        digest: u64,
+        captured_at_ns: u64,
+        counters: EnclaveCounters,
+    },
+}
+
+/// Decode failures. A malformed frame or message is dropped by the
+/// receiver — the sender's retry (same message id) covers the loss.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProtoError {
+    Truncated,
+    BadMagic,
+    BadTag(u8),
+    BadString,
+    BadFragment,
+}
+
+impl std::fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProtoError::Truncated => write!(f, "truncated message"),
+            ProtoError::BadMagic => write!(f, "bad frame magic"),
+            ProtoError::BadTag(t) => write!(f, "unknown tag {t}"),
+            ProtoError::BadString => write!(f, "invalid utf-8 string"),
+            ProtoError::BadFragment => write!(f, "inconsistent fragment header"),
+        }
+    }
+}
+
+impl std::error::Error for ProtoError {}
+
+// ----------------------------------------------------------------------
+// byte reader/writer
+// ----------------------------------------------------------------------
+
+#[derive(Default)]
+struct Writer(Vec<u8>);
+
+impl Writer {
+    fn u8(&mut self, v: u8) {
+        self.0.push(v);
+    }
+    fn u16(&mut self, v: u16) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u32(&mut self, v: u32) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u64(&mut self, v: u64) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+    fn i64(&mut self, v: i64) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+    fn bytes(&mut self, v: &[u8]) {
+        self.u32(v.len() as u32);
+        self.0.extend_from_slice(v);
+    }
+    fn str(&mut self, v: &str) {
+        self.bytes(v.as_bytes());
+    }
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Reader<'a> {
+        Reader { buf, pos: 0 }
+    }
+    fn take(&mut self, n: usize) -> Result<&'a [u8], ProtoError> {
+        if self.buf.len() - self.pos < n {
+            return Err(ProtoError::Truncated);
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+    fn u8(&mut self) -> Result<u8, ProtoError> {
+        Ok(self.take(1)?[0])
+    }
+    fn u16(&mut self) -> Result<u16, ProtoError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+    fn u32(&mut self) -> Result<u32, ProtoError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+    fn u64(&mut self) -> Result<u64, ProtoError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+    fn i64(&mut self) -> Result<i64, ProtoError> {
+        Ok(i64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+    fn bytes(&mut self) -> Result<&'a [u8], ProtoError> {
+        let n = self.u32()? as usize;
+        self.take(n)
+    }
+    fn str(&mut self) -> Result<String, ProtoError> {
+        let b = self.bytes()?;
+        String::from_utf8(b.to_vec()).map_err(|_| ProtoError::BadString)
+    }
+}
+
+// ----------------------------------------------------------------------
+// schema / op codecs
+// ----------------------------------------------------------------------
+
+fn header_to_u8(h: HeaderField) -> u8 {
+    match h {
+        HeaderField::Ipv4TotalLength => 0,
+        HeaderField::Ipv4Src => 1,
+        HeaderField::Ipv4Dst => 2,
+        HeaderField::Ipv4Protocol => 3,
+        HeaderField::Ipv4Dscp => 4,
+        HeaderField::SrcPort => 5,
+        HeaderField::DstPort => 6,
+        HeaderField::TcpSeq => 7,
+        HeaderField::Dot1qPcp => 8,
+        HeaderField::Dot1qVid => 9,
+        HeaderField::MetaMsgId => 10,
+        HeaderField::MetaMsgType => 11,
+        HeaderField::MetaMsgSize => 12,
+        HeaderField::MetaTenant => 13,
+        HeaderField::MetaKeyHash => 14,
+        HeaderField::MetaMsgStart => 15,
+        HeaderField::Direction => 16,
+    }
+}
+
+fn header_from_u8(v: u8) -> Result<HeaderField, ProtoError> {
+    Ok(match v {
+        0 => HeaderField::Ipv4TotalLength,
+        1 => HeaderField::Ipv4Src,
+        2 => HeaderField::Ipv4Dst,
+        3 => HeaderField::Ipv4Protocol,
+        4 => HeaderField::Ipv4Dscp,
+        5 => HeaderField::SrcPort,
+        6 => HeaderField::DstPort,
+        7 => HeaderField::TcpSeq,
+        8 => HeaderField::Dot1qPcp,
+        9 => HeaderField::Dot1qVid,
+        10 => HeaderField::MetaMsgId,
+        11 => HeaderField::MetaMsgType,
+        12 => HeaderField::MetaMsgSize,
+        13 => HeaderField::MetaTenant,
+        14 => HeaderField::MetaKeyHash,
+        15 => HeaderField::MetaMsgStart,
+        16 => HeaderField::Direction,
+        other => return Err(ProtoError::BadTag(other)),
+    })
+}
+
+fn access_to_u8(a: Access) -> u8 {
+    match a {
+        Access::ReadOnly => 0,
+        Access::ReadWrite => 1,
+    }
+}
+
+fn access_from_u8(v: u8) -> Result<Access, ProtoError> {
+    Ok(match v {
+        0 => Access::ReadOnly,
+        1 => Access::ReadWrite,
+        other => return Err(ProtoError::BadTag(other)),
+    })
+}
+
+fn concurrency_to_u8(c: Concurrency) -> u8 {
+    match c {
+        Concurrency::Parallel => 0,
+        Concurrency::PerMessage => 1,
+        Concurrency::Serialized => 2,
+    }
+}
+
+fn concurrency_from_u8(v: u8) -> Result<Concurrency, ProtoError> {
+    Ok(match v {
+        0 => Concurrency::Parallel,
+        1 => Concurrency::PerMessage,
+        2 => Concurrency::Serialized,
+        other => return Err(ProtoError::BadTag(other)),
+    })
+}
+
+fn put_schema(w: &mut Writer, s: &Schema) {
+    w.u16(s.fields().len() as u16);
+    for f in s.fields() {
+        w.str(&f.name);
+        w.u8(match f.scope {
+            eden_lang::Scope::Packet => 0,
+            eden_lang::Scope::Message => 1,
+            eden_lang::Scope::Global => 2,
+        });
+        w.u8(access_to_u8(f.access));
+        match f.header {
+            Some(h) => {
+                w.u8(1);
+                w.u8(header_to_u8(h));
+            }
+            None => w.u8(0),
+        }
+    }
+    w.u16(s.arrays().len() as u16);
+    for a in s.arrays() {
+        w.str(&a.name);
+        w.u16(a.fields.len() as u16);
+        for f in &a.fields {
+            w.str(f);
+        }
+        w.u8(access_to_u8(a.access));
+    }
+}
+
+fn get_schema(r: &mut Reader<'_>) -> Result<Schema, ProtoError> {
+    let mut s = Schema::new();
+    let nfields = r.u16()?;
+    for _ in 0..nfields {
+        let name = r.str()?;
+        let scope = r.u8()?;
+        let access = access_from_u8(r.u8()?)?;
+        let header = match r.u8()? {
+            0 => None,
+            1 => Some(header_from_u8(r.u8()?)?),
+            other => return Err(ProtoError::BadTag(other)),
+        };
+        s = match scope {
+            0 => s.packet_field(&name, access, header),
+            1 => s.msg_field(&name, access),
+            2 => s.global_field(&name, access),
+            other => return Err(ProtoError::BadTag(other)),
+        };
+    }
+    let narrays = r.u16()?;
+    for _ in 0..narrays {
+        let name = r.str()?;
+        let nf = r.u16()?;
+        let mut fields = Vec::with_capacity(nf as usize);
+        for _ in 0..nf {
+            fields.push(r.str()?);
+        }
+        let access = access_from_u8(r.u8()?)?;
+        let refs: Vec<&str> = fields.iter().map(String::as_str).collect();
+        s = s.global_array(&name, &refs, access);
+    }
+    Ok(s)
+}
+
+fn put_spec(w: &mut Writer, spec: &MatchSpec) {
+    match spec {
+        MatchSpec::Any => w.u8(0),
+        MatchSpec::Class(c) => {
+            w.u8(1);
+            w.u32(c.0);
+        }
+        MatchSpec::AnyOf(cs) => {
+            w.u8(2);
+            w.u16(cs.len() as u16);
+            for c in cs {
+                w.u32(c.0);
+            }
+        }
+    }
+}
+
+fn get_spec(r: &mut Reader<'_>) -> Result<MatchSpec, ProtoError> {
+    Ok(match r.u8()? {
+        0 => MatchSpec::Any,
+        1 => MatchSpec::Class(ClassId(r.u32()?)),
+        2 => {
+            let n = r.u16()?;
+            let mut cs = Vec::with_capacity(n as usize);
+            for _ in 0..n {
+                cs.push(ClassId(r.u32()?));
+            }
+            MatchSpec::AnyOf(cs)
+        }
+        other => return Err(ProtoError::BadTag(other)),
+    })
+}
+
+fn put_op(w: &mut Writer, op: &EnclaveOp) {
+    match op {
+        EnclaveOp::Reset => w.u8(0),
+        EnclaveOp::CreateTable => w.u8(1),
+        EnclaveOp::ClearTable { table } => {
+            w.u8(2);
+            w.u32(*table as u32);
+        }
+        EnclaveOp::InstallFunction {
+            name,
+            bytecode,
+            schema,
+            concurrency,
+        } => {
+            w.u8(3);
+            w.str(name);
+            w.bytes(bytecode);
+            put_schema(w, schema);
+            w.u8(concurrency_to_u8(*concurrency));
+        }
+        EnclaveOp::InstallRule { table, spec, func } => {
+            w.u8(4);
+            w.u32(*table as u32);
+            put_spec(w, spec);
+            w.u32(*func as u32);
+        }
+        EnclaveOp::RemoveRule { table, rule } => {
+            w.u8(5);
+            w.u32(*table as u32);
+            w.u32(*rule as u32);
+        }
+        EnclaveOp::SetGlobal { func, slot, value } => {
+            w.u8(6);
+            w.u32(*func as u32);
+            w.u32(*slot as u32);
+            w.i64(*value);
+        }
+        EnclaveOp::SetArray {
+            func,
+            array,
+            values,
+        } => {
+            w.u8(7);
+            w.u32(*func as u32);
+            w.u32(*array as u32);
+            w.u32(values.len() as u32);
+            for v in values {
+                w.i64(*v);
+            }
+        }
+    }
+}
+
+fn get_op(r: &mut Reader<'_>) -> Result<EnclaveOp, ProtoError> {
+    Ok(match r.u8()? {
+        0 => EnclaveOp::Reset,
+        1 => EnclaveOp::CreateTable,
+        2 => EnclaveOp::ClearTable {
+            table: r.u32()? as usize,
+        },
+        3 => {
+            let name = r.str()?;
+            let bytecode = r.bytes()?.to_vec();
+            let schema = get_schema(r)?;
+            let concurrency = concurrency_from_u8(r.u8()?)?;
+            EnclaveOp::InstallFunction {
+                name,
+                bytecode,
+                schema,
+                concurrency,
+            }
+        }
+        4 => {
+            let table = r.u32()? as usize;
+            let spec = get_spec(r)?;
+            let func = r.u32()? as usize;
+            EnclaveOp::InstallRule { table, spec, func }
+        }
+        5 => EnclaveOp::RemoveRule {
+            table: r.u32()? as usize,
+            rule: r.u32()? as usize,
+        },
+        6 => {
+            let func = r.u32()? as usize;
+            let slot = r.u32()? as usize;
+            let value = r.i64()?;
+            EnclaveOp::SetGlobal { func, slot, value }
+        }
+        7 => {
+            let func = r.u32()? as usize;
+            let array = r.u32()? as usize;
+            let n = r.u32()? as usize;
+            let mut values = Vec::with_capacity(n);
+            for _ in 0..n {
+                values.push(r.i64()?);
+            }
+            EnclaveOp::SetArray {
+                func,
+                array,
+                values,
+            }
+        }
+        other => return Err(ProtoError::BadTag(other)),
+    })
+}
+
+fn put_counters(w: &mut Writer, c: &EnclaveCounters) {
+    for v in [
+        c.processed,
+        c.matched,
+        c.misses,
+        c.forwarded,
+        c.dropped,
+        c.punted,
+        c.queued,
+        c.faults,
+        c.header_modifies,
+        c.enqueue_charge_bytes,
+        c.punt_drops,
+        c.table_loop_aborts,
+    ] {
+        w.u64(v);
+    }
+}
+
+fn get_counters(r: &mut Reader<'_>) -> Result<EnclaveCounters, ProtoError> {
+    Ok(EnclaveCounters {
+        processed: r.u64()?,
+        matched: r.u64()?,
+        misses: r.u64()?,
+        forwarded: r.u64()?,
+        dropped: r.u64()?,
+        punted: r.u64()?,
+        queued: r.u64()?,
+        faults: r.u64()?,
+        header_modifies: r.u64()?,
+        enqueue_charge_bytes: r.u64()?,
+        punt_drops: r.u64()?,
+        table_loop_aborts: r.u64()?,
+    })
+}
+
+// ----------------------------------------------------------------------
+// message codecs
+// ----------------------------------------------------------------------
+
+/// Serialize a controller → agent message.
+pub fn encode_msg(msg: &CtrlMsg) -> Vec<u8> {
+    let mut w = Writer::default();
+    match msg {
+        CtrlMsg::Prepare { epoch, ops } => {
+            w.u8(1);
+            w.u64(*epoch);
+            w.u16(ops.len() as u16);
+            for op in ops {
+                put_op(&mut w, op);
+            }
+        }
+        CtrlMsg::Commit { epoch } => {
+            w.u8(2);
+            w.u64(*epoch);
+        }
+        CtrlMsg::Abort { epoch } => {
+            w.u8(3);
+            w.u64(*epoch);
+        }
+        CtrlMsg::Heartbeat { nonce } => {
+            w.u8(4);
+            w.u64(*nonce);
+        }
+        CtrlMsg::PullStats => w.u8(5),
+    }
+    w.0
+}
+
+/// Parse a controller → agent message.
+pub fn decode_msg(buf: &[u8]) -> Result<CtrlMsg, ProtoError> {
+    let mut r = Reader::new(buf);
+    let msg = match r.u8()? {
+        1 => {
+            let epoch = r.u64()?;
+            let n = r.u16()?;
+            let mut ops = Vec::with_capacity(n as usize);
+            for _ in 0..n {
+                ops.push(get_op(&mut r)?);
+            }
+            CtrlMsg::Prepare { epoch, ops }
+        }
+        2 => CtrlMsg::Commit { epoch: r.u64()? },
+        3 => CtrlMsg::Abort { epoch: r.u64()? },
+        4 => CtrlMsg::Heartbeat { nonce: r.u64()? },
+        5 => CtrlMsg::PullStats,
+        other => return Err(ProtoError::BadTag(other)),
+    };
+    Ok(msg)
+}
+
+/// Serialize an agent → controller reply.
+pub fn encode_reply(reply: &CtrlReply) -> Vec<u8> {
+    let mut w = Writer::default();
+    match reply {
+        CtrlReply::Ack { re, epoch, phase } => {
+            w.u8(1);
+            w.u32(*re);
+            w.u64(*epoch);
+            w.u8(match phase {
+                AckPhase::Prepare => 0,
+                AckPhase::Commit => 1,
+                AckPhase::Abort => 2,
+            });
+        }
+        CtrlReply::Nack { re, epoch, reason } => {
+            w.u8(2);
+            w.u32(*re);
+            w.u64(*epoch);
+            w.str(reason);
+        }
+        CtrlReply::Pong {
+            re,
+            nonce,
+            epoch,
+            digest,
+        } => {
+            w.u8(3);
+            w.u32(*re);
+            w.u64(*nonce);
+            w.u64(*epoch);
+            w.u64(*digest);
+        }
+        CtrlReply::Stats {
+            re,
+            epoch,
+            digest,
+            captured_at_ns,
+            counters,
+        } => {
+            w.u8(4);
+            w.u32(*re);
+            w.u64(*epoch);
+            w.u64(*digest);
+            w.u64(*captured_at_ns);
+            put_counters(&mut w, counters);
+        }
+    }
+    w.0
+}
+
+/// Parse an agent → controller reply.
+pub fn decode_reply(buf: &[u8]) -> Result<CtrlReply, ProtoError> {
+    let mut r = Reader::new(buf);
+    let reply = match r.u8()? {
+        1 => {
+            let re = r.u32()?;
+            let epoch = r.u64()?;
+            let phase = match r.u8()? {
+                0 => AckPhase::Prepare,
+                1 => AckPhase::Commit,
+                2 => AckPhase::Abort,
+                other => return Err(ProtoError::BadTag(other)),
+            };
+            CtrlReply::Ack { re, epoch, phase }
+        }
+        2 => {
+            let re = r.u32()?;
+            let epoch = r.u64()?;
+            let reason = r.str()?;
+            CtrlReply::Nack { re, epoch, reason }
+        }
+        3 => {
+            let re = r.u32()?;
+            let nonce = r.u64()?;
+            let epoch = r.u64()?;
+            let digest = r.u64()?;
+            CtrlReply::Pong {
+                re,
+                nonce,
+                epoch,
+                digest,
+            }
+        }
+        4 => {
+            let re = r.u32()?;
+            let epoch = r.u64()?;
+            let digest = r.u64()?;
+            let captured_at_ns = r.u64()?;
+            let counters = get_counters(&mut r)?;
+            CtrlReply::Stats {
+                re,
+                epoch,
+                digest,
+                captured_at_ns,
+                counters,
+            }
+        }
+        other => return Err(ProtoError::BadTag(other)),
+    };
+    Ok(reply)
+}
+
+// ----------------------------------------------------------------------
+// fragmentation
+// ----------------------------------------------------------------------
+
+/// Split an encoded message into MTU-sized control frames. Always emits
+/// at least one frame; retransmissions must reuse `msg_id` so duplicates
+/// collapse in the reassembler.
+pub fn fragment(msg_id: u32, payload: &[u8]) -> Vec<Vec<u8>> {
+    let count = payload.len().div_ceil(MAX_CHUNK).max(1);
+    assert!(count <= u16::MAX as usize, "message too large");
+    let mut frames = Vec::with_capacity(count);
+    for idx in 0..count {
+        let chunk = &payload[idx * MAX_CHUNK..((idx + 1) * MAX_CHUNK).min(payload.len())];
+        let mut f = Vec::with_capacity(FRAG_HEADER + chunk.len());
+        f.extend_from_slice(&MAGIC.to_le_bytes());
+        f.extend_from_slice(&msg_id.to_le_bytes());
+        f.extend_from_slice(&(idx as u16).to_le_bytes());
+        f.extend_from_slice(&(count as u16).to_le_bytes());
+        f.extend_from_slice(chunk);
+        frames.push(f);
+    }
+    frames
+}
+
+struct Pending {
+    from: u32,
+    msg_id: u32,
+    count: u16,
+    parts: Vec<Option<Vec<u8>>>,
+    received: usize,
+}
+
+/// Per-receiver fragment reassembly, keyed by `(sender, msg id)`.
+/// Bounded: when `capacity` incomplete messages are pending, the oldest
+/// is evicted — its sender's retry rebuilds it.
+pub struct Reassembler {
+    pending: Vec<Pending>,
+    capacity: usize,
+}
+
+impl Default for Reassembler {
+    fn default() -> Self {
+        Reassembler::new(64)
+    }
+}
+
+impl Reassembler {
+    /// A reassembler holding at most `capacity` incomplete messages.
+    pub fn new(capacity: usize) -> Reassembler {
+        Reassembler {
+            pending: Vec::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Feed one received frame; returns the full message payload once the
+    /// last missing fragment arrives. Duplicate fragments are ignored; a
+    /// frame whose `count` disagrees with the pending entry is rejected.
+    pub fn accept(&mut self, from: u32, frame: &[u8]) -> Result<Option<Vec<u8>>, ProtoError> {
+        if frame.len() < FRAG_HEADER {
+            return Err(ProtoError::Truncated);
+        }
+        let magic = u16::from_le_bytes(frame[0..2].try_into().unwrap());
+        if magic != MAGIC {
+            return Err(ProtoError::BadMagic);
+        }
+        let msg_id = u32::from_le_bytes(frame[2..6].try_into().unwrap());
+        let idx = u16::from_le_bytes(frame[6..8].try_into().unwrap());
+        let count = u16::from_le_bytes(frame[8..10].try_into().unwrap());
+        if count == 0 || idx >= count {
+            return Err(ProtoError::BadFragment);
+        }
+        let chunk = &frame[FRAG_HEADER..];
+
+        let pos = match self
+            .pending
+            .iter()
+            .position(|p| p.from == from && p.msg_id == msg_id)
+        {
+            Some(pos) => {
+                if self.pending[pos].count != count {
+                    return Err(ProtoError::BadFragment);
+                }
+                pos
+            }
+            None => {
+                if self.pending.len() >= self.capacity {
+                    self.pending.remove(0);
+                }
+                self.pending.push(Pending {
+                    from,
+                    msg_id,
+                    count,
+                    parts: vec![None; count as usize],
+                    received: 0,
+                });
+                self.pending.len() - 1
+            }
+        };
+
+        let p = &mut self.pending[pos];
+        if p.parts[idx as usize].is_none() {
+            p.parts[idx as usize] = Some(chunk.to_vec());
+            p.received += 1;
+        }
+        if p.received < p.count as usize {
+            return Ok(None);
+        }
+        let done = self.pending.remove(pos);
+        let mut payload = Vec::new();
+        for part in done.parts {
+            payload.extend_from_slice(&part.expect("all fragments received"));
+        }
+        Ok(Some(payload))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_ops() -> Vec<EnclaveOp> {
+        vec![
+            EnclaveOp::Reset,
+            EnclaveOp::CreateTable,
+            EnclaveOp::InstallFunction {
+                name: "f".into(),
+                bytecode: vec![1, 2, 3, 4],
+                schema: Schema::new()
+                    .packet_field("Prio", Access::ReadWrite, Some(HeaderField::Dot1qPcp))
+                    .msg_field("Seen", Access::ReadWrite)
+                    .global_field("Cap", Access::ReadOnly)
+                    .global_array("Map", &["A", "B"], Access::ReadOnly),
+                concurrency: Concurrency::PerMessage,
+            },
+            EnclaveOp::InstallRule {
+                table: 0,
+                spec: MatchSpec::AnyOf(vec![ClassId(3), ClassId(9)]),
+                func: 0,
+            },
+            EnclaveOp::InstallRule {
+                table: 1,
+                spec: MatchSpec::Class(ClassId(5)),
+                func: 0,
+            },
+            EnclaveOp::RemoveRule { table: 1, rule: 0 },
+            EnclaveOp::ClearTable { table: 1 },
+            EnclaveOp::SetGlobal {
+                func: 0,
+                slot: 0,
+                value: -7,
+            },
+            EnclaveOp::SetArray {
+                func: 0,
+                array: 0,
+                values: vec![1, -2, 3],
+            },
+        ]
+    }
+
+    #[test]
+    fn messages_round_trip() {
+        let msgs = vec![
+            CtrlMsg::Prepare {
+                epoch: 42,
+                ops: sample_ops(),
+            },
+            CtrlMsg::Commit { epoch: 42 },
+            CtrlMsg::Abort { epoch: 42 },
+            CtrlMsg::Heartbeat { nonce: 7 },
+            CtrlMsg::PullStats,
+        ];
+        for m in msgs {
+            assert_eq!(decode_msg(&encode_msg(&m)).unwrap(), m);
+        }
+    }
+
+    #[test]
+    fn replies_round_trip() {
+        let replies = vec![
+            CtrlReply::Ack {
+                re: 9,
+                epoch: 1,
+                phase: AckPhase::Prepare,
+            },
+            CtrlReply::Ack {
+                re: 10,
+                epoch: 1,
+                phase: AckPhase::Commit,
+            },
+            CtrlReply::Nack {
+                re: 11,
+                epoch: 2,
+                reason: "op 3: no such table 7".into(),
+            },
+            CtrlReply::Pong {
+                re: 12,
+                nonce: 5,
+                epoch: 3,
+                digest: 0xDEADBEEF,
+            },
+            CtrlReply::Stats {
+                re: 13,
+                epoch: 3,
+                digest: 1,
+                captured_at_ns: 99,
+                counters: EnclaveCounters {
+                    processed: 10,
+                    forwarded: 9,
+                    dropped: 1,
+                    ..Default::default()
+                },
+            },
+        ];
+        for r in replies {
+            assert_eq!(decode_reply(&encode_reply(&r)).unwrap(), r);
+        }
+    }
+
+    #[test]
+    fn truncated_and_garbage_rejected() {
+        let full = encode_msg(&CtrlMsg::Prepare {
+            epoch: 1,
+            ops: sample_ops(),
+        });
+        for cut in [0, 1, 5, full.len() - 1] {
+            assert!(decode_msg(&full[..cut]).is_err(), "cut at {cut}");
+        }
+        assert_eq!(decode_msg(&[99]), Err(ProtoError::BadTag(99)));
+        assert_eq!(decode_reply(&[0]), Err(ProtoError::BadTag(0)));
+    }
+
+    #[test]
+    fn fragmentation_round_trips_any_size() {
+        for size in [0usize, 1, MAX_CHUNK - 1, MAX_CHUNK, MAX_CHUNK + 1, 5000] {
+            let payload: Vec<u8> = (0..size).map(|i| (i % 251) as u8).collect();
+            let frames = fragment(7, &payload);
+            assert_eq!(frames.len(), size.div_ceil(MAX_CHUNK).max(1));
+            for f in &frames {
+                // every frame fits a 1500B MTU as a UDP payload
+                assert!(20 + 8 + f.len() <= 1500);
+            }
+            let mut r = Reassembler::new(4);
+            let mut out = None;
+            for f in &frames {
+                if let Some(p) = r.accept(1, f).unwrap() {
+                    out = Some(p);
+                }
+            }
+            assert_eq!(out.expect("reassembled"), payload);
+        }
+    }
+
+    #[test]
+    fn reassembly_survives_reorder_duplication_interleaving() {
+        let a: Vec<u8> = vec![0xAA; MAX_CHUNK * 2 + 10];
+        let b: Vec<u8> = vec![0xBB; MAX_CHUNK + 1];
+        let fa = fragment(1, &a);
+        let fb = fragment(2, &b);
+        let mut r = Reassembler::new(4);
+        let mut done = Vec::new();
+        // interleave, reversed order, with duplicates
+        let sequence = [&fb[1], &fa[2], &fb[1], &fa[0], &fb[0], &fa[1], &fa[1]];
+        for f in sequence {
+            if let Some(p) = r.accept(9, f).unwrap() {
+                done.push(p);
+            }
+        }
+        assert_eq!(done.len(), 2);
+        assert!(done.contains(&a));
+        assert!(done.contains(&b));
+    }
+
+    #[test]
+    fn reassembler_keys_by_sender() {
+        let msg = vec![1u8; MAX_CHUNK + 1];
+        let frames = fragment(1, &msg);
+        let mut r = Reassembler::new(4);
+        assert_eq!(r.accept(1, &frames[0]).unwrap(), None);
+        // same msg id, different sender: must not complete host 1's message
+        assert_eq!(r.accept(2, &frames[1]).unwrap(), None);
+        assert_eq!(r.accept(1, &frames[1]).unwrap(), Some(msg));
+    }
+
+    #[test]
+    fn reassembler_evicts_oldest_when_full() {
+        let msg = vec![3u8; MAX_CHUNK + 1];
+        let mut r = Reassembler::new(2);
+        for id in 0..3u32 {
+            let frames = fragment(id, &msg);
+            assert_eq!(r.accept(1, &frames[0]).unwrap(), None);
+        }
+        // msg 0 was evicted; completing it now only starts a new entry
+        let frames = fragment(0, &msg);
+        assert_eq!(r.accept(1, &frames[1]).unwrap(), None);
+        // but the sender's full retry still lands
+        assert_eq!(r.accept(1, &frames[0]).unwrap(), Some(msg));
+    }
+
+    #[test]
+    fn bad_frames_rejected() {
+        let mut r = Reassembler::new(4);
+        assert_eq!(r.accept(1, &[0; 5]), Err(ProtoError::Truncated));
+        let mut f = fragment(1, &[1, 2, 3]).remove(0);
+        f[0] ^= 0xFF;
+        assert_eq!(r.accept(1, &f), Err(ProtoError::BadMagic));
+        let mut f = fragment(1, &[1, 2, 3]).remove(0);
+        f[6] = 9; // idx >= count
+        assert_eq!(r.accept(1, &f), Err(ProtoError::BadFragment));
+    }
+}

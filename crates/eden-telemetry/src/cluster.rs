@@ -1,0 +1,177 @@
+//! Cluster-wide stats aggregation, keyed by host.
+//!
+//! The distributed control plane (`eden-ctrl`) pulls
+//! [`EnclaveCounters`] from every host enclave over the wire;
+//! [`ClusterStats`] collects those per-host reports — together with each
+//! host's configuration epoch and digest — and exposes fleet totals. One
+//! struct, one JSON shape, so convergence benchmarks and dashboards read
+//! the same thing the controller acts on.
+
+use crate::json::{Json, ToJson};
+use crate::snapshot::EnclaveCounters;
+
+/// One host's most recent report.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct HostReport {
+    /// The host's IPv4 address (the cluster key).
+    pub host: u32,
+    /// Configuration epoch the host's enclave serves.
+    pub epoch: u64,
+    /// Structural configuration digest reported by the enclave.
+    pub digest: u64,
+    /// Simulated time the report was captured, nanoseconds.
+    pub captured_at_ns: u64,
+    pub enclave: EnclaveCounters,
+}
+
+impl ToJson for HostReport {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("host", self.host.into()),
+            ("epoch", self.epoch.into()),
+            ("digest", self.digest.into()),
+            ("captured_at_ns", self.captured_at_ns.into()),
+            ("enclave", self.enclave.to_json()),
+        ])
+    }
+}
+
+impl From<u32> for Json {
+    fn from(v: u32) -> Json {
+        Json::UInt(u64::from(v))
+    }
+}
+
+/// Per-host reports plus fleet totals, maintained by the controller as
+/// stats replies arrive. Reports are keyed by host address; a fresh
+/// report replaces the previous one (counters are cumulative on the
+/// enclave side).
+#[derive(Debug, Clone, Default)]
+pub struct ClusterStats {
+    reports: Vec<HostReport>,
+}
+
+impl ClusterStats {
+    /// Empty aggregation.
+    pub fn new() -> ClusterStats {
+        ClusterStats::default()
+    }
+
+    /// Insert or replace the report for `report.host`.
+    pub fn record(&mut self, report: HostReport) {
+        match self.reports.iter_mut().find(|r| r.host == report.host) {
+            Some(slot) => *slot = report,
+            None => self.reports.push(report),
+        }
+    }
+
+    /// All per-host reports, in first-seen order.
+    pub fn reports(&self) -> &[HostReport] {
+        &self.reports
+    }
+
+    /// The report for `host`, if one arrived.
+    pub fn host(&self, host: u32) -> Option<&HostReport> {
+        self.reports.iter().find(|r| r.host == host)
+    }
+
+    /// Number of hosts that have reported.
+    pub fn host_count(&self) -> usize {
+        self.reports.len()
+    }
+
+    /// Sum of every host's enclave counters.
+    pub fn totals(&self) -> EnclaveCounters {
+        let mut t = EnclaveCounters::default();
+        for r in &self.reports {
+            let e = &r.enclave;
+            t.processed += e.processed;
+            t.matched += e.matched;
+            t.misses += e.misses;
+            t.forwarded += e.forwarded;
+            t.dropped += e.dropped;
+            t.punted += e.punted;
+            t.queued += e.queued;
+            t.faults += e.faults;
+            t.header_modifies += e.header_modifies;
+            t.enqueue_charge_bytes += e.enqueue_charge_bytes;
+            t.punt_drops += e.punt_drops;
+            t.table_loop_aborts += e.table_loop_aborts;
+        }
+        t
+    }
+
+    /// Whether every reporting host serves `epoch` with `digest` — the
+    /// controller's convergence predicate (it additionally requires that
+    /// every *known* host has reported).
+    pub fn all_at(&self, epoch: u64, digest: u64) -> bool {
+        self.reports
+            .iter()
+            .all(|r| r.epoch == epoch && r.digest == digest)
+    }
+}
+
+impl ToJson for ClusterStats {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("hosts", self.host_count().into()),
+            ("totals", self.totals().to_json()),
+            (
+                "reports",
+                Json::Arr(self.reports.iter().map(|r| r.to_json()).collect()),
+            ),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(host: u32, epoch: u64, processed: u64) -> HostReport {
+        HostReport {
+            host,
+            epoch,
+            digest: 7,
+            captured_at_ns: 1,
+            enclave: EnclaveCounters {
+                processed,
+                forwarded: processed,
+                ..Default::default()
+            },
+        }
+    }
+
+    #[test]
+    fn record_replaces_per_host() {
+        let mut c = ClusterStats::new();
+        c.record(report(1, 1, 10));
+        c.record(report(2, 1, 20));
+        c.record(report(1, 2, 15));
+        assert_eq!(c.host_count(), 2);
+        assert_eq!(c.host(1).unwrap().enclave.processed, 15);
+        assert_eq!(c.totals().processed, 35);
+    }
+
+    #[test]
+    fn convergence_predicate() {
+        let mut c = ClusterStats::new();
+        c.record(report(1, 2, 1));
+        c.record(report(2, 2, 1));
+        assert!(c.all_at(2, 7));
+        assert!(!c.all_at(1, 7), "wrong epoch");
+        c.record(report(3, 1, 1));
+        assert!(!c.all_at(2, 7), "one host lags");
+    }
+
+    #[test]
+    fn json_shape() {
+        let mut c = ClusterStats::new();
+        c.record(report(9, 3, 5));
+        let text = c.to_json().render();
+        assert!(text.contains(r#""hosts":1"#));
+        assert!(text.contains(r#""host":9"#));
+        assert!(text.contains(r#""epoch":3"#));
+        assert!(text.contains(r#""processed":5"#));
+    }
+}

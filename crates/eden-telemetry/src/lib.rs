@@ -18,11 +18,13 @@
 //! The crate is deliberately dependency-free so that any workspace crate
 //! can use it without layering concerns.
 
+mod cluster;
 mod json;
 mod series;
 mod snapshot;
 mod trace;
 
+pub use cluster::{ClusterStats, HostReport};
 pub use json::{Json, ToJson};
 pub use series::TimeSeries;
 pub use snapshot::{

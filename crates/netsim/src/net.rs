@@ -67,6 +67,20 @@ struct Endpoint {
     port: PortId,
 }
 
+/// Injected link impairments (both directions), for partition and
+/// loss experiments. All default to "healthy".
+#[derive(Debug, Clone, Copy, Default)]
+struct Impairment {
+    /// Link is administratively down: every frame is lost.
+    down: bool,
+    /// Random loss probability in permille (0..=1000).
+    loss_permille: u32,
+    /// Extra per-frame delay drawn uniformly from `[0, jitter]`; enough
+    /// to reorder back-to-back frames when it exceeds a serialization
+    /// time.
+    jitter: Time,
+}
+
 struct Link {
     ends: [Endpoint; 2],
     spec: LinkSpec,
@@ -74,6 +88,7 @@ struct Link {
     /// serializer frees up.
     busy_until: [Time; 2],
     stats: [LinkStats; 2],
+    impair: Impairment,
 }
 
 /// A port's view: which link it attaches to and which side it is.
@@ -157,6 +172,7 @@ impl Network {
             spec,
             busy_until: [Time::ZERO; 2],
             stats: [LinkStats::default(); 2],
+            impair: Impairment::default(),
         });
         self.ports[a.0].push(PortRef { link, side: 0 });
         self.ports[b.0].push(PortRef { link, side: 1 });
@@ -212,6 +228,29 @@ impl Network {
     pub fn port_link(&self, node: NodeId, port: PortId) -> (LinkId, usize) {
         let pr = self.ports[node.0][port.0];
         (pr.link, pr.side)
+    }
+
+    /// Take `link` down (`true`) or bring it back up (`false`). While
+    /// down every frame in both directions is lost — a clean partition.
+    /// Senders still pay serialization time, exactly as with a dead
+    /// physical peer.
+    pub fn set_link_down(&mut self, link: LinkId, down: bool) {
+        self.links[link.0].impair.down = down;
+    }
+
+    /// Set random loss on `link` (both directions), in permille
+    /// (`0..=1000`). Loss draws come from the simulation RNG, so runs
+    /// stay deterministic per seed.
+    pub fn set_link_loss_permille(&mut self, link: LinkId, permille: u32) {
+        assert!(permille <= 1000, "loss is permille, 0..=1000");
+        self.links[link.0].impair.loss_permille = permille;
+    }
+
+    /// Add uniform `[0, jitter]` extra delay per frame on `link` (both
+    /// directions). A jitter larger than a serialization time reorders
+    /// back-to-back frames.
+    pub fn set_link_jitter(&mut self, link: LinkId, jitter: Time) {
+        self.links[link.0].impair.jitter = jitter;
     }
 
     /// Run until the event queue is empty or `limit` is reached.
@@ -299,12 +338,21 @@ impl Network {
 
         let ser = Time::serialization(packet.wire_len(), link.spec.rate_bps);
         let done = now + ser;
-        let arrive = done + link.spec.propagation;
+        let mut arrive = done + link.spec.propagation;
         link.busy_until[pr.side] = done;
         link.stats[pr.side].packets += 1;
         link.stats[pr.side].bytes += packet.wire_len() as u64;
 
+        // Injected impairments. RNG draws happen only on impaired links,
+        // so healthy-network traces are byte-identical with or without
+        // this feature.
+        let impair = link.impair;
         let peer = link.ends[1 - pr.side];
+        let lost = impair.down
+            || (impair.loss_permille > 0 && self.rng.below(1000) < impair.loss_permille as u64);
+        if !lost && impair.jitter > Time::ZERO {
+            arrive += Time::from_nanos(self.rng.below(impair.jitter.as_nanos() + 1));
+        }
         self.queue.schedule(
             done,
             Ev::Node {
@@ -312,6 +360,10 @@ impl Network {
                 event: NodeEvent::TxDone { port },
             },
         );
+        if lost {
+            self.links[pr.link.0].stats[pr.side].dropped += 1;
+            return;
+        }
         self.queue.schedule(
             arrive,
             Ev::Node {
@@ -460,6 +512,75 @@ mod tests {
         net.node_mut::<Recorder>(a).to_send.push(pkt(2000));
         net.schedule_timer(a, Time::ZERO, 0);
         net.run_to_completion();
+    }
+
+    #[test]
+    fn down_link_loses_everything_but_counts_tx() {
+        let mut net = Network::new(0);
+        let a = net.add_node(Recorder::default());
+        let b = net.add_node(Recorder::default());
+        net.connect(a, b, LinkSpec::ten_gbps());
+        net.set_link_down(LinkId(0), true);
+        for _ in 0..4 {
+            net.node_mut::<Recorder>(a).to_send.push(pkt(100));
+        }
+        net.schedule_timer(a, Time::ZERO, 0);
+        net.run_to_completion();
+        assert!(net.node::<Recorder>(b).received.is_empty());
+        let stats = net.link_stats(LinkId(0));
+        assert_eq!(stats[0].packets, 4, "sender still paid serialization");
+        assert_eq!(stats[0].dropped, 4);
+
+        // Heal and resend: traffic flows again.
+        net.set_link_down(LinkId(0), false);
+        net.node_mut::<Recorder>(a).to_send.push(pkt(100));
+        net.schedule_timer(a, net.now() + Time::from_micros(1), 0);
+        net.run_to_completion();
+        assert_eq!(net.node::<Recorder>(b).received.len(), 1);
+    }
+
+    #[test]
+    fn random_loss_drops_roughly_the_configured_fraction() {
+        let mut net = Network::new(11);
+        let a = net.add_node(Recorder::default());
+        let b = net.add_node(Recorder::default());
+        net.connect(a, b, LinkSpec::ten_gbps());
+        net.set_link_loss_permille(LinkId(0), 300);
+        for _ in 0..1000 {
+            net.node_mut::<Recorder>(a).to_send.push(pkt(100));
+        }
+        net.schedule_timer(a, Time::ZERO, 0);
+        net.run_to_completion();
+        let dropped = net.link_stats(LinkId(0))[0].dropped;
+        assert!(
+            (200..400).contains(&dropped),
+            "30% loss over 1000 frames, got {dropped}"
+        );
+        assert_eq!(
+            net.node::<Recorder>(b).received.len(),
+            1000 - dropped as usize
+        );
+    }
+
+    #[test]
+    fn jitter_can_reorder_back_to_back_frames() {
+        let mut net = Network::new(3);
+        let a = net.add_node(Recorder::default());
+        let b = net.add_node(Recorder::default());
+        net.connect(a, b, LinkSpec::ten_gbps());
+        // 100B payload serializes in ~0.1us; 50us jitter dwarfs it.
+        net.set_link_jitter(LinkId(0), Time::from_micros(50));
+        for i in 0..20 {
+            net.node_mut::<Recorder>(a).to_send.push(pkt(100 + i));
+        }
+        net.schedule_timer(a, Time::ZERO, 0);
+        net.run_to_completion();
+        let rec = &net.node::<Recorder>(b).received;
+        assert_eq!(rec.len(), 20, "jitter never loses frames");
+        let ids: Vec<u64> = rec.iter().map(|(_, p)| p.id).collect();
+        let mut sorted = ids.clone();
+        sorted.sort_unstable();
+        assert_ne!(ids, sorted, "expected at least one reordering");
     }
 
     #[test]

@@ -146,6 +146,12 @@ pub struct Packet {
     pub meta: Option<EdenMeta>,
     /// Application framing for the message this segment completes.
     pub app_marker: Option<AppMarker>,
+    /// Control-plane payload bytes. Payloads are otherwise length-only in
+    /// the simulator; the control plane is the one protocol whose payload
+    /// *content* matters, so its frames ride as a sidecar whose length is
+    /// accounted in `payload_len` (control traffic is in-band and pays for
+    /// its bytes on the wire like any other traffic).
+    pub ctrl: Option<Vec<u8>>,
     /// When the packet was first handed to a NIC (for latency accounting).
     pub sent_at: Time,
 }
@@ -170,6 +176,7 @@ impl Packet {
             payload_len,
             meta: None,
             app_marker: None,
+            ctrl: None,
             sent_at: Time::ZERO,
         }
     }
@@ -193,8 +200,19 @@ impl Packet {
             payload_len,
             meta: None,
             app_marker: None,
+            ctrl: None,
             sent_at: Time::ZERO,
         }
+    }
+
+    /// Build a UDP packet carrying control-plane payload `bytes`; the
+    /// payload length (and therefore serialization time) tracks the
+    /// encoded frame size, so control traffic contends for link capacity
+    /// like any other traffic.
+    pub fn ctrl(src: u32, dst: u32, udp: UdpHeader, bytes: Vec<u8>) -> Packet {
+        let mut p = Packet::udp(src, dst, udp, bytes.len());
+        p.ctrl = Some(bytes);
+        p
     }
 
     /// Total bytes on the wire: Ethernet (+ VLAN tag) + IP total length.

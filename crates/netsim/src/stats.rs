@@ -12,6 +12,10 @@ pub struct LinkStats {
     pub packets: u64,
     /// Bytes transmitted (wire bytes, including Ethernet framing).
     pub bytes: u64,
+    /// Packets lost to injected impairments (link down or random loss).
+    /// Lost packets still count in `packets`/`bytes`: the sender paid the
+    /// serialization time; the frame just never arrived.
+    pub dropped: u64,
 }
 
 impl LinkStats {
@@ -184,6 +188,7 @@ mod tests {
         let s = LinkStats {
             packets: 1,
             bytes: 125_000_000,
+            dropped: 0,
         };
         assert_eq!(s.throughput_bps(1.0), 1e9);
     }

@@ -265,6 +265,7 @@ pub fn decode(mut data: &[u8]) -> Result<Packet, WireError> {
         payload_len,
         meta: None,
         app_marker: None,
+        ctrl: None,
         sent_at: Time::ZERO,
     })
 }

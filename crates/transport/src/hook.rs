@@ -59,6 +59,16 @@ pub trait PacketHook: 'static {
         HookVerdict::Pass
     }
 
+    /// Called with one control-plane frame addressed to this host's
+    /// control endpoint (see [`Stack::set_ctrl_port`](crate::Stack::set_ctrl_port)).
+    /// `from` is the sender's IPv4 address; each returned byte vector is
+    /// sent back to the sender as its own control frame. The default
+    /// ignores control traffic — only hooks that speak a control protocol
+    /// (the `eden-ctrl` enclave agent) override this.
+    fn on_ctrl(&mut self, _from: u32, _frame: &[u8], _env: &mut HookEnv<'_>) -> Vec<Vec<u8>> {
+        Vec::new()
+    }
+
     /// Downcast support, so the controller can reach an installed enclave
     /// through [`Stack::hook_mut`](crate::Stack::hook_mut).
     fn as_any_mut(&mut self) -> &mut dyn std::any::Any;

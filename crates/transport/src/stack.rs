@@ -84,6 +84,12 @@ pub struct Stack {
     listeners: HashSet<u16>,
     next_ephemeral: u16,
     hook: Option<Box<dyn PacketHook>>,
+    /// UDP port of the control-plane endpoint, if one is open.
+    ctrl_port: Option<u16>,
+    /// Control frames delivered to the hook's `on_ctrl`.
+    pub ctrl_frames_in: u64,
+    /// Control frames emitted in reply by the hook's `on_ctrl`.
+    pub ctrl_frames_out: u64,
     limiters: Vec<TokenBucket>,
     limiter_armed: Vec<bool>,
     nic: PriorityPort,
@@ -134,6 +140,9 @@ impl Stack {
             listeners: HashSet::new(),
             next_ephemeral: 40_000,
             hook: None,
+            ctrl_port: None,
+            ctrl_frames_in: 0,
+            ctrl_frames_out: 0,
             limiters: Vec::new(),
             limiter_armed: Vec::new(),
             nic: PriorityPort::new(cfg.nic_queue_bytes),
@@ -231,6 +240,16 @@ impl Stack {
         self.hook
             .as_mut()
             .and_then(|h| h.as_any_mut().downcast_mut::<T>())
+    }
+
+    /// Open the control-plane endpoint on UDP `port`: control frames
+    /// arriving there are handed to the hook's
+    /// [`on_ctrl`](PacketHook::on_ctrl) instead of the data path, and its
+    /// replies are sent straight to the NIC. Replies bypass the egress
+    /// hook by design — the management plane must stay reachable even
+    /// when the data-plane tables are mid-update.
+    pub fn set_ctrl_port(&mut self, port: u16) {
+        self.ctrl_port = Some(port);
     }
 
     /// Create a rate-limited queue (Pulsar's `queueMap` targets); returns
@@ -378,6 +397,43 @@ impl Stack {
                 TraceLayer::Wire,
                 TraceVerdict::Deliver,
             );
+        }
+        // Control-endpoint demux: frames for the control port short-circuit
+        // to the hook's control handler before the data-path ingress hook,
+        // so a half-updated rule table can never filter its own repairs.
+        if let Some(port) = self.ctrl_port {
+            let udp_dst = match &packet.l4 {
+                netsim::L4Header::Udp(u) if u.dst_port == port => Some(u.src_port),
+                _ => None,
+            };
+            if let (Some(reply_port), Some(frame)) = (udp_dst, packet.ctrl.as_ref()) {
+                self.ctrl_frames_in += 1;
+                let from = packet.ip.src;
+                let replies = match self.hook.as_mut() {
+                    Some(hook) => {
+                        let mut env = HookEnv {
+                            now: ctx.now(),
+                            rng: ctx.rng(),
+                        };
+                        hook.on_ctrl(from, frame, &mut env)
+                    }
+                    None => Vec::new(),
+                };
+                for bytes in replies {
+                    self.ctrl_frames_out += 1;
+                    let reply = Packet::ctrl(
+                        self.addr,
+                        from,
+                        netsim::UdpHeader {
+                            src_port: port,
+                            dst_port: reply_port,
+                        },
+                        bytes,
+                    );
+                    self.nic_enqueue(reply, ctx);
+                }
+                return;
+            }
         }
         if let Some(hook) = self.hook.as_mut() {
             let mut env = HookEnv {

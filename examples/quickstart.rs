@@ -44,6 +44,24 @@ fn main() {
         "GET",
     );
     let get_class = controller.class("memcached.r1.GET");
+
+    // Rule lifecycle: removal reports whether it found the rule — always
+    // check it, a `false` usually means the id came from the wrong rule
+    // set (and logs a warning on stderr).
+    let scratch = controller.create_stage_rule(
+        &mut stage,
+        "r1",
+        vec![("msg_type".into(), Matcher::Exact("STATS".into()))],
+        "STATS",
+    );
+    assert!(
+        controller.remove_stage_rule(&mut stage, "r1", scratch),
+        "freshly created rule must remove cleanly"
+    );
+    assert!(
+        !controller.remove_stage_rule(&mut stage, "r1", scratch),
+        "second removal finds nothing"
+    );
     println!("stage info: {:?}\n", stage.get_info());
 
     // --- 2. compile Figure 7 and install it into an enclave --------------

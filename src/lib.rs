@@ -12,11 +12,14 @@
 //! - [`netsim`] — deterministic discrete-event datacenter fabric
 //! - [`transport`] — end-host stack: sockets, Reno TCP, rate limiters
 //! - [`core`] — stages, enclaves, controller (the paper's architecture)
+//! - [`ctrl`] — distributed control plane: wire protocol, epoch-based
+//!   two-phase updates, failure detection, reconciliation
 //! - [`apps`] — example stages, workloads, and the network-function library
 //! - [`telemetry`] — counters, snapshots, time series, and trace rings
 
 pub use eden_apps as apps;
 pub use eden_core as core;
+pub use eden_ctrl as ctrl;
 pub use eden_lang as lang;
 pub use eden_telemetry as telemetry;
 pub use eden_vm as vm;

@@ -1,0 +1,266 @@
+//! End-to-end distributed control plane: a controller host managing three
+//! enclave hosts over the simulated fabric, entirely in-band.
+//!
+//! Covers the full lifecycle: bootstrap (heartbeats establish liveness and
+//! initial sync), an epoch push (two-phase prepare/commit across the
+//! fleet), stats pulls feeding [`ClusterStats`], failure detection when a
+//! host's link goes down, and desired-state reconciliation after the
+//! partition heals.
+
+use eden::core::{Enclave, EnclaveConfig, EnclaveOp, MatchSpec};
+use eden::ctrl::{ControllerApp, CtrlConfig, EnclaveAgent, HostStatus, TICK};
+use eden::lang::{Access, HeaderField, Schema};
+use eden::netsim::{LinkId, LinkSpec, Network, NodeId, Switch, SwitchConfig, Time};
+use eden::transport::{app_timer_token, App, Host, Stack, StackConfig};
+
+/// Agent hosts run no application — the enclave agent on the hook does
+/// all the talking.
+struct Idle;
+impl App for Idle {}
+
+const CTRL_ADDR: u32 = 100;
+
+struct Cluster {
+    net: Network,
+    ctrl: NodeId,
+    hosts: Vec<(NodeId, u32)>,
+    host_links: Vec<LinkId>,
+}
+
+fn build_cluster(seed: u64, n: usize, cfg: CtrlConfig) -> Cluster {
+    let mut net = Network::new(seed);
+    let sw = net.add_node(Switch::new(SwitchConfig::default()));
+
+    let mut hosts = Vec::new();
+    let mut host_links = Vec::new();
+    for i in 0..n {
+        let addr = (i + 1) as u32;
+        let mut stack = Stack::new(addr, StackConfig::default());
+        stack.set_hook(EnclaveAgent::new(Enclave::new(EnclaveConfig::default())));
+        stack.set_ctrl_port(cfg.ctrl_port);
+        let node = net.add_node(Host::new(stack, Idle));
+        let (host_port, sw_port) = net.connect(node, sw, LinkSpec::ten_gbps());
+        net.node_mut::<Switch>(sw).install_route(addr, sw_port);
+        hosts.push((node, addr));
+        host_links.push(net.port_link(node, host_port).0);
+    }
+
+    let addrs: Vec<u32> = hosts.iter().map(|&(_, a)| a).collect();
+    let ctrl = net.add_node(Host::new(
+        Stack::new(CTRL_ADDR, StackConfig::default()),
+        ControllerApp::new(cfg, &addrs),
+    ));
+    let (_, port) = net.connect(ctrl, sw, LinkSpec::ten_gbps());
+    net.node_mut::<Switch>(sw).install_route(CTRL_ADDR, port);
+
+    net.schedule_timer(ctrl, Time::ZERO, app_timer_token(TICK));
+    Cluster {
+        net,
+        ctrl,
+        hosts,
+        host_links,
+    }
+}
+
+fn prio_schema() -> Schema {
+    Schema::new().packet_field("Priority", Access::ReadWrite, Some(HeaderField::Dot1qPcp))
+}
+
+/// A full desired-state description: wipe, install a fixed-priority
+/// function, match everything.
+fn prio_ops(prio: u8) -> Vec<EnclaveOp> {
+    let controller = eden::core::Controller::new();
+    let source = format!("fun (packet, msg, _global) -> packet.Priority <- {prio}");
+    let func = controller
+        .plan_function("set_prio", &source, &prio_schema())
+        .expect("compiles");
+    vec![
+        EnclaveOp::Reset,
+        func,
+        EnclaveOp::InstallRule {
+            table: 0,
+            spec: MatchSpec::Any,
+            func: 0,
+        },
+    ]
+}
+
+fn controller(cluster: &mut Cluster) -> &mut ControllerApp {
+    &mut cluster
+        .net
+        .node_mut::<Host<ControllerApp>>(cluster.ctrl)
+        .app
+}
+
+fn agent_enclave(cluster: &mut Cluster, i: usize) -> &Enclave {
+    let node = cluster.hosts[i].0;
+    cluster
+        .net
+        .node_mut::<Host<Idle>>(node)
+        .stack
+        .hook_mut::<EnclaveAgent>()
+        .expect("agent installed")
+        .enclave()
+}
+
+#[test]
+fn cluster_bootstraps_and_pushes_an_epoch_atomically() {
+    let mut c = build_cluster(7, 3, CtrlConfig::default());
+
+    // Bootstrap: heartbeats establish liveness and report the initial
+    // (empty, epoch-0) configuration, which already matches desired.
+    c.net.run_until(Time::from_millis(2));
+    {
+        let app = controller(&mut c);
+        assert_eq!(app.desired_epoch(), 0);
+        assert!(app.all_in_sync(), "fleet reports the initial config");
+        for addr in 1..=3 {
+            assert_eq!(app.host_status(addr), Some(HostStatus::Up));
+        }
+    }
+
+    // Push epoch 1 across the fleet.
+    let epoch = controller(&mut c).set_desired(prio_ops(5)).expect("valid");
+    assert_eq!(epoch, 1);
+    c.net.run_until(Time::from_millis(8));
+
+    let want_digest = {
+        let app = controller(&mut c);
+        assert!(app.all_in_sync(), "fleet converged on epoch 1");
+        assert!(!app.round_active(), "round completed");
+        assert_eq!(app.desired_epoch(), 1);
+        app.desired_digest()
+    };
+    for i in 0..3 {
+        let e = agent_enclave(&mut c, i);
+        assert_eq!(e.active_epoch(), 1, "host {i} committed");
+        assert!(e.serves_single_epoch());
+        assert_eq!(e.config_digest(), want_digest, "host {i} digest matches");
+    }
+}
+
+#[test]
+fn stats_pull_aggregates_the_cluster() {
+    let cfg = CtrlConfig {
+        stats_every: Time::from_micros(1_000),
+        ..CtrlConfig::default()
+    };
+    let mut c = build_cluster(8, 3, cfg);
+    controller(&mut c).set_desired(prio_ops(4)).expect("valid");
+    c.net.run_until(Time::from_millis(10));
+
+    let app = controller(&mut c);
+    let stats = app.cluster();
+    assert_eq!(stats.host_count(), 3, "every host reported");
+    let (epoch, digest) = (app.desired_epoch(), app.desired_digest());
+    assert!(
+        stats.all_at(epoch, digest),
+        "all reports carry the desired epoch and digest"
+    );
+    for addr in 1..=3u32 {
+        assert!(stats.host(addr).is_some(), "host {addr} in the aggregate");
+    }
+    // No data traffic in this scenario: totals are all-zero but present.
+    assert_eq!(stats.totals().processed, 0);
+}
+
+#[test]
+fn partitioned_host_goes_down_and_reconciles_after_heal() {
+    let mut c = build_cluster(9, 3, CtrlConfig::default());
+    c.net.run_until(Time::from_millis(1));
+
+    // Partition host 3 (addr 3, index 2), then push an update.
+    let cut = c.host_links[2];
+    c.net.set_link_down(cut, true);
+    controller(&mut c).set_desired(prio_ops(6)).expect("valid");
+
+    c.net.run_until(Time::from_millis(14));
+    {
+        let app = controller(&mut c);
+        assert_eq!(
+            app.host_status(3),
+            Some(HostStatus::Down),
+            "silent host detected"
+        );
+        assert_eq!(app.in_sync_count(), 2, "reachable hosts converged");
+        assert!(!app.all_in_sync());
+        assert!(!app.round_active(), "round must not wait for a dead host");
+    }
+    for i in 0..2 {
+        assert_eq!(agent_enclave(&mut c, i).active_epoch(), 1);
+    }
+    assert_eq!(
+        agent_enclave(&mut c, 2).active_epoch(),
+        0,
+        "partitioned host still on the old epoch"
+    );
+
+    // Heal. Heartbeats resume, the controller notices the stale report
+    // and resyncs the host individually.
+    c.net.set_link_down(cut, false);
+    c.net.run_until(Time::from_millis(30));
+    {
+        let app = controller(&mut c);
+        assert_eq!(app.host_status(3), Some(HostStatus::Up), "rejoin noticed");
+        assert!(app.all_in_sync(), "lagging host reconciled");
+    }
+    let e = agent_enclave(&mut c, 2);
+    assert_eq!(e.active_epoch(), 1);
+    assert!(e.serves_single_epoch());
+}
+
+#[test]
+fn nacked_prepare_aborts_the_round_everywhere_and_rolls_back() {
+    let mut c = build_cluster(10, 3, CtrlConfig::default());
+    c.net.run_until(Time::from_millis(1));
+    let empty_digest = controller(&mut c).desired_digest();
+
+    // Push an update, let the round open and the prepares leave the
+    // controller...
+    controller(&mut c).set_desired(prio_ops(2)).expect("valid");
+    c.net.run_until(Time::from_micros(1_100));
+
+    // ...then sabotage host 2 before its prepare lands: a local bump to a
+    // far-future epoch makes the in-flight Prepare{1} stale there, so the
+    // agent nacks and the controller must abort the round everywhere.
+    {
+        let node = c.hosts[1].0;
+        let agent = c
+            .net
+            .node_mut::<Host<Idle>>(node)
+            .stack
+            .hook_mut::<EnclaveAgent>()
+            .unwrap();
+        let e = agent.enclave_mut();
+        e.stage_epoch(50, &[]).unwrap();
+        assert!(e.commit_epoch(50));
+    }
+
+    // Atomicity across the abort + re-heal churn: the nacked update's
+    // content (the prio-2 function) must never become active on any host.
+    let mut t = Time::from_micros(1_200);
+    while t <= Time::from_millis(10) {
+        c.net.run_until(t);
+        for i in 0..3 {
+            let e = agent_enclave(&mut c, i);
+            assert!(e.serves_single_epoch(), "host {i} mixed epochs at {t:?}");
+            assert_eq!(
+                e.config_digest(),
+                empty_digest,
+                "host {i} activated aborted content at {t:?}"
+            );
+        }
+        t += Time::from_micros(200);
+    }
+
+    // Desired state rolled back to the empty config; the reconciler then
+    // re-absorbed the diverged host under a fresh epoch above its bump.
+    let app = controller(&mut c);
+    assert_eq!(app.desired_digest(), empty_digest, "content rolled back");
+    assert!(app.all_in_sync(), "fleet re-converged");
+    assert!(
+        app.desired_epoch() > 50,
+        "fresh epoch outbids the divergence (got {})",
+        app.desired_epoch()
+    );
+}

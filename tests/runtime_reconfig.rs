@@ -7,7 +7,7 @@
 //! anything or losing per-message state.
 
 use eden::apps::functions;
-use eden::core::{Controller, Enclave, EnclaveConfig, MatchSpec, TableId};
+use eden::core::{Controller, Enclave, EnclaveConfig, EnclaveOp, MatchSpec, TableId};
 use eden::netsim::{EdenMeta, LinkSpec, Network, Switch, SwitchConfig, Time};
 use eden::transport::{app_timer_token, App, ConnId, Host, Stack, StackConfig};
 use netsim::Ctx;
@@ -86,6 +86,73 @@ impl eden::transport::PacketHook for RecordPrio {
 
     fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
         self
+    }
+}
+
+/// Epoch-based rule swap against a live batch pipeline: every
+/// `process_batch` call runs against exactly one epoch's rule table —
+/// a swap staged (or even committed) between batches can never split a
+/// batch across configurations.
+#[test]
+fn epoch_swap_between_batches_is_observed_atomically() {
+    use eden::lang::{Access, HeaderField, Schema};
+    use eden::netsim::{Packet, SimRng, UdpHeader};
+
+    let schema =
+        Schema::new().packet_field("Priority", Access::ReadWrite, Some(HeaderField::Dot1qPcp));
+    let controller = Controller::new();
+    let epoch_ops = |prio: u8| -> Vec<EnclaveOp> {
+        let source = format!("fun (packet, msg, _global) -> packet.Priority <- {prio}");
+        let func = controller
+            .plan_function("set_prio", &source, &schema)
+            .expect("compiles");
+        vec![
+            EnclaveOp::Reset,
+            func,
+            EnclaveOp::InstallRule {
+                table: 0,
+                spec: MatchSpec::Any,
+                func: 0,
+            },
+        ]
+    };
+
+    let mut enclave = Enclave::new(EnclaveConfig::default());
+    enclave.stage_epoch(1, &epoch_ops(3)).expect("valid");
+    assert!(enclave.commit_epoch(1));
+
+    let mut rng = SimRng::new(5);
+    let batch = |n: u64| -> Vec<Packet> {
+        (0..16)
+            .map(|_| Packet::udp(1, 2, UdpHeader::default(), 400 + n as usize))
+            .collect()
+    };
+
+    let mut batch_prios: Vec<Vec<u8>> = Vec::new();
+    for i in 0..20u64 {
+        // Mid-sequence, swap the rule set: stage after batch 5 (staging
+        // alone must be invisible), commit after batch 10.
+        if i == 5 {
+            enclave.stage_epoch(2, &epoch_ops(6)).expect("valid");
+        }
+        if i == 10 {
+            assert!(enclave.commit_epoch(2));
+        }
+        let mut packets = batch(i);
+        enclave.process_batch(&mut packets, &mut rng, eden::netsim::Time::from_micros(i));
+        assert!(
+            enclave.serves_single_epoch(),
+            "mixed-epoch table after batch {i}"
+        );
+        batch_prios.push(packets.iter().map(|p| p.priority()).collect());
+    }
+
+    for (i, prios) in batch_prios.iter().enumerate() {
+        let expect = if i < 10 { 3 } else { 6 };
+        assert!(
+            prios.iter().all(|&p| p == expect),
+            "batch {i} not homogeneous at priority {expect}: {prios:?}"
+        );
     }
 }
 
