@@ -441,16 +441,23 @@ fn replica_select_schema() -> Schema {
         .global_array("Replicas", &[""], Access::ReadOnly)
 }
 
+// The modulo must be taken euclidean-style: application key hashes are
+// arbitrary i64s, and a negative remainder would index out of bounds.
 const REPLICA_SELECT_SRC: &str = r#"
 fun (packet: Packet, msg: Message, _global: Global) ->
     let replicas = _global.Replicas
-    packet.Dst <- replicas.[packet.KeyHash % replicas.Length]
+    let rem = packet.KeyHash % replicas.Length
+    let index = if rem < 0 then rem + replicas.Length else rem
+    packet.Dst <- replicas.[index]
 "#;
 
 fn replica_select_native() -> NativeFn {
     Box::new(|env: &mut NativeEnv<'_>| -> Result<Outcome, VmError> {
         let n = env.arr_len(0)?;
-        let idx = env.pkt(0)? % n;
+        let mut idx = env.pkt(0)? % n;
+        if idx < 0 {
+            idx += n;
+        }
         let dst = env.arr(0, idx)?;
         env.set_pkt(1, dst)?;
         Ok(Outcome::Done)
@@ -936,6 +943,38 @@ mod tests {
             seen.insert(p.ip.dst);
         }
         assert_eq!(seen.len(), 3);
+    }
+
+    // Pinned by the fuzz harness (exec-diff oracle): application key
+    // hashes are arbitrary i64s, and a negative one used to make
+    // `KeyHash % Length` negative — an out-of-bounds array index that
+    // trapped both forms. The remainder is now folded into [0, Length).
+    #[test]
+    fn replica_select_handles_negative_key_hashes() {
+        for native in [false, true] {
+            let mut e = build(&replica_select(), native);
+            let mut rng = SimRng::new(5);
+            for (i, key_hash) in [-1, i64::MIN, -8_399_315_476_207_701_023, -3]
+                .into_iter()
+                .enumerate()
+            {
+                let mut p = Packet::tcp(1, 2, TcpHeader::default(), 100);
+                p.meta = Some(EdenMeta {
+                    classes: vec![1],
+                    msg_id: 1 + i as u64,
+                    key_hash,
+                    ..Default::default()
+                });
+                let v = e.process(&mut p, &mut rng, Time::ZERO);
+                assert_eq!(v, HookVerdict::Pass, "native={native} hash={key_hash}");
+                assert!(
+                    [50, 51, 52].contains(&p.ip.dst),
+                    "native={native} hash={key_hash} routed to {}",
+                    p.ip.dst
+                );
+            }
+            assert_eq!(e.stats.faults, 0, "native={native}: negative hash trapped");
+        }
     }
 
     #[test]

@@ -1,0 +1,565 @@
+//! Bench regression gate: compare a fresh `BENCH_*.json` run against the
+//! checked-in baselines and fail on regressions past a threshold.
+//!
+//! ```text
+//! bench_gate --baseline baselines --current bench-artifacts [--threshold 0.25]
+//! ```
+//!
+//! Both paths may be directories (every `BENCH_*.json` in the baseline
+//! dir must have a counterpart in the current dir) or a pair of files.
+//! The comparator is schema-agnostic: it flattens each JSON document
+//! into `(metric path, value)` pairs, using non-metric fields (strings,
+//! identity integers like `lanes` or `hosts`) to key array elements, and
+//! only gates fields whose *names* identify a direction:
+//!
+//! * lower-is-better — time-like tokens: `ns`, `us`, `ms`, `latency`,
+//!   `p50`/`p95`/`p99`, `mean`, `max`
+//! * higher-is-better — rate-like tokens: `throughput`, `rate`, `sec`,
+//!   `ops`, `gbps`, `mbps`
+//!
+//! A gated metric moving in its bad direction by more than `threshold`
+//! (relative) is a regression. A baseline metric missing from the
+//! current run, or a quality flag (any boolean except `smoke`) flipping
+//! `true -> false`, is also a failure: silent schema drift must not
+//! read as a pass. Exit codes: 0 ok, 1 regression, 2 usage/IO error.
+//!
+//! Timing samples from smoke-sized runs are noisy; `--current` may be
+//! given several times (one directory per repetition) and the gate takes
+//! each metric's *best* sample — min for lower-is-better, max for
+//! higher-is-better — before comparing. Baselines should be captured the
+//! same way (best of N runs) so both sides estimate the same quantity:
+//! the machine's uncontended floor.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use eden_telemetry::Json;
+
+/// Which way a metric is allowed to move.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Direction {
+    LowerBetter,
+    HigherBetter,
+    /// Not a recognized metric: carried for presence checks only.
+    Unknown,
+}
+
+/// Classify a field name by its `_`-separated tokens.
+fn direction(name: &str) -> Direction {
+    let tokens: Vec<&str> = name.split('_').collect();
+    const LOWER: &[&str] = &[
+        "ns", "us", "ms", "latency", "p50", "p95", "p99", "mean", "max",
+    ];
+    const HIGHER: &[&str] = &["throughput", "rate", "sec", "ops", "gbps", "mbps"];
+    if tokens.iter().any(|t| LOWER.contains(t)) {
+        Direction::LowerBetter
+    } else if tokens.iter().any(|t| HIGHER.contains(t)) {
+        Direction::HigherBetter
+    } else {
+        Direction::Unknown
+    }
+}
+
+/// One extracted value: a gated number or a quality flag.
+#[derive(Debug, Clone, PartialEq)]
+enum Metric {
+    Number(f64, Direction),
+    Flag(bool),
+}
+
+/// Flatten a document into `path -> metric`. Array elements of objects
+/// are keyed by their identity fields (strings plus numbers that are not
+/// direction-classified), so reordering points does not shift metrics.
+fn flatten(doc: &Json) -> BTreeMap<String, Metric> {
+    let mut out = BTreeMap::new();
+    walk(doc, "", &mut out);
+    out
+}
+
+fn walk(v: &Json, path: &str, out: &mut BTreeMap<String, Metric>) {
+    match v {
+        Json::Obj(fields) => {
+            for (k, v) in fields {
+                let sub = if path.is_empty() {
+                    k.clone()
+                } else {
+                    format!("{path}.{k}")
+                };
+                match v {
+                    Json::Bool(b) if k != "smoke" => {
+                        out.insert(sub, Metric::Flag(*b));
+                    }
+                    Json::Bool(_) => {}
+                    Json::Int(_) | Json::UInt(_) | Json::Float(_) => {
+                        let d = direction(k);
+                        if d != Direction::Unknown {
+                            out.insert(sub, Metric::Number(as_f64(v), d));
+                        }
+                    }
+                    _ => walk(v, &sub, out),
+                }
+            }
+        }
+        Json::Arr(items) => {
+            for (i, item) in items.iter().enumerate() {
+                let key = element_key(item).unwrap_or_else(|| format!("[{i}]"));
+                walk(item, &format!("{path}{key}"), out);
+            }
+        }
+        _ => {}
+    }
+}
+
+fn as_f64(v: &Json) -> f64 {
+    match v {
+        Json::Int(i) => *i as f64,
+        Json::UInt(u) => *u as f64,
+        Json::Float(f) => *f,
+        _ => f64::NAN,
+    }
+}
+
+/// Identity key for an object inside an array: every string and boolean
+/// field plus every number field that is not itself a gated metric.
+/// Booleans are identity here (e.g. `parallel=true` names a *different
+/// measurement*, not a quality verdict), which also lets `--skip` target
+/// whole point families.
+fn element_key(v: &Json) -> Option<String> {
+    let Json::Obj(fields) = v else { return None };
+    let mut parts = Vec::new();
+    for (k, v) in fields {
+        match v {
+            Json::Str(s) => parts.push(format!("{k}={s}")),
+            Json::Bool(b) => parts.push(format!("{k}={b}")),
+            Json::Int(_) | Json::UInt(_) | Json::Float(_) if direction(k) == Direction::Unknown => {
+                parts.push(format!("{k}={}", as_f64(v)))
+            }
+            _ => {}
+        }
+    }
+    if parts.is_empty() {
+        None
+    } else {
+        Some(format!("[{}]", parts.join(",")))
+    }
+}
+
+/// Compare two flattened documents; returns human-readable failures.
+/// Paths containing any `skip` substring are exempt (used for point
+/// families the bench itself documents as machine-dependent, like the
+/// lane-parallel wall-clock timings).
+fn compare(
+    baseline: &BTreeMap<String, Metric>,
+    current: &BTreeMap<String, Metric>,
+    threshold: f64,
+    skip: &[String],
+) -> Vec<String> {
+    let mut failures = Vec::new();
+    for (path, base) in baseline {
+        if skip.iter().any(|s| path.contains(s.as_str())) {
+            continue;
+        }
+        let Some(cur) = current.get(path) else {
+            failures.push(format!(
+                "{path}: present in baseline, missing from current run"
+            ));
+            continue;
+        };
+        match (base, cur) {
+            (Metric::Flag(was), Metric::Flag(is)) => {
+                if *was && !*is {
+                    failures.push(format!("{path}: quality flag regressed true -> false"));
+                }
+            }
+            (Metric::Number(b, d), Metric::Number(c, _)) => {
+                if *b == 0.0 || !b.is_finite() || !c.is_finite() {
+                    continue;
+                }
+                let rel = (c - b) / b;
+                let regressed = match d {
+                    Direction::LowerBetter => rel > threshold,
+                    Direction::HigherBetter => rel < -threshold,
+                    Direction::Unknown => false,
+                };
+                if regressed {
+                    failures.push(format!(
+                        "{path}: {b:.3} -> {c:.3} ({:+.1}%, threshold {:.0}%)",
+                        rel * 100.0,
+                        threshold * 100.0
+                    ));
+                }
+            }
+            _ => failures.push(format!("{path}: metric changed kind between runs")),
+        }
+    }
+    failures
+}
+
+/// Element-wise best merge of two structurally identical bench documents
+/// (same bench binary, so array point order matches). Used by
+/// `--merge-out` to distill N repetitions into one baseline file whose
+/// every timing is the machine's observed floor.
+fn merge_docs(a: &Json, b: &Json, field: &str) -> Json {
+    match (a, b) {
+        (Json::Obj(fa), Json::Obj(fb)) => Json::Obj(
+            fa.iter()
+                .map(|(k, va)| {
+                    let merged = match fb.iter().find(|(kb, _)| kb == k) {
+                        Some((_, vb)) => merge_docs(va, vb, k),
+                        None => va.clone(),
+                    };
+                    (k.clone(), merged)
+                })
+                .collect(),
+        ),
+        (Json::Arr(ia), Json::Arr(ib)) => Json::Arr(
+            ia.iter()
+                .enumerate()
+                .map(|(i, va)| match ib.get(i) {
+                    Some(vb) => merge_docs(va, vb, field),
+                    None => va.clone(),
+                })
+                .collect(),
+        ),
+        (Json::Bool(ba), Json::Bool(bb)) if field != "smoke" => Json::Bool(*ba && *bb),
+        _ if matches!(a, Json::Int(_) | Json::UInt(_) | Json::Float(_))
+            && matches!(b, Json::Int(_) | Json::UInt(_) | Json::Float(_)) =>
+        {
+            match direction(field) {
+                Direction::LowerBetter if as_f64(b) < as_f64(a) => b.clone(),
+                Direction::HigherBetter if as_f64(b) > as_f64(a) => b.clone(),
+                _ => a.clone(),
+            }
+        }
+        _ => a.clone(),
+    }
+}
+
+fn load(path: &Path) -> Result<BTreeMap<String, Metric>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    let doc = Json::parse(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+    Ok(flatten(&doc))
+}
+
+/// Fold repetition `next` into `acc`, keeping each number's best sample.
+/// Flags are AND-ed: a quality bool must hold in *every* repetition.
+fn merge_best(acc: &mut BTreeMap<String, Metric>, next: BTreeMap<String, Metric>) {
+    for (path, m) in next {
+        let merged = match (acc.get(&path), &m) {
+            (Some(Metric::Number(best, d)), Metric::Number(v, _)) => {
+                let b = match d {
+                    Direction::HigherBetter => best.max(*v),
+                    _ => best.min(*v),
+                };
+                Metric::Number(b, *d)
+            }
+            (Some(Metric::Flag(held)), Metric::Flag(v)) => Metric::Flag(*held && *v),
+            _ => m,
+        };
+        acc.insert(path, merged);
+    }
+}
+
+/// Resolve `--baseline`/`--current` into matched file sets: each baseline
+/// file against its counterpart in every repetition directory.
+fn pair_up(baseline: &Path, current: &[PathBuf]) -> Result<Vec<(PathBuf, Vec<PathBuf>)>, String> {
+    if baseline.is_file() {
+        return Ok(vec![(baseline.to_path_buf(), current.to_vec())]);
+    }
+    let mut pairs = Vec::new();
+    let entries =
+        std::fs::read_dir(baseline).map_err(|e| format!("{}: {e}", baseline.display()))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| e.to_string())?;
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if name.starts_with("BENCH_") && name.ends_with(".json") {
+            pairs.push((
+                entry.path(),
+                current.iter().map(|c| c.join(&*name)).collect(),
+            ));
+        }
+    }
+    pairs.sort();
+    if pairs.is_empty() {
+        return Err(format!("no BENCH_*.json files in {}", baseline.display()));
+    }
+    Ok(pairs)
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: bench_gate --baseline <dir|file> --current <dir|file> \
+         [--current <dir|file>]... [--threshold 0.25] [--skip <substring>]...\n\
+         \x20      bench_gate --merge-out <dir> --current <dir> [--current <dir>]..."
+    );
+    ExitCode::from(2)
+}
+
+/// Fold every repetition's `BENCH_*.json` into best-sample baseline files
+/// under `out` (the `--merge-out` mode, for refreshing `baselines/`).
+fn merge_out(out: &Path, current: &[PathBuf]) -> Result<(), String> {
+    let first = current.first().ok_or("no --current directories")?;
+    let entries = std::fs::read_dir(first).map_err(|e| format!("{}: {e}", first.display()))?;
+    let mut names: Vec<String> = entries
+        .filter_map(|e| e.ok())
+        .map(|e| e.file_name().to_string_lossy().into_owned())
+        .filter(|n| n.starts_with("BENCH_") && n.ends_with(".json"))
+        .collect();
+    names.sort();
+    if names.is_empty() {
+        return Err(format!("no BENCH_*.json files in {}", first.display()));
+    }
+    std::fs::create_dir_all(out).map_err(|e| format!("{}: {e}", out.display()))?;
+    for name in &names {
+        let mut merged: Option<Json> = None;
+        for dir in current {
+            let path = dir.join(name);
+            let text =
+                std::fs::read_to_string(&path).map_err(|e| format!("{}: {e}", path.display()))?;
+            let doc = Json::parse(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+            merged = Some(match merged {
+                Some(acc) => merge_docs(&acc, &doc, ""),
+                None => doc,
+            });
+        }
+        let target = out.join(name);
+        let text = merged.expect("at least one repetition").render();
+        std::fs::write(&target, text + "\n").map_err(|e| format!("{}: {e}", target.display()))?;
+        println!(
+            "wrote {} (best of {} runs)",
+            target.display(),
+            current.len()
+        );
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let mut baseline: Option<PathBuf> = None;
+    let mut merge_target: Option<PathBuf> = None;
+    let mut current: Vec<PathBuf> = Vec::new();
+    let mut skip: Vec<String> = Vec::new();
+    let mut threshold = 0.25f64;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--baseline" => baseline = args.next().map(PathBuf::from),
+            "--merge-out" => merge_target = args.next().map(PathBuf::from),
+            "--current" => match args.next() {
+                Some(c) => current.push(PathBuf::from(c)),
+                None => return usage(),
+            },
+            "--skip" => match args.next() {
+                Some(s) => skip.push(s),
+                None => return usage(),
+            },
+            "--threshold" => {
+                threshold = match args.next().and_then(|v| v.parse().ok()) {
+                    Some(t) => t,
+                    None => return usage(),
+                }
+            }
+            _ => return usage(),
+        }
+    }
+    if current.is_empty() {
+        return usage();
+    }
+    if let Some(out) = merge_target {
+        return match merge_out(&out, &current) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("bench_gate: {e}");
+                ExitCode::from(2)
+            }
+        };
+    }
+    let Some(baseline) = baseline else {
+        return usage();
+    };
+
+    let pairs = match pair_up(&baseline, &current) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("bench_gate: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let mut total_failures = 0usize;
+    for (base_path, cur_paths) in &pairs {
+        let base = match load(base_path) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("bench_gate: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let mut cur = BTreeMap::new();
+        for p in cur_paths {
+            match load(p) {
+                Ok(rep) => merge_best(&mut cur, rep),
+                Err(e) => {
+                    eprintln!("bench_gate: {e}");
+                    return ExitCode::from(2);
+                }
+            }
+        }
+        let gated = base
+            .values()
+            .filter(|m| matches!(m, Metric::Number(..)))
+            .count();
+        let failures = compare(&base, &cur, threshold, &skip);
+        println!(
+            "{}: {} gated metrics, {} regressions",
+            base_path.display(),
+            gated,
+            failures.len()
+        );
+        for f in &failures {
+            println!("  REGRESSION {f}");
+        }
+        total_failures += failures.len();
+    }
+    if total_failures > 0 {
+        eprintln!("bench_gate: {total_failures} regression(s) past the threshold");
+        ExitCode::FAILURE
+    } else {
+        println!("bench_gate: ok");
+        ExitCode::SUCCESS
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flat(text: &str) -> BTreeMap<String, Metric> {
+        flatten(&Json::parse(text).unwrap())
+    }
+
+    #[test]
+    fn directions_classify_by_token() {
+        assert_eq!(direction("ns_per_packet"), Direction::LowerBetter);
+        assert_eq!(direction("push_mean_us"), Direction::LowerBetter);
+        assert_eq!(direction("rejoin_max_us"), Direction::LowerBetter);
+        assert_eq!(direction("msgs_per_sec"), Direction::HigherBetter);
+        // "functions" must not match the "ns" token, "lanes" is identity
+        assert_eq!(direction("functions"), Direction::Unknown);
+        assert_eq!(direction("lanes"), Direction::Unknown);
+        assert_eq!(direction("batch_size"), Direction::Unknown);
+    }
+
+    #[test]
+    fn array_elements_key_by_identity_not_position() {
+        let a = flat(r#"{"points":[{"function":"sff","lanes":4,"ns_per_packet":100}]}"#);
+        let b = flat(
+            r#"{"points":[{"function":"wcmp","lanes":1,"ns_per_packet":5},
+                          {"function":"sff","lanes":4,"ns_per_packet":100}]}"#,
+        );
+        // the sff point matches across runs even though its index moved
+        assert!(compare(&a, &b, 0.25, &[]).is_empty());
+    }
+
+    #[test]
+    fn regression_past_threshold_fails_in_the_bad_direction_only() {
+        let base = flat(r#"{"ns_per_packet":100,"msgs_per_sec":1000}"#);
+        let slower = flat(r#"{"ns_per_packet":126,"msgs_per_sec":1000}"#);
+        let faster = flat(r#"{"ns_per_packet":10,"msgs_per_sec":4000}"#);
+        let lower_rate = flat(r#"{"ns_per_packet":100,"msgs_per_sec":700}"#);
+        assert_eq!(compare(&base, &slower, 0.25, &[]).len(), 1);
+        assert!(compare(&base, &faster, 0.25, &[]).is_empty());
+        assert_eq!(compare(&base, &lower_rate, 0.25, &[]).len(), 1);
+    }
+
+    #[test]
+    fn missing_metric_and_flag_flip_fail() {
+        let base = flat(r#"{"amortized_all":true,"ns_per_packet":100}"#);
+        let flipped = flat(r#"{"amortized_all":false,"ns_per_packet":100}"#);
+        let gone = flat(r#"{"amortized_all":true}"#);
+        assert_eq!(compare(&base, &flipped, 0.25, &[]).len(), 1);
+        assert_eq!(compare(&base, &gone, 0.25, &[]).len(), 1);
+    }
+
+    #[test]
+    fn best_of_n_keeps_the_best_sample_per_direction() {
+        let mut acc = flat(r#"{"ns_per_packet":120,"msgs_per_sec":900,"amortized_all":true}"#);
+        merge_best(
+            &mut acc,
+            flat(r#"{"ns_per_packet":95,"msgs_per_sec":700,"amortized_all":false}"#),
+        );
+        assert_eq!(
+            acc.get("ns_per_packet"),
+            Some(&Metric::Number(95.0, Direction::LowerBetter))
+        );
+        assert_eq!(
+            acc.get("msgs_per_sec"),
+            Some(&Metric::Number(900.0, Direction::HigherBetter))
+        );
+        // a quality flag must hold in every repetition
+        assert_eq!(acc.get("amortized_all"), Some(&Metric::Flag(false)));
+    }
+
+    #[test]
+    fn smoke_flag_is_not_gated() {
+        let base = flat(r#"{"smoke":true,"ns_per_packet":100}"#);
+        let cur = flat(r#"{"smoke":false,"ns_per_packet":100}"#);
+        assert!(compare(&base, &cur, 0.25, &[]).is_empty());
+    }
+
+    #[test]
+    fn skip_patterns_exempt_machine_dependent_points() {
+        let base = flat(
+            r#"{"points":[{"function":"sff","parallel":true,"ns_per_packet":100},
+                          {"function":"sff","parallel":false,"ns_per_packet":100}]}"#,
+        );
+        let cur = flat(
+            r#"{"points":[{"function":"sff","parallel":true,"ns_per_packet":900},
+                          {"function":"sff","parallel":false,"ns_per_packet":100}]}"#,
+        );
+        assert_eq!(compare(&base, &cur, 0.25, &[]).len(), 1);
+        let skip = vec!["parallel=true".to_string()];
+        assert!(compare(&base, &cur, 0.25, &skip).is_empty());
+    }
+
+    #[test]
+    fn merge_docs_takes_best_leaf_per_direction() {
+        let a = Json::parse(
+            r#"{"smoke":true,"amortized_all":true,
+                "points":[{"function":"sff","lanes":4,"ns_per_packet":120.0}],
+                "msgs_per_sec":900}"#,
+        )
+        .unwrap();
+        let b = Json::parse(
+            r#"{"smoke":false,"amortized_all":false,
+                "points":[{"function":"sff","lanes":4,"ns_per_packet":95.0}],
+                "msgs_per_sec":700}"#,
+        )
+        .unwrap();
+        let m = merge_docs(&a, &b, "");
+        let text = m.render();
+        assert!(text.contains("\"ns_per_packet\":95"), "{text}");
+        assert!(text.contains("\"msgs_per_sec\":900"), "{text}");
+        // quality flag AND-ed, smoke kept from the first repetition
+        assert!(text.contains("\"amortized_all\":false"), "{text}");
+        assert!(text.contains("\"smoke\":true"), "{text}");
+    }
+
+    #[test]
+    fn real_batch_artifact_shape_round_trips() {
+        let doc = r#"{"smoke":true,"amortized_all":true,"points":[
+            {"function":"sff","concurrency":"parallel","lanes":1,"batch_size":1,
+             "ns_per_packet":388.1,"parallel":false}]}"#;
+        let m = flat(doc);
+        // exactly one gated number (ns_per_packet) and one flag (parallel)
+        assert_eq!(
+            m.values()
+                .filter(|v| matches!(v, Metric::Number(..)))
+                .count(),
+            1
+        );
+        assert!(compare(&m, &m, 0.25, &[]).is_empty());
+    }
+}

@@ -27,6 +27,14 @@ pub const FRAG_HEADER: usize = 10;
 /// reassembly for any realistic program push.
 pub const MAX_CHUNK: usize = 1024;
 
+/// Maximum fragments per logical message (1 MiB of payload at
+/// [`MAX_CHUNK`]). The fragment header carries `count` as an untrusted
+/// u16; without this bound a single 10-byte frame claiming 65535
+/// fragments would make the reassembler pre-allocate for all of them,
+/// letting a spoofed-frame stream pin megabytes per pending entry.
+/// [`fragment`] asserts the same bound on the send side.
+pub const MAX_FRAGS: usize = 1024;
+
 /// Controller → enclave-agent messages. `InstallFunction` / `InstallRule`
 /// / `RemoveRule` travel as [`EnclaveOp`]s inside `Prepare`: configuration
 /// only ever changes as an epoch, never as a lone op on the wire.
@@ -92,6 +100,11 @@ pub enum ProtoError {
     BadTag(u8),
     BadString,
     BadFragment,
+    /// A decoded schema is internally inconsistent (duplicate field or
+    /// array names, or more entries than slot numbering allows). Caught
+    /// here so crafted bytes can never reach the panicking
+    /// [`Schema`] builder asserts.
+    BadSchema,
 }
 
 impl std::fmt::Display for ProtoError {
@@ -102,6 +115,7 @@ impl std::fmt::Display for ProtoError {
             ProtoError::BadTag(t) => write!(f, "unknown tag {t}"),
             ProtoError::BadString => write!(f, "invalid utf-8 string"),
             ProtoError::BadFragment => write!(f, "inconsistent fragment header"),
+            ProtoError::BadSchema => write!(f, "inconsistent schema"),
         }
     }
 }
@@ -175,6 +189,13 @@ impl<'a> Reader<'a> {
     fn bytes(&mut self) -> Result<&'a [u8], ProtoError> {
         let n = self.u32()? as usize;
         self.take(n)
+    }
+    /// Bytes left in the buffer — the honest upper bound for any
+    /// count-prefixed pre-allocation (`Vec::with_capacity` from a length
+    /// field the sender controls must never exceed what the frame could
+    /// actually contain).
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
     }
     fn str(&mut self) -> Result<String, ProtoError> {
         let b = self.bytes()?;
@@ -293,8 +314,12 @@ fn put_schema(w: &mut Writer, s: &Schema) {
 }
 
 fn get_schema(r: &mut Reader<'_>) -> Result<Schema, ProtoError> {
+    // The Schema builder asserts on duplicate names and slot-number
+    // overflow — fine for programmer-built schemas, fatal for bytes off
+    // the wire. Validate everything here and return errors instead.
     let mut s = Schema::new();
     let nfields = r.u16()?;
+    let mut seen: Vec<(u8, String)> = Vec::with_capacity((nfields as usize).min(r.remaining()));
     for _ in 0..nfields {
         let name = r.str()?;
         let scope = r.u8()?;
@@ -304,22 +329,38 @@ fn get_schema(r: &mut Reader<'_>) -> Result<Schema, ProtoError> {
             1 => Some(header_from_u8(r.u8()?)?),
             other => return Err(ProtoError::BadTag(other)),
         };
+        if scope > 2 {
+            return Err(ProtoError::BadTag(scope));
+        }
+        if seen.iter().any(|(sc, n)| *sc == scope && *n == name) {
+            return Err(ProtoError::BadSchema);
+        }
+        if seen.iter().filter(|(sc, _)| *sc == scope).count() > u8::MAX as usize {
+            return Err(ProtoError::BadSchema);
+        }
+        seen.push((scope, name.clone()));
         s = match scope {
             0 => s.packet_field(&name, access, header),
             1 => s.msg_field(&name, access),
-            2 => s.global_field(&name, access),
-            other => return Err(ProtoError::BadTag(other)),
+            _ => s.global_field(&name, access),
         };
     }
     let narrays = r.u16()?;
+    if narrays as usize > u8::MAX as usize + 1 {
+        return Err(ProtoError::BadSchema);
+    }
     for _ in 0..narrays {
         let name = r.str()?;
         let nf = r.u16()?;
-        let mut fields = Vec::with_capacity(nf as usize);
+        // each field name costs at least its 4-byte length prefix
+        let mut fields = Vec::with_capacity((nf as usize).min(r.remaining() / 4));
         for _ in 0..nf {
             fields.push(r.str()?);
         }
         let access = access_from_u8(r.u8()?)?;
+        if s.arrays().iter().any(|a| a.name == name) {
+            return Err(ProtoError::BadSchema);
+        }
         let refs: Vec<&str> = fields.iter().map(String::as_str).collect();
         s = s.global_array(&name, &refs, access);
     }
@@ -349,7 +390,8 @@ fn get_spec(r: &mut Reader<'_>) -> Result<MatchSpec, ProtoError> {
         1 => MatchSpec::Class(ClassId(r.u32()?)),
         2 => {
             let n = r.u16()?;
-            let mut cs = Vec::with_capacity(n as usize);
+            // each class id needs 4 more bytes of input
+            let mut cs = Vec::with_capacity((n as usize).min(r.remaining() / 4));
             for _ in 0..n {
                 cs.push(ClassId(r.u32()?));
             }
@@ -451,7 +493,10 @@ fn get_op(r: &mut Reader<'_>) -> Result<EnclaveOp, ProtoError> {
             let func = r.u32()? as usize;
             let array = r.u32()? as usize;
             let n = r.u32()? as usize;
-            let mut values = Vec::with_capacity(n);
+            // `n` is attacker-controlled (up to 4 Gi elements = 32 GiB);
+            // every element needs 8 more input bytes, so cap the
+            // pre-allocation at what the frame can actually deliver
+            let mut values = Vec::with_capacity(n.min(r.remaining() / 8));
             for _ in 0..n {
                 values.push(r.i64()?);
             }
@@ -541,7 +586,8 @@ pub fn decode_msg(buf: &[u8]) -> Result<CtrlMsg, ProtoError> {
         1 => {
             let epoch = r.u64()?;
             let n = r.u16()?;
-            let mut ops = Vec::with_capacity(n as usize);
+            // every op costs at least its 1-byte tag
+            let mut ops = Vec::with_capacity((n as usize).min(r.remaining()));
             for _ in 0..n {
                 ops.push(get_op(&mut r)?);
             }
@@ -667,7 +713,7 @@ pub fn decode_reply(buf: &[u8]) -> Result<CtrlReply, ProtoError> {
 /// collapse in the reassembler.
 pub fn fragment(msg_id: u32, payload: &[u8]) -> Vec<Vec<u8>> {
     let count = payload.len().div_ceil(MAX_CHUNK).max(1);
-    assert!(count <= u16::MAX as usize, "message too large");
+    assert!(count <= MAX_FRAGS, "message too large");
     let mut frames = Vec::with_capacity(count);
     for idx in 0..count {
         let chunk = &payload[idx * MAX_CHUNK..((idx + 1) * MAX_CHUNK).min(payload.len())];
@@ -727,7 +773,7 @@ impl Reassembler {
         let msg_id = u32::from_le_bytes(frame[2..6].try_into().unwrap());
         let idx = u16::from_le_bytes(frame[6..8].try_into().unwrap());
         let count = u16::from_le_bytes(frame[8..10].try_into().unwrap());
-        if count == 0 || idx >= count {
+        if count == 0 || idx >= count || count as usize > MAX_FRAGS {
             return Err(ProtoError::BadFragment);
         }
         let chunk = &frame[FRAG_HEADER..];
@@ -772,6 +818,25 @@ impl Reassembler {
             payload.extend_from_slice(&part.expect("all fragments received"));
         }
         Ok(Some(payload))
+    }
+
+    /// Number of incomplete messages currently held.
+    pub fn pending_messages(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Total payload bytes buffered across all incomplete messages — what
+    /// the codec-robustness fuzzer checks against its memory bound.
+    pub fn buffered_bytes(&self) -> usize {
+        self.pending
+            .iter()
+            .map(|p| {
+                p.parts
+                    .iter()
+                    .map(|part| part.as_ref().map_or(0, Vec::len))
+                    .sum::<usize>()
+            })
+            .sum()
     }
 }
 
@@ -967,5 +1032,96 @@ mod tests {
         let mut f = fragment(1, &[1, 2, 3]).remove(0);
         f[6] = 9; // idx >= count
         assert_eq!(r.accept(1, &f), Err(ProtoError::BadFragment));
+    }
+
+    /// Build a raw fragment frame without going through [`fragment`], so
+    /// tests can claim whatever `count` they like.
+    fn raw_frame(msg_id: u32, idx: u16, count: u16, chunk: &[u8]) -> Vec<u8> {
+        let mut f = Vec::new();
+        f.extend_from_slice(&MAGIC.to_le_bytes());
+        f.extend_from_slice(&msg_id.to_le_bytes());
+        f.extend_from_slice(&idx.to_le_bytes());
+        f.extend_from_slice(&count.to_le_bytes());
+        f.extend_from_slice(chunk);
+        f
+    }
+
+    // Pinned by the fuzz harness: a single 11-byte spoofed frame used to
+    // make the reassembler pre-allocate 65535 fragment slots; repeated
+    // across msg ids that pinned ~1.5 MB per pending entry.
+    #[test]
+    fn oversized_fragment_count_rejected() {
+        let mut r = Reassembler::new(64);
+        let f = raw_frame(1, 0, u16::MAX, &[0xAB]);
+        assert_eq!(r.accept(1, &f), Err(ProtoError::BadFragment));
+        assert_eq!(r.pending_messages(), 0);
+        // the largest legal count is fine
+        let f = raw_frame(2, 0, MAX_FRAGS as u16, &[0xAB]);
+        assert_eq!(r.accept(1, &f), Ok(None));
+        assert_eq!(r.pending_messages(), 1);
+        assert_eq!(r.buffered_bytes(), 1);
+    }
+
+    // Pinned by the fuzz harness: a crafted `Prepare` whose InstallFunction
+    // schema declares the same field twice reached the Schema builder's
+    // `assert!` and panicked the decoder.
+    #[test]
+    fn crafted_duplicate_schema_field_is_error_not_panic() {
+        let mut w = Writer::default();
+        w.u8(1); // Prepare
+        w.u64(7); // epoch
+        w.u16(1); // one op
+        w.u8(3); // InstallFunction
+        w.str("f");
+        w.bytes(&[]); // bytecode
+        w.u16(2); // two schema fields...
+        for _ in 0..2 {
+            w.str("A"); // ...with the same name
+            w.u8(0); // scope: packet
+            w.u8(0); // access: read-only
+            w.u8(0); // no header
+        }
+        w.u16(0); // no arrays
+        w.u8(0); // concurrency
+        assert_eq!(decode_msg(&w.0), Err(ProtoError::BadSchema));
+    }
+
+    // Pinned by the fuzz harness: same panic through the duplicate-array
+    // assert.
+    #[test]
+    fn crafted_duplicate_schema_array_is_error_not_panic() {
+        let mut w = Writer::default();
+        w.u8(1); // Prepare
+        w.u64(7);
+        w.u16(1);
+        w.u8(3); // InstallFunction
+        w.str("f");
+        w.bytes(&[]);
+        w.u16(0); // no fields
+        w.u16(2); // two arrays...
+        for _ in 0..2 {
+            w.str("Xs"); // ...with the same name
+            w.u16(1);
+            w.str("V");
+            w.u8(0); // access
+        }
+        w.u8(0);
+        assert_eq!(decode_msg(&w.0), Err(ProtoError::BadSchema));
+    }
+
+    // Pinned by the fuzz harness: a `SetArray` op whose length field says
+    // u32::MAX elements made the decoder reserve 32 GiB up front before
+    // the first element read could fail.
+    #[test]
+    fn set_array_length_lie_is_truncated_not_oom() {
+        let mut w = Writer::default();
+        w.u8(1); // Prepare
+        w.u64(7);
+        w.u16(1);
+        w.u8(7); // SetArray
+        w.u32(0); // func
+        w.u32(0); // array
+        w.u32(u32::MAX); // claimed element count, no data follows
+        assert_eq!(decode_msg(&w.0), Err(ProtoError::Truncated));
     }
 }

@@ -1,0 +1,291 @@
+//! Raw bytecode generation and byte-level mutation.
+//!
+//! Two generators feed the verifier oracle:
+//!
+//! * **wild** — arbitrary op vectors with *mostly* plausible operands
+//!   (slots that usually exist, jump targets that are usually in range).
+//!   Fully random operands would make the verifier reject ~everything at
+//!   the first op; biased operands keep a useful share of programs alive
+//!   deep into the dataflow pass, where the interesting bugs live.
+//! * **structured** — stack-depth-tracked straight-line programs that are
+//!   correct by construction, exercising the *accept* path: the verifier
+//!   must pass them and the interpreter must then never hit a
+//!   verifier-class trap.
+//!
+//! [`mutate_bytes`] is the shared byte mutator for the codec oracle.
+
+use crate::rng::FuzzRng;
+use eden_vm::{FuncInfo, Op};
+
+/// A generated raw program, pre-verification.
+#[derive(Debug, Clone)]
+pub struct RawProgram {
+    pub ops: Vec<Op>,
+    pub funcs: Vec<FuncInfo>,
+    pub entry_locals: u8,
+}
+
+/// Locals/slots/arrays the verifier-oracle host will actually provide;
+/// wild operands are biased toward (but not limited to) these.
+pub const HOST_SLOTS: u8 = 8;
+pub const HOST_ARRAYS: u8 = 4;
+
+fn wild_slot(rng: &mut FuzzRng) -> u8 {
+    if rng.chance(9, 10) {
+        rng.below(HOST_SLOTS as u64 + 2) as u8
+    } else {
+        rng.next_u64() as u8
+    }
+}
+
+fn wild_array(rng: &mut FuzzRng) -> u8 {
+    if rng.chance(9, 10) {
+        rng.below(HOST_ARRAYS as u64 + 1) as u8
+    } else {
+        rng.next_u64() as u8
+    }
+}
+
+fn wild_target(rng: &mut FuzzRng, len: usize) -> u32 {
+    if rng.chance(15, 16) {
+        rng.below(len as u64 + 2) as u32
+    } else {
+        rng.next_u64() as u32
+    }
+}
+
+fn wild_op(rng: &mut FuzzRng, len: usize, nfuncs: usize) -> Op {
+    match rng.below(26) {
+        0 => Op::Push(rng.interesting_i64()),
+        1 => Op::Dup,
+        2 => Op::Pop,
+        3 => Op::Swap,
+        4 => Op::LoadLocal(wild_slot(rng)),
+        5 => Op::StoreLocal(wild_slot(rng)),
+        6 => Op::LoadPkt(wild_slot(rng)),
+        7 => Op::StorePkt(wild_slot(rng)),
+        8 => Op::LoadMsg(wild_slot(rng)),
+        9 => Op::StoreMsg(wild_slot(rng)),
+        10 => Op::LoadGlob(wild_slot(rng)),
+        11 => Op::StoreGlob(wild_slot(rng)),
+        12 => Op::ArrLoad(wild_array(rng)),
+        13 => Op::ArrStore(wild_array(rng)),
+        14 => Op::ArrLen(wild_array(rng)),
+        15 => *rng.pick(&[Op::Add, Op::Sub, Op::Mul, Op::Div, Op::Rem, Op::Neg]),
+        16 => *rng.pick(&[Op::And, Op::Or, Op::Xor, Op::Not, Op::Shl, Op::Shr]),
+        17 => *rng.pick(&[Op::Eq, Op::Ne, Op::Lt, Op::Le, Op::Gt, Op::Ge]),
+        18 => Op::Jmp(wild_target(rng, len)),
+        19 => Op::JmpIf(wild_target(rng, len)),
+        20 => Op::JmpIfNot(wild_target(rng, len)),
+        21 => Op::Call(rng.below(nfuncs as u64 + 2) as u16),
+        22 => Op::Ret,
+        23 => *rng.pick(&[Op::Rand, Op::RandRange, Op::Now, Op::Hash]),
+        24 => *rng.pick(&[Op::Drop, Op::SetQueue, Op::ToController, Op::GotoTable]),
+        _ => Op::Halt,
+    }
+}
+
+/// Arbitrary op vector; most are rejected by the verifier (that's the
+/// point — every rejection path gets exercised), some survive and run.
+pub fn gen_wild(rng: &mut FuzzRng) -> RawProgram {
+    let len = rng.range(1, 40);
+    let nfuncs = rng.below(3) as usize;
+    let funcs = (0..nfuncs)
+        .map(|_| {
+            let arity = rng.below(3) as u8;
+            FuncInfo {
+                entry: if rng.chance(15, 16) {
+                    rng.below(len as u64) as u32
+                } else {
+                    rng.next_u64() as u32
+                },
+                arity,
+                n_locals: if rng.chance(7, 8) {
+                    arity + rng.below(3) as u8
+                } else {
+                    rng.next_u64() as u8
+                },
+            }
+        })
+        .collect();
+    let ops = (0..len).map(|_| wild_op(rng, len, nfuncs)).collect();
+    RawProgram {
+        ops,
+        funcs,
+        entry_locals: HOST_SLOTS,
+    }
+}
+
+/// Stack-tracked straight-line program: always verifies, and the verifier
+/// accepting it is then a *promise* the oracle holds the interpreter to.
+pub fn gen_structured(rng: &mut FuzzRng) -> RawProgram {
+    let n = rng.range(3, 30);
+    let mut ops: Vec<Op> = Vec::with_capacity(n + 1);
+    let mut depth: i32 = 0;
+    for _ in 0..n {
+        // pick ops legal at the current depth; keep depth modest so the
+        // runtime stack limit stays out of the picture
+        let imm = rng.interesting_i64();
+        let slot = rng.below(HOST_SLOTS as u64) as u8;
+        let arr = rng.below(HOST_ARRAYS as u64) as u8;
+        let op = if depth == 0 {
+            match rng.below(7) {
+                0 => Op::Push(imm),
+                1 => Op::LoadLocal(slot),
+                2 => Op::LoadPkt(slot),
+                3 => Op::LoadGlob(slot),
+                4 => Op::ArrLen(arr),
+                5 => Op::Rand,
+                _ => Op::Now,
+            }
+        } else if depth == 1 {
+            match rng.below(12) {
+                0 => Op::Push(imm),
+                1 => Op::Dup,
+                2 => Op::Pop,
+                3 => Op::Neg,
+                4 => Op::Not,
+                5 => Op::StoreLocal(slot),
+                6 => Op::StorePkt(slot),
+                7 => Op::StoreMsg(slot),
+                8 => Op::StoreGlob(slot),
+                9 => Op::ArrLoad(arr),
+                10 => Op::LoadMsg(slot),
+                _ => Op::RandRange,
+            }
+        } else if depth >= 6 {
+            *rng.pick(&[Op::Pop, Op::Add, Op::Xor, Op::Hash, Op::Eq])
+        } else {
+            match rng.below(23) {
+                0 => Op::Push(imm),
+                1 => Op::Dup,
+                2 => Op::Pop,
+                3 => Op::Swap,
+                4 => Op::Add,
+                5 => Op::Sub,
+                6 => Op::Mul,
+                7 => Op::Div,
+                8 => Op::Rem,
+                9 => Op::And,
+                10 => Op::Or,
+                11 => Op::Xor,
+                12 => Op::Shl,
+                13 => Op::Shr,
+                14 => Op::Eq,
+                15 => Op::Ne,
+                16 => Op::Lt,
+                17 => Op::Le,
+                18 => Op::Gt,
+                19 => Op::Ge,
+                20 => Op::Hash,
+                21 => Op::ArrStore(arr),
+                _ => Op::LoadLocal(slot),
+            }
+        };
+        depth += delta(&op);
+        debug_assert!(depth >= 0, "structured generator broke its own invariant");
+        ops.push(op);
+    }
+    ops.push(Op::Halt);
+    RawProgram {
+        ops,
+        funcs: vec![],
+        entry_locals: HOST_SLOTS,
+    }
+}
+
+/// Stack delta for the ops the structured generator emits (mirror of the
+/// verifier's table, kept local because the VM's copy is crate-private).
+fn delta(op: &Op) -> i32 {
+    use Op::*;
+    match op {
+        Push(_) | Dup | LoadLocal(_) | LoadPkt(_) | LoadMsg(_) | LoadGlob(_) | ArrLen(_) | Rand
+        | Now => 1,
+        Pop | StoreLocal(_) | StorePkt(_) | StoreMsg(_) | StoreGlob(_) | Add | Sub | Mul | Div
+        | Rem | And | Or | Xor | Shl | Shr | Eq | Ne | Lt | Le | Gt | Ge | Hash => -1,
+        ArrStore(_) => -2,
+        _ => 0,
+    }
+}
+
+/// Apply 1–8 random byte edits: flips, insertions, deletions, and tail
+/// truncation. Used on encoded programs and proto frames — the decoder
+/// under test must return an error or a (different) value, never panic.
+pub fn mutate_bytes(rng: &mut FuzzRng, bytes: &mut Vec<u8>) {
+    let edits = rng.range(1, 8);
+    for _ in 0..edits {
+        if bytes.is_empty() {
+            bytes.push(rng.next_u64() as u8);
+            continue;
+        }
+        match rng.below(4) {
+            0 => {
+                // bit flip
+                let at = rng.below(bytes.len() as u64) as usize;
+                bytes[at] ^= 1 << rng.below(8);
+            }
+            1 => {
+                // byte overwrite (biased toward interesting values)
+                let at = rng.below(bytes.len() as u64) as usize;
+                let wild = rng.next_u64() as u8;
+                bytes[at] = *rng.pick(&[0x00, 0x01, 0x7F, 0x80, 0xFF, wild]);
+            }
+            2 => {
+                // insert
+                let at = rng.below(bytes.len() as u64 + 1) as usize;
+                bytes.insert(at, rng.next_u64() as u8);
+            }
+            _ => {
+                // truncate the tail
+                let keep = rng.below(bytes.len() as u64) as usize;
+                bytes.truncate(keep);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eden_vm::Program;
+
+    #[test]
+    fn structured_programs_always_verify() {
+        let mut rng = FuzzRng::for_case(99, "gen-structured", 0);
+        for _ in 0..200 {
+            let raw = gen_structured(&mut rng);
+            let r = Program::new("structured", raw.ops.clone(), raw.funcs, raw.entry_locals);
+            assert!(
+                r.is_ok(),
+                "structured program rejected: {:?}\n{:?}",
+                r,
+                raw.ops
+            );
+        }
+    }
+
+    #[test]
+    fn wild_programs_sometimes_verify() {
+        let mut rng = FuzzRng::for_case(99, "gen-wild", 0);
+        let mut accepted = 0;
+        for _ in 0..500 {
+            let raw = gen_wild(&mut rng);
+            if Program::new("wild", raw.ops, raw.funcs, raw.entry_locals).is_ok() {
+                accepted += 1;
+            }
+        }
+        // the wild generator must not be so wild that nothing survives
+        assert!(accepted > 0, "no wild program ever verified");
+    }
+
+    #[test]
+    fn mutate_changes_bytes_deterministically() {
+        let base: Vec<u8> = (0..64).collect();
+        let mut a = base.clone();
+        let mut b = base.clone();
+        mutate_bytes(&mut FuzzRng::for_case(5, "mut", 3), &mut a);
+        mutate_bytes(&mut FuzzRng::for_case(5, "mut", 3), &mut b);
+        assert_eq!(a, b, "same seed, same mutation");
+        assert_ne!(a, base, "mutation changed something");
+    }
+}

@@ -1,0 +1,391 @@
+//! Random-but-type-correct eden-lang sources.
+//!
+//! The generator builds a random (but always valid) state schema, then a
+//! statement sequence that respects every static rule the type checker
+//! enforces: names are bound before use, only `let mutable` locals and
+//! `ReadWrite` state are assigned, arrays are touched through aliases, and
+//! value-position `if`s always carry an `else`. Runtime traps (division by
+//! zero, array index out of range, negative `randRange` bounds) are left
+//! in deliberately — the differential oracle requires the optimized and
+//! unoptimized builds to trap *identically*, so traps are signal, not
+//! noise. Recursion is emitted only from self-terminating templates whose
+//! argument is clamped, keeping call depth under the VM limit.
+
+use crate::rng::FuzzRng;
+use eden_lang::{Access, Schema};
+
+/// A generated schema in list form — the differential host is sized from
+/// this, and failure reports render it.
+#[derive(Debug, Clone)]
+pub struct SchemaDesc {
+    /// `(name, writable)` per scope.
+    pub pkt: Vec<(String, bool)>,
+    pub msg: Vec<(String, bool)>,
+    pub glob: Vec<(String, bool)>,
+    /// `(name, element fields, writable)`.
+    pub arrays: Vec<(String, Vec<String>, bool)>,
+}
+
+impl SchemaDesc {
+    pub fn to_schema(&self) -> Schema {
+        let acc = |w: bool| {
+            if w {
+                Access::ReadWrite
+            } else {
+                Access::ReadOnly
+            }
+        };
+        let mut s = Schema::new();
+        for (n, w) in &self.pkt {
+            s = s.packet_field(n, acc(*w), None);
+        }
+        for (n, w) in &self.msg {
+            s = s.msg_field(n, acc(*w));
+        }
+        for (n, w) in &self.glob {
+            s = s.global_field(n, acc(*w));
+        }
+        for (n, fields, w) in &self.arrays {
+            let refs: Vec<&str> = fields.iter().map(String::as_str).collect();
+            s = s.global_array(n, &refs, acc(*w));
+        }
+        s
+    }
+}
+
+/// A generated fuzz case: schema + source, ready for both compile modes.
+#[derive(Debug, Clone)]
+pub struct SourceCase {
+    pub desc: SchemaDesc,
+    pub source: String,
+}
+
+pub fn gen_schema(rng: &mut FuzzRng) -> SchemaDesc {
+    let field = |prefix: &str, i: usize| format!("{prefix}{i}");
+    let mut pkt = Vec::new();
+    for i in 0..rng.range(1, 4) {
+        pkt.push((field("P", i), rng.chance(2, 3)));
+    }
+    let mut msg = Vec::new();
+    for i in 0..rng.range(0, 3) {
+        msg.push((field("M", i), rng.chance(2, 3)));
+    }
+    let mut glob = Vec::new();
+    for i in 0..rng.range(0, 3) {
+        glob.push((field("G", i), rng.chance(2, 3)));
+    }
+    let mut arrays = Vec::new();
+    for i in 0..rng.range(0, 3) {
+        let nf = rng.range(1, 3);
+        let fields = (0..nf).map(|j| field("F", j)).collect();
+        arrays.push((format!("Xs{i}"), fields, rng.chance(1, 2)));
+    }
+    SchemaDesc {
+        pkt,
+        msg,
+        glob,
+        arrays,
+    }
+}
+
+/// Scope of names visible at a generation point.
+struct Env {
+    /// Immutable and mutable locals (mutable ones are assignable).
+    imm: Vec<String>,
+    mutb: Vec<String>,
+    /// `(alias, array index in the schema)`.
+    aliases: Vec<(String, usize)>,
+    next_id: usize,
+}
+
+impl Env {
+    fn fresh(&mut self, prefix: &str) -> String {
+        let n = format!("{prefix}{}", self.next_id);
+        self.next_id += 1;
+        n
+    }
+}
+
+pub fn gen_source(rng: &mut FuzzRng, desc: &SchemaDesc) -> String {
+    let mut env = Env {
+        imm: Vec::new(),
+        mutb: Vec::new(),
+        aliases: Vec::new(),
+        next_id: 0,
+    };
+    let mut lines = Vec::new();
+    // bind every array up front so expressions can index them
+    for (i, (name, _, _)) in desc.arrays.iter().enumerate() {
+        if rng.chance(3, 4) {
+            let alias = env.fresh("arr");
+            lines.push(format!("let {alias} = _global.{name}"));
+            env.aliases.push((alias, i));
+        }
+    }
+    let n_stmts = rng.range(2, 9);
+    for _ in 0..n_stmts {
+        lines.push(gen_statement(rng, desc, &mut env));
+    }
+    // occasionally end on a divergent disposition or a value expression
+    match rng.below(5) {
+        0 => lines.push("drop ()".to_string()),
+        1 => lines.push("toController ()".to_string()),
+        2 => lines.push(format!("gotoTable ({})", gen_clamped(rng, desc, &env, 4))),
+        _ => lines.push(gen_expr(rng, desc, &env, 2)),
+    }
+    render(&lines)
+}
+
+/// Assemble body lines under the fixed 3-parameter header.
+pub fn render(lines: &[String]) -> String {
+    let mut s = String::from("fun (packet: Packet, msg: Message, _global: Global) ->\n");
+    for l in lines {
+        s.push_str("    ");
+        s.push_str(l);
+        s.push('\n');
+    }
+    s
+}
+
+/// Split a rendered source back into its body lines (for the minimizer).
+pub fn body_lines(source: &str) -> Vec<String> {
+    source
+        .lines()
+        .skip(1)
+        .map(|l| l.trim().to_string())
+        .filter(|l| !l.is_empty())
+        .collect()
+}
+
+fn gen_statement(rng: &mut FuzzRng, desc: &SchemaDesc, env: &mut Env) -> String {
+    // collect assignable targets once; fall back to a `let` when none exist
+    let mut writes: Vec<String> = Vec::new();
+    for (n, w) in &desc.pkt {
+        if *w {
+            writes.push(format!("packet.{n}"));
+        }
+    }
+    for (n, w) in &desc.msg {
+        if *w {
+            writes.push(format!("msg.{n}"));
+        }
+    }
+    for (n, w) in &desc.glob {
+        if *w {
+            writes.push(format!("_global.{n}"));
+        }
+    }
+    match rng.below(10) {
+        0 | 1 => {
+            // let binding, sometimes recursive
+            if rng.chance(1, 5) {
+                return gen_let_rec(rng, desc, env);
+            }
+            let v = gen_expr(rng, desc, env, 2);
+            let name = env.fresh("x");
+            if rng.chance(1, 3) {
+                env.mutb.push(name.clone());
+                format!("let mutable {name} = {v}")
+            } else {
+                env.imm.push(name.clone());
+                format!("let {name} = {v}")
+            }
+        }
+        2 if !env.mutb.is_empty() => {
+            let t = rng.pick(&env.mutb).clone();
+            format!("{t} <- {}", gen_expr(rng, desc, env, 2))
+        }
+        3 | 4 if !writes.is_empty() => {
+            let t = rng.pick(&writes).clone();
+            format!("{t} <- {}", gen_expr(rng, desc, env, 2))
+        }
+        5 if has_writable_alias(desc, env) => {
+            let (alias, fields) = pick_writable_alias(rng, desc, env);
+            let field = rng.pick(&fields).clone();
+            let idx = gen_index(rng, desc, env, &alias);
+            format!("{alias}.[{idx}].{field} <- {}", gen_expr(rng, desc, env, 2))
+        }
+        6 => {
+            // unit `if` statement; branches are effect blocks
+            let cond = gen_expr(rng, desc, env, 1);
+            let then = gen_effect_block(rng, desc, env, &writes);
+            if rng.chance(1, 2) {
+                let els = gen_effect_block(rng, desc, env, &writes);
+                format!("if {cond} then ({then}) else ({els})")
+            } else {
+                format!("if {cond} then ({then})")
+            }
+        }
+        7 => format!(
+            "setQueue (({} % 3 + 1), {})",
+            gen_expr(rng, desc, env, 1),
+            gen_expr(rng, desc, env, 1)
+        ),
+        _ => gen_expr(rng, desc, env, 2), // discarded value statement
+    }
+}
+
+fn gen_let_rec(rng: &mut FuzzRng, desc: &SchemaDesc, env: &mut Env) -> String {
+    let f = env.fresh("rec");
+    let base = gen_expr(rng, desc, env, 1);
+    let step = gen_expr(rng, desc, env, 1);
+    let body = if rng.chance(1, 2) {
+        // tail form: compiled to a loop by the §3.4.4 optimization
+        format!("if n <= 0 then {base} else {f} ((n - 1))")
+    } else {
+        // non-tail form: real call frames; the clamp keeps depth < the
+        // VM's call-depth limit
+        format!("if n <= 0 then {base} else ({step} + {f} ((n - 1)))")
+    };
+    let arg = gen_clamped(rng, desc, env, 10);
+    let name = env.fresh("x");
+    let out = format!("let rec {f} n = {body}\n    let {name} = {f} ({arg})");
+    env.imm.push(name);
+    out
+}
+
+/// A short `;`-joined block of unit statements for `if` arms.
+fn gen_effect_block(rng: &mut FuzzRng, desc: &SchemaDesc, env: &Env, writes: &[String]) -> String {
+    let mut parts = Vec::new();
+    for _ in 0..rng.range(1, 3) {
+        if !writes.is_empty() && rng.chance(3, 4) {
+            let t = rng.pick(writes).clone();
+            parts.push(format!("{t} <- {}", gen_expr(rng, desc, env, 1)));
+        } else if !env.mutb.is_empty() {
+            let t = rng.pick(&env.mutb).clone();
+            parts.push(format!("{t} <- {}", gen_expr(rng, desc, env, 1)));
+        } else {
+            parts.push(format!("setQueue (1, {})", gen_expr(rng, desc, env, 1)));
+        }
+    }
+    parts.join("; ")
+}
+
+fn has_writable_alias(desc: &SchemaDesc, env: &Env) -> bool {
+    env.aliases.iter().any(|(_, i)| desc.arrays[*i].2)
+}
+
+fn pick_writable_alias(rng: &mut FuzzRng, desc: &SchemaDesc, env: &Env) -> (String, Vec<String>) {
+    let options: Vec<&(String, usize)> = env
+        .aliases
+        .iter()
+        .filter(|(_, i)| desc.arrays[*i].2)
+        .collect();
+    let (alias, i) = rng.pick(&options);
+    (alias.clone(), desc.arrays[*i].1.clone())
+}
+
+/// An index expression, usually bounded by the array length so loads land
+/// in range, occasionally wild so out-of-range trapping is exercised.
+fn gen_index(rng: &mut FuzzRng, desc: &SchemaDesc, env: &Env, alias: &str) -> String {
+    if rng.chance(4, 5) {
+        format!("({} % ({alias}.Length + 1))", gen_expr(rng, desc, env, 1))
+    } else {
+        gen_expr(rng, desc, env, 1)
+    }
+}
+
+/// A small always-non-negative expression (recursion arguments, table ids).
+fn gen_clamped(rng: &mut FuzzRng, desc: &SchemaDesc, env: &Env, bound: i64) -> String {
+    format!(
+        "(({}) % {bound} + ({} % {bound}))",
+        gen_expr(rng, desc, env, 1),
+        rng.below(bound as u64)
+    )
+}
+
+/// An Int-typed expression. `depth` bounds nesting so the unoptimized
+/// build's operand stack stays well under the VM limit (resource-limit
+/// asymmetry between the two builds is skipped, not flagged, but rare is
+/// better).
+fn gen_expr(rng: &mut FuzzRng, desc: &SchemaDesc, env: &Env, depth: u32) -> String {
+    if depth == 0 {
+        return gen_leaf(rng, desc, env);
+    }
+    match rng.below(12) {
+        0..=3 => gen_leaf(rng, desc, env),
+        4 => format!("(-({}))", gen_expr(rng, desc, env, depth - 1)),
+        5 => format!("(not ({}))", gen_expr(rng, desc, env, depth - 1)),
+        6 => {
+            let c = gen_expr(rng, desc, env, depth - 1);
+            let a = gen_expr(rng, desc, env, depth - 1);
+            let b = gen_expr(rng, desc, env, depth - 1);
+            format!("(if {c} then {a} else {b})")
+        }
+        7 => match rng.below(4) {
+            0 => "rand ()".to_string(),
+            1 => {
+                // usually a positive bound; sometimes raw to hit the trap
+                if rng.chance(4, 5) {
+                    format!("randRange (({} % 7 + 8))", gen_expr(rng, desc, env, 0))
+                } else {
+                    format!("randRange ({})", gen_expr(rng, desc, env, 0))
+                }
+            }
+            2 => "now ()".to_string(),
+            _ => format!(
+                "hash ({}, {})",
+                gen_expr(rng, desc, env, depth - 1),
+                gen_expr(rng, desc, env, 0)
+            ),
+        },
+        _ => {
+            let op = *rng.pick(&[
+                "+", "-", "*", "/", "%", "=", "<>", "<", "<=", ">", ">=", "&&", "||",
+            ]);
+            let a = gen_expr(rng, desc, env, depth - 1);
+            let b = if (op == "/" || op == "%") && rng.chance(4, 5) {
+                // usually a non-zero denominator; sometimes raw to hit the
+                // divide-by-zero trap in both builds
+                format!("({} % 5 + 7)", gen_expr(rng, desc, env, 0))
+            } else {
+                gen_expr(rng, desc, env, depth - 1)
+            };
+            format!("({a} {op} {b})")
+        }
+    }
+}
+
+fn gen_leaf(rng: &mut FuzzRng, desc: &SchemaDesc, env: &Env) -> String {
+    let mut reads: Vec<String> = Vec::new();
+    for (n, _) in &desc.pkt {
+        reads.push(format!("packet.{n}"));
+    }
+    for (n, _) in &desc.msg {
+        reads.push(format!("msg.{n}"));
+    }
+    for (n, _) in &desc.glob {
+        reads.push(format!("_global.{n}"));
+    }
+    for n in env.imm.iter().chain(env.mutb.iter()) {
+        reads.push(n.clone());
+    }
+    match rng.below(10) {
+        0..=2 => rng.interesting_i64().to_string(),
+        3 if !env.aliases.is_empty() => {
+            let (alias, i) = rng.pick(&env.aliases).clone();
+            if rng.chance(1, 4) {
+                format!("{alias}.Length")
+            } else {
+                let field = rng.pick(&desc.arrays[i].1).clone();
+                // leaf position: index by a literal or schema field read,
+                // bounded by length so most loads succeed
+                let idx = if reads.is_empty() {
+                    rng.below(4).to_string()
+                } else {
+                    rng.pick(&reads).clone()
+                };
+                format!("{alias}.[({idx} % ({alias}.Length + 1))].{field}")
+            }
+        }
+        _ if !reads.is_empty() => rng.pick(&reads).clone(),
+        _ => rng.interesting_i64().to_string(),
+    }
+}
+
+/// A complete generated case.
+pub fn gen_case(rng: &mut FuzzRng) -> SourceCase {
+    let desc = gen_schema(rng);
+    let source = gen_source(rng, &desc);
+    SourceCase { desc, source }
+}

@@ -1,0 +1,72 @@
+//! # eden-fuzz — differential fuzzing & conformance for the action-function pipeline
+//!
+//! Four oracles, each deterministic and seed-replayable:
+//!
+//! * **compiler-diff** — every generated eden-lang source is compiled with
+//!   the optimizer on and off; both programs must agree on the outcome,
+//!   every header/state word, every recorded effect, and the RNG stream.
+//! * **exec-diff** — every catalogue function's interpreted and native
+//!   forms must agree packet for packet (and the batched path must agree
+//!   with the serial path — the PR 2 equivalence, re-checked from random
+//!   streams here).
+//! * **verifier** — any program accepted by `eden_vm::verify` must never
+//!   trap with a verifier-class error (underflow, bad jump/local/function,
+//!   top-level ret) at runtime; rejected programs are tallied per pinned
+//!   [`eden_vm::VerifyError`] variant.
+//! * **codec** — mutated `eden-vm` wire bytes and `eden-ctrl` proto
+//!   frames must round-trip or return an error: never panic, never
+//!   over-allocate past the reassembler bound.
+//!
+//! Every case derives its RNG stream from `(seed, oracle, index)`
+//! ([`FuzzRng::for_case`]), so the report is byte-identical across runs
+//! and any failing case replays in isolation. Failures are shrunk with
+//! [`minimize::ddmin`] before reporting.
+
+pub mod gen_bytecode;
+pub mod gen_source;
+pub mod minimize;
+pub mod oracle_codec;
+pub mod oracle_compiler;
+pub mod oracle_exec;
+pub mod oracle_verifier;
+pub mod report;
+pub mod rng;
+
+pub use report::{Failure, OracleReport, Report};
+pub use rng::FuzzRng;
+
+/// Every oracle, in the fixed order the report uses.
+pub const ORACLES: [&str; 4] = ["compiler-diff", "exec-diff", "verifier", "codec"];
+
+/// Run `cases` cases of one oracle starting at `start`, under `seed`.
+pub fn run_oracle(name: &str, seed: u64, start: u64, cases: u64) -> OracleReport {
+    match name {
+        "compiler-diff" => oracle_compiler::run(seed, start, cases),
+        "exec-diff" => oracle_exec::run(seed, start, cases),
+        "verifier" => oracle_verifier::run(seed, start, cases),
+        "codec" => oracle_codec::run(seed, start, cases),
+        other => panic!("unknown oracle '{other}' (expected one of {ORACLES:?})"),
+    }
+}
+
+/// Run all four oracles, splitting `cases` evenly (remainder to the
+/// first), and assemble the full report.
+pub fn run_all(seed: u64, cases: u64) -> Report {
+    let share = cases / ORACLES.len() as u64;
+    let mut rem = cases % ORACLES.len() as u64;
+    let mut oracles = Vec::new();
+    for name in ORACLES {
+        let extra = if rem > 0 {
+            rem -= 1;
+            1
+        } else {
+            0
+        };
+        oracles.push(run_oracle(name, seed, 0, share + extra));
+    }
+    Report {
+        seed,
+        cases,
+        oracles,
+    }
+}

@@ -1,0 +1,122 @@
+//! eden-fuzz CLI.
+//!
+//! ```text
+//! eden-fuzz [--cases N] [--seed S] [--oracle NAME] [--start N] [--out DIR]
+//! ```
+//!
+//! Runs the differential fuzzing oracles and prints the deterministic
+//! report. Exit code 1 if any oracle found a divergence. `EDEN_FUZZ_SEED`
+//! overrides `--seed`, which is how a CI failure's replay line works
+//! without editing the workflow. With `--out DIR`, each minimized failing
+//! input is also written to `DIR/<oracle>-<index>.repro` for artifact
+//! upload.
+
+use std::process::ExitCode;
+
+use eden_fuzz::{run_all, run_oracle, Report, ORACLES};
+
+struct Args {
+    cases: u64,
+    seed: u64,
+    oracle: Option<String>,
+    start: u64,
+    out: Option<String>,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: eden-fuzz [--cases N] [--seed S] [--oracle {}] [--start N] [--out DIR]",
+        ORACLES.join("|")
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        cases: 1000,
+        seed: 42,
+        oracle: None,
+        start: 0,
+        out: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = || it.next().unwrap_or_else(|| usage());
+        match flag.as_str() {
+            "--cases" => args.cases = value().parse().unwrap_or_else(|_| usage()),
+            "--seed" => args.seed = value().parse().unwrap_or_else(|_| usage()),
+            "--start" => args.start = value().parse().unwrap_or_else(|_| usage()),
+            "--oracle" => {
+                let o = value();
+                if !ORACLES.contains(&o.as_str()) {
+                    eprintln!("unknown oracle '{o}'");
+                    usage();
+                }
+                args.oracle = Some(o);
+            }
+            "--out" => args.out = Some(value()),
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag '{other}'");
+                usage();
+            }
+        }
+    }
+    // the replay escape hatch: a failure report's seed wins over the flag
+    if let Ok(s) = std::env::var("EDEN_FUZZ_SEED") {
+        match s.parse() {
+            Ok(seed) => args.seed = seed,
+            Err(_) => {
+                eprintln!("EDEN_FUZZ_SEED is not a number: {s}");
+                std::process::exit(2);
+            }
+        }
+    }
+    args
+}
+
+fn write_repros(report: &Report, dir: &str) {
+    if report.total_failures() == 0 {
+        return;
+    }
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!("cannot create --out dir {dir}: {e}");
+        return;
+    }
+    for o in &report.oracles {
+        for f in &o.failures {
+            let path = format!("{dir}/{}-{}.repro", f.oracle, f.index);
+            let body = format!(
+                "# EDEN_FUZZ_SEED={} eden-fuzz --oracle {} --start {} --cases 1\n# {}\n{}\n",
+                report.seed, f.oracle, f.index, f.detail, f.repro
+            );
+            if let Err(e) = std::fs::write(&path, body) {
+                eprintln!("cannot write {path}: {e}");
+            }
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+    let report = match &args.oracle {
+        Some(name) => {
+            let o = run_oracle(name, args.seed, args.start, args.cases);
+            Report {
+                seed: args.seed,
+                cases: args.cases,
+                oracles: vec![o],
+            }
+        }
+        None => run_all(args.seed, args.cases),
+    };
+    print!("{}", report.render());
+    if let Some(dir) = &args.out {
+        write_repros(&report, dir);
+    }
+    if report.total_failures() > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

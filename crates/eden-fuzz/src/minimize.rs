@@ -1,0 +1,85 @@
+//! ddmin-style test-case reduction.
+//!
+//! Works on any item sequence — source lines, bytecode ops, raw bytes.
+//! The predicate answers "does this candidate still fail?"; candidates
+//! that no longer parse/compile simply return `false` and are skipped.
+//! Deterministic: the reduction path depends only on the input and the
+//! predicate, never on time or randomness.
+
+/// Shrink `items` to a smaller sequence that still satisfies `fails`.
+/// Returns the input unchanged if nothing smaller fails. The predicate is
+/// invoked at most `budget` times, keeping minimization bounded even when
+/// each probe is expensive (two compiles plus a VM run).
+pub fn ddmin<T: Clone>(items: &[T], budget: usize, mut fails: impl FnMut(&[T]) -> bool) -> Vec<T> {
+    let mut current: Vec<T> = items.to_vec();
+    let mut spent = 0usize;
+    let mut granularity = 2usize;
+    while current.len() >= 2 && granularity <= current.len() && spent < budget {
+        let chunk = current.len().div_ceil(granularity);
+        let mut reduced = false;
+        let mut start = 0;
+        while start < current.len() && spent < budget {
+            // candidate: current minus [start, start+chunk)
+            let candidate: Vec<T> = current[..start]
+                .iter()
+                .chain(current[(start + chunk).min(current.len())..].iter())
+                .cloned()
+                .collect();
+            spent += 1;
+            if !candidate.is_empty() && fails(&candidate) {
+                current = candidate;
+                granularity = granularity.saturating_sub(1).max(2);
+                reduced = true;
+                // restart scanning the (smaller) sequence
+                start = 0;
+            } else {
+                start += chunk;
+            }
+        }
+        if !reduced {
+            if granularity >= current.len() {
+                break;
+            }
+            granularity = (granularity * 2).min(current.len());
+        }
+    }
+    current
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reduces_to_the_failing_core() {
+        // failure iff both 3 and 7 are present
+        let input: Vec<u32> = (0..50).collect();
+        let out = ddmin(&input, 10_000, |xs| xs.contains(&3) && xs.contains(&7));
+        assert_eq!(out, vec![3, 7]);
+    }
+
+    #[test]
+    fn single_failing_item() {
+        let input: Vec<u32> = (0..33).collect();
+        let out = ddmin(&input, 10_000, |xs| xs.contains(&20));
+        assert_eq!(out, vec![20]);
+    }
+
+    #[test]
+    fn keeps_input_when_nothing_smaller_fails() {
+        let input = vec![1, 2, 3];
+        let out = ddmin(&input, 10_000, |xs| xs.len() == 3);
+        assert_eq!(out, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn respects_budget() {
+        let input: Vec<u32> = (0..1000).collect();
+        let mut calls = 0usize;
+        let _ = ddmin(&input, 50, |xs| {
+            calls += 1;
+            xs.contains(&999)
+        });
+        assert!(calls <= 50);
+    }
+}

@@ -1,0 +1,406 @@
+//! Codec robustness: round-trip fidelity and mutation/garbage tolerance
+//! for both wire formats — `eden-vm` bytecode blobs and `eden-ctrl`
+//! control frames (including MTU fragmentation/reassembly).
+//!
+//! The contract under test: a decoder fed *any* bytes either returns a
+//! value or returns an error. It never panics, and the reassembler never
+//! buffers beyond its declared capacity no matter what fragment headers
+//! claim. Round-trips of honestly encoded values must reproduce the value
+//! exactly (`PartialEq`).
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use crate::gen_bytecode::{gen_structured, mutate_bytes};
+use crate::gen_source::gen_schema;
+use crate::report::{Failure, OracleReport};
+use crate::rng::FuzzRng;
+use eden_core::{ClassId, EnclaveOp, MatchSpec};
+use eden_ctrl::proto::{
+    decode_msg, decode_reply, encode_msg, encode_reply, fragment, Reassembler, MAX_CHUNK, MAX_FRAGS,
+};
+use eden_ctrl::{AckPhase, CtrlMsg, CtrlReply};
+use eden_lang::Concurrency;
+use eden_telemetry::EnclaveCounters;
+use eden_vm::{decode_program, encode_program, Program};
+
+/// Reassembler capacity used by the bombardment check; small so the
+/// eviction path is actually exercised.
+const REASM_CAP: usize = 8;
+
+fn gen_enclave_op(rng: &mut FuzzRng) -> EnclaveOp {
+    match rng.below(8) {
+        0 => EnclaveOp::Reset,
+        1 => EnclaveOp::CreateTable,
+        2 => EnclaveOp::ClearTable {
+            table: rng.below(4) as usize,
+        },
+        3 => {
+            let desc = gen_schema(rng);
+            let n = rng.range(0, 64);
+            EnclaveOp::InstallFunction {
+                name: format!("f{}", rng.below(1000)),
+                bytecode: (0..n).map(|_| rng.next_u64() as u8).collect(),
+                schema: desc.to_schema(),
+                concurrency: *rng.pick(&[
+                    Concurrency::Parallel,
+                    Concurrency::PerMessage,
+                    Concurrency::Serialized,
+                ]),
+            }
+        }
+        4 => {
+            let spec = match rng.below(3) {
+                0 => MatchSpec::Any,
+                1 => MatchSpec::Class(ClassId(rng.next_u64() as u32)),
+                _ => MatchSpec::AnyOf(
+                    (0..rng.range(0, 5))
+                        .map(|_| ClassId(rng.next_u64() as u32))
+                        .collect(),
+                ),
+            };
+            EnclaveOp::InstallRule {
+                table: rng.below(4) as usize,
+                spec,
+                func: rng.below(8) as usize,
+            }
+        }
+        5 => EnclaveOp::RemoveRule {
+            table: rng.below(4) as usize,
+            rule: rng.below(8) as usize,
+        },
+        6 => EnclaveOp::SetGlobal {
+            func: rng.below(8) as usize,
+            slot: rng.below(8) as usize,
+            value: rng.interesting_i64(),
+        },
+        _ => EnclaveOp::SetArray {
+            func: rng.below(8) as usize,
+            array: rng.below(4) as usize,
+            values: (0..rng.range(0, 12))
+                .map(|_| rng.interesting_i64())
+                .collect(),
+        },
+    }
+}
+
+fn gen_ctrl_msg(rng: &mut FuzzRng) -> CtrlMsg {
+    match rng.below(5) {
+        0 => CtrlMsg::Prepare {
+            epoch: rng.next_u64(),
+            ops: (0..rng.range(0, 6)).map(|_| gen_enclave_op(rng)).collect(),
+        },
+        1 => CtrlMsg::Commit {
+            epoch: rng.next_u64(),
+        },
+        2 => CtrlMsg::Abort {
+            epoch: rng.next_u64(),
+        },
+        3 => CtrlMsg::Heartbeat {
+            nonce: rng.next_u64(),
+        },
+        _ => CtrlMsg::PullStats,
+    }
+}
+
+fn gen_ctrl_reply(rng: &mut FuzzRng) -> CtrlReply {
+    match rng.below(4) {
+        0 => CtrlReply::Ack {
+            re: rng.next_u64() as u32,
+            epoch: rng.next_u64(),
+            phase: *rng.pick(&[AckPhase::Prepare, AckPhase::Commit, AckPhase::Abort]),
+        },
+        1 => CtrlReply::Nack {
+            re: rng.next_u64() as u32,
+            epoch: rng.next_u64(),
+            reason: format!("fuzz reason {}", rng.below(100)),
+        },
+        2 => CtrlReply::Pong {
+            re: rng.next_u64() as u32,
+            nonce: rng.next_u64(),
+            epoch: rng.next_u64(),
+            digest: rng.next_u64(),
+        },
+        _ => CtrlReply::Stats {
+            re: rng.next_u64() as u32,
+            epoch: rng.next_u64(),
+            digest: rng.next_u64(),
+            captured_at_ns: rng.next_u64(),
+            counters: EnclaveCounters {
+                processed: rng.below(1 << 20),
+                matched: rng.below(1 << 20),
+                forwarded: rng.below(1 << 20),
+                dropped: rng.below(1 << 20),
+                punted: rng.below(1 << 20),
+                faults: rng.below(1 << 20),
+                ..EnclaveCounters::default()
+            },
+        },
+    }
+}
+
+fn hex(bytes: &[u8]) -> String {
+    let mut s = String::with_capacity(bytes.len() * 2);
+    for b in bytes {
+        s.push_str(&format!("{b:02x}"));
+    }
+    s
+}
+
+/// Run `f` trapping panics; `Some(())` means it panicked.
+fn panics<F: FnOnce()>(f: F) -> bool {
+    catch_unwind(AssertUnwindSafe(f)).is_err()
+}
+
+fn check_vm_roundtrip(rng: &mut FuzzRng, rep: &mut OracleReport, index: u64) {
+    let raw = gen_structured(rng);
+    let p = Program::new("codec", raw.ops, raw.funcs, raw.entry_locals)
+        .expect("structured programs verify");
+    let bytes = encode_program(&p);
+    match decode_program(&bytes) {
+        Ok(q) if q == p => rep.note("vm.roundtrip_ok", 1),
+        Ok(_) => rep.failures.push(Failure {
+            oracle: "codec",
+            index,
+            detail: "vm bytecode round-trip decoded to a different program".into(),
+            repro: hex(&bytes),
+        }),
+        Err(e) => rep.failures.push(Failure {
+            oracle: "codec",
+            index,
+            detail: format!("honestly encoded program failed to decode: {e}"),
+            repro: hex(&bytes),
+        }),
+    }
+}
+
+fn check_vm_mutation(rng: &mut FuzzRng, rep: &mut OracleReport, index: u64) {
+    let raw = gen_structured(rng);
+    let p = Program::new("codec", raw.ops, raw.funcs, raw.entry_locals)
+        .expect("structured programs verify");
+    let mut bytes = encode_program(&p);
+    if rng.chance(1, 4) {
+        // pure garbage instead of a mutated valid blob
+        bytes = (0..rng.range(0, 200))
+            .map(|_| rng.next_u64() as u8)
+            .collect();
+    } else {
+        mutate_bytes(rng, &mut bytes);
+    }
+    let mut outcome = "vm.mutate_err";
+    if panics(|| {
+        if decode_program(&bytes).is_ok() {
+            outcome = "vm.mutate_ok";
+        }
+    }) {
+        rep.failures.push(Failure {
+            oracle: "codec",
+            index,
+            detail: "decode_program panicked on mutated bytes".into(),
+            repro: hex(&bytes),
+        });
+        return;
+    }
+    rep.note(outcome, 1);
+}
+
+fn check_ctrl_roundtrip(rng: &mut FuzzRng, rep: &mut OracleReport, index: u64) {
+    let msg = gen_ctrl_msg(rng);
+    let bytes = encode_msg(&msg);
+    match decode_msg(&bytes) {
+        Ok(back) if back == msg => rep.note("ctrl.msg_roundtrip_ok", 1),
+        other => rep.failures.push(Failure {
+            oracle: "codec",
+            index,
+            detail: format!("CtrlMsg round-trip mismatch: sent {msg:?}, got {other:?}"),
+            repro: hex(&bytes),
+        }),
+    }
+    let reply = gen_ctrl_reply(rng);
+    let bytes = encode_reply(&reply);
+    match decode_reply(&bytes) {
+        Ok(back) if back == reply => rep.note("ctrl.reply_roundtrip_ok", 1),
+        other => rep.failures.push(Failure {
+            oracle: "codec",
+            index,
+            detail: format!("CtrlReply round-trip mismatch: sent {reply:?}, got {other:?}"),
+            repro: hex(&bytes),
+        }),
+    }
+}
+
+fn check_ctrl_mutation(rng: &mut FuzzRng, rep: &mut OracleReport, index: u64) {
+    let mut bytes = if rng.chance(1, 2) {
+        encode_msg(&gen_ctrl_msg(rng))
+    } else {
+        encode_reply(&gen_ctrl_reply(rng))
+    };
+    if rng.chance(1, 4) {
+        bytes = (0..rng.range(0, 200))
+            .map(|_| rng.next_u64() as u8)
+            .collect();
+    } else {
+        mutate_bytes(rng, &mut bytes);
+    }
+    let mut outcome = "ctrl.mutate_err";
+    if panics(|| {
+        let a = decode_msg(&bytes).is_ok();
+        let b = decode_reply(&bytes).is_ok();
+        if a || b {
+            outcome = "ctrl.mutate_ok";
+        }
+    }) {
+        rep.failures.push(Failure {
+            oracle: "codec",
+            index,
+            detail: "ctrl decoder panicked on mutated bytes".into(),
+            repro: hex(&bytes),
+        });
+        return;
+    }
+    rep.note(outcome, 1);
+}
+
+fn check_reassembly(rng: &mut FuzzRng, rep: &mut OracleReport, index: u64) {
+    // honest path: a multi-fragment message survives duplication and
+    // arbitrary arrival order
+    let payload: Vec<u8> = (0..rng.range(1, MAX_CHUNK * 3))
+        .map(|_| rng.next_u64() as u8)
+        .collect();
+    let msg_id = rng.next_u64() as u32;
+    let mut frames = fragment(msg_id, &payload);
+    // deterministic shuffle + one duplicated frame
+    for i in (1..frames.len()).rev() {
+        frames.swap(i, rng.below(i as u64 + 1) as usize);
+    }
+    if !frames.is_empty() && rng.chance(1, 2) {
+        frames.push(frames[0].clone());
+    }
+    let mut reasm = Reassembler::new(REASM_CAP);
+    let mut delivered = None;
+    for f in &frames {
+        if let Ok(Some(got)) = reasm.accept(1, f) {
+            delivered = Some(got);
+        }
+    }
+    match delivered {
+        Some(got) if got == payload => rep.note("frag.reassembled_ok", 1),
+        Some(_) => rep.failures.push(Failure {
+            oracle: "codec",
+            index,
+            detail: "reassembled payload differs from the original".into(),
+            repro: format!("msg_id={msg_id} payload_len={}", payload.len()),
+        }),
+        None => rep.failures.push(Failure {
+            oracle: "codec",
+            index,
+            detail: "all fragments delivered but message never completed".into(),
+            repro: format!(
+                "msg_id={msg_id} payload_len={} frames={}",
+                payload.len(),
+                frames.len()
+            ),
+        }),
+    }
+
+    // hostile path: spray random frames (some well-formed headers with
+    // lying counts, some garbage) and hold the reassembler to its bound
+    let mut bomb = Reassembler::new(REASM_CAP);
+    for _ in 0..rng.range(10, 50) {
+        let frame: Vec<u8> = if rng.chance(1, 2) {
+            // well-formed header, random body
+            let mut f = Vec::new();
+            f.extend_from_slice(&eden_ctrl::proto::MAGIC.to_le_bytes());
+            f.extend_from_slice(&(rng.next_u64() as u32).to_le_bytes());
+            let count = rng.range(1, 2048) as u16;
+            let idx = rng.below(count as u64 + 2) as u16;
+            f.extend_from_slice(&idx.to_le_bytes());
+            f.extend_from_slice(&count.to_le_bytes());
+            f.extend((0..rng.range(0, MAX_CHUNK)).map(|_| rng.next_u64() as u8));
+            f
+        } else {
+            (0..rng.range(0, 64))
+                .map(|_| rng.next_u64() as u8)
+                .collect()
+        };
+        let from = rng.below(4) as u32;
+        if panics(|| {
+            let _ = bomb.accept(from, &frame);
+        }) {
+            rep.failures.push(Failure {
+                oracle: "codec",
+                index,
+                detail: "Reassembler::accept panicked on hostile frame".into(),
+                repro: hex(&frame),
+            });
+            return;
+        }
+        if bomb.pending_messages() > REASM_CAP {
+            rep.failures.push(Failure {
+                oracle: "codec",
+                index,
+                detail: format!(
+                    "reassembler holds {} pending messages, capacity {REASM_CAP}",
+                    bomb.pending_messages()
+                ),
+                repro: String::new(),
+            });
+            return;
+        }
+        let bound = REASM_CAP * MAX_FRAGS * MAX_CHUNK;
+        if bomb.buffered_bytes() > bound {
+            rep.failures.push(Failure {
+                oracle: "codec",
+                index,
+                detail: format!(
+                    "reassembler buffers {} bytes, bound {bound}",
+                    bomb.buffered_bytes()
+                ),
+                repro: String::new(),
+            });
+            return;
+        }
+    }
+    rep.note("frag.bombardment_ok", 1);
+}
+
+pub fn run(seed: u64, start: u64, cases: u64) -> OracleReport {
+    let mut rep = OracleReport::new("codec");
+    for index in start..start + cases {
+        rep.cases += 1;
+        let mut rng = FuzzRng::for_case(seed, "codec", index);
+        match index % 5 {
+            0 => check_vm_roundtrip(&mut rng, &mut rep, index),
+            1 => check_vm_mutation(&mut rng, &mut rep, index),
+            2 => check_ctrl_roundtrip(&mut rng, &mut rep, index),
+            3 => check_ctrl_mutation(&mut rng, &mut rep, index),
+            _ => check_reassembly(&mut rng, &mut rep, index),
+        }
+    }
+    rep
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_run_is_deterministic_and_clean() {
+        let a = run(23, 0, 100);
+        let b = run(23, 0, 100);
+        assert_eq!(a.failures.len(), 0, "codec failures: {:?}", a.failures);
+        assert_eq!(a.notes, b.notes);
+        // all five activities must have run
+        for key in [
+            "vm.roundtrip_ok",
+            "ctrl.msg_roundtrip_ok",
+            "frag.reassembled_ok",
+            "frag.bombardment_ok",
+        ] {
+            assert!(
+                a.notes.iter().any(|(k, _)| k == key),
+                "activity {key} never ran: {:?}",
+                a.notes
+            );
+        }
+    }
+}

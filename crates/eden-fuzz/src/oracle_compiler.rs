@@ -1,0 +1,267 @@
+//! Compiler differential: optimizer on vs off.
+//!
+//! Both builds of the same source must agree on the verdict, every
+//! header/state word, every recorded effect, the clock, and the host RNG
+//! stream. Resource-limit traps (fuel, operand stack, call depth, heap)
+//! are the one place the optimizer is *allowed* to change behaviour — a
+//! folded expression legitimately needs less stack and fewer steps — so a
+//! case where either build hits one is skipped, not flagged.
+
+use crate::gen_source::{body_lines, gen_case, render, SchemaDesc, SourceCase};
+use crate::minimize::ddmin;
+use crate::report::{Failure, OracleReport};
+use crate::rng::FuzzRng;
+use eden_lang::{compile_with_options, CompileOptions, Schema};
+use eden_vm::{Host, Interpreter, Limits, Outcome, VecHost, VmError};
+
+/// Generous but bounded: catalogues-scale programs need hundreds of
+/// steps; only genuinely runaway recursion burns this.
+const FUEL: u64 = 200_000;
+const MINIMIZE_BUDGET: usize = 400;
+
+/// Host contents shared verbatim by both builds.
+#[derive(Debug, Clone)]
+struct HostSpec {
+    packet: Vec<i64>,
+    msg: Vec<i64>,
+    global: Vec<i64>,
+    arrays: Vec<Vec<i64>>,
+    rng_seed: u64,
+}
+
+fn gen_host_spec(rng: &mut FuzzRng, desc: &SchemaDesc) -> HostSpec {
+    let fill = |rng: &mut FuzzRng, n: usize| -> Vec<i64> {
+        (0..n).map(|_| rng.interesting_i64()).collect()
+    };
+    let packet = fill(rng, desc.pkt.len());
+    let msg = fill(rng, desc.msg.len());
+    let global = fill(rng, desc.glob.len());
+    let arrays = desc
+        .arrays
+        .iter()
+        .map(|(_, fields, _)| {
+            let stride = fields.len().max(1);
+            let elems = rng.range(0, 5);
+            fill(rng, stride * elems)
+        })
+        .collect();
+    HostSpec {
+        packet,
+        msg,
+        global,
+        arrays,
+        rng_seed: rng.next_u64(),
+    }
+}
+
+fn build_host(spec: &HostSpec) -> VecHost {
+    let mut h = VecHost::default();
+    h.packet = spec.packet.clone();
+    h.msg = spec.msg.clone();
+    h.global = spec.global.clone();
+    h.arrays = spec.arrays.clone();
+    h.seed(spec.rng_seed);
+    h
+}
+
+/// Run one build; returns the result, the final host, and one post-run
+/// RNG draw (the only way to observe that both hosts' private RNG states
+/// advanced in lockstep).
+fn execute(
+    program: &eden_vm::Program,
+    spec: &HostSpec,
+) -> (Result<Outcome, VmError>, VecHost, i64) {
+    let mut host = build_host(spec);
+    let mut interp = Interpreter::new(Limits {
+        fuel: Some(FUEL),
+        ..Limits::default()
+    });
+    let r = interp.run(program, &mut host);
+    let post = host.rand64();
+    (r, host, post)
+}
+
+fn is_resource_trap(r: &Result<Outcome, VmError>) -> bool {
+    matches!(
+        r,
+        Err(VmError::OutOfFuel
+            | VmError::StackOverflow
+            | VmError::CallDepthExceeded
+            | VmError::HeapOverflow)
+    )
+}
+
+/// What one case did, for the report's tallies.
+enum CaseResult {
+    Agree(&'static str),
+    ResourceSkip,
+    CompileError,
+    Diverged(String),
+    /// Only one build compiled — itself a differential failure.
+    CompileDiverged(String),
+}
+
+fn outcome_tag(r: &Result<Outcome, VmError>) -> &'static str {
+    match r {
+        Ok(Outcome::Done) => "outcome.done",
+        Ok(Outcome::Dropped) => "outcome.dropped",
+        Ok(Outcome::SentToController) => "outcome.to_controller",
+        Ok(Outcome::GotoTable(_)) => "outcome.goto_table",
+        Err(_) => "outcome.trap",
+    }
+}
+
+/// Compile both ways and compare runs. `None` detail means agreement.
+fn check(source: &str, schema: &Schema, spec: &HostSpec) -> CaseResult {
+    let plain = compile_with_options("fuzz", source, schema, CompileOptions { optimize: false });
+    let opt = compile_with_options("fuzz", source, schema, CompileOptions { optimize: true });
+    let (plain, opt) = match (plain, opt) {
+        (Ok(a), Ok(b)) => (a, b),
+        (Err(_), Err(_)) => return CaseResult::CompileError,
+        (Ok(_), Err(e)) => {
+            return CaseResult::CompileDiverged(format!(
+                "compiles without optimizer but not with: {e}"
+            ))
+        }
+        (Err(e), Ok(_)) => {
+            return CaseResult::CompileDiverged(format!(
+                "compiles with optimizer but not without: {e}"
+            ))
+        }
+    };
+    let (ra, ha, pa) = execute(&plain.program, spec);
+    let (rb, hb, pb) = execute(&opt.program, spec);
+    if is_resource_trap(&ra) || is_resource_trap(&rb) {
+        return CaseResult::ResourceSkip;
+    }
+    if ra != rb {
+        return CaseResult::Diverged(format!("result: plain={ra:?} optimized={rb:?}"));
+    }
+    if ha.packet != hb.packet {
+        return CaseResult::Diverged(format!(
+            "packet state: plain={:?} optimized={:?}",
+            ha.packet, hb.packet
+        ));
+    }
+    if ha.msg != hb.msg {
+        return CaseResult::Diverged(format!(
+            "msg state: plain={:?} optimized={:?}",
+            ha.msg, hb.msg
+        ));
+    }
+    if ha.global != hb.global {
+        return CaseResult::Diverged(format!(
+            "global state: plain={:?} optimized={:?}",
+            ha.global, hb.global
+        ));
+    }
+    if ha.arrays != hb.arrays {
+        return CaseResult::Diverged(format!(
+            "arrays: plain={:?} optimized={:?}",
+            ha.arrays, hb.arrays
+        ));
+    }
+    if ha.effects != hb.effects {
+        return CaseResult::Diverged(format!(
+            "effects: plain={:?} optimized={:?}",
+            ha.effects, hb.effects
+        ));
+    }
+    if ha.clock != hb.clock {
+        return CaseResult::Diverged(format!(
+            "clock (now() draws): plain={} optimized={}",
+            ha.clock, hb.clock
+        ));
+    }
+    if pa != pb {
+        return CaseResult::Diverged("host RNG stream out of lockstep".to_string());
+    }
+    CaseResult::Agree(outcome_tag(&ra))
+}
+
+/// Shrink a diverging source to fewer body lines that still diverge.
+fn minimize_source(case: &SourceCase, spec: &HostSpec) -> String {
+    let schema = case.desc.to_schema();
+    let lines = body_lines(&case.source);
+    let kept = ddmin(&lines, MINIMIZE_BUDGET, |cand| {
+        let src = render(cand);
+        matches!(
+            check(&src, &schema, spec),
+            CaseResult::Diverged(_) | CaseResult::CompileDiverged(_)
+        )
+    });
+    render(&kept)
+}
+
+pub fn run(seed: u64, start: u64, cases: u64) -> OracleReport {
+    let mut rep = OracleReport::new("compiler-diff");
+    for index in start..start + cases {
+        rep.cases += 1;
+        let mut rng = FuzzRng::for_case(seed, "compiler-diff", index);
+        let case = gen_case(&mut rng);
+        let spec = gen_host_spec(&mut rng, &case.desc);
+        let schema = case.desc.to_schema();
+        match check(&case.source, &schema, &spec) {
+            CaseResult::Agree(tag) => rep.note(tag, 1),
+            CaseResult::ResourceSkip => {
+                rep.skips += 1;
+                rep.note("resource_skips", 1);
+            }
+            CaseResult::CompileError => rep.note("compile_errors", 1),
+            CaseResult::Diverged(detail) => {
+                let repro = minimize_source(&case, &spec);
+                rep.failures.push(Failure {
+                    oracle: "compiler-diff",
+                    index,
+                    detail,
+                    repro: format!("{repro}\nschema: {:?}\nhost: {spec:?}", case.desc),
+                });
+            }
+            CaseResult::CompileDiverged(detail) => {
+                let repro = minimize_source(&case, &spec);
+                rep.failures.push(Failure {
+                    oracle: "compiler-diff",
+                    index,
+                    detail,
+                    repro: format!("{repro}\nschema: {:?}", case.desc),
+                });
+            }
+        }
+    }
+    // keep an eye on generator health: the oracle is only as good as its
+    // ability to produce compiling programs
+    let compiled = rep
+        .notes
+        .iter()
+        .filter(|(k, _)| k.starts_with("outcome."))
+        .map(|(_, v)| v)
+        .sum::<u64>();
+    rep.note("compiled_and_ran", compiled);
+    rep
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_run_is_deterministic_and_clean() {
+        let a = run(7, 0, 60);
+        let b = run(7, 0, 60);
+        assert_eq!(a.failures.len(), 0, "divergences: {:?}", a.failures);
+        assert_eq!(a.notes, b.notes);
+        assert_eq!(a.skips, b.skips);
+        // the generator must mostly produce programs that compile and run
+        let compiled = a
+            .notes
+            .iter()
+            .find(|(k, _)| k == "compiled_and_ran")
+            .map(|(_, v)| *v)
+            .unwrap_or(0);
+        assert!(
+            compiled >= 40,
+            "generator health: only {compiled}/60 cases compiled: {:?}",
+            a.notes
+        );
+    }
+}

@@ -1,0 +1,176 @@
+//! Verifier soundness: "accepted means it never traps with a
+//! verifier-class error".
+//!
+//! Wild and structured raw programs go through [`eden_vm::Program::new`]
+//! (which runs the verifier). Rejections are tallied per pinned
+//! [`VerifyError`] variant — a new variant, or a variant that stops
+//! firing, shows up as a tally shift in the deterministic report.
+//! Acceptances are *executed*: if a verified program then traps with
+//! `StackUnderflow`, `BadJump`, `BadLocal`, `BadFunction`, or
+//! `ReturnFromTopLevel`, the verifier's core promise is broken and the
+//! case is a failure (shrunk with ddmin over the op vector).
+
+use crate::gen_bytecode::{gen_structured, gen_wild, RawProgram, HOST_ARRAYS, HOST_SLOTS};
+use crate::minimize::ddmin;
+use crate::report::{Failure, OracleReport};
+use crate::rng::FuzzRng;
+use eden_vm::{
+    disassemble, FuncInfo, Interpreter, Limits, Op, Program, VecHost, VerifyError, VmError,
+};
+
+const FUEL: u64 = 50_000;
+const MINIMIZE_BUDGET: usize = 300;
+
+fn verify_error_tag(e: &VerifyError) -> &'static str {
+    match e {
+        VerifyError::JumpOutOfRange { .. } => "rejected.JumpOutOfRange",
+        VerifyError::FallsOffEnd { .. } => "rejected.FallsOffEnd",
+        VerifyError::InconsistentStack { .. } => "rejected.InconsistentStack",
+        VerifyError::Underflow { .. } => "rejected.Underflow",
+        VerifyError::LocalOutOfRange { .. } => "rejected.LocalOutOfRange",
+        VerifyError::UnknownFunction { .. } => "rejected.UnknownFunction",
+        VerifyError::BadFunctionEntry { .. } => "rejected.BadFunctionEntry",
+        VerifyError::ArityExceedsLocals { .. } => "rejected.ArityExceedsLocals",
+        VerifyError::RetAtTopLevel { .. } => "rejected.RetAtTopLevel",
+        VerifyError::TooLarge(_) => "rejected.TooLarge",
+        VerifyError::Empty => "rejected.Empty",
+    }
+}
+
+/// Traps the verifier statically rules out. Seeing one from a verified
+/// program is a soundness failure; everything else (division, array
+/// bounds, resource limits, …) is legitimately dynamic.
+fn is_forbidden_trap(e: &VmError) -> bool {
+    matches!(
+        e,
+        VmError::StackUnderflow
+            | VmError::BadJump(_)
+            | VmError::BadLocal(_)
+            | VmError::BadFunction(_)
+            | VmError::ReturnFromTopLevel
+    )
+}
+
+fn run_program(p: &Program, host_seed: u64) -> Result<eden_vm::Outcome, VmError> {
+    let mut host = VecHost::with_slots(
+        HOST_SLOTS as usize,
+        HOST_SLOTS as usize,
+        HOST_SLOTS as usize,
+    );
+    for a in 0..HOST_ARRAYS {
+        host.arrays.push(vec![(a as i64 + 1) * 3; 4]);
+    }
+    host.seed(host_seed);
+    let mut interp = Interpreter::new(Limits {
+        fuel: Some(FUEL),
+        ..Limits::default()
+    });
+    interp.run(p, &mut host)
+}
+
+/// Does this exact (ops, funcs) pair verify and then hit a forbidden
+/// trap? Used both for detection and as the ddmin predicate.
+fn soundness_broken(
+    ops: &[Op],
+    funcs: &[FuncInfo],
+    entry_locals: u8,
+    host_seed: u64,
+) -> Option<VmError> {
+    let p = Program::new("fuzz", ops.to_vec(), funcs.to_vec(), entry_locals).ok()?;
+    match run_program(&p, host_seed) {
+        Err(e) if is_forbidden_trap(&e) => Some(e),
+        _ => None,
+    }
+}
+
+fn runtime_tag(r: &Result<eden_vm::Outcome, VmError>) -> &'static str {
+    match r {
+        Ok(_) => "accepted.ran_ok",
+        Err(VmError::OutOfFuel) => "accepted.out_of_fuel",
+        Err(VmError::StackOverflow | VmError::HeapOverflow | VmError::CallDepthExceeded) => {
+            "accepted.resource_trap"
+        }
+        Err(_) => "accepted.dynamic_trap",
+    }
+}
+
+pub fn run(seed: u64, start: u64, cases: u64) -> OracleReport {
+    let mut rep = OracleReport::new("verifier");
+    for index in start..start + cases {
+        rep.cases += 1;
+        let mut rng = FuzzRng::for_case(seed, "verifier", index);
+        // 3:1 wild to structured — wild explores the reject paths,
+        // structured guarantees steady pressure on the accept path
+        let raw: RawProgram = if rng.chance(3, 4) {
+            gen_wild(&mut rng)
+        } else {
+            gen_structured(&mut rng)
+        };
+        let host_seed = rng.next_u64();
+        match Program::new("fuzz", raw.ops.clone(), raw.funcs.clone(), raw.entry_locals) {
+            Err(e) => rep.note(verify_error_tag(&e), 1),
+            Ok(p) => {
+                let r = run_program(&p, host_seed);
+                rep.note(runtime_tag(&r), 1);
+                if let Err(e) = &r {
+                    if is_forbidden_trap(e) {
+                        // shrink the op vector; the predicate re-verifies, so
+                        // every candidate that reaches the interpreter was
+                        // itself verifier-approved
+                        let kept = ddmin(&raw.ops, MINIMIZE_BUDGET, |cand| {
+                            soundness_broken(cand, &raw.funcs, raw.entry_locals, host_seed)
+                                .is_some()
+                        });
+                        let shrunk = Program::new(
+                            "repro",
+                            kept.clone(),
+                            raw.funcs.clone(),
+                            raw.entry_locals,
+                        )
+                        .expect("ddmin predicate only keeps verified candidates");
+                        rep.failures.push(Failure {
+                            oracle: "verifier",
+                            index,
+                            detail: format!("verified program trapped with {e:?}"),
+                            repro: format!(
+                                "{}funcs: {:?}\nentry_locals: {}\nhost_seed: {host_seed}",
+                                disassemble(&shrunk),
+                                raw.funcs,
+                                raw.entry_locals
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+    }
+    rep
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_run_is_deterministic_and_sound() {
+        let a = run(11, 0, 300);
+        let b = run(11, 0, 300);
+        assert_eq!(a.failures.len(), 0, "soundness holes: {:?}", a.failures);
+        assert_eq!(a.notes, b.notes);
+        // both accept and reject paths must actually be exercised
+        let accepted: u64 = a
+            .notes
+            .iter()
+            .filter(|(k, _)| k.starts_with("accepted."))
+            .map(|(_, v)| v)
+            .sum();
+        let rejected: u64 = a
+            .notes
+            .iter()
+            .filter(|(k, _)| k.starts_with("rejected."))
+            .map(|(_, v)| v)
+            .sum();
+        assert!(accepted >= 50, "too few accepted programs: {:?}", a.notes);
+        assert!(rejected >= 50, "too few rejected programs: {:?}", a.notes);
+    }
+}

@@ -1,0 +1,113 @@
+//! Deterministic fuzzing RNG.
+//!
+//! SplitMix64: tiny, fast, and — unlike anything seeded from the clock —
+//! perfectly replayable. Every fuzz case derives its own stream from
+//! `(root seed, oracle tag, case index)`, so a single failing case can be
+//! re-run in isolation from the numbers printed in the report.
+
+/// A deterministic 64-bit generator.
+#[derive(Debug, Clone)]
+pub struct FuzzRng {
+    state: u64,
+}
+
+/// FNV-1a over a string, used to fold oracle tags into derived seeds.
+fn fnv1a(s: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+impl FuzzRng {
+    pub fn new(seed: u64) -> FuzzRng {
+        FuzzRng { state: seed }
+    }
+
+    /// The per-case stream for `(tag, index)` under root seed `seed`.
+    /// Printed in failure reports so one case is replayable on its own.
+    pub fn for_case(seed: u64, tag: &str, index: u64) -> FuzzRng {
+        let mut r = FuzzRng::new(seed ^ fnv1a(tag) ^ index.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        r.next_u64(); // decorrelate nearby indices
+        FuzzRng {
+            state: r.next_u64(),
+        }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, n)`; `n` must be non-zero.
+    pub fn below(&mut self, n: u64) -> u64 {
+        self.next_u64() % n
+    }
+
+    /// Uniform usize in `[lo, hi)`.
+    pub fn range(&mut self, lo: usize, hi: usize) -> usize {
+        lo + self.below((hi - lo) as u64) as usize
+    }
+
+    /// True with probability `num / den`.
+    pub fn chance(&mut self, num: u64, den: u64) -> bool {
+        self.below(den) < num
+    }
+
+    pub fn next_i64(&mut self) -> i64 {
+        self.next_u64() as i64
+    }
+
+    /// An i64 biased toward small magnitudes and interesting boundary
+    /// values — the constants that actually tickle wrap/fold edge cases.
+    pub fn interesting_i64(&mut self) -> i64 {
+        match self.below(10) {
+            0 => *self.pick(&[0, 1, -1, 2, i64::MAX, i64::MIN, i64::MAX - 1, 63, 64, 255]),
+            1..=6 => self.below(100) as i64 - 20,
+            _ => self.next_i64() % 100_000,
+        }
+    }
+
+    /// Uniform element of a non-empty slice.
+    pub fn pick<'a, T>(&mut self, xs: &'a [T]) -> &'a T {
+        &xs[self.below(xs.len() as u64) as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = FuzzRng::for_case(42, "compiler", 7);
+        let mut b = FuzzRng::for_case(42, "compiler", 7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn streams_differ_by_tag_and_index() {
+        let a = FuzzRng::for_case(42, "compiler", 0).next_u64();
+        let b = FuzzRng::for_case(42, "codec", 0).next_u64();
+        let c = FuzzRng::for_case(42, "compiler", 1).next_u64();
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn below_stays_in_range() {
+        let mut r = FuzzRng::new(1);
+        for _ in 0..1000 {
+            assert!(r.below(7) < 7);
+            let v = r.range(3, 9);
+            assert!((3..9).contains(&v));
+        }
+    }
+}

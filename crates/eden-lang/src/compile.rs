@@ -34,6 +34,22 @@ pub struct CompiledFunction {
     pub schema: Schema,
 }
 
+/// Knobs for [`compile_with_options`]. The defaults reproduce [`compile`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompileOptions {
+    /// Run the HIR optimizer (constant folding, branch elimination, dead
+    /// sequence pruning). Off, the type-checked HIR goes straight to
+    /// codegen — the differential-fuzzing harness compiles every program
+    /// both ways and requires identical observable behaviour.
+    pub optimize: bool,
+}
+
+impl Default for CompileOptions {
+    fn default() -> Self {
+        CompileOptions { optimize: true }
+    }
+}
+
 /// Compile DSL `source` against `schema` into bytecode named `name`.
 ///
 /// Runs the full pipeline: lex → parse → type check (annotations, access
@@ -44,12 +60,24 @@ pub fn compile(
     source: &str,
     schema: &Schema,
 ) -> Result<CompiledFunction, CompileError> {
+    compile_with_options(name, source, schema, CompileOptions::default())
+}
+
+/// [`compile`], with the optimizer under caller control.
+pub fn compile_with_options(
+    name: &str,
+    source: &str,
+    schema: &Schema,
+    options: CompileOptions,
+) -> Result<CompiledFunction, CompileError> {
     let tokens = lex(source)?;
     let function = parse(&tokens)?;
     let mut checked = check(&function, schema)?;
-    checked.body = fold(checked.body);
-    for f in &mut checked.funcs {
-        f.body = fold(std::mem::replace(&mut f.body, HExpr::Int(0)));
+    if options.optimize {
+        checked.body = fold(checked.body);
+        for f in &mut checked.funcs {
+            f.body = fold(std::mem::replace(&mut f.body, HExpr::Int(0)));
+        }
     }
 
     let mut gen = Gen {

@@ -65,7 +65,7 @@ mod schema;
 mod token;
 mod typeck;
 
-pub use compile::{compile, CompiledFunction};
+pub use compile::{compile, compile_with_options, CompileOptions, CompiledFunction};
 pub use error::{CompileError, ErrorKind};
 pub use schema::{
     Access, ArrayDecl, Concurrency, FieldDecl, HeaderField, Schema, Scope, StateEffects,

@@ -25,7 +25,7 @@ mod snapshot;
 mod trace;
 
 pub use cluster::{ClusterStats, HostReport};
-pub use json::{Json, ToJson};
+pub use json::{Json, JsonParseError, ToJson};
 pub use series::TimeSeries;
 pub use snapshot::{
     EnclaveCounters, FlowCounters, FunctionCounters, HostCounters, RuleCounters, StatsSnapshot,

@@ -60,4 +60,4 @@ pub use limits::{Limits, Usage};
 pub use op::Op;
 pub use pool::InterpreterPool;
 pub use program::{FuncInfo, Program};
-pub use verify::verify;
+pub use verify::{verify, VerifyError, MAX_PROGRAM_OPS};

@@ -16,6 +16,13 @@ use std::fmt;
 use crate::op::Op;
 use crate::program::Program;
 
+/// Maximum instruction count a program may have. Well below the u32 jump
+/// range, so every op index (and `target + 1`) fits a `u32`, and small
+/// enough that the cap is actually reachable by tests and fuzzing — a
+/// shipped program at the limit is ~10 MB on the wire, far beyond anything
+/// the paper's case studies need.
+pub const MAX_PROGRAM_OPS: usize = 1 << 20;
+
 /// Why a program failed verification.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum VerifyError {
@@ -83,7 +90,7 @@ pub fn verify(program: &Program) -> Result<(), VerifyError> {
     if ops.is_empty() {
         return Err(VerifyError::Empty);
     }
-    if ops.len() > u32::MAX as usize / 2 {
+    if ops.len() > MAX_PROGRAM_OPS {
         return Err(VerifyError::TooLarge(ops.len()));
     }
     for (id, func) in program.funcs().iter().enumerate() {
@@ -305,6 +312,78 @@ mod tests {
     fn unknown_function_rejected() {
         let e = Program::new("t", vec![Op::Call(7), Op::Pop, Op::Halt], vec![], 0).unwrap_err();
         assert!(matches!(e, VerifyError::UnknownFunction { id: 7, .. }));
+    }
+
+    #[test]
+    fn jump_out_of_range_rejected() {
+        let e = prog(vec![Op::Jmp(99), Op::Halt]).unwrap_err();
+        assert!(matches!(
+            e,
+            VerifyError::JumpOutOfRange { at: 0, target: 99 }
+        ));
+        let e = prog(vec![Op::Push(1), Op::JmpIf(1000), Op::Halt]).unwrap_err();
+        assert!(matches!(
+            e,
+            VerifyError::JumpOutOfRange {
+                at: 1,
+                target: 1000
+            }
+        ));
+        let e = prog(vec![Op::Push(1), Op::JmpIfNot(7), Op::Halt]).unwrap_err();
+        assert!(matches!(
+            e,
+            VerifyError::JumpOutOfRange { at: 1, target: 7 }
+        ));
+    }
+
+    #[test]
+    fn bad_function_entry_rejected() {
+        let e = Program::new(
+            "t",
+            vec![Op::Halt],
+            vec![FuncInfo {
+                entry: 5,
+                arity: 0,
+                n_locals: 0,
+            }],
+            0,
+        )
+        .unwrap_err();
+        assert!(matches!(
+            e,
+            VerifyError::BadFunctionEntry { id: 0, entry: 5 }
+        ));
+    }
+
+    #[test]
+    fn arity_exceeds_locals_rejected() {
+        let e = Program::new(
+            "t",
+            vec![Op::Halt, Op::Push(0), Op::Ret],
+            vec![FuncInfo {
+                entry: 1,
+                arity: 3,
+                n_locals: 2,
+            }],
+            0,
+        )
+        .unwrap_err();
+        assert!(matches!(e, VerifyError::ArityExceedsLocals { id: 0 }));
+    }
+
+    #[test]
+    fn empty_program_rejected() {
+        let e = prog(vec![]).unwrap_err();
+        assert!(matches!(e, VerifyError::Empty));
+    }
+
+    #[test]
+    fn too_large_program_rejected() {
+        // one over the cap: all Halt, so it would otherwise verify
+        let e = prog(vec![Op::Halt; MAX_PROGRAM_OPS + 1]).unwrap_err();
+        assert!(matches!(e, VerifyError::TooLarge(n) if n == MAX_PROGRAM_OPS + 1));
+        // at the cap: accepted
+        assert!(prog(vec![Op::Halt; MAX_PROGRAM_OPS]).is_ok());
     }
 
     #[test]
