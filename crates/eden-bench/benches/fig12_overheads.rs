@@ -6,6 +6,8 @@
 //! while saturating 10 Gbps with 12 flows under SFF; case-study programs
 //! use operand stack/heap "in the order of 64 and 256 bytes".
 //!
+//! Emits `BENCH_fig12.json`. Set `EDEN_BENCH_SMOKE=1` for a CI-sized run.
+//!
 //! Run with `cargo bench -p eden-bench --bench fig12_overheads`.
 
 use eden_bench::fig12;
@@ -13,10 +15,15 @@ use eden_bench::report::{emit_json, Table};
 use eden_telemetry::{Json, ToJson};
 
 fn main() {
+    let smoke = std::env::var("EDEN_BENCH_SMOKE").is_ok();
     println!("== Figure 12: CPU overheads of Eden components ==");
-    println!("per-packet wall-clock cost, SFF policy, 12 flows\n");
+    println!(
+        "per-packet wall-clock cost, SFF policy, 12 flows{}\n",
+        if smoke { " — smoke sizes" } else { "" }
+    );
 
-    let r = fig12::run(200, 5_000);
+    let (batches, per_batch) = if smoke { (60, 2_000) } else { (200, 5_000) };
+    let r = fig12::run(batches, per_batch);
     let mut table = Table::new(&["component", "avg overhead %", "p95 overhead %"]);
     table.row(&[
         "API (metadata)".into(),
@@ -53,11 +60,30 @@ fn main() {
     println!("{}", fp_table.render());
     println!("paper: \"in the order of 64 and 256 bytes respectively\"");
 
+    println!("\n== Interpreter ablation: compiler pipeline off vs on ==");
+    let (ab_batches, ab_per_batch) = if smoke { (40, 1_000) } else { (100, 2_000) };
+    let costs = fig12::interp_costs(ab_batches, ab_per_batch);
+    let mut cost_table = Table::new(&["function", "unopt ns/pkt", "fused ns/pkt", "speedup"]);
+    for c in &costs {
+        cost_table.row(&[
+            c.function.clone(),
+            format!("{:.0}", c.unopt_ns_per_packet),
+            format!("{:.0}", c.fused_ns_per_packet),
+            format!("{:.2}x", c.fused_speedup_rate()),
+        ]);
+    }
+    println!("{}", cost_table.render());
+    println!("paper §3.4.4: the compiler \"performs a number of optimizations\"");
+
     let artifact = Json::obj(vec![
         ("overheads", r.to_json()),
         (
             "footprints",
             Json::Arr(footprints.iter().map(|f| f.to_json()).collect()),
+        ),
+        (
+            "interp",
+            Json::Arr(costs.iter().map(|c| c.to_json()).collect()),
         ),
     ]);
     match emit_json("fig12", &artifact) {

@@ -1,0 +1,64 @@
+//! Criterion `interp` group: per-packet interpreter cost of every
+//! catalogue function, compiled two ways — `unopt` (no HIR folding, no IR
+//! passes, no fusion) and `fused` (the default pipeline with codec-v2
+//! superinstructions). The ratio between the two lines is the
+//! interpreted-vs-native gap the low-level IR exists to close; the same
+//! measurement feeds the `interp` section of `BENCH_fig12.json` via the
+//! `fig12_overheads` bench.
+//!
+//! Run with `cargo bench -p eden-bench --bench interp`.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+use eden_apps::functions;
+use eden_bench::fig12::catalogue_host;
+use eden_lang::{compile_with_options, CompileOptions};
+use eden_vm::{Interpreter, Limits};
+
+fn bench_interp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("interp");
+    group.sample_size(30);
+    group.throughput(Throughput::Elements(1));
+    for bundle in functions::catalogue() {
+        let schema = bundle.schema();
+        for (tag, opts) in [
+            (
+                "unopt",
+                CompileOptions {
+                    optimize: false,
+                    fuse: false,
+                },
+            ),
+            (
+                "fused",
+                CompileOptions {
+                    optimize: true,
+                    fuse: true,
+                },
+            ),
+        ] {
+            let program = compile_with_options(bundle.name, bundle.source, &schema, opts)
+                .expect("catalogue compiles")
+                .program;
+            let mut host = catalogue_host(&bundle);
+            let mut interp = Interpreter::new(Limits::default());
+            let mut i = 0u64;
+            group.bench_function(format!("{}_{tag}", bundle.name), |b| {
+                b.iter(|| {
+                    host.packet[0] = 1460 * ((i % 64) as i64 + 1);
+                    i += 1;
+                    black_box(
+                        interp
+                            .run(&program, &mut host)
+                            .expect("catalogue function must not trap"),
+                    )
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(interp, bench_interp);
+criterion_main!(interp);

@@ -87,6 +87,40 @@ impl ToJson for RunResult {
     }
 }
 
+/// Per-catalogue-function interpreter cost: the same DSL source compiled
+/// without any optimization and with the full IR + superinstruction
+/// pipeline, interpreted over identical host state.
+#[derive(Debug, Clone)]
+pub struct InterpCost {
+    pub function: String,
+    /// Mean per-packet cost with `CompileOptions { optimize: false,
+    /// fuse: false }` — the naive stack-code translation.
+    pub unopt_ns_per_packet: f64,
+    /// Mean per-packet cost with the default pipeline (IR passes plus
+    /// codec-v2 superinstructions).
+    pub fused_ns_per_packet: f64,
+}
+
+impl InterpCost {
+    /// Machine-independent speedup ratio (>1 means the pipeline wins).
+    /// This is the number the CI gate checks; the raw wall-clock points
+    /// carry `_ns` in their names so the gate can skip them.
+    pub fn fused_speedup_rate(&self) -> f64 {
+        self.unopt_ns_per_packet / self.fused_ns_per_packet
+    }
+}
+
+impl ToJson for InterpCost {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("function", self.function.as_str().into()),
+            ("unopt_ns_per_packet", self.unopt_ns_per_packet.into()),
+            ("fused_ns_per_packet", self.fused_ns_per_packet.into()),
+            ("fused_speedup_rate", self.fused_speedup_rate().into()),
+        ])
+    }
+}
+
 /// §5.4 footprint of one case-study program.
 #[derive(Debug, Clone, Copy)]
 pub struct Footprint {
@@ -243,6 +277,65 @@ pub fn run(batches: usize, per_batch: usize) -> RunResult {
         enclave_ns: s_native.mean(),
         interpreter_ns: s_interp.mean(),
     }
+}
+
+/// A bare `VecHost` with the generic catalogue state the micro benches
+/// also use: every schema array populated with one small threshold row,
+/// every global set to 1 (so divisors are never zero).
+pub fn catalogue_host(bundle: &functions::FunctionBundle) -> eden_vm::VecHost {
+    let mut host = eden_vm::VecHost::with_slots(8, 8, 8);
+    for _ in bundle.schema().arrays() {
+        host.arrays.push(vec![1_000_000, 1, i64::MAX, 0]);
+    }
+    for g in host.global.iter_mut() {
+        *g = 1;
+    }
+    host
+}
+
+/// Interpreter ablation behind the Figure 12 bar: per-packet cost of
+/// every catalogue function with the compiler pipeline off vs on. The
+/// wall-clock points are machine-dependent; [`InterpCost::fused_speedup_rate`]
+/// is the portable number.
+pub fn interp_costs(batches: usize, per_batch: usize) -> Vec<InterpCost> {
+    use eden_lang::{compile_with_options, CompileOptions};
+    use eden_vm::{Interpreter, Limits};
+
+    let modes = [
+        CompileOptions {
+            optimize: false,
+            fuse: false,
+        },
+        CompileOptions {
+            optimize: true,
+            fuse: true,
+        },
+    ];
+    let mut out = Vec::new();
+    for bundle in functions::catalogue() {
+        let schema = bundle.schema();
+        let cost_of = |opts: CompileOptions| -> f64 {
+            let program = compile_with_options(bundle.name, bundle.source, &schema, opts)
+                .expect("catalogue compiles")
+                .program;
+            let mut host = catalogue_host(&bundle);
+            let mut interp = Interpreter::new(Limits::default());
+            let samples = measure(batches, per_batch, |i| {
+                host.packet[0] = 1460 * ((i % 64) as i64 + 1);
+                match interp.run(&program, &mut host) {
+                    Ok(_) => host.packet[1] as u64,
+                    Err(e) => panic!("{} trapped on catalogue state: {e:?}", bundle.name),
+                }
+            });
+            Summary::new(samples).mean()
+        };
+        out.push(InterpCost {
+            function: bundle.name.to_string(),
+            unopt_ns_per_packet: cost_of(modes[0]),
+            fused_ns_per_packet: cost_of(modes[1]),
+        });
+    }
+    out
 }
 
 /// §5.4: interpreter operand-stack/heap footprint of the case-study

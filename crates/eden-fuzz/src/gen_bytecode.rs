@@ -15,7 +15,7 @@
 //! [`mutate_bytes`] is the shared byte mutator for the codec oracle.
 
 use crate::rng::FuzzRng;
-use eden_vm::{FuncInfo, Op};
+use eden_vm::{Cmp, FuncInfo, Op};
 
 /// A generated raw program, pre-verification.
 #[derive(Debug, Clone)]
@@ -54,8 +54,12 @@ fn wild_target(rng: &mut FuzzRng, len: usize) -> u32 {
     }
 }
 
+fn wild_cmp(rng: &mut FuzzRng) -> Cmp {
+    *rng.pick(&[Cmp::Eq, Cmp::Ne, Cmp::Lt, Cmp::Le, Cmp::Gt, Cmp::Ge])
+}
+
 fn wild_op(rng: &mut FuzzRng, len: usize, nfuncs: usize) -> Op {
-    match rng.below(26) {
+    match rng.below(29) {
         0 => Op::Push(rng.interesting_i64()),
         1 => Op::Dup,
         2 => Op::Pop,
@@ -81,6 +85,19 @@ fn wild_op(rng: &mut FuzzRng, len: usize, nfuncs: usize) -> Op {
         22 => Op::Ret,
         23 => *rng.pick(&[Op::Rand, Op::RandRange, Op::Now, Op::Hash]),
         24 => *rng.pick(&[Op::Drop, Op::SetQueue, Op::ToController, Op::GotoTable]),
+        // codec-v2 superinstructions get the same wild treatment as the
+        // ops they fuse
+        25 => match rng.below(7) {
+            0 => Op::AddImm(rng.interesting_i64()),
+            1 => Op::MulImm(rng.interesting_i64()),
+            2 => Op::LoadPktAddImm(wild_slot(rng), rng.interesting_i64()),
+            3 => Op::LoadPktMulImm(wild_slot(rng), rng.interesting_i64()),
+            4 => Op::IncrLocal(wild_slot(rng), rng.interesting_i64()),
+            5 => Op::IncrMsg(wild_slot(rng), rng.interesting_i64()),
+            _ => Op::IncrGlob(wild_slot(rng), rng.interesting_i64()),
+        },
+        26 => Op::CmpBr(wild_cmp(rng), wild_target(rng, len)),
+        27 => Op::PushCmpBr(wild_cmp(rng), rng.interesting_i64(), wild_target(rng, len)),
         _ => Op::Halt,
     }
 }
@@ -129,17 +146,21 @@ pub fn gen_structured(rng: &mut FuzzRng) -> RawProgram {
         let slot = rng.below(HOST_SLOTS as u64) as u8;
         let arr = rng.below(HOST_ARRAYS as u64) as u8;
         let op = if depth == 0 {
-            match rng.below(7) {
+            match rng.below(11) {
                 0 => Op::Push(imm),
                 1 => Op::LoadLocal(slot),
                 2 => Op::LoadPkt(slot),
                 3 => Op::LoadGlob(slot),
                 4 => Op::ArrLen(arr),
                 5 => Op::Rand,
+                6 => Op::LoadPktAddImm(slot, imm),
+                7 => Op::LoadPktMulImm(slot, imm),
+                8 => Op::IncrLocal(slot, imm),
+                9 => Op::IncrMsg(slot, imm),
                 _ => Op::Now,
             }
         } else if depth == 1 {
-            match rng.below(12) {
+            match rng.below(15) {
                 0 => Op::Push(imm),
                 1 => Op::Dup,
                 2 => Op::Pop,
@@ -151,12 +172,15 @@ pub fn gen_structured(rng: &mut FuzzRng) -> RawProgram {
                 8 => Op::StoreGlob(slot),
                 9 => Op::ArrLoad(arr),
                 10 => Op::LoadMsg(slot),
+                11 => Op::AddImm(imm),
+                12 => Op::MulImm(imm),
+                13 => Op::IncrGlob(slot, imm),
                 _ => Op::RandRange,
             }
         } else if depth >= 6 {
             *rng.pick(&[Op::Pop, Op::Add, Op::Xor, Op::Hash, Op::Eq])
         } else {
-            match rng.below(23) {
+            match rng.below(25) {
                 0 => Op::Push(imm),
                 1 => Op::Dup,
                 2 => Op::Pop,
@@ -179,6 +203,8 @@ pub fn gen_structured(rng: &mut FuzzRng) -> RawProgram {
                 19 => Op::Ge,
                 20 => Op::Hash,
                 21 => Op::ArrStore(arr),
+                22 => Op::AddImm(imm),
+                23 => Op::MulImm(imm),
                 _ => Op::LoadLocal(slot),
             }
         };
@@ -200,10 +226,12 @@ fn delta(op: &Op) -> i32 {
     use Op::*;
     match op {
         Push(_) | Dup | LoadLocal(_) | LoadPkt(_) | LoadMsg(_) | LoadGlob(_) | ArrLen(_) | Rand
-        | Now => 1,
+        | Now | LoadPktAddImm(..) | LoadPktMulImm(..) => 1,
         Pop | StoreLocal(_) | StorePkt(_) | StoreMsg(_) | StoreGlob(_) | Add | Sub | Mul | Div
-        | Rem | And | Or | Xor | Shl | Shr | Eq | Ne | Lt | Le | Gt | Ge | Hash => -1,
-        ArrStore(_) => -2,
+        | Rem | And | Or | Xor | Shl | Shr | Eq | Ne | Lt | Le | Gt | Ge | Hash | PushCmpBr(..) => {
+            -1
+        }
+        ArrStore(_) | CmpBr(..) => -2,
         _ => 0,
     }
 }

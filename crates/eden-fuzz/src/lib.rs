@@ -2,9 +2,10 @@
 //!
 //! Four oracles, each deterministic and seed-replayable:
 //!
-//! * **compiler-diff** — every generated eden-lang source is compiled with
-//!   the optimizer on and off; both programs must agree on the outcome,
-//!   every header/state word, every recorded effect, and the RNG stream.
+//! * **compiler-diff** — every generated eden-lang source is compiled
+//!   three ways (plain, IR-optimized, superinstruction-fused); all builds
+//!   must agree on the outcome, every header/state word, every recorded
+//!   effect, and the RNG stream.
 //! * **exec-diff** — every catalogue function's interpreted and native
 //!   forms must agree packet for packet (and the batched path must agree
 //!   with the serial path — the PR 2 equivalence, re-checked from random
@@ -49,20 +50,27 @@ pub fn run_oracle(name: &str, seed: u64, start: u64, cases: u64) -> OracleReport
     }
 }
 
-/// Run all four oracles, splitting `cases` evenly (remainder to the
-/// first), and assemble the full report.
+/// Per-oracle share of a [`run_all`] budget, parallel to [`ORACLES`]. The
+/// compiler differential gets a double share: the three-way
+/// (plain/optimized/fused) comparison is the oracle standing most directly
+/// behind the IR passes and the superinstruction selector, so it gets the
+/// most throughput per smoke run.
+const WEIGHTS: [u64; 4] = [2, 1, 1, 1];
+
+/// Run all four oracles, splitting `cases` by [`WEIGHTS`] (the last oracle
+/// absorbs rounding), and assemble the full report.
 pub fn run_all(seed: u64, cases: u64) -> Report {
-    let share = cases / ORACLES.len() as u64;
-    let mut rem = cases % ORACLES.len() as u64;
+    let total: u64 = WEIGHTS.iter().sum();
     let mut oracles = Vec::new();
-    for name in ORACLES {
-        let extra = if rem > 0 {
-            rem -= 1;
-            1
+    let mut assigned = 0;
+    for (i, name) in ORACLES.iter().enumerate() {
+        let share = if i + 1 == ORACLES.len() {
+            cases - assigned
         } else {
-            0
+            cases * WEIGHTS[i] / total
         };
-        oracles.push(run_oracle(name, seed, 0, share + extra));
+        assigned += share;
+        oracles.push(run_oracle(name, seed, 0, share));
     }
     Report {
         seed,

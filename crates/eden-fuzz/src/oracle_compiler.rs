@@ -1,11 +1,15 @@
-//! Compiler differential: optimizer on vs off.
+//! Three-way compiler differential: plain, optimized, fused.
 //!
-//! Both builds of the same source must agree on the verdict, every
-//! header/state word, every recorded effect, the clock, and the host RNG
-//! stream. Resource-limit traps (fuel, operand stack, call depth, heap)
-//! are the one place the optimizer is *allowed* to change behaviour — a
-//! folded expression legitimately needs less stack and fewer steps — so a
-//! case where either build hits one is skipped, not flagged.
+//! Every generated source is compiled three ways — HIR straight to
+//! bytecode (`optimize: false, fuse: false`), with the HIR folder and the
+//! machine-independent IR passes (`optimize: true, fuse: false`), and with
+//! codec-v2 superinstruction fusion on top (`optimize: true, fuse: true`).
+//! All builds must agree on the verdict, every header/state word, every
+//! recorded effect, the clock, and the host RNG stream. Resource-limit
+//! traps (fuel, operand stack, call depth, heap) are the one place the
+//! optimizer is *allowed* to change behaviour — a folded expression
+//! legitimately needs less stack and fewer steps — so a case where any
+//! build hits one is skipped, not flagged.
 
 use crate::gen_source::{body_lines, gen_case, render, SchemaDesc, SourceCase};
 use crate::minimize::ddmin;
@@ -19,7 +23,33 @@ use eden_vm::{Host, Interpreter, Limits, Outcome, VecHost, VmError};
 const FUEL: u64 = 200_000;
 const MINIMIZE_BUDGET: usize = 400;
 
-/// Host contents shared verbatim by both builds.
+/// The three builds under comparison, least to most transformed. The first
+/// entry is the reference the others are diffed against.
+const MODES: [(&str, CompileOptions); 3] = [
+    (
+        "plain",
+        CompileOptions {
+            optimize: false,
+            fuse: false,
+        },
+    ),
+    (
+        "optimized",
+        CompileOptions {
+            optimize: true,
+            fuse: false,
+        },
+    ),
+    (
+        "fused",
+        CompileOptions {
+            optimize: true,
+            fuse: true,
+        },
+    ),
+];
+
+/// Host contents shared verbatim by all builds.
 #[derive(Debug, Clone)]
 struct HostSpec {
     packet: Vec<i64>,
@@ -64,21 +94,28 @@ fn build_host(spec: &HostSpec) -> VecHost {
     h
 }
 
-/// Run one build; returns the result, the final host, and one post-run
-/// RNG draw (the only way to observe that both hosts' private RNG states
-/// advanced in lockstep).
-fn execute(
-    program: &eden_vm::Program,
-    spec: &HostSpec,
-) -> (Result<Outcome, VmError>, VecHost, i64) {
+/// One build's observable universe: the result, the final host, and one
+/// post-run RNG draw (the only way to observe that all hosts' private RNG
+/// states advanced in lockstep).
+struct Observed {
+    result: Result<Outcome, VmError>,
+    host: VecHost,
+    post_rng: i64,
+}
+
+fn execute(program: &eden_vm::Program, spec: &HostSpec) -> Observed {
     let mut host = build_host(spec);
     let mut interp = Interpreter::new(Limits {
         fuel: Some(FUEL),
         ..Limits::default()
     });
-    let r = interp.run(program, &mut host);
-    let post = host.rand64();
-    (r, host, post)
+    let result = interp.run(program, &mut host);
+    let post_rng = host.rand64();
+    Observed {
+        result,
+        host,
+        post_rng,
+    }
 }
 
 fn is_resource_trap(r: &Result<Outcome, VmError>) -> bool {
@@ -97,7 +134,7 @@ enum CaseResult {
     ResourceSkip,
     CompileError,
     Diverged(String),
-    /// Only one build compiled — itself a differential failure.
+    /// Not every build compiled — itself a differential failure.
     CompileDiverged(String),
 }
 
@@ -111,72 +148,93 @@ fn outcome_tag(r: &Result<Outcome, VmError>) -> &'static str {
     }
 }
 
-/// Compile both ways and compare runs. `None` detail means agreement.
+/// First observable difference between the reference build and `other`,
+/// if any.
+fn diff(reference: &Observed, other: &Observed, name: &str) -> Option<String> {
+    let a = reference;
+    let b = other;
+    if a.result != b.result {
+        return Some(format!(
+            "result: plain={:?} {name}={:?}",
+            a.result, b.result
+        ));
+    }
+    if a.host.packet != b.host.packet {
+        return Some(format!(
+            "packet state: plain={:?} {name}={:?}",
+            a.host.packet, b.host.packet
+        ));
+    }
+    if a.host.msg != b.host.msg {
+        return Some(format!(
+            "msg state: plain={:?} {name}={:?}",
+            a.host.msg, b.host.msg
+        ));
+    }
+    if a.host.global != b.host.global {
+        return Some(format!(
+            "global state: plain={:?} {name}={:?}",
+            a.host.global, b.host.global
+        ));
+    }
+    if a.host.arrays != b.host.arrays {
+        return Some(format!(
+            "arrays: plain={:?} {name}={:?}",
+            a.host.arrays, b.host.arrays
+        ));
+    }
+    if a.host.effects != b.host.effects {
+        return Some(format!(
+            "effects: plain={:?} {name}={:?}",
+            a.host.effects, b.host.effects
+        ));
+    }
+    if a.host.clock != b.host.clock {
+        return Some(format!(
+            "clock (now() draws): plain={} {name}={}",
+            a.host.clock, b.host.clock
+        ));
+    }
+    if a.post_rng != b.post_rng {
+        return Some(format!("host RNG stream out of lockstep (plain vs {name})"));
+    }
+    None
+}
+
+/// Compile all three ways and compare runs pairwise against the plain
+/// build.
 fn check(source: &str, schema: &Schema, spec: &HostSpec) -> CaseResult {
-    let plain = compile_with_options("fuzz", source, schema, CompileOptions { optimize: false });
-    let opt = compile_with_options("fuzz", source, schema, CompileOptions { optimize: true });
-    let (plain, opt) = match (plain, opt) {
-        (Ok(a), Ok(b)) => (a, b),
-        (Err(_), Err(_)) => return CaseResult::CompileError,
-        (Ok(_), Err(e)) => {
-            return CaseResult::CompileDiverged(format!(
-                "compiles without optimizer but not with: {e}"
-            ))
-        }
-        (Err(e), Ok(_)) => {
-            return CaseResult::CompileDiverged(format!(
-                "compiles with optimizer but not without: {e}"
-            ))
-        }
-    };
-    let (ra, ha, pa) = execute(&plain.program, spec);
-    let (rb, hb, pb) = execute(&opt.program, spec);
-    if is_resource_trap(&ra) || is_resource_trap(&rb) {
+    let builds: Vec<_> = MODES
+        .iter()
+        .map(|(name, opts)| (*name, compile_with_options("fuzz", source, schema, *opts)))
+        .collect();
+    if builds.iter().all(|(_, b)| b.is_err()) {
+        return CaseResult::CompileError;
+    }
+    if let Some((name, Err(e))) = builds.iter().find(|(_, b)| b.is_err()) {
+        let ok: Vec<&str> = builds
+            .iter()
+            .filter(|(_, b)| b.is_ok())
+            .map(|(n, _)| *n)
+            .collect();
+        return CaseResult::CompileDiverged(format!(
+            "build '{name}' fails to compile while {ok:?} succeed: {e}"
+        ));
+    }
+    let observed: Vec<(&str, Observed)> = builds
+        .into_iter()
+        .map(|(name, b)| (name, execute(&b.expect("checked above").program, spec)))
+        .collect();
+    if observed.iter().any(|(_, o)| is_resource_trap(&o.result)) {
         return CaseResult::ResourceSkip;
     }
-    if ra != rb {
-        return CaseResult::Diverged(format!("result: plain={ra:?} optimized={rb:?}"));
+    let (_, reference) = &observed[0];
+    for (name, other) in &observed[1..] {
+        if let Some(detail) = diff(reference, other, name) {
+            return CaseResult::Diverged(detail);
+        }
     }
-    if ha.packet != hb.packet {
-        return CaseResult::Diverged(format!(
-            "packet state: plain={:?} optimized={:?}",
-            ha.packet, hb.packet
-        ));
-    }
-    if ha.msg != hb.msg {
-        return CaseResult::Diverged(format!(
-            "msg state: plain={:?} optimized={:?}",
-            ha.msg, hb.msg
-        ));
-    }
-    if ha.global != hb.global {
-        return CaseResult::Diverged(format!(
-            "global state: plain={:?} optimized={:?}",
-            ha.global, hb.global
-        ));
-    }
-    if ha.arrays != hb.arrays {
-        return CaseResult::Diverged(format!(
-            "arrays: plain={:?} optimized={:?}",
-            ha.arrays, hb.arrays
-        ));
-    }
-    if ha.effects != hb.effects {
-        return CaseResult::Diverged(format!(
-            "effects: plain={:?} optimized={:?}",
-            ha.effects, hb.effects
-        ));
-    }
-    if ha.clock != hb.clock {
-        return CaseResult::Diverged(format!(
-            "clock (now() draws): plain={} optimized={}",
-            ha.clock, hb.clock
-        ));
-    }
-    if pa != pb {
-        return CaseResult::Diverged("host RNG stream out of lockstep".to_string());
-    }
-    CaseResult::Agree(outcome_tag(&ra))
+    CaseResult::Agree(outcome_tag(&reference.result))
 }
 
 /// Shrink a diverging source to fewer body lines that still diverge.
@@ -262,6 +320,41 @@ mod tests {
             compiled >= 40,
             "generator health: only {compiled}/60 cases compiled: {:?}",
             a.notes
+        );
+    }
+
+    #[test]
+    fn fused_build_actually_uses_superinstructions() {
+        // guard against the oracle silently comparing three identical
+        // builds: the catalogue-style loop below must fuse
+        let schema = eden_lang::Schema::new()
+            .packet_field("A", eden_lang::Access::ReadWrite, None)
+            .packet_field("B", eden_lang::Access::ReadWrite, None);
+        let src = r#"
+fun (packet: Packet, msg: Message, _global: Global) ->
+    let rec count acc =
+        if acc >= 10 then acc
+        else count (acc + 1)
+    packet.B <- packet.A + count (0)
+"#;
+        let fused = compile_with_options("t", src, &schema, MODES[2].1).unwrap();
+        let plain = compile_with_options("t", src, &schema, MODES[0].1).unwrap();
+        let fused_v2 = fused
+            .program
+            .ops()
+            .iter()
+            .filter(|op| op.kind_index() >= 47)
+            .count();
+        assert!(
+            fused_v2 > 0,
+            "expected v2 superinstructions in fused build: {:?}",
+            fused.program.ops()
+        );
+        assert!(
+            fused.program.ops().len() < plain.program.ops().len(),
+            "fused build should be shorter: fused={} plain={}",
+            fused.program.ops().len(),
+            plain.program.ops().len()
         );
     }
 }

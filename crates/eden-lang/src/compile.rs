@@ -1,17 +1,28 @@
-//! HIR → bytecode code generation.
+//! HIR → IR → bytecode code generation.
 //!
-//! Mostly a straightforward stack-code walk; the interesting part is the
-//! optimization the paper highlights in §3.4.4 — "recognizing tail
-//! recursion and compiling it as a loop": a self-call in tail position
-//! stores the new argument values into the parameter locals and jumps back
-//! to the function entry instead of growing the call stack, so programs
-//! like Figure 7's `search` run in constant space (and fit the paper's
-//! 64-byte operand stack).
+//! Code generation no longer emits opcodes inline: each region (the
+//! top-level body and every `let rec` function) is first built as a
+//! control-flow graph of basic blocks ([`crate::ir`]), run through the
+//! machine-independent optimizer and — by default — the superinstruction
+//! fuser, and only then laid out as a flat instruction stream.
+//!
+//! Two source-level optimizations still live here because they need HIR
+//! shape, not block shape:
+//!
+//! * the paper's §3.4.4 tail-recursion-to-loop rewrite: a self-call in tail
+//!   position stores the new argument values into the parameter locals and
+//!   jumps back to the function's entry block, so programs like Figure 7's
+//!   `search` run in constant space (and fit the paper's 64-byte operand
+//!   stack);
+//! * short-circuit `&&`/`||`, lowered directly as control flow so the IR
+//!   branch-threading pass can dissolve the boolean materialization when
+//!   the result feeds an `if`.
 
-use eden_vm::{Program, ProgramBuilder};
+use eden_vm::{FuncInfo, Op, Program};
 
 use crate::ast::BinOp;
 use crate::error::{CompileError, ErrorKind};
+use crate::ir::{self, IrFunc, Terminator};
 use crate::lexer::lex;
 use crate::optimize::fold;
 use crate::parser::parse;
@@ -38,23 +49,34 @@ pub struct CompiledFunction {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CompileOptions {
     /// Run the HIR optimizer (constant folding, branch elimination, dead
-    /// sequence pruning). Off, the type-checked HIR goes straight to
-    /// codegen — the differential-fuzzing harness compiles every program
-    /// both ways and requires identical observable behaviour.
+    /// sequence pruning) and the machine-independent IR passes (dead-store
+    /// elimination, load/`Dup` forwarding, branch threading). Off, the
+    /// type-checked HIR goes through the IR untouched — the
+    /// differential-fuzzing harness compiles every program each way and
+    /// requires identical observable behaviour.
     pub optimize: bool,
+    /// Select codec-v2 superinstructions (immediate arithmetic, one-slot
+    /// increments, compare-and-branch). Off, the emitted bytecode uses only
+    /// v1 opcodes and still encodes for enclaves that predate the fused
+    /// interpreter.
+    pub fuse: bool,
 }
 
 impl Default for CompileOptions {
     fn default() -> Self {
-        CompileOptions { optimize: true }
+        CompileOptions {
+            optimize: true,
+            fuse: true,
+        }
     }
 }
 
 /// Compile DSL `source` against `schema` into bytecode named `name`.
 ///
 /// Runs the full pipeline: lex → parse → type check (annotations, access
-/// control, effect inference) → code generation (with tail-call-to-loop) →
-/// bytecode verification.
+/// control, effect inference) → IR code generation (with
+/// tail-call-to-loop) → IR optimization and superinstruction fusion →
+/// lowering → bytecode verification.
 pub fn compile(
     name: &str,
     source: &str,
@@ -63,7 +85,7 @@ pub fn compile(
     compile_with_options(name, source, schema, CompileOptions::default())
 }
 
-/// [`compile`], with the optimizer under caller control.
+/// [`compile`], with the optimizer and fuser under caller control.
 pub fn compile_with_options(
     name: &str,
     source: &str,
@@ -80,34 +102,62 @@ pub fn compile_with_options(
         }
     }
 
-    let mut gen = Gen {
-        b: ProgramBuilder::new()
-            .named(name)
-            .with_entry_locals(checked.entry_locals),
-    };
-    // top-level body
-    let diverged = gen.emit(&checked.body, None)?;
-    if !diverged {
-        gen.b.halt();
+    // Build one IR region per compilation unit: index 0 is the top-level
+    // body, index i+1 is function i.
+    let mut regions: Vec<IrFunc> = Vec::with_capacity(1 + checked.funcs.len());
+    {
+        let mut gen = Gen::new();
+        let diverged = gen.emit(&checked.body, None)?;
+        if !diverged {
+            gen.term(Terminator::Halt);
+        }
+        regions.push(gen.finish());
     }
-    // then each local function
     for (id, f) in checked.funcs.iter().enumerate() {
-        let fid = gen.b.begin_func(f.arity, f.n_locals);
-        debug_assert_eq!(fid as usize, id);
-        let entry = gen.b.new_label();
-        gen.b.bind(entry);
+        let mut gen = Gen::new();
         let ctx = FnCtx {
             id: id as u16,
-            entry,
             arity: f.arity,
         };
         let diverged = gen.emit_tail(&f.body, Some(ctx))?;
         if !diverged {
-            gen.b.ret();
+            gen.term(Terminator::Ret);
         }
+        regions.push(gen.finish());
     }
 
-    let program = gen.b.build().map_err(|e| {
+    for region in &mut regions {
+        // always prune: diverging `if` arms leave unreachable, unterminated
+        // join blocks that lowering must never see
+        ir::prune(region);
+        if options.optimize {
+            ir::optimize(region);
+        }
+        if options.fuse {
+            ir::fuse(region);
+        }
+        // threading can orphan the blocks it bypassed
+        ir::prune(region);
+    }
+
+    let mut ops: Vec<Op> = Vec::new();
+    let mut entries: Vec<u32> = Vec::with_capacity(regions.len());
+    for region in &regions {
+        entries.push(ops.len() as u32);
+        ir::lower_into(region, &mut ops);
+    }
+    let funcs: Vec<FuncInfo> = checked
+        .funcs
+        .iter()
+        .zip(&entries[1..])
+        .map(|(f, &entry)| FuncInfo {
+            entry,
+            arity: f.arity,
+            n_locals: f.n_locals,
+        })
+        .collect();
+
+    let program = Program::new(name, ops, funcs, checked.entry_locals).map_err(|e| {
         CompileError::new(
             ErrorKind::Codegen(format!("internal: emitted invalid bytecode: {e}")),
             Span::default(),
@@ -126,15 +176,53 @@ pub fn compile_with_options(
 #[derive(Clone, Copy)]
 struct FnCtx {
     id: u16,
-    entry: eden_vm::Label,
     arity: u8,
 }
 
+/// Emits HIR into an [`IrFunc`], one open block at a time. The entry block
+/// of every region is block 0, which is also the tail-call loop target.
 struct Gen {
-    b: ProgramBuilder,
+    ir: IrFunc,
+    cur: ir::BlockId,
 }
 
 impl Gen {
+    fn new() -> Gen {
+        Gen {
+            ir: IrFunc::new(),
+            cur: 0,
+        }
+    }
+
+    fn finish(self) -> IrFunc {
+        self.ir
+    }
+
+    /// Instructions and terminators go to the current block. If it is
+    /// already terminated (dead HIR after a diverging expression), they
+    /// land in a fresh unreachable block instead, which `prune` later
+    /// removes — the same net effect as the dead opcodes the old inline
+    /// emitter produced.
+    fn ensure_open(&mut self) {
+        if self.ir.blocks[self.cur].term.is_some() {
+            self.cur = self.ir.new_block();
+        }
+    }
+
+    fn inst(&mut self, op: Op) {
+        self.ensure_open();
+        self.ir.blocks[self.cur].insts.push(op);
+    }
+
+    fn term(&mut self, t: Terminator) {
+        self.ensure_open();
+        self.ir.blocks[self.cur].term = Some(t);
+    }
+
+    fn start(&mut self, b: ir::BlockId) {
+        self.cur = b;
+    }
+
     /// Emit `e` in non-tail position. Returns `true` if the emitted code
     /// diverges (never falls through).
     fn emit(&mut self, e: &HExpr, ctx: Option<FnCtx>) -> Result<bool, CompileError> {
@@ -154,19 +242,19 @@ impl Gen {
     ) -> Result<bool, CompileError> {
         match e {
             HExpr::Int(v) => {
-                self.b.push(*v);
+                self.inst(Op::Push(*v));
                 Ok(false)
             }
             HExpr::Local(s) => {
-                self.b.load_local(*s);
+                self.inst(Op::LoadLocal(*s));
                 Ok(false)
             }
             HExpr::LoadField(scope, slot) => {
-                match scope {
-                    crate::schema::Scope::Packet => self.b.load_pkt(*slot),
-                    crate::schema::Scope::Message => self.b.load_msg(*slot),
-                    crate::schema::Scope::Global => self.b.load_glob(*slot),
-                };
+                self.inst(match scope {
+                    crate::schema::Scope::Packet => Op::LoadPkt(*slot),
+                    crate::schema::Scope::Message => Op::LoadMsg(*slot),
+                    crate::schema::Scope::Global => Op::LoadGlob(*slot),
+                });
                 Ok(false)
             }
             HExpr::LoadArr {
@@ -177,39 +265,40 @@ impl Gen {
             } => {
                 self.emit(index, ctx)?;
                 self.scale_index(*stride, *offset);
-                self.b.arr_load(*id);
+                self.inst(Op::ArrLoad(*id));
                 Ok(false)
             }
             HExpr::ArrLen { id, stride } => {
-                self.b.arr_len(*id);
+                self.inst(Op::ArrLen(*id));
                 if *stride > 1 {
-                    self.b.push(*stride as i64).div();
+                    self.inst(Op::Push(*stride as i64));
+                    self.inst(Op::Div);
                 }
                 Ok(false)
             }
             HExpr::Bin { op, lhs, rhs } => self.emit_bin(*op, lhs, rhs, ctx),
             HExpr::Neg(x) => {
                 self.emit(x, ctx)?;
-                self.b.neg();
+                self.inst(Op::Neg);
                 Ok(false)
             }
             HExpr::Not(x) => {
                 self.emit(x, ctx)?;
-                self.b.not();
+                self.inst(Op::Not);
                 Ok(false)
             }
             HExpr::StoreLocal(slot, v) => {
                 self.emit(v, ctx)?;
-                self.b.store_local(*slot);
+                self.inst(Op::StoreLocal(*slot));
                 Ok(false)
             }
             HExpr::StoreField(scope, slot, v) => {
                 self.emit(v, ctx)?;
-                match scope {
-                    crate::schema::Scope::Packet => self.b.store_pkt(*slot),
-                    crate::schema::Scope::Message => self.b.store_msg(*slot),
-                    crate::schema::Scope::Global => self.b.store_glob(*slot),
-                };
+                self.inst(match scope {
+                    crate::schema::Scope::Packet => Op::StorePkt(*slot),
+                    crate::schema::Scope::Message => Op::StoreMsg(*slot),
+                    crate::schema::Scope::Global => Op::StoreGlob(*slot),
+                });
                 Ok(false)
             }
             HExpr::StoreArr {
@@ -222,7 +311,7 @@ impl Gen {
                 self.emit(index, ctx)?;
                 self.scale_index(*stride, *offset);
                 self.emit(value, ctx)?;
-                self.b.arr_store(*id);
+                self.inst(Op::ArrStore(*id));
                 Ok(false)
             }
             HExpr::If {
@@ -231,23 +320,39 @@ impl Gen {
                 self.emit(cond, ctx)?;
                 match els {
                     Some(f) => {
-                        let lelse = self.b.new_label();
-                        let lend = self.b.new_label();
-                        self.b.jmp_if_not(lelse);
+                        let bthen = self.ir.new_block();
+                        let belse = self.ir.new_block();
+                        let bend = self.ir.new_block();
+                        self.term(Terminator::Branch {
+                            if_true: bthen,
+                            if_false: belse,
+                        });
+                        self.start(bthen);
                         let d1 = self.emit_inner(then, ctx, tail)?;
                         if !d1 {
-                            self.b.jmp(lend);
+                            self.term(Terminator::Jmp(bend));
                         }
-                        self.b.bind(lelse);
+                        self.start(belse);
                         let d2 = self.emit_inner(f, ctx, tail)?;
-                        self.b.bind(lend);
+                        if !d2 {
+                            self.term(Terminator::Jmp(bend));
+                        }
+                        self.start(bend);
                         Ok(d1 && d2)
                     }
                     None => {
-                        let lend = self.b.new_label();
-                        self.b.jmp_if_not(lend);
-                        self.emit_inner(then, ctx, tail)?;
-                        self.b.bind(lend);
+                        let bthen = self.ir.new_block();
+                        let bend = self.ir.new_block();
+                        self.term(Terminator::Branch {
+                            if_true: bthen,
+                            if_false: bend,
+                        });
+                        self.start(bthen);
+                        let d = self.emit_inner(then, ctx, tail)?;
+                        if !d {
+                            self.term(Terminator::Jmp(bend));
+                        }
+                        self.start(bend);
                         Ok(false)
                     }
                 }
@@ -265,12 +370,13 @@ impl Gen {
             HExpr::Discard(x) => {
                 let d = self.emit(x, ctx)?;
                 if !d {
-                    self.b.pop();
+                    self.inst(Op::Pop);
                 }
                 Ok(d)
             }
             HExpr::Call { func, args } => {
-                // Tail self-call → loop (the paper's §3.4.4 optimization).
+                // Tail self-call → loop (the paper's §3.4.4 optimization):
+                // rebind the parameters and jump back to the entry block.
                 if tail {
                     if let Some(c) = ctx {
                         if c.id == *func {
@@ -279,9 +385,9 @@ impl Gen {
                                 self.emit(a, ctx)?;
                             }
                             for slot in (0..args.len()).rev() {
-                                self.b.store_local(slot as u8);
+                                self.inst(Op::StoreLocal(slot as u8));
                             }
-                            self.b.jmp(c.entry);
+                            self.term(Terminator::Jmp(0));
                             return Ok(true);
                         }
                     }
@@ -289,7 +395,7 @@ impl Gen {
                 for a in args {
                     self.emit(a, ctx)?;
                 }
-                self.b.call(*func);
+                self.inst(Op::Call(*func));
                 Ok(false)
             }
             HExpr::CallBuiltin { builtin, args } => {
@@ -298,35 +404,35 @@ impl Gen {
                 }
                 match builtin {
                     Builtin::Rand => {
-                        self.b.rand();
+                        self.inst(Op::Rand);
                         Ok(false)
                     }
                     Builtin::RandRange => {
-                        self.b.rand_range();
+                        self.inst(Op::RandRange);
                         Ok(false)
                     }
                     Builtin::Now => {
-                        self.b.now();
+                        self.inst(Op::Now);
                         Ok(false)
                     }
                     Builtin::Hash => {
-                        self.b.hash();
+                        self.inst(Op::Hash);
                         Ok(false)
                     }
                     Builtin::SetQueue => {
-                        self.b.set_queue();
+                        self.inst(Op::SetQueue);
                         Ok(false)
                     }
                     Builtin::Drop => {
-                        self.b.drop_packet();
+                        self.term(Terminator::Drop);
                         Ok(true)
                     }
                     Builtin::ToController => {
-                        self.b.to_controller();
+                        self.term(Terminator::ToController);
                         Ok(true)
                     }
                     Builtin::GotoTable => {
-                        self.b.goto_table();
+                        self.term(Terminator::GotoTable);
                         Ok(true)
                     }
                 }
@@ -343,48 +449,72 @@ impl Gen {
     ) -> Result<bool, CompileError> {
         match op {
             BinOp::And => {
-                let lfalse = self.b.new_label();
-                let lend = self.b.new_label();
+                let brhs = self.ir.new_block();
+                let btrue = self.ir.new_block();
+                let bfalse = self.ir.new_block();
+                let bend = self.ir.new_block();
                 self.emit(lhs, ctx)?;
-                self.b.jmp_if_not(lfalse);
+                self.term(Terminator::Branch {
+                    if_true: brhs,
+                    if_false: bfalse,
+                });
+                self.start(brhs);
                 self.emit(rhs, ctx)?;
-                self.b.jmp_if_not(lfalse);
-                self.b.push(1).jmp(lend);
-                self.b.bind(lfalse);
-                self.b.push(0);
-                self.b.bind(lend);
+                self.term(Terminator::Branch {
+                    if_true: btrue,
+                    if_false: bfalse,
+                });
+                self.start(btrue);
+                self.inst(Op::Push(1));
+                self.term(Terminator::Jmp(bend));
+                self.start(bfalse);
+                self.inst(Op::Push(0));
+                self.term(Terminator::Jmp(bend));
+                self.start(bend);
                 Ok(false)
             }
             BinOp::Or => {
-                let ltrue = self.b.new_label();
-                let lend = self.b.new_label();
+                let brhs = self.ir.new_block();
+                let btrue = self.ir.new_block();
+                let bfalse = self.ir.new_block();
+                let bend = self.ir.new_block();
                 self.emit(lhs, ctx)?;
-                self.b.jmp_if(ltrue);
+                self.term(Terminator::Branch {
+                    if_true: btrue,
+                    if_false: brhs,
+                });
+                self.start(brhs);
                 self.emit(rhs, ctx)?;
-                self.b.jmp_if(ltrue);
-                self.b.push(0).jmp(lend);
-                self.b.bind(ltrue);
-                self.b.push(1);
-                self.b.bind(lend);
+                self.term(Terminator::Branch {
+                    if_true: btrue,
+                    if_false: bfalse,
+                });
+                self.start(btrue);
+                self.inst(Op::Push(1));
+                self.term(Terminator::Jmp(bend));
+                self.start(bfalse);
+                self.inst(Op::Push(0));
+                self.term(Terminator::Jmp(bend));
+                self.start(bend);
                 Ok(false)
             }
             _ => {
                 self.emit(lhs, ctx)?;
                 self.emit(rhs, ctx)?;
-                match op {
-                    BinOp::Add => self.b.add(),
-                    BinOp::Sub => self.b.sub(),
-                    BinOp::Mul => self.b.mul(),
-                    BinOp::Div => self.b.div(),
-                    BinOp::Rem => self.b.rem(),
-                    BinOp::Eq => self.b.eq(),
-                    BinOp::Ne => self.b.ne(),
-                    BinOp::Lt => self.b.lt(),
-                    BinOp::Le => self.b.le(),
-                    BinOp::Gt => self.b.gt(),
-                    BinOp::Ge => self.b.ge(),
+                self.inst(match op {
+                    BinOp::Add => Op::Add,
+                    BinOp::Sub => Op::Sub,
+                    BinOp::Mul => Op::Mul,
+                    BinOp::Div => Op::Div,
+                    BinOp::Rem => Op::Rem,
+                    BinOp::Eq => Op::Eq,
+                    BinOp::Ne => Op::Ne,
+                    BinOp::Lt => Op::Lt,
+                    BinOp::Le => Op::Le,
+                    BinOp::Gt => Op::Gt,
+                    BinOp::Ge => Op::Ge,
                     BinOp::And | BinOp::Or => unreachable!("handled above"),
-                };
+                });
                 Ok(false)
             }
         }
@@ -393,10 +523,12 @@ impl Gen {
     /// Turn an element index on the stack into a slot index.
     fn scale_index(&mut self, stride: u8, offset: u8) {
         if stride > 1 {
-            self.b.push(stride as i64).mul();
+            self.inst(Op::Push(stride as i64));
+            self.inst(Op::Mul);
         }
         if offset > 0 {
-            self.b.push(offset as i64).add();
+            self.inst(Op::Push(offset as i64));
+            self.inst(Op::Add);
         }
     }
 }

@@ -1,0 +1,776 @@
+//! Low-level IR between HIR code generation and `eden-vm` bytecode.
+//!
+//! The paper claims its compiler "performs a number of optimizations" to
+//! make per-packet interpretation affordable (§3.4.4); this module is where
+//! they live. Code generation builds one [`IrFunc`] per region (the
+//! top-level body plus each `let rec` function): straight-line stack code in
+//! basic [`Block`]s, with control flow expressed only through
+//! [`Terminator`]s whose targets are block ids. That shape makes the passes
+//! trivial to state and safe to apply:
+//!
+//! * **branch threading** — jumps through empty blocks land directly on the
+//!   final target, and a constant pushed into an empty conditional block
+//!   decides the branch at compile time (this is what collapses the
+//!   `&&`/`||` materialization blocks);
+//! * **dead-store elimination** — a local store overwritten in the same
+//!   block before any read becomes a `Pop`, which the push/`Pop` rule then
+//!   deletes together with its producer;
+//! * **redundant load/`Dup` forwarding** — reloading the value just stored
+//!   (or loading the same pure source twice) becomes a `Dup`, saving a host
+//!   call;
+//! * **superinstruction fusion** (codec v2, behind
+//!   [`CompileOptions::fuse`](crate::CompileOptions)) — immediate
+//!   arithmetic, load-modify-store on one slot, and compare-and-branch
+//!   sequences collapse into the fused opcodes the interpreter dispatches
+//!   in one step.
+//!
+//! Lowering lays blocks out in id order and resolves block ids to absolute
+//! instruction indices in two passes, eliding jumps to the fall-through
+//! block.
+
+use eden_vm::{Cmp, Op};
+
+/// Index into [`IrFunc::blocks`].
+pub type BlockId = usize;
+
+/// How a basic block ends. Conditional terminators consume their operands
+/// from the stack, exactly like the branch opcodes they lower to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Terminator {
+    /// Unconditional transfer.
+    Jmp(BlockId),
+    /// Pop the condition; non-zero goes to `if_true`.
+    Branch {
+        if_true: BlockId,
+        if_false: BlockId,
+    },
+    /// Pop `b` then `a`; `a ⟨cmp⟩ b` goes to `if_true`. Produced by fusion.
+    CmpBranch {
+        cmp: Cmp,
+        if_true: BlockId,
+        if_false: BlockId,
+    },
+    /// Pop `a`; `a ⟨cmp⟩ imm` goes to `if_true`. Produced by fusion.
+    PushCmpBranch {
+        cmp: Cmp,
+        imm: i64,
+        if_true: BlockId,
+        if_false: BlockId,
+    },
+    Halt,
+    Ret,
+    Drop,
+    ToController,
+    /// Pops the table id.
+    GotoTable,
+}
+
+impl Terminator {
+    fn successors(&self) -> impl Iterator<Item = BlockId> {
+        use Terminator::*;
+        let (a, b) = match *self {
+            Jmp(t) => (Some(t), None),
+            Branch { if_true, if_false }
+            | CmpBranch {
+                if_true, if_false, ..
+            }
+            | PushCmpBranch {
+                if_true, if_false, ..
+            } => (Some(if_true), Some(if_false)),
+            Halt | Ret | Drop | ToController | GotoTable => (None, None),
+        };
+        a.into_iter().chain(b)
+    }
+
+    fn map_targets(&mut self, mut f: impl FnMut(BlockId) -> BlockId) {
+        use Terminator::*;
+        match self {
+            Jmp(t) => *t = f(*t),
+            Branch { if_true, if_false }
+            | CmpBranch {
+                if_true, if_false, ..
+            }
+            | PushCmpBranch {
+                if_true, if_false, ..
+            } => {
+                *if_true = f(*if_true);
+                *if_false = f(*if_false);
+            }
+            Halt | Ret | Drop | ToController | GotoTable => {}
+        }
+    }
+}
+
+/// Straight-line instructions plus one terminator. `insts` never contains
+/// control-flow ops — those exist only as terminators until lowering.
+#[derive(Debug, Clone, Default)]
+pub struct Block {
+    pub insts: Vec<Op>,
+    /// `None` only while the block is being built or is unreachable;
+    /// lowering requires every reachable block to be terminated.
+    pub term: Option<Terminator>,
+}
+
+/// One compilation region (top-level body or one function), entry at
+/// block 0.
+#[derive(Debug, Clone, Default)]
+pub struct IrFunc {
+    pub blocks: Vec<Block>,
+}
+
+impl IrFunc {
+    /// A region with its (empty) entry block.
+    pub fn new() -> IrFunc {
+        IrFunc {
+            blocks: vec![Block::default()],
+        }
+    }
+
+    /// Append an empty, unterminated block.
+    pub fn new_block(&mut self) -> BlockId {
+        self.blocks.push(Block::default());
+        self.blocks.len() - 1
+    }
+}
+
+/// Drop blocks unreachable from the entry and renumber the rest. Must run
+/// before lowering: it is what removes the unterminated join blocks that
+/// code generation leaves behind diverging `if` arms.
+pub fn prune(ir: &mut IrFunc) {
+    let n = ir.blocks.len();
+    let mut reachable = vec![false; n];
+    let mut work = vec![0usize];
+    reachable[0] = true;
+    while let Some(b) = work.pop() {
+        if let Some(term) = &ir.blocks[b].term {
+            for s in term.successors() {
+                if !reachable[s] {
+                    reachable[s] = true;
+                    work.push(s);
+                }
+            }
+        }
+    }
+    if reachable.iter().all(|&r| r) {
+        return;
+    }
+    let mut remap = vec![usize::MAX; n];
+    let mut kept = Vec::with_capacity(n);
+    for (old, block) in ir.blocks.drain(..).enumerate() {
+        if reachable[old] {
+            remap[old] = kept.len();
+            kept.push(block);
+        }
+    }
+    for block in &mut kept {
+        if let Some(term) = &mut block.term {
+            term.map_targets(|t| remap[t]);
+        }
+    }
+    ir.blocks = kept;
+}
+
+fn is_pure_push(op: &Op) -> bool {
+    matches!(
+        op,
+        Op::Push(_)
+            | Op::Dup
+            | Op::LoadLocal(_)
+            | Op::LoadPkt(_)
+            | Op::LoadMsg(_)
+            | Op::LoadGlob(_)
+            | Op::ArrLen(_)
+            | Op::LoadPktAddImm(..)
+            | Op::LoadPktMulImm(..)
+    )
+}
+
+fn reads_local(op: &Op, slot: u8) -> bool {
+    matches!(op, Op::LoadLocal(s) | Op::IncrLocal(s, _) if *s == slot)
+}
+
+/// One round of intra-block rewrites; returns whether anything changed.
+/// The caller loops to a fixpoint — every rule strictly shrinks the
+/// instruction vector or replaces a pattern that no rule re-creates.
+fn optimize_block_once(insts: &mut Vec<Op>) -> bool {
+    for i in 0..insts.len() {
+        if i + 1 < insts.len() {
+            match (insts[i], insts[i + 1]) {
+                // store-then-reload: keep a copy instead of a round trip
+                (Op::StoreLocal(s), Op::LoadLocal(t)) if s == t => {
+                    insts[i] = Op::Dup;
+                    insts[i + 1] = Op::StoreLocal(s);
+                    return true;
+                }
+                // duplicate pure load: second read becomes a Dup
+                (Op::LoadLocal(s), Op::LoadLocal(t))
+                | (Op::LoadPkt(s), Op::LoadPkt(t))
+                | (Op::LoadMsg(s), Op::LoadMsg(t))
+                | (Op::LoadGlob(s), Op::LoadGlob(t))
+                | (Op::ArrLen(s), Op::ArrLen(t))
+                    if s == t =>
+                {
+                    insts[i + 1] = Op::Dup;
+                    return true;
+                }
+                // a pure producer feeding a Pop does nothing at all
+                (p, Op::Pop) if is_pure_push(&p) => {
+                    insts.drain(i..=i + 1);
+                    return true;
+                }
+                _ => {}
+            }
+        }
+        // dead store: overwritten later in this block before any read
+        if let Op::StoreLocal(s) = insts[i] {
+            for later in &insts[i + 1..] {
+                if reads_local(later, s) {
+                    break;
+                }
+                if *later == Op::StoreLocal(s) {
+                    insts[i] = Op::Pop;
+                    return true;
+                }
+            }
+        }
+    }
+    false
+}
+
+/// Resolve `from` through chains of empty `Jmp`-only blocks (with a cycle
+/// guard: a jump-to-self loop resolves to itself).
+fn thread_target(blocks: &[Block], from: BlockId) -> BlockId {
+    let mut at = from;
+    for _ in 0..blocks.len() {
+        match &blocks[at] {
+            Block {
+                insts,
+                term: Some(Terminator::Jmp(t)),
+            } if insts.is_empty() && *t != at => at = *t,
+            _ => return at,
+        }
+    }
+    from // cycle of empty blocks: leave as-is (verifier-visible infinite loop)
+}
+
+/// Machine-independent cleanups: threading, dead stores, load forwarding.
+/// Emits no v2 opcodes, so the result still encodes for v1 enclaves.
+pub fn optimize(ir: &mut IrFunc) {
+    for b in 0..ir.blocks.len() {
+        let mut insts = std::mem::take(&mut ir.blocks[b].insts);
+        while optimize_block_once(&mut insts) {}
+        ir.blocks[b].insts = insts;
+    }
+
+    // branch threading: retarget every edge through empty Jmp blocks
+    for b in 0..ir.blocks.len() {
+        if let Some(mut term) = ir.blocks[b].term {
+            term.map_targets(|t| thread_target(&ir.blocks, t));
+            ir.blocks[b].term = Some(term);
+        }
+    }
+
+    // constant condition decided at compile time: a block ending in
+    // `Push v` that jumps into an empty Branch block takes one arm for
+    // good (this removes the bool-materialization blocks of `&&`/`||`)
+    for b in 0..ir.blocks.len() {
+        let Some(Terminator::Jmp(t)) = ir.blocks[b].term else {
+            continue;
+        };
+        let Block {
+            insts,
+            term: Some(Terminator::Branch {
+                if_true, if_false, ..
+            }),
+        } = &ir.blocks[t]
+        else {
+            continue;
+        };
+        if !insts.is_empty() || t == b {
+            continue;
+        }
+        let (if_true, if_false) = (*if_true, *if_false);
+        if let Some(Op::Push(v)) = ir.blocks[b].insts.last() {
+            let arm = if *v != 0 { if_true } else { if_false };
+            ir.blocks[b].insts.pop();
+            ir.blocks[b].term = Some(Terminator::Jmp(arm));
+        }
+    }
+
+    // a branch whose arms agree is no branch; the condition still pops
+    for block in &mut ir.blocks {
+        if let Some(Terminator::Branch { if_true, if_false }) = block.term {
+            if if_true == if_false {
+                block.insts.push(Op::Pop);
+                block.term = Some(Terminator::Jmp(if_true));
+            }
+        }
+    }
+}
+
+fn cmp_of(op: &Op) -> Option<Cmp> {
+    Some(match op {
+        Op::Eq => Cmp::Eq,
+        Op::Ne => Cmp::Ne,
+        Op::Lt => Cmp::Lt,
+        Op::Le => Cmp::Le,
+        Op::Gt => Cmp::Gt,
+        Op::Ge => Cmp::Ge,
+        _ => return None,
+    })
+}
+
+/// One round of superinstruction selection; caller loops to a fixpoint.
+fn fuse_block_once(insts: &mut Vec<Op>) -> bool {
+    for i in 0..insts.len() {
+        // identities (fusion itself can produce these, e.g. AddImm chains)
+        match insts[i] {
+            Op::AddImm(0) | Op::MulImm(1) => {
+                insts.remove(i);
+                return true;
+            }
+            _ => {}
+        }
+        if i + 1 < insts.len() {
+            let fused = match (insts[i], insts[i + 1]) {
+                (Op::Push(v), Op::Add) => Some(Op::AddImm(v)),
+                // a - v == a + (-v) in wrapping arithmetic, i64::MIN included
+                (Op::Push(v), Op::Sub) => Some(Op::AddImm(v.wrapping_neg())),
+                (Op::Push(v), Op::Mul) => Some(Op::MulImm(v)),
+                (Op::AddImm(a), Op::AddImm(b)) => Some(Op::AddImm(a.wrapping_add(b))),
+                (Op::MulImm(a), Op::MulImm(b)) => Some(Op::MulImm(a.wrapping_mul(b))),
+                (Op::LoadPkt(s), Op::AddImm(v)) => Some(Op::LoadPktAddImm(s, v)),
+                (Op::LoadPkt(s), Op::MulImm(v)) => Some(Op::LoadPktMulImm(s, v)),
+                _ => None,
+            };
+            if let Some(op) = fused {
+                insts[i] = op;
+                insts.remove(i + 1);
+                return true;
+            }
+        }
+        if i + 2 < insts.len() {
+            let fused = match (insts[i], insts[i + 1], insts[i + 2]) {
+                (Op::LoadLocal(s), Op::AddImm(v), Op::StoreLocal(t)) if s == t => {
+                    Some(Op::IncrLocal(s, v))
+                }
+                (Op::LoadMsg(s), Op::AddImm(v), Op::StoreMsg(t)) if s == t => {
+                    Some(Op::IncrMsg(s, v))
+                }
+                (Op::LoadGlob(s), Op::AddImm(v), Op::StoreGlob(t)) if s == t => {
+                    Some(Op::IncrGlob(s, v))
+                }
+                _ => None,
+            };
+            if let Some(op) = fused {
+                insts[i] = op;
+                insts.drain(i + 1..=i + 2);
+                return true;
+            }
+        }
+    }
+    false
+}
+
+/// Superinstruction selection (codec v2): immediate arithmetic, one-slot
+/// load-modify-store, and compare-and-branch fusion.
+pub fn fuse(ir: &mut IrFunc) {
+    for block in &mut ir.blocks {
+        while fuse_block_once(&mut block.insts) {}
+        // fold the comparison (and its immediate operand) into the branch
+        loop {
+            match block.term {
+                Some(Terminator::Branch { if_true, if_false }) => {
+                    match block.insts.last() {
+                        // `not c` just swaps the arms
+                        Some(Op::Not) => {
+                            block.insts.pop();
+                            block.term = Some(Terminator::Branch {
+                                if_true: if_false,
+                                if_false: if_true,
+                            });
+                        }
+                        Some(op) if cmp_of(op).is_some() => {
+                            let cmp = cmp_of(&block.insts.pop().expect("non-empty")).expect("cmp");
+                            block.term = Some(Terminator::CmpBranch {
+                                cmp,
+                                if_true,
+                                if_false,
+                            });
+                        }
+                        _ => break,
+                    }
+                }
+                Some(Terminator::CmpBranch {
+                    cmp,
+                    if_true,
+                    if_false,
+                }) => match block.insts.last() {
+                    Some(Op::Push(v)) => {
+                        let imm = *v;
+                        block.insts.pop();
+                        block.term = Some(Terminator::PushCmpBranch {
+                            cmp,
+                            imm,
+                            if_true,
+                            if_false,
+                        });
+                    }
+                    _ => break,
+                },
+                _ => break,
+            }
+        }
+    }
+}
+
+/// Append this region's bytecode to `ops`, resolving block ids to absolute
+/// instruction indices. Blocks are laid out in id order; jumps to the
+/// fall-through block are elided. Every reachable block must be terminated
+/// (run [`prune`] first).
+pub fn lower_into(ir: &IrFunc, ops: &mut Vec<Op>) {
+    let base = ops.len() as u32;
+    let n = ir.blocks.len();
+
+    let term_of = |b: usize| -> Terminator {
+        ir.blocks[b]
+            .term
+            .expect("reachable block lacks a terminator (compiler bug)")
+    };
+    let term_size = |b: usize| -> u32 {
+        let next = b + 1;
+        match term_of(b) {
+            Terminator::Jmp(t) => (t != next || next >= n) as u32,
+            Terminator::Branch { if_true, if_false }
+            | Terminator::CmpBranch {
+                if_true, if_false, ..
+            }
+            | Terminator::PushCmpBranch {
+                if_true, if_false, ..
+            } => {
+                if next < n && (if_false == next || if_true == next) {
+                    1
+                } else {
+                    2
+                }
+            }
+            _ => 1,
+        }
+    };
+
+    // pass 1: absolute offset of every block
+    let mut offsets = Vec::with_capacity(n);
+    let mut at = base;
+    for (b, block) in ir.blocks.iter().enumerate() {
+        offsets.push(at);
+        at += block.insts.len() as u32 + term_size(b);
+    }
+
+    // pass 2: emit
+    for (b, block) in ir.blocks.iter().enumerate() {
+        ops.extend_from_slice(&block.insts);
+        let next = b + 1;
+        let falls_to = |t: BlockId| next < n && t == next;
+        match term_of(b) {
+            Terminator::Jmp(t) => {
+                if !falls_to(t) {
+                    ops.push(Op::Jmp(offsets[t]));
+                }
+            }
+            Terminator::Branch { if_true, if_false } => {
+                if falls_to(if_false) {
+                    ops.push(Op::JmpIf(offsets[if_true]));
+                } else if falls_to(if_true) {
+                    ops.push(Op::JmpIfNot(offsets[if_false]));
+                } else {
+                    ops.push(Op::JmpIf(offsets[if_true]));
+                    ops.push(Op::Jmp(offsets[if_false]));
+                }
+            }
+            Terminator::CmpBranch {
+                cmp,
+                if_true,
+                if_false,
+            } => {
+                if falls_to(if_false) {
+                    ops.push(Op::CmpBr(cmp, offsets[if_true]));
+                } else if falls_to(if_true) {
+                    ops.push(Op::CmpBr(cmp.negate(), offsets[if_false]));
+                } else {
+                    ops.push(Op::CmpBr(cmp, offsets[if_true]));
+                    ops.push(Op::Jmp(offsets[if_false]));
+                }
+            }
+            Terminator::PushCmpBranch {
+                cmp,
+                imm,
+                if_true,
+                if_false,
+            } => {
+                if falls_to(if_false) {
+                    ops.push(Op::PushCmpBr(cmp, imm, offsets[if_true]));
+                } else if falls_to(if_true) {
+                    ops.push(Op::PushCmpBr(cmp.negate(), imm, offsets[if_false]));
+                } else {
+                    ops.push(Op::PushCmpBr(cmp, imm, offsets[if_true]));
+                    ops.push(Op::Jmp(offsets[if_false]));
+                }
+            }
+            Terminator::Halt => ops.push(Op::Halt),
+            Terminator::Ret => ops.push(Op::Ret),
+            Terminator::Drop => ops.push(Op::Drop),
+            Terminator::ToController => ops.push(Op::ToController),
+            Terminator::GotoTable => ops.push(Op::GotoTable),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lowered(ir: &IrFunc) -> Vec<Op> {
+        let mut ops = Vec::new();
+        lower_into(ir, &mut ops);
+        ops
+    }
+
+    #[test]
+    fn fallthrough_jumps_are_elided() {
+        let mut ir = IrFunc::new();
+        let b1 = ir.new_block();
+        ir.blocks[0].insts.push(Op::Push(1));
+        ir.blocks[0].term = Some(Terminator::Jmp(b1));
+        ir.blocks[b1].insts.push(Op::Pop);
+        ir.blocks[b1].term = Some(Terminator::Halt);
+        assert_eq!(lowered(&ir), vec![Op::Push(1), Op::Pop, Op::Halt]);
+    }
+
+    #[test]
+    fn branch_lowering_picks_the_cheap_sense() {
+        // then-block laid out right after the branch: falls through on true
+        let mut ir = IrFunc::new();
+        let bt = ir.new_block();
+        let bf = ir.new_block();
+        ir.blocks[0].insts.push(Op::Push(1));
+        ir.blocks[0].term = Some(Terminator::Branch {
+            if_true: bt,
+            if_false: bf,
+        });
+        ir.blocks[bt].term = Some(Terminator::Halt);
+        ir.blocks[bf].term = Some(Terminator::Drop);
+        assert_eq!(
+            lowered(&ir),
+            vec![Op::Push(1), Op::JmpIfNot(3), Op::Halt, Op::Drop]
+        );
+    }
+
+    #[test]
+    fn prune_drops_unreachable_and_unterminated_blocks() {
+        let mut ir = IrFunc::new();
+        let dead = ir.new_block(); // never referenced, never terminated
+        let live = ir.new_block();
+        ir.blocks[0].term = Some(Terminator::Jmp(live));
+        ir.blocks[dead].insts.push(Op::Push(9));
+        ir.blocks[live].term = Some(Terminator::Halt);
+        prune(&mut ir);
+        assert_eq!(ir.blocks.len(), 2);
+        assert_eq!(lowered(&ir), vec![Op::Halt]);
+    }
+
+    #[test]
+    fn dead_store_and_its_producer_vanish() {
+        let mut ir = IrFunc::new();
+        ir.blocks[0].insts = vec![
+            Op::Push(1),
+            Op::StoreLocal(0), // dead: overwritten below, never read between
+            Op::Push(2),
+            Op::StoreLocal(0),
+        ];
+        ir.blocks[0].term = Some(Terminator::Halt);
+        optimize(&mut ir);
+        assert_eq!(
+            ir.blocks[0].insts,
+            vec![Op::Push(2), Op::StoreLocal(0)],
+            "dead store should fold away entirely"
+        );
+    }
+
+    #[test]
+    fn store_then_reload_becomes_dup() {
+        let mut ir = IrFunc::new();
+        ir.blocks[0].insts = vec![
+            Op::Push(7),
+            Op::StoreLocal(1),
+            Op::LoadLocal(1),
+            Op::StorePkt(0),
+        ];
+        ir.blocks[0].term = Some(Terminator::Halt);
+        optimize(&mut ir);
+        assert_eq!(
+            ir.blocks[0].insts,
+            vec![Op::Push(7), Op::Dup, Op::StoreLocal(1), Op::StorePkt(0)]
+        );
+    }
+
+    #[test]
+    fn double_load_becomes_dup() {
+        let mut ir = IrFunc::new();
+        ir.blocks[0].insts = vec![Op::LoadPkt(3), Op::LoadPkt(3), Op::Add, Op::StorePkt(0)];
+        ir.blocks[0].term = Some(Terminator::Halt);
+        optimize(&mut ir);
+        assert_eq!(
+            ir.blocks[0].insts,
+            vec![Op::LoadPkt(3), Op::Dup, Op::Add, Op::StorePkt(0)]
+        );
+    }
+
+    #[test]
+    fn branch_threading_skips_empty_blocks() {
+        let mut ir = IrFunc::new();
+        let hop = ir.new_block();
+        let end = ir.new_block();
+        ir.blocks[0].insts.push(Op::Push(1));
+        ir.blocks[0].term = Some(Terminator::Branch {
+            if_true: hop,
+            if_false: end,
+        });
+        ir.blocks[hop].term = Some(Terminator::Jmp(end));
+        ir.blocks[end].term = Some(Terminator::Halt);
+        optimize(&mut ir);
+        assert_eq!(
+            ir.blocks[0].term,
+            Some(Terminator::Branch {
+                if_true: end,
+                if_false: end
+            })
+            .map(|_| Some(Terminator::Jmp(end)))
+            .unwrap(),
+            "same-target branch should collapse to a jump"
+        );
+        // the popped condition keeps the stack balanced
+        assert_eq!(ir.blocks[0].insts, vec![Op::Push(1), Op::Pop]);
+    }
+
+    #[test]
+    fn constant_condition_threads_through_branch_block() {
+        let mut ir = IrFunc::new();
+        let cond = ir.new_block();
+        let t = ir.new_block();
+        let f = ir.new_block();
+        ir.blocks[0].insts.push(Op::Push(1));
+        ir.blocks[0].term = Some(Terminator::Jmp(cond));
+        ir.blocks[cond].term = Some(Terminator::Branch {
+            if_true: t,
+            if_false: f,
+        });
+        ir.blocks[t].term = Some(Terminator::Halt);
+        ir.blocks[f].term = Some(Terminator::Drop);
+        optimize(&mut ir);
+        assert_eq!(ir.blocks[0].insts, vec![]);
+        assert_eq!(ir.blocks[0].term, Some(Terminator::Jmp(t)));
+    }
+
+    #[test]
+    fn fusion_builds_superinstructions() {
+        let mut ir = IrFunc::new();
+        ir.blocks[0].insts = vec![
+            Op::LoadPkt(0),
+            Op::Push(10),
+            Op::Add, // -> LoadPktAddImm(0, 10)
+            Op::Push(3),
+            Op::Mul, // -> MulImm(3)
+            Op::StorePkt(1),
+            Op::LoadLocal(2),
+            Op::Push(1),
+            Op::Add,
+            Op::StoreLocal(2), // -> IncrLocal(2, 1)
+            Op::LoadGlob(0),
+            Op::Push(4),
+            Op::Sub,
+            Op::StoreGlob(0), // -> IncrGlob(0, -4)
+        ];
+        ir.blocks[0].term = Some(Terminator::Halt);
+        fuse(&mut ir);
+        assert_eq!(
+            ir.blocks[0].insts,
+            vec![
+                Op::LoadPktAddImm(0, 10),
+                Op::MulImm(3),
+                Op::StorePkt(1),
+                Op::IncrLocal(2, 1),
+                Op::IncrGlob(0, -4),
+            ]
+        );
+    }
+
+    #[test]
+    fn compare_and_branch_fuse_into_the_terminator() {
+        let mut ir = IrFunc::new();
+        let t = ir.new_block();
+        let f = ir.new_block();
+        ir.blocks[0].insts = vec![Op::LoadLocal(0), Op::Push(8), Op::Lt];
+        ir.blocks[0].term = Some(Terminator::Branch {
+            if_true: t,
+            if_false: f,
+        });
+        ir.blocks[t].term = Some(Terminator::Halt);
+        ir.blocks[f].term = Some(Terminator::Drop);
+        fuse(&mut ir);
+        assert_eq!(ir.blocks[0].insts, vec![Op::LoadLocal(0)]);
+        assert_eq!(
+            ir.blocks[0].term,
+            Some(Terminator::PushCmpBranch {
+                cmp: Cmp::Lt,
+                imm: 8,
+                if_true: t,
+                if_false: f
+            })
+        );
+        // `not` before a branch swaps the arms instead of costing an op
+        let mut ir = IrFunc::new();
+        let t = ir.new_block();
+        let f = ir.new_block();
+        ir.blocks[0].insts = vec![Op::LoadLocal(0), Op::Not];
+        ir.blocks[0].term = Some(Terminator::Branch {
+            if_true: t,
+            if_false: f,
+        });
+        ir.blocks[t].term = Some(Terminator::Halt);
+        ir.blocks[f].term = Some(Terminator::Drop);
+        fuse(&mut ir);
+        assert_eq!(
+            ir.blocks[0].term,
+            Some(Terminator::Branch {
+                if_true: f,
+                if_false: t
+            })
+        );
+    }
+
+    #[test]
+    fn cmp_branch_lowering_negates_for_fallthrough() {
+        let mut ir = IrFunc::new();
+        let t = ir.new_block();
+        let f = ir.new_block();
+        ir.blocks[0].insts = vec![Op::LoadLocal(0)];
+        ir.blocks[0].term = Some(Terminator::PushCmpBranch {
+            cmp: Cmp::Ge,
+            imm: 4,
+            if_true: t,
+            if_false: f,
+        });
+        // t is the fall-through block, so the branch senses invert
+        ir.blocks[t].term = Some(Terminator::Halt);
+        ir.blocks[f].term = Some(Terminator::Drop);
+        assert_eq!(
+            lowered(&ir),
+            vec![
+                Op::LoadLocal(0),
+                Op::PushCmpBr(Cmp::Lt, 4, 3),
+                Op::Halt,
+                Op::Drop
+            ]
+        );
+    }
+}

@@ -58,6 +58,7 @@
 mod ast;
 mod compile;
 mod error;
+pub mod ir;
 mod lexer;
 mod optimize;
 mod parser;

@@ -10,7 +10,7 @@
 //! [`bind`]: ProgramBuilder::bind
 //! [`build`]: ProgramBuilder::build
 
-use crate::op::Op;
+use crate::op::{Cmp, Op};
 use crate::program::{FuncInfo, Program};
 use crate::verify::VerifyError;
 
@@ -94,7 +94,7 @@ impl ProgramBuilder {
         self
     }
 
-    fn jump(&mut self, label: Label, make: fn(u32) -> Op) -> &mut Self {
+    fn jump(&mut self, label: Label, make: impl FnOnce(u32) -> Op) -> &mut Self {
         self.fixups.push((self.ops.len(), label.0));
         self.ops.push(make(u32::MAX)); // patched in build()
         self
@@ -108,6 +108,8 @@ impl ProgramBuilder {
                 Op::Jmp(_) => Op::Jmp(target),
                 Op::JmpIf(_) => Op::JmpIf(target),
                 Op::JmpIfNot(_) => Op::JmpIfNot(target),
+                Op::CmpBr(c, _) => Op::CmpBr(c, target),
+                Op::PushCmpBr(c, v, _) => Op::PushCmpBr(c, v, target),
                 other => unreachable!("fixup on non-jump op {other}"),
             };
         }
@@ -283,6 +285,42 @@ impl ProgramBuilder {
     /// `gototable`
     pub fn goto_table(&mut self) -> &mut Self {
         self.op(Op::GotoTable)
+    }
+    /// `addimm imm`
+    pub fn add_imm(&mut self, v: i64) -> &mut Self {
+        self.op(Op::AddImm(v))
+    }
+    /// `mulimm imm`
+    pub fn mul_imm(&mut self, v: i64) -> &mut Self {
+        self.op(Op::MulImm(v))
+    }
+    /// `ploadadd slot imm`
+    pub fn load_pkt_add_imm(&mut self, s: u8, v: i64) -> &mut Self {
+        self.op(Op::LoadPktAddImm(s, v))
+    }
+    /// `ploadmul slot imm`
+    pub fn load_pkt_mul_imm(&mut self, s: u8, v: i64) -> &mut Self {
+        self.op(Op::LoadPktMulImm(s, v))
+    }
+    /// `lincr slot imm`
+    pub fn incr_local(&mut self, s: u8, v: i64) -> &mut Self {
+        self.op(Op::IncrLocal(s, v))
+    }
+    /// `mincr slot imm`
+    pub fn incr_msg(&mut self, s: u8, v: i64) -> &mut Self {
+        self.op(Op::IncrMsg(s, v))
+    }
+    /// `gincr slot imm`
+    pub fn incr_glob(&mut self, s: u8, v: i64) -> &mut Self {
+        self.op(Op::IncrGlob(s, v))
+    }
+    /// `cmpbr cmp label`
+    pub fn cmp_br(&mut self, c: Cmp, l: Label) -> &mut Self {
+        self.jump(l, |t| Op::CmpBr(c, t))
+    }
+    /// `pushcmpbr cmp imm label`
+    pub fn push_cmp_br(&mut self, c: Cmp, v: i64, l: Label) -> &mut Self {
+        self.jump(l, |t| Op::PushCmpBr(c, v, t))
     }
 }
 

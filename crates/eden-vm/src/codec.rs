@@ -13,7 +13,7 @@
 //!
 //! ```text
 //! magic   u32   0x4E454445 ("EDEN")
-//! version u16   1
+//! version u16   2 (1 still decodes; see below)
 //! nlocals u8    entry locals
 //! nfuncs  u16   function-table entries
 //! nops    u32   instruction count
@@ -21,6 +21,11 @@
 //! funcs   nfuncs × { entry u32, arity u8, n_locals u8 }
 //! ops     nops × { opcode u8, operand varies }
 //! ```
+//!
+//! Version history: v1 is the original opcode set; v2 adds the fused
+//! superinstructions (opcode bytes `0x60..` / `0x70..`). Decoding accepts
+//! both, but a blob that declares v1 while using a v2 opcode is rejected —
+//! old enclaves would have refused it, so new ones must too.
 
 use crate::op::Op;
 use crate::program::{FuncInfo, Program};
@@ -28,8 +33,10 @@ use crate::verify::VerifyError;
 
 /// Wire-format magic: "EDEN".
 pub const MAGIC: u32 = 0x4E45_4445;
-/// Current format version.
-pub const VERSION: u16 = 1;
+/// Current format version (encoding always emits this).
+pub const VERSION: u16 = 2;
+/// Oldest version `decode` still accepts.
+pub const MIN_VERSION: u16 = 1;
 
 /// Decode failures.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -40,8 +47,10 @@ pub enum CodecError {
     BadVersion(u16),
     /// Ran out of bytes mid-structure.
     Truncated,
-    /// Unknown opcode byte.
+    /// Unknown opcode byte, or an opcode newer than the declared version.
     BadOpcode(u8),
+    /// Comparison selector byte outside the defined `Cmp` range.
+    BadCmp(u8),
     /// Program name is not UTF-8.
     BadName,
     /// Decoded program failed verification.
@@ -55,6 +64,7 @@ impl std::fmt::Display for CodecError {
             CodecError::BadVersion(v) => write!(f, "unsupported bytecode version {v}"),
             CodecError::Truncated => write!(f, "truncated bytecode"),
             CodecError::BadOpcode(b) => write!(f, "unknown opcode byte {b:#04x}"),
+            CodecError::BadCmp(b) => write!(f, "unknown comparison selector {b:#04x}"),
             CodecError::BadName => write!(f, "program name is not valid UTF-8"),
             CodecError::Verify(e) => write!(f, "shipped program failed verification: {e}"),
         }
@@ -111,6 +121,17 @@ const OP_DROP: u8 = 0x50;
 const OP_SETQUEUE: u8 = 0x51;
 const OP_TOCONTROLLER: u8 = 0x52;
 const OP_GOTOTABLE: u8 = 0x53;
+// v2 superinstructions — everything at or above OP_V2_BASE needs version >= 2
+const OP_V2_BASE: u8 = 0x60;
+const OP_ADDIMM: u8 = 0x60;
+const OP_MULIMM: u8 = 0x61;
+const OP_PLOADADD: u8 = 0x62;
+const OP_PLOADMUL: u8 = 0x63;
+const OP_LINCR: u8 = 0x64;
+const OP_MINCR: u8 = 0x65;
+const OP_GINCR: u8 = 0x66;
+const OP_CMPBR: u8 = 0x70;
+const OP_PUSHCMPBR: u8 = 0x71;
 
 /// Serialize `program` into the wire format.
 pub fn encode(program: &Program) -> Vec<u8> {
@@ -232,6 +253,50 @@ fn encode_op(op: Op, out: &mut Vec<u8>) {
         SetQueue => out.push(OP_SETQUEUE),
         ToController => out.push(OP_TOCONTROLLER),
         GotoTable => out.push(OP_GOTOTABLE),
+        AddImm(v) => {
+            out.push(OP_ADDIMM);
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        MulImm(v) => {
+            out.push(OP_MULIMM);
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        LoadPktAddImm(s, v) => {
+            out.push(OP_PLOADADD);
+            out.push(s);
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        LoadPktMulImm(s, v) => {
+            out.push(OP_PLOADMUL);
+            out.push(s);
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        IncrLocal(s, v) => {
+            out.push(OP_LINCR);
+            out.push(s);
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        IncrMsg(s, v) => {
+            out.push(OP_MINCR);
+            out.push(s);
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        IncrGlob(s, v) => {
+            out.push(OP_GINCR);
+            out.push(s);
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        CmpBr(c, t) => {
+            out.push(OP_CMPBR);
+            out.push(c.to_byte());
+            out.extend_from_slice(&t.to_le_bytes());
+        }
+        PushCmpBr(c, v, t) => {
+            out.push(OP_PUSHCMPBR);
+            out.push(c.to_byte());
+            out.extend_from_slice(&v.to_le_bytes());
+            out.extend_from_slice(&t.to_le_bytes());
+        }
     }
 }
 
@@ -265,6 +330,11 @@ impl<'a> Reader<'a> {
     fn i64(&mut self) -> Result<i64, CodecError> {
         Ok(i64::from_le_bytes(self.take(8)?.try_into().expect("len 8")))
     }
+
+    fn cmp(&mut self) -> Result<crate::op::Cmp, CodecError> {
+        let b = self.u8()?;
+        crate::op::Cmp::from_byte(b).ok_or(CodecError::BadCmp(b))
+    }
 }
 
 /// Deserialize and **verify** a program shipped by a controller.
@@ -274,7 +344,7 @@ pub fn decode(data: &[u8]) -> Result<Program, CodecError> {
         return Err(CodecError::BadMagic);
     }
     let version = r.u16()?;
-    if version != VERSION {
+    if !(MIN_VERSION..=VERSION).contains(&version) {
         return Err(CodecError::BadVersion(version));
     }
     let entry_locals = r.u8()?;
@@ -297,6 +367,9 @@ pub fn decode(data: &[u8]) -> Result<Program, CodecError> {
     let mut ops = Vec::with_capacity(nops.min(1 << 16));
     for _ in 0..nops {
         let b = r.u8()?;
+        if b >= OP_V2_BASE && version < 2 {
+            return Err(CodecError::BadOpcode(b));
+        }
         let op = match b {
             OP_PUSH => Op::Push(r.i64()?),
             OP_DUP => Op::Dup,
@@ -345,6 +418,22 @@ pub fn decode(data: &[u8]) -> Result<Program, CodecError> {
             OP_SETQUEUE => Op::SetQueue,
             OP_TOCONTROLLER => Op::ToController,
             OP_GOTOTABLE => Op::GotoTable,
+            OP_ADDIMM => Op::AddImm(r.i64()?),
+            OP_MULIMM => Op::MulImm(r.i64()?),
+            OP_PLOADADD => Op::LoadPktAddImm(r.u8()?, r.i64()?),
+            OP_PLOADMUL => Op::LoadPktMulImm(r.u8()?, r.i64()?),
+            OP_LINCR => Op::IncrLocal(r.u8()?, r.i64()?),
+            OP_MINCR => Op::IncrMsg(r.u8()?, r.i64()?),
+            OP_GINCR => Op::IncrGlob(r.u8()?, r.i64()?),
+            OP_CMPBR => {
+                let c = r.cmp()?;
+                Op::CmpBr(c, r.u32()?)
+            }
+            OP_PUSHCMPBR => {
+                let c = r.cmp()?;
+                let v = r.i64()?;
+                Op::PushCmpBr(c, v, r.u32()?)
+            }
             other => return Err(CodecError::BadOpcode(other)),
         };
         ops.push(op);
@@ -399,6 +488,64 @@ mod tests {
         let mut bytes = encode(&sample());
         bytes[4] = 99;
         assert_eq!(decode(&bytes), Err(CodecError::BadVersion(99)));
+        let mut bytes = encode(&sample());
+        bytes[4] = 0;
+        assert_eq!(decode(&bytes), Err(CodecError::BadVersion(0)));
+    }
+
+    fn fused_sample() -> Program {
+        use crate::op::Cmp;
+        let mut b = ProgramBuilder::new().named("fused").with_entry_locals(2);
+        let head = b.new_label();
+        let done = b.new_label();
+        b.push(0).store_local(0);
+        b.bind(head);
+        b.load_local(0).push_cmp_br(Cmp::Ge, 4, done);
+        b.incr_local(0, 1);
+        b.load_pkt_add_imm(0, 10)
+            .load_pkt_mul_imm(0, 2)
+            .cmp_br(Cmp::Lt, head);
+        b.incr_msg(0, 3).incr_glob(0, 5);
+        b.jmp(head);
+        b.bind(done);
+        b.load_local(0).add_imm(100).mul_imm(2).store_pkt(1).halt();
+        b.build().expect("valid fused program")
+    }
+
+    #[test]
+    fn v2_ops_round_trip() {
+        let p = fused_sample();
+        let bytes = encode(&p);
+        assert_eq!(u16::from_le_bytes([bytes[4], bytes[5]]), 2);
+        let q = decode(&bytes).expect("decodes");
+        assert_eq!(q, p);
+    }
+
+    #[test]
+    fn v1_blob_may_not_smuggle_v2_opcodes() {
+        // rewrite the declared version down to 1: the v2 opcode bytes in
+        // the stream must now be rejected, exactly as an old enclave would
+        let mut bytes = encode(&fused_sample());
+        bytes[4] = 1;
+        bytes[5] = 0;
+        match decode(&bytes) {
+            Err(CodecError::BadOpcode(b)) => assert!(b >= OP_V2_BASE),
+            other => panic!("expected BadOpcode, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bad_cmp_byte_rejected() {
+        let p = fused_sample();
+        let bytes = encode(&p);
+        // corrupt the selector byte after the first OP_CMPBR-family opcode
+        let mut corrupted = bytes.clone();
+        let at = corrupted
+            .iter()
+            .position(|&b| b == OP_PUSHCMPBR || b == OP_CMPBR)
+            .expect("fused sample contains a compare-branch");
+        corrupted[at + 1] = 0xEE;
+        assert_eq!(decode(&corrupted), Err(CodecError::BadCmp(0xEE)));
     }
 
     #[test]

@@ -1,15 +1,37 @@
 //! Human-readable program dumps.
 //!
 //! Used by the controller's debug surface and the `quickstart` example to
-//! show what actually ships to an enclave after compilation.
+//! show what actually ships to an enclave after compilation. Jump targets
+//! are resolved to `L<n>` labels (numbered in target order) and the dump
+//! ends with a static opcode histogram, so a reviewer can see at a glance
+//! how much of a compiled function the fused superinstructions cover.
 
 use std::fmt::Write as _;
 
+use crate::op::Op;
 use crate::program::Program;
 
+fn jump_target(op: &Op) -> Option<u32> {
+    match op {
+        Op::Jmp(t) | Op::JmpIf(t) | Op::JmpIfNot(t) | Op::CmpBr(_, t) | Op::PushCmpBr(_, _, t) => {
+            Some(*t)
+        }
+        _ => None,
+    }
+}
+
 /// Render `program` as one instruction per line, annotating function entry
-/// points. The output is stable and suitable for golden tests.
+/// points, branch-target labels, and a closing static opcode histogram.
+/// The output is stable and suitable for golden tests.
 pub fn disassemble(program: &Program) -> String {
+    let ops = program.ops();
+    // label ids in ascending target order, so reading the listing top to
+    // bottom meets L0, L1, ... in address order
+    let mut targets: Vec<u32> = ops.iter().filter_map(jump_target).collect();
+    targets.sort_unstable();
+    targets.dedup();
+    let label_of = |t: u32| targets.binary_search(&t).map(|i| i as u32);
+
     let mut out = String::new();
     let _ = writeln!(
         out,
@@ -19,7 +41,7 @@ pub fn disassemble(program: &Program) -> String {
         program.funcs().len(),
         program.entry_locals()
     );
-    for (pc, op) in program.ops().iter().enumerate() {
+    for (pc, op) in ops.iter().enumerate() {
         for (id, func) in program.funcs().iter().enumerate() {
             if func.entry as usize == pc {
                 let _ = writeln!(
@@ -29,15 +51,59 @@ pub fn disassemble(program: &Program) -> String {
                 );
             }
         }
-        let _ = writeln!(out, "{pc:4}: {op}");
+        if let Ok(l) = label_of(pc as u32) {
+            let _ = writeln!(out, "L{l}:");
+        }
+        match jump_target(op).map(label_of) {
+            Some(Ok(l)) => {
+                let _ = writeln!(out, "{pc:4}: {op}  ; -> L{l}");
+            }
+            _ => {
+                let _ = writeln!(out, "{pc:4}: {op}");
+            }
+        }
+    }
+    // a label can point one past the last op only in unverified programs,
+    // but keep the dump total either way
+    for (l, t) in targets.iter().enumerate() {
+        if *t as usize >= ops.len() {
+            let _ = writeln!(out, "L{l}: ; (target {t} out of range)");
+        }
+    }
+    let _ = writeln!(out, ";");
+    let _ = writeln!(out, "; opcode histogram ({} ops):", ops.len());
+    for (name, count) in opcode_histogram(program) {
+        let _ = writeln!(out, ";   {name:<12} x{count}");
     }
     out
+}
+
+/// Static per-kind instruction counts for `program`, sorted by descending
+/// count (ties broken by declaration order). Only kinds that occur are
+/// returned.
+pub fn opcode_histogram(program: &Program) -> Vec<(&'static str, usize)> {
+    let mut counts = [0usize; Op::KIND_COUNT];
+    for op in program.ops() {
+        counts[op.kind_index()] += 1;
+    }
+    let mut entries: Vec<(usize, usize)> = counts
+        .iter()
+        .enumerate()
+        .filter(|(_, &c)| c > 0)
+        .map(|(i, &c)| (i, c))
+        .collect();
+    entries.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    entries
+        .into_iter()
+        .map(|(i, c)| (Op::kind_name(i), c))
+        .collect()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::builder::ProgramBuilder;
+    use crate::op::Cmp;
 
     #[test]
     fn disassembly_is_stable() {
@@ -49,6 +115,8 @@ mod tests {
         assert!(text.contains("   0: push 1"));
         assert!(text.contains("   2: add"));
         assert!(text.contains("   4: halt"));
+        assert!(text.contains("; opcode histogram (5 ops):"));
+        assert!(text.contains("push         x2"));
     }
 
     #[test]
@@ -59,5 +127,27 @@ mod tests {
         b.load_local(0).ret();
         let p = b.build().unwrap();
         assert!(disassemble(&p).contains("; fn 0 (arity 1, locals 1):"));
+    }
+
+    #[test]
+    fn jump_targets_resolve_to_labels() {
+        let mut b = ProgramBuilder::new().named("loopy");
+        let head = b.new_label();
+        let done = b.new_label();
+        b.push(0).store_local(0);
+        b.bind(head);
+        b.load_local(0).push_cmp_br(Cmp::Ge, 3, done);
+        b.incr_local(0, 1);
+        b.jmp(head);
+        b.bind(done);
+        b.halt();
+        let p = b.with_entry_locals(1).build().unwrap();
+        let text = disassemble(&p);
+        // loop head (op 2) is the lower target, exit (op 6) the higher
+        assert!(text.contains("L0:\n   2: lload 0"), "listing:\n{text}");
+        assert!(text.contains("; -> L1"), "listing:\n{text}");
+        assert!(text.contains("jmp 2  ; -> L0"), "listing:\n{text}");
+        assert!(text.contains("L1:\n   6: halt"), "listing:\n{text}");
+        assert!(text.contains("lincr        x1"), "listing:\n{text}");
     }
 }

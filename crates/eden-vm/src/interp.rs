@@ -59,6 +59,12 @@ impl VmCounters {
     }
 }
 
+/// One in this many [`Interpreter::run`] calls is wall-clock timed for
+/// the `elapsed_ns` counter; the measured cost is scaled by the interval.
+/// Two clock reads cost more than interpreting a short action function,
+/// so per-invocation timing would dominate what it measures.
+const TIMING_SAMPLE: u64 = 64;
+
 /// Reusable execution context (operand stack + locals arena + call stack).
 #[derive(Debug)]
 pub struct Interpreter {
@@ -139,16 +145,36 @@ impl Interpreter {
     /// occur; the checks that remain at runtime are the dynamic ones:
     /// limits, division by zero, array bounds, unknown state slots.
     pub fn run(&mut self, program: &Program, host: &mut dyn Host) -> Result<Outcome, VmError> {
-        let started = std::time::Instant::now();
-        let result = self.run_inner(program, host);
+        // Wall-clock accounting is sampled: reading the clock twice per
+        // invocation costs more than interpreting a short action function,
+        // so one run in TIMING_SAMPLE is timed and scaled up. Action
+        // functions are uniform per program, so the estimate converges
+        // fast; `elapsed_ns` stays monotone either way.
+        let sampled = self.counters.invocations % TIMING_SAMPLE == 0;
+        let started = if sampled {
+            Some(std::time::Instant::now())
+        } else {
+            None
+        };
+        let result = if self.profile.is_some() {
+            self.run_inner::<true>(program, host)
+        } else {
+            self.run_inner::<false>(program, host)
+        };
         self.counters.invocations += 1;
         self.counters.traps += result.is_err() as u64;
         self.counters.steps += self.usage.steps;
-        self.counters.elapsed_ns += started.elapsed().as_nanos() as u64;
+        if let Some(t) = started {
+            self.counters.elapsed_ns += t.elapsed().as_nanos() as u64 * TIMING_SAMPLE;
+        }
         result
     }
 
-    fn run_inner(&mut self, program: &Program, host: &mut dyn Host) -> Result<Outcome, VmError> {
+    fn run_inner<const PROFILE: bool>(
+        &mut self,
+        program: &Program,
+        host: &mut dyn Host,
+    ) -> Result<Outcome, VmError> {
         self.stack.clear();
         self.locals.clear();
         self.frames.clear();
@@ -161,252 +187,303 @@ impl Interpreter {
         self.locals.resize(entry_locals, 0);
         self.usage.peak_heap_slots = entry_locals;
 
-        let ops = program.ops();
-        let mut pc: usize = 0;
-        let mut fuel = self.limits.fuel;
-        let mut locals_base: usize = 0;
+        // Hot-loop state lives in locals so it can stay in registers; the
+        // `usage` write-back happens once, after the dispatch loop exits
+        // (on traps too — the closure funnels every return through here).
+        let max_stack = self.limits.max_stack;
+        let fuel_limit = self.limits.fuel.unwrap_or(u64::MAX);
+        let mut steps: u64 = 0;
+        let mut peak_stack: usize = 0;
 
-        macro_rules! push {
-            ($v:expr) => {{
-                if self.stack.len() >= self.limits.max_stack {
-                    return Err(VmError::StackOverflow);
-                }
-                self.stack.push($v);
-                if self.stack.len() > self.usage.peak_stack {
-                    self.usage.peak_stack = self.stack.len();
-                }
-            }};
-        }
-        // Pop is infallible on verified programs; the error path is kept for
-        // defence in depth (a Host could not cause it, but a future op bug
-        // should trap, not panic).
-        macro_rules! pop {
-            () => {
-                match self.stack.pop() {
-                    Some(v) => v,
-                    None => return Err(VmError::StackUnderflow),
-                }
-            };
-        }
-        macro_rules! binop {
-            ($f:expr) => {{
-                let b = pop!();
-                let a = pop!();
-                let r = $f(a, b);
-                push!(r);
-            }};
-        }
+        let result = (|| -> Result<Outcome, VmError> {
+            let ops = program.ops();
+            let mut pc: usize = 0;
+            let mut locals_base: usize = 0;
 
-        loop {
-            if let Some(ref mut f) = fuel {
-                if *f == 0 {
+            macro_rules! push {
+                ($v:expr) => {{
+                    if self.stack.len() >= max_stack {
+                        return Err(VmError::StackOverflow);
+                    }
+                    self.stack.push($v);
+                    if self.stack.len() > peak_stack {
+                        peak_stack = self.stack.len();
+                    }
+                }};
+            }
+            // Pop is infallible on verified programs; the error path is kept for
+            // defence in depth (a Host could not cause it, but a future op bug
+            // should trap, not panic).
+            macro_rules! pop {
+                () => {
+                    match self.stack.pop() {
+                        Some(v) => v,
+                        None => return Err(VmError::StackUnderflow),
+                    }
+                };
+            }
+            macro_rules! binop {
+                ($f:expr) => {{
+                    let b = pop!();
+                    let a = pop!();
+                    let r = $f(a, b);
+                    push!(r);
+                }};
+            }
+
+            loop {
+                if steps >= fuel_limit {
                     return Err(VmError::OutOfFuel);
                 }
-                *f -= 1;
-            }
-            self.usage.steps += 1;
+                steps += 1;
 
-            let op = match ops.get(pc) {
-                Some(op) => *op,
-                None => return Err(VmError::BadJump(pc as u32)),
-            };
-            pc += 1;
+                let op = match ops.get(pc) {
+                    Some(op) => *op,
+                    None => return Err(VmError::BadJump(pc as u32)),
+                };
+                pc += 1;
 
-            if let Some(hist) = self.profile.as_deref_mut() {
-                hist[op.kind_index()] += 1;
-            }
-
-            match op {
-                Op::Push(v) => push!(v),
-                Op::Dup => {
-                    let v = *self.stack.last().ok_or(VmError::StackUnderflow)?;
-                    push!(v);
-                }
-                Op::Pop => {
-                    pop!();
-                }
-                Op::Swap => {
-                    let n = self.stack.len();
-                    if n < 2 {
-                        return Err(VmError::StackUnderflow);
-                    }
-                    self.stack.swap(n - 1, n - 2);
-                }
-
-                Op::LoadLocal(s) => {
-                    let idx = locals_base + s as usize;
-                    let v = *self.locals.get(idx).ok_or(VmError::BadLocal(s))?;
-                    push!(v);
-                }
-                Op::StoreLocal(s) => {
-                    let v = pop!();
-                    let idx = locals_base + s as usize;
-                    *self.locals.get_mut(idx).ok_or(VmError::BadLocal(s))? = v;
-                }
-
-                Op::LoadPkt(s) => push!(host.load_pkt(s)?),
-                Op::StorePkt(s) => {
-                    let v = pop!();
-                    host.store_pkt(s, v)?;
-                }
-                Op::LoadMsg(s) => push!(host.load_msg(s)?),
-                Op::StoreMsg(s) => {
-                    let v = pop!();
-                    host.store_msg(s, v)?;
-                }
-                Op::LoadGlob(s) => push!(host.load_glob(s)?),
-                Op::StoreGlob(s) => {
-                    let v = pop!();
-                    host.store_glob(s, v)?;
-                }
-
-                Op::ArrLoad(a) => {
-                    let idx = pop!();
-                    push!(host.arr_load(a, idx)?);
-                }
-                Op::ArrStore(a) => {
-                    let v = pop!();
-                    let idx = pop!();
-                    host.arr_store(a, idx, v)?;
-                }
-                Op::ArrLen(a) => push!(host.arr_len(a)?),
-
-                Op::Add => binop!(|a: i64, b: i64| a.wrapping_add(b)),
-                Op::Sub => binop!(|a: i64, b: i64| a.wrapping_sub(b)),
-                Op::Mul => binop!(|a: i64, b: i64| a.wrapping_mul(b)),
-                Op::Div => {
-                    let b = pop!();
-                    let a = pop!();
-                    if b == 0 {
-                        return Err(VmError::DivideByZero);
-                    }
-                    push!(a.wrapping_div(b));
-                }
-                Op::Rem => {
-                    let b = pop!();
-                    let a = pop!();
-                    if b == 0 {
-                        return Err(VmError::DivideByZero);
-                    }
-                    push!(a.wrapping_rem(b));
-                }
-                Op::Neg => {
-                    let a = pop!();
-                    push!(a.wrapping_neg());
-                }
-                Op::And => binop!(|a: i64, b: i64| a & b),
-                Op::Or => binop!(|a: i64, b: i64| a | b),
-                Op::Xor => binop!(|a: i64, b: i64| a ^ b),
-                Op::Not => {
-                    let a = pop!();
-                    push!(if a == 0 { 1 } else { 0 });
-                }
-                Op::Shl => binop!(|a: i64, b: i64| a.wrapping_shl(b as u32 & 63)),
-                Op::Shr => binop!(|a: i64, b: i64| a.wrapping_shr(b as u32 & 63)),
-
-                Op::Eq => binop!(|a, b| (a == b) as i64),
-                Op::Ne => binop!(|a, b| (a != b) as i64),
-                Op::Lt => binop!(|a, b| (a < b) as i64),
-                Op::Le => binop!(|a, b| (a <= b) as i64),
-                Op::Gt => binop!(|a, b| (a > b) as i64),
-                Op::Ge => binop!(|a, b| (a >= b) as i64),
-
-                Op::Jmp(t) => pc = t as usize,
-                Op::JmpIf(t) => {
-                    if pop!() != 0 {
-                        pc = t as usize;
-                    }
-                }
-                Op::JmpIfNot(t) => {
-                    if pop!() == 0 {
-                        pc = t as usize;
+                if PROFILE {
+                    if let Some(hist) = self.profile.as_deref_mut() {
+                        hist[op.kind_index()] += 1;
                     }
                 }
 
-                Op::Call(id) => {
-                    let func = *program
-                        .funcs()
-                        .get(id as usize)
-                        .ok_or(VmError::BadFunction(id))?;
-                    if self.frames.len() >= self.limits.max_call_depth {
-                        return Err(VmError::CallDepthExceeded);
+                match op {
+                    Op::Push(v) => push!(v),
+                    Op::Dup => {
+                        let v = *self.stack.last().ok_or(VmError::StackUnderflow)?;
+                        push!(v);
                     }
-                    let new_base = self.locals.len();
-                    if new_base + func.n_locals as usize > self.limits.max_heap_slots {
-                        return Err(VmError::HeapOverflow);
+                    Op::Pop => {
+                        pop!();
                     }
-                    self.locals.resize(new_base + func.n_locals as usize, 0);
-                    if self.locals.len() > self.usage.peak_heap_slots {
-                        self.usage.peak_heap_slots = self.locals.len();
+                    Op::Swap => {
+                        let n = self.stack.len();
+                        if n < 2 {
+                            return Err(VmError::StackUnderflow);
+                        }
+                        self.stack.swap(n - 1, n - 2);
                     }
-                    // pop args right-to-left into locals 0..arity
-                    for i in (0..func.arity).rev() {
+
+                    Op::LoadLocal(s) => {
+                        let idx = locals_base + s as usize;
+                        let v = *self.locals.get(idx).ok_or(VmError::BadLocal(s))?;
+                        push!(v);
+                    }
+                    Op::StoreLocal(s) => {
                         let v = pop!();
-                        self.locals[new_base + i as usize] = v;
+                        let idx = locals_base + s as usize;
+                        *self.locals.get_mut(idx).ok_or(VmError::BadLocal(s))? = v;
                     }
-                    self.frames.push(Frame {
-                        ret_pc: pc as u32,
-                        locals_base: locals_base as u32,
-                    });
-                    if self.frames.len() > self.usage.peak_call_depth {
-                        self.usage.peak_call_depth = self.frames.len();
-                    }
-                    locals_base = new_base;
-                    pc = func.entry as usize;
-                }
-                Op::Ret => {
-                    let frame = self.frames.pop().ok_or(VmError::ReturnFromTopLevel)?;
-                    // callee's locals are freed; its result stays on the stack
-                    self.locals.truncate(locals_base);
-                    locals_base = frame.locals_base as usize;
-                    pc = frame.ret_pc as usize;
-                }
-                Op::Halt => return Ok(Outcome::Done),
 
-                Op::Rand => push!(host.rand64()),
-                Op::RandRange => {
-                    let n = pop!();
-                    if n <= 0 {
-                        return Err(VmError::BadRandRange(n));
+                    Op::LoadPkt(s) => push!(host.load_pkt(s)?),
+                    Op::StorePkt(s) => {
+                        let v = pop!();
+                        host.store_pkt(s, v)?;
                     }
-                    // Rejection-free modulo is fine here: hosts provide 63
-                    // uniform bits and bounds are tiny (path counts, queue
-                    // counts), so bias is negligible for the paper's uses.
-                    push!(host.rand64() % n);
-                }
-                Op::Now => push!(host.now_ns()),
-                Op::Hash => {
-                    let b = pop!() as u64;
-                    let a = pop!() as u64;
-                    let mut z = a ^ b.rotate_left(32) ^ 0x9E3779B97F4A7C15;
-                    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
-                    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
-                    push!(((z ^ (z >> 31)) & (i64::MAX as u64)) as i64);
-                }
+                    Op::LoadMsg(s) => push!(host.load_msg(s)?),
+                    Op::StoreMsg(s) => {
+                        let v = pop!();
+                        host.store_msg(s, v)?;
+                    }
+                    Op::LoadGlob(s) => push!(host.load_glob(s)?),
+                    Op::StoreGlob(s) => {
+                        let v = pop!();
+                        host.store_glob(s, v)?;
+                    }
 
-                Op::Drop => {
-                    host.effect(Effect::Drop)?;
-                    return Ok(Outcome::Dropped);
-                }
-                Op::SetQueue => {
-                    let charge = pop!();
-                    let queue = pop!();
-                    host.effect(Effect::SetQueue { queue, charge })?;
-                }
-                Op::ToController => {
-                    host.effect(Effect::ToController)?;
-                    return Ok(Outcome::SentToController);
-                }
-                Op::GotoTable => {
-                    let table = pop!();
-                    host.effect(Effect::GotoTable { table })?;
-                    if !(0..=u8::MAX as i64).contains(&table) {
-                        return Err(VmError::BadTable(table));
+                    Op::ArrLoad(a) => {
+                        let idx = pop!();
+                        push!(host.arr_load(a, idx)?);
                     }
-                    return Ok(Outcome::GotoTable(table as u8));
+                    Op::ArrStore(a) => {
+                        let v = pop!();
+                        let idx = pop!();
+                        host.arr_store(a, idx, v)?;
+                    }
+                    Op::ArrLen(a) => push!(host.arr_len(a)?),
+
+                    Op::Add => binop!(|a: i64, b: i64| a.wrapping_add(b)),
+                    Op::Sub => binop!(|a: i64, b: i64| a.wrapping_sub(b)),
+                    Op::Mul => binop!(|a: i64, b: i64| a.wrapping_mul(b)),
+                    Op::Div => {
+                        let b = pop!();
+                        let a = pop!();
+                        if b == 0 {
+                            return Err(VmError::DivideByZero);
+                        }
+                        push!(a.wrapping_div(b));
+                    }
+                    Op::Rem => {
+                        let b = pop!();
+                        let a = pop!();
+                        if b == 0 {
+                            return Err(VmError::DivideByZero);
+                        }
+                        push!(a.wrapping_rem(b));
+                    }
+                    Op::Neg => {
+                        let a = pop!();
+                        push!(a.wrapping_neg());
+                    }
+                    Op::And => binop!(|a: i64, b: i64| a & b),
+                    Op::Or => binop!(|a: i64, b: i64| a | b),
+                    Op::Xor => binop!(|a: i64, b: i64| a ^ b),
+                    Op::Not => {
+                        let a = pop!();
+                        push!(if a == 0 { 1 } else { 0 });
+                    }
+                    Op::Shl => binop!(|a: i64, b: i64| a.wrapping_shl(b as u32 & 63)),
+                    Op::Shr => binop!(|a: i64, b: i64| a.wrapping_shr(b as u32 & 63)),
+
+                    Op::Eq => binop!(|a, b| (a == b) as i64),
+                    Op::Ne => binop!(|a, b| (a != b) as i64),
+                    Op::Lt => binop!(|a, b| (a < b) as i64),
+                    Op::Le => binop!(|a, b| (a <= b) as i64),
+                    Op::Gt => binop!(|a, b| (a > b) as i64),
+                    Op::Ge => binop!(|a, b| (a >= b) as i64),
+
+                    Op::Jmp(t) => pc = t as usize,
+                    Op::JmpIf(t) => {
+                        if pop!() != 0 {
+                            pc = t as usize;
+                        }
+                    }
+                    Op::JmpIfNot(t) => {
+                        if pop!() == 0 {
+                            pc = t as usize;
+                        }
+                    }
+
+                    Op::Call(id) => {
+                        let func = *program
+                            .funcs()
+                            .get(id as usize)
+                            .ok_or(VmError::BadFunction(id))?;
+                        if self.frames.len() >= self.limits.max_call_depth {
+                            return Err(VmError::CallDepthExceeded);
+                        }
+                        let new_base = self.locals.len();
+                        if new_base + func.n_locals as usize > self.limits.max_heap_slots {
+                            return Err(VmError::HeapOverflow);
+                        }
+                        self.locals.resize(new_base + func.n_locals as usize, 0);
+                        if self.locals.len() > self.usage.peak_heap_slots {
+                            self.usage.peak_heap_slots = self.locals.len();
+                        }
+                        // pop args right-to-left into locals 0..arity
+                        for i in (0..func.arity).rev() {
+                            let v = pop!();
+                            self.locals[new_base + i as usize] = v;
+                        }
+                        self.frames.push(Frame {
+                            ret_pc: pc as u32,
+                            locals_base: locals_base as u32,
+                        });
+                        if self.frames.len() > self.usage.peak_call_depth {
+                            self.usage.peak_call_depth = self.frames.len();
+                        }
+                        locals_base = new_base;
+                        pc = func.entry as usize;
+                    }
+                    Op::Ret => {
+                        let frame = self.frames.pop().ok_or(VmError::ReturnFromTopLevel)?;
+                        // callee's locals are freed; its result stays on the stack
+                        self.locals.truncate(locals_base);
+                        locals_base = frame.locals_base as usize;
+                        pc = frame.ret_pc as usize;
+                    }
+                    Op::Halt => return Ok(Outcome::Done),
+
+                    Op::Rand => push!(host.rand64()),
+                    Op::RandRange => {
+                        let n = pop!();
+                        if n <= 0 {
+                            return Err(VmError::BadRandRange(n));
+                        }
+                        // Rejection-free modulo is fine here: hosts provide 63
+                        // uniform bits and bounds are tiny (path counts, queue
+                        // counts), so bias is negligible for the paper's uses.
+                        push!(host.rand64() % n);
+                    }
+                    Op::Now => push!(host.now_ns()),
+                    Op::Hash => {
+                        let b = pop!() as u64;
+                        let a = pop!() as u64;
+                        let mut z = a ^ b.rotate_left(32) ^ 0x9E3779B97F4A7C15;
+                        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+                        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+                        push!(((z ^ (z >> 31)) & (i64::MAX as u64)) as i64);
+                    }
+
+                    Op::Drop => {
+                        host.effect(Effect::Drop)?;
+                        return Ok(Outcome::Dropped);
+                    }
+                    Op::SetQueue => {
+                        let charge = pop!();
+                        let queue = pop!();
+                        host.effect(Effect::SetQueue { queue, charge })?;
+                    }
+                    Op::ToController => {
+                        host.effect(Effect::ToController)?;
+                        return Ok(Outcome::SentToController);
+                    }
+                    Op::GotoTable => {
+                        let table = pop!();
+                        host.effect(Effect::GotoTable { table })?;
+                        if !(0..=u8::MAX as i64).contains(&table) {
+                            return Err(VmError::BadTable(table));
+                        }
+                        return Ok(Outcome::GotoTable(table as u8));
+                    }
+
+                    // Superinstructions: one dispatch, no intermediate stack
+                    // traffic — the fused operand lives in the op itself.
+                    Op::AddImm(v) => {
+                        let t = self.stack.last_mut().ok_or(VmError::StackUnderflow)?;
+                        *t = t.wrapping_add(v);
+                    }
+                    Op::MulImm(v) => {
+                        let t = self.stack.last_mut().ok_or(VmError::StackUnderflow)?;
+                        *t = t.wrapping_mul(v);
+                    }
+                    Op::LoadPktAddImm(s, v) => push!(host.load_pkt(s)?.wrapping_add(v)),
+                    Op::LoadPktMulImm(s, v) => push!(host.load_pkt(s)?.wrapping_mul(v)),
+                    Op::IncrLocal(s, v) => {
+                        let idx = locals_base + s as usize;
+                        let p = self.locals.get_mut(idx).ok_or(VmError::BadLocal(s))?;
+                        *p = p.wrapping_add(v);
+                    }
+                    Op::IncrMsg(s, v) => {
+                        let cur = host.load_msg(s)?;
+                        host.store_msg(s, cur.wrapping_add(v))?;
+                    }
+                    Op::IncrGlob(s, v) => {
+                        let cur = host.load_glob(s)?;
+                        host.store_glob(s, cur.wrapping_add(v))?;
+                    }
+                    Op::CmpBr(c, t) => {
+                        let b = pop!();
+                        let a = pop!();
+                        if c.eval(a, b) {
+                            pc = t as usize;
+                        }
+                    }
+                    Op::PushCmpBr(c, v, t) => {
+                        let a = pop!();
+                        if c.eval(a, v) {
+                            pc = t as usize;
+                        }
+                    }
                 }
             }
-        }
+        })();
+
+        self.usage.steps = steps;
+        self.usage.peak_stack = peak_stack;
+        result
     }
 }
 
@@ -717,6 +794,66 @@ mod tests {
         let mut h = VecHost::default();
         let e = Interpreter::new(limits).run(&p, &mut h);
         assert_eq!(e, Err(VmError::StackOverflow));
+    }
+
+    #[test]
+    fn fused_ops_match_their_expansions() {
+        use crate::op::Cmp;
+        // fused: sum 1..=10 using IncrLocal / PushCmpBr / AddImm
+        let mut b = ProgramBuilder::new();
+        let head = b.new_label();
+        let done = b.new_label();
+        b.push(0).store_local(0); // i = 0
+        b.push(0).store_local(1); // acc = 0
+        b.bind(head);
+        b.load_local(0).push_cmp_br(Cmp::Ge, 10, done);
+        b.incr_local(0, 1);
+        b.load_local(1).load_local(0).add().store_local(1);
+        b.jmp(head);
+        b.bind(done);
+        b.load_local(1).add_imm(100).mul_imm(2).store_pkt(0).halt();
+        let p = b.with_entry_locals(2).build().unwrap();
+
+        let mut h = VecHost::with_slots(1, 0, 0);
+        let mut i = Interpreter::new(Limits::default());
+        assert_eq!(i.run(&p, &mut h).unwrap(), Outcome::Done);
+        assert_eq!(h.packet[0], (55 + 100) * 2);
+
+        // fused state/packet forms against a hand-computed result
+        let mut b = ProgramBuilder::new();
+        b.incr_msg(0, 7).incr_glob(1, -2);
+        b.load_pkt_add_imm(0, 5).store_msg(1);
+        b.load_pkt_mul_imm(0, 3).store_glob(0);
+        let two = b.new_label();
+        let out = b.new_label();
+        b.load_pkt(0).load_pkt(1).cmp_br(Cmp::Gt, two);
+        b.push(111).store_pkt(2).jmp(out);
+        b.bind(two);
+        b.push(222).store_pkt(2);
+        b.bind(out);
+        b.halt();
+        let p = b.build().unwrap();
+
+        let mut h = VecHost::with_slots(3, 2, 2);
+        h.packet[0] = 10;
+        h.packet[1] = 4;
+        Interpreter::new(Limits::default()).run(&p, &mut h).unwrap();
+        assert_eq!(h.msg[0], 7);
+        assert_eq!(h.global[1], -2);
+        assert_eq!(h.msg[1], 15);
+        assert_eq!(h.global[0], 30);
+        assert_eq!(h.packet[2], 222); // 10 > 4
+
+        // wrapping semantics match the unfused ops
+        let mut b = ProgramBuilder::new();
+        b.push(i64::MAX).add_imm(1).store_pkt(0);
+        b.push(i64::MAX).mul_imm(2).store_pkt(1);
+        b.halt();
+        let p = b.build().unwrap();
+        let mut h = VecHost::with_slots(2, 0, 0);
+        Interpreter::new(Limits::default()).run(&p, &mut h).unwrap();
+        assert_eq!(h.packet[0], i64::MAX.wrapping_add(1));
+        assert_eq!(h.packet[1], i64::MAX.wrapping_mul(2));
     }
 
     #[test]

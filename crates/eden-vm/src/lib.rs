@@ -51,13 +51,15 @@ mod program;
 mod verify;
 
 pub use builder::{BuildError, Label, ProgramBuilder};
-pub use codec::{decode as decode_program, encode as encode_program, CodecError};
-pub use disasm::disassemble;
+pub use codec::{
+    decode as decode_program, encode as encode_program, CodecError, MIN_VERSION, VERSION,
+};
+pub use disasm::{disassemble, opcode_histogram};
 pub use error::{StateScope, VmError};
 pub use host::{Effect, Host, VecHost};
 pub use interp::{Interpreter, Outcome, VmCounters};
 pub use limits::{Limits, Usage};
-pub use op::Op;
+pub use op::{Cmp, Op};
 pub use pool::InterpreterPool;
 pub use program::{FuncInfo, Program};
 pub use verify::{verify, VerifyError, MAX_PROGRAM_OPS};

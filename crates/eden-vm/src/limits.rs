@@ -105,6 +105,29 @@ mod tests {
     }
 
     #[test]
+    fn default_budgets_are_pinned() {
+        // The fused interpreter must stay inside the same budgets as the
+        // plain one — superinstructions shrink stack traffic, they may not
+        // buy headroom by quietly growing these. Changing either number is
+        // a deliberate, reviewed decision, not a side effect.
+        let l = Limits::default();
+        assert_eq!(l.max_stack, 64, "operand-stack budget changed");
+        assert_eq!(l.max_heap_slots, 256, "heap budget changed");
+        assert_eq!(l.max_call_depth, 16, "call-depth budget changed");
+        assert_eq!(l.fuel, None, "default fuel changed");
+        let strict = Limits::strict();
+        assert_eq!(
+            (
+                strict.max_stack,
+                strict.max_heap_slots,
+                strict.max_call_depth
+            ),
+            (32, 128, 8)
+        );
+        assert_eq!(strict.fuel, Some(100_000));
+    }
+
+    #[test]
     fn paper_footprint_matches_section_5_4() {
         let l = Limits::paper_footprint();
         assert_eq!(l.max_stack * 8, 64);

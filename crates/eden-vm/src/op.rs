@@ -11,6 +11,90 @@
 
 use std::fmt;
 
+/// Comparison selector carried by the fused compare-and-branch ops.
+///
+/// Kept out of the opcode space so one `CmpBr`/`PushCmpBr` kind covers all
+/// six relations — the interpreter pays one dispatch either way and the
+/// opcode histogram stays readable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Cmp {
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+impl Cmp {
+    /// Evaluate `a ⟨cmp⟩ b`.
+    #[inline(always)]
+    pub fn eval(self, a: i64, b: i64) -> bool {
+        match self {
+            Cmp::Eq => a == b,
+            Cmp::Ne => a != b,
+            Cmp::Lt => a < b,
+            Cmp::Le => a <= b,
+            Cmp::Gt => a > b,
+            Cmp::Ge => a >= b,
+        }
+    }
+
+    /// The relation that holds exactly when `self` does not.
+    pub fn negate(self) -> Cmp {
+        match self {
+            Cmp::Eq => Cmp::Ne,
+            Cmp::Ne => Cmp::Eq,
+            Cmp::Lt => Cmp::Ge,
+            Cmp::Le => Cmp::Gt,
+            Cmp::Gt => Cmp::Le,
+            Cmp::Ge => Cmp::Lt,
+        }
+    }
+
+    /// Mnemonic suffix used by `Display` and the disassembler.
+    pub fn name(self) -> &'static str {
+        match self {
+            Cmp::Eq => "eq",
+            Cmp::Ne => "ne",
+            Cmp::Lt => "lt",
+            Cmp::Le => "le",
+            Cmp::Gt => "gt",
+            Cmp::Ge => "ge",
+        }
+    }
+
+    /// Wire byte for the codec (dense, `0..6`).
+    pub(crate) fn to_byte(self) -> u8 {
+        match self {
+            Cmp::Eq => 0,
+            Cmp::Ne => 1,
+            Cmp::Lt => 2,
+            Cmp::Le => 3,
+            Cmp::Gt => 4,
+            Cmp::Ge => 5,
+        }
+    }
+
+    pub(crate) fn from_byte(b: u8) -> Option<Cmp> {
+        Some(match b {
+            0 => Cmp::Eq,
+            1 => Cmp::Ne,
+            2 => Cmp::Lt,
+            3 => Cmp::Le,
+            4 => Cmp::Gt,
+            5 => Cmp::Ge,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for Cmp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
 /// A single VM instruction.
 ///
 /// Jump targets are absolute instruction indices. Slot operands index into
@@ -120,6 +204,30 @@ pub enum Op {
     /// Pop `table`: continue matching in enclave table `table` after this
     /// function finishes.
     GotoTable,
+
+    // --- superinstructions (codec v2) -------------------------------------
+    // Fused forms the IR peephole pass emits so the hot interpreter loop
+    // dispatches once where the naive stream would dispatch two or three
+    // times — the operand never round-trips through the stack.
+    /// Add an immediate to the top of stack in place (`Push v; Add`).
+    AddImm(i64),
+    /// Multiply the top of stack by an immediate in place (`Push v; Mul`).
+    MulImm(i64),
+    /// Push `pkt[slot] + v` (`LoadPkt s; Push v; Add`).
+    LoadPktAddImm(u8, i64),
+    /// Push `pkt[slot] * v` (`LoadPkt s; Push v; Mul`).
+    LoadPktMulImm(u8, i64),
+    /// `local[slot] += v` without touching the stack
+    /// (`LoadLocal s; Push v; Add; StoreLocal s`).
+    IncrLocal(u8, i64),
+    /// `msg[slot] += v` without touching the stack.
+    IncrMsg(u8, i64),
+    /// `glob[slot] += v` without touching the stack.
+    IncrGlob(u8, i64),
+    /// Pop `b` then `a`; jump if `a ⟨cmp⟩ b` (`⟨cmp⟩; JmpIf t`).
+    CmpBr(Cmp, u32),
+    /// Pop `a`; jump if `a ⟨cmp⟩ v` (`Push v; ⟨cmp⟩; JmpIf t`).
+    PushCmpBr(Cmp, i64, u32),
 }
 
 /// Mnemonics indexed by [`Op::kind_index`], in declaration order.
@@ -171,11 +279,20 @@ const KIND_NAMES: [&str; Op::KIND_COUNT] = [
     "setqueue",
     "tocontroller",
     "gototable",
+    "addimm",
+    "mulimm",
+    "ploadadd",
+    "ploadmul",
+    "lincr",
+    "mincr",
+    "gincr",
+    "cmpbr",
+    "pushcmpbr",
 ];
 
 impl Op {
     /// Number of opcode kinds — the size of a per-opcode histogram.
-    pub const KIND_COUNT: usize = 47;
+    pub const KIND_COUNT: usize = 56;
 
     /// Dense index of this op's kind (operands ignored), in declaration
     /// order; always `< KIND_COUNT`. Used by the interpreter's optional
@@ -230,6 +347,15 @@ impl Op {
             SetQueue => 44,
             ToController => 45,
             GotoTable => 46,
+            AddImm(_) => 47,
+            MulImm(_) => 48,
+            LoadPktAddImm(..) => 49,
+            LoadPktMulImm(..) => 50,
+            IncrLocal(..) => 51,
+            IncrMsg(..) => 52,
+            IncrGlob(..) => 53,
+            CmpBr(..) => 54,
+            PushCmpBr(..) => 55,
         }
     }
 
@@ -244,12 +370,13 @@ impl Op {
         use Op::*;
         match self {
             Push(_) | Dup | LoadLocal(_) | LoadPkt(_) | LoadMsg(_) | LoadGlob(_) | ArrLen(_)
-            | Rand | Now => 1,
+            | Rand | Now | LoadPktAddImm(..) | LoadPktMulImm(..) => 1,
             Pop | StoreLocal(_) | StorePkt(_) | StoreMsg(_) | StoreGlob(_) | Add | Sub | Mul
             | Div | Rem | And | Or | Xor | Shl | Shr | Eq | Ne | Lt | Le | Gt | Ge | JmpIf(_)
-            | JmpIfNot(_) | Hash | GotoTable => -1,
-            ArrStore(_) | SetQueue => -2,
-            Swap | Neg | Not | ArrLoad(_) | Jmp(_) | Halt | Drop | ToController | RandRange => 0,
+            | JmpIfNot(_) | Hash | GotoTable | PushCmpBr(..) => -1,
+            ArrStore(_) | SetQueue | CmpBr(..) => -2,
+            Swap | Neg | Not | ArrLoad(_) | Jmp(_) | Halt | Drop | ToController | RandRange
+            | AddImm(_) | MulImm(_) | IncrLocal(..) | IncrMsg(..) | IncrGlob(..) => 0,
             Call(_) | Ret => 0, // handled by the verifier explicitly
         }
     }
@@ -259,11 +386,13 @@ impl Op {
         use Op::*;
         match self {
             Push(_) | LoadLocal(_) | LoadPkt(_) | LoadMsg(_) | LoadGlob(_) | ArrLen(_) | Rand
-            | Now | Jmp(_) | Halt | ToController | Drop => 0,
+            | Now | Jmp(_) | Halt | ToController | Drop | LoadPktAddImm(..) | LoadPktMulImm(..)
+            | IncrLocal(..) | IncrMsg(..) | IncrGlob(..) => 0,
             Dup | Pop | StoreLocal(_) | StorePkt(_) | StoreMsg(_) | StoreGlob(_) | ArrLoad(_)
-            | Neg | Not | JmpIf(_) | JmpIfNot(_) | RandRange | GotoTable => 1,
+            | Neg | Not | JmpIf(_) | JmpIfNot(_) | RandRange | GotoTable | AddImm(_)
+            | MulImm(_) | PushCmpBr(..) => 1,
             Swap | Add | Sub | Mul | Div | Rem | And | Or | Xor | Shl | Shr | Eq | Ne | Lt | Le
-            | Gt | Ge | Hash | SetQueue => 2,
+            | Gt | Ge | Hash | SetQueue | CmpBr(..) => 2,
             ArrStore(_) => 2,
             Call(_) | Ret => 0, // handled by the verifier explicitly
         }
@@ -321,6 +450,15 @@ impl fmt::Display for Op {
             SetQueue => write!(f, "setqueue"),
             ToController => write!(f, "tocontroller"),
             GotoTable => write!(f, "gototable"),
+            AddImm(v) => write!(f, "addimm {v}"),
+            MulImm(v) => write!(f, "mulimm {v}"),
+            LoadPktAddImm(s, v) => write!(f, "ploadadd {s} {v}"),
+            LoadPktMulImm(s, v) => write!(f, "ploadmul {s} {v}"),
+            IncrLocal(s, v) => write!(f, "lincr {s} {v}"),
+            IncrMsg(s, v) => write!(f, "mincr {s} {v}"),
+            IncrGlob(s, v) => write!(f, "gincr {s} {v}"),
+            CmpBr(c, t) => write!(f, "cmpbr {c} {t}"),
+            PushCmpBr(c, v, t) => write!(f, "pushcmpbr {c} {v} {t}"),
         }
     }
 }
@@ -386,6 +524,15 @@ mod tests {
             Op::SetQueue,
             Op::ToController,
             Op::GotoTable,
+            Op::AddImm(0),
+            Op::MulImm(0),
+            Op::LoadPktAddImm(0, 0),
+            Op::LoadPktMulImm(0, 0),
+            Op::IncrLocal(0, 0),
+            Op::IncrMsg(0, 0),
+            Op::IncrGlob(0, 0),
+            Op::CmpBr(Cmp::Eq, 0),
+            Op::PushCmpBr(Cmp::Eq, 0, 0),
         ];
         assert_eq!(ops.len(), Op::KIND_COUNT);
         for (i, op) in ops.iter().enumerate() {
@@ -401,8 +548,73 @@ mod tests {
     fn stack_deltas_match_needs() {
         // every op must be executable when the stack holds exactly
         // `stack_need` values, and may not underflow.
-        for op in [Op::Add, Op::Dup, Op::SetQueue, Op::ArrStore(0), Op::Hash] {
+        for op in [
+            Op::Add,
+            Op::Dup,
+            Op::SetQueue,
+            Op::ArrStore(0),
+            Op::Hash,
+            Op::AddImm(1),
+            Op::CmpBr(Cmp::Lt, 0),
+            Op::PushCmpBr(Cmp::Ge, 1, 0),
+        ] {
             assert!(op.stack_need() >= -op.stack_delta());
+        }
+    }
+
+    #[test]
+    fn fused_op_semantics_are_declared_consistently() {
+        // each fused op's (need, delta) must equal the sum of the sequence
+        // it replaces, so the verifier sees identical dataflow either way.
+        let fusions: [(Op, &[Op]); 9] = [
+            (Op::AddImm(3), &[Op::Push(3), Op::Add]),
+            (Op::MulImm(3), &[Op::Push(3), Op::Mul]),
+            (
+                Op::LoadPktAddImm(0, 3),
+                &[Op::LoadPkt(0), Op::Push(3), Op::Add],
+            ),
+            (
+                Op::LoadPktMulImm(0, 3),
+                &[Op::LoadPkt(0), Op::Push(3), Op::Mul],
+            ),
+            (
+                Op::IncrLocal(0, 1),
+                &[Op::LoadLocal(0), Op::Push(1), Op::Add, Op::StoreLocal(0)],
+            ),
+            (
+                Op::IncrMsg(0, 1),
+                &[Op::LoadMsg(0), Op::Push(1), Op::Add, Op::StoreMsg(0)],
+            ),
+            (
+                Op::IncrGlob(0, 1),
+                &[Op::LoadGlob(0), Op::Push(1), Op::Add, Op::StoreGlob(0)],
+            ),
+            (Op::CmpBr(Cmp::Lt, 9), &[Op::Lt, Op::JmpIf(9)]),
+            (
+                Op::PushCmpBr(Cmp::Lt, 3, 9),
+                &[Op::Push(3), Op::Lt, Op::JmpIf(9)],
+            ),
+        ];
+        for (fused, seq) in fusions {
+            let delta: i32 = seq.iter().map(|o| o.stack_delta()).sum();
+            assert_eq!(fused.stack_delta(), delta, "delta mismatch for {fused}");
+            let mut depth = 0i32;
+            let mut need = 0i32;
+            for o in seq {
+                need = need.max(o.stack_need() - depth);
+                depth += o.stack_delta();
+            }
+            assert_eq!(fused.stack_need(), need, "need mismatch for {fused}");
+        }
+    }
+
+    #[test]
+    fn cmp_negate_is_an_involution_and_inverts_eval() {
+        for c in [Cmp::Eq, Cmp::Ne, Cmp::Lt, Cmp::Le, Cmp::Gt, Cmp::Ge] {
+            assert_eq!(c.negate().negate(), c);
+            for (a, b) in [(0, 0), (1, 2), (2, 1), (-5, 5), (i64::MIN, i64::MAX)] {
+                assert_eq!(c.eval(a, b), !c.negate().eval(a, b), "{c} at ({a},{b})");
+            }
         }
     }
 }

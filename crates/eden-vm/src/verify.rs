@@ -133,8 +133,8 @@ fn check_region(
         let d = depth[at];
         let op = ops[at];
 
-        // locals bound check
-        if let Op::LoadLocal(s) | Op::StoreLocal(s) = op {
+        // locals bound check (fused IncrLocal reads and writes its slot)
+        if let Op::LoadLocal(s) | Op::StoreLocal(s) | Op::IncrLocal(s, _) = op {
             if s >= n_locals {
                 return Err(VerifyError::LocalOutOfRange {
                     at,
@@ -192,7 +192,7 @@ fn check_region(
                 }
                 push_edge(t as usize, after)?;
             }
-            Op::JmpIf(t) | Op::JmpIfNot(t) => {
+            Op::JmpIf(t) | Op::JmpIfNot(t) | Op::CmpBr(_, t) | Op::PushCmpBr(_, _, t) => {
                 if t as usize >= ops.len() {
                     return Err(VerifyError::JumpOutOfRange { at, target: t });
                 }
@@ -384,6 +384,79 @@ mod tests {
         assert!(matches!(e, VerifyError::TooLarge(n) if n == MAX_PROGRAM_OPS + 1));
         // at the cap: accepted
         assert!(prog(vec![Op::Halt; MAX_PROGRAM_OPS]).is_ok());
+    }
+
+    #[test]
+    fn fused_ops_verify_like_their_expansions() {
+        use crate::op::Cmp;
+        // counting loop written entirely with superinstructions
+        let p = prog(vec![
+            Op::Push(0),
+            Op::StoreLocal(0),
+            Op::LoadLocal(0), // 2: head
+            Op::PushCmpBr(Cmp::Ge, 10, 6),
+            Op::IncrLocal(0, 1),
+            Op::Jmp(2),
+            Op::IncrGlob(0, 1), // 6
+            Op::IncrMsg(1, -1),
+            Op::LoadPktAddImm(0, 5),
+            Op::LoadPktMulImm(1, 3),
+            Op::CmpBr(Cmp::Lt, 12),
+            Op::Halt,
+            Op::AddImm(1), // 12: underflow here must be caught
+            Op::Halt,
+        ]);
+        // AddImm at 12 is reached with depth 0 but needs 1
+        assert!(matches!(
+            p.unwrap_err(),
+            VerifyError::Underflow { at: 12, .. }
+        ));
+
+        let ok = prog(vec![
+            Op::Push(0),
+            Op::StoreLocal(0),
+            Op::LoadLocal(0), // 2: head
+            Op::PushCmpBr(Cmp::Ge, 10, 6),
+            Op::IncrLocal(0, 1),
+            Op::Jmp(2),
+            Op::LoadPktAddImm(0, 5), // 6
+            Op::LoadPktMulImm(1, 3),
+            Op::CmpBr(Cmp::Lt, 2),
+            Op::Halt,
+        ]);
+        assert!(ok.is_ok(), "{ok:?}");
+    }
+
+    #[test]
+    fn fused_branch_targets_and_incr_slot_checked() {
+        use crate::op::Cmp;
+        let e = prog(vec![Op::Push(1), Op::PushCmpBr(Cmp::Eq, 1, 99), Op::Halt]).unwrap_err();
+        assert!(matches!(
+            e,
+            VerifyError::JumpOutOfRange { at: 1, target: 99 }
+        ));
+        let e = prog(vec![
+            Op::Push(1),
+            Op::Push(2),
+            Op::CmpBr(Cmp::Ne, 77),
+            Op::Halt,
+        ])
+        .unwrap_err();
+        assert!(matches!(
+            e,
+            VerifyError::JumpOutOfRange { at: 2, target: 77 }
+        ));
+        let e = prog(vec![Op::IncrLocal(9, 1), Op::Halt]).unwrap_err();
+        assert!(matches!(e, VerifyError::LocalOutOfRange { slot: 9, .. }));
+        // compare-branch arms that rejoin with different depths are caught
+        let e = prog(vec![
+            Op::Push(1),
+            Op::PushCmpBr(Cmp::Gt, 0, 3),
+            Op::Push(7), // fallthrough arm pushes
+            Op::Halt,    // 3: join with depth 0 (taken) vs 1 (fallthrough)
+        ])
+        .unwrap_err();
+        assert!(matches!(e, VerifyError::InconsistentStack { .. }));
     }
 
     #[test]

@@ -1,0 +1,35 @@
+//! Golden disassembly of one catalogue bundle, end to end through the
+//! default compiler pipeline (HIR → IR passes → superinstruction fusion).
+//!
+//! The golden file pins three things at once: the disassembler's output
+//! format (labels, jump-target comments, the static opcode histogram), the
+//! exact bytecode the pipeline emits for SFF — the paper's flagship
+//! function — and, via the histogram, which superinstructions fusion
+//! selects. An intentional compiler or disassembler change should update
+//! `tests/golden/sff.disasm` in the same commit and say why.
+
+#[test]
+fn sff_disassembly_matches_golden() {
+    let bundle = eden::apps::functions::sff();
+    let compiled =
+        eden::lang::compile(bundle.name, bundle.source, &bundle.schema()).expect("sff compiles");
+    let got = eden::vm::disassemble(&compiled.program);
+    let want = include_str!("golden/sff.disasm");
+    assert_eq!(
+        got, want,
+        "disassembly of 'sff' diverged from tests/golden/sff.disasm;\n\
+         if the pipeline change is intentional, regenerate the golden file"
+    );
+}
+
+#[test]
+fn sff_golden_contains_fused_opcodes() {
+    // Guard against the golden file being regenerated with fusion off.
+    let want = include_str!("golden/sff.disasm");
+    for mnemonic in ["mulimm", "addimm", "cmpbr"] {
+        assert!(
+            want.contains(mnemonic),
+            "golden disasm should show superinstruction '{mnemonic}'"
+        );
+    }
+}

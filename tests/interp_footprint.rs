@@ -1,0 +1,26 @@
+//! §5.4 guard: the four case-study programs, compiled through the full
+//! default pipeline (IR passes + superinstruction fusion), must still fit
+//! the paper's reported interpreter footprint — an operand stack and heap
+//! "in the order of 64 and 256 bytes respectively". Fusion is supposed to
+//! *shrink* stack traffic; this test catches any pass that trades memory
+//! for speed.
+
+use eden_bench::fig12;
+
+#[test]
+fn case_study_programs_fit_the_paper_footprint() {
+    for fp in fig12::footprints() {
+        assert!(
+            fp.stack_bytes <= 64,
+            "{}: operand stack {} B exceeds the paper's 64 B",
+            fp.name,
+            fp.stack_bytes
+        );
+        assert!(
+            fp.heap_bytes <= 256,
+            "{}: heap {} B exceeds the paper's 256 B",
+            fp.name,
+            fp.heap_bytes
+        );
+    }
+}
