@@ -145,6 +145,34 @@ fn element_key(v: &Json) -> Option<String> {
     }
 }
 
+/// Token set of a metric path: split on every non-alphanumeric
+/// character, lowercase. The unit of similarity for [`nearest`].
+fn path_tokens(path: &str) -> Vec<String> {
+    path.split(|c: char| !c.is_alphanumeric())
+        .filter(|t| !t.is_empty())
+        .map(|t| t.to_ascii_lowercase())
+        .collect()
+}
+
+/// The up-to-three candidate paths most similar to `target`, by Jaccard
+/// similarity over path tokens. Renames and typos share most tokens with
+/// their old spelling, so the hint usually names the moved metric; paths
+/// below a 0.3 similarity floor are noise, not candidates.
+fn nearest<'a>(target: &str, candidates: impl Iterator<Item = &'a String>) -> Vec<&'a String> {
+    let want = path_tokens(target);
+    let mut scored: Vec<(f64, &String)> = candidates
+        .filter_map(|c| {
+            let have = path_tokens(c);
+            let shared = want.iter().filter(|t| have.contains(t)).count();
+            let union = want.len() + have.len() - shared;
+            let score = shared as f64 / union.max(1) as f64;
+            (score >= 0.3).then_some((score, c))
+        })
+        .collect();
+    scored.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
+    scored.into_iter().take(3).map(|(_, c)| c).collect()
+}
+
 /// Compare two flattened documents; returns human-readable failures.
 /// Paths containing any `skip` substring are exempt (used for point
 /// families the bench itself documents as machine-dependent, like the
@@ -161,8 +189,15 @@ fn compare(
             continue;
         }
         let Some(cur) = current.get(path) else {
+            let hints = nearest(path, current.keys().filter(|k| !baseline.contains_key(*k)));
+            let suffix = if hints.is_empty() {
+                String::new()
+            } else {
+                let names: Vec<&str> = hints.iter().map(|h| h.as_str()).collect();
+                format!(" (closest in current run: {})", names.join(", "))
+            };
             failures.push(format!(
-                "{path}: present in baseline, missing from current run"
+                "{path}: present in baseline, missing from current run{suffix}"
             ));
             continue;
         };
@@ -292,9 +327,54 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage: bench_gate --baseline <dir|file> --current <dir|file> \
          [--current <dir|file>]... [--threshold 0.25] [--skip <substring>]...\n\
-         \x20      bench_gate --merge-out <dir> --current <dir> [--current <dir>]..."
+         \x20      bench_gate --merge-out <dir> --current <dir> [--current <dir>]...\n\
+         \x20      bench_gate --list --baseline <dir|file> | --list --current <dir|file>"
     );
     ExitCode::from(2)
+}
+
+/// Every `BENCH_*.json` under `root` (or `root` itself if it is a file).
+fn bench_files(root: &Path) -> Result<Vec<PathBuf>, String> {
+    if root.is_file() {
+        return Ok(vec![root.to_path_buf()]);
+    }
+    let entries = std::fs::read_dir(root).map_err(|e| format!("{}: {e}", root.display()))?;
+    let mut files: Vec<PathBuf> = entries
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| {
+            p.file_name()
+                .map(|n| {
+                    let n = n.to_string_lossy();
+                    n.starts_with("BENCH_") && n.ends_with(".json")
+                })
+                .unwrap_or(false)
+        })
+        .collect();
+    files.sort();
+    if files.is_empty() {
+        return Err(format!("no BENCH_*.json files in {}", root.display()));
+    }
+    Ok(files)
+}
+
+/// The `--list` mode: dump every flattened metric path so `--skip`
+/// substrings and missing-metric reports can be matched against the real
+/// names instead of guessed.
+fn list_metrics(root: &Path) -> Result<(), String> {
+    for file in bench_files(root)? {
+        println!("{}:", file.display());
+        for (path, metric) in load(&file)? {
+            let kind = match metric {
+                Metric::Number(_, Direction::LowerBetter) => "gated, lower is better",
+                Metric::Number(_, Direction::HigherBetter) => "gated, higher is better",
+                Metric::Number(_, Direction::Unknown) => "ungated number",
+                Metric::Flag(_) => "quality flag",
+            };
+            println!("  {path}  [{kind}]");
+        }
+    }
+    Ok(())
 }
 
 /// Fold every repetition's `BENCH_*.json` into best-sample baseline files
@@ -342,9 +422,11 @@ fn main() -> ExitCode {
     let mut current: Vec<PathBuf> = Vec::new();
     let mut skip: Vec<String> = Vec::new();
     let mut threshold = 0.25f64;
+    let mut list = false;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
+            "--list" => list = true,
             "--baseline" => baseline = args.next().map(PathBuf::from),
             "--merge-out" => merge_target = args.next().map(PathBuf::from),
             "--current" => match args.next() {
@@ -363,6 +445,20 @@ fn main() -> ExitCode {
             }
             _ => return usage(),
         }
+    }
+    if list {
+        let root = match (&baseline, current.first()) {
+            (Some(b), _) => b.clone(),
+            (None, Some(c)) => c.clone(),
+            (None, None) => return usage(),
+        };
+        return match list_metrics(&root) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("bench_gate: {e}");
+                ExitCode::from(2)
+            }
+        };
     }
     if current.is_empty() {
         return usage();
@@ -481,6 +577,41 @@ mod tests {
         let gone = flat(r#"{"amortized_all":true}"#);
         assert_eq!(compare(&base, &flipped, 0.25, &[]).len(), 1);
         assert_eq!(compare(&base, &gone, 0.25, &[]).len(), 1);
+    }
+
+    #[test]
+    fn missing_metric_suggests_the_renamed_counterpart() {
+        let base = flat(r#"{"push":{"ns_per_packet":100}}"#);
+        let cur = flat(r#"{"push":{"ns_per_pkt":100},"msgs_per_sec":900}"#);
+        let failures = compare(&base, &cur, 0.25, &[]);
+        assert_eq!(failures.len(), 1);
+        assert!(
+            failures[0].contains("closest in current run: push.ns_per_pkt"),
+            "{}",
+            failures[0]
+        );
+        // the unrelated rate metric must not outrank the rename
+        assert!(!failures[0].contains("msgs_per_sec"), "{}", failures[0]);
+    }
+
+    #[test]
+    fn missing_metric_with_no_overlap_gets_no_hint() {
+        let base = flat(r#"{"ns_per_packet":100}"#);
+        let cur = flat(r#"{"qq_zz_mean":1.0}"#);
+        let failures = compare(&base, &cur, 0.25, &[]);
+        assert_eq!(failures.len(), 1);
+        assert!(!failures[0].contains("closest"), "{}", failures[0]);
+    }
+
+    #[test]
+    fn nearest_prefers_higher_token_overlap() {
+        let candidates = [
+            "overheads.average.api_pct_mean".to_string(),
+            "interp[function=sff].fused_ns_per_packet".to_string(),
+            "interp[function=sff].unopt_ns_per_packet".to_string(),
+        ];
+        let hits = nearest("interp[function=sff].ns_per_packet", candidates.iter());
+        assert_eq!(hits[0], "interp[function=sff].fused_ns_per_packet");
     }
 
     #[test]

@@ -43,8 +43,9 @@ use std::collections::HashMap;
 
 use eden_lang::{Access, Concurrency, HeaderField, Schema, Scope};
 use eden_telemetry::{
-    EnclaveCounters, FunctionCounters, RuleCounters, StatsSnapshot, TableCounters, Telemetry,
-    VmCounters,
+    EnclaveCounters, FlightDump, FlightEvent, FlightKind, FlightRing, FunctionCounters,
+    LatencyStat, LogHistogram, RuleCounters, Sampler, Span, SpanSink, StatsSnapshot, TableCounters,
+    Telemetry, TraceContext, VmCounters,
 };
 use eden_vm::{Effect, Host, Interpreter, InterpreterPool, Limits, Outcome, Program, VmError};
 use netsim::{Packet, PacketRng, SimRng, Time};
@@ -255,6 +256,14 @@ pub struct EnclaveConfig {
     /// Smallest batch worth fanning out to worker lanes; below it the
     /// batch runs on the serial path (thread handoff would dominate).
     pub parallel_batch_min: usize,
+    /// Data-path trace sampling: one in this many packets gets spans,
+    /// stage timing, and per-function latency recorded. `0` disables
+    /// tracing entirely — the hot-path cost is then a single always-false
+    /// branch, and stats snapshots carry no latency section (keeping the
+    /// serial/batch equivalence property free of wall-clock noise).
+    pub trace_sample: u32,
+    /// Flight-recorder ring capacity (events retained per worker lane).
+    pub flight_capacity: usize,
 }
 
 impl Default for EnclaveConfig {
@@ -267,6 +276,8 @@ impl Default for EnclaveConfig {
             lanes: 4,
             max_punted: 1024,
             parallel_batch_min: 32,
+            trace_sample: 0,
+            flight_capacity: 256,
         }
     }
 }
@@ -386,7 +397,28 @@ pub struct Enclave {
     active_epoch: u64,
     /// A prepared-but-uncommitted epoch (two-phase update, phase one).
     staged: Option<StagedEpoch>,
+    /// Deterministic 1-in-N data-path trace sampler (see
+    /// [`EnclaveConfig::trace_sample`]).
+    sampler: Sampler,
+    /// Completed (and open) spans awaiting collection by the agent.
+    spans: SpanSink,
+    /// Per-stage batch latency: classify / match / execute, recorded only
+    /// while tracing is enabled.
+    stage_hists: [LogHistogram; 3],
+    /// Sampled per-function execution latency, parallel to `functions`.
+    func_latency: Vec<LogHistogram>,
+    /// Flight recorder: one single-writer event ring per worker lane
+    /// (ring 0 doubles as the serial path's and the control plane's).
+    flight: Vec<FlightRing>,
+    /// The most recent frozen flight-recorder dump.
+    last_dump: Option<FlightDump>,
 }
+
+/// Indices into [`Enclave::stage_hists`].
+const STAGE_CLASSIFY: usize = 0;
+const STAGE_MATCH: usize = 1;
+const STAGE_EXECUTE: usize = 2;
+const STAGE_NAMES: [&str; 3] = ["stage.classify", "stage.match", "stage.execute"];
 
 /// A fully validated epoch awaiting commit: every op checked against the
 /// shape the configuration will have at that point in the sequence, and
@@ -451,6 +483,14 @@ impl Enclave {
             last_now: Time::ZERO,
             active_epoch: 0,
             staged: None,
+            sampler: Sampler::every(config.trace_sample),
+            spans: SpanSink::new(0, 1024),
+            stage_hists: Default::default(),
+            func_latency: Vec::new(),
+            flight: (0..config.lanes.max(1))
+                .map(|_| FlightRing::new(config.flight_capacity))
+                .collect(),
+            last_dump: None,
         }
     }
 
@@ -486,6 +526,7 @@ impl Enclave {
         self.pkt_bindings.push(bindings);
         self.functions.push(function);
         self.states.push(state);
+        self.func_latency.push(LogHistogram::new());
         FuncId(self.functions.len() - 1)
     }
 
@@ -590,6 +631,7 @@ impl Enclave {
     pub fn stage_epoch(&mut self, epoch: u64, ops: &[EnclaveOp]) -> Result<(), ApplyError> {
         let ready = self.validate_ops(ops)?;
         self.staged = Some(StagedEpoch { epoch, ops: ready });
+        self.flight_record(FlightKind::EpochStage, epoch, 0);
         Ok(())
     }
 
@@ -610,13 +652,19 @@ impl Enclave {
         for op in staged.ops {
             self.apply_ready(op);
         }
+        self.flight_record(FlightKind::EpochCommit, epoch, 0);
         true
     }
 
     /// Abort a prepared update: discard the staged epoch if it matches.
+    /// An effective abort freezes the flight recorder — a controller
+    /// backing out of phase two is exactly the moment to keep the black
+    /// box.
     pub fn abort_epoch(&mut self, epoch: u64) {
         if self.staged.as_ref().is_some_and(|s| s.epoch == epoch) {
             self.staged = None;
+            self.flight_record(FlightKind::EpochAbort, epoch, 0);
+            self.freeze_flight("epoch_abort");
         }
     }
 
@@ -702,6 +750,7 @@ impl Enclave {
         self.functions.clear();
         self.pkt_bindings.clear();
         self.states.clear();
+        self.func_latency.clear();
         self.lane_safe = true;
     }
 
@@ -887,6 +936,8 @@ impl Enclave {
     ) -> HookVerdict {
         self.stats.packets += 1;
         self.last_now = now;
+        let sampled = self.sampler.sample();
+        let stage_t = sampled.then(std::time::Instant::now);
 
         // --- classify: class list, message identity, per-packet RNG ----
         self.classes.clear();
@@ -897,7 +948,34 @@ impl Enclave {
         // packet-lifetime scratch for unmapped fields
         self.scratch.iter_mut().for_each(|v| *v = 0);
 
+        // sampled packet: open a fresh trace rooted at a "pkt" span, with
+        // the classify stage already timed and recorded
+        let at = now.as_nanos();
+        let trace = stage_t.map(|t0| {
+            let classify_ns = t0.elapsed().as_nanos() as u64;
+            self.stage_hists[STAGE_CLASSIFY].record(classify_ns);
+            let trace_id = self.spans.next_span_id();
+            let root = self
+                .spans
+                .begin(TraceContext::sampled(trace_id, 0), "pkt", at);
+            self.spans.record(
+                TraceContext::sampled(trace_id, root),
+                "classify",
+                at,
+                at + classify_ns,
+            );
+            self.flight[0].record(FlightEvent {
+                at_ns: at,
+                lane: 0,
+                kind: FlightKind::Classify,
+                a: u64::from(self.classes.first().copied().unwrap_or(0)),
+                b: classify_ns,
+            });
+            (trace_id, root, classify_ns, std::time::Instant::now())
+        });
+
         // --- match + execute: serial walk on lane 0 --------------------
+        let mut func_samples = Vec::new();
         let walk = {
             let mut tables = DirectTables(&mut self.tables);
             let mut inv = SerialInvoker {
@@ -905,6 +983,10 @@ impl Enclave {
                 bindings: &self.pkt_bindings,
                 states: &mut self.states,
                 interp: self.pool.lane_mut(0),
+                timed: sampled,
+                samples: &mut func_samples,
+                ring: &mut self.flight[0],
+                lane: 0,
             };
             walk_packet(
                 &mut tables,
@@ -924,6 +1006,41 @@ impl Enclave {
             self.push_punt(packet.clone());
         }
         self.stats.account_walk(&walk);
+        for (fid, ns) in func_samples {
+            self.func_latency[fid].record(ns);
+        }
+        if let Some((trace_id, root, classify_ns, t_walk)) = trace {
+            let walk_ns = t_walk.elapsed().as_nanos() as u64;
+            self.stage_hists[STAGE_EXECUTE].record(walk_ns);
+            self.spans.record(
+                TraceContext::sampled(trace_id, root),
+                "execute",
+                at + classify_ns,
+                at + classify_ns + walk_ns,
+            );
+            if walk.punt {
+                self.flight[0].record(FlightEvent {
+                    at_ns: at,
+                    lane: 0,
+                    kind: FlightKind::Punt,
+                    a: u64::from(self.classes.first().copied().unwrap_or(0)),
+                    b: 0,
+                });
+            }
+            self.spans.end(root, at + classify_ns + walk_ns);
+        }
+        if walk.loop_abort {
+            self.flight[0].record(FlightEvent {
+                at_ns: at,
+                lane: 0,
+                kind: FlightKind::TableLoop,
+                a: 0,
+                b: 0,
+            });
+        }
+        if walk.fault {
+            self.freeze_flight("vm_trap");
+        }
         walk.verdict
     }
 
@@ -986,26 +1103,46 @@ impl Enclave {
         let lanes = self.pool.lanes();
         self.stats.packets += n as u64;
         self.last_now = now;
+        let tracing = self.sampler.enabled();
+        if tracing {
+            self.flight[0].record(FlightEvent {
+                at_ns: now.as_nanos(),
+                lane: 0,
+                kind: FlightKind::BatchStart,
+                a: n as u64,
+                b: 0,
+            });
+        }
+        let t_classify = tracing.then(std::time::Instant::now);
 
         // --- classify stage (batch order: RNG forks must match serial) --
-        let metas: Vec<Classified> = packets
-            .iter()
-            .map(|p| {
-                let mut classes = Vec::new();
-                classify(p, &self.flow_rules, &mut classes);
-                Classified {
-                    classes,
-                    msg_id: message_id(p),
-                    prng: rng.fork_packet(),
-                }
-            })
-            .collect();
+        let metas: Vec<Classified> = {
+            let flow_rules = &self.flow_rules;
+            let sampler = &mut self.sampler;
+            packets
+                .iter()
+                .map(|p| {
+                    let mut classes = Vec::new();
+                    classify(p, flow_rules, &mut classes);
+                    Classified {
+                        classes,
+                        msg_id: message_id(p),
+                        prng: rng.fork_packet(),
+                        sampled: sampler.sample(),
+                    }
+                })
+                .collect()
+        };
+        let classify_ns = t_classify.map(|t| t.elapsed().as_nanos() as u64);
+        let t_match = tracing.then(std::time::Instant::now);
 
         // --- match stage: table-0 resolution with live counters ---------
         let firsts: Vec<Lookup> = {
             let mut tables = DirectTables(&mut self.tables);
             metas.iter().map(|m| tables.lookup(0, &m.classes)).collect()
         };
+        let match_ns = t_match.map(|t| t.elapsed().as_nanos() as u64);
+        let t_execute = tracing.then(std::time::Instant::now);
 
         // --- partition into lanes by message id -------------------------
         let mut lane_work: Vec<Vec<LaneItem<'_>>> = (0..lanes).map(|_| Vec::new()).collect();
@@ -1019,6 +1156,7 @@ impl Enclave {
                 msg_id: meta.msg_id,
                 prng: meta.prng,
                 first,
+                sampled: meta.sampled,
             });
         }
 
@@ -1056,6 +1194,7 @@ impl Enclave {
         let fail_open = self.config.fail_open;
         let rule_counts: Vec<usize> = tables.iter().map(|t| t.rules.len()).collect();
         let interps = self.pool.lanes_mut();
+        let rings = self.flight.as_mut_slice();
 
         let outs: Vec<LaneOut> = {
             let lane_funcs = &lane_funcs;
@@ -1065,7 +1204,9 @@ impl Enclave {
                     .into_iter()
                     .zip(lane_states)
                     .zip(interps.iter_mut())
-                    .map(|((work, states), interp)| {
+                    .zip(rings.iter_mut())
+                    .enumerate()
+                    .map(|(lane, (((work, states), interp), ring))| {
                         s.spawn(move |_| {
                             run_lane(
                                 work,
@@ -1074,6 +1215,8 @@ impl Enclave {
                                 bindings,
                                 states,
                                 interp,
+                                ring,
+                                lane as u16,
                                 rule_counts,
                                 now,
                                 direction,
@@ -1090,11 +1233,18 @@ impl Enclave {
             .expect("worker scope")
         };
 
+        let execute_ns = t_execute.map(|t| t.elapsed().as_nanos() as u64);
+
         // --- merge stage: counters in lane order, packet-ordered queues --
         let mut verdicts = vec![HookVerdict::Pass; n];
         let mut all_punts: Vec<(usize, Packet)> = Vec::new();
         let mut all_created: Vec<(usize, usize, u64)> = Vec::new();
+        let mut faulted = false;
         for out in outs {
+            faulted |= out.stats.faults > 0;
+            for (fid, ns) in &out.func_samples {
+                self.func_latency[*fid].record(*ns);
+            }
             self.stats.merge(&out.stats);
             for (tbl, d) in self.tables.iter_mut().zip(out.table_deltas) {
                 tbl.lookups += d.lookups;
@@ -1125,6 +1275,27 @@ impl Enclave {
         for (_, p) in all_punts {
             self.push_punt(p);
         }
+        // batch-level stage trace: one root span with the three pipeline
+        // stages as children, laid out back to back from the batch instant
+        if let (Some(c), Some(m), Some(e)) = (classify_ns, match_ns, execute_ns) {
+            self.stage_hists[STAGE_CLASSIFY].record(c);
+            self.stage_hists[STAGE_MATCH].record(m);
+            self.stage_hists[STAGE_EXECUTE].record(e);
+            let at = now.as_nanos();
+            let trace_id = self.spans.next_span_id();
+            let root = self
+                .spans
+                .begin(TraceContext::sampled(trace_id, 0), "batch", at);
+            let ctx = TraceContext::sampled(trace_id, root);
+            self.spans.record(ctx, "classify", at, at + c);
+            self.spans.record(ctx, "match", at + c, at + c + m);
+            self.spans
+                .record(ctx, "execute", at + c + m, at + c + m + e);
+            self.spans.end(root, at + c + m + e);
+        }
+        if faulted {
+            self.freeze_flight("vm_trap");
+        }
         verdicts
     }
 
@@ -1154,20 +1325,7 @@ impl Enclave {
     /// the host stack (see
     /// [`Controller::pull_host_stats`](crate::Controller::pull_host_stats)).
     pub fn stats_snapshot(&self) -> StatsSnapshot {
-        let enclave = EnclaveCounters {
-            processed: self.stats.packets,
-            matched: self.stats.matched,
-            misses: self.stats.missed,
-            forwarded: self.stats.forwarded,
-            dropped: self.stats.dropped,
-            punted: self.stats.punted_to_controller,
-            queued: self.stats.queued,
-            faults: self.stats.faults,
-            header_modifies: self.stats.header_modifies,
-            enqueue_charge_bytes: self.stats.enqueue_charge_bytes,
-            punt_drops: self.stats.punt_drops,
-            table_loop_aborts: self.stats.table_loop_aborts,
-        };
+        let enclave = self.enclave_counters();
         let tables = self
             .tables
             .iter()
@@ -1232,13 +1390,144 @@ impl Enclave {
             },
             flows: Vec::new(),
             host: None,
+            latencies: self.latency_stats(),
         }
+    }
+
+    /// The enclave-total counters as the telemetry type.
+    fn enclave_counters(&self) -> EnclaveCounters {
+        EnclaveCounters {
+            processed: self.stats.packets,
+            matched: self.stats.matched,
+            misses: self.stats.missed,
+            forwarded: self.stats.forwarded,
+            dropped: self.stats.dropped,
+            punted: self.stats.punted_to_controller,
+            queued: self.stats.queued,
+            faults: self.stats.faults,
+            header_modifies: self.stats.header_modifies,
+            enqueue_charge_bytes: self.stats.enqueue_charge_bytes,
+            punt_drops: self.stats.punt_drops,
+            table_loop_aborts: self.stats.table_loop_aborts,
+        }
+    }
+
+    /// Named latency histograms for a snapshot: pipeline stages, sampled
+    /// VM execution, and per-function cost. Empty (and the section
+    /// entirely absent) unless tracing is enabled, so default snapshots —
+    /// and the serial/batch equivalence they are compared by — carry no
+    /// wall-clock noise.
+    fn latency_stats(&self) -> Vec<LatencyStat> {
+        if !self.sampler.enabled() {
+            return Vec::new();
+        }
+        let mut out = Vec::new();
+        for (name, h) in STAGE_NAMES.iter().zip(&self.stage_hists) {
+            if !h.is_empty() {
+                out.push(LatencyStat::new(*name, h.clone()));
+            }
+        }
+        let vm = self.pool.latency_histogram();
+        if !vm.is_empty() {
+            out.push(LatencyStat::new("vm.exec", vm));
+        }
+        for (f, h) in self.functions.iter().zip(&self.func_latency) {
+            if !h.is_empty() {
+                out.push(LatencyStat::new(format!("func.{}", f.name), h.clone()));
+            }
+        }
+        out
     }
 
     /// Enable or disable the interpreter pool's per-opcode histogram (off
     /// by default; see [`eden_vm::Interpreter::set_opcode_profiling`]).
     pub fn set_opcode_profiling(&mut self, enabled: bool) {
         self.pool.set_opcode_profiling(enabled);
+    }
+
+    // ------------------------------------------------------------------
+    // tracing + flight recorder
+    // ------------------------------------------------------------------
+
+    /// Change the data-path trace sampling rate at runtime (0 disables;
+    /// see [`EnclaveConfig::trace_sample`]).
+    pub fn set_trace_sample(&mut self, every: u32) {
+        self.config.trace_sample = every;
+        self.sampler = Sampler::every(every);
+    }
+
+    /// Whether data-path tracing is enabled at all.
+    pub fn tracing_enabled(&self) -> bool {
+        self.sampler.enabled()
+    }
+
+    /// Set the host address spans (and flight dumps) are stamped with —
+    /// agents learn theirs at install time.
+    pub fn set_trace_host(&mut self, host: u32) {
+        self.spans.set_host(host);
+    }
+
+    /// Record a completed control-plane span against this host's sink
+    /// (the agent's prepare/commit handlers use this). Returns the span id.
+    pub fn record_span(
+        &mut self,
+        ctx: TraceContext,
+        name: impl Into<String>,
+        start_ns: u64,
+        end_ns: u64,
+    ) -> u64 {
+        self.spans.record(ctx, name, start_ns, end_ns)
+    }
+
+    /// Remove and return up to `max` completed spans, oldest first (the
+    /// agent ships these back to the controller).
+    pub fn drain_spans(&mut self, max: usize) -> Vec<Span> {
+        self.spans.drain(max)
+    }
+
+    /// Completed spans waiting for collection.
+    pub fn pending_spans(&self) -> usize {
+        self.spans.pending()
+    }
+
+    /// Record a control-plane flight event into ring 0, stamped with the
+    /// enclave's last-seen packet time.
+    pub fn flight_record(&mut self, kind: FlightKind, a: u64, b: u64) {
+        self.flight[0].record(FlightEvent {
+            at_ns: self.last_now.as_nanos(),
+            lane: 0,
+            kind,
+            a,
+            b,
+        });
+    }
+
+    /// Freeze the per-lane event rings into a [`FlightDump`] (last
+    /// events, open spans, and a counter snapshot), emit it per
+    /// `EDEN_FLIGHT`, and keep it for
+    /// [`last_flight_dump`](Self::last_flight_dump).
+    pub fn freeze_flight(&mut self, reason: &str) {
+        let dump = FlightDump::freeze(
+            reason,
+            self.spans.host(),
+            self.last_now.as_nanos(),
+            &self.flight,
+            self.spans.open_spans(),
+            self.enclave_counters(),
+        );
+        dump.emit();
+        self.last_dump = Some(dump);
+    }
+
+    /// The most recent flight-recorder dump, if anything froze it.
+    pub fn last_flight_dump(&self) -> Option<&FlightDump> {
+        self.last_dump.as_ref()
+    }
+
+    /// Remove and return the most recent flight-recorder dump (the
+    /// fuzzer attaches these to repro files).
+    pub fn take_flight_dump(&mut self) -> Option<FlightDump> {
+        self.last_dump.take()
     }
 }
 
@@ -1483,6 +1772,13 @@ struct SerialInvoker<'a> {
     bindings: &'a [Vec<(Option<HeaderField>, Access)>],
     states: &'a mut [FunctionState],
     interp: &'a mut Interpreter,
+    /// Sampled packet: time this invocation and record an Execute event.
+    timed: bool,
+    /// Sampled `(function, elapsed ns)` pairs, merged into the enclave's
+    /// per-function histograms after the walk.
+    samples: &'a mut Vec<(usize, u64)>,
+    ring: &'a mut FlightRing,
+    lane: u16,
 }
 
 impl Invoker for SerialInvoker<'_> {
@@ -1512,6 +1808,7 @@ impl Invoker for SerialInvoker<'_> {
             concurrency,
         };
         let func = &mut self.functions[fid];
+        let t = self.timed.then(std::time::Instant::now);
         let result = match &mut func.action {
             ActionImpl::Interpreted(program) => self.interp.run(program, &mut host),
             ActionImpl::Native(f) => {
@@ -1519,6 +1816,35 @@ impl Invoker for SerialInvoker<'_> {
                 f(&mut env)
             }
         };
+        if let Some(t) = t {
+            let ns = t.elapsed().as_nanos() as u64;
+            self.samples.push((fid, ns));
+            self.ring.record(FlightEvent {
+                at_ns: now.as_nanos(),
+                lane: self.lane,
+                kind: FlightKind::Execute,
+                a: fid as u64,
+                b: ns,
+            });
+        }
+        if result.is_err() {
+            // native faults have no trap site; use the kind-count sentinel
+            let (a, b) = match &func.action {
+                ActionImpl::Interpreted(_) => self
+                    .interp
+                    .last_trap()
+                    .map(|s| (s.op_kind as u64, u64::from(s.pc)))
+                    .unwrap_or((eden_vm::Op::KIND_COUNT as u64, 0)),
+                ActionImpl::Native(_) => (eden_vm::Op::KIND_COUNT as u64, 0),
+            };
+            self.ring.record(FlightEvent {
+                at_ns: now.as_nanos(),
+                lane: self.lane,
+                kind: FlightKind::VmTrap,
+                a,
+                b,
+            });
+        }
         let out = InvokeOut {
             result,
             queue: host.queue,
@@ -1556,6 +1882,12 @@ struct LaneInvoker<'a, 'b> {
     /// packet-order FIFO replay at merge time.
     created: &'b mut Vec<(usize, usize, u64)>,
     batch_idx: usize,
+    /// Sampled packet: time this invocation and record an Execute event.
+    timed: bool,
+    /// Sampled `(function, elapsed ns)` pairs, merged at batch-merge time.
+    samples: &'b mut Vec<(usize, u64)>,
+    ring: &'b mut FlightRing,
+    lane: u16,
 }
 
 impl Invoker for LaneInvoker<'_, '_> {
@@ -1594,7 +1926,33 @@ impl Invoker for LaneInvoker<'_, '_> {
             header_modifies: 0,
             concurrency: func.concurrency,
         };
+        let t = self.timed.then(std::time::Instant::now);
         let result = self.interp.run(func.program, &mut host);
+        if let Some(t) = t {
+            let ns = t.elapsed().as_nanos() as u64;
+            self.samples.push((fid, ns));
+            self.ring.record(FlightEvent {
+                at_ns: now.as_nanos(),
+                lane: self.lane,
+                kind: FlightKind::Execute,
+                a: fid as u64,
+                b: ns,
+            });
+        }
+        if result.is_err() {
+            let (a, b) = self
+                .interp
+                .last_trap()
+                .map(|s| (s.op_kind as u64, u64::from(s.pc)))
+                .unwrap_or((eden_vm::Op::KIND_COUNT as u64, 0));
+            self.ring.record(FlightEvent {
+                at_ns: now.as_nanos(),
+                lane: self.lane,
+                kind: FlightKind::VmTrap,
+                a,
+                b,
+            });
+        }
         let out = InvokeOut {
             result,
             queue: host.queue,
@@ -1613,6 +1971,8 @@ struct LaneItem<'p> {
     msg_id: u64,
     prng: PacketRng,
     first: Lookup,
+    /// Trace-sampled (decided in the classify pass, in batch order).
+    sampled: bool,
 }
 
 /// Classify-stage output for one packet.
@@ -1620,6 +1980,7 @@ struct Classified {
     classes: Vec<u32>,
     msg_id: u64,
     prng: PacketRng,
+    sampled: bool,
 }
 
 /// Everything one worker lane hands back for the merge stage.
@@ -1630,6 +1991,8 @@ struct LaneOut {
     func_deltas: Vec<FuncDelta>,
     punts: Vec<(usize, Packet)>,
     created: Vec<(usize, usize, u64)>,
+    /// Sampled `(function, elapsed ns)` pairs from this lane.
+    func_samples: Vec<(usize, u64)>,
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -1640,6 +2003,8 @@ fn run_lane<'a>(
     bindings: &'a [Vec<(Option<HeaderField>, Access)>],
     mut states: Vec<LaneFnState<'a>>,
     interp: &mut Interpreter,
+    ring: &mut FlightRing,
+    lane: u16,
     rule_counts: &[usize],
     now: Time,
     direction: FlowDirection,
@@ -1654,6 +2019,7 @@ fn run_lane<'a>(
     let mut verdicts = Vec::with_capacity(work.len());
     let mut punts = Vec::new();
     let mut created = Vec::new();
+    let mut func_samples = Vec::new();
     let mut scratch = vec![0i64; bindings.iter().map(|b| b.len()).max().unwrap_or(0)];
     for mut item in work {
         scratch.iter_mut().for_each(|v| *v = 0);
@@ -1670,6 +2036,10 @@ fn run_lane<'a>(
                 interp,
                 created: &mut created,
                 batch_idx: item.idx,
+                timed: item.sampled,
+                samples: &mut func_samples,
+                ring,
+                lane,
             };
             walk_packet(
                 &mut tbl,
@@ -1698,6 +2068,7 @@ fn run_lane<'a>(
         func_deltas,
         punts,
         created,
+        func_samples,
     }
 }
 
@@ -2305,6 +2676,113 @@ mod tests {
         assert_eq!(t.find(&[2]), Some(0), "class-2 rule shifted down");
         assert_eq!(t.find(&[1]), Some(1), "class-1 traffic now hits Any");
         assert_eq!(t.rules.len(), 2);
+    }
+
+    #[test]
+    fn vm_trap_freezes_flight_recorder() {
+        let mut e = Enclave::new(EnclaveConfig::default());
+        let mut b = eden_vm::ProgramBuilder::new();
+        b.push(1).push(0).div().pop().halt();
+        let bytecode = eden_vm::encode_program(&b.build().unwrap());
+        let f = e.install_function(
+            InstalledFunction::from_shipped(
+                "divzero",
+                &bytecode,
+                Schema::new(),
+                Concurrency::Parallel,
+            )
+            .unwrap(),
+        );
+        e.install_rule(TableId(0), MatchSpec::Any, f);
+        assert!(e.last_flight_dump().is_none());
+
+        let mut p = Packet::udp(1, 2, netsim::UdpHeader::default(), 100);
+        let mut rng = SimRng::new(1);
+        e.process(&mut p, &mut rng, Time::from_nanos(5));
+
+        let dump = e.last_flight_dump().expect("trap froze the recorder");
+        assert_eq!(dump.reason, "vm_trap");
+        let last = dump.last_event().expect("events retained");
+        assert!(matches!(last.kind, FlightKind::VmTrap));
+        assert_eq!(
+            eden_vm::Op::kind_name(last.a as usize),
+            "div",
+            "last event attributes the trapping opcode"
+        );
+        assert!(dump.counters.conserved(), "snapshot obeys conservation");
+        assert_eq!(dump.counters.faults, 1);
+
+        let taken = e.take_flight_dump().expect("dump available once");
+        assert_eq!(taken.reason, "vm_trap");
+        assert!(e.last_flight_dump().is_none());
+    }
+
+    #[test]
+    fn sampled_tracing_records_spans_and_latencies() {
+        let mut e = Enclave::new(EnclaveConfig {
+            trace_sample: 2,
+            ..EnclaveConfig::default()
+        });
+        let schema = Schema::new().packet_field("Priority", Access::ReadWrite, None);
+        let f = e.install_function(interp_fn(
+            "fun (packet, msg, _global) -> packet.Priority <- 1",
+            schema,
+        ));
+        e.install_rule(TableId(0), MatchSpec::Any, f);
+        let mut rng = SimRng::new(1);
+        for i in 0..8u64 {
+            let mut p = Packet::udp(1, 2, netsim::UdpHeader::default(), 100);
+            e.process(&mut p, &mut rng, Time::from_nanos(i));
+        }
+        // 1-in-2 sampling: 4 traced packets, each completing 3 spans
+        // (classify + execute + the "pkt" root)
+        assert_eq!(e.pending_spans(), 12);
+        let spans = e.drain_spans(100);
+        assert!(spans.iter().any(|s| s.name == "pkt"));
+        assert!(spans.iter().any(|s| s.name == "classify"));
+        assert!(spans.iter().any(|s| s.name == "execute"));
+        assert_eq!(e.pending_spans(), 0);
+
+        let snap = e.stats_snapshot();
+        let names: Vec<&str> = snap.latencies.iter().map(|l| l.name.as_str()).collect();
+        assert!(names.contains(&"stage.classify"), "{names:?}");
+        assert!(names.contains(&"stage.execute"), "{names:?}");
+        assert!(names.contains(&"vm.exec"), "{names:?}");
+        assert!(names.contains(&"func.t"), "{names:?}");
+
+        // with sampling off (the default) snapshots carry no latencies
+        let quiet = Enclave::new(EnclaveConfig::default());
+        assert!(!quiet.tracing_enabled());
+        assert!(quiet.stats_snapshot().latencies.is_empty());
+    }
+
+    #[test]
+    fn batch_path_records_stage_histograms() {
+        let mut e = Enclave::new(EnclaveConfig {
+            trace_sample: 4,
+            parallel_batch_min: 1,
+            ..EnclaveConfig::default()
+        });
+        let schema = Schema::new().packet_field("Priority", Access::ReadWrite, None);
+        let f = e.install_function(interp_fn(
+            "fun (packet, msg, _global) -> packet.Priority <- 1",
+            schema,
+        ));
+        e.install_rule(TableId(0), MatchSpec::Any, f);
+        let mut rng = SimRng::new(1);
+        let mut batch: Vec<Packet> = (0..64)
+            .map(|_| Packet::udp(1, 2, netsim::UdpHeader::default(), 100))
+            .collect();
+        e.process_batch(&mut batch, &mut rng, Time::from_nanos(1));
+        let snap = e.stats_snapshot();
+        let names: Vec<&str> = snap.latencies.iter().map(|l| l.name.as_str()).collect();
+        assert!(names.contains(&"stage.classify"), "{names:?}");
+        assert!(names.contains(&"stage.match"), "{names:?}");
+        assert!(names.contains(&"stage.execute"), "{names:?}");
+        assert!(names.contains(&"func.t"), "{names:?}");
+        let spans = e.drain_spans(100);
+        assert!(spans.iter().any(|s| s.name == "batch"));
+        assert!(spans.iter().any(|s| s.name == "match"));
     }
 
     #[test]

@@ -18,9 +18,14 @@
 //! * `Abort{e}` — drops a matching staged epoch, acks either way.
 
 use eden_core::Enclave;
+use eden_telemetry::{FlightKind, TraceContext};
 use transport::{HookEnv, HookVerdict, PacketHook};
 
 use crate::proto::{self, AckPhase, CtrlMsg, CtrlReply, Reassembler};
+
+/// Most spans a single pong piggybacks. Keeps heartbeat replies inside
+/// one fragment; a backlog beyond this drains via `PullTrace`.
+pub const PONG_SPAN_BUDGET: usize = 16;
 
 /// An enclave plus the control-plane endpoint that manages it.
 pub struct EnclaveAgent {
@@ -41,6 +46,13 @@ impl EnclaveAgent {
         }
     }
 
+    /// Wrap `enclave` for the host at `addr`, stamping its spans with
+    /// the address so the controller can merge them collision-free.
+    pub fn new_with_addr(addr: u32, mut enclave: Enclave) -> EnclaveAgent {
+        enclave.set_trace_host(addr);
+        EnclaveAgent::new(enclave)
+    }
+
     /// The wrapped enclave.
     pub fn enclave(&self) -> &Enclave {
         &self.enclave
@@ -54,6 +66,47 @@ impl EnclaveAgent {
     /// Handle one fully reassembled control message. Public for direct
     /// unit testing; the wire path goes through [`PacketHook::on_ctrl`].
     pub fn handle(&mut self, re: u32, msg: CtrlMsg) -> CtrlReply {
+        self.handle_traced(re, msg, None, 0)
+    }
+
+    /// [`handle`](Self::handle), plus the trace context the controller
+    /// appended (if any) and the virtual receive time. A sampled context
+    /// on an epoch-phase message records a span under the controller's
+    /// round root, which is how one epoch update becomes one cross-host
+    /// trace tree.
+    pub fn handle_traced(
+        &mut self,
+        re: u32,
+        msg: CtrlMsg,
+        ctx: Option<TraceContext>,
+        now_ns: u64,
+    ) -> CtrlReply {
+        let (tag, epoch) = match &msg {
+            CtrlMsg::Prepare { epoch, .. } => (1, *epoch),
+            CtrlMsg::Commit { epoch } => (2, *epoch),
+            CtrlMsg::Abort { epoch } => (3, *epoch),
+            CtrlMsg::Heartbeat { .. } => (4, 0),
+            CtrlMsg::PullStats => (5, 0),
+            CtrlMsg::PullTrace { .. } => (6, 0),
+        };
+        self.enclave.flight_record(FlightKind::CtrlMsg, tag, epoch);
+        let span_name = match &msg {
+            CtrlMsg::Prepare { .. } => Some("prepare"),
+            CtrlMsg::Commit { .. } => Some("commit"),
+            CtrlMsg::Abort { .. } => Some("abort"),
+            _ => None,
+        };
+        let reply = self.dispatch(re, msg);
+        if let (Some(ctx), Some(name)) = (ctx.filter(|c| c.sampled), span_name) {
+            // Handling is instantaneous in virtual time; the span marks
+            // *when this host* processed the phase, parented under the
+            // controller's round span.
+            self.enclave.record_span(ctx, name, now_ns, now_ns);
+        }
+        reply
+    }
+
+    fn dispatch(&mut self, re: u32, msg: CtrlMsg) -> CtrlReply {
         match msg {
             CtrlMsg::Prepare { epoch, ops } => {
                 let active = self.enclave.active_epoch();
@@ -113,6 +166,7 @@ impl EnclaveAgent {
                 nonce,
                 epoch: self.enclave.active_epoch(),
                 digest: self.enclave.config_digest(),
+                spans: self.enclave.drain_spans(PONG_SPAN_BUDGET),
             },
             CtrlMsg::PullStats => {
                 let snap = self.enclave.stats_snapshot();
@@ -122,8 +176,13 @@ impl EnclaveAgent {
                     digest: self.enclave.config_digest(),
                     captured_at_ns: snap.captured_at_ns,
                     counters: snap.enclave,
+                    latencies: snap.latencies,
                 }
             }
+            CtrlMsg::PullTrace { max } => CtrlReply::Spans {
+                re,
+                spans: self.enclave.drain_spans(max as usize),
+            },
         }
     }
 }
@@ -145,7 +204,7 @@ impl PacketHook for EnclaveAgent {
         self.enclave.on_ingress(packet, env)
     }
 
-    fn on_ctrl(&mut self, from: u32, frame: &[u8], _env: &mut HookEnv<'_>) -> Vec<Vec<u8>> {
+    fn on_ctrl(&mut self, from: u32, frame: &[u8], env: &mut HookEnv<'_>) -> Vec<Vec<u8>> {
         // A frame that fails reassembly or decoding is simply dropped:
         // the controller's retry (same message id) recovers the exchange.
         let payload = match self.reasm.accept(from, frame) {
@@ -154,11 +213,11 @@ impl PacketHook for EnclaveAgent {
         };
         // The request's message id doubles as the correlation id `re`.
         let re = u32::from_le_bytes(frame[2..6].try_into().unwrap());
-        let msg = match proto::decode_msg(&payload) {
-            Ok(msg) => msg,
+        let (msg, ctx) = match proto::decode_msg_traced(&payload) {
+            Ok(decoded) => decoded,
             Err(_) => return Vec::new(),
         };
-        let reply = self.handle(re, msg);
+        let reply = self.handle_traced(re, msg, ctx, env.now.as_nanos());
         self.reply_seq = self.reply_seq.wrapping_add(1);
         proto::fragment(self.reply_seq, &proto::encode_reply(&reply))
     }
@@ -310,12 +369,82 @@ mod tests {
                 nonce,
                 epoch,
                 digest,
+                spans,
             } => {
                 assert_eq!((re, nonce, epoch), (3, 77, 0));
                 assert_eq!(digest, a.enclave().config_digest());
+                assert!(spans.is_empty(), "nothing traced yet");
             }
             other => panic!("expected pong, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn traced_epoch_phases_record_spans_under_the_round_root() {
+        let mut a = EnclaveAgent::new_with_addr(9, Enclave::new(EnclaveConfig::default()));
+        let ctx = TraceContext::sampled(0x42, 0x1000);
+        a.handle_traced(
+            1,
+            CtrlMsg::Prepare {
+                epoch: 1,
+                ops: epoch_ops(5),
+            },
+            Some(ctx),
+            100,
+        );
+        a.handle_traced(2, CtrlMsg::Commit { epoch: 1 }, Some(ctx), 200);
+
+        let reply = a.handle(4, CtrlMsg::PullTrace { max: 16 });
+        let CtrlReply::Spans { re: 4, spans } = reply else {
+            panic!("expected spans, got {reply:?}");
+        };
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0].name, "prepare");
+        assert_eq!(spans[1].name, "commit");
+        for s in &spans {
+            assert_eq!(s.trace_id, 0x42);
+            assert_eq!(s.parent_span, 0x1000, "parented under the round span");
+            assert_eq!(s.host, 9, "stamped with the agent's address");
+            assert_eq!(s.span_id >> 40, 9, "span ids are host-namespaced");
+        }
+        // drained means drained
+        assert!(matches!(
+            a.handle(5, CtrlMsg::PullTrace { max: 16 }),
+            CtrlReply::Spans { spans, .. } if spans.is_empty()
+        ));
+
+        // a later traced phase rides the next pong instead
+        a.handle_traced(6, CtrlMsg::Abort { epoch: 9 }, Some(ctx), 400);
+        match a.handle(7, CtrlMsg::Heartbeat { nonce: 1 }) {
+            CtrlReply::Pong { spans, .. } => {
+                assert_eq!(spans.len(), 1);
+                assert_eq!(spans[0].name, "abort");
+            }
+            other => panic!("expected pong, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unsampled_context_records_nothing() {
+        let mut a = EnclaveAgent::new_with_addr(9, Enclave::new(EnclaveConfig::default()));
+        let ctx = TraceContext {
+            trace_id: 7,
+            parent_span: 1,
+            sampled: false,
+        };
+        a.handle_traced(
+            1,
+            CtrlMsg::Prepare {
+                epoch: 1,
+                ops: epoch_ops(5),
+            },
+            Some(ctx),
+            100,
+        );
+        assert!(matches!(
+            a.handle(2, CtrlMsg::PullTrace { max: 16 }),
+            CtrlReply::Spans { spans, .. } if spans.is_empty()
+        ));
     }
 
     #[test]

@@ -34,7 +34,9 @@
 //! ```
 
 use eden_core::{ApplyError, Enclave, EnclaveConfig, EnclaveOp};
-use eden_telemetry::{ClusterStats, HostReport};
+use eden_telemetry::{
+    ClusterStats, FlightKind, HostReport, LatencyStat, LogHistogram, Span, TraceContext, TraceStore,
+};
 use netsim::{Ctx, Packet, Time, UdpHeader};
 use transport::{App, Stack};
 
@@ -68,6 +70,14 @@ pub struct CtrlConfig {
     pub max_retries: u32,
     /// Silence threshold for failure detection.
     pub fail_after: Time,
+    /// Whether epoch rounds carry a trace context, so every host's
+    /// prepare/commit spans assemble under one per-round trace tree.
+    /// Rounds are rare control events, so this defaults on.
+    pub trace_rounds: bool,
+    /// Most spans requested per `PullTrace` (sent with the stats pulls);
+    /// 0 disables explicit pulls and leaves heartbeat piggybacking as
+    /// the only collection path.
+    pub pull_trace_max: u16,
 }
 
 impl Default for CtrlConfig {
@@ -82,6 +92,8 @@ impl Default for CtrlConfig {
             retry_max: Time::from_micros(10_000),
             max_retries: 10,
             fail_after: Time::from_micros(5_000),
+            trace_rounds: true,
+            pull_trace_max: 256,
         }
     }
 }
@@ -111,6 +123,10 @@ struct Inflight {
     origin: Origin,
     retries: u32,
     next_retry: Time,
+    /// Trace context the frames carry (retransmits must re-append it).
+    ctx: Option<TraceContext>,
+    /// When the most recent transmission left, for the RTT histogram.
+    sent_at: Time,
 }
 
 #[derive(Debug)]
@@ -144,6 +160,13 @@ struct Round {
     pending: Vec<u32>,
     /// Hosts that acked `Prepare` (the commit/abort fan-out set).
     acked: Vec<u32>,
+    /// Trace this round's messages belong to (0 = untraced).
+    trace_id: u64,
+    /// Root span id agents parent their phase spans under.
+    root_span: u64,
+    /// When the round opened — the root span's start and the
+    /// `epoch.converge` sample's origin.
+    opened_at: Time,
 }
 
 /// One version of desired state.
@@ -174,6 +197,16 @@ pub struct ControllerApp {
     msg_seq: u32,
     nonce_seq: u64,
     next_stats: Time,
+    /// Cross-host span assembly (pong piggybacks + `PullTrace` replies +
+    /// the controller's own round roots).
+    trace: TraceStore,
+    /// Controller-namespace id counter for trace ids and round root
+    /// spans (well below the `host << 40` agent namespaces).
+    span_seq: u64,
+    /// Request → matching-reply round-trip times.
+    rtt: LogHistogram,
+    /// Round open → commit-fanout completion.
+    converge: LogHistogram,
 }
 
 impl ControllerApp {
@@ -211,6 +244,10 @@ impl ControllerApp {
             msg_seq: 0,
             nonce_seq: 0,
             next_stats: Time::ZERO,
+            trace: TraceStore::new(4096),
+            span_seq: 0,
+            rtt: LogHistogram::new(),
+            converge: LogHistogram::new(),
         }
     }
 
@@ -274,6 +311,22 @@ impl ControllerApp {
         &self.cluster
     }
 
+    /// The assembled cross-host trace trees (round roots plus every span
+    /// collected from agents).
+    pub fn trace(&self) -> &TraceStore {
+        &self.trace
+    }
+
+    /// Controller-side round-trip latency histogram.
+    pub fn ctrl_rtt(&self) -> &LogHistogram {
+        &self.rtt
+    }
+
+    /// Epoch convergence (round open → commit completion) histogram.
+    pub fn convergence(&self) -> &LogHistogram {
+        &self.converge
+    }
+
     // ------------------------------------------------------------------
     // internals
     // ------------------------------------------------------------------
@@ -290,12 +343,14 @@ impl ControllerApp {
     }
 
     /// Send `msg` to `to` as one or more control frames, returning the
-    /// message id (which replies echo as `re`).
+    /// message id (which replies echo as `re`). A trace context rides as
+    /// the frame trailer when given.
     fn send(
         seq: &mut u32,
         cfg: &CtrlConfig,
         to: u32,
         msg: &CtrlMsg,
+        trace: Option<&TraceContext>,
         stack: &mut Stack,
         ctx: &mut Ctx<'_>,
     ) -> u32 {
@@ -305,24 +360,38 @@ impl ControllerApp {
             src_port: cfg.src_port,
             dst_port: cfg.ctrl_port,
         };
-        for frame in proto::fragment(id, &proto::encode_msg(msg)) {
+        let payload = match trace {
+            Some(t) => proto::encode_msg_traced(msg, t),
+            None => proto::encode_msg(msg),
+        };
+        for frame in proto::fragment(id, &payload) {
             stack.send_raw(Packet::ctrl(stack.addr, to, udp, frame), ctx);
         }
         id
     }
 
     /// Install `msg` as the host's tracked request and transmit it.
+    #[allow(clippy::too_many_arguments)]
     fn send_tracked(
         &mut self,
         host_idx: usize,
         msg: CtrlMsg,
         phase: AckPhase,
         origin: Origin,
+        trace: Option<TraceContext>,
         stack: &mut Stack,
         ctx: &mut Ctx<'_>,
     ) {
         let to = self.hosts[host_idx].addr;
-        let id = Self::send(&mut self.msg_seq, &self.cfg, to, &msg, stack, ctx);
+        let id = Self::send(
+            &mut self.msg_seq,
+            &self.cfg,
+            to,
+            &msg,
+            trace.as_ref(),
+            stack,
+            ctx,
+        );
         let jitter = Time::from_nanos(ctx.rng().below(self.cfg.retry_base.as_nanos() / 2 + 1));
         self.hosts[host_idx].inflight = Some(Inflight {
             msg_id: id,
@@ -331,6 +400,8 @@ impl ControllerApp {
             origin,
             retries: 0,
             next_retry: ctx.now() + self.cfg.retry_base + jitter,
+            ctx: trace,
+            sent_at: ctx.now(),
         });
     }
 
@@ -346,7 +417,7 @@ impl ControllerApp {
                 .saturating_sub(self.hosts[i].last_heard.as_nanos())
                 > self.cfg.fail_after.as_nanos();
             if self.hosts[i].status == HostStatus::Up && silent {
-                self.mark_down(i);
+                self.mark_down(i, now);
             }
         }
 
@@ -359,12 +430,12 @@ impl ControllerApp {
                     nonce: self.nonce_seq,
                 };
                 let to = self.hosts[i].addr;
-                Self::send(&mut self.msg_seq, &self.cfg, to, &msg, stack, ctx);
+                Self::send(&mut self.msg_seq, &self.cfg, to, &msg, None, stack, ctx);
                 self.hosts[i].next_heartbeat = now + self.cfg.heartbeat_every;
             }
         }
 
-        // Periodic stats pulls.
+        // Periodic stats pulls (plus a trace drain on the same cadence).
         if self.cfg.stats_every > Time::ZERO && now >= self.next_stats {
             for i in 0..self.hosts.len() {
                 if self.hosts[i].status == HostStatus::Up {
@@ -374,9 +445,23 @@ impl ControllerApp {
                         &self.cfg,
                         to,
                         &CtrlMsg::PullStats,
+                        None,
                         stack,
                         ctx,
                     );
+                    if self.cfg.pull_trace_max > 0 {
+                        Self::send(
+                            &mut self.msg_seq,
+                            &self.cfg,
+                            to,
+                            &CtrlMsg::PullTrace {
+                                max: self.cfg.pull_trace_max,
+                            },
+                            None,
+                            stack,
+                            ctx,
+                        );
+                    }
                 }
             }
             self.next_stats = now + self.cfg.stats_every;
@@ -392,7 +477,7 @@ impl ControllerApp {
                 continue;
             }
             if inflight.retries >= self.cfg.max_retries {
-                self.mark_down(i);
+                self.mark_down(i, now);
                 continue;
             }
             let to = self.hosts[i].addr;
@@ -400,15 +485,22 @@ impl ControllerApp {
             // Retries reuse the message id: the agent-side reassembler
             // and handlers are idempotent, and the reply still correlates.
             let id = self.hosts[i].inflight.as_ref().unwrap().msg_id;
+            let trace = self.hosts[i].inflight.as_ref().unwrap().ctx;
             let udp = UdpHeader {
                 src_port: self.cfg.src_port,
                 dst_port: self.cfg.ctrl_port,
             };
-            for frame in proto::fragment(id, &proto::encode_msg(&msg)) {
+            let payload = match trace.as_ref() {
+                Some(t) => proto::encode_msg_traced(&msg, t),
+                None => proto::encode_msg(&msg),
+            };
+            for frame in proto::fragment(id, &payload) {
                 stack.send_raw(Packet::ctrl(stack.addr, to, udp, frame), ctx);
             }
             let inflight = self.hosts[i].inflight.as_mut().unwrap();
             inflight.retries += 1;
+            // RTT measures the *latest* transmission, not the first try.
+            inflight.sent_at = now;
             let base = self.cfg.retry_base.as_nanos() << inflight.retries.min(20);
             let backoff = Time::from_nanos(base.min(self.cfg.retry_max.as_nanos()));
             let jitter = Time::from_nanos(ctx.rng().below(self.cfg.retry_base.as_nanos() / 2 + 1));
@@ -434,14 +526,14 @@ impl ControllerApp {
         ctx.timer_in(self.cfg.tick_every, transport::app_timer_token(TICK));
     }
 
-    fn mark_down(&mut self, i: usize) {
+    fn mark_down(&mut self, i: usize, now: Time) {
         self.hosts[i].status = HostStatus::Down;
         self.hosts[i].inflight = None;
         let addr = self.hosts[i].addr;
         if let Some(round) = self.round.as_mut() {
             round.pending.retain(|&a| a != addr);
         }
-        self.advance_round_if_done();
+        self.advance_round_if_done(now);
     }
 
     fn open_round(&mut self, stack: &mut Stack, ctx: &mut Ctx<'_>) {
@@ -455,6 +547,15 @@ impl ControllerApp {
             // will push it to hosts as they come back.
             return;
         }
+        let (trace_id, root_span) = if self.cfg.trace_rounds {
+            self.span_seq += 1;
+            let trace_id = self.span_seq;
+            self.span_seq += 1;
+            (trace_id, self.span_seq)
+        } else {
+            (0, 0)
+        };
+        let trace = (trace_id != 0).then(|| TraceContext::sampled(trace_id, root_span));
         let mut pending = Vec::with_capacity(targets.len());
         for i in targets {
             // An individual resync in flight is superseded by the round.
@@ -466,6 +567,7 @@ impl ControllerApp {
                 },
                 AckPhase::Prepare,
                 Origin::Round,
+                trace,
                 stack,
                 ctx,
             );
@@ -476,6 +578,9 @@ impl ControllerApp {
             phase: RoundPhase::Preparing,
             pending,
             acked: Vec::new(),
+            trace_id,
+            root_span,
+            opened_at: ctx.now(),
         });
     }
 
@@ -495,8 +600,15 @@ impl ControllerApp {
             }
             if reported.0 >= want.0 {
                 // Same (or newer) epoch but wrong digest: the host
-                // diverged. Re-issue desired state under a fresh epoch so
-                // a plain prepare/commit replay heals the whole fleet.
+                // diverged. Freeze the shadow's flight recorder (the
+                // controller-side record of what it believed) and
+                // re-issue desired state under a fresh epoch so a plain
+                // prepare/commit replay heals the whole fleet.
+                let addr = h.addr;
+                let reported_digest = reported.1;
+                self.shadow
+                    .flight_record(FlightKind::Divergence, u64::from(addr), reported_digest);
+                self.shadow.freeze_flight("divergence");
                 let entry = self.desired();
                 let epoch = reported.0 + 1;
                 let ops = entry.ops.clone();
@@ -516,13 +628,14 @@ impl ControllerApp {
                 CtrlMsg::Prepare { epoch, ops },
                 AckPhase::Prepare,
                 Origin::Resync,
+                None,
                 stack,
                 ctx,
             );
         }
     }
 
-    fn advance_round_if_done(&mut self) {
+    fn advance_round_if_done(&mut self, now: Time) {
         let Some(round) = self.round.as_ref() else {
             return;
         };
@@ -536,9 +649,41 @@ impl ControllerApp {
             // on the next ack or tick through round_needs_push.
             RoundPhase::Preparing => {}
             RoundPhase::Committing | RoundPhase::Aborting => {
-                self.round = None;
+                self.finish_round(now);
             }
         }
+    }
+
+    /// Close out a completed round: record its convergence latency (for
+    /// committed rounds) and ingest the trace root so the collected
+    /// per-host spans hang off a tree.
+    fn finish_round(&mut self, now: Time) {
+        let Some(round) = self.round.take() else {
+            return;
+        };
+        if round.phase == RoundPhase::Committing {
+            self.converge
+                .record(now.as_nanos().saturating_sub(round.opened_at.as_nanos()));
+        }
+        if round.trace_id != 0 {
+            self.trace.ingest(Span {
+                trace_id: round.trace_id,
+                span_id: round.root_span,
+                parent_span: 0,
+                host: 0,
+                name: "epoch".into(),
+                start_ns: round.opened_at.as_nanos(),
+                end_ns: now.as_nanos(),
+            });
+        }
+        self.refresh_ctrl_latencies();
+    }
+
+    fn refresh_ctrl_latencies(&mut self) {
+        self.cluster.ctrl_latencies = vec![
+            LatencyStat::new("ctrl.rtt", self.rtt.clone()),
+            LatencyStat::new("epoch.converge", self.converge.clone()),
+        ];
     }
 
     /// Move a fully prepare-acked round into its commit fan-out. Called
@@ -552,6 +697,8 @@ impl ControllerApp {
         }
         let epoch = round.epoch;
         let acked = round.acked.clone();
+        let trace =
+            (round.trace_id != 0).then(|| TraceContext::sampled(round.trace_id, round.root_span));
         if acked.is_empty() {
             // Every target died mid-prepare; nothing to commit.
             self.round = None;
@@ -568,6 +715,7 @@ impl ControllerApp {
                     CtrlMsg::Commit { epoch },
                     AckPhase::Commit,
                     Origin::Round,
+                    trace,
                     stack,
                     ctx,
                 );
@@ -577,7 +725,7 @@ impl ControllerApp {
         let round = self.round.as_mut().unwrap();
         round.phase = RoundPhase::Committing;
         round.pending = pending;
-        self.advance_round_if_done();
+        self.advance_round_if_done(ctx.now());
     }
 
     /// A prepare was nacked: abort everywhere and roll desired state back.
@@ -586,6 +734,8 @@ impl ControllerApp {
             return;
         };
         let epoch = round.epoch;
+        let trace =
+            (round.trace_id != 0).then(|| TraceContext::sampled(round.trace_id, round.root_span));
         // Roll back desired state (the initial entry always stays).
         if self.history.len() > 1 && self.desired().epoch == epoch {
             self.history.pop();
@@ -605,6 +755,7 @@ impl ControllerApp {
                 CtrlMsg::Abort { epoch },
                 AckPhase::Abort,
                 Origin::Round,
+                trace,
                 stack,
                 ctx,
             );
@@ -614,7 +765,7 @@ impl ControllerApp {
         round.phase = RoundPhase::Aborting;
         round.pending = pending;
         round.acked.clear();
-        self.advance_round_if_done();
+        self.advance_round_if_done(ctx.now());
     }
 
     /// Reset the shadow enclave to the (possibly rolled-back) desired
@@ -642,14 +793,28 @@ impl ControllerApp {
             self.hosts[i].status = HostStatus::Up;
         }
         match reply {
-            CtrlReply::Pong { epoch, digest, .. } => {
+            CtrlReply::Pong {
+                epoch,
+                digest,
+                spans,
+                ..
+            } => {
                 self.hosts[i].reported = Some((epoch, digest));
+                for span in spans {
+                    self.trace.ingest(span);
+                }
+            }
+            CtrlReply::Spans { spans, .. } => {
+                for span in spans {
+                    self.trace.ingest(span);
+                }
             }
             CtrlReply::Stats {
                 epoch,
                 digest,
                 captured_at_ns,
                 counters,
+                latencies,
                 ..
             } => {
                 self.hosts[i].reported = Some((epoch, digest));
@@ -659,6 +824,7 @@ impl ControllerApp {
                     digest,
                     captured_at_ns,
                     enclave: counters,
+                    latencies,
                 });
             }
             CtrlReply::Ack { re, epoch, phase } => {
@@ -669,7 +835,11 @@ impl ControllerApp {
                 if !matches {
                     return; // stale or duplicate ack
                 }
-                let origin = self.hosts[i].inflight.as_ref().unwrap().origin;
+                let inflight = self.hosts[i].inflight.as_ref().unwrap();
+                let origin = inflight.origin;
+                self.rtt
+                    .record(now.as_nanos().saturating_sub(inflight.sent_at.as_nanos()));
+                self.refresh_ctrl_latencies();
                 self.hosts[i].inflight = None;
                 match (origin, phase) {
                     (Origin::Round, AckPhase::Prepare) => {
@@ -687,13 +857,13 @@ impl ControllerApp {
                         if let Some(round) = self.round.as_mut() {
                             round.pending.retain(|&a| a != from);
                         }
-                        self.advance_round_if_done();
+                        self.advance_round_if_done(now);
                     }
                     (Origin::Round, AckPhase::Abort) => {
                         if let Some(round) = self.round.as_mut() {
                             round.pending.retain(|&a| a != from);
                         }
-                        self.advance_round_if_done();
+                        self.advance_round_if_done(now);
                     }
                     (Origin::Resync, AckPhase::Prepare) => {
                         self.send_tracked(
@@ -701,6 +871,7 @@ impl ControllerApp {
                             CtrlMsg::Commit { epoch },
                             AckPhase::Commit,
                             Origin::Resync,
+                            None,
                             stack,
                             ctx,
                         );
@@ -725,8 +896,11 @@ impl ControllerApp {
                 }
                 let (origin, phase) = {
                     let f = self.hosts[i].inflight.as_ref().unwrap();
+                    self.rtt
+                        .record(now.as_nanos().saturating_sub(f.sent_at.as_nanos()));
                     (f.origin, f.phase)
                 };
+                self.refresh_ctrl_latencies();
                 self.hosts[i].inflight = None;
                 match (origin, phase) {
                     (Origin::Round, AckPhase::Prepare) => self.abort_round(stack, ctx),
@@ -737,7 +911,7 @@ impl ControllerApp {
                         if let Some(round) = self.round.as_mut() {
                             round.pending.retain(|&a| a != from);
                         }
-                        self.advance_round_if_done();
+                        self.advance_round_if_done(now);
                     }
                     (Origin::Resync, _) => {
                         // Back off before retrying this host so a

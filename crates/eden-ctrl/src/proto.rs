@@ -14,10 +14,26 @@
 
 use eden_core::{ClassId, EnclaveOp, MatchSpec};
 use eden_lang::{Access, Concurrency, HeaderField, Schema};
-use eden_telemetry::EnclaveCounters;
+use eden_telemetry::{
+    EnclaveCounters, LatencyStat, LogHistogram, Span, TraceContext, HIST_BUCKETS,
+};
 
 /// First two bytes of every control frame.
 pub const MAGIC: u16 = 0xED0C;
+
+/// Marker opening the optional trace-context trailer appended to a
+/// controller → agent message by [`encode_msg_traced`]. Decoders that
+/// read only the message fields ([`decode_msg`]) never look at trailing
+/// bytes, so a traced frame stays decodable by an untraced peer.
+pub const TRACE_MARK: u16 = 0x7E57;
+
+/// Wire size of the trace trailer: mark (2) + trace id (8) + parent
+/// span (8) + flags (1).
+pub const TRACE_TRAILER: usize = 19;
+
+/// Longest span name accepted off the wire. Real names are short dotted
+/// words ("prepare", "stage.classify"); anything bigger is hostile.
+pub const MAX_SPAN_NAME: usize = 256;
 
 /// Fragment header: magic (2) + msg id (4) + index (2) + count (2).
 pub const FRAG_HEADER: usize = 10;
@@ -51,6 +67,9 @@ pub enum CtrlMsg {
     Heartbeat { nonce: u64 },
     /// Ask for the enclave's counters.
     PullStats,
+    /// Ask for up to `max` buffered spans (heartbeat piggybacking keeps
+    /// the steady-state flow; this drains a backlog).
+    PullTrace { max: u16 },
 }
 
 /// Which request an [`CtrlReply::Ack`] acknowledges.
@@ -74,21 +93,29 @@ pub enum CtrlReply {
     },
     /// The request failed (validation error, unknown epoch, …).
     Nack { re: u32, epoch: u64, reason: String },
-    /// Heartbeat reply: the enclave's served epoch and config digest.
+    /// Heartbeat reply: the enclave's served epoch and config digest,
+    /// plus a bounded batch of completed spans piggybacked for free
+    /// (the section is optional on the wire, so pre-tracing pongs still
+    /// decode).
     Pong {
         re: u32,
         nonce: u64,
         epoch: u64,
         digest: u64,
+        spans: Vec<Span>,
     },
-    /// Stats reply.
+    /// Stats reply. `latencies` carries the host's named histograms
+    /// (empty when sampling is off; optional on the wire).
     Stats {
         re: u32,
         epoch: u64,
         digest: u64,
         captured_at_ns: u64,
         counters: EnclaveCounters,
+        latencies: Vec<LatencyStat>,
     },
+    /// Answer to [`CtrlMsg::PullTrace`]: drained spans, oldest first.
+    Spans { re: u32, spans: Vec<Span> },
 }
 
 /// Decode failures. A malformed frame or message is dropped by the
@@ -546,6 +573,120 @@ fn get_counters(r: &mut Reader<'_>) -> Result<EnclaveCounters, ProtoError> {
     })
 }
 
+fn put_span(w: &mut Writer, s: &Span) {
+    w.u64(s.trace_id);
+    w.u64(s.span_id);
+    w.u64(s.parent_span);
+    w.u32(s.host);
+    w.str(&s.name);
+    w.u64(s.start_ns);
+    w.u64(s.end_ns);
+}
+
+/// Minimum wire bytes per span: three u64 ids + host u32 + empty-name
+/// length prefix + two u64 timestamps. The honest divisor for count-
+/// prefixed pre-allocation.
+const SPAN_WIRE_MIN: usize = 8 * 5 + 4 + 4;
+
+fn get_span(r: &mut Reader<'_>) -> Result<Span, ProtoError> {
+    let trace_id = r.u64()?;
+    let span_id = r.u64()?;
+    let parent_span = r.u64()?;
+    let host = r.u32()?;
+    let name_bytes = r.bytes()?;
+    if name_bytes.len() > MAX_SPAN_NAME {
+        return Err(ProtoError::BadString);
+    }
+    let name = String::from_utf8(name_bytes.to_vec()).map_err(|_| ProtoError::BadString)?;
+    let start_ns = r.u64()?;
+    let end_ns = r.u64()?;
+    Ok(Span {
+        trace_id,
+        span_id,
+        parent_span,
+        host,
+        name,
+        start_ns,
+        end_ns,
+    })
+}
+
+fn put_spans(w: &mut Writer, spans: &[Span]) {
+    w.u16(spans.len() as u16);
+    for s in spans {
+        put_span(w, s);
+    }
+}
+
+fn get_spans(r: &mut Reader<'_>) -> Result<Vec<Span>, ProtoError> {
+    let n = r.u16()? as usize;
+    let mut spans = Vec::with_capacity(n.min(r.remaining() / SPAN_WIRE_MIN));
+    for _ in 0..n {
+        spans.push(get_span(r)?);
+    }
+    Ok(spans)
+}
+
+/// Histograms travel sparse: name, sample sum, then only the non-zero
+/// buckets as (index, count) pairs — a mostly-empty 64-bucket histogram
+/// costs a handful of bytes instead of 512.
+fn put_latency(w: &mut Writer, l: &LatencyStat) {
+    w.str(&l.name);
+    w.u64(l.hist.sum());
+    let nonzero: Vec<(usize, u64)> = l
+        .hist
+        .buckets()
+        .iter()
+        .enumerate()
+        .filter(|(_, &c)| c != 0)
+        .map(|(i, &c)| (i, c))
+        .collect();
+    w.u8(nonzero.len() as u8);
+    for (i, c) in nonzero {
+        w.u8(i as u8);
+        w.u64(c);
+    }
+}
+
+fn get_latency(r: &mut Reader<'_>) -> Result<LatencyStat, ProtoError> {
+    let name_bytes = r.bytes()?;
+    if name_bytes.len() > MAX_SPAN_NAME {
+        return Err(ProtoError::BadString);
+    }
+    let name = String::from_utf8(name_bytes.to_vec()).map_err(|_| ProtoError::BadString)?;
+    let sum = r.u64()?;
+    let n = r.u8()?;
+    let mut buckets = [0u64; HIST_BUCKETS];
+    for _ in 0..n {
+        let i = r.u8()?;
+        if i as usize >= HIST_BUCKETS {
+            return Err(ProtoError::BadTag(i));
+        }
+        buckets[i as usize] = r.u64()?;
+    }
+    Ok(LatencyStat::new(
+        name,
+        LogHistogram::from_buckets(buckets, sum),
+    ))
+}
+
+fn put_latencies(w: &mut Writer, ls: &[LatencyStat]) {
+    w.u16(ls.len() as u16);
+    for l in ls {
+        put_latency(w, l);
+    }
+}
+
+fn get_latencies(r: &mut Reader<'_>) -> Result<Vec<LatencyStat>, ProtoError> {
+    let n = r.u16()? as usize;
+    // each stat costs at least its name length prefix + sum + pair count
+    let mut ls = Vec::with_capacity(n.min(r.remaining() / 13));
+    for _ in 0..n {
+        ls.push(get_latency(r)?);
+    }
+    Ok(ls)
+}
+
 // ----------------------------------------------------------------------
 // message codecs
 // ----------------------------------------------------------------------
@@ -575,13 +716,60 @@ pub fn encode_msg(msg: &CtrlMsg) -> Vec<u8> {
             w.u64(*nonce);
         }
         CtrlMsg::PullStats => w.u8(5),
+        CtrlMsg::PullTrace { max } => {
+            w.u8(6);
+            w.u16(*max);
+        }
     }
     w.0
 }
 
+/// Serialize a controller → agent message with a trace-context trailer.
+/// The trailer rides *after* the message fields, where an untraced
+/// decoder never looks — old agents decode the message and simply miss
+/// the context.
+pub fn encode_msg_traced(msg: &CtrlMsg, ctx: &TraceContext) -> Vec<u8> {
+    let mut buf = encode_msg(msg);
+    buf.extend_from_slice(&TRACE_MARK.to_le_bytes());
+    buf.extend_from_slice(&ctx.trace_id.to_le_bytes());
+    buf.extend_from_slice(&ctx.parent_span.to_le_bytes());
+    buf.push(u8::from(ctx.sampled));
+    buf
+}
+
 /// Parse a controller → agent message.
 pub fn decode_msg(buf: &[u8]) -> Result<CtrlMsg, ProtoError> {
+    read_msg(&mut Reader::new(buf))
+}
+
+/// Parse a controller → agent message plus its trace-context trailer, if
+/// the sender appended one. A frame without a trailer (or with trailing
+/// bytes that aren't one) decodes with `None` — never an error.
+pub fn decode_msg_traced(buf: &[u8]) -> Result<(CtrlMsg, Option<TraceContext>), ProtoError> {
     let mut r = Reader::new(buf);
+    let msg = read_msg(&mut r)?;
+    let ctx = read_trace_trailer(&mut r);
+    Ok((msg, ctx))
+}
+
+fn read_trace_trailer(r: &mut Reader<'_>) -> Option<TraceContext> {
+    if r.remaining() != TRACE_TRAILER {
+        return None;
+    }
+    if r.u16().ok()? != TRACE_MARK {
+        return None;
+    }
+    let trace_id = r.u64().ok()?;
+    let parent_span = r.u64().ok()?;
+    let sampled = r.u8().ok()? != 0;
+    Some(TraceContext {
+        trace_id,
+        parent_span,
+        sampled,
+    })
+}
+
+fn read_msg(r: &mut Reader<'_>) -> Result<CtrlMsg, ProtoError> {
     let msg = match r.u8()? {
         1 => {
             let epoch = r.u64()?;
@@ -589,7 +777,7 @@ pub fn decode_msg(buf: &[u8]) -> Result<CtrlMsg, ProtoError> {
             // every op costs at least its 1-byte tag
             let mut ops = Vec::with_capacity((n as usize).min(r.remaining()));
             for _ in 0..n {
-                ops.push(get_op(&mut r)?);
+                ops.push(get_op(r)?);
             }
             CtrlMsg::Prepare { epoch, ops }
         }
@@ -597,6 +785,7 @@ pub fn decode_msg(buf: &[u8]) -> Result<CtrlMsg, ProtoError> {
         3 => CtrlMsg::Abort { epoch: r.u64()? },
         4 => CtrlMsg::Heartbeat { nonce: r.u64()? },
         5 => CtrlMsg::PullStats,
+        6 => CtrlMsg::PullTrace { max: r.u16()? },
         other => return Err(ProtoError::BadTag(other)),
     };
     Ok(msg)
@@ -627,12 +816,14 @@ pub fn encode_reply(reply: &CtrlReply) -> Vec<u8> {
             nonce,
             epoch,
             digest,
+            spans,
         } => {
             w.u8(3);
             w.u32(*re);
             w.u64(*nonce);
             w.u64(*epoch);
             w.u64(*digest);
+            put_spans(&mut w, spans);
         }
         CtrlReply::Stats {
             re,
@@ -640,6 +831,7 @@ pub fn encode_reply(reply: &CtrlReply) -> Vec<u8> {
             digest,
             captured_at_ns,
             counters,
+            latencies,
         } => {
             w.u8(4);
             w.u32(*re);
@@ -647,6 +839,12 @@ pub fn encode_reply(reply: &CtrlReply) -> Vec<u8> {
             w.u64(*digest);
             w.u64(*captured_at_ns);
             put_counters(&mut w, counters);
+            put_latencies(&mut w, latencies);
+        }
+        CtrlReply::Spans { re, spans } => {
+            w.u8(5);
+            w.u32(*re);
+            put_spans(&mut w, spans);
         }
     }
     w.0
@@ -678,11 +876,19 @@ pub fn decode_reply(buf: &[u8]) -> Result<CtrlReply, ProtoError> {
             let nonce = r.u64()?;
             let epoch = r.u64()?;
             let digest = r.u64()?;
+            // The span section was appended to Pong later; a frame from
+            // a pre-tracing encoder simply ends here.
+            let spans = if r.remaining() == 0 {
+                Vec::new()
+            } else {
+                get_spans(&mut r)?
+            };
             CtrlReply::Pong {
                 re,
                 nonce,
                 epoch,
                 digest,
+                spans,
             }
         }
         4 => {
@@ -691,13 +897,25 @@ pub fn decode_reply(buf: &[u8]) -> Result<CtrlReply, ProtoError> {
             let digest = r.u64()?;
             let captured_at_ns = r.u64()?;
             let counters = get_counters(&mut r)?;
+            // Same append-only evolution as Pong's span section.
+            let latencies = if r.remaining() == 0 {
+                Vec::new()
+            } else {
+                get_latencies(&mut r)?
+            };
             CtrlReply::Stats {
                 re,
                 epoch,
                 digest,
                 captured_at_ns,
                 counters,
+                latencies,
             }
+        }
+        5 => {
+            let re = r.u32()?;
+            let spans = get_spans(&mut r)?;
+            CtrlReply::Spans { re, spans }
         }
         other => return Err(ProtoError::BadTag(other)),
     };
@@ -894,10 +1112,187 @@ mod tests {
             CtrlMsg::Abort { epoch: 42 },
             CtrlMsg::Heartbeat { nonce: 7 },
             CtrlMsg::PullStats,
+            CtrlMsg::PullTrace { max: 128 },
         ];
         for m in msgs {
             assert_eq!(decode_msg(&encode_msg(&m)).unwrap(), m);
         }
+    }
+
+    fn sample_spans() -> Vec<Span> {
+        vec![
+            Span {
+                trace_id: 0x1_0000_0001,
+                span_id: (9u64 << 40) | 1,
+                parent_span: 0,
+                host: 9,
+                name: "prepare".into(),
+                start_ns: 100,
+                end_ns: 250,
+            },
+            Span {
+                trace_id: 0x1_0000_0001,
+                span_id: (9u64 << 40) | 2,
+                parent_span: (9u64 << 40) | 1,
+                host: 9,
+                name: "stage.classify".into(),
+                start_ns: 120,
+                end_ns: 130,
+            },
+        ]
+    }
+
+    #[test]
+    fn trace_trailer_round_trips_and_is_invisible_to_untraced_decoders() {
+        let msg = CtrlMsg::Commit { epoch: 8 };
+        let ctx = TraceContext::sampled(0xABCD, (3u64 << 40) | 7);
+        let traced = encode_msg_traced(&msg, &ctx);
+
+        // a traced-aware decoder recovers both halves
+        let (m, got) = decode_msg_traced(&traced).unwrap();
+        assert_eq!(m, msg);
+        assert_eq!(got, Some(ctx));
+
+        // an untraced decoder ignores the trailer entirely
+        assert_eq!(decode_msg(&traced).unwrap(), msg);
+
+        // a frame without a trailer decodes with no context
+        let (m, got) = decode_msg_traced(&encode_msg(&msg)).unwrap();
+        assert_eq!(m, msg);
+        assert_eq!(got, None);
+
+        // trailing bytes that are not a trailer are not a context either
+        let mut junk = encode_msg(&msg);
+        junk.extend_from_slice(&[0u8; TRACE_TRAILER]);
+        let (m, got) = decode_msg_traced(&junk).unwrap();
+        assert_eq!(m, msg);
+        assert_eq!(got, None);
+    }
+
+    #[test]
+    fn span_replies_round_trip() {
+        let replies = vec![
+            CtrlReply::Spans {
+                re: 5,
+                spans: sample_spans(),
+            },
+            CtrlReply::Spans {
+                re: 6,
+                spans: Vec::new(),
+            },
+            CtrlReply::Pong {
+                re: 7,
+                nonce: 1,
+                epoch: 2,
+                digest: 3,
+                spans: sample_spans(),
+            },
+        ];
+        for r in replies {
+            assert_eq!(decode_reply(&encode_reply(&r)).unwrap(), r);
+        }
+    }
+
+    #[test]
+    fn pre_tracing_pong_and_stats_frames_still_decode() {
+        // A pong encoded by the previous protocol revision: fields end at
+        // the digest, no span section.
+        let mut w = Writer::default();
+        w.u8(3);
+        w.u32(12);
+        w.u64(5);
+        w.u64(3);
+        w.u64(0xDEADBEEF);
+        assert_eq!(
+            decode_reply(&w.0).unwrap(),
+            CtrlReply::Pong {
+                re: 12,
+                nonce: 5,
+                epoch: 3,
+                digest: 0xDEADBEEF,
+                spans: Vec::new(),
+            }
+        );
+        // Same for stats: counters end the old frame.
+        let mut w = Writer::default();
+        w.u8(4);
+        w.u32(13);
+        w.u64(3);
+        w.u64(1);
+        w.u64(99);
+        put_counters(&mut w, &EnclaveCounters::default());
+        assert!(matches!(
+            decode_reply(&w.0).unwrap(),
+            CtrlReply::Stats { re: 13, latencies, .. } if latencies.is_empty()
+        ));
+    }
+
+    #[test]
+    fn hostile_span_frames_rejected_without_overallocation() {
+        // span name longer than the bound
+        let mut w = Writer::default();
+        w.u8(5); // Spans
+        w.u32(1);
+        w.u16(1);
+        w.u64(1);
+        w.u64(2);
+        w.u64(0);
+        w.u32(9);
+        w.bytes(&[b'x'; MAX_SPAN_NAME + 1]);
+        w.u64(0);
+        w.u64(0);
+        assert_eq!(decode_reply(&w.0), Err(ProtoError::BadString));
+
+        // span count lie: u16::MAX spans claimed, no data follows
+        let mut w = Writer::default();
+        w.u8(5);
+        w.u32(1);
+        w.u16(u16::MAX);
+        assert_eq!(decode_reply(&w.0), Err(ProtoError::Truncated));
+
+        // latency bucket index out of range
+        let mut w = Writer::default();
+        w.u8(4);
+        w.u32(1);
+        w.u64(1);
+        w.u64(1);
+        w.u64(1);
+        put_counters(&mut w, &EnclaveCounters::default());
+        w.u16(1); // one latency stat
+        w.str("ctrl.rtt");
+        w.u64(10); // sum
+        w.u8(1); // one bucket pair
+        w.u8(64); // index >= HIST_BUCKETS
+        w.u64(1);
+        assert_eq!(decode_reply(&w.0), Err(ProtoError::BadTag(64)));
+    }
+
+    #[test]
+    fn latency_histograms_round_trip_sparse() {
+        let mut h = LogHistogram::new();
+        for v in [100u64, 100, 7000, 0] {
+            h.record(v);
+        }
+        let reply = CtrlReply::Stats {
+            re: 1,
+            epoch: 2,
+            digest: 3,
+            captured_at_ns: 4,
+            counters: EnclaveCounters::default(),
+            latencies: vec![
+                LatencyStat::new("ctrl.rtt", h.clone()),
+                LatencyStat::new("epoch.converge", LogHistogram::new()),
+            ],
+        };
+        let decoded = decode_reply(&encode_reply(&reply)).unwrap();
+        let CtrlReply::Stats { latencies, .. } = decoded else {
+            panic!("expected stats");
+        };
+        assert_eq!(latencies.len(), 2);
+        assert_eq!(latencies[0].name, "ctrl.rtt");
+        assert_eq!(latencies[0].hist, h, "count, sum, and buckets survive");
+        assert_eq!(latencies[0].hist.p50(), h.p50());
+        assert!(latencies[1].hist.is_empty());
     }
 
     #[test]
@@ -923,6 +1318,7 @@ mod tests {
                 nonce: 5,
                 epoch: 3,
                 digest: 0xDEADBEEF,
+                spans: Vec::new(),
             },
             CtrlReply::Stats {
                 re: 13,
@@ -935,6 +1331,7 @@ mod tests {
                     dropped: 1,
                     ..Default::default()
                 },
+                latencies: Vec::new(),
             },
         ];
         for r in replies {

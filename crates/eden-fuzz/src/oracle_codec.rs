@@ -16,11 +16,12 @@ use crate::report::{Failure, OracleReport};
 use crate::rng::FuzzRng;
 use eden_core::{ClassId, EnclaveOp, MatchSpec};
 use eden_ctrl::proto::{
-    decode_msg, decode_reply, encode_msg, encode_reply, fragment, Reassembler, MAX_CHUNK, MAX_FRAGS,
+    decode_msg, decode_msg_traced, decode_reply, encode_msg, encode_msg_traced, encode_reply,
+    fragment, Reassembler, MAX_CHUNK, MAX_FRAGS, MAX_SPAN_NAME,
 };
 use eden_ctrl::{AckPhase, CtrlMsg, CtrlReply};
 use eden_lang::Concurrency;
-use eden_telemetry::EnclaveCounters;
+use eden_telemetry::{EnclaveCounters, LatencyStat, LogHistogram, Span, TraceContext};
 use eden_vm::{decode_program, encode_program, Program};
 
 /// Reassembler capacity used by the bombardment check; small so the
@@ -84,7 +85,7 @@ fn gen_enclave_op(rng: &mut FuzzRng) -> EnclaveOp {
 }
 
 fn gen_ctrl_msg(rng: &mut FuzzRng) -> CtrlMsg {
-    match rng.below(5) {
+    match rng.below(6) {
         0 => CtrlMsg::Prepare {
             epoch: rng.next_u64(),
             ops: (0..rng.range(0, 6)).map(|_| gen_enclave_op(rng)).collect(),
@@ -98,12 +99,41 @@ fn gen_ctrl_msg(rng: &mut FuzzRng) -> CtrlMsg {
         3 => CtrlMsg::Heartbeat {
             nonce: rng.next_u64(),
         },
+        4 => CtrlMsg::PullTrace {
+            max: rng.next_u64() as u16,
+        },
         _ => CtrlMsg::PullStats,
     }
 }
 
+fn gen_span(rng: &mut FuzzRng) -> Span {
+    let start = rng.below(1 << 40);
+    Span {
+        trace_id: rng.next_u64(),
+        span_id: rng.next_u64(),
+        parent_span: rng.next_u64(),
+        host: rng.next_u64() as u32,
+        // names up to (and occasionally exactly at) the wire bound
+        name: "s".repeat(rng.range(0, MAX_SPAN_NAME)),
+        start_ns: start,
+        end_ns: start + rng.below(1 << 20),
+    }
+}
+
+fn gen_latencies(rng: &mut FuzzRng) -> Vec<LatencyStat> {
+    (0..rng.range(0, 4))
+        .map(|i| {
+            let mut h = LogHistogram::new();
+            for _ in 0..rng.range(0, 32) {
+                h.record(rng.below(1 << 40));
+            }
+            LatencyStat::new(format!("fuzz.stat{i}"), h)
+        })
+        .collect()
+}
+
 fn gen_ctrl_reply(rng: &mut FuzzRng) -> CtrlReply {
-    match rng.below(4) {
+    match rng.below(5) {
         0 => CtrlReply::Ack {
             re: rng.next_u64() as u32,
             epoch: rng.next_u64(),
@@ -119,6 +149,11 @@ fn gen_ctrl_reply(rng: &mut FuzzRng) -> CtrlReply {
             nonce: rng.next_u64(),
             epoch: rng.next_u64(),
             digest: rng.next_u64(),
+            spans: (0..rng.range(0, 4)).map(|_| gen_span(rng)).collect(),
+        },
+        3 => CtrlReply::Spans {
+            re: rng.next_u64() as u32,
+            spans: (0..rng.range(0, 8)).map(|_| gen_span(rng)).collect(),
         },
         _ => CtrlReply::Stats {
             re: rng.next_u64() as u32,
@@ -134,6 +169,7 @@ fn gen_ctrl_reply(rng: &mut FuzzRng) -> CtrlReply {
                 faults: rng.below(1 << 20),
                 ..EnclaveCounters::default()
             },
+            latencies: gen_latencies(rng),
         },
     }
 }
@@ -215,6 +251,36 @@ fn check_ctrl_roundtrip(rng: &mut FuzzRng, rep: &mut OracleReport, index: u64) {
             repro: hex(&bytes),
         }),
     }
+    // traced envelope: the trailer must round-trip through the traced
+    // decoder AND stay invisible to the plain one
+    let ctx = TraceContext {
+        trace_id: rng.next_u64(),
+        parent_span: rng.next_u64(),
+        sampled: rng.chance(1, 2),
+    };
+    let traced = encode_msg_traced(&msg, &ctx);
+    match decode_msg_traced(&traced) {
+        Ok((back, Some(got))) if back == msg && got == ctx => {
+            rep.note("ctrl.traced_roundtrip_ok", 1)
+        }
+        other => rep.failures.push(Failure {
+            oracle: "codec",
+            index,
+            detail: format!(
+                "traced CtrlMsg round-trip mismatch: sent {msg:?} + {ctx:?}, got {other:?}"
+            ),
+            repro: hex(&traced),
+        }),
+    }
+    match decode_msg(&traced) {
+        Ok(back) if back == msg => rep.note("ctrl.traced_backcompat_ok", 1),
+        other => rep.failures.push(Failure {
+            oracle: "codec",
+            index,
+            detail: format!("untraced decoder choked on traced frame: {other:?}"),
+            repro: hex(&traced),
+        }),
+    }
     let reply = gen_ctrl_reply(rng);
     let bytes = encode_reply(&reply);
     match decode_reply(&bytes) {
@@ -229,10 +295,13 @@ fn check_ctrl_roundtrip(rng: &mut FuzzRng, rep: &mut OracleReport, index: u64) {
 }
 
 fn check_ctrl_mutation(rng: &mut FuzzRng, rep: &mut OracleReport, index: u64) {
-    let mut bytes = if rng.chance(1, 2) {
-        encode_msg(&gen_ctrl_msg(rng))
-    } else {
-        encode_reply(&gen_ctrl_reply(rng))
+    let mut bytes = match rng.below(3) {
+        0 => encode_msg(&gen_ctrl_msg(rng)),
+        1 => encode_msg_traced(
+            &gen_ctrl_msg(rng),
+            &TraceContext::sampled(rng.next_u64(), 0),
+        ),
+        _ => encode_reply(&gen_ctrl_reply(rng)),
     };
     if rng.chance(1, 4) {
         bytes = (0..rng.range(0, 200))
@@ -245,7 +314,8 @@ fn check_ctrl_mutation(rng: &mut FuzzRng, rep: &mut OracleReport, index: u64) {
     if panics(|| {
         let a = decode_msg(&bytes).is_ok();
         let b = decode_reply(&bytes).is_ok();
-        if a || b {
+        let c = decode_msg_traced(&bytes).is_ok();
+        if a || b || c {
             outcome = "ctrl.mutate_ok";
         }
     }) {

@@ -257,6 +257,30 @@ fn render_specs(bundle: &FunctionBundle, specs: &[PktSpec], seed: u64, chunk: us
     s
 }
 
+/// Replay the minimized stream on a fresh interpreted enclave and, if the
+/// run froze the flight recorder (a VM trap), render the dump so the
+/// repro file carries the crash forensics alongside the packet specs.
+/// Simulated time makes the dump as deterministic as the rest of the
+/// report.
+fn capture_flight(bundle: &FunctionBundle, specs: &[PktSpec], seed: u64) -> Option<String> {
+    use eden_telemetry::ToJson;
+    let (mut e, _) = build_enclave(bundle, false, EnclaveConfig::default());
+    let mut rng = SimRng::new(seed);
+    for (i, s) in specs.iter().enumerate() {
+        let mut p = build_packet(s);
+        e.process(&mut p, &mut rng, Time::from_nanos(i as u64));
+    }
+    let dump = e.take_flight_dump()?;
+    Some(format!("# flight dump\n{}", dump.to_json().render()))
+}
+
+fn attach_flight(repro: &mut String, flight: Option<String>) {
+    if let Some(f) = flight {
+        repro.push_str(&f);
+        repro.push('\n');
+    }
+}
+
 pub fn run(seed: u64, start: u64, cases: u64) -> OracleReport {
     let mut rep = OracleReport::new("exec-diff");
     let bundles = catalogue();
@@ -273,11 +297,13 @@ pub fn run(seed: u64, start: u64, cases: u64) -> OracleReport {
             let kept = ddmin(&specs, MINIMIZE_BUDGET, |cand| {
                 diff_interp_native(bundle, cand, stream_seed).is_some()
             });
+            let mut repro = render_specs(bundle, &kept, stream_seed, 0);
+            attach_flight(&mut repro, capture_flight(bundle, &kept, stream_seed));
             rep.failures.push(Failure {
                 oracle: "exec-diff",
                 index,
                 detail: format!("[interp/native] {detail}"),
-                repro: render_specs(bundle, &kept, stream_seed, 0),
+                repro,
             });
             continue;
         }
@@ -287,11 +313,13 @@ pub fn run(seed: u64, start: u64, cases: u64) -> OracleReport {
             let kept = ddmin(&specs, MINIMIZE_BUDGET, |cand| {
                 diff_batch_serial(bundle, cand, stream_seed, chunk).is_some()
             });
+            let mut repro = render_specs(bundle, &kept, stream_seed, chunk);
+            attach_flight(&mut repro, capture_flight(bundle, &kept, stream_seed));
             rep.failures.push(Failure {
                 oracle: "exec-diff",
                 index,
                 detail: format!("[batch/serial] {detail}"),
-                repro: render_specs(bundle, &kept, stream_seed, chunk),
+                repro,
             });
             continue;
         }
@@ -303,6 +331,20 @@ pub fn run(seed: u64, start: u64, cases: u64) -> OracleReport {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn clean_replay_attaches_no_flight_dump() {
+        let bundles = catalogue();
+        let mut rng = FuzzRng::for_case(5, "exec-diff", 0);
+        let specs: Vec<PktSpec> = (0..8).map(|_| gen_spec(&mut rng)).collect();
+        assert!(
+            capture_flight(&bundles[0], &specs, 1).is_none(),
+            "catalogue functions do not trap, so no dump to attach"
+        );
+        let mut repro = String::from("specs\n");
+        attach_flight(&mut repro, Some("# flight dump\n{}".into()));
+        assert!(repro.ends_with("# flight dump\n{}\n"));
+    }
 
     #[test]
     fn smoke_run_is_deterministic_and_clean() {

@@ -7,6 +7,7 @@
 //! struct, one JSON shape, so convergence benchmarks and dashboards read
 //! the same thing the controller acts on.
 
+use crate::hist::LatencyStat;
 use crate::json::{Json, ToJson};
 use crate::snapshot::EnclaveCounters;
 
@@ -22,6 +23,9 @@ pub struct HostReport {
     /// Simulated time the report was captured, nanoseconds.
     pub captured_at_ns: u64,
     pub enclave: EnclaveCounters,
+    /// Named latency histograms shipped in the host's stats reply
+    /// (empty when the host has sampling disabled).
+    pub latencies: Vec<LatencyStat>,
 }
 
 impl ToJson for HostReport {
@@ -32,6 +36,10 @@ impl ToJson for HostReport {
             ("digest", self.digest.into()),
             ("captured_at_ns", self.captured_at_ns.into()),
             ("enclave", self.enclave.to_json()),
+            (
+                "latencies",
+                Json::Arr(self.latencies.iter().map(|l| l.to_json()).collect()),
+            ),
         ])
     }
 }
@@ -49,6 +57,9 @@ impl From<u32> for Json {
 #[derive(Debug, Clone, Default)]
 pub struct ClusterStats {
     reports: Vec<HostReport>,
+    /// Controller-side latency histograms (`ctrl.rtt`,
+    /// `epoch.converge`), maintained by the controller itself.
+    pub ctrl_latencies: Vec<LatencyStat>,
 }
 
 impl ClusterStats {
@@ -120,6 +131,10 @@ impl ToJson for ClusterStats {
                 "reports",
                 Json::Arr(self.reports.iter().map(|r| r.to_json()).collect()),
             ),
+            (
+                "ctrl_latencies",
+                Json::Arr(self.ctrl_latencies.iter().map(|l| l.to_json()).collect()),
+            ),
         ])
     }
 }
@@ -139,6 +154,7 @@ mod tests {
                 forwarded: processed,
                 ..Default::default()
             },
+            latencies: vec![],
         }
     }
 

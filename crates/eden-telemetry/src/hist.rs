@@ -1,0 +1,281 @@
+//! Fixed-size log2-bucket latency histograms.
+//!
+//! The data path cannot afford allocation or unbounded state per sample,
+//! so a histogram is a flat `[u64; 64]` where bucket *i* counts values
+//! whose bit length is *i* (i.e. `v in [2^(i-1), 2^i)`; zero lands in
+//! bucket 0). Recording is a `leading_zeros` and an increment — branch-
+//! free enough for the sampled hot paths — and merging is element-wise
+//! addition, so per-lane histograms roll up exactly like counters.
+//!
+//! Percentile queries return the *upper bound* of the bucket containing
+//! the requested rank, so a reported p99 is always within one power-of-two
+//! bucket boundary of the true sample percentile (pinned by a proptest in
+//! `tests/prop_telemetry.rs`).
+
+use crate::json::{Json, ToJson};
+
+/// Number of buckets: one per possible `u64` bit length, plus zero.
+pub const HIST_BUCKETS: usize = 64;
+
+/// A fixed-size log2-bucket histogram of `u64` samples (nanoseconds, by
+/// convention). Copy-free to record into, cheap to merge, 512 bytes flat.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LogHistogram {
+    buckets: [u64; HIST_BUCKETS],
+    count: u64,
+    sum: u64,
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        LogHistogram {
+            buckets: [0; HIST_BUCKETS],
+            count: 0,
+            sum: 0,
+        }
+    }
+}
+
+/// Bucket index for a value: its bit length, capped to the last bucket.
+#[inline]
+pub fn bucket_of(v: u64) -> usize {
+    ((64 - v.leading_zeros()) as usize).min(HIST_BUCKETS - 1)
+}
+
+/// Inclusive upper bound of bucket `i` (`u64::MAX` for the last bucket).
+#[inline]
+pub fn bucket_bound(i: usize) -> u64 {
+    if i >= HIST_BUCKETS - 1 {
+        u64::MAX
+    } else {
+        (1u64 << i) - 1
+    }
+}
+
+impl LogHistogram {
+    /// An empty histogram.
+    pub fn new() -> LogHistogram {
+        LogHistogram::default()
+    }
+
+    /// Record one sample. No allocation, no branching beyond the index cap.
+    #[inline]
+    pub fn record(&mut self, v: u64) {
+        self.buckets[bucket_of(v)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of recorded samples (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Whether nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Mean of recorded samples, `None` when empty.
+    pub fn mean(&self) -> Option<f64> {
+        if self.count == 0 {
+            None
+        } else {
+            Some(self.sum as f64 / self.count as f64)
+        }
+    }
+
+    /// Element-wise accumulate (per-lane histograms roll up like counters).
+    pub fn merge(&mut self, other: &LogHistogram) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+    }
+
+    /// Forget all samples.
+    pub fn reset(&mut self) {
+        *self = LogHistogram::default();
+    }
+
+    /// Raw bucket counts (index = bit length of the sample).
+    pub fn buckets(&self) -> &[u64; HIST_BUCKETS] {
+        &self.buckets
+    }
+
+    /// Rebuild a histogram from raw bucket counts plus the sample sum —
+    /// the wire decoder's constructor. The count is implied by the
+    /// buckets, so a decoded histogram round-trips exactly.
+    pub fn from_buckets(buckets: [u64; HIST_BUCKETS], sum: u64) -> LogHistogram {
+        let count = buckets.iter().fold(0u64, |a, &b| a.saturating_add(b));
+        LogHistogram {
+            buckets,
+            count,
+            sum,
+        }
+    }
+
+    /// Value at quantile `q` in `[0, 1]`: the upper bound of the bucket
+    /// containing the sample of that rank. `None` when empty.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // rank of the target sample, 1-based, matching the nearest-rank
+        // definition used by the bracketing proptest
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Some(bucket_bound(i));
+            }
+        }
+        Some(u64::MAX)
+    }
+
+    /// Median upper bound (`None` when empty).
+    pub fn p50(&self) -> Option<u64> {
+        self.quantile(0.50)
+    }
+
+    /// 99th percentile upper bound (`None` when empty).
+    pub fn p99(&self) -> Option<u64> {
+        self.quantile(0.99)
+    }
+
+    /// 99.9th percentile upper bound (`None` when empty).
+    pub fn p999(&self) -> Option<u64> {
+        self.quantile(0.999)
+    }
+}
+
+impl ToJson for LogHistogram {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("count", self.count.into()),
+            ("sum", self.sum.into()),
+            ("p50", self.p50().unwrap_or(0).into()),
+            ("p99", self.p99().unwrap_or(0).into()),
+            ("p999", self.p999().unwrap_or(0).into()),
+            (
+                "buckets",
+                Json::Arr(
+                    self.buckets
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, &c)| c != 0)
+                        .map(|(i, &c)| Json::Arr(vec![i.into(), c.into()]))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+/// A named histogram, as surfaced in [`crate::StatsSnapshot::latencies`]
+/// and cluster reports. Names are dotted lowercase paths
+/// (`"stage.classify"`, `"vm.exec"`, `"ctrl.rtt"`, `"epoch.converge"`).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct LatencyStat {
+    pub name: String,
+    pub hist: LogHistogram,
+}
+
+impl LatencyStat {
+    /// A named stat wrapping `hist`.
+    pub fn new(name: impl Into<String>, hist: LogHistogram) -> LatencyStat {
+        LatencyStat {
+            name: name.into(),
+            hist,
+        }
+    }
+}
+
+impl ToJson for LatencyStat {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("name", self.name.as_str().into()),
+            ("count", self.hist.count().into()),
+            ("p50_bound", self.hist.p50().unwrap_or(0).into()),
+            ("p99_bound", self.hist.p99().unwrap_or(0).into()),
+            ("p999_bound", self.hist.p999().unwrap_or(0).into()),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_and_one_land_in_their_buckets() {
+        let mut h = LogHistogram::new();
+        h.record(0);
+        h.record(1);
+        h.record(2);
+        h.record(3);
+        assert_eq!(h.buckets()[0], 1);
+        assert_eq!(h.buckets()[1], 1);
+        assert_eq!(h.buckets()[2], 2, "2 and 3 share bit length 2");
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.sum(), 6);
+    }
+
+    #[test]
+    fn empty_histogram_has_no_percentiles() {
+        let h = LogHistogram::new();
+        assert_eq!(h.p50(), None);
+        assert_eq!(h.p99(), None);
+        assert_eq!(h.mean(), None);
+    }
+
+    #[test]
+    fn quantiles_return_bucket_upper_bounds() {
+        let mut h = LogHistogram::new();
+        for v in [100u64, 100, 100, 100, 100, 100, 100, 100, 100, 7000] {
+            h.record(v);
+        }
+        // 100 has bit length 7 → bucket 7, bound 127
+        assert_eq!(h.p50(), Some(127));
+        // 7000 has bit length 13 → bucket 13, bound 8191
+        assert_eq!(h.quantile(1.0), Some(8191));
+        assert_eq!(h.p999(), Some(8191));
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = LogHistogram::new();
+        let mut b = LogHistogram::new();
+        a.record(5);
+        b.record(5);
+        b.record(1_000_000);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.buckets()[bucket_of(5)], 2);
+        assert_eq!(a.buckets()[bucket_of(1_000_000)], 1);
+    }
+
+    #[test]
+    fn huge_values_cap_at_the_last_bucket() {
+        let mut h = LogHistogram::new();
+        h.record(u64::MAX);
+        assert_eq!(h.p50(), Some(u64::MAX));
+    }
+
+    #[test]
+    fn json_shape_is_sparse() {
+        let mut h = LogHistogram::new();
+        h.record(100);
+        let text = h.to_json().render();
+        assert!(text.contains(r#""count":1"#), "{text}");
+        assert!(text.contains(r#""buckets":[[7,1]]"#), "{text}");
+    }
+}

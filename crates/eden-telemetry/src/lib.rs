@@ -19,16 +19,24 @@
 //! can use it without layering concerns.
 
 mod cluster;
+mod flight;
+mod hist;
 mod json;
+mod prom;
 mod series;
 mod snapshot;
+mod span;
 mod trace;
 
 pub use cluster::{ClusterStats, HostReport};
+pub use flight::{FlightDump, FlightEvent, FlightKind, FlightRing};
+pub use hist::{bucket_bound, bucket_of, LatencyStat, LogHistogram, HIST_BUCKETS};
 pub use json::{Json, JsonParseError, ToJson};
+pub use prom::{render_cluster, render_snapshot};
 pub use series::TimeSeries;
 pub use snapshot::{
     EnclaveCounters, FlowCounters, FunctionCounters, HostCounters, RuleCounters, StatsSnapshot,
     TableCounters, Telemetry, VmCounters,
 };
+pub use span::{Sampler, Span, SpanSink, TraceContext, TraceStore};
 pub use trace::{TraceEvent, TraceLayer, TraceRing, TraceVerdict};

@@ -1,0 +1,380 @@
+//! Prometheus text exposition (version 0.0.4) for snapshots and cluster
+//! aggregates.
+//!
+//! Hand-rolled like the JSON tree: the environment is offline and the
+//! format is lines of `name{label="v"} value`. Output order is fully
+//! deterministic (struct field order, then collection order) so the
+//! exposition can be pinned by a golden test. The exported metric names
+//! are documented in the README's observability table.
+
+use crate::cluster::ClusterStats;
+use crate::hist::LatencyStat;
+use crate::snapshot::{EnclaveCounters, StatsSnapshot};
+
+fn line(out: &mut String, name: &str, labels: &[(&str, &str)], value: u64) {
+    out.push_str(name);
+    if !labels.is_empty() {
+        out.push('{');
+        for (i, (k, v)) in labels.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(k);
+            out.push_str("=\"");
+            // minimal escaping: the only hostile chars possible in our
+            // label values (function names) are quotes and backslashes
+            for c in v.chars() {
+                match c {
+                    '"' => out.push_str("\\\""),
+                    '\\' => out.push_str("\\\\"),
+                    '\n' => out.push_str("\\n"),
+                    c => out.push(c),
+                }
+            }
+            out.push('"');
+        }
+        out.push('}');
+    }
+    out.push(' ');
+    out.push_str(&value.to_string());
+    out.push('\n');
+}
+
+fn typ(out: &mut String, name: &str, kind: &str) {
+    out.push_str("# TYPE ");
+    out.push_str(name);
+    out.push(' ');
+    out.push_str(kind);
+    out.push('\n');
+}
+
+fn enclave_counters(out: &mut String, c: &EnclaveCounters, labels: &[(&str, &str)]) {
+    let fields: [(&str, u64); 12] = [
+        ("eden_enclave_processed_total", c.processed),
+        ("eden_enclave_matched_total", c.matched),
+        ("eden_enclave_misses_total", c.misses),
+        ("eden_enclave_forwarded_total", c.forwarded),
+        ("eden_enclave_dropped_total", c.dropped),
+        ("eden_enclave_punted_total", c.punted),
+        ("eden_enclave_queued_total", c.queued),
+        ("eden_enclave_faults_total", c.faults),
+        ("eden_enclave_header_modifies_total", c.header_modifies),
+        (
+            "eden_enclave_enqueue_charge_bytes_total",
+            c.enqueue_charge_bytes,
+        ),
+        ("eden_enclave_punt_drops_total", c.punt_drops),
+        ("eden_enclave_table_loop_aborts_total", c.table_loop_aborts),
+    ];
+    for (name, v) in fields {
+        if labels.is_empty() {
+            typ(out, name, "counter");
+        }
+        line(out, name, labels, v);
+    }
+}
+
+fn latencies(out: &mut String, stats: &[LatencyStat], extra: &[(&str, &str)]) {
+    if stats.is_empty() {
+        return;
+    }
+    typ(out, "eden_latency_ns", "summary");
+    typ(out, "eden_latency_samples_total", "counter");
+    for s in stats {
+        for (q, v) in [
+            ("0.5", s.hist.p50()),
+            ("0.99", s.hist.p99()),
+            ("0.999", s.hist.p999()),
+        ] {
+            let mut labels: Vec<(&str, &str)> = vec![("name", s.name.as_str())];
+            labels.extend_from_slice(extra);
+            labels.push(("quantile", q));
+            line(out, "eden_latency_ns", &labels, v.unwrap_or(0));
+        }
+        let mut labels: Vec<(&str, &str)> = vec![("name", s.name.as_str())];
+        labels.extend_from_slice(extra);
+        line(out, "eden_latency_samples_total", &labels, s.hist.count());
+    }
+}
+
+/// Render one host's [`StatsSnapshot`] as Prometheus text exposition.
+pub fn render_snapshot(snap: &StatsSnapshot) -> String {
+    let mut out = String::new();
+    typ(&mut out, "eden_captured_at_ns", "gauge");
+    line(&mut out, "eden_captured_at_ns", &[], snap.captured_at_ns);
+    enclave_counters(&mut out, &snap.enclave, &[]);
+
+    if !snap.tables.is_empty() {
+        typ(&mut out, "eden_table_lookups_total", "counter");
+        typ(&mut out, "eden_table_matches_total", "counter");
+        typ(&mut out, "eden_table_misses_total", "counter");
+        for t in &snap.tables {
+            let id = t.table.to_string();
+            let l = [("table", id.as_str())];
+            line(&mut out, "eden_table_lookups_total", &l, t.lookups);
+            line(&mut out, "eden_table_matches_total", &l, t.matches);
+            line(&mut out, "eden_table_misses_total", &l, t.misses);
+        }
+    }
+    if !snap.rules.is_empty() {
+        typ(&mut out, "eden_rule_hits_total", "counter");
+        for r in &snap.rules {
+            let (t, ru, f) = (r.table.to_string(), r.rule.to_string(), r.func.to_string());
+            line(
+                &mut out,
+                "eden_rule_hits_total",
+                &[
+                    ("table", t.as_str()),
+                    ("rule", ru.as_str()),
+                    ("func", f.as_str()),
+                ],
+                r.hits,
+            );
+        }
+    }
+    if !snap.functions.is_empty() {
+        typ(&mut out, "eden_function_invocations_total", "counter");
+        typ(&mut out, "eden_function_faults_total", "counter");
+        typ(&mut out, "eden_function_drops_total", "counter");
+        typ(&mut out, "eden_function_punts_total", "counter");
+        for f in &snap.functions {
+            let l = [("function", f.name.as_str())];
+            line(
+                &mut out,
+                "eden_function_invocations_total",
+                &l,
+                f.invocations,
+            );
+            line(&mut out, "eden_function_faults_total", &l, f.faults);
+            line(&mut out, "eden_function_drops_total", &l, f.drops);
+            line(&mut out, "eden_function_punts_total", &l, f.punts);
+        }
+    }
+
+    typ(&mut out, "eden_vm_invocations_total", "counter");
+    line(
+        &mut out,
+        "eden_vm_invocations_total",
+        &[],
+        snap.vm.invocations,
+    );
+    typ(&mut out, "eden_vm_traps_total", "counter");
+    line(&mut out, "eden_vm_traps_total", &[], snap.vm.traps);
+    typ(&mut out, "eden_vm_steps_total", "counter");
+    line(&mut out, "eden_vm_steps_total", &[], snap.vm.steps);
+    typ(&mut out, "eden_vm_elapsed_ns_total", "counter");
+    line(
+        &mut out,
+        "eden_vm_elapsed_ns_total",
+        &[],
+        snap.vm.elapsed_ns,
+    );
+
+    if let Some(h) = &snap.host {
+        typ(&mut out, "eden_host_hook_drops_total", "counter");
+        line(&mut out, "eden_host_hook_drops_total", &[], h.hook_drops);
+        typ(&mut out, "eden_host_nic_drops_total", "counter");
+        line(&mut out, "eden_host_nic_drops_total", &[], h.nic_drops);
+        typ(&mut out, "eden_host_bad_queue_drops_total", "counter");
+        line(
+            &mut out,
+            "eden_host_bad_queue_drops_total",
+            &[],
+            h.bad_queue_drops,
+        );
+    }
+
+    latencies(&mut out, &snap.latencies, &[]);
+    out
+}
+
+/// Render the controller's [`ClusterStats`] as Prometheus text
+/// exposition: fleet totals plus per-host counters labelled by address.
+pub fn render_cluster(cluster: &ClusterStats) -> String {
+    let mut out = String::new();
+    typ(&mut out, "eden_cluster_hosts", "gauge");
+    line(
+        &mut out,
+        "eden_cluster_hosts",
+        &[],
+        cluster.host_count() as u64,
+    );
+    enclave_counters(&mut out, &cluster.totals(), &[("host", "all")]);
+    typ(&mut out, "eden_host_epoch", "gauge");
+    for r in cluster.reports() {
+        let host = r.host.to_string();
+        line(
+            &mut out,
+            "eden_host_epoch",
+            &[("host", host.as_str())],
+            r.epoch,
+        );
+    }
+    for r in cluster.reports() {
+        let host = r.host.to_string();
+        enclave_counters(&mut out, &r.enclave, &[("host", host.as_str())]);
+        latencies(&mut out, &r.latencies, &[("host", host.as_str())]);
+    }
+    latencies(&mut out, &cluster.ctrl_latencies, &[("host", "controller")]);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hist::LogHistogram;
+    use crate::snapshot::{FunctionCounters, TableCounters, VmCounters};
+
+    /// Golden: the exposition for a fixed snapshot is pinned byte-for-byte.
+    /// If this fails because of an intentional format change, update the
+    /// expected text *and* the README metric table together.
+    #[test]
+    fn golden_snapshot_exposition() {
+        let mut hist = LogHistogram::new();
+        for _ in 0..99 {
+            hist.record(100);
+        }
+        hist.record(7000);
+        let snap = StatsSnapshot {
+            captured_at_ns: 42,
+            enclave: EnclaveCounters {
+                processed: 10,
+                matched: 9,
+                misses: 1,
+                forwarded: 8,
+                dropped: 1,
+                punted: 1,
+                queued: 2,
+                faults: 1,
+                header_modifies: 4,
+                enqueue_charge_bytes: 3000,
+                punt_drops: 0,
+                table_loop_aborts: 0,
+            },
+            tables: vec![TableCounters {
+                table: 0,
+                lookups: 10,
+                matches: 9,
+                misses: 1,
+            }],
+            rules: vec![],
+            functions: vec![FunctionCounters {
+                func: 0,
+                name: "sff".into(),
+                invocations: 9,
+                faults: 1,
+                ..Default::default()
+            }],
+            vm: VmCounters {
+                invocations: 9,
+                traps: 1,
+                steps: 120,
+                elapsed_ns: 900,
+                opcode_counts: vec![],
+            },
+            flows: vec![],
+            host: None,
+            latencies: vec![LatencyStat::new("vm.exec", hist)],
+        };
+        let expected = "\
+# TYPE eden_captured_at_ns gauge
+eden_captured_at_ns 42
+# TYPE eden_enclave_processed_total counter
+eden_enclave_processed_total 10
+# TYPE eden_enclave_matched_total counter
+eden_enclave_matched_total 9
+# TYPE eden_enclave_misses_total counter
+eden_enclave_misses_total 1
+# TYPE eden_enclave_forwarded_total counter
+eden_enclave_forwarded_total 8
+# TYPE eden_enclave_dropped_total counter
+eden_enclave_dropped_total 1
+# TYPE eden_enclave_punted_total counter
+eden_enclave_punted_total 1
+# TYPE eden_enclave_queued_total counter
+eden_enclave_queued_total 2
+# TYPE eden_enclave_faults_total counter
+eden_enclave_faults_total 1
+# TYPE eden_enclave_header_modifies_total counter
+eden_enclave_header_modifies_total 4
+# TYPE eden_enclave_enqueue_charge_bytes_total counter
+eden_enclave_enqueue_charge_bytes_total 3000
+# TYPE eden_enclave_punt_drops_total counter
+eden_enclave_punt_drops_total 0
+# TYPE eden_enclave_table_loop_aborts_total counter
+eden_enclave_table_loop_aborts_total 0
+# TYPE eden_table_lookups_total counter
+# TYPE eden_table_matches_total counter
+# TYPE eden_table_misses_total counter
+eden_table_lookups_total{table=\"0\"} 10
+eden_table_matches_total{table=\"0\"} 9
+eden_table_misses_total{table=\"0\"} 1
+# TYPE eden_function_invocations_total counter
+# TYPE eden_function_faults_total counter
+# TYPE eden_function_drops_total counter
+# TYPE eden_function_punts_total counter
+eden_function_invocations_total{function=\"sff\"} 9
+eden_function_faults_total{function=\"sff\"} 1
+eden_function_drops_total{function=\"sff\"} 0
+eden_function_punts_total{function=\"sff\"} 0
+# TYPE eden_vm_invocations_total counter
+eden_vm_invocations_total 9
+# TYPE eden_vm_traps_total counter
+eden_vm_traps_total 1
+# TYPE eden_vm_steps_total counter
+eden_vm_steps_total 120
+# TYPE eden_vm_elapsed_ns_total counter
+eden_vm_elapsed_ns_total 900
+# TYPE eden_latency_ns summary
+# TYPE eden_latency_samples_total counter
+eden_latency_ns{name=\"vm.exec\",quantile=\"0.5\"} 127
+eden_latency_ns{name=\"vm.exec\",quantile=\"0.99\"} 127
+eden_latency_ns{name=\"vm.exec\",quantile=\"0.999\"} 8191
+eden_latency_samples_total{name=\"vm.exec\"} 100
+";
+        assert_eq!(render_snapshot(&snap), expected);
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        let snap = StatsSnapshot {
+            functions: vec![FunctionCounters {
+                func: 0,
+                name: "we\"ird\\name".into(),
+                ..Default::default()
+            }],
+            ..Default::default()
+        };
+        let text = render_snapshot(&snap);
+        assert!(text.contains(r#"function="we\"ird\\name""#), "{text}");
+    }
+
+    #[test]
+    fn cluster_exposition_labels_hosts() {
+        use crate::cluster::{ClusterStats, HostReport};
+        let mut c = ClusterStats::new();
+        c.record(HostReport {
+            host: 3,
+            epoch: 2,
+            digest: 7,
+            captured_at_ns: 1,
+            enclave: EnclaveCounters {
+                processed: 5,
+                forwarded: 5,
+                ..Default::default()
+            },
+            latencies: vec![],
+        });
+        let text = render_cluster(&c);
+        assert!(text.contains(r#"eden_cluster_hosts 1"#), "{text}");
+        assert!(
+            text.contains(r#"eden_enclave_processed_total{host="all"} 5"#),
+            "{text}"
+        );
+        assert!(text.contains(r#"eden_host_epoch{host="3"} 2"#), "{text}");
+        assert!(
+            text.contains(r#"eden_enclave_processed_total{host="3"} 5"#),
+            "{text}"
+        );
+    }
+}

@@ -63,17 +63,23 @@ impl TimeSeries {
         self.points.iter().copied()
     }
 
-    /// Largest retained value (0.0 when empty).
-    pub fn max(&self) -> f64 {
-        self.points.iter().map(|&(_, v)| v).fold(0.0, f64::max)
+    /// Largest retained value; `None` when the series is empty (a fold
+    /// seeded with `0.0` would both invent a value for an empty window
+    /// and clamp all-negative series to zero).
+    pub fn max(&self) -> Option<f64> {
+        self.points
+            .iter()
+            .map(|&(_, v)| v)
+            .fold(None, |acc, v| Some(acc.map_or(v, |a: f64| a.max(v))))
     }
 
-    /// Mean of retained values (0.0 when empty).
-    pub fn mean(&self) -> f64 {
+    /// Mean of retained values; `None` when the series is empty (so a
+    /// consumer can never divide by zero into NaN unnoticed).
+    pub fn mean(&self) -> Option<f64> {
         if self.points.is_empty() {
-            return 0.0;
+            return None;
         }
-        self.points.iter().map(|&(_, v)| v).sum::<f64>() / self.points.len() as f64
+        Some(self.points.iter().map(|&(_, v)| v).sum::<f64>() / self.points.len() as f64)
     }
 }
 
@@ -114,12 +120,21 @@ mod tests {
     #[test]
     fn stats_over_window() {
         let mut s = TimeSeries::new("q", 8);
-        assert_eq!(s.mean(), 0.0);
-        assert_eq!(s.max(), 0.0);
+        assert_eq!(s.mean(), None, "empty window has no mean, not 0.0");
+        assert_eq!(s.max(), None, "empty window has no max, not 0.0");
         s.push(0, 1.0);
         s.push(1, 3.0);
-        assert_eq!(s.mean(), 2.0);
-        assert_eq!(s.max(), 3.0);
+        assert_eq!(s.mean(), Some(2.0));
+        assert_eq!(s.max(), Some(3.0));
+    }
+
+    #[test]
+    fn all_negative_series_is_not_clamped_to_zero() {
+        let mut s = TimeSeries::new("q", 8);
+        s.push(0, -5.0);
+        s.push(1, -2.0);
+        assert_eq!(s.max(), Some(-2.0));
+        assert_eq!(s.mean(), Some(-3.5));
     }
 
     #[test]

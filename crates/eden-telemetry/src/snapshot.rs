@@ -8,6 +8,7 @@
 //! integers copied out at snapshot time; taking a snapshot never perturbs
 //! the counters themselves.
 
+use crate::hist::LatencyStat;
 use crate::json::{Json, ToJson};
 
 /// Enclave-level packet accounting.
@@ -269,6 +270,10 @@ pub struct StatsSnapshot {
     pub vm: VmCounters,
     pub flows: Vec<FlowCounters>,
     pub host: Option<HostCounters>,
+    /// Named latency histograms (`stage.*`, `vm.exec`, `func.*`, ...),
+    /// empty when sampling is disabled so snapshot equality between the
+    /// serial and batched paths is unaffected by wall-clock noise.
+    pub latencies: Vec<LatencyStat>,
 }
 
 impl ToJson for StatsSnapshot {
@@ -291,6 +296,7 @@ impl ToJson for StatsSnapshot {
                     None => Json::Null,
                 },
             ),
+            ("latencies", arr(&self.latencies)),
         ])
     }
 }
@@ -354,6 +360,7 @@ mod tests {
             },
             flows: vec![],
             host: None,
+            latencies: vec![],
         };
         let text = snap.to_json().render();
         assert!(text.contains(r#""captured_at_ns":42"#));

@@ -77,6 +77,31 @@ pub struct Interpreter {
     /// Per-opcode execution histogram, allocated only while profiling is
     /// enabled so the disabled cost is a single well-predicted branch.
     profile: Option<Box<[u64; Op::KIND_COUNT]>>,
+    /// Log2 histogram of sampled per-invocation wall-clock costs (fed by
+    /// the same 1-in-`TIMING_SAMPLE` clock reads as `elapsed_ns`, so it
+    /// adds no hot-path cost of its own).
+    latency: eden_telemetry::LogHistogram,
+    /// Where the most recent trap happened: `(pc, opcode kind index)` of
+    /// the instruction whose execution faulted. Written only on the trap
+    /// exit path, so the dispatch loop never touches it.
+    last_trap: Option<(u32, usize)>,
+}
+
+/// Where a trap happened, for the flight recorder: the program counter
+/// and the opcode (kind index + mnemonic) whose execution faulted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TrapSite {
+    /// Program counter of the faulting instruction.
+    pub pc: u32,
+    /// [`Op::kind_index`] of the faulting instruction.
+    pub op_kind: usize,
+}
+
+impl TrapSite {
+    /// Mnemonic of the faulting opcode.
+    pub fn op_name(&self) -> &'static str {
+        Op::kind_name(self.op_kind)
+    }
 }
 
 impl Interpreter {
@@ -90,6 +115,8 @@ impl Interpreter {
             usage: Usage::default(),
             counters: VmCounters::default(),
             profile: None,
+            latency: eden_telemetry::LogHistogram::new(),
+            last_trap: None,
         }
     }
 
@@ -113,9 +140,24 @@ impl Interpreter {
     /// profiling is enabled).
     pub fn reset_counters(&mut self) {
         self.counters = VmCounters::default();
+        self.latency.reset();
         if let Some(hist) = self.profile.as_deref_mut() {
             hist.fill(0);
         }
+    }
+
+    /// Sampled per-invocation wall-clock histogram (1-in-`TIMING_SAMPLE`
+    /// runs contribute a sample; the bucket shape is representative, the
+    /// count is not a run count).
+    pub fn latency_histogram(&self) -> &eden_telemetry::LogHistogram {
+        &self.latency
+    }
+
+    /// Where the most recent trap happened, if any [`run`](Self::run) has
+    /// trapped since creation. Survives subsequent successful runs so a
+    /// fault handler a few frames up can still attribute the trap.
+    pub fn last_trap(&self) -> Option<TrapSite> {
+        self.last_trap.map(|(pc, op_kind)| TrapSite { pc, op_kind })
     }
 
     /// Enable or disable the per-opcode histogram. Enabling allocates the
@@ -165,7 +207,9 @@ impl Interpreter {
         self.counters.traps += result.is_err() as u64;
         self.counters.steps += self.usage.steps;
         if let Some(t) = started {
-            self.counters.elapsed_ns += t.elapsed().as_nanos() as u64 * TIMING_SAMPLE;
+            let dt = t.elapsed().as_nanos() as u64;
+            self.counters.elapsed_ns += dt * TIMING_SAMPLE;
+            self.latency.record(dt);
         }
         result
     }
@@ -195,9 +239,11 @@ impl Interpreter {
         let mut steps: u64 = 0;
         let mut peak_stack: usize = 0;
 
+        // `pc` lives outside the dispatch closure so the trap exit path
+        // below can attribute a fault to the instruction that raised it.
+        let mut pc: usize = 0;
         let result = (|| -> Result<Outcome, VmError> {
             let ops = program.ops();
-            let mut pc: usize = 0;
             let mut locals_base: usize = 0;
 
             macro_rules! push {
@@ -483,6 +529,14 @@ impl Interpreter {
 
         self.usage.steps = steps;
         self.usage.peak_stack = peak_stack;
+        if result.is_err() {
+            // `pc` was already advanced past the faulting instruction for
+            // execution traps; fuel/entry faults fall back to the last
+            // instruction dispatched (or none, if the program never ran).
+            self.last_trap = pc
+                .checked_sub(1)
+                .and_then(|at| program.ops().get(at).map(|op| (at as u32, op.kind_index())));
+        }
         result
     }
 }
@@ -526,6 +580,30 @@ mod tests {
             &mut h,
         );
         assert_eq!(e, Err(VmError::DivideByZero));
+    }
+
+    #[test]
+    fn trap_site_names_faulting_opcode() {
+        let trap = Program::new(
+            "z",
+            vec![Op::Push(1), Op::Push(0), Op::Div, Op::Pop, Op::Halt],
+            vec![],
+            0,
+        )
+        .unwrap();
+        let ok = Program::new("t", vec![Op::Push(1), Op::Pop, Op::Halt], vec![], 0).unwrap();
+        let mut interp = Interpreter::new(Limits::default());
+        let mut h = VecHost::default();
+        assert_eq!(interp.last_trap(), None);
+        assert_eq!(interp.run(&trap, &mut h), Err(VmError::DivideByZero));
+        let site = interp.last_trap().expect("trap recorded");
+        assert_eq!(site.pc, 2);
+        assert_eq!(site.op_name(), "div");
+        // survives subsequent successful runs (flight recorder reads it late)
+        interp.run(&ok, &mut h).unwrap();
+        assert_eq!(interp.last_trap(), Some(site));
+        // invocation 0 is always timed, so the latency histogram has samples
+        assert!(!interp.latency_histogram().is_empty());
     }
 
     #[test]

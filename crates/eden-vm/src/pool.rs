@@ -56,6 +56,22 @@ impl InterpreterPool {
         total
     }
 
+    /// Sampled per-invocation latency histogram merged over every lane.
+    pub fn latency_histogram(&self) -> eden_telemetry::LogHistogram {
+        let mut total = eden_telemetry::LogHistogram::new();
+        for lane in &self.lanes {
+            total.merge(lane.latency_histogram());
+        }
+        total
+    }
+
+    /// The most recent trap site across all lanes (None if no lane has
+    /// trapped). With multiple trapped lanes, lane order breaks the tie —
+    /// good enough for a flight-recorder attribution.
+    pub fn last_trap(&self) -> Option<crate::interp::TrapSite> {
+        self.lanes.iter().find_map(|l| l.last_trap())
+    }
+
     /// Clear every lane's counters (and histogram, if profiling).
     pub fn reset_counters(&mut self) {
         for lane in &mut self.lanes {

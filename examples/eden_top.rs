@@ -1,0 +1,199 @@
+//! `eden_top` — a live cluster view, the observability stack end to end.
+//!
+//! Builds a three-host cluster over the simulated fabric (enclave agents
+//! with 1-in-8 trace sampling, a controller pulling stats and spans),
+//! pushes a configuration epoch, drives synthetic data-plane load on
+//! every host, and renders a `top`-style frame every few simulated
+//! milliseconds: per-host counters and p50/p99 data-path latencies from
+//! [`ClusterStats`], control-plane RTT and epoch-convergence histograms,
+//! and finally the assembled cross-host trace tree of the epoch update
+//! plus a Prometheus rendering of the whole cluster.
+//!
+//! Run with `cargo run --example eden_top`.
+
+use eden::core::{Controller, Enclave, EnclaveConfig, EnclaveOp, MatchSpec};
+use eden::ctrl::{ControllerApp, CtrlConfig, EnclaveAgent, TICK};
+use eden::lang::{Access, HeaderField, Schema};
+use eden::netsim::{LinkSpec, Network, NodeId, SimRng, Switch, SwitchConfig, Time};
+use eden::telemetry::{render_cluster, LatencyStat};
+use eden::transport::{app_timer_token, App, Host, Stack, StackConfig};
+use netsim::{Packet, UdpHeader};
+
+struct Idle;
+impl App for Idle {}
+
+const CTRL_ADDR: u32 = 100;
+
+fn prio_ops(prio: u8) -> Vec<EnclaveOp> {
+    let controller = Controller::new();
+    let schema =
+        Schema::new().packet_field("Priority", Access::ReadWrite, Some(HeaderField::Dot1qPcp));
+    let source = format!("fun (packet, msg, _global) -> packet.Priority <- {prio}");
+    let func = controller
+        .plan_function("set_prio", &source, &schema)
+        .expect("compiles");
+    vec![
+        EnclaveOp::Reset,
+        func,
+        EnclaveOp::InstallRule {
+            table: 0,
+            spec: MatchSpec::Any,
+            func: 0,
+        },
+    ]
+}
+
+/// `p50/p99` of a named histogram in a latency report, as a short cell.
+fn lat_cell(latencies: &[LatencyStat], name: &str) -> String {
+    match latencies.iter().find(|l| l.name == name) {
+        Some(l) => match (l.hist.p50(), l.hist.p99()) {
+            (Some(p50), Some(p99)) => format!("{p50}/{p99}ns"),
+            _ => "-".into(),
+        },
+        None => "-".into(),
+    }
+}
+
+fn main() {
+    let cfg = CtrlConfig {
+        stats_every: Time::from_micros(500),
+        ..CtrlConfig::default()
+    };
+    let mut net = Network::new(42);
+    let sw = net.add_node(Switch::new(SwitchConfig::default()));
+
+    let mut nodes: Vec<NodeId> = Vec::new();
+    for addr in 1..=3u32 {
+        let mut stack = Stack::new(addr, StackConfig::default());
+        stack.set_hook(EnclaveAgent::new_with_addr(
+            addr,
+            Enclave::new(EnclaveConfig {
+                trace_sample: 8,
+                ..EnclaveConfig::default()
+            }),
+        ));
+        stack.set_ctrl_port(cfg.ctrl_port);
+        let node = net.add_node(Host::new(stack, Idle));
+        let (_, sp) = net.connect(node, sw, LinkSpec::ten_gbps());
+        net.node_mut::<Switch>(sw).install_route(addr, sp);
+        nodes.push(node);
+    }
+
+    let ctrl = net.add_node(Host::new(
+        Stack::new(CTRL_ADDR, StackConfig::default()),
+        ControllerApp::new(cfg, &[1, 2, 3]),
+    ));
+    let (_, sp) = net.connect(ctrl, sw, LinkSpec::ten_gbps());
+    net.node_mut::<Switch>(sw).install_route(CTRL_ADDR, sp);
+    net.schedule_timer(ctrl, Time::ZERO, app_timer_token(TICK));
+
+    // Bootstrap, then push one epoch across the fleet.
+    net.run_until(Time::from_millis(2));
+    net.node_mut::<Host<ControllerApp>>(ctrl)
+        .app
+        .set_desired(prio_ops(5))
+        .expect("valid ops");
+
+    // Frames: synthetic load on every host, advance the fabric, render.
+    let mut rng = SimRng::new(7);
+    for frame in 1..=4u64 {
+        let frame_end = Time::from_millis(2 + frame * 4);
+        for (i, &node) in nodes.iter().enumerate() {
+            let enclave = net
+                .node_mut::<Host<Idle>>(node)
+                .stack
+                .hook_mut::<EnclaveAgent>()
+                .expect("agent installed")
+                .enclave_mut();
+            // each host sees a different packet rate, so the rows differ
+            for n in 0..200 * (i as u64 + 1) {
+                let mut p = Packet::udp(1, 2, UdpHeader::default(), 200);
+                enclave.process(&mut p, &mut rng, frame_end + Time::from_nanos(n));
+            }
+        }
+        net.run_until(frame_end);
+
+        let app = &net.node_mut::<Host<ControllerApp>>(ctrl).app;
+        let cluster = app.cluster();
+        println!(
+            "── eden_top ── t={:>5}us  epoch {} ({}/3 in sync){}",
+            frame_end.as_nanos() / 1_000,
+            app.desired_epoch(),
+            app.in_sync_count(),
+            if app.round_active() {
+                "  [round in flight]"
+            } else {
+                ""
+            }
+        );
+        println!(
+            "{:<5} {:>6} {:>10} {:>10} {:>6} {:>6} {:>16} {:>16}",
+            "host",
+            "epoch",
+            "processed",
+            "forwarded",
+            "drops",
+            "faults",
+            "exec p50/p99",
+            "vm p50/p99"
+        );
+        for addr in 1..=3u32 {
+            match cluster.host(addr) {
+                Some(r) => println!(
+                    "{:<5} {:>6} {:>10} {:>10} {:>6} {:>6} {:>16} {:>16}",
+                    addr,
+                    r.epoch,
+                    r.enclave.processed,
+                    r.enclave.forwarded,
+                    r.enclave.dropped,
+                    r.enclave.faults,
+                    lat_cell(&r.latencies, "stage.execute"),
+                    lat_cell(&r.latencies, "vm.exec"),
+                ),
+                None => println!("{addr:<5} (no report yet)"),
+            }
+        }
+        println!(
+            "ctrl: rtt {}  converge {}  spans {}\n",
+            lat_cell(&cluster.ctrl_latencies, "ctrl.rtt"),
+            lat_cell(&cluster.ctrl_latencies, "epoch.converge"),
+            app.trace().len(),
+        );
+    }
+
+    // The epoch update's cross-host trace tree, as the controller sees it.
+    let app = &net.node_mut::<Host<ControllerApp>>(ctrl).app;
+    assert!(app.all_in_sync(), "fleet converged");
+    let trace = app.trace();
+    // the store also holds sampled data-path `pkt` traces; the epoch
+    // update is the one whose root span the controller ingested itself
+    let tid = trace
+        .trace_ids()
+        .into_iter()
+        .find(|&t| trace.root(t).is_some_and(|r| r.name == "epoch"))
+        .expect("the traced round reached the store");
+    println!("epoch-update trace tree (trace {tid:#x}):");
+    let root = trace.root(tid).expect("root span");
+    println!(
+        "  {} [host {}] {}..{}ns",
+        root.name, root.host, root.start_ns, root.end_ns
+    );
+    let mut children = trace.children(tid, root.span_id);
+    children.sort_by_key(|s| (s.host, s.name.clone()));
+    for s in &children {
+        println!("    {} [host {}] at {}ns", s.name, s.host, s.start_ns);
+    }
+    assert_eq!(children.len(), 6, "prepare+commit from all three hosts");
+
+    // And the same cluster state as a Prometheus scrape.
+    let prom = render_cluster(app.cluster());
+    let interesting: Vec<&str> = prom
+        .lines()
+        .filter(|l| l.contains("processed") || l.contains("ctrl.rtt"))
+        .take(8)
+        .collect();
+    println!("\nprometheus rendering (excerpt):");
+    for l in interesting {
+        println!("  {l}");
+    }
+}

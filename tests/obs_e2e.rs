@@ -1,0 +1,239 @@
+//! Observability end-to-end: an epoch update pushed across a three-host
+//! cluster assembles into a single cross-host trace tree at the
+//! controller, control-plane latency histograms populate, and a faulting
+//! function installed *over the wire* freezes the data-path flight
+//! recorder with the trapping opcode attributed.
+
+use eden::core::{Enclave, EnclaveConfig, EnclaveOp, MatchSpec};
+use eden::ctrl::{ControllerApp, CtrlConfig, EnclaveAgent, TICK};
+use eden::lang::{Access, Concurrency, HeaderField, Schema};
+use eden::netsim::{LinkSpec, Network, NodeId, SimRng, Switch, SwitchConfig, Time};
+use eden::telemetry::FlightKind;
+use eden::transport::{app_timer_token, App, Host, Stack, StackConfig};
+use netsim::{Packet, UdpHeader};
+
+struct Idle;
+impl App for Idle {}
+
+const CTRL_ADDR: u32 = 100;
+
+struct Cluster {
+    net: Network,
+    ctrl: NodeId,
+    hosts: Vec<(NodeId, u32)>,
+}
+
+/// Like the `ctrl_cluster` builder, but agents are constructed with
+/// [`EnclaveAgent::new_with_addr`] so every span they emit is stamped
+/// with the host's fabric address — the property the controller relies
+/// on to keep span ids collision-free across the fleet.
+fn build_cluster(seed: u64, n: usize, cfg: CtrlConfig) -> Cluster {
+    let mut net = Network::new(seed);
+    let sw = net.add_node(Switch::new(SwitchConfig::default()));
+
+    let mut hosts = Vec::new();
+    for i in 0..n {
+        let addr = (i + 1) as u32;
+        let mut stack = Stack::new(addr, StackConfig::default());
+        stack.set_hook(EnclaveAgent::new_with_addr(
+            addr,
+            Enclave::new(EnclaveConfig::default()),
+        ));
+        stack.set_ctrl_port(cfg.ctrl_port);
+        let node = net.add_node(Host::new(stack, Idle));
+        let (_, sw_port) = net.connect(node, sw, LinkSpec::ten_gbps());
+        net.node_mut::<Switch>(sw).install_route(addr, sw_port);
+        hosts.push((node, addr));
+    }
+
+    let addrs: Vec<u32> = hosts.iter().map(|&(_, a)| a).collect();
+    let ctrl = net.add_node(Host::new(
+        Stack::new(CTRL_ADDR, StackConfig::default()),
+        ControllerApp::new(cfg, &addrs),
+    ));
+    let (_, port) = net.connect(ctrl, sw, LinkSpec::ten_gbps());
+    net.node_mut::<Switch>(sw).install_route(CTRL_ADDR, port);
+
+    net.schedule_timer(ctrl, Time::ZERO, app_timer_token(TICK));
+    Cluster { net, ctrl, hosts }
+}
+
+fn controller(cluster: &mut Cluster) -> &mut ControllerApp {
+    &mut cluster
+        .net
+        .node_mut::<Host<ControllerApp>>(cluster.ctrl)
+        .app
+}
+
+fn prio_ops(prio: u8) -> Vec<EnclaveOp> {
+    let controller = eden::core::Controller::new();
+    let schema =
+        Schema::new().packet_field("Priority", Access::ReadWrite, Some(HeaderField::Dot1qPcp));
+    let source = format!("fun (packet, msg, _global) -> packet.Priority <- {prio}");
+    let func = controller
+        .plan_function("set_prio", &source, &schema)
+        .expect("compiles");
+    vec![
+        EnclaveOp::Reset,
+        func,
+        EnclaveOp::InstallRule {
+            table: 0,
+            spec: MatchSpec::Any,
+            func: 0,
+        },
+    ]
+}
+
+/// A verifier-legal function that traps on its first packet (1 / 0),
+/// shipped as raw bytecode exactly as the control plane would.
+fn divzero_ops() -> Vec<EnclaveOp> {
+    let mut b = eden::vm::ProgramBuilder::new();
+    b.push(1).push(0).div().pop().halt();
+    let bytecode = eden::vm::encode_program(&b.build().expect("builds"));
+    vec![
+        EnclaveOp::Reset,
+        EnclaveOp::InstallFunction {
+            name: "divzero".into(),
+            bytecode,
+            schema: Schema::new(),
+            concurrency: Concurrency::Parallel,
+        },
+        EnclaveOp::InstallRule {
+            table: 0,
+            spec: MatchSpec::Any,
+            func: 0,
+        },
+    ]
+}
+
+#[test]
+fn epoch_update_assembles_one_cross_host_trace_tree() {
+    let cfg = CtrlConfig {
+        // Exercise the explicit PullTrace path alongside heartbeat
+        // piggybacking, and populate per-host latency reports.
+        stats_every: Time::from_millis(2),
+        ..CtrlConfig::default()
+    };
+    let mut c = build_cluster(11, 3, cfg);
+
+    // Bootstrap, then push one epoch across the fleet.
+    c.net.run_until(Time::from_millis(2));
+    let epoch = controller(&mut c).set_desired(prio_ops(5)).expect("valid");
+    assert_eq!(epoch, 1);
+
+    // Run long enough for the round to complete *and* for the agents'
+    // phase spans to ride back on subsequent heartbeats / trace pulls.
+    c.net.run_until(Time::from_millis(12));
+
+    let app = controller(&mut c);
+    assert!(app.all_in_sync(), "fleet converged on epoch 1");
+    assert!(!app.round_active(), "round completed");
+
+    // --- the assembled trace tree --------------------------------------
+    let trace = app.trace();
+    let ids = trace.trace_ids();
+    assert_eq!(ids.len(), 1, "exactly one traced round");
+    let tid = ids[0];
+
+    let root = trace.root(tid).expect("round has a root span");
+    assert_eq!(root.name, "epoch");
+    assert_eq!(root.host, 0, "root span is the controller's");
+    assert!(
+        root.end_ns > root.start_ns,
+        "root covers the round duration"
+    );
+
+    let children = trace.children(tid, root.span_id);
+    for addr in 1..=3u32 {
+        for phase in ["prepare", "commit"] {
+            let span = children
+                .iter()
+                .find(|s| s.host == addr && s.name == phase)
+                .unwrap_or_else(|| panic!("host {addr} contributed a {phase} span"));
+            assert_eq!(span.trace_id, tid);
+            assert_eq!(span.parent_span, root.span_id, "parent link intact");
+            assert_eq!(
+                span.span_id >> 40,
+                u64::from(addr),
+                "span id carries the host namespace"
+            );
+        }
+    }
+    // Only phase spans hang off the root: 3 hosts x (prepare, commit).
+    assert_eq!(children.len(), 6);
+
+    // Every span in the store belongs to this one tree.
+    for span in trace.spans_of(tid) {
+        assert!(
+            span.parent_span == 0 || span.parent_span == root.span_id,
+            "no orphaned spans"
+        );
+    }
+
+    let json = trace.tree_json(tid).expect("tree renders").render();
+    assert!(json.contains("\"epoch\""));
+    assert!(json.contains("\"prepare\""));
+
+    // --- control-plane latency histograms ------------------------------
+    assert!(
+        app.ctrl_rtt().count() >= 6,
+        "at least one RTT sample per phase ack"
+    );
+    assert_eq!(
+        app.convergence().count(),
+        1,
+        "one committed round, one convergence sample"
+    );
+    assert!(
+        app.convergence().p50().unwrap_or(0) > 0,
+        "convergence took nonzero time"
+    );
+    let names: Vec<&str> = app
+        .cluster()
+        .ctrl_latencies
+        .iter()
+        .map(|l| l.name.as_str())
+        .collect();
+    assert!(names.contains(&"ctrl.rtt"));
+    assert!(names.contains(&"epoch.converge"));
+}
+
+#[test]
+fn wire_installed_faulting_function_freezes_the_flight_recorder() {
+    let mut c = build_cluster(23, 1, CtrlConfig::default());
+
+    c.net.run_until(Time::from_millis(2));
+    controller(&mut c)
+        .set_desired(divzero_ops())
+        .expect("valid");
+    c.net.run_until(Time::from_millis(8));
+    assert!(
+        controller(&mut c).all_in_sync(),
+        "faulting epoch committed over the wire"
+    );
+
+    // Drive one packet through the freshly configured data path.
+    let node = c.hosts[0].0;
+    let enclave = c
+        .net
+        .node_mut::<Host<Idle>>(node)
+        .stack
+        .hook_mut::<EnclaveAgent>()
+        .expect("agent installed")
+        .enclave_mut();
+    let mut p = Packet::udp(1, 2, UdpHeader::default(), 100);
+    let mut rng = SimRng::new(1);
+    enclave.process(&mut p, &mut rng, Time::from_millis(9));
+
+    let dump = enclave.last_flight_dump().expect("trap froze the recorder");
+    assert_eq!(dump.reason, "vm_trap");
+    let last = dump.last_event().expect("events retained");
+    assert!(matches!(last.kind, FlightKind::VmTrap));
+    assert_eq!(
+        eden::vm::Op::kind_name(last.a as usize),
+        "div",
+        "dump attributes the trapping opcode"
+    );
+    assert!(dump.counters.conserved(), "snapshot obeys conservation");
+    assert_eq!(dump.counters.faults, 1);
+}

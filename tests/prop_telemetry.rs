@@ -1,12 +1,14 @@
 //! Property tests for the telemetry layer: the enclave's counter
 //! conservation invariant (`processed = forwarded + dropped + punted`)
 //! must hold for every interleaving of pass/drop/punt/queue verdicts,
-//! and the punt counter must agree with the punt mailbox.
+//! the punt counter must agree with the punt mailbox, and the log2
+//! latency histogram's percentiles must bracket the true sample
+//! percentiles within one bucket.
 
 use eden::core::{native_function, ClassId, Enclave, EnclaveConfig, MatchSpec, TableId};
 use eden::lang::{Concurrency, Schema};
 use eden::netsim::{EdenMeta, Packet, SimRng, TcpHeader, Time};
-use eden::telemetry::Telemetry;
+use eden::telemetry::{bucket_bound, bucket_of, LogHistogram, Telemetry};
 use eden::vm::Outcome;
 use proptest::prelude::*;
 
@@ -126,5 +128,44 @@ proptest! {
             stream.iter().filter(|&&c| c == 3).count() as u64,
             "draining the mailbox must not reset the counter"
         );
+    }
+
+    /// The log2 histogram's quantiles bracket the *true* nearest-rank
+    /// percentile of the recorded samples to within one power-of-two
+    /// bucket: the reported value is exactly the upper bound of the
+    /// bucket the true percentile falls in, so
+    /// `true <= reported` and `reported < 2 * (true + 1)`.
+    #[test]
+    fn histogram_percentiles_bracket_true_percentiles(
+        samples in proptest::collection::vec(
+            // span the whole dynamic range: tiny latencies up to huge
+            // outliers that land in the saturating top bucket
+            prop_oneof![0u64..64, 1u64..100_000, 1u64..u64::MAX],
+            1..500,
+        ),
+    ) {
+        let mut hist = LogHistogram::new();
+        for &s in &samples {
+            hist.record(s);
+        }
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+
+        for q in [0.50, 0.99, 0.999] {
+            // nearest-rank definition, 1-based
+            let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+            let truth = sorted[rank - 1];
+            let reported = hist.quantile(q).expect("histogram is non-empty");
+
+            // exactly the bound of the bucket holding the true sample
+            prop_assert_eq!(reported, bucket_bound(bucket_of(truth)));
+            // bracketed from below by the bucket's floor...
+            let idx = bucket_of(truth);
+            if idx > 0 {
+                prop_assert!(truth > bucket_bound(idx - 1));
+            }
+            // ...and from above by its bound
+            prop_assert!(truth <= reported);
+        }
     }
 }

@@ -177,7 +177,7 @@ fn controller_pulls_snapshot_from_running_enclave() {
     let series = &monitor.series()[0];
     assert!(series.occupancy_bytes.len() > 10, "periodic samples taken");
     assert!(
-        series.occupancy_bytes.max() > 0.0,
+        series.occupancy_bytes.max().unwrap_or(0.0) > 0.0,
         "the 10G->1G bottleneck queued bytes at the switch"
     );
 }
