@@ -76,6 +76,113 @@ impl ClassRegistry {
     }
 }
 
+/// Open-addressing class-id → rule-index map for the match stage.
+///
+/// The match stage probes this once per class per packet, so it is the
+/// hottest lookup in the enclave. `HashMap<u32, usize>` paid SipHash plus
+/// a pointer-chased bucket per probe; this table is a flat power-of-two
+/// slot array of packed `(class << 32) | rule` words probed linearly
+/// after a Fibonacci hash — one multiply, one mask, and (at ≤ 50% load)
+/// almost always one cache line.
+///
+/// Semantics match the rule table's needs: *insert keeps first*, because
+/// rule priority is insertion order and `find` wants the lowest-index
+/// rule for a class (first-match-wins).
+#[derive(Debug, Clone, Default)]
+pub struct ClassIndex {
+    /// Packed `(key << 32) | value`; `u64::MAX` marks an empty slot.
+    slots: Vec<u64>,
+    len: usize,
+}
+
+const EMPTY_SLOT: u64 = u64::MAX;
+
+/// 2^32 / φ — Knuth's multiplicative hash constant.
+const FIB: u32 = 0x9E37_79B9;
+
+impl ClassIndex {
+    /// An empty index.
+    pub fn new() -> ClassIndex {
+        ClassIndex::default()
+    }
+
+    /// Number of distinct classes indexed.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the index holds no classes.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Remove every entry, keeping capacity.
+    pub fn clear(&mut self) {
+        self.slots.fill(EMPTY_SLOT);
+        self.len = 0;
+    }
+
+    /// Insert `class → rule` unless the class is already mapped (first
+    /// insertion wins, mirroring rule priority order).
+    pub fn insert_first(&mut self, class: u32, rule: u32) {
+        debug_assert!(rule != u32::MAX, "rule index u32::MAX is reserved");
+        if (self.len + 1) * 2 > self.slots.len() {
+            self.grow();
+        }
+        let mask = self.slots.len() - 1;
+        let mut i = (class.wrapping_mul(FIB) as usize) & mask;
+        loop {
+            let slot = self.slots[i];
+            if slot == EMPTY_SLOT {
+                self.slots[i] = (u64::from(class) << 32) | u64::from(rule);
+                self.len += 1;
+                return;
+            }
+            if (slot >> 32) as u32 == class {
+                return; // first mapping wins
+            }
+            i = (i + 1) & mask;
+        }
+    }
+
+    /// The rule index mapped to `class`, if any.
+    #[inline]
+    pub fn get(&self, class: u32) -> Option<u32> {
+        if self.slots.is_empty() {
+            return None;
+        }
+        let mask = self.slots.len() - 1;
+        let mut i = (class.wrapping_mul(FIB) as usize) & mask;
+        loop {
+            let slot = self.slots[i];
+            if slot == EMPTY_SLOT {
+                return None;
+            }
+            if (slot >> 32) as u32 == class {
+                return Some(slot as u32);
+            }
+            i = (i + 1) & mask;
+        }
+    }
+
+    fn grow(&mut self) {
+        let new_cap = (self.slots.len() * 2).max(8);
+        let old = std::mem::replace(&mut self.slots, vec![EMPTY_SLOT; new_cap]);
+        let mask = new_cap - 1;
+        for slot in old {
+            if slot == EMPTY_SLOT {
+                continue;
+            }
+            let class = (slot >> 32) as u32;
+            let mut i = (class.wrapping_mul(FIB) as usize) & mask;
+            while self.slots[i] != EMPTY_SLOT {
+                i = (i + 1) & mask;
+            }
+            self.slots[i] = slot;
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -109,5 +216,45 @@ mod tests {
         let a = r.intern("a.r.x");
         let b = r.intern("a.r.y");
         assert_ne!(a, b);
+    }
+
+    #[test]
+    fn class_index_first_insertion_wins() {
+        let mut idx = ClassIndex::new();
+        idx.insert_first(7, 3);
+        idx.insert_first(7, 1);
+        assert_eq!(idx.get(7), Some(3), "earlier rule keeps the slot");
+        assert_eq!(idx.len(), 1);
+        assert_eq!(idx.get(8), None);
+    }
+
+    #[test]
+    fn class_index_survives_growth() {
+        let mut idx = ClassIndex::new();
+        for k in 0..1000u32 {
+            idx.insert_first(k * 17, k);
+        }
+        assert_eq!(idx.len(), 1000);
+        for k in 0..1000u32 {
+            assert_eq!(idx.get(k * 17), Some(k));
+        }
+        assert_eq!(idx.get(1), None);
+        idx.clear();
+        assert!(idx.is_empty());
+        assert_eq!(idx.get(0), None);
+        idx.insert_first(5, 9);
+        assert_eq!(idx.get(5), Some(9));
+    }
+
+    #[test]
+    fn class_index_handles_colliding_keys() {
+        // keys chosen to share low hash bits at small table sizes
+        let mut idx = ClassIndex::new();
+        for k in [0u32, 8, 16, 24, 32, 40, 48] {
+            idx.insert_first(k, k + 100);
+        }
+        for k in [0u32, 8, 16, 24, 32, 40, 48] {
+            assert_eq!(idx.get(k), Some(k + 100));
+        }
     }
 }

@@ -39,8 +39,6 @@
 //! then fails open (forwarded unmodified) or closed (dropped) per
 //! [`EnclaveConfig::fail_open`] — and the rest of the system continues.
 
-use std::collections::HashMap;
-
 use eden_lang::{Access, Concurrency, HeaderField, Schema, Scope};
 use eden_telemetry::{
     EnclaveCounters, FlightDump, FlightEvent, FlightKind, FlightRing, FunctionCounters,
@@ -48,12 +46,15 @@ use eden_telemetry::{
     Telemetry, TraceContext, VmCounters,
 };
 use eden_vm::{Effect, Host, Interpreter, InterpreterPool, Limits, Outcome, Program, VmError};
+use netsim::arena::{PacketRef, PacketSlab};
 use netsim::{Packet, PacketRng, SimRng, Time};
 use transport::{HookEnv, HookVerdict, PacketHook};
 
 use crate::action::{ActionImpl, FuncId, InstalledFunction, NativeEnv, NativeFn};
-use crate::class::ClassId;
+use crate::class::{ClassId, ClassIndex};
+use crate::lanes::LanePool;
 use crate::ops::{ApplyError, EnclaveOp};
+use crate::ring::{spsc, Consumer, Producer};
 use crate::state::{FunctionState, MsgShard};
 
 /// Minimal FNV-1a, for the structural configuration digest.
@@ -130,8 +131,9 @@ pub struct Rule {
 #[derive(Debug, Default)]
 struct MatchActionTable {
     rules: Vec<Rule>,
-    /// class → index of the first `MatchSpec::Class` rule for it.
-    class_index: HashMap<u32, usize>,
+    /// class → index of the first `MatchSpec::Class` rule for it (flat
+    /// open-addressing probe, no SipHash on the per-packet path).
+    class_index: ClassIndex,
     /// Ordered indices of `Any` / `AnyOf` rules.
     general: Vec<usize>,
     /// Lookups performed against this table (telemetry).
@@ -147,7 +149,7 @@ impl MatchActionTable {
         let idx = self.rules.len();
         match &rule.spec {
             MatchSpec::Class(c) => {
-                self.class_index.entry(c.0).or_insert(idx);
+                self.class_index.insert_first(c.0, idx as u32);
             }
             MatchSpec::Any | MatchSpec::AnyOf(_) => self.general.push(idx),
         }
@@ -169,7 +171,7 @@ impl MatchActionTable {
         for (i, rule) in self.rules.iter().enumerate() {
             match &rule.spec {
                 MatchSpec::Class(c) => {
-                    self.class_index.entry(c.0).or_insert(i);
+                    self.class_index.insert_first(c.0, i as u32);
                 }
                 MatchSpec::Any | MatchSpec::AnyOf(_) => self.general.push(i),
             }
@@ -179,9 +181,9 @@ impl MatchActionTable {
     /// First-match-wins rule lookup via the class index.
     fn find(&self, classes: &[u32]) -> Option<usize> {
         let mut best = usize::MAX;
-        for c in classes {
-            if let Some(&i) = self.class_index.get(c) {
-                best = best.min(i);
+        for &c in classes {
+            if let Some(i) = self.class_index.get(c) {
+                best = best.min(i as usize);
             }
         }
         for &gi in &self.general {
@@ -256,6 +258,12 @@ pub struct EnclaveConfig {
     /// Smallest batch worth fanning out to worker lanes; below it the
     /// batch runs on the serial path (thread handoff would dominate).
     pub parallel_batch_min: usize,
+    /// Smallest *per-lane* share (`batch_size / lanes`) worth fanning
+    /// out: a batch that would hand each lane only a couple of packets
+    /// pays the wake/merge overhead without amortizing it, so it runs on
+    /// the serial batch path instead. The chosen path is counted in
+    /// `batches_serial` / `batches_parallel`.
+    pub parallel_per_lane_min: usize,
     /// Data-path trace sampling: one in this many packets gets spans,
     /// stage timing, and per-function latency recorded. `0` disables
     /// tracing entirely — the hot-path cost is then a single always-false
@@ -276,6 +284,7 @@ impl Default for EnclaveConfig {
             lanes: 4,
             max_punted: 1024,
             parallel_batch_min: 32,
+            parallel_per_lane_min: 8,
             trace_sample: 0,
             flight_capacity: 256,
         }
@@ -382,10 +391,22 @@ pub struct Enclave {
     /// `true` while every installed function may run on a worker lane:
     /// interpreted (native closures are not `Send`) and not `Serialized`.
     lane_safe: bool,
-    /// Packets punted to the controller, awaiting pickup (bounded by
-    /// [`EnclaveConfig::max_punted`]).
-    pub punted: Vec<Packet>,
+    /// Persistent lane worker threads (spawned lazily on the first
+    /// parallel batch; per-batch dispatch is two SPSC ring ops per lane).
+    lane_pool: LanePool,
+    /// Punt mailbox, producer half: packets punted to the controller are
+    /// *moved* here (no clone), bounded by [`EnclaveConfig::max_punted`].
+    punt_tx: Producer<Packet>,
+    /// Punt mailbox, consumer half: `take_punted` drains it; `push_punt`
+    /// pops it for O(1) oldest-eviction when the ring is full.
+    punt_rx: Consumer<Packet>,
     pub stats: EnclaveStats,
+    /// Batches that ran the serial staged path (small or lane-unsafe).
+    batches_serial: u64,
+    /// Batches that fanned out to the worker lanes.
+    batches_parallel: u64,
+    /// Reused struct-of-arrays scratch for the batched stages.
+    batch: BatchScratch,
     /// Scratch for unmapped packet fields (packet lifetime).
     scratch: Vec<i64>,
     /// Scratch for the packet's class list.
@@ -467,6 +488,7 @@ struct ConfigShape {
 impl Enclave {
     /// An enclave with one empty table.
     pub fn new(config: EnclaveConfig) -> Enclave {
+        let (punt_tx, punt_rx) = spsc(config.max_punted.max(1));
         Enclave {
             config,
             tables: vec![MatchActionTable::default()],
@@ -476,8 +498,13 @@ impl Enclave {
             flow_rules: Vec::new(),
             pool: InterpreterPool::new(config.limits, config.lanes),
             lane_safe: true,
-            punted: Vec::new(),
+            lane_pool: LanePool::new(),
+            punt_tx,
+            punt_rx,
             stats: EnclaveStats::default(),
+            batches_serial: 0,
+            batches_parallel: 0,
+            batch: BatchScratch::default(),
             scratch: Vec::new(),
             classes: Vec::new(),
             last_now: Time::ZERO,
@@ -595,9 +622,18 @@ impl Enclave {
         self.functions[func.0].concurrency
     }
 
-    /// Drain packets punted to the controller.
+    /// Drain packets punted to the controller, oldest first.
     pub fn take_punted(&mut self) -> Vec<Packet> {
-        std::mem::take(&mut self.punted)
+        let mut out = Vec::with_capacity(self.punt_rx.len());
+        while let Some(p) = self.punt_rx.pop() {
+            out.push(p);
+        }
+        out
+    }
+
+    /// Number of punted packets awaiting controller pickup.
+    pub fn punted_len(&self) -> usize {
+        self.punt_rx.len()
     }
 
     /// Interpreter resource usage of the most recent interpreted run on
@@ -1003,7 +1039,10 @@ impl Enclave {
             )
         };
         if walk.punt {
-            self.push_punt(packet.clone());
+            // zero-copy punt: move the packet into the mailbox, leaving
+            // the canonical consumed placeholder (the verdict is Drop, so
+            // the caller releases its slot either way)
+            self.push_punt(std::mem::replace(packet, Packet::consumed()));
         }
         self.stats.account_walk(&walk);
         for (fid, ns) in func_samples {
@@ -1069,27 +1108,196 @@ impl Enclave {
         now: Time,
         direction: FlowDirection,
     ) -> Vec<HookVerdict> {
-        if !self.parallel_eligible(packets.len()) {
-            // serial fallback: literally the per-packet path
-            return packets
-                .iter_mut()
-                .map(|p| self.process_dir(p, rng, now, direction))
-                .collect();
+        let mut out = Vec::with_capacity(packets.len());
+        self.process_batch_dir_into(packets, rng, now, direction, &mut out);
+        out
+    }
+
+    /// Allocation-free egress batch entry point: one verdict per packet
+    /// is *appended* to `out` in packet order, so a caller can reuse a
+    /// single verdict buffer across batches.
+    pub fn process_batch_into(
+        &mut self,
+        packets: &mut [Packet],
+        rng: &mut SimRng,
+        now: Time,
+        out: &mut Vec<HookVerdict>,
+    ) {
+        self.process_batch_dir_into(packets, rng, now, FlowDirection::Egress, out);
+    }
+
+    /// Allocation-free batch processing with an explicit direction.
+    pub fn process_batch_dir_into(
+        &mut self,
+        packets: &mut [Packet],
+        rng: &mut SimRng,
+        now: Time,
+        direction: FlowDirection,
+        out: &mut Vec<HookVerdict>,
+    ) {
+        if packets.is_empty() {
+            return;
         }
-        self.process_batch_parallel(packets, rng, now, direction)
+        if self.parallel_eligible(packets.len()) {
+            self.batches_parallel += 1;
+            self.process_batch_parallel(packets, rng, now, direction, out);
+        } else {
+            self.batches_serial += 1;
+            self.process_batch_serial(packets, rng, now, direction, out);
+        }
     }
 
     /// May this batch take the parallel path? All functions lane-safe
     /// (interpreted, not `Serialized`), more than one lane, batch large
-    /// enough to pay for the thread handoff, and enough message-state
-    /// headroom that lane-side block creation can never trigger a FIFO
-    /// eviction (eviction order is only defined on the serial path).
+    /// enough — in total and per lane — to pay for the worker handoff,
+    /// and enough message-state headroom that lane-side block creation
+    /// can never trigger a FIFO eviction (eviction order is only defined
+    /// on the serial path).
     fn parallel_eligible(&self, n: usize) -> bool {
         self.lane_safe
             && !self.functions.is_empty()
             && self.pool.lanes() > 1
             && n >= self.config.parallel_batch_min.max(1)
+            && n / self.pool.lanes() >= self.config.parallel_per_lane_min.max(1)
             && self.states.iter().all(|s| s.headroom() >= n)
+    }
+
+    /// The serial batch path, staged struct-of-arrays style: classify
+    /// every packet into flat columns (class keys, ranges, message ids,
+    /// RNG forks), batch-probe the class→rule index, then execute the
+    /// whole batch on lane 0's interpreter through one
+    /// [`InterpreterPool::run_lane_batch`] call. Equivalent to per-packet
+    /// [`process_dir`](Self::process_dir) by construction: the same
+    /// `walk_packet` runs in the same packet order against the same
+    /// state, and RNG forks happen in batch order. With tracing enabled
+    /// it *is* the per-packet path, so span and sampler behavior stay
+    /// bit-identical.
+    fn process_batch_serial(
+        &mut self,
+        packets: &mut [Packet],
+        rng: &mut SimRng,
+        now: Time,
+        direction: FlowDirection,
+        out: &mut Vec<HookVerdict>,
+    ) {
+        if self.sampler.enabled() {
+            // per-packet spans and sampler draws: the staged path would
+            // change what gets recorded, so fall back wholesale
+            for p in packets.iter_mut() {
+                let v = self.process_dir(p, rng, now, direction);
+                out.push(v);
+            }
+            return;
+        }
+        let n = packets.len();
+        self.stats.packets += n as u64;
+        self.last_now = now;
+        let mut bs = std::mem::take(&mut self.batch);
+        bs.clear_columns();
+
+        // --- classify: SoA columns, batch order (RNG fork order must
+        // match the per-packet path) ------------------------------------
+        for p in packets.iter() {
+            let start = bs.key_col.len() as u32;
+            classify(p, &self.flow_rules, &mut bs.key_col);
+            bs.ranges.push((start, bs.key_col.len() as u32 - start));
+            bs.msg_ids.push(message_id(p));
+            bs.prngs.push(rng.fork_packet());
+        }
+
+        // --- match: batch-probe table 0 over the flat key column --------
+        {
+            let BatchScratch {
+                key_col,
+                ranges,
+                firsts,
+                ..
+            } = &mut bs;
+            let mut tables = DirectTables(&mut self.tables);
+            for &(start, len) in ranges.iter() {
+                let classes = &key_col[start as usize..(start + len) as usize];
+                firsts.push(tables.lookup(0, classes));
+            }
+        }
+
+        // --- execute: lane 0, one pool call for the whole batch ---------
+        let fail_open = self.config.fail_open;
+        let max_punted = self.config.max_punted;
+        let mut faulted = false;
+        let mut samples: Vec<(usize, u64)> = Vec::new();
+        {
+            let BatchScratch {
+                key_col,
+                ranges,
+                msg_ids,
+                prngs,
+                firsts,
+                ..
+            } = &mut bs;
+            self.pool.run_lane_batch(0, n, |interp, i| {
+                self.scratch.iter_mut().for_each(|v| *v = 0);
+                let (start, len) = ranges[i];
+                let classes = &key_col[start as usize..(start + len) as usize];
+                let packet = &mut packets[i];
+                let walk = {
+                    let mut tables = DirectTables(&mut self.tables);
+                    let mut inv = SerialInvoker {
+                        functions: &mut self.functions,
+                        bindings: &self.pkt_bindings,
+                        states: &mut self.states,
+                        interp,
+                        timed: false,
+                        samples: &mut samples,
+                        ring: &mut self.flight[0],
+                        lane: 0,
+                    };
+                    walk_packet(
+                        &mut tables,
+                        &mut inv,
+                        classes,
+                        msg_ids[i],
+                        packet,
+                        &mut self.scratch,
+                        &mut prngs[i],
+                        now,
+                        direction,
+                        fail_open,
+                        Some(firsts[i]),
+                    )
+                };
+                if walk.punt {
+                    // zero-copy punt: move the packet into the mailbox,
+                    // leaving the same consumed placeholder the
+                    // per-packet path leaves
+                    push_punt_raw(
+                        &mut self.punt_tx,
+                        &mut self.punt_rx,
+                        &mut self.stats,
+                        max_punted,
+                        std::mem::replace(packet, Packet::consumed()),
+                    );
+                }
+                self.stats.account_walk(&walk);
+                if walk.loop_abort {
+                    self.flight[0].record(FlightEvent {
+                        at_ns: now.as_nanos(),
+                        lane: 0,
+                        kind: FlightKind::TableLoop,
+                        a: 0,
+                        b: 0,
+                    });
+                }
+                faulted |= walk.fault;
+                out.push(walk.verdict);
+            });
+        }
+        for (fid, ns) in samples {
+            self.func_latency[fid].record(ns);
+        }
+        self.batch = bs;
+        if faulted {
+            self.freeze_flight("vm_trap");
+        }
     }
 
     fn process_batch_parallel(
@@ -1098,7 +1306,8 @@ impl Enclave {
         rng: &mut SimRng,
         now: Time,
         direction: FlowDirection,
-    ) -> Vec<HookVerdict> {
+        out: &mut Vec<HookVerdict>,
+    ) {
         let n = packets.len();
         let lanes = self.pool.lanes();
         self.stats.packets += n as u64;
@@ -1114,53 +1323,55 @@ impl Enclave {
             });
         }
         let t_classify = tracing.then(std::time::Instant::now);
+        let mut bs = std::mem::take(&mut self.batch);
+        bs.clear_columns();
 
-        // --- classify stage (batch order: RNG forks must match serial) --
-        let metas: Vec<Classified> = {
-            let flow_rules = &self.flow_rules;
-            let sampler = &mut self.sampler;
-            packets
-                .iter()
-                .map(|p| {
-                    let mut classes = Vec::new();
-                    classify(p, flow_rules, &mut classes);
-                    Classified {
-                        classes,
-                        msg_id: message_id(p),
-                        prng: rng.fork_packet(),
-                        sampled: sampler.sample(),
-                    }
-                })
-                .collect()
-        };
+        // --- classify stage: SoA columns, batch order (RNG forks and
+        // sampler draws must match the serial path) ----------------------
+        for p in packets.iter() {
+            let start = bs.key_col.len() as u32;
+            classify(p, &self.flow_rules, &mut bs.key_col);
+            bs.ranges.push((start, bs.key_col.len() as u32 - start));
+            bs.msg_ids.push(message_id(p));
+            bs.prngs.push(rng.fork_packet());
+            bs.sampled.push(self.sampler.sample());
+        }
         let classify_ns = t_classify.map(|t| t.elapsed().as_nanos() as u64);
         let t_match = tracing.then(std::time::Instant::now);
 
-        // --- match stage: table-0 resolution with live counters ---------
-        let firsts: Vec<Lookup> = {
+        // --- match stage: batch-probe table 0 over the flat key column --
+        {
+            let BatchScratch {
+                key_col,
+                ranges,
+                firsts,
+                ..
+            } = &mut bs;
             let mut tables = DirectTables(&mut self.tables);
-            metas.iter().map(|m| tables.lookup(0, &m.classes)).collect()
-        };
+            for &(start, len) in ranges.iter() {
+                firsts.push(tables.lookup(0, &key_col[start as usize..(start + len) as usize]));
+            }
+        }
         let match_ns = t_match.map(|t| t.elapsed().as_nanos() as u64);
         let t_execute = tracing.then(std::time::Instant::now);
 
         // --- partition into lanes by message id -------------------------
-        let mut lane_work: Vec<Vec<LaneItem<'_>>> = (0..lanes).map(|_| Vec::new()).collect();
-        for (idx, ((packet, meta), first)) in packets.iter_mut().zip(metas).zip(firsts).enumerate()
-        {
-            let lane = (meta.msg_id % lanes as u64) as usize;
-            lane_work[lane].push(LaneItem {
-                idx,
-                packet,
-                classes: meta.classes,
-                msg_id: meta.msg_id,
-                prng: meta.prng,
-                first,
-                sampled: meta.sampled,
-            });
+        bs.lane_idx.resize_with(lanes, Vec::new);
+        for v in bs.lane_idx.iter_mut() {
+            v.clear();
+        }
+        for (i, &m) in bs.msg_ids.iter().enumerate() {
+            bs.lane_idx[(m % lanes as u64) as usize].push(i as u32);
         }
 
-        // --- execute stage: scoped worker lanes --------------------------
+        // --- execute stage: persistent worker lanes ---------------------
+        let rule_counts: Vec<usize> = self.tables.iter().map(|t| t.rules.len()).collect();
+        let scratch_len = self.scratch.len();
+        let nfuncs = self.functions.len();
+        bs.lane_scratch.resize_with(lanes, LaneScratch::default);
+        for scr in bs.lane_scratch.iter_mut() {
+            scr.reset(&rule_counts, nfuncs, scratch_len);
+        }
         let lane_funcs: Vec<LaneFunc<'_>> = self
             .functions
             .iter()
@@ -1189,79 +1400,86 @@ impl Enclave {
             }
         }
 
-        let tables = &self.tables;
-        let bindings = &self.pkt_bindings;
+        let slab = PacketSlab::new(packets);
         let fail_open = self.config.fail_open;
-        let rule_counts: Vec<usize> = tables.iter().map(|t| t.rules.len()).collect();
-        let interps = self.pool.lanes_mut();
-        let rings = self.flight.as_mut_slice();
-
-        let outs: Vec<LaneOut> = {
-            let lane_funcs = &lane_funcs;
-            let rule_counts = &rule_counts;
-            crossbeam::scope(|s| {
-                let handles: Vec<_> = lane_work
-                    .into_iter()
-                    .zip(lane_states)
-                    .zip(interps.iter_mut())
-                    .zip(rings.iter_mut())
-                    .enumerate()
-                    .map(|(lane, (((work, states), interp), ring))| {
-                        s.spawn(move |_| {
-                            run_lane(
-                                work,
-                                tables,
-                                lane_funcs,
-                                bindings,
-                                states,
-                                interp,
-                                ring,
-                                lane as u16,
-                                rule_counts,
-                                now,
-                                direction,
-                                fail_open,
-                            )
-                        })
-                    })
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("lane thread panicked"))
-                    .collect()
-            })
-            .expect("worker scope")
-        };
-
+        {
+            let BatchScratch {
+                key_col,
+                ranges,
+                msg_ids,
+                prngs,
+                sampled,
+                firsts,
+                lane_idx,
+                lane_scratch,
+            } = &mut bs;
+            let key_col: &[u32] = key_col;
+            let ranges: &[(u32, u32)] = ranges;
+            let msg_ids: &[u64] = msg_ids;
+            let prngs: &[PacketRng] = prngs;
+            let sampled: &[bool] = sampled;
+            let firsts: &[Lookup] = firsts;
+            let mut tasks: Vec<LaneTask<'_, '_>> = lane_idx
+                .iter()
+                .zip(lane_scratch.iter_mut())
+                .zip(lane_states)
+                .zip(self.pool.lanes_mut().iter_mut())
+                .zip(self.flight.iter_mut())
+                .enumerate()
+                .map(|(lane, ((((idxs, scr), states), interp), ring))| LaneTask {
+                    idxs,
+                    key_col,
+                    ranges,
+                    msg_ids,
+                    prngs,
+                    sampled,
+                    firsts,
+                    slab: &slab,
+                    tables: &self.tables,
+                    funcs: &lane_funcs,
+                    bindings: &self.pkt_bindings,
+                    states,
+                    interp,
+                    ring,
+                    scr,
+                    now,
+                    direction,
+                    fail_open,
+                    lane: lane as u16,
+                })
+                .collect();
+            self.lane_pool.run(&mut tasks, run_lane_task);
+        }
         let execute_ns = t_execute.map(|t| t.elapsed().as_nanos() as u64);
 
         // --- merge stage: counters in lane order, packet-ordered queues --
-        let mut verdicts = vec![HookVerdict::Pass; n];
-        let mut all_punts: Vec<(usize, Packet)> = Vec::new();
+        let base = out.len();
+        out.resize(base + n, HookVerdict::Pass);
+        let mut all_punts: Vec<(u32, Packet)> = Vec::new();
         let mut all_created: Vec<(usize, usize, u64)> = Vec::new();
         let mut faulted = false;
-        for out in outs {
-            faulted |= out.stats.faults > 0;
-            for (fid, ns) in &out.func_samples {
-                self.func_latency[*fid].record(*ns);
+        for scr in bs.lane_scratch.iter_mut() {
+            faulted |= scr.stats.faults > 0;
+            for &(fid, ns) in &scr.func_samples {
+                self.func_latency[fid].record(ns);
             }
-            self.stats.merge(&out.stats);
-            for (tbl, d) in self.tables.iter_mut().zip(out.table_deltas) {
+            self.stats.merge(&scr.stats);
+            for (tbl, d) in self.tables.iter_mut().zip(&scr.table_deltas) {
                 tbl.lookups += d.lookups;
                 tbl.matched += d.matched;
                 tbl.missed += d.missed;
-                for (rule, hits) in tbl.rules.iter_mut().zip(d.rule_hits) {
+                for (rule, &hits) in tbl.rules.iter_mut().zip(&d.rule_hits) {
                     rule.hits += hits;
                 }
             }
-            for (f, d) in self.functions.iter_mut().zip(out.func_deltas) {
+            for (f, d) in self.functions.iter_mut().zip(&scr.func_deltas) {
                 d.apply_to(f);
             }
-            for (idx, v) in out.verdicts {
-                verdicts[idx] = v;
+            for (idx, v) in scr.verdicts.drain(..) {
+                out[base + idx as usize] = v;
             }
-            all_punts.extend(out.punts);
-            all_created.extend(out.created);
+            all_punts.append(&mut scr.punts);
+            all_created.append(&mut scr.created);
         }
         // replay lane-side message-block creations and punts in packet
         // arrival order, so FIFO bookkeeping and the mailbox match the
@@ -1275,6 +1493,7 @@ impl Enclave {
         for (_, p) in all_punts {
             self.push_punt(p);
         }
+        self.batch = bs;
         // batch-level stage trace: one root span with the three pipeline
         // stages as children, laid out back to back from the batch instant
         if let (Some(c), Some(m), Some(e)) = (classify_ns, match_ns, execute_ns) {
@@ -1296,21 +1515,18 @@ impl Enclave {
         if faulted {
             self.freeze_flight("vm_trap");
         }
-        verdicts
     }
 
     /// Append to the bounded punt mailbox, evicting the oldest punt (and
     /// counting it) when full.
     fn push_punt(&mut self, packet: Packet) {
-        if self.config.max_punted == 0 {
-            self.stats.punt_drops += 1;
-            return;
-        }
-        if self.punted.len() >= self.config.max_punted {
-            self.punted.remove(0);
-            self.stats.punt_drops += 1;
-        }
-        self.punted.push(packet);
+        push_punt_raw(
+            &mut self.punt_tx,
+            &mut self.punt_rx,
+            &mut self.stats,
+            self.config.max_punted,
+            packet,
+        );
     }
 
     // ------------------------------------------------------------------
@@ -1409,7 +1625,15 @@ impl Enclave {
             enqueue_charge_bytes: self.stats.enqueue_charge_bytes,
             punt_drops: self.stats.punt_drops,
             table_loop_aborts: self.stats.table_loop_aborts,
+            batches_serial: self.batches_serial,
+            batches_parallel: self.batches_parallel,
         }
+    }
+
+    /// Which batch path ran, `(serial, parallel)` — satellite telemetry
+    /// for the per-lane fan-out gate.
+    pub fn batch_path_counts(&self) -> (u64, u64) {
+        (self.batches_serial, self.batches_parallel)
     }
 
     /// Named latency histograms for a snapshot: pipeline stages, sampled
@@ -1546,8 +1770,9 @@ impl PacketHook for Enclave {
         &mut self,
         packets: &mut [Packet],
         env: &mut HookEnv<'_>,
-    ) -> Vec<HookVerdict> {
-        self.process_batch_dir(packets, env.rng, env.now, FlowDirection::Egress)
+        verdicts: &mut Vec<HookVerdict>,
+    ) {
+        self.process_batch_dir_into(packets, env.rng, env.now, FlowDirection::Egress, verdicts);
     }
 
     fn on_ingress(&mut self, packet: &mut Packet, env: &mut HookEnv<'_>) -> HookVerdict {
@@ -1963,112 +2188,183 @@ impl Invoker for LaneInvoker<'_, '_> {
     }
 }
 
-/// One packet's assignment to a worker lane.
-struct LaneItem<'p> {
-    idx: usize,
-    packet: &'p mut Packet,
-    classes: Vec<u32>,
-    msg_id: u64,
-    prng: PacketRng,
-    first: Lookup,
-    /// Trace-sampled (decided in the classify pass, in batch order).
-    sampled: bool,
+/// Reused struct-of-arrays scratch for the batched stages. Taken with
+/// `mem::take` at batch start and restored after, so steady-state batches
+/// run entirely out of recycled allocations.
+#[derive(Debug, Default)]
+struct BatchScratch {
+    /// Flat class-key column: every packet's class list, back to back.
+    key_col: Vec<u32>,
+    /// Per-packet `(start, len)` spans into `key_col`.
+    ranges: Vec<(u32, u32)>,
+    /// Message-identity column.
+    msg_ids: Vec<u64>,
+    /// Per-packet forked RNG column (fork order = batch order).
+    prngs: Vec<PacketRng>,
+    /// Trace-sampled flags (parallel path; the serial staged path only
+    /// runs with tracing off).
+    sampled: Vec<bool>,
+    /// Match-stage output: table-0 resolution per packet.
+    firsts: Vec<Lookup>,
+    /// Per-lane packet-index partitions (parallel path).
+    lane_idx: Vec<Vec<u32>>,
+    /// Per-lane execute-stage scratch and outputs (parallel path).
+    lane_scratch: Vec<LaneScratch>,
 }
 
-/// Classify-stage output for one packet.
-struct Classified {
-    classes: Vec<u32>,
-    msg_id: u64,
-    prng: PacketRng,
-    sampled: bool,
+impl BatchScratch {
+    fn clear_columns(&mut self) {
+        self.key_col.clear();
+        self.ranges.clear();
+        self.msg_ids.clear();
+        self.prngs.clear();
+        self.sampled.clear();
+        self.firsts.clear();
+    }
 }
 
-/// Everything one worker lane hands back for the merge stage.
-struct LaneOut {
-    verdicts: Vec<(usize, HookVerdict)>,
+/// One worker lane's reusable execute-stage scratch and outputs.
+#[derive(Debug, Default)]
+struct LaneScratch {
+    verdicts: Vec<(u32, HookVerdict)>,
     stats: EnclaveStats,
     table_deltas: Vec<TableDelta>,
     func_deltas: Vec<FuncDelta>,
-    punts: Vec<(usize, Packet)>,
+    /// `(batch index, packet)` punts, *moved* out of the slab (the slot
+    /// keeps the consumed placeholder, same as the serial path).
+    punts: Vec<(u32, Packet)>,
+    /// `(batch index, function, message)` of state blocks this lane
+    /// created, for packet-order FIFO replay at merge time.
     created: Vec<(usize, usize, u64)>,
     /// Sampled `(function, elapsed ns)` pairs from this lane.
     func_samples: Vec<(usize, u64)>,
+    /// Packet-lifetime scratch for unmapped fields.
+    pkt_scratch: Vec<i64>,
 }
 
-#[allow(clippy::too_many_arguments)]
-fn run_lane<'a>(
-    work: Vec<LaneItem<'_>>,
-    tables: &[MatchActionTable],
+impl LaneScratch {
+    fn reset(&mut self, rule_counts: &[usize], funcs: usize, scratch_len: usize) {
+        self.verdicts.clear();
+        self.stats = EnclaveStats::default();
+        self.table_deltas.clear();
+        self.table_deltas
+            .extend(rule_counts.iter().map(|&n| TableDelta::for_rules(n)));
+        self.func_deltas.clear();
+        self.func_deltas.resize(funcs, FuncDelta::default());
+        self.punts.clear();
+        self.created.clear();
+        self.func_samples.clear();
+        self.pkt_scratch.clear();
+        self.pkt_scratch.resize(scratch_len, 0);
+    }
+}
+
+/// Everything one worker lane needs for the execute stage: its packet
+/// indices, shared read-only views of the SoA columns / tables /
+/// functions, its own state shards and interpreter, and its
+/// [`LaneScratch`] outputs. Packets are written in place through the
+/// shared [`PacketSlab`]; soundness rests on the lane partition being
+/// disjoint (each batch index appears in exactly one lane's `idxs`).
+struct LaneTask<'a, 'p> {
+    idxs: &'a [u32],
+    key_col: &'a [u32],
+    ranges: &'a [(u32, u32)],
+    msg_ids: &'a [u64],
+    prngs: &'a [PacketRng],
+    sampled: &'a [bool],
+    firsts: &'a [Lookup],
+    slab: &'a PacketSlab<'p>,
+    tables: &'a [MatchActionTable],
     funcs: &'a [LaneFunc<'a>],
     bindings: &'a [Vec<(Option<HeaderField>, Access)>],
-    mut states: Vec<LaneFnState<'a>>,
-    interp: &mut Interpreter,
-    ring: &mut FlightRing,
-    lane: u16,
-    rule_counts: &[usize],
+    states: Vec<LaneFnState<'a>>,
+    interp: &'a mut Interpreter,
+    ring: &'a mut FlightRing,
+    scr: &'a mut LaneScratch,
     now: Time,
     direction: FlowDirection,
     fail_open: bool,
-) -> LaneOut {
-    let mut table_deltas: Vec<TableDelta> = rule_counts
-        .iter()
-        .map(|&n| TableDelta::for_rules(n))
-        .collect();
-    let mut func_deltas: Vec<FuncDelta> = vec![FuncDelta::default(); funcs.len()];
-    let mut stats = EnclaveStats::default();
-    let mut verdicts = Vec::with_capacity(work.len());
-    let mut punts = Vec::new();
-    let mut created = Vec::new();
-    let mut func_samples = Vec::new();
-    let mut scratch = vec![0i64; bindings.iter().map(|b| b.len()).max().unwrap_or(0)];
-    for mut item in work {
-        scratch.iter_mut().for_each(|v| *v = 0);
+    lane: u16,
+}
+
+/// The per-lane execute stage: one [`Interpreter::run_batch`] call walks
+/// every packet index assigned to this lane, reading the shared SoA
+/// columns and writing packets in place through the [`PacketSlab`].
+fn run_lane_task(_lane: usize, t: &mut LaneTask<'_, '_>) {
+    let interp = &mut *t.interp;
+    interp.run_batch(t.idxs.len(), |interp, k| {
+        let i = t.idxs[k] as usize;
+        let (start, len) = t.ranges[i];
+        let classes = &t.key_col[start as usize..(start + len) as usize];
+        let mut prng = t.prngs[i].clone();
+        // SAFETY: lanes partition batch indices disjointly, so no other
+        // lane touches this packet slot, and `LanePool::run`'s barrier
+        // keeps the slab alive until every lane is done.
+        let packet = unsafe { t.slab.pkt_mut(PacketRef(t.idxs[k])) };
+        t.scr.pkt_scratch.iter_mut().for_each(|v| *v = 0);
         let walk = {
-            let mut tbl = SharedTables {
-                tables,
-                deltas: &mut table_deltas,
+            let mut tables = SharedTables {
+                tables: t.tables,
+                deltas: &mut t.scr.table_deltas,
             };
             let mut inv = LaneInvoker {
-                funcs,
-                bindings,
-                states: &mut states,
-                func_deltas: &mut func_deltas,
+                funcs: t.funcs,
+                bindings: t.bindings,
+                states: &mut t.states,
+                func_deltas: &mut t.scr.func_deltas,
                 interp,
-                created: &mut created,
-                batch_idx: item.idx,
-                timed: item.sampled,
-                samples: &mut func_samples,
-                ring,
-                lane,
+                created: &mut t.scr.created,
+                batch_idx: i,
+                timed: t.sampled[i],
+                samples: &mut t.scr.func_samples,
+                ring: &mut *t.ring,
+                lane: t.lane,
             };
             walk_packet(
-                &mut tbl,
+                &mut tables,
                 &mut inv,
-                &item.classes,
-                item.msg_id,
-                item.packet,
-                &mut scratch,
-                &mut item.prng,
-                now,
-                direction,
-                fail_open,
-                Some(item.first),
+                classes,
+                t.msg_ids[i],
+                packet,
+                &mut t.scr.pkt_scratch,
+                &mut prng,
+                t.now,
+                t.direction,
+                t.fail_open,
+                Some(t.firsts[i]),
             )
         };
         if walk.punt {
-            punts.push((item.idx, item.packet.clone()));
+            // zero-copy punt: move out of the slab, leaving the same
+            // consumed placeholder the serial path leaves
+            t.scr
+                .punts
+                .push((i as u32, std::mem::replace(packet, Packet::consumed())));
         }
-        stats.account_walk(&walk);
-        verdicts.push((item.idx, walk.verdict));
+        t.scr.stats.account_walk(&walk);
+        t.scr.verdicts.push((i as u32, walk.verdict));
+    });
+}
+
+/// Append to the bounded punt-mailbox ring: when full, pop (and count)
+/// the oldest punt first — O(1), where the old `Vec::remove(0)` mailbox
+/// shifted every queued punt on each eviction.
+fn push_punt_raw(
+    tx: &mut Producer<Packet>,
+    rx: &mut Consumer<Packet>,
+    stats: &mut EnclaveStats,
+    max_punted: usize,
+    packet: Packet,
+) {
+    if max_punted == 0 {
+        stats.punt_drops += 1;
+        return;
     }
-    LaneOut {
-        verdicts,
-        stats,
-        table_deltas,
-        func_deltas,
-        punts,
-        created,
-        func_samples,
+    if let Err(packet) = tx.push(packet) {
+        let _ = rx.pop();
+        stats.punt_drops += 1;
+        let pushed = tx.push(packet).is_ok();
+        debug_assert!(pushed, "punt ring has a free slot after eviction");
     }
 }
 
@@ -2504,6 +2800,7 @@ mod tests {
         let mut e = Enclave::new(EnclaveConfig {
             max_messages_per_function: 10,
             parallel_batch_min: 1,
+            parallel_per_lane_min: 1,
             ..EnclaveConfig::default()
         });
         let schema = Schema::new()

@@ -1,0 +1,306 @@
+//! Persistent worker threads for the enclave's parallel lanes.
+//!
+//! PR 2's batch path spawned a `crossbeam::scope` per batch: thread
+//! creation plus teardown cost ~60–70 µs per batch, which is why 4-lane
+//! batch-8 measured ~25× *worse* than serial. This pool spawns each lane
+//! worker once (lazily, on the first parallel batch — fuzzers construct
+//! millions of enclaves that never go parallel) and dispatches per-batch
+//! work over the lock-free SPSC [`ring`](crate::ring)s, so steady-state
+//! fan-out is two ring operations and an unpark per lane.
+//!
+//! [`LanePool::run`] is a *barrier*: lane 0 runs inline on the caller's
+//! thread, lanes 1.. run on workers, and the call returns only after
+//! every dispatched worker has reported completion (or re-raises a worker
+//! panic). That barrier is the soundness argument for the lifetime
+//! erasure below — the borrowed task data in `Job` cannot outlive `run`
+//! because `run` does not return while any worker still holds a `Job`.
+
+use crate::ring::{spsc, Consumer, Producer};
+use std::any::Any;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::thread::JoinHandle;
+
+/// A lifetime-erased unit of lane work. `slot` points at a `TaskSlot<T>`
+/// on the coordinator's stack; `call` is the monomorphized trampoline
+/// that knows `T` again.
+struct Job {
+    slot: *mut (),
+    call: unsafe fn(*mut (), usize),
+    lane: usize,
+}
+
+// SAFETY: a Job is produced from `&mut T` where `T: Send`, consumed by
+// exactly one worker, and the coordinator blocks until the worker is done
+// — so the pointee is valid for the Job's whole life and never aliased.
+unsafe impl Send for Job {}
+
+struct TaskSlot<T> {
+    f: fn(usize, &mut T),
+    task: *mut T,
+}
+
+unsafe fn trampoline<T>(slot: *mut (), lane: usize) {
+    // SAFETY: `slot` was created from `&mut TaskSlot<T>` by `run`, which
+    // keeps the slot vec alive (and unmoved) until the barrier completes.
+    let slot = unsafe { &mut *slot.cast::<TaskSlot<T>>() };
+    // SAFETY: `task` came from a distinct `&mut T`; only this worker
+    // dereferences it while the job is outstanding.
+    (slot.f)(lane, unsafe { &mut *slot.task });
+}
+
+enum Msg {
+    Run(Job),
+    Shutdown,
+}
+
+/// `Ok` or the payload of a worker panic, re-raised on the coordinator.
+type Done = Result<(), Box<dyn Any + Send>>;
+
+struct Worker {
+    work: Producer<Msg>,
+    done: Consumer<Done>,
+    handle: std::thread::Thread,
+    join: Option<JoinHandle<()>>,
+}
+
+impl Worker {
+    fn spawn(index: usize) -> Worker {
+        // capacity 2: at most one outstanding job plus a shutdown message
+        let (work_tx, mut work_rx) = spsc::<Msg>(2);
+        let (mut done_tx, done_rx) = spsc::<Done>(2);
+        let join = std::thread::Builder::new()
+            .name(format!("eden-lane-{}", index + 1))
+            .spawn(move || {
+                // spin briefly between batches (lanes are latency-bound),
+                // then park until the coordinator pushes and unparks
+                let mut idle = 0u32;
+                loop {
+                    match work_rx.pop() {
+                        Some(Msg::Run(job)) => {
+                            idle = 0;
+                            let result = catch_unwind(AssertUnwindSafe(|| {
+                                // SAFETY: see `Job` — pointee valid until
+                                // the coordinator's barrier releases.
+                                unsafe { (job.call)(job.slot, job.lane) }
+                            }));
+                            // capacity can't be exceeded: one done per job
+                            let _ = done_tx.push(result);
+                        }
+                        Some(Msg::Shutdown) => break,
+                        None => {
+                            // Spin only briefly, then yield before parking:
+                            // on a single-core host an idle worker spinning
+                            // through its timeslice starves the coordinator
+                            // (and sibling lanes) it is waiting on.
+                            idle += 1;
+                            if idle < 64 {
+                                std::hint::spin_loop();
+                            } else if idle < 128 {
+                                std::thread::yield_now();
+                            } else {
+                                std::thread::park();
+                            }
+                        }
+                    }
+                }
+            })
+            .expect("spawn lane worker");
+        Worker {
+            work: work_tx,
+            done: done_rx,
+            handle: join.thread().clone(),
+            join: Some(join),
+        }
+    }
+
+    fn send(&mut self, msg: Msg) {
+        let pushed = self.work.push(msg).is_ok();
+        debug_assert!(pushed, "lane work ring overflow (protocol violation)");
+        self.handle.unpark();
+    }
+
+    fn wait_done(&mut self) -> Done {
+        // Short spin for the multicore fast path, then yield: the worker
+        // may need this very core to produce the result we are polling
+        // for, and yield_now is near-free when nothing else is runnable.
+        let mut idle = 0u32;
+        loop {
+            if let Some(done) = self.done.pop() {
+                return done;
+            }
+            idle += 1;
+            if idle < 64 {
+                std::hint::spin_loop();
+            } else {
+                std::thread::yield_now();
+            }
+        }
+    }
+}
+
+/// A pool of persistent lane workers with a fork-join `run` entry point.
+pub struct LanePool {
+    workers: Vec<Worker>,
+}
+
+impl Default for LanePool {
+    fn default() -> LanePool {
+        LanePool::new()
+    }
+}
+
+impl LanePool {
+    /// An empty pool; workers spawn lazily on first use.
+    pub fn new() -> LanePool {
+        LanePool {
+            workers: Vec::new(),
+        }
+    }
+
+    /// Number of workers currently spawned (test/telemetry hook).
+    pub fn spawned(&self) -> usize {
+        self.workers.len()
+    }
+
+    fn ensure_workers(&mut self, n: usize) {
+        while self.workers.len() < n {
+            let index = self.workers.len();
+            self.workers.push(Worker::spawn(index));
+        }
+    }
+
+    /// Run `f(lane, &mut tasks[lane])` for every task: lane 0 inline on
+    /// this thread, the rest on pool workers. Blocks until all lanes
+    /// finish; a worker panic is re-raised here after the barrier (so
+    /// borrows never escape).
+    pub fn run<T: Send>(&mut self, tasks: &mut [T], f: fn(usize, &mut T)) {
+        let lanes = tasks.len();
+        if lanes == 0 {
+            return;
+        }
+        self.ensure_workers(lanes - 1);
+        let (lane0, rest) = tasks.split_first_mut().expect("lanes >= 1");
+        // slots must not move while workers hold pointers into them:
+        // sized exactly, never pushed afterwards
+        let mut slots: Vec<TaskSlot<T>> = rest
+            .iter_mut()
+            .map(|task| TaskSlot {
+                f,
+                task: task as *mut T,
+            })
+            .collect();
+        for (i, (worker, slot)) in self.workers.iter_mut().zip(slots.iter_mut()).enumerate() {
+            worker.send(Msg::Run(Job {
+                slot: (slot as *mut TaskSlot<T>).cast(),
+                call: trampoline::<T>,
+                lane: i + 1,
+            }));
+        }
+        let inline = catch_unwind(AssertUnwindSafe(|| f(0, lane0)));
+        // barrier: wait for EVERY dispatched worker even if one (or the
+        // inline lane) panicked — otherwise task borrows would escape
+        let mut panic: Option<Box<dyn Any + Send>> = None;
+        for worker in self.workers.iter_mut().take(lanes - 1) {
+            if let Err(payload) = worker.wait_done() {
+                panic = Some(payload);
+            }
+        }
+        if let Err(payload) = inline {
+            panic = Some(payload);
+        }
+        if let Some(payload) = panic {
+            resume_unwind(payload);
+        }
+    }
+}
+
+impl Drop for LanePool {
+    fn drop(&mut self) {
+        for worker in &mut self.workers {
+            worker.send(Msg::Shutdown);
+        }
+        for worker in &mut self.workers {
+            if let Some(join) = worker.join.take() {
+                let _ = join.join();
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for LanePool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LanePool")
+            .field("spawned", &self.workers.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runs_every_lane_once() {
+        let mut pool = LanePool::new();
+        assert_eq!(pool.spawned(), 0, "lazy spawn");
+        let mut tasks: Vec<(usize, u64)> = (0..4).map(|i| (i, 0u64)).collect();
+        pool.run(&mut tasks, |lane, t| {
+            assert_eq!(lane, t.0, "lane index matches task slot");
+            t.1 = 100 + lane as u64;
+        });
+        assert_eq!(pool.spawned(), 3, "coordinator runs lane 0 inline");
+        let got: Vec<u64> = tasks.iter().map(|t| t.1).collect();
+        assert_eq!(got, vec![100, 101, 102, 103]);
+    }
+
+    #[test]
+    fn reuses_workers_across_batches() {
+        let mut pool = LanePool::new();
+        let mut acc = vec![0u64; 3];
+        for round in 0..100u64 {
+            let mut tasks: Vec<(u64, &mut u64)> =
+                acc.iter_mut().map(|slot| (round, slot)).collect();
+            pool.run(&mut tasks, |_, t| *t.1 += t.0);
+        }
+        assert_eq!(pool.spawned(), 2);
+        let want: u64 = (0..100).sum();
+        assert_eq!(acc, vec![want; 3]);
+    }
+
+    #[test]
+    fn shrinking_and_growing_lane_counts() {
+        let mut pool = LanePool::new();
+        for lanes in [4usize, 1, 2, 8, 3] {
+            let mut tasks = vec![0u32; lanes];
+            pool.run(&mut tasks, |lane, t| *t = lane as u32 + 1);
+            let want: Vec<u32> = (1..=lanes as u32).collect();
+            assert_eq!(tasks, want);
+        }
+        assert_eq!(pool.spawned(), 7);
+    }
+
+    #[test]
+    fn worker_panic_propagates_after_barrier() {
+        let mut pool = LanePool::new();
+        let mut tasks = vec![0u8; 4];
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            pool.run(&mut tasks, |lane, _| {
+                if lane == 2 {
+                    panic!("lane 2 exploded");
+                }
+            });
+        }));
+        assert!(result.is_err(), "panic reaches the coordinator");
+        // the pool is still usable afterwards
+        pool.run(&mut tasks, |lane, t| *t = lane as u8);
+        assert_eq!(tasks, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn empty_task_list_is_a_noop() {
+        let mut pool = LanePool::new();
+        let mut tasks: Vec<u8> = Vec::new();
+        pool.run(&mut tasks, |_, _| unreachable!());
+        assert_eq!(pool.spawned(), 0);
+    }
+}

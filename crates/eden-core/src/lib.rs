@@ -31,12 +31,14 @@ pub mod class;
 pub mod controller;
 pub mod enclave;
 pub mod headermap;
+pub mod lanes;
 pub mod ops;
+pub mod ring;
 pub mod stage;
 pub mod state;
 
 pub use action::{ActionImpl, FuncId, InstalledFunction, NativeEnv, NativeFn};
-pub use class::{ClassId, ClassRegistry};
+pub use class::{ClassId, ClassIndex, ClassRegistry};
 pub use controller::{Controller, PathSpec};
 pub use eden_telemetry::{StatsSnapshot, Telemetry};
 pub use enclave::{
@@ -44,6 +46,8 @@ pub use enclave::{
     MatchSpec, Rule, TableId,
 };
 pub use headermap::{read_header_field, write_header_field};
+pub use lanes::LanePool;
+pub use netsim::arena::{PacketArena, PacketRef, PacketSlab};
 pub use ops::{ApplyError, EnclaveOp};
 pub use stage::{FieldValue, Matcher, Stage, StageInfo, StageRule};
 pub use state::FunctionState;

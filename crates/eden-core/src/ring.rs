@@ -1,0 +1,296 @@
+//! Lock-free bounded single-producer/single-consumer rings.
+//!
+//! The batched data path wants fixed-capacity queues with no locks and no
+//! per-element allocation in two places: the punt mailbox (bounded, oldest
+//! evicted under pressure — see `Enclave::push_punt`) and the lane pool's
+//! work/result channels (one producer, one consumer, by construction).
+//! Both are SPSC, so one ring type serves both.
+//!
+//! Soundness comes from the split-handle API: [`spsc`] returns a
+//! [`Producer`]/[`Consumer`] pair and each half requires `&mut self`, so
+//! at most one thread can be pushing and one popping at any instant —
+//! the only discipline the memory orderings below rely on. Positions are
+//! free-running counters (`head` = next pop, `tail` = next push) masked
+//! into a power-of-two slot array; the producer publishes a slot with a
+//! `Release` store of `tail` and the consumer acquires it before reading,
+//! and symmetrically for `head` when a slot is vacated. Each half keeps a
+//! cached copy of the other's counter so the uncontended fast path touches
+//! only its own cache line.
+//!
+//! The counters wrap after `usize::MAX` operations — at one push per
+//! nanosecond that is ~584 years, which the data path accepts.
+
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Shared ring storage. `buf.len()` is `cap.next_power_of_two()`; only
+/// `cap` slots are ever live at once, so a slot is never overwritten
+/// before the consumer vacates it.
+struct Inner<T> {
+    buf: Box<[UnsafeCell<MaybeUninit<T>>]>,
+    mask: usize,
+    cap: usize,
+    /// Next position to pop (consumer-owned, producer reads).
+    head: AtomicUsize,
+    /// Next position to push (producer-owned, consumer reads).
+    tail: AtomicUsize,
+}
+
+// The UnsafeCell slots are handed across threads, but each live slot is
+// touched by exactly one side at a time (producer until the Release store
+// of `tail` publishes it, consumer after the Acquire load observes it).
+unsafe impl<T: Send> Send for Inner<T> {}
+unsafe impl<T: Send> Sync for Inner<T> {}
+
+impl<T> Drop for Inner<T> {
+    fn drop(&mut self) {
+        // both handles are gone (`Arc` strong count hit zero), so plain
+        // reads of the counters are race-free
+        let head = *self.head.get_mut();
+        let tail = *self.tail.get_mut();
+        for pos in head..tail {
+            // SAFETY: positions in [head, tail) hold initialized values
+            // nobody popped; this is the only remaining reference.
+            unsafe { (*self.buf[pos & self.mask].get()).assume_init_drop() };
+        }
+    }
+}
+
+/// The push half of an SPSC ring.
+pub struct Producer<T> {
+    inner: Arc<Inner<T>>,
+    /// Last observed consumer position (refreshed only when full).
+    head_cache: usize,
+}
+
+/// The pop half of an SPSC ring.
+pub struct Consumer<T> {
+    inner: Arc<Inner<T>>,
+    /// Last observed producer position (refreshed only when empty).
+    tail_cache: usize,
+}
+
+/// A bounded SPSC ring of logical capacity `capacity` (at least 1),
+/// returned as its two single-owner halves.
+pub fn spsc<T>(capacity: usize) -> (Producer<T>, Consumer<T>) {
+    let cap = capacity.max(1);
+    let slots = cap.next_power_of_two();
+    let buf: Box<[UnsafeCell<MaybeUninit<T>>]> = (0..slots)
+        .map(|_| UnsafeCell::new(MaybeUninit::uninit()))
+        .collect();
+    let inner = Arc::new(Inner {
+        buf,
+        mask: slots - 1,
+        cap,
+        head: AtomicUsize::new(0),
+        tail: AtomicUsize::new(0),
+    });
+    (
+        Producer {
+            inner: Arc::clone(&inner),
+            head_cache: 0,
+        },
+        Consumer {
+            inner,
+            tail_cache: 0,
+        },
+    )
+}
+
+impl<T> Producer<T> {
+    /// Push `value`, or hand it back when the ring is full.
+    pub fn push(&mut self, value: T) -> Result<(), T> {
+        let tail = self.inner.tail.load(Ordering::Relaxed);
+        if tail.wrapping_sub(self.head_cache) >= self.inner.cap {
+            self.head_cache = self.inner.head.load(Ordering::Acquire);
+            if tail.wrapping_sub(self.head_cache) >= self.inner.cap {
+                return Err(value);
+            }
+        }
+        // SAFETY: the slot at `tail` is vacant (occupancy < cap) and this
+        // is the only producer; the Release store below publishes it.
+        unsafe { (*self.inner.buf[tail & self.inner.mask].get()).write(value) };
+        self.inner
+            .tail
+            .store(tail.wrapping_add(1), Ordering::Release);
+        Ok(())
+    }
+
+    /// Current occupancy (racy by nature: the consumer may pop concurrently).
+    pub fn len(&self) -> usize {
+        let tail = self.inner.tail.load(Ordering::Relaxed);
+        let head = self.inner.head.load(Ordering::Acquire);
+        tail.wrapping_sub(head)
+    }
+
+    /// Whether the ring is empty at this instant.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Whether the ring is full at this instant.
+    pub fn is_full(&self) -> bool {
+        self.len() >= self.inner.cap
+    }
+
+    /// Logical capacity.
+    pub fn capacity(&self) -> usize {
+        self.inner.cap
+    }
+}
+
+impl<T> Consumer<T> {
+    /// Pop the oldest value, or `None` when the ring is empty.
+    pub fn pop(&mut self) -> Option<T> {
+        let head = self.inner.head.load(Ordering::Relaxed);
+        if head == self.tail_cache {
+            self.tail_cache = self.inner.tail.load(Ordering::Acquire);
+            if head == self.tail_cache {
+                return None;
+            }
+        }
+        // SAFETY: head < tail, so the slot holds a value the producer
+        // published with Release (acquired above or in a previous refresh);
+        // the store below vacates it for reuse.
+        let value = unsafe { (*self.inner.buf[head & self.inner.mask].get()).assume_init_read() };
+        self.inner
+            .head
+            .store(head.wrapping_add(1), Ordering::Release);
+        Some(value)
+    }
+
+    /// Current occupancy (racy by nature: the producer may push concurrently).
+    pub fn len(&self) -> usize {
+        let tail = self.inner.tail.load(Ordering::Acquire);
+        let head = self.inner.head.load(Ordering::Relaxed);
+        tail.wrapping_sub(head)
+    }
+
+    /// Whether the ring is empty at this instant.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Logical capacity.
+    pub fn capacity(&self) -> usize {
+        self.inner.cap
+    }
+}
+
+impl<T> std::fmt::Debug for Producer<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Producer")
+            .field("len", &self.len())
+            .field("capacity", &self.capacity())
+            .finish()
+    }
+}
+
+impl<T> std::fmt::Debug for Consumer<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Consumer")
+            .field("len", &self.len())
+            .field("capacity", &self.capacity())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order_and_capacity() {
+        let (mut tx, mut rx) = spsc::<u32>(3);
+        assert_eq!(tx.capacity(), 3);
+        assert!(rx.pop().is_none(), "starts empty");
+        assert!(tx.push(1).is_ok());
+        assert!(tx.push(2).is_ok());
+        assert!(tx.push(3).is_ok());
+        assert_eq!(tx.push(4), Err(4), "full ring refuses");
+        assert!(tx.is_full());
+        assert_eq!(rx.pop(), Some(1));
+        assert_eq!(rx.pop(), Some(2));
+        assert!(tx.push(5).is_ok(), "vacated slots reusable");
+        assert_eq!(rx.pop(), Some(3));
+        assert_eq!(rx.pop(), Some(5));
+        assert!(rx.pop().is_none());
+    }
+
+    #[test]
+    fn wraparound_many_times() {
+        // capacity 2 rounds to 2 slots: every push after the first two
+        // reuses a slot, so this loops through the buffer many times
+        let (mut tx, mut rx) = spsc::<u64>(2);
+        for i in 0..1000u64 {
+            assert!(tx.push(i).is_ok());
+            assert_eq!(rx.pop(), Some(i));
+        }
+        assert!(rx.is_empty());
+    }
+
+    #[test]
+    fn zero_capacity_rounds_up_to_one() {
+        let (mut tx, mut rx) = spsc::<u8>(0);
+        assert_eq!(tx.capacity(), 1);
+        assert!(tx.push(7).is_ok());
+        assert_eq!(tx.push(8), Err(8));
+        assert_eq!(rx.pop(), Some(7));
+    }
+
+    #[test]
+    fn drops_unpopped_values() {
+        use std::sync::atomic::AtomicU32;
+        static DROPS: AtomicU32 = AtomicU32::new(0);
+        struct Counted;
+        impl Drop for Counted {
+            fn drop(&mut self) {
+                DROPS.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        let (mut tx, mut rx) = spsc::<Counted>(4);
+        for _ in 0..4 {
+            assert!(tx.push(Counted).is_ok());
+        }
+        drop(rx.pop());
+        assert_eq!(DROPS.load(Ordering::SeqCst), 1);
+        drop(tx);
+        drop(rx);
+        assert_eq!(DROPS.load(Ordering::SeqCst), 4, "ring drops the rest");
+    }
+
+    #[test]
+    fn cross_thread_drain() {
+        let (mut tx, mut rx) = spsc::<u64>(8);
+        let n = 10_000u64;
+        std::thread::scope(|s| {
+            s.spawn(move || {
+                for i in 0..n {
+                    let mut v = i;
+                    loop {
+                        match tx.push(v) {
+                            Ok(()) => break,
+                            Err(back) => {
+                                v = back;
+                                std::hint::spin_loop();
+                            }
+                        }
+                    }
+                }
+            });
+            let mut next = 0u64;
+            while next < n {
+                match rx.pop() {
+                    Some(v) => {
+                        assert_eq!(v, next, "strict FIFO across threads");
+                        next += 1;
+                    }
+                    None => std::hint::spin_loop(),
+                }
+            }
+            assert!(rx.pop().is_none());
+        });
+    }
+}

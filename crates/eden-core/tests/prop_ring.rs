@@ -1,0 +1,130 @@
+//! Property tests for the SPSC ring (`eden_core::ring`).
+//!
+//! The unit tests in `ring.rs` pin specific scenarios; these drive the
+//! ring through arbitrary operation sequences against a `VecDeque` model
+//! (full/empty transitions, wraparound far past the slot count) and
+//! through cross-thread producer/consumer races at arbitrary capacities,
+//! where strict FIFO order must survive the cache-counter fast paths.
+
+use eden_core::ring::spsc;
+use proptest::prelude::*;
+use std::collections::VecDeque;
+
+/// One step of a single-threaded ring workout.
+#[derive(Debug, Clone)]
+enum Op {
+    Push(u64),
+    Pop,
+}
+
+fn ops() -> impl Strategy<Value = Vec<Op>> {
+    proptest::collection::vec(
+        prop_oneof![any::<u64>().prop_map(Op::Push), Just(Op::Pop)],
+        1..400,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Arbitrary push/pop interleavings agree with a bounded `VecDeque`
+    /// model: same accept/refuse decisions, same popped values, same
+    /// occupancy — including rings so small every operation wraps.
+    #[test]
+    fn matches_vecdeque_model(cap in 1usize..9, ops in ops()) {
+        let (mut tx, mut rx) = spsc::<u64>(cap);
+        let mut model: VecDeque<u64> = VecDeque::new();
+        for op in ops {
+            match op {
+                Op::Push(v) => {
+                    let accepted = tx.push(v).is_ok();
+                    prop_assert_eq!(
+                        accepted,
+                        model.len() < cap,
+                        "push accepted iff below logical capacity"
+                    );
+                    if accepted {
+                        model.push_back(v);
+                    }
+                }
+                Op::Pop => {
+                    prop_assert_eq!(rx.pop(), model.pop_front());
+                }
+            }
+            prop_assert_eq!(tx.len(), model.len());
+            prop_assert_eq!(rx.len(), model.len());
+            prop_assert_eq!(tx.is_full(), model.len() >= cap);
+            prop_assert_eq!(rx.is_empty(), model.is_empty());
+        }
+        // drain whatever the workout left behind, still in FIFO order
+        while let Some(v) = rx.pop() {
+            prop_assert_eq!(Some(v), model.pop_front());
+        }
+        prop_assert!(model.is_empty());
+    }
+
+    /// Occupancy counters wrap correctly long after the free-running
+    /// positions lap the slot array many times over.
+    #[test]
+    fn wraparound_preserves_fifo(cap in 1usize..5, rounds in 1usize..50) {
+        let (mut tx, mut rx) = spsc::<usize>(cap);
+        let mut next_in = 0usize;
+        let mut next_out = 0usize;
+        for _ in 0..rounds {
+            // fill to capacity, then drain completely: each round laps
+            // the slot array at least once
+            while tx.push(next_in).is_ok() {
+                next_in += 1;
+            }
+            prop_assert!(tx.is_full());
+            while let Some(v) = rx.pop() {
+                prop_assert_eq!(v, next_out);
+                next_out += 1;
+            }
+            prop_assert!(rx.is_empty());
+        }
+        prop_assert_eq!(next_in, next_out, "every push was popped");
+        prop_assert_eq!(next_in, cap * rounds);
+    }
+}
+
+proptest! {
+    // thread spawns per case are comparatively expensive; fewer cases,
+    // each covering thousands of handoffs
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// A producer thread races a consumer thread over a ring of arbitrary
+    /// (small) capacity: every value arrives exactly once, in order, no
+    /// matter how the full/empty retries interleave.
+    #[test]
+    fn cross_thread_drain_is_fifo(cap in 1usize..17, n in 1u64..3000) {
+        let (mut tx, mut rx) = spsc::<u64>(cap);
+        std::thread::scope(|s| {
+            s.spawn(move || {
+                for i in 0..n {
+                    let mut v = i;
+                    loop {
+                        match tx.push(v) {
+                            Ok(()) => break,
+                            Err(back) => {
+                                v = back;
+                                std::hint::spin_loop();
+                            }
+                        }
+                    }
+                }
+            });
+            let mut next = 0u64;
+            while next < n {
+                match rx.pop() {
+                    Some(v) => {
+                        assert_eq!(v, next, "strict FIFO across threads");
+                        next += 1;
+                    }
+                    None => std::hint::spin_loop(),
+                }
+            }
+            assert!(rx.pop().is_none(), "nothing left after the last value");
+        });
+    }
+}

@@ -196,8 +196,9 @@ impl PacketHook for EnclaveAgent {
         &mut self,
         packets: &mut [netsim::Packet],
         env: &mut HookEnv<'_>,
-    ) -> Vec<HookVerdict> {
-        self.enclave.on_egress_batch(packets, env)
+        verdicts: &mut Vec<HookVerdict>,
+    ) {
+        self.enclave.on_egress_batch(packets, env, verdicts);
     }
 
     fn on_ingress(&mut self, packet: &mut netsim::Packet, env: &mut HookEnv<'_>) -> HookVerdict {

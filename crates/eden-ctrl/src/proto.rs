@@ -551,6 +551,8 @@ fn put_counters(w: &mut Writer, c: &EnclaveCounters) {
         c.enqueue_charge_bytes,
         c.punt_drops,
         c.table_loop_aborts,
+        c.batches_serial,
+        c.batches_parallel,
     ] {
         w.u64(v);
     }
@@ -570,6 +572,8 @@ fn get_counters(r: &mut Reader<'_>) -> Result<EnclaveCounters, ProtoError> {
         enqueue_charge_bytes: r.u64()?,
         punt_drops: r.u64()?,
         table_loop_aborts: r.u64()?,
+        batches_serial: r.u64()?,
+        batches_parallel: r.u64()?,
     })
 }
 

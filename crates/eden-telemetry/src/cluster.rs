@@ -108,6 +108,8 @@ impl ClusterStats {
             t.enqueue_charge_bytes += e.enqueue_charge_bytes;
             t.punt_drops += e.punt_drops;
             t.table_loop_aborts += e.table_loop_aborts;
+            t.batches_serial += e.batches_serial;
+            t.batches_parallel += e.batches_parallel;
         }
         t
     }

@@ -49,7 +49,7 @@ fn typ(out: &mut String, name: &str, kind: &str) {
 }
 
 fn enclave_counters(out: &mut String, c: &EnclaveCounters, labels: &[(&str, &str)]) {
-    let fields: [(&str, u64); 12] = [
+    let fields: [(&str, u64); 14] = [
         ("eden_enclave_processed_total", c.processed),
         ("eden_enclave_matched_total", c.matched),
         ("eden_enclave_misses_total", c.misses),
@@ -65,6 +65,8 @@ fn enclave_counters(out: &mut String, c: &EnclaveCounters, labels: &[(&str, &str
         ),
         ("eden_enclave_punt_drops_total", c.punt_drops),
         ("eden_enclave_table_loop_aborts_total", c.table_loop_aborts),
+        ("eden_enclave_batches_serial_total", c.batches_serial),
+        ("eden_enclave_batches_parallel_total", c.batches_parallel),
     ];
     for (name, v) in fields {
         if labels.is_empty() {
@@ -250,6 +252,8 @@ mod tests {
                 enqueue_charge_bytes: 3000,
                 punt_drops: 0,
                 table_loop_aborts: 0,
+                batches_serial: 2,
+                batches_parallel: 1,
             },
             tables: vec![TableCounters {
                 table: 0,
@@ -303,6 +307,10 @@ eden_enclave_enqueue_charge_bytes_total 3000
 eden_enclave_punt_drops_total 0
 # TYPE eden_enclave_table_loop_aborts_total counter
 eden_enclave_table_loop_aborts_total 0
+# TYPE eden_enclave_batches_serial_total counter
+eden_enclave_batches_serial_total 2
+# TYPE eden_enclave_batches_parallel_total counter
+eden_enclave_batches_parallel_total 1
 # TYPE eden_table_lookups_total counter
 # TYPE eden_table_matches_total counter
 # TYPE eden_table_misses_total counter

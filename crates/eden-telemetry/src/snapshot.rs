@@ -45,6 +45,11 @@ pub struct EnclaveCounters {
     /// the packet still fails open, but the controller should know its
     /// pipeline is looping.
     pub table_loop_aborts: u64,
+    /// Batches that ran the serial staged path (small batch, thin
+    /// per-lane share, or a lane-unsafe function mix).
+    pub batches_serial: u64,
+    /// Batches that fanned out to the parallel worker lanes.
+    pub batches_parallel: u64,
 }
 
 impl EnclaveCounters {
@@ -69,6 +74,8 @@ impl ToJson for EnclaveCounters {
             ("enqueue_charge_bytes", self.enqueue_charge_bytes.into()),
             ("punt_drops", self.punt_drops.into()),
             ("table_loop_aborts", self.table_loop_aborts.into()),
+            ("batches_serial", self.batches_serial.into()),
+            ("batches_parallel", self.batches_parallel.into()),
         ])
     }
 }

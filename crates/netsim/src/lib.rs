@@ -21,6 +21,7 @@
 //! but every header the Eden enclave can touch through a `HeaderMap`
 //! round-trips through the byte-level encoders in tests.
 
+pub mod arena;
 pub mod event;
 pub mod monitor;
 pub mod net;
@@ -34,6 +35,7 @@ pub mod switch;
 pub mod time;
 pub mod wire;
 
+pub use arena::{PacketArena, PacketRef, PacketSlab};
 pub use event::EventQueue;
 pub use monitor::{QueueMonitor, SwitchSeries};
 pub use net::{LinkId, LinkSpec, Network, NodeId, PortId};

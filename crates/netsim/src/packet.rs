@@ -215,6 +215,14 @@ impl Packet {
         p
     }
 
+    /// The placeholder left behind when a packet's buffer is moved out of
+    /// a batch without cloning (e.g. the enclave punting it to the
+    /// controller). Deterministic so that every data path that consumes a
+    /// packet in place leaves bit-identical residue.
+    pub fn consumed() -> Packet {
+        Packet::udp(0, 0, UdpHeader::default(), 0)
+    }
+
     /// Total bytes on the wire: Ethernet (+ VLAN tag) + IP total length.
     pub fn wire_len(&self) -> usize {
         14 + if self.eth.vlan.is_some() { 4 } else { 0 } + self.ip.total_length as usize

@@ -42,15 +42,18 @@ pub trait PacketHook: 'static {
     fn on_egress(&mut self, packet: &mut Packet, env: &mut HookEnv<'_>) -> HookVerdict;
 
     /// Called with every packet the host emits in one transmission
-    /// opportunity, returning one verdict per packet (same order). The
+    /// opportunity, appending one verdict per packet (same order) to
+    /// `verdicts` — a caller-owned buffer the stack recycles across
+    /// batches, so the steady-state batch path allocates nothing. The
     /// default simply loops [`on_egress`](Self::on_egress); hooks with a
     /// real batch path (the Eden enclave's staged pipeline) override it.
     fn on_egress_batch(
         &mut self,
         packets: &mut [Packet],
         env: &mut HookEnv<'_>,
-    ) -> Vec<HookVerdict> {
-        packets.iter_mut().map(|p| self.on_egress(p, env)).collect()
+        verdicts: &mut Vec<HookVerdict>,
+    ) {
+        verdicts.extend(packets.iter_mut().map(|p| self.on_egress(p, env)));
     }
 
     /// Called for every packet arriving at the host, before TCP. The

@@ -12,7 +12,7 @@
 use std::collections::{HashMap, HashSet};
 
 use eden_telemetry::{FlowCounters, HostCounters, TimeSeries, TraceLayer, TraceRing, TraceVerdict};
-use netsim::{Ctx, EdenMeta, Packet, PortId, PriorityPort, Time};
+use netsim::{Ctx, EdenMeta, Packet, PacketArena, PortId, PriorityPort, Time};
 
 use crate::hook::{HookEnv, HookVerdict, PacketHook};
 use crate::ratelimit::TokenBucket;
@@ -110,6 +110,14 @@ pub struct Stack {
     trace_pkt_seq: u64,
     /// Per-connection cwnd time series, filled by [`Stack::sample_flows`].
     cwnd_series: Vec<TimeSeries>,
+    /// Recycled batch buffers: every [`TcpOutput`] batch is taken from
+    /// here and returned after egress, so steady-state transmission
+    /// opportunities reuse warm allocations instead of churning
+    /// `Vec<Packet>` per TCP call. Dropped packets are salvaged through
+    /// it too (metadata capacity recovery).
+    arena: PacketArena,
+    /// Recycled verdict buffer for the batch egress path.
+    verdict_buf: Vec<HookVerdict>,
 }
 
 /// First Eden class on a packet (0 = unclassified) — the class a trace
@@ -153,7 +161,23 @@ impl Stack {
             trace,
             trace_pkt_seq: 0,
             cwnd_series: Vec::new(),
+            arena: PacketArena::new(),
+            verdict_buf: Vec::new(),
         }
+    }
+
+    /// A [`TcpOutput`] whose packet batch is an arena-recycled buffer;
+    /// [`apply_output`](Self::apply_output) returns it after egress.
+    fn new_output(&mut self) -> TcpOutput {
+        TcpOutput {
+            packets: self.arena.take_batch(),
+            ..TcpOutput::default()
+        }
+    }
+
+    /// The stack's batch-buffer arena (recycling instrumentation).
+    pub fn arena(&self) -> &PacketArena {
+        &self.arena
     }
 
     // ------------------------------------------------------------------
@@ -279,7 +303,7 @@ impl Stack {
     pub fn connect(&mut self, remote_ip: u32, remote_port: u16, ctx: &mut Ctx<'_>) -> ConnId {
         let local_port = self.next_ephemeral;
         self.next_ephemeral = self.next_ephemeral.wrapping_add(1).max(40_000);
-        let mut out = TcpOutput::default();
+        let mut out = self.new_output();
         let conn = Conn::connect(
             self.cfg.tcp,
             (self.addr, local_port),
@@ -321,7 +345,7 @@ impl Stack {
                 TraceVerdict::Send,
             );
         }
-        let mut out = TcpOutput::default();
+        let mut out = self.new_output();
         self.conns[conn.0].send_message(bytes, app_tag, meta, ctx.now(), &mut out);
         self.conns[conn.0].gc_messages();
         self.apply_output(conn.0, out, ctx);
@@ -329,7 +353,7 @@ impl Stack {
 
     /// Close after all queued data drains.
     pub fn close(&mut self, conn: ConnId, ctx: &mut Ctx<'_>) {
-        let mut out = TcpOutput::default();
+        let mut out = self.new_output();
         self.conns[conn.0].close(ctx.now(), &mut out);
         self.apply_output(conn.0, out, ctx);
     }
@@ -456,6 +480,7 @@ impl Stack {
                             TraceVerdict::Drop,
                         );
                     }
+                    self.arena.recycle_packet(packet);
                     return;
                 }
             }
@@ -466,11 +491,11 @@ impl Stack {
         };
         let key = (packet.ip.src, hdr.src_port, hdr.dst_port);
         if let Some(&idx) = self.demux.get(&key) {
-            let mut out = TcpOutput::default();
+            let mut out = self.new_output();
             self.conns[idx].on_segment(&packet, ctx.now(), &mut out);
             self.apply_output(idx, out, ctx);
         } else if hdr.flags.syn && !hdr.flags.ack && self.listeners.contains(&hdr.dst_port) {
-            let mut out = TcpOutput::default();
+            let mut out = self.new_output();
             let conn = Conn::accept(
                 self.cfg.tcp,
                 (self.addr, hdr.dst_port),
@@ -516,8 +541,8 @@ impl Stack {
         if !conn.rto_armed || (conn.rto_gen & ((1 << 24) - 1)) != generation {
             return; // stale timer
         }
-        let mut out = TcpOutput::default();
-        conn.on_rto(ctx.now(), &mut out);
+        let mut out = self.new_output();
+        self.conns[idx].on_rto(ctx.now(), &mut out);
         self.apply_output(idx, out, ctx);
     }
 
@@ -531,8 +556,8 @@ impl Stack {
         if !conn.reorder_armed || (conn.reorder_gen & ((1 << 24) - 1)) != generation {
             return; // resolved or superseded
         }
-        let mut out = TcpOutput::default();
-        conn.on_reorder_timeout(ctx.now(), &mut out);
+        let mut out = self.new_output();
+        self.conns[idx].on_reorder_timeout(ctx.now(), &mut out);
         self.apply_output(idx, out, ctx);
     }
 
@@ -617,10 +642,14 @@ impl Stack {
     /// Send a same-tick batch of packets through the hook and route each
     /// verdict, in order — observably identical to calling
     /// [`egress`](Self::egress) per packet, since everything happens at one
-    /// simulated instant and verdict routing preserves batch order.
+    /// simulated instant and verdict routing preserves batch order. The
+    /// batch buffer and the verdict buffer are both recycled: the hook
+    /// mutates packets in place (zero-copy handoff), the drained `Vec`
+    /// goes back to the arena, and the next batch reuses it warm.
     fn egress_batch(&mut self, mut packets: Vec<Packet>, ctx: &mut Ctx<'_>) {
         if packets.len() == 1 {
             let packet = packets.pop().expect("length checked");
+            self.arena.recycle_batch(packets);
             self.egress(packet, ctx);
             return;
         }
@@ -628,23 +657,28 @@ impl Stack {
             self.prep_egress(packet);
         }
         if self.hook.is_none() {
-            for packet in packets {
+            for packet in packets.drain(..) {
                 self.nic_enqueue(packet, ctx);
             }
+            self.arena.recycle_batch(packets);
             return;
         }
-        let verdicts = {
+        let mut verdicts = std::mem::take(&mut self.verdict_buf);
+        verdicts.clear();
+        {
             let hook = self.hook.as_mut().expect("checked above");
             let mut env = HookEnv {
                 now: ctx.now(),
                 rng: ctx.rng(),
             };
-            hook.on_egress_batch(&mut packets, &mut env)
-        };
+            hook.on_egress_batch(&mut packets, &mut env, &mut verdicts);
+        }
         debug_assert_eq!(verdicts.len(), packets.len(), "one verdict per packet");
-        for (packet, verdict) in packets.into_iter().zip(verdicts) {
+        for (packet, verdict) in packets.drain(..).zip(verdicts.drain(..)) {
             self.route_egress_verdict(packet, verdict, ctx);
         }
+        self.verdict_buf = verdicts;
+        self.arena.recycle_batch(packets);
     }
 
     fn route_egress_verdict(&mut self, packet: Packet, verdict: HookVerdict, ctx: &mut Ctx<'_>) {
@@ -666,6 +700,7 @@ impl Stack {
             HookVerdict::Pass => self.nic_enqueue(packet, ctx),
             HookVerdict::Drop => {
                 self.hook_drops += 1;
+                self.arena.recycle_packet(packet);
             }
             HookVerdict::Queue { queue, charge } => {
                 if queue >= self.limiters.len() {
@@ -679,6 +714,7 @@ impl Stack {
                             TraceVerdict::Drop,
                         );
                     }
+                    self.arena.recycle_packet(packet);
                     return;
                 }
                 if let Some(t) = self.trace.as_mut() {

@@ -14,7 +14,7 @@
 use eden::apps::functions::{self, FunctionBundle};
 use eden::core::{ClassId, Enclave, EnclaveConfig, FuncId, InstalledFunction, MatchSpec, TableId};
 use eden::lang::{compile, Concurrency};
-use eden::netsim::{EdenMeta, Packet, SimRng, TcpHeader, Time};
+use eden::netsim::{EdenMeta, Packet, PacketArena, SimRng, TcpHeader, Time};
 use eden::vm::encode_program;
 use proptest::prelude::*;
 
@@ -45,6 +45,7 @@ fn batchy_config() -> EnclaveConfig {
     EnclaveConfig {
         lanes: 4,
         parallel_batch_min: 1,
+        parallel_per_lane_min: 1,
         ..EnclaveConfig::default()
     }
 }
@@ -71,7 +72,12 @@ fn packet(class: u32, msg: u64, payload: usize, port: u16) -> Packet {
 }
 
 /// Run the same stream through a per-packet enclave and a batched enclave
-/// (both built by `mk`) and require every observable to match.
+/// (both built by `mk`) and require every observable to match. The batched
+/// side exercises the zero-copy entry point the stack uses: batch buffers
+/// come from a [`PacketArena`] and are recycled after every chunk, and all
+/// verdicts accumulate in one reused buffer via
+/// [`Enclave::process_batch_into`] — so buffer reuse itself is under test
+/// at every concurrency level.
 fn assert_equivalent(
     mk: impl Fn() -> (Enclave, Vec<FuncId>),
     stream: &[(u32, u64, usize, u16)],
@@ -82,6 +88,7 @@ fn assert_equivalent(
     let (mut batched, _) = mk();
     let mut serial_rng = SimRng::new(seed);
     let mut batched_rng = SimRng::new(seed);
+    let mut arena = PacketArena::new();
 
     let mut serial_pkts: Vec<Packet> = Vec::new();
     let mut serial_verdicts = Vec::new();
@@ -97,12 +104,18 @@ fn assert_equivalent(
             serial_verdicts.push(serial.process(&mut p, &mut serial_rng, now));
             serial_pkts.push(p);
         }
-        let mut batch: Vec<Packet> = chunk_specs
-            .iter()
-            .map(|&(class, msg, payload, port)| packet(class, msg, payload, port))
-            .collect();
-        batched_verdicts.extend(batched.process_batch(&mut batch, &mut batched_rng, now));
-        batched_pkts.extend(batch);
+        let mut batch = arena.take_batch();
+        prop_assert!(batch.is_empty(), "recycled batches must come back drained");
+        batch.extend(
+            chunk_specs
+                .iter()
+                .map(|&(class, msg, payload, port)| packet(class, msg, payload, port)),
+        );
+        let before = batched_verdicts.len();
+        batched.process_batch_into(&mut batch, &mut batched_rng, now, &mut batched_verdicts);
+        prop_assert_eq!(batched_verdicts.len() - before, batch.len());
+        batched_pkts.append(&mut batch);
+        arena.recycle_batch(batch);
     }
 
     prop_assert_eq!(&serial_verdicts, &batched_verdicts);
@@ -288,7 +301,37 @@ fn punt_mailbox_is_bounded() {
     }
     assert_eq!(e.stats.punted_to_controller, 20);
     assert_eq!(e.stats.punt_drops, 12, "evicted punts are counted");
-    assert_eq!(e.punted.len(), 8, "mailbox stays at its cap");
+    assert_eq!(e.punted_len(), 8, "mailbox stays at its cap");
     let snap = e.stats_snapshot();
     assert_eq!(snap.enclave.punt_drops, 12);
+}
+
+/// Small batches take the serial fallback, large ones fan out — and the
+/// enclave counts which path each batch took, so operators can see when a
+/// deployment's batch sizes defeat its lane configuration.
+#[test]
+fn batch_path_choice_is_counted() {
+    let mut e = Enclave::new(EnclaveConfig {
+        lanes: 4,
+        parallel_batch_min: 8,
+        parallel_per_lane_min: 4,
+        ..EnclaveConfig::default()
+    });
+    install(&mut e, &functions::sff(), true, 1);
+    let mut rng = SimRng::new(3);
+
+    // 32 packets across 4 lanes = 8 per lane: clears both thresholds
+    let mut big: Vec<Packet> = (0..32).map(|i| packet(1, i, 100, 0)).collect();
+    e.process_batch(&mut big, &mut rng, Time::from_nanos(1));
+    assert_eq!(e.batch_path_counts(), (0, 1), "large batch fans out");
+
+    // 8 packets meet the batch floor but spread only 2 per lane: the
+    // per-lane headroom gate routes the batch to the serial path
+    let mut small: Vec<Packet> = (0..8).map(|i| packet(1, i, 100, 0)).collect();
+    e.process_batch(&mut small, &mut rng, Time::from_nanos(2));
+    assert_eq!(e.batch_path_counts(), (1, 1), "thin batch stays serial");
+
+    let snap = e.stats_snapshot();
+    assert_eq!(snap.enclave.batches_serial, 1);
+    assert_eq!(snap.enclave.batches_parallel, 1);
 }
