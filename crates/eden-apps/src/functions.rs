@@ -12,7 +12,7 @@
 //! bit — the precondition for the evaluation's overhead comparisons.
 
 use eden_core::{InstalledFunction, NativeEnv, NativeFn};
-use eden_lang::{compile, Access, Concurrency, HeaderField, Schema};
+use eden_lang::{compile, Access, Concurrency, HeaderField, ReplMode, Schema};
 use eden_vm::{Outcome, VmError};
 
 /// One catalogue entry: a network function in both execution forms.
@@ -702,6 +702,143 @@ pub fn conntrack() -> FunctionBundle {
     }
 }
 
+// ======================================================================
+// Distributed rate limiting — Pulsar over a fleet-wide budget (eden-repl)
+// ======================================================================
+
+fn dist_rate_limit_schema() -> Schema {
+    Schema::new()
+        .packet_field("Size", Access::ReadOnly, Some(HeaderField::Ipv4TotalLength))
+        .packet_field("MsgType", Access::ReadOnly, Some(HeaderField::MetaMsgType))
+        .packet_field("MsgSize", Access::ReadOnly, Some(HeaderField::MetaMsgSize))
+        .packet_field("Tenant", Access::ReadOnly, Some(HeaderField::MetaTenant))
+        .global_field("Limit", Access::ReadOnly)
+        .global_field("Used", Access::ReadWrite)
+        .replicated(ReplMode::MergedSum)
+        .global_array("QueueMap", &[""], Access::ReadOnly)
+}
+
+const DIST_RATE_LIMIT_SRC: &str = r#"
+fun (packet: Packet, msg: Message, _global: Global) ->
+    let size =
+        if packet.MsgType = 1 then packet.MsgSize
+        else packet.Size
+    if _global.Used + size > _global.Limit then drop ()
+    else (
+        _global.Used <- _global.Used + size
+        let queueMap = _global.QueueMap
+        setQueue (queueMap.[packet.Tenant], size)
+    )
+"#;
+
+fn dist_rate_limit_native() -> NativeFn {
+    Box::new(|env: &mut NativeEnv<'_>| -> Result<Outcome, VmError> {
+        let size = if env.pkt(1)? == MSG_TYPE_READ {
+            env.pkt(2)?
+        } else {
+            env.pkt(0)?
+        };
+        let used = env.global(1)?;
+        if used + size > env.global(0)? {
+            env.drop_packet()?;
+            return Ok(Outcome::Dropped);
+        }
+        env.set_global(1, used + size)?;
+        let tenant = env.pkt(3)?;
+        let queue = env.arr(0, tenant)?;
+        env.set_queue(queue, size)?;
+        Ok(Outcome::Done)
+    })
+}
+
+/// Pulsar charging against a *fleet-wide* byte budget: `Used` is declared
+/// `replicated(merged)`, so every read of it returns this host's spend
+/// plus the controller-merged spend of every other host, and every write
+/// lands in the local contribution that the next pong carries up. The
+/// function body is oblivious — it reads and writes `_global.Used` exactly
+/// as if the budget were host-local, which is the subsystem's point:
+/// local decisions on replicated state.
+pub fn dist_rate_limit() -> FunctionBundle {
+    FunctionBundle {
+        name: "dist-rate-limit",
+        paper_ref: "Pulsar [6] over replicated state (§3.3)",
+        source: DIST_RATE_LIMIT_SRC,
+        schema: dist_rate_limit_schema,
+        native: dist_rate_limit_native,
+        concurrency: Concurrency::Serialized,
+    }
+}
+
+// ======================================================================
+// Connection steering — least-connections LB on sequenced state
+// ======================================================================
+
+fn conn_steer_schema() -> Schema {
+    Schema::new()
+        .packet_field("Dst", Access::ReadWrite, Some(HeaderField::Ipv4Dst))
+        .msg_field("Picked", Access::ReadWrite)
+        .global_array("Conns", &[""], Access::ReadWrite)
+        .replicated(ReplMode::Sequenced)
+        .global_array("Backends", &[""], Access::ReadOnly)
+}
+
+const CONN_STEER_SRC: &str = r#"
+fun (packet: Packet, msg: Message, _global: Global) ->
+    if msg.Picked = 0 then (
+        let conns = _global.Conns
+        let backends = _global.Backends
+        let rec least index best =
+            if index >= conns.Length then best
+            elif conns.[index] < conns.[best] then least (index + 1, index)
+            else least (index + 1, best)
+        let pick = least (1, 0)
+        conns.[pick] <- conns.[pick] + 1
+        msg.Picked <- backends.[pick]
+    )
+    packet.Dst <- msg.Picked
+"#;
+
+fn conn_steer_native() -> NativeFn {
+    Box::new(|env: &mut NativeEnv<'_>| -> Result<Outcome, VmError> {
+        if env.msg(0)? == 0 {
+            let n = env.arr_len(0)?;
+            let mut best: i64 = 0;
+            for i in 1..n {
+                if env.arr(0, i)? < env.arr(0, best)? {
+                    best = i;
+                }
+            }
+            let bumped = env.arr(0, best)? + 1;
+            env.set_arr(0, best, bumped)?;
+            let backend = env.arr(1, best)?;
+            env.set_msg(0, backend)?;
+        }
+        let picked = env.msg(0)?;
+        env.set_pkt(0, picked)?;
+        Ok(Outcome::Done)
+    })
+}
+
+/// Least-connections steering over `replicated(sequenced)` counts: the
+/// first packet of each flow picks the backend with the fewest fleet-wide
+/// connections and increments that count. The increment is *deferred* —
+/// it rides the next pong to the controller, gets a global sequence
+/// number, and applies on every host in the same order, so all hosts
+/// converge on identical counts regardless of arrival order. Until its
+/// own write comes back a host steers on slightly stale counts — the
+/// trade the paper makes for a synchronization-free data path. Backend
+/// addresses must be non-zero (0 marks "not yet picked").
+pub fn conn_steer() -> FunctionBundle {
+    FunctionBundle {
+        name: "conn-steer",
+        paper_ref: "Ananta-style LB [42] over sequenced state (§3.3)",
+        source: CONN_STEER_SRC,
+        schema: conn_steer_schema,
+        native: conn_steer_native,
+        concurrency: Concurrency::Serialized,
+    }
+}
+
 /// The whole catalogue, for Table 1 sweeps.
 pub fn catalogue() -> Vec<FunctionBundle> {
     vec![
@@ -717,6 +854,8 @@ pub fn catalogue() -> Vec<FunctionBundle> {
         flow_counter(),
         conntrack(),
         qjump(),
+        dist_rate_limit(),
+        conn_steer(),
     ]
 }
 
@@ -747,6 +886,16 @@ mod tests {
                 e.set_global(f, 0, 11);
             }
             "pulsar" => e.set_array(f, 0, vec![0, 1, 2]),
+            "dist-rate-limit" => {
+                // budget sized so the 3000-packet agreement stream crosses
+                // it mid-run and exercises the drop path in both forms
+                e.set_global(f, 0, 500_000_000);
+                e.set_array(f, 0, vec![0, 1, 2]);
+            }
+            "conn-steer" => {
+                e.set_array(f, 0, vec![5, 2, 9]);
+                e.set_array(f, 1, vec![71, 72, 73]);
+            }
             "qjump" => e.set_array(f, 0, vec![7, 0, 4, 1, 0, -1]),
             "replica-select" => e.set_array(f, 0, vec![50, 51, 52]),
             "port-knock" => {
@@ -1019,6 +1168,101 @@ mod tests {
             HookVerdict::Drop,
             "still locked"
         );
+    }
+
+    #[test]
+    fn dist_rate_limit_enforces_fleet_budget_via_replica_view() {
+        for native in [false, true] {
+            let mut e = build(&dist_rate_limit(), native);
+            let f = eden_core::FuncId(0);
+            e.set_global(f, 0, 10_000); // shrink the fleet-wide budget
+            let mut rng = SimRng::new(5);
+            let mk = |i: u64| {
+                let mut p = Packet::tcp(1, 2, TcpHeader::default(), 1000);
+                p.meta = Some(EdenMeta {
+                    classes: vec![1],
+                    msg_id: 1 + i,
+                    msg_type: MSG_TYPE_WRITE,
+                    tenant: 1,
+                    ..Default::default()
+                });
+                p
+            };
+
+            // within budget: queued at the tenant's limiter, charged 1040
+            let mut p = mk(0);
+            let v = e.process(&mut p, &mut rng, Time::ZERO);
+            assert_eq!(
+                v,
+                HookVerdict::Queue {
+                    queue: 1,
+                    charge: 1040
+                },
+                "native={native}"
+            );
+
+            // a controller view reports the rest of the fleet spent 9000
+            e.apply_repl_view(
+                &eden_repl::FuncView {
+                    func: 0,
+                    version: 1,
+                    remote: vec![(1, 9_000)],
+                    ..Default::default()
+                },
+                0,
+            );
+            assert_eq!(e.global_effective(f, 1), 10_040);
+            assert_eq!(e.global(f, 1), 1_040, "local contribution unchanged");
+
+            // the same packet now exceeds the *fleet-wide* budget: dropped
+            // on purely local state, no coordination on the drop path
+            let mut p = mk(1);
+            let v = e.process(&mut p, &mut rng, Time::ZERO);
+            assert_eq!(v, HookVerdict::Drop, "native={native}");
+            assert_eq!(e.stats.faults, 0);
+        }
+    }
+
+    #[test]
+    fn conn_steer_picks_least_loaded_and_defers_the_increment() {
+        for native in [false, true] {
+            let mut e = build(&conn_steer(), native);
+            let f = eden_core::FuncId(0);
+            let mut rng = SimRng::new(5);
+            let mk = |m: u64| {
+                let mut p = Packet::tcp(1, 2, TcpHeader::default(), 100);
+                p.meta = Some(EdenMeta {
+                    classes: vec![1],
+                    msg_id: m,
+                    ..Default::default()
+                });
+                p
+            };
+
+            // Conns = [5, 2, 9] → backend 1 (addr 72) has the fewest
+            let mut p = mk(1);
+            e.process(&mut p, &mut rng, Time::ZERO);
+            assert_eq!(p.ip.dst, 72, "native={native}");
+
+            // the increment queued for controller ordering; the local
+            // count is unchanged until the sequenced entry comes back
+            assert_eq!(e.array_effective(f, 0, 1), 2, "native={native}");
+            assert_eq!(e.repl_host(0).unwrap().pending_len(), 1);
+
+            // a second flow decides on the same (stale) counts — the
+            // documented trade for a synchronization-free data path
+            let mut p = mk(2);
+            e.process(&mut p, &mut rng, Time::ZERO);
+            assert_eq!(p.ip.dst, 72, "native={native}");
+            assert_eq!(e.repl_host(0).unwrap().pending_len(), 2);
+
+            // later packets of flow 1 stick to the cached pick
+            let mut p = mk(1);
+            e.process(&mut p, &mut rng, Time::ZERO);
+            assert_eq!(p.ip.dst, 72, "native={native}");
+            assert_eq!(e.repl_host(0).unwrap().pending_len(), 2, "no new op");
+            assert_eq!(e.stats.faults, 0);
+        }
     }
 
     #[test]

@@ -14,6 +14,7 @@
 //! | [`fig12`] | Figure 12 — CPU overhead of Eden components + §5.4 footprint |
 //! | [`report`] | table-rendering helpers shared by the bench targets |
 //! | [`ctrl`] | control-plane convergence under loss and partitions |
+//! | [`repl`] | replica staleness and delta wire cost vs hosts × loss |
 
 pub mod batch;
 pub mod ctrl;
@@ -21,4 +22,5 @@ pub mod fig09;
 pub mod fig10;
 pub mod fig11;
 pub mod fig12;
+pub mod repl;
 pub mod report;

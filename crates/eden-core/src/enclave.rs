@@ -39,7 +39,8 @@
 //! then fails open (forwarded unmodified) or closed (dropped) per
 //! [`EnclaveConfig::fail_open`] — and the rest of the system continues.
 
-use eden_lang::{Access, Concurrency, HeaderField, Schema, Scope};
+use eden_lang::{Access, Concurrency, HeaderField, ReplMode, Schema, Scope};
+use eden_repl::{merged_read, merged_store, HostRepl, ReplSpec, SeqTarget};
 use eden_telemetry::{
     EnclaveCounters, FlightDump, FlightEvent, FlightKind, FlightRing, FunctionCounters,
     LatencyStat, LogHistogram, RuleCounters, Sampler, Span, SpanSink, StatsSnapshot, TableCounters,
@@ -385,6 +386,12 @@ pub struct Enclave {
     /// Precomputed per-function packet-slot bindings: (header map, access).
     pkt_bindings: Vec<Vec<(Option<HeaderField>, Access)>>,
     states: Vec<FunctionState>,
+    /// Per-function replication runtime, parallel to `functions` — `None`
+    /// for the common case of a schema that replicates nothing, keeping
+    /// the hot path a single always-false branch. Remote views are only
+    /// swapped between batches ([`apply_repl_view`](Self::apply_repl_view)),
+    /// so the data path reads them with zero synchronization.
+    repl: Vec<Option<HostRepl>>,
     flow_rules: Vec<(FiveTupleMatch, ClassId)>,
     /// One interpreter per worker lane; lane 0 is the serial path's.
     pool: InterpreterPool,
@@ -495,6 +502,7 @@ impl Enclave {
             functions: Vec::new(),
             pkt_bindings: Vec::new(),
             states: Vec::new(),
+            repl: Vec::new(),
             flow_rules: Vec::new(),
             pool: InterpreterPool::new(config.limits, config.lanes),
             lane_safe: true,
@@ -550,6 +558,11 @@ impl Enclave {
         }
         self.lane_safe &= matches!(function.action, ActionImpl::Interpreted(_))
             && function.concurrency != Concurrency::Serialized;
+        let spec = ReplSpec::from_schema(&function.schema);
+        self.repl.push((!spec.is_empty()).then(|| {
+            let lens: Vec<usize> = state.arrays.iter().map(Vec::len).collect();
+            HostRepl::new(spec, &lens)
+        }));
         self.pkt_bindings.push(bindings);
         self.functions.push(function);
         self.states.push(state);
@@ -640,6 +653,107 @@ impl Enclave {
     /// the serial path (for §5.4 footprint reporting).
     pub fn last_usage(&self) -> eden_vm::Usage {
         self.pool.lane(0).usage()
+    }
+
+    // ------------------------------------------------------------------
+    // replicated cross-host state (eden-repl glue)
+    // ------------------------------------------------------------------
+
+    /// Whether any installed function declares replicated state. Gates
+    /// the agent's sync sections — nothing goes on the wire otherwise.
+    pub fn repl_active(&self) -> bool {
+        self.repl.iter().any(Option::is_some)
+    }
+
+    /// Function indices with replicated state, ascending.
+    pub fn repl_funcs(&self) -> Vec<usize> {
+        self.repl
+            .iter()
+            .enumerate()
+            .filter_map(|(i, r)| r.as_ref().map(|_| i))
+            .collect()
+    }
+
+    /// Replication runtime of `func` (staleness, outbox depth, applied
+    /// log), `None` when the function replicates nothing.
+    pub fn repl_host(&self, func: usize) -> Option<&HostRepl> {
+        self.repl.get(func).and_then(Option::as_ref)
+    }
+
+    /// Build the host → controller sync for `func`: merged contributions,
+    /// unacked sequenced ops, applied position, and the anti-entropy
+    /// digest. Pure read — the agent may resend it on any cadence.
+    pub fn repl_delta(&self, func: usize) -> Option<eden_repl::FuncDelta> {
+        let h = self.repl.get(func).and_then(Option::as_ref)?;
+        let st = &self.states[func];
+        Some(h.build_delta(func as u32, &st.global, &st.arrays))
+    }
+
+    /// Apply a controller view between batches: swap in the remote merged
+    /// contributions, drop acked outbox entries, and apply the sequenced
+    /// tail into local state in controller order. A view that flags this
+    /// host divergent freezes the flight recorder — the black box should
+    /// capture state *before* any repair overwrites it.
+    pub fn apply_repl_view(&mut self, view: &eden_repl::FuncView, now_ns: u64) {
+        let func = view.func as usize;
+        let Some(h) = self.repl.get_mut(func).and_then(Option::as_mut) else {
+            return;
+        };
+        let state = &mut self.states[func];
+        h.apply_view(view, now_ns, |target, value| match target {
+            SeqTarget::Global { slot } => {
+                if let Some(s) = state.global.get_mut(slot as usize) {
+                    *s = value;
+                }
+            }
+            SeqTarget::Array { id, index } => {
+                if let Some(c) = state
+                    .arrays
+                    .get_mut(id as usize)
+                    .and_then(|a| a.get_mut(index as usize))
+                {
+                    *c = value;
+                }
+            }
+        });
+        if view.divergent {
+            self.freeze_flight("repl_divergence");
+        }
+    }
+
+    /// Read global `slot` of `func` as the data path would — through the
+    /// replica view when the slot is replicated. [`global`](Self::global)
+    /// keeps returning the raw local contribution.
+    pub fn global_effective(&self, func: FuncId, slot: usize) -> i64 {
+        let local = self.states[func.0].global[slot];
+        match self.repl.get(func.0).and_then(Option::as_ref) {
+            Some(h) => match h.spec().global_mode(slot) {
+                Some(mode) => merged_read(
+                    mode,
+                    h.remote_globals().get(slot).copied().unwrap_or(0),
+                    local,
+                ),
+                None => local,
+            },
+            None => local,
+        }
+    }
+
+    /// Read array element `(array, index)` of `func` as the data path
+    /// would — through the replica view when the array is replicated.
+    pub fn array_effective(&self, func: FuncId, array: usize, index: usize) -> i64 {
+        let local = self.states[func.0].arrays[array][index];
+        match self.repl.get(func.0).and_then(Option::as_ref) {
+            Some(h) => match h.spec().array_mode(array) {
+                Some(mode) => merged_read(
+                    mode,
+                    h.remote_array(array).get(index).copied().unwrap_or(0),
+                    local,
+                ),
+                None => local,
+            },
+            None => local,
+        }
     }
 
     // ------------------------------------------------------------------
@@ -786,6 +900,7 @@ impl Enclave {
         self.functions.clear();
         self.pkt_bindings.clear();
         self.states.clear();
+        self.repl.clear();
         self.func_latency.clear();
         self.lane_safe = true;
     }
@@ -1018,6 +1133,7 @@ impl Enclave {
                 functions: &mut self.functions,
                 bindings: &self.pkt_bindings,
                 states: &mut self.states,
+                repl: &mut self.repl,
                 interp: self.pool.lane_mut(0),
                 timed: sampled,
                 samples: &mut func_samples,
@@ -1245,6 +1361,7 @@ impl Enclave {
                         functions: &mut self.functions,
                         bindings: &self.pkt_bindings,
                         states: &mut self.states,
+                        repl: &mut self.repl,
                         interp,
                         timed: false,
                         samples: &mut samples,
@@ -1386,9 +1503,14 @@ impl Enclave {
         let mut lane_states: Vec<Vec<LaneFnState<'_>>> = (0..lanes)
             .map(|_| Vec::with_capacity(self.functions.len()))
             .collect();
-        for state in self.states.iter_mut() {
+        for (state, repl) in self.states.iter_mut().zip(self.repl.iter()) {
             let msg_slots = state.msg_slots();
             let (shards, global, arrays) = state.split_shards();
+            let repl = repl.as_ref().map(|h| ReplShared {
+                spec: h.spec(),
+                remote: h.remote_globals(),
+                remote_arrays: h.remote_arrays(),
+            });
             debug_assert_eq!(shards.len(), lanes, "shard count tracks lane count");
             for (lane, shard) in shards.into_iter().enumerate() {
                 lane_states[lane].push(LaneFnState {
@@ -1396,6 +1518,7 @@ impl Enclave {
                     msg_slots,
                     global,
                     arrays,
+                    repl,
                 });
             }
         }
@@ -1996,6 +2119,7 @@ struct SerialInvoker<'a> {
     functions: &'a mut [InstalledFunction],
     bindings: &'a [Vec<(Option<HeaderField>, Access)>],
     states: &'a mut [FunctionState],
+    repl: &'a mut [Option<HostRepl>],
     interp: &'a mut Interpreter,
     /// Sampled packet: time this invocation and record an Execute event.
     timed: bool,
@@ -2019,12 +2143,17 @@ impl Invoker for SerialInvoker<'_> {
     ) -> InvokeOut {
         let concurrency = self.functions[fid].concurrency;
         let (msg, global, arrays) = self.states[fid].split_for(msg_id);
+        let repl = match self.repl[fid].as_mut() {
+            Some(h) => ReplRef::Excl(h),
+            None => ReplRef::Off,
+        };
         let mut host = InvocationHost {
             packet,
             bindings: &self.bindings[fid],
             scratch,
             msg,
             state: GlobalView::Excl { global, arrays },
+            repl,
             rng,
             now,
             direction,
@@ -2095,6 +2224,9 @@ struct LaneFnState<'a> {
     msg_slots: usize,
     global: &'a [i64],
     arrays: &'a [Vec<i64>],
+    /// Read-only replica view (replicated functions only). Lanes never
+    /// write globals, so no exclusive form is needed here.
+    repl: Option<ReplShared<'a>>,
 }
 
 struct LaneInvoker<'a, 'b> {
@@ -2143,6 +2275,10 @@ impl Invoker for LaneInvoker<'_, '_> {
             state: GlobalView::Shared {
                 global: st.global,
                 arrays: st.arrays,
+            },
+            repl: match st.repl {
+                Some(s) => ReplRef::Shared(s),
+                None => ReplRef::Off,
             },
             rng,
             now,
@@ -2470,6 +2606,103 @@ fn walk_packet<T: TableAccess, I: Invoker>(
     res
 }
 
+/// Shared read-only replica view for a worker lane: the spec plus the
+/// remote-contribution snapshots. Only mutated between batches, so lanes
+/// read it without synchronization.
+#[derive(Clone, Copy)]
+struct ReplShared<'a> {
+    spec: &'a ReplSpec,
+    remote: &'a [i64],
+    remote_arrays: &'a [Vec<i64>],
+}
+
+/// A function's view of its replication runtime during one invocation.
+/// `Off` for non-replicated functions — the common case, one branch on
+/// every global access. Writers (always `Serialized`, hence serial-path
+/// only) get the exclusive form, which can queue sequenced ops; lanes get
+/// the shared read-only form.
+enum ReplRef<'a> {
+    Off,
+    Excl(&'a mut HostRepl),
+    Shared(ReplShared<'a>),
+}
+
+impl ReplRef<'_> {
+    /// Effective value of global `slot` given its local contribution.
+    #[inline]
+    fn read_global(&self, slot: usize, local: i64) -> i64 {
+        let (spec, remote) = match self {
+            ReplRef::Off => return local,
+            ReplRef::Excl(h) => (h.spec(), h.remote_globals()),
+            ReplRef::Shared(s) => (s.spec, s.remote),
+        };
+        match spec.global_mode(slot) {
+            Some(mode) => merged_read(mode, remote.get(slot).copied().unwrap_or(0), local),
+            None => local,
+        }
+    }
+
+    /// Effective value of array cell `(id, index)` given its local value.
+    #[inline]
+    fn read_array(&self, id: usize, index: usize, local: i64) -> i64 {
+        let (spec, remote) = match self {
+            ReplRef::Off => return local,
+            ReplRef::Excl(h) => (h.spec(), h.remote_array(id)),
+            ReplRef::Shared(s) => (
+                s.spec,
+                s.remote_arrays.get(id).map_or(&[][..], Vec::as_slice),
+            ),
+        };
+        match spec.array_mode(id) {
+            Some(mode) => merged_read(mode, remote.get(index).copied().unwrap_or(0), local),
+            None => local,
+        }
+    }
+
+    /// Route a store to global `slot`: `Some(new_local)` writes the local
+    /// slot, `None` means the write was queued for controller sequencing
+    /// (the slot changes only when the ordered entry comes back).
+    #[inline]
+    fn store_global(&mut self, slot: usize, value: i64) -> Option<i64> {
+        match self {
+            ReplRef::Off | ReplRef::Shared(_) => Some(value),
+            ReplRef::Excl(h) => match h.spec().global_mode(slot) {
+                None => Some(value),
+                Some(ReplMode::Sequenced) => {
+                    h.seq_store_global(slot as u8, value);
+                    None
+                }
+                Some(mode) => Some(merged_store(
+                    mode,
+                    h.remote_globals().get(slot).copied().unwrap_or(0),
+                    value,
+                )),
+            },
+        }
+    }
+
+    /// Route a store to array cell `(id, index)`; same contract as
+    /// [`store_global`](Self::store_global).
+    #[inline]
+    fn store_array(&mut self, id: usize, index: usize, value: i64) -> Option<i64> {
+        match self {
+            ReplRef::Off | ReplRef::Shared(_) => Some(value),
+            ReplRef::Excl(h) => match h.spec().array_mode(id) {
+                None => Some(value),
+                Some(ReplMode::Sequenced) => {
+                    h.seq_store_array(id as u8, index as u32, value);
+                    None
+                }
+                Some(mode) => Some(merged_store(
+                    mode,
+                    h.remote_array(id).get(index).copied().unwrap_or(0),
+                    value,
+                )),
+            },
+        }
+    }
+}
+
 /// A function's view of the shared globals: the serial path holds them
 /// exclusively; worker lanes share them read-only (safe because only
 /// `Serialized` functions may write, and those never reach a lane).
@@ -2513,6 +2746,7 @@ struct InvocationHost<'a> {
     scratch: &'a mut [i64],
     msg: &'a mut [i64],
     state: GlobalView<'a>,
+    repl: ReplRef<'a>,
     rng: &'a mut PacketRng,
     now: Time,
     direction: FlowDirection,
@@ -2592,12 +2826,14 @@ impl Host for InvocationHost<'_> {
     }
 
     fn load_glob(&mut self, slot: u8) -> Result<i64, VmError> {
-        self.state
+        let local = self
+            .state
             .global(slot as usize)
             .ok_or(VmError::BadStateSlot {
                 scope: eden_vm::StateScope::Global,
                 slot,
-            })
+            })?;
+        Ok(self.repl.read_global(slot as usize, local))
     }
 
     fn store_glob(&mut self, slot: u8, value: i64) -> Result<(), VmError> {
@@ -2610,7 +2846,9 @@ impl Host for InvocationHost<'_> {
         match &mut self.state {
             GlobalView::Excl { global, .. } => match global.get_mut(slot as usize) {
                 Some(s) => {
-                    *s = value;
+                    if let Some(v) = self.repl.store_global(slot as usize, value) {
+                        *s = v;
+                    }
                     Ok(())
                 }
                 None => Err(VmError::BadStateSlot {
@@ -2632,11 +2870,11 @@ impl Host for InvocationHost<'_> {
             .state
             .array(array as usize)
             .ok_or(VmError::BadArrayAccess { array, index })?;
-        usize::try_from(index)
+        let i = usize::try_from(index)
             .ok()
-            .and_then(|i| arr.get(i))
-            .copied()
-            .ok_or(VmError::BadArrayAccess { array, index })
+            .filter(|&i| i < arr.len())
+            .ok_or(VmError::BadArrayAccess { array, index })?;
+        Ok(self.repl.read_array(array as usize, i, arr[i]))
     }
 
     fn arr_store(&mut self, array: u8, index: i64, value: i64) -> Result<(), VmError> {
@@ -2651,11 +2889,13 @@ impl Host for InvocationHost<'_> {
                 let arr = arrays
                     .get_mut(array as usize)
                     .ok_or(VmError::BadArrayAccess { array, index })?;
-                let slot = usize::try_from(index)
+                let i = usize::try_from(index)
                     .ok()
-                    .and_then(|i| arr.get_mut(i))
+                    .filter(|&i| i < arr.len())
                     .ok_or(VmError::BadArrayAccess { array, index })?;
-                *slot = value;
+                if let Some(v) = self.repl.store_array(array as usize, i, value) {
+                    arr[i] = v;
+                }
                 Ok(())
             }
             GlobalView::Shared { .. } => Err(VmError::ReadOnlyViolation {
@@ -3080,6 +3320,119 @@ mod tests {
         let spans = e.drain_spans(100);
         assert!(spans.iter().any(|s| s.name == "batch"));
         assert!(spans.iter().any(|s| s.name == "match"));
+    }
+
+    #[test]
+    fn merged_global_reads_combine_remote_and_local() {
+        let mut e = Enclave::new(EnclaveConfig::default());
+        let schema = Schema::new()
+            .global_field("Tokens", Access::ReadWrite)
+            .replicated(ReplMode::MergedSum);
+        let f = e.install_function(interp_fn(
+            "fun (packet, msg, _global) -> _global.Tokens <- _global.Tokens + 1",
+            schema,
+        ));
+        e.install_rule(TableId(0), MatchSpec::Any, f);
+        assert!(e.repl_active());
+        assert_eq!(e.repl_funcs(), vec![0]);
+
+        run_one(&mut e);
+        assert_eq!(e.global(f, 0), 1, "local contribution");
+        assert_eq!(e.global_effective(f, 0), 1, "no remote view yet");
+
+        // a controller view: the rest of the fleet contributes 40
+        let view = eden_repl::FuncView {
+            func: 0,
+            version: 1,
+            remote: vec![(0, 40)],
+            ..Default::default()
+        };
+        e.apply_repl_view(&view, 1_000);
+        assert_eq!(e.global_effective(f, 0), 41, "remote + local");
+
+        // the next increment observes 41 and stores 42; the local
+        // contribution absorbs the difference (read-your-writes without
+        // double-counting the remote part)
+        run_one(&mut e);
+        assert_eq!(e.global(f, 0), 2);
+        assert_eq!(e.global_effective(f, 0), 42);
+        let d = e.repl_delta(0).expect("replicated function");
+        assert_eq!(d.merged, vec![(0, 2)], "delta carries the contribution");
+        assert!(d.seq_ops.is_empty());
+    }
+
+    #[test]
+    fn sequenced_store_defers_until_controller_order() {
+        let mut e = Enclave::new(EnclaveConfig::default());
+        let schema = Schema::new()
+            .global_field("Steer", Access::ReadWrite)
+            .replicated(ReplMode::Sequenced);
+        let f = e.install_function(interp_fn(
+            "fun (packet, msg, _global) -> _global.Steer <- 7",
+            schema,
+        ));
+        e.install_rule(TableId(0), MatchSpec::Any, f);
+
+        run_one(&mut e);
+        assert_eq!(e.global(f, 0), 0, "write awaits controller sequencing");
+        let d = e.repl_delta(0).expect("replicated function");
+        assert_eq!(d.seq_ops.len(), 1);
+        assert_eq!(d.seq_ops[0].value, 7);
+        assert_eq!(e.repl_host(0).unwrap().pending_len(), 1);
+
+        // the controller sequences it and the view applies it locally
+        let view = eden_repl::FuncView {
+            func: 0,
+            version: 1,
+            entries: vec![eden_repl::SeqEntry {
+                seq: 1,
+                host: 9,
+                op: d.seq_ops[0],
+            }],
+            acked_op_id: 1,
+            ..Default::default()
+        };
+        e.apply_repl_view(&view, 2_000);
+        assert_eq!(e.global(f, 0), 7, "applied in controller order");
+        assert_eq!(e.repl_host(0).unwrap().pending_len(), 0, "op acked");
+        assert_eq!(e.repl_host(0).unwrap().applied_seq(), 1);
+    }
+
+    #[test]
+    fn divergent_view_freezes_flight_recorder() {
+        let mut e = Enclave::new(EnclaveConfig::default());
+        let schema = Schema::new()
+            .global_field("Tokens", Access::ReadWrite)
+            .replicated(ReplMode::MergedSum);
+        e.install_function(interp_fn(
+            "fun (packet, msg, _global) -> _global.Tokens <- _global.Tokens + 1",
+            schema,
+        ));
+        assert!(e.last_flight_dump().is_none());
+        let view = eden_repl::FuncView {
+            func: 0,
+            divergent: true,
+            ..Default::default()
+        };
+        e.apply_repl_view(&view, 0);
+        let dump = e.last_flight_dump().expect("divergence froze the recorder");
+        assert_eq!(dump.reason, "repl_divergence");
+    }
+
+    #[test]
+    fn plain_functions_have_no_repl_runtime() {
+        let mut e = Enclave::new(EnclaveConfig::default());
+        let schema = Schema::new().global_field("C", Access::ReadWrite);
+        let f = e.install_function(interp_fn(
+            "fun (packet, msg, _global) -> _global.C <- _global.C + 1",
+            schema,
+        ));
+        e.install_rule(TableId(0), MatchSpec::Any, f);
+        assert!(!e.repl_active());
+        assert!(e.repl_delta(0).is_none());
+        run_one(&mut e);
+        assert_eq!(e.global(f, 0), 1);
+        assert_eq!(e.global_effective(f, 0), 1);
     }
 
     #[test]

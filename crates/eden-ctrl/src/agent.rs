@@ -18,6 +18,7 @@
 //! * `Abort{e}` — drops a matching staged epoch, acks either way.
 
 use eden_core::Enclave;
+use eden_repl::{FuncDelta, FuncView};
 use eden_telemetry::{FlightKind, TraceContext};
 use transport::{HookEnv, HookVerdict, PacketHook};
 
@@ -104,6 +105,37 @@ impl EnclaveAgent {
             self.enclave.record_span(ctx, name, now_ns, now_ns);
         }
         reply
+    }
+
+    /// [`handle_traced`](Self::handle_traced), plus the replication sync:
+    /// the views the controller piggybacked on the message are applied
+    /// *before* dispatch (between packet batches by construction — the
+    /// control path never runs mid-batch), and a Heartbeat's Pong carries
+    /// the host's current delta for every replicated function back out.
+    /// Other replies carry no deltas; the heartbeat cadence is the sync
+    /// cadence.
+    pub fn handle_synced(
+        &mut self,
+        re: u32,
+        msg: CtrlMsg,
+        views: &[FuncView],
+        ctx: Option<TraceContext>,
+        now_ns: u64,
+    ) -> (CtrlReply, Vec<FuncDelta>) {
+        for view in views {
+            self.enclave.apply_repl_view(view, now_ns);
+        }
+        let reply = self.handle_traced(re, msg, ctx, now_ns);
+        let deltas = if matches!(reply, CtrlReply::Pong { .. }) {
+            self.enclave
+                .repl_funcs()
+                .into_iter()
+                .filter_map(|f| self.enclave.repl_delta(f))
+                .collect()
+        } else {
+            Vec::new()
+        };
+        (reply, deltas)
     }
 
     fn dispatch(&mut self, re: u32, msg: CtrlMsg) -> CtrlReply {
@@ -214,13 +246,13 @@ impl PacketHook for EnclaveAgent {
         };
         // The request's message id doubles as the correlation id `re`.
         let re = u32::from_le_bytes(frame[2..6].try_into().unwrap());
-        let (msg, ctx) = match proto::decode_msg_traced(&payload) {
+        let (msg, views, ctx) = match proto::decode_msg_synced(&payload) {
             Ok(decoded) => decoded,
             Err(_) => return Vec::new(),
         };
-        let reply = self.handle_traced(re, msg, ctx, env.now.as_nanos());
+        let (reply, deltas) = self.handle_synced(re, msg, &views, ctx, env.now.as_nanos());
         self.reply_seq = self.reply_seq.wrapping_add(1);
-        proto::fragment(self.reply_seq, &proto::encode_reply(&reply))
+        proto::fragment(self.reply_seq, &proto::encode_reply_synced(&reply, &deltas))
     }
 
     fn as_any_mut(&mut self) -> &mut dyn std::any::Any {

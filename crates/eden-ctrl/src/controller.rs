@@ -34,8 +34,10 @@
 //! ```
 
 use eden_core::{ApplyError, Enclave, EnclaveConfig, EnclaveOp};
+use eden_repl::{FuncDelta, FuncView, ReplHub, ReplSpec};
 use eden_telemetry::{
-    ClusterStats, FlightKind, HostReport, LatencyStat, LogHistogram, Span, TraceContext, TraceStore,
+    ClusterStats, FlightKind, HostReport, LatencyStat, LogHistogram, ReplLag, Span, TraceContext,
+    TraceStore,
 };
 use netsim::{Ctx, Packet, Time, UdpHeader};
 use transport::{App, Stack};
@@ -207,6 +209,15 @@ pub struct ControllerApp {
     rtt: LogHistogram,
     /// Round open → commit-fanout completion.
     converge: LogHistogram,
+    /// Replication rendezvous: per-host merged contributions, the global
+    /// sequenced order, and anti-entropy. Views fan out on heartbeats;
+    /// deltas arrive on pongs.
+    repl: ReplHub,
+    /// Gap between consecutive deltas from the same host — how stale its
+    /// replica view runs (the heartbeat cadence plus any loss).
+    repl_staleness: LogHistogram,
+    /// Wire size of each pong's delta section.
+    repl_delta_bytes: LogHistogram,
 }
 
 impl ControllerApp {
@@ -248,6 +259,9 @@ impl ControllerApp {
             span_seq: 0,
             rtt: LogHistogram::new(),
             converge: LogHistogram::new(),
+            repl: ReplHub::new(),
+            repl_staleness: LogHistogram::new(),
+            repl_delta_bytes: LogHistogram::new(),
         }
     }
 
@@ -266,6 +280,7 @@ impl ControllerApp {
         assert!(self.shadow.commit_epoch(epoch));
         let digest = self.shadow.config_digest();
         self.history.push(DesiredEntry { epoch, ops, digest });
+        self.sync_repl_from_shadow();
         self.want_round = true;
         Ok(epoch)
     }
@@ -327,12 +342,41 @@ impl ControllerApp {
         &self.converge
     }
 
+    /// The replication hub: fleet-wide merged totals, the sequenced
+    /// order, per-host lag, and divergence flags.
+    pub fn repl(&self) -> &ReplHub {
+        &self.repl
+    }
+
     // ------------------------------------------------------------------
     // internals
     // ------------------------------------------------------------------
 
     fn desired(&self) -> &DesiredEntry {
         self.history.last().expect("history never empty")
+    }
+
+    /// Mirror the shadow enclave's replication layout into the hub. The
+    /// shadow has already replayed desired state, so its per-function
+    /// specs *are* what every host will install on commit. Re-installing
+    /// an unchanged spec keeps accumulated sync state (epochs re-push
+    /// configuration idempotently); a changed spec resets that function.
+    fn sync_repl_from_shadow(&mut self) {
+        let funcs = self.shadow.repl_funcs();
+        for f in self.repl.active_funcs() {
+            if !funcs.contains(&f) {
+                self.repl.install(f, ReplSpec::default());
+            }
+        }
+        for f in funcs {
+            let spec = self
+                .shadow
+                .repl_host(f)
+                .expect("listed by repl_funcs")
+                .spec()
+                .clone();
+            self.repl.install(f, spec);
+        }
     }
 
     fn digest_of(&self, epoch: u64) -> Option<u64> {
@@ -422,7 +466,8 @@ impl ControllerApp {
         }
 
         // Heartbeats (fire-and-forget; the reply, not the send, is
-        // tracked — via last_heard).
+        // tracked — via last_heard). Each one carries this host's
+        // replication views — the fan-out half of the sync loop.
         for i in 0..self.hosts.len() {
             if now >= self.hosts[i].next_heartbeat {
                 self.nonce_seq += 1;
@@ -430,7 +475,22 @@ impl ControllerApp {
                     nonce: self.nonce_seq,
                 };
                 let to = self.hosts[i].addr;
-                Self::send(&mut self.msg_seq, &self.cfg, to, &msg, None, stack, ctx);
+                let views: Vec<FuncView> = self
+                    .repl
+                    .active_funcs()
+                    .into_iter()
+                    .filter_map(|f| self.repl.view_for(to, f))
+                    .collect();
+                self.msg_seq = self.msg_seq.wrapping_add(1);
+                let id = self.msg_seq;
+                let udp = UdpHeader {
+                    src_port: self.cfg.src_port,
+                    dst_port: self.cfg.ctrl_port,
+                };
+                let payload = proto::encode_msg_synced(&msg, &views, None);
+                for frame in proto::fragment(id, &payload) {
+                    stack.send_raw(Packet::ctrl(stack.addr, to, udp, frame), ctx);
+                }
                 self.hosts[i].next_heartbeat = now + self.cfg.heartbeat_every;
             }
         }
@@ -523,7 +583,31 @@ impl ControllerApp {
             self.reconcile(stack, ctx);
         }
 
+        self.refresh_repl_lags(now.as_nanos());
+
         ctx.timer_in(self.cfg.tick_every, transport::app_timer_token(TICK));
+    }
+
+    /// Mirror the hub's per-host replica age into [`ClusterStats`], so
+    /// dashboards (`eden_top`, the Prometheus exposition) see lag keep
+    /// growing for a silent host, not just on delta arrival.
+    fn refresh_repl_lags(&mut self, now_ns: u64) {
+        if self.repl.active_funcs().is_empty() {
+            if !self.cluster.repl_lags.is_empty() {
+                self.cluster.repl_lags.clear();
+            }
+            return;
+        }
+        let report = self.repl.report(now_ns);
+        self.cluster.repl_lags = report
+            .hosts
+            .into_iter()
+            .map(|(host, lag_ns, divergent)| ReplLag {
+                host,
+                lag_ns,
+                divergent,
+            })
+            .collect();
     }
 
     fn mark_down(&mut self, i: usize, now: Time) {
@@ -618,6 +702,7 @@ impl ControllerApp {
                 assert!(self.shadow.commit_epoch(epoch));
                 let digest = self.shadow.config_digest();
                 self.history.push(DesiredEntry { epoch, ops, digest });
+                self.sync_repl_from_shadow();
                 self.want_round = true;
                 return;
             }
@@ -683,6 +768,8 @@ impl ControllerApp {
         self.cluster.ctrl_latencies = vec![
             LatencyStat::new("ctrl.rtt", self.rtt.clone()),
             LatencyStat::new("epoch.converge", self.converge.clone()),
+            LatencyStat::new("repl.staleness", self.repl_staleness.clone()),
+            LatencyStat::new("repl.delta_bytes", self.repl_delta_bytes.clone()),
         ];
     }
 
@@ -780,9 +867,17 @@ impl ControllerApp {
             assert!(shadow.commit_epoch(entry.epoch));
         }
         self.shadow = shadow;
+        self.sync_repl_from_shadow();
     }
 
-    fn handle_reply(&mut self, from: u32, reply: CtrlReply, stack: &mut Stack, ctx: &mut Ctx<'_>) {
+    fn handle_reply(
+        &mut self,
+        from: u32,
+        reply: CtrlReply,
+        deltas: Vec<FuncDelta>,
+        stack: &mut Stack,
+        ctx: &mut Ctx<'_>,
+    ) {
         let now = ctx.now();
         let Some(i) = self.hosts.iter().position(|h| h.addr == from) else {
             return; // not one of ours
@@ -802,6 +897,21 @@ impl ControllerApp {
                 self.hosts[i].reported = Some((epoch, digest));
                 for span in spans {
                     self.trace.ingest(span);
+                }
+                if !deltas.is_empty() {
+                    let now_ns = now.as_nanos();
+                    // Staleness = gap since this host's previous delta;
+                    // its first delta has no gap to measure.
+                    let prev = self.repl.report(now_ns);
+                    if let Some(&(_, lag, _)) = prev.hosts.iter().find(|&&(h, _, _)| h == from) {
+                        self.repl_staleness.record(lag);
+                    }
+                    self.repl_delta_bytes
+                        .record(proto::repl_deltas_wire_len(&deltas) as u64);
+                    for d in &deltas {
+                        self.repl.ingest(from, now_ns, d);
+                    }
+                    self.refresh_ctrl_latencies();
                 }
             }
             CtrlReply::Spans { spans, .. } => {
@@ -949,9 +1059,9 @@ impl App for ControllerApp {
             Ok(Some(p)) => p,
             Ok(None) | Err(_) => return,
         };
-        let Ok(reply) = proto::decode_reply(&payload) else {
+        let Ok((reply, deltas)) = proto::decode_reply_synced(&payload) else {
             return;
         };
-        self.handle_reply(from, reply, stack, ctx);
+        self.handle_reply(from, reply, deltas, stack, ctx);
     }
 }

@@ -23,6 +23,13 @@
 //!    any host that reports a different epoch or digest — a partitioned
 //!    host catches up automatically once its links heal, with bounded
 //!    retry backoff on every path (no livelock).
+//! 4. **Replicated state.** Functions whose schema marks globals
+//!    `replicated(...)` keep acting on a *local* replica at full speed;
+//!    the heartbeat cadence carries the sync for free — each pong
+//!    piggybacks the host's contributions and sequenced ops up, each
+//!    heartbeat fans the merged view of every other host back down, and
+//!    an anti-entropy digest exchange flags replicas that stopped
+//!    converging (see `eden-repl`).
 //!
 //! Bootstrap sketch (see `examples/ctrl_cluster.rs` for the full
 //! version):

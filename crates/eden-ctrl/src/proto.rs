@@ -13,7 +13,8 @@
 //! would be all cost.
 
 use eden_core::{ClassId, EnclaveOp, MatchSpec};
-use eden_lang::{Access, Concurrency, HeaderField, Schema};
+use eden_lang::{Access, Concurrency, HeaderField, ReplMode, Schema};
+use eden_repl::{FuncDelta, FuncView, SeqEntry, SeqOp, SeqSnapshot, SeqTarget};
 use eden_telemetry::{
     EnclaveCounters, LatencyStat, LogHistogram, Span, TraceContext, HIST_BUCKETS,
 };
@@ -30,6 +31,15 @@ pub const TRACE_MARK: u16 = 0x7E57;
 /// Wire size of the trace trailer: mark (2) + trace id (8) + parent
 /// span (8) + flags (1).
 pub const TRACE_TRAILER: usize = 19;
+
+/// Marker opening the optional replication sync section. It rides the
+/// existing heartbeat cadence: a Heartbeat grows a [`FuncView`] section
+/// (controller → host), its Pong grows a [`FuncDelta`] section (host →
+/// controller). Like the trace trailer, the section sits *after* the
+/// message fields where a repl-unaware decoder never looks — old peers
+/// decode the message and simply miss the sync. Distinct from
+/// [`TRACE_MARK`], so a synced decoder can tell the two apart by peeking.
+pub const REPL_MARK: u16 = 0x5EED;
 
 /// Longest span name accepted off the wire. Real names are short dotted
 /// words ("prepare", "stage.classify"); anything bigger is hostile.
@@ -224,6 +234,13 @@ impl<'a> Reader<'a> {
     fn remaining(&self) -> usize {
         self.buf.len() - self.pos
     }
+    /// The next u16 without consuming it — how a decoder tells an
+    /// optional trailing section (led by its marker) from the bytes of
+    /// a different section, without committing to a parse.
+    fn peek_u16(&self) -> Option<u16> {
+        let b = self.buf.get(self.pos..self.pos + 2)?;
+        Some(u16::from_le_bytes(b.try_into().unwrap()))
+    }
     fn str(&mut self) -> Result<String, ProtoError> {
         let b = self.bytes()?;
         String::from_utf8(b.to_vec()).map_err(|_| ProtoError::BadString)
@@ -294,6 +311,23 @@ fn access_from_u8(v: u8) -> Result<Access, ProtoError> {
     })
 }
 
+fn repl_to_u8(m: ReplMode) -> u8 {
+    match m {
+        ReplMode::MergedSum => 0,
+        ReplMode::MergedMax => 1,
+        ReplMode::Sequenced => 2,
+    }
+}
+
+fn repl_from_u8(v: u8) -> Result<ReplMode, ProtoError> {
+    Ok(match v {
+        0 => ReplMode::MergedSum,
+        1 => ReplMode::MergedMax,
+        2 => ReplMode::Sequenced,
+        other => return Err(ProtoError::BadTag(other)),
+    })
+}
+
 fn concurrency_to_u8(c: Concurrency) -> u8 {
     match c {
         Concurrency::Parallel => 0,
@@ -321,12 +355,24 @@ fn put_schema(w: &mut Writer, s: &Schema) {
             eden_lang::Scope::Global => 2,
         });
         w.u8(access_to_u8(f.access));
-        match f.header {
-            Some(h) => {
-                w.u8(1);
-                w.u8(header_to_u8(h));
-            }
-            None => w.u8(0),
+        // Flags byte: bit 0 = header mapping follows, bit 1 = replication
+        // mode follows. The pre-replication encoding wrote exactly 0 or 1
+        // here (header present/absent), so old frames parse as flags with
+        // bit 1 clear — byte-compatible in both directions when no field
+        // is replicated.
+        let mut flags = 0u8;
+        if f.header.is_some() {
+            flags |= 1;
+        }
+        if f.repl.is_some() {
+            flags |= 2;
+        }
+        w.u8(flags);
+        if let Some(h) = f.header {
+            w.u8(header_to_u8(h));
+        }
+        if let Some(m) = f.repl {
+            w.u8(repl_to_u8(m));
         }
     }
     w.u16(s.arrays().len() as u16);
@@ -336,7 +382,17 @@ fn put_schema(w: &mut Writer, s: &Schema) {
         for f in &a.fields {
             w.str(f);
         }
-        w.u8(access_to_u8(a.access));
+        // Same trick as the field flags: bit 0 is the access mode (the
+        // whole byte in the pre-replication encoding), bit 1 announces a
+        // replication-mode byte.
+        let mut flags = access_to_u8(a.access);
+        if a.repl.is_some() {
+            flags |= 2;
+        }
+        w.u8(flags);
+        if let Some(m) = a.repl {
+            w.u8(repl_to_u8(m));
+        }
     }
 }
 
@@ -351,10 +407,19 @@ fn get_schema(r: &mut Reader<'_>) -> Result<Schema, ProtoError> {
         let name = r.str()?;
         let scope = r.u8()?;
         let access = access_from_u8(r.u8()?)?;
-        let header = match r.u8()? {
-            0 => None,
-            1 => Some(header_from_u8(r.u8()?)?),
-            other => return Err(ProtoError::BadTag(other)),
+        let flags = r.u8()?;
+        if flags & !0x03 != 0 {
+            return Err(ProtoError::BadTag(flags));
+        }
+        let header = if flags & 1 != 0 {
+            Some(header_from_u8(r.u8()?)?)
+        } else {
+            None
+        };
+        let repl = if flags & 2 != 0 {
+            Some(repl_from_u8(r.u8()?)?)
+        } else {
+            None
         };
         if scope > 2 {
             return Err(ProtoError::BadTag(scope));
@@ -371,6 +436,9 @@ fn get_schema(r: &mut Reader<'_>) -> Result<Schema, ProtoError> {
             1 => s.msg_field(&name, access),
             _ => s.global_field(&name, access),
         };
+        if let Some(m) = repl {
+            s = s.replicated(m);
+        }
     }
     let narrays = r.u16()?;
     if narrays as usize > u8::MAX as usize + 1 {
@@ -384,12 +452,29 @@ fn get_schema(r: &mut Reader<'_>) -> Result<Schema, ProtoError> {
         for _ in 0..nf {
             fields.push(r.str()?);
         }
-        let access = access_from_u8(r.u8()?)?;
+        let flags = r.u8()?;
+        if flags & !0x03 != 0 {
+            return Err(ProtoError::BadTag(flags));
+        }
+        let access = access_from_u8(flags & 1)?;
+        let repl = if flags & 2 != 0 {
+            Some(repl_from_u8(r.u8()?)?)
+        } else {
+            None
+        };
         if s.arrays().iter().any(|a| a.name == name) {
             return Err(ProtoError::BadSchema);
         }
         let refs: Vec<&str> = fields.iter().map(String::as_str).collect();
         s = s.global_array(&name, &refs, access);
+        if let Some(m) = repl {
+            s = s.replicated(m);
+        }
+    }
+    // Replication annotations on per-packet/per-message scope are a type
+    // error at compile time; crafted bytes must not smuggle them past that.
+    if s.validate_repl().is_err() {
+        return Err(ProtoError::BadSchema);
     }
     Ok(s)
 }
@@ -692,6 +777,281 @@ fn get_latencies(r: &mut Reader<'_>) -> Result<Vec<LatencyStat>, ProtoError> {
 }
 
 // ----------------------------------------------------------------------
+// replication sync codecs
+// ----------------------------------------------------------------------
+
+fn put_seq_target(w: &mut Writer, t: SeqTarget) {
+    match t {
+        SeqTarget::Global { slot } => {
+            w.u8(0);
+            w.u8(slot);
+        }
+        SeqTarget::Array { id, index } => {
+            w.u8(1);
+            w.u8(id);
+            w.u32(index);
+        }
+    }
+}
+
+fn get_seq_target(r: &mut Reader<'_>) -> Result<SeqTarget, ProtoError> {
+    Ok(match r.u8()? {
+        0 => SeqTarget::Global { slot: r.u8()? },
+        1 => SeqTarget::Array {
+            id: r.u8()?,
+            index: r.u32()?,
+        },
+        other => return Err(ProtoError::BadTag(other)),
+    })
+}
+
+fn put_seq_op(w: &mut Writer, op: &SeqOp) {
+    w.u64(op.op_id);
+    put_seq_target(w, op.target);
+    w.i64(op.value);
+}
+
+/// Minimum wire bytes per sequenced op: op id + global target + value.
+const SEQ_OP_WIRE_MIN: usize = 8 + 2 + 8;
+
+fn get_seq_op(r: &mut Reader<'_>) -> Result<SeqOp, ProtoError> {
+    Ok(SeqOp {
+        op_id: r.u64()?,
+        target: get_seq_target(r)?,
+        value: r.i64()?,
+    })
+}
+
+fn put_seq_entry(w: &mut Writer, e: &SeqEntry) {
+    w.u64(e.seq);
+    w.u32(e.host);
+    put_seq_op(w, &e.op);
+}
+
+const SEQ_ENTRY_WIRE_MIN: usize = 8 + 4 + SEQ_OP_WIRE_MIN;
+
+fn get_seq_entry(r: &mut Reader<'_>) -> Result<SeqEntry, ProtoError> {
+    Ok(SeqEntry {
+        seq: r.u64()?,
+        host: r.u32()?,
+        op: get_seq_op(r)?,
+    })
+}
+
+/// `(slot, value)` pair lists — merged contributions and views.
+fn put_slot_pairs(w: &mut Writer, pairs: &[(u8, i64)]) {
+    w.u16(pairs.len() as u16);
+    for &(slot, v) in pairs {
+        w.u8(slot);
+        w.i64(v);
+    }
+}
+
+fn get_slot_pairs(r: &mut Reader<'_>) -> Result<Vec<(u8, i64)>, ProtoError> {
+    let n = r.u16()? as usize;
+    let mut pairs = Vec::with_capacity(n.min(r.remaining() / 9));
+    for _ in 0..n {
+        pairs.push((r.u8()?, r.i64()?));
+    }
+    Ok(pairs)
+}
+
+/// `(array id, elements)` lists — merged array contributions and views.
+fn put_array_pairs(w: &mut Writer, arrays: &[(u8, Vec<i64>)]) {
+    w.u16(arrays.len() as u16);
+    for (id, vals) in arrays {
+        w.u8(*id);
+        w.u32(vals.len() as u32);
+        for &v in vals {
+            w.i64(v);
+        }
+    }
+}
+
+fn get_array_pairs(r: &mut Reader<'_>) -> Result<Vec<(u8, Vec<i64>)>, ProtoError> {
+    let n = r.u16()? as usize;
+    let mut arrays = Vec::with_capacity(n.min(r.remaining() / 5));
+    for _ in 0..n {
+        let id = r.u8()?;
+        let len = r.u32()? as usize;
+        let mut vals = Vec::with_capacity(len.min(r.remaining() / 8));
+        for _ in 0..len {
+            vals.push(r.i64()?);
+        }
+        arrays.push((id, vals));
+    }
+    Ok(arrays)
+}
+
+fn put_snapshot(w: &mut Writer, s: &SeqSnapshot) {
+    w.u64(s.seq);
+    w.u16(s.globals.len() as u16);
+    for &(slot, v) in &s.globals {
+        w.u8(slot);
+        w.i64(v);
+    }
+    w.u32(s.cells.len() as u32);
+    for &(id, index, v) in &s.cells {
+        w.u8(id);
+        w.u32(index);
+        w.i64(v);
+    }
+}
+
+fn get_snapshot(r: &mut Reader<'_>) -> Result<SeqSnapshot, ProtoError> {
+    let seq = r.u64()?;
+    let n = r.u16()? as usize;
+    let mut globals = Vec::with_capacity(n.min(r.remaining() / 9));
+    for _ in 0..n {
+        globals.push((r.u8()?, r.i64()?));
+    }
+    let n = r.u32()? as usize;
+    let mut cells = Vec::with_capacity(n.min(r.remaining() / 13));
+    for _ in 0..n {
+        cells.push((r.u8()?, r.u32()?, r.i64()?));
+    }
+    Ok(SeqSnapshot {
+        seq,
+        globals,
+        cells,
+    })
+}
+
+fn put_delta(w: &mut Writer, d: &FuncDelta) {
+    w.u32(d.func);
+    put_slot_pairs(w, &d.merged);
+    put_array_pairs(w, &d.merged_arrays);
+    w.u16(d.seq_ops.len() as u16);
+    for op in &d.seq_ops {
+        put_seq_op(w, op);
+    }
+    w.u64(d.applied_seq);
+    w.u64(d.digest);
+}
+
+/// Minimum wire bytes per delta: func + three empty section counts +
+/// applied_seq + digest.
+const DELTA_WIRE_MIN: usize = 4 + 2 + 2 + 2 + 8 + 8;
+
+fn get_delta(r: &mut Reader<'_>) -> Result<FuncDelta, ProtoError> {
+    let func = r.u32()?;
+    let merged = get_slot_pairs(r)?;
+    let merged_arrays = get_array_pairs(r)?;
+    let n = r.u16()? as usize;
+    let mut seq_ops = Vec::with_capacity(n.min(r.remaining() / SEQ_OP_WIRE_MIN));
+    for _ in 0..n {
+        seq_ops.push(get_seq_op(r)?);
+    }
+    Ok(FuncDelta {
+        func,
+        merged,
+        merged_arrays,
+        seq_ops,
+        applied_seq: r.u64()?,
+        digest: r.u64()?,
+    })
+}
+
+fn put_view(w: &mut Writer, v: &FuncView) {
+    w.u32(v.func);
+    w.u64(v.version);
+    put_slot_pairs(w, &v.remote);
+    put_array_pairs(w, &v.remote_arrays);
+    match &v.snapshot {
+        None => w.u8(0),
+        Some(s) => {
+            w.u8(1);
+            put_snapshot(w, s);
+        }
+    }
+    w.u16(v.entries.len() as u16);
+    for e in &v.entries {
+        put_seq_entry(w, e);
+    }
+    w.u64(v.acked_op_id);
+    w.u64(v.digest);
+    w.u8(u8::from(v.divergent));
+}
+
+/// Minimum wire bytes per view: func + version + two empty pair counts +
+/// snapshot flag + empty entry count + acked + digest + divergent.
+const VIEW_WIRE_MIN: usize = 4 + 8 + 2 + 2 + 1 + 2 + 8 + 8 + 1;
+
+fn get_view(r: &mut Reader<'_>) -> Result<FuncView, ProtoError> {
+    let func = r.u32()?;
+    let version = r.u64()?;
+    let remote = get_slot_pairs(r)?;
+    let remote_arrays = get_array_pairs(r)?;
+    let snapshot = match r.u8()? {
+        0 => None,
+        1 => Some(get_snapshot(r)?),
+        other => return Err(ProtoError::BadTag(other)),
+    };
+    let n = r.u16()? as usize;
+    let mut entries = Vec::with_capacity(n.min(r.remaining() / SEQ_ENTRY_WIRE_MIN));
+    for _ in 0..n {
+        entries.push(get_seq_entry(r)?);
+    }
+    Ok(FuncView {
+        func,
+        version,
+        remote,
+        remote_arrays,
+        snapshot,
+        entries,
+        acked_op_id: r.u64()?,
+        digest: r.u64()?,
+        divergent: r.u8()? != 0,
+    })
+}
+
+fn put_repl_views(w: &mut Writer, views: &[FuncView]) {
+    w.u16(REPL_MARK);
+    w.u16(views.len() as u16);
+    for v in views {
+        put_view(w, v);
+    }
+}
+
+fn get_repl_views(r: &mut Reader<'_>) -> Result<Vec<FuncView>, ProtoError> {
+    let n = r.u16()? as usize;
+    let mut views = Vec::with_capacity(n.min(r.remaining() / VIEW_WIRE_MIN));
+    for _ in 0..n {
+        views.push(get_view(r)?);
+    }
+    Ok(views)
+}
+
+fn put_repl_deltas(w: &mut Writer, deltas: &[FuncDelta]) {
+    w.u16(REPL_MARK);
+    w.u16(deltas.len() as u16);
+    for d in deltas {
+        put_delta(w, d);
+    }
+}
+
+fn get_repl_deltas(r: &mut Reader<'_>) -> Result<Vec<FuncDelta>, ProtoError> {
+    let n = r.u16()? as usize;
+    let mut deltas = Vec::with_capacity(n.min(r.remaining() / DELTA_WIRE_MIN));
+    for _ in 0..n {
+        deltas.push(get_delta(r)?);
+    }
+    Ok(deltas)
+}
+
+/// Wire size of the delta section carrying `deltas` (0 when empty) — the
+/// sample telemetry records as `repl.delta_bytes` without re-encoding
+/// the surrounding frame.
+pub fn repl_deltas_wire_len(deltas: &[FuncDelta]) -> usize {
+    if deltas.is_empty() {
+        return 0;
+    }
+    let mut w = Writer::default();
+    put_repl_deltas(&mut w, deltas);
+    w.0.len()
+}
+
+// ----------------------------------------------------------------------
 // message codecs
 // ----------------------------------------------------------------------
 
@@ -754,6 +1114,49 @@ pub fn decode_msg_traced(buf: &[u8]) -> Result<(CtrlMsg, Option<TraceContext>), 
     let msg = read_msg(&mut r)?;
     let ctx = read_trace_trailer(&mut r);
     Ok((msg, ctx))
+}
+
+/// Serialize a controller → agent message with a replication view
+/// section and (optionally) a trace-context trailer. Section order is
+/// fixed: message fields, then the [`REPL_MARK`] view section, then the
+/// trailer — the trailer stays last because untraced decoders find it by
+/// its fixed size from the end. An empty `views` emits no section, so
+/// the frame is byte-identical to [`encode_msg`] / [`encode_msg_traced`].
+pub fn encode_msg_synced(msg: &CtrlMsg, views: &[FuncView], ctx: Option<&TraceContext>) -> Vec<u8> {
+    let mut w = Writer(encode_msg(msg));
+    if !views.is_empty() {
+        put_repl_views(&mut w, views);
+    }
+    let mut buf = w.0;
+    if let Some(ctx) = ctx {
+        buf.extend_from_slice(&TRACE_MARK.to_le_bytes());
+        buf.extend_from_slice(&ctx.trace_id.to_le_bytes());
+        buf.extend_from_slice(&ctx.parent_span.to_le_bytes());
+        buf.push(u8::from(ctx.sampled));
+    }
+    buf
+}
+
+/// Parse a controller → agent message plus its optional replication view
+/// section and trace trailer. Frames without either section decode with
+/// empty views / `None` — never an error — so pre-replication senders
+/// stay compatible. A frame whose trailing bytes *open* with
+/// [`REPL_MARK`] must carry a well-formed section: garbage there is
+/// rejected (the sender's retry covers the drop), exactly like any other
+/// malformed message.
+pub fn decode_msg_synced(
+    buf: &[u8],
+) -> Result<(CtrlMsg, Vec<FuncView>, Option<TraceContext>), ProtoError> {
+    let mut r = Reader::new(buf);
+    let msg = read_msg(&mut r)?;
+    let views = if r.peek_u16() == Some(REPL_MARK) {
+        r.u16()?; // consume the marker
+        get_repl_views(&mut r)?
+    } else {
+        Vec::new()
+    };
+    let ctx = read_trace_trailer(&mut r);
+    Ok((msg, views, ctx))
 }
 
 fn read_trace_trailer(r: &mut Reader<'_>) -> Option<TraceContext> {
@@ -854,9 +1257,41 @@ pub fn encode_reply(reply: &CtrlReply) -> Vec<u8> {
     w.0
 }
 
+/// Serialize an agent → controller reply with a replication delta
+/// section appended. An empty `deltas` emits no section (byte-identical
+/// to [`encode_reply`]). Only replies that end in an *explicit* section
+/// may grow this trailer — [`encode_reply`] always emits Pong's span
+/// section and Stats' latency section, so the delta marker can never be
+/// mistaken for their optional tails.
+pub fn encode_reply_synced(reply: &CtrlReply, deltas: &[FuncDelta]) -> Vec<u8> {
+    let mut w = Writer(encode_reply(reply));
+    if !deltas.is_empty() {
+        put_repl_deltas(&mut w, deltas);
+    }
+    w.0
+}
+
+/// Parse an agent → controller reply plus its optional replication delta
+/// section. A frame without the section decodes with no deltas — never
+/// an error.
+pub fn decode_reply_synced(buf: &[u8]) -> Result<(CtrlReply, Vec<FuncDelta>), ProtoError> {
+    let mut r = Reader::new(buf);
+    let reply = read_reply(&mut r)?;
+    let deltas = if r.peek_u16() == Some(REPL_MARK) {
+        r.u16()?; // consume the marker
+        get_repl_deltas(&mut r)?
+    } else {
+        Vec::new()
+    };
+    Ok((reply, deltas))
+}
+
 /// Parse an agent → controller reply.
 pub fn decode_reply(buf: &[u8]) -> Result<CtrlReply, ProtoError> {
-    let mut r = Reader::new(buf);
+    read_reply(&mut Reader::new(buf))
+}
+
+fn read_reply(r: &mut Reader<'_>) -> Result<CtrlReply, ProtoError> {
     let reply = match r.u8()? {
         1 => {
             let re = r.u32()?;
@@ -885,7 +1320,7 @@ pub fn decode_reply(buf: &[u8]) -> Result<CtrlReply, ProtoError> {
             let spans = if r.remaining() == 0 {
                 Vec::new()
             } else {
-                get_spans(&mut r)?
+                get_spans(r)?
             };
             CtrlReply::Pong {
                 re,
@@ -900,12 +1335,12 @@ pub fn decode_reply(buf: &[u8]) -> Result<CtrlReply, ProtoError> {
             let epoch = r.u64()?;
             let digest = r.u64()?;
             let captured_at_ns = r.u64()?;
-            let counters = get_counters(&mut r)?;
+            let counters = get_counters(r)?;
             // Same append-only evolution as Pong's span section.
             let latencies = if r.remaining() == 0 {
                 Vec::new()
             } else {
-                get_latencies(&mut r)?
+                get_latencies(r)?
             };
             CtrlReply::Stats {
                 re,
@@ -918,7 +1353,7 @@ pub fn decode_reply(buf: &[u8]) -> Result<CtrlReply, ProtoError> {
         }
         5 => {
             let re = r.u32()?;
-            let spans = get_spans(&mut r)?;
+            let spans = get_spans(r)?;
             CtrlReply::Spans { re, spans }
         }
         other => return Err(ProtoError::BadTag(other)),
@@ -1077,7 +1512,11 @@ mod tests {
                     .packet_field("Prio", Access::ReadWrite, Some(HeaderField::Dot1qPcp))
                     .msg_field("Seen", Access::ReadWrite)
                     .global_field("Cap", Access::ReadOnly)
-                    .global_array("Map", &["A", "B"], Access::ReadOnly),
+                    .global_field("Tokens", Access::ReadWrite)
+                    .replicated(ReplMode::MergedSum)
+                    .global_array("Map", &["A", "B"], Access::ReadOnly)
+                    .global_array("Conns", &[""], Access::ReadWrite)
+                    .replicated(ReplMode::Sequenced),
                 concurrency: Concurrency::PerMessage,
             },
             EnclaveOp::InstallRule {
@@ -1171,6 +1610,166 @@ mod tests {
         let (m, got) = decode_msg_traced(&junk).unwrap();
         assert_eq!(m, msg);
         assert_eq!(got, None);
+    }
+
+    fn sample_views() -> Vec<FuncView> {
+        vec![FuncView {
+            func: 0,
+            version: 9,
+            remote: vec![(0, 41), (1, -3)],
+            remote_arrays: vec![(0, vec![5, 0, 7])],
+            snapshot: Some(SeqSnapshot {
+                seq: 12,
+                globals: vec![(2, 99)],
+                cells: vec![(1, 4, -8)],
+            }),
+            entries: vec![SeqEntry {
+                seq: 13,
+                host: 2,
+                op: SeqOp {
+                    op_id: 5,
+                    target: SeqTarget::Array { id: 1, index: 4 },
+                    value: 6,
+                },
+            }],
+            acked_op_id: 5,
+            digest: 0xFEED,
+            divergent: true,
+        }]
+    }
+
+    fn sample_deltas() -> Vec<FuncDelta> {
+        vec![
+            FuncDelta {
+                func: 0,
+                merged: vec![(0, 7)],
+                merged_arrays: vec![(0, vec![1, 2])],
+                seq_ops: vec![SeqOp {
+                    op_id: 3,
+                    target: SeqTarget::Global { slot: 2 },
+                    value: -1,
+                }],
+                applied_seq: 11,
+                digest: 0xD1CE,
+            },
+            FuncDelta {
+                func: 3,
+                ..FuncDelta::default()
+            },
+        ]
+    }
+
+    #[test]
+    fn repl_view_section_rides_heartbeats_next_to_the_trace_trailer() {
+        let msg = CtrlMsg::Heartbeat { nonce: 4 };
+        let views = sample_views();
+        let ctx = TraceContext::sampled(0x77, 0x2000);
+
+        // with trailer: msg → views → trailer, all three recovered
+        let buf = encode_msg_synced(&msg, &views, Some(&ctx));
+        let (m, v, c) = decode_msg_synced(&buf).unwrap();
+        assert_eq!((m, v, c), (msg.clone(), views.clone(), Some(ctx)));
+        // a repl-unaware decoder still reads the message
+        assert_eq!(decode_msg(&buf).unwrap(), msg);
+
+        // without trailer
+        let buf = encode_msg_synced(&msg, &views, None);
+        let (m, v, c) = decode_msg_synced(&buf).unwrap();
+        assert_eq!((m, v, c), (msg.clone(), views.clone(), None));
+
+        // no views: byte-identical to the plain encodings
+        assert_eq!(encode_msg_synced(&msg, &[], None), encode_msg(&msg));
+        assert_eq!(
+            encode_msg_synced(&msg, &[], Some(&ctx)),
+            encode_msg_traced(&msg, &ctx)
+        );
+
+        // pre-replication frames decode with empty views
+        let (m, v, c) = decode_msg_synced(&encode_msg_traced(&msg, &ctx)).unwrap();
+        assert_eq!((m, v, c), (msg, Vec::new(), Some(ctx)));
+    }
+
+    #[test]
+    fn repl_delta_section_rides_pongs() {
+        let reply = CtrlReply::Pong {
+            re: 3,
+            nonce: 4,
+            epoch: 5,
+            digest: 6,
+            spans: sample_spans(),
+        };
+        let deltas = sample_deltas();
+        let buf = encode_reply_synced(&reply, &deltas);
+        let (got, d) = decode_reply_synced(&buf).unwrap();
+        assert_eq!((got, d), (reply.clone(), deltas.clone()));
+        // a repl-unaware decoder still reads the reply (spans intact)
+        assert_eq!(decode_reply(&buf).unwrap(), reply);
+        // no deltas: byte-identical; old frames decode with none
+        assert_eq!(encode_reply_synced(&reply, &[]), encode_reply(&reply));
+        let (got, d) = decode_reply_synced(&encode_reply(&reply)).unwrap();
+        assert_eq!((got, d), (reply, Vec::new()));
+        // the telemetry sample matches the actual section size
+        let plain = encode_reply_synced(
+            &CtrlReply::Pong {
+                re: 3,
+                nonce: 4,
+                epoch: 5,
+                digest: 6,
+                spans: sample_spans(),
+            },
+            &[],
+        );
+        assert_eq!(repl_deltas_wire_len(&deltas), buf.len() - plain.len());
+        assert_eq!(repl_deltas_wire_len(&[]), 0);
+    }
+
+    #[test]
+    fn hostile_repl_sections_rejected_without_overallocation() {
+        // view count lie: u16::MAX views claimed, no data follows
+        let mut w = Writer(encode_msg(&CtrlMsg::Heartbeat { nonce: 1 }));
+        w.u16(REPL_MARK);
+        w.u16(u16::MAX);
+        assert_eq!(decode_msg_synced(&w.0), Err(ProtoError::Truncated));
+
+        // bad snapshot flag inside a view
+        let mut views = sample_views();
+        views[0].snapshot = None;
+        views[0].entries.clear();
+        let mut buf = encode_msg_synced(&CtrlMsg::Heartbeat { nonce: 1 }, &views, None);
+        // the tail after the flag: empty entry count + acked + digest +
+        // divergent byte
+        let flag_at = buf.len() - (2 + 8 + 8 + 1) - 1;
+        assert_eq!(buf[flag_at], 0, "located the snapshot flag");
+        buf[flag_at] = 9;
+        assert_eq!(decode_msg_synced(&buf), Err(ProtoError::BadTag(9)));
+
+        // bad sequenced-target tag inside a delta
+        let mut w = Writer(encode_reply(&CtrlReply::Ack {
+            re: 1,
+            epoch: 1,
+            phase: AckPhase::Commit,
+        }));
+        w.u16(REPL_MARK);
+        w.u16(1);
+        w.u32(0); // func
+        w.u16(0); // merged
+        w.u16(0); // merged arrays
+        w.u16(1); // one seq op
+        w.u64(1); // op id
+        w.u8(7); // bogus target tag
+        assert_eq!(decode_reply_synced(&w.0), Err(ProtoError::BadTag(7)));
+
+        // delta count lie on a pong
+        let mut w = Writer(encode_reply(&CtrlReply::Pong {
+            re: 1,
+            nonce: 1,
+            epoch: 1,
+            digest: 1,
+            spans: Vec::new(),
+        }));
+        w.u16(REPL_MARK);
+        w.u16(u16::MAX);
+        assert_eq!(decode_reply_synced(&w.0), Err(ProtoError::Truncated));
     }
 
     #[test]
@@ -1508,6 +2107,90 @@ mod tests {
         }
         w.u8(0);
         assert_eq!(decode_msg(&w.0), Err(ProtoError::BadSchema));
+    }
+
+    // A schema frame from the pre-replication encoder: the field's third
+    // byte is exactly 0/1 (header absent/present) and the array's trailing
+    // byte is exactly the access mode. Both parse unchanged as flag bytes
+    // with the repl bit clear.
+    #[test]
+    fn pre_replication_schema_bytes_still_decode() {
+        let mut w = Writer::default();
+        w.u8(1); // Prepare
+        w.u64(7);
+        w.u16(1);
+        w.u8(3); // InstallFunction
+        w.str("f");
+        w.bytes(&[]);
+        w.u16(2); // two fields
+        w.str("Prio");
+        w.u8(0); // scope: packet
+        w.u8(1); // access: read-write
+        w.u8(1); // old encoding: header follows
+        w.u8(8); // Dot1qPcp
+        w.str("Cap");
+        w.u8(2); // scope: global
+        w.u8(0); // access: read-only
+        w.u8(0); // old encoding: no header
+        w.u16(1); // one array
+        w.str("Map");
+        w.u16(1);
+        w.str("V");
+        w.u8(1); // old encoding: bare access byte (read-write)
+        w.u8(1); // concurrency
+        let CtrlMsg::Prepare { ops, .. } = decode_msg(&w.0).unwrap() else {
+            panic!("expected prepare");
+        };
+        let EnclaveOp::InstallFunction { schema, .. } = &ops[0] else {
+            panic!("expected install");
+        };
+        let expect = Schema::new()
+            .packet_field("Prio", Access::ReadWrite, Some(HeaderField::Dot1qPcp))
+            .global_field("Cap", Access::ReadOnly)
+            .global_array("Map", &["V"], Access::ReadWrite);
+        assert_eq!(*schema, expect);
+        assert!(!schema.has_replicated());
+    }
+
+    // Crafted bytes claiming a replicated per-message field must be
+    // rejected at decode, the same way typeck rejects the source form.
+    #[test]
+    fn crafted_replicated_message_field_is_error_not_panic() {
+        let mut w = Writer::default();
+        w.u8(1); // Prepare
+        w.u64(7);
+        w.u16(1);
+        w.u8(3); // InstallFunction
+        w.str("f");
+        w.bytes(&[]);
+        w.u16(1); // one field
+        w.str("Seen");
+        w.u8(1); // scope: message
+        w.u8(1); // access: read-write
+        w.u8(2); // flags: repl follows, no header
+        w.u8(0); // MergedSum
+        w.u16(0); // no arrays
+        w.u8(1); // concurrency
+        assert_eq!(decode_msg(&w.0), Err(ProtoError::BadSchema));
+    }
+
+    #[test]
+    fn hostile_schema_flag_bits_rejected() {
+        let mut w = Writer::default();
+        w.u8(1); // Prepare
+        w.u64(7);
+        w.u16(1);
+        w.u8(3); // InstallFunction
+        w.str("f");
+        w.bytes(&[]);
+        w.u16(1);
+        w.str("A");
+        w.u8(0); // scope: packet
+        w.u8(0); // access
+        w.u8(0x84); // flags with undefined bits set
+        w.u16(0);
+        w.u8(0);
+        assert_eq!(decode_msg(&w.0), Err(ProtoError::BadTag(0x84)));
     }
 
     // Pinned by the fuzz harness: a `SetArray` op whose length field says

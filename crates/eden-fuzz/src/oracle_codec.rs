@@ -16,11 +16,13 @@ use crate::report::{Failure, OracleReport};
 use crate::rng::FuzzRng;
 use eden_core::{ClassId, EnclaveOp, MatchSpec};
 use eden_ctrl::proto::{
-    decode_msg, decode_msg_traced, decode_reply, encode_msg, encode_msg_traced, encode_reply,
-    fragment, Reassembler, MAX_CHUNK, MAX_FRAGS, MAX_SPAN_NAME,
+    decode_msg, decode_msg_synced, decode_msg_traced, decode_reply, decode_reply_synced,
+    encode_msg, encode_msg_synced, encode_msg_traced, encode_reply, encode_reply_synced, fragment,
+    repl_deltas_wire_len, Reassembler, MAX_CHUNK, MAX_FRAGS, MAX_SPAN_NAME,
 };
 use eden_ctrl::{AckPhase, CtrlMsg, CtrlReply};
 use eden_lang::Concurrency;
+use eden_repl::{FuncDelta, FuncView, SeqEntry, SeqOp, SeqSnapshot, SeqTarget};
 use eden_telemetry::{EnclaveCounters, LatencyStat, LogHistogram, Span, TraceContext};
 use eden_vm::{decode_program, encode_program, Program};
 
@@ -174,6 +176,104 @@ fn gen_ctrl_reply(rng: &mut FuzzRng) -> CtrlReply {
     }
 }
 
+fn gen_seq_target(rng: &mut FuzzRng) -> SeqTarget {
+    if rng.chance(1, 2) {
+        SeqTarget::Global {
+            slot: rng.below(16) as u8,
+        }
+    } else {
+        SeqTarget::Array {
+            id: rng.below(8) as u8,
+            index: rng.next_u64() as u32,
+        }
+    }
+}
+
+fn gen_seq_op(rng: &mut FuzzRng) -> SeqOp {
+    SeqOp {
+        op_id: rng.next_u64(),
+        target: gen_seq_target(rng),
+        value: rng.interesting_i64(),
+    }
+}
+
+fn gen_seq_entry(rng: &mut FuzzRng) -> SeqEntry {
+    SeqEntry {
+        seq: rng.next_u64(),
+        host: rng.next_u64() as u32,
+        op: gen_seq_op(rng),
+    }
+}
+
+fn gen_snapshot(rng: &mut FuzzRng) -> SeqSnapshot {
+    SeqSnapshot {
+        seq: rng.next_u64(),
+        globals: (0..rng.range(0, 5))
+            .map(|_| (rng.below(16) as u8, rng.interesting_i64()))
+            .collect(),
+        cells: (0..rng.range(0, 5))
+            .map(|_| {
+                (
+                    rng.below(8) as u8,
+                    rng.next_u64() as u32,
+                    rng.interesting_i64(),
+                )
+            })
+            .collect(),
+    }
+}
+
+fn gen_view(rng: &mut FuzzRng) -> FuncView {
+    FuncView {
+        func: rng.below(8) as u32,
+        version: rng.next_u64(),
+        remote: (0..rng.range(0, 5))
+            .map(|_| (rng.below(16) as u8, rng.interesting_i64()))
+            .collect(),
+        remote_arrays: (0..rng.range(0, 3))
+            .map(|_| {
+                (
+                    rng.below(8) as u8,
+                    (0..rng.range(0, 8))
+                        .map(|_| rng.interesting_i64())
+                        .collect(),
+                )
+            })
+            .collect(),
+        snapshot: if rng.chance(1, 3) {
+            Some(gen_snapshot(rng))
+        } else {
+            None
+        },
+        entries: (0..rng.range(0, 6)).map(|_| gen_seq_entry(rng)).collect(),
+        acked_op_id: rng.next_u64(),
+        digest: rng.next_u64(),
+        divergent: rng.chance(1, 4),
+    }
+}
+
+fn gen_delta(rng: &mut FuzzRng) -> FuncDelta {
+    FuncDelta {
+        func: rng.below(8) as u32,
+        merged: (0..rng.range(0, 5))
+            .map(|_| (rng.below(16) as u8, rng.interesting_i64()))
+            .collect(),
+        merged_arrays: (0..rng.range(0, 3))
+            .map(|_| {
+                (
+                    rng.below(8) as u8,
+                    (0..rng.range(0, 8))
+                        .map(|_| rng.interesting_i64())
+                        .collect(),
+                )
+            })
+            .collect(),
+        seq_ops: (0..rng.range(0, 6)).map(|_| gen_seq_op(rng)).collect(),
+        applied_seq: rng.next_u64(),
+        digest: rng.next_u64(),
+    }
+}
+
 fn hex(bytes: &[u8]) -> String {
     let mut s = String::with_capacity(bytes.len() * 2);
     for b in bytes {
@@ -294,13 +394,137 @@ fn check_ctrl_roundtrip(rng: &mut FuzzRng, rep: &mut OracleReport, index: u64) {
     }
 }
 
+fn check_repl_roundtrip(rng: &mut FuzzRng, rep: &mut OracleReport, index: u64) {
+    // heartbeat-direction: message + view section (+ optional trailer)
+    let msg = gen_ctrl_msg(rng);
+    let views: Vec<FuncView> = (0..rng.range(1, 4)).map(|_| gen_view(rng)).collect();
+    let ctx = if rng.chance(1, 2) {
+        Some(TraceContext {
+            trace_id: rng.next_u64(),
+            parent_span: rng.next_u64(),
+            sampled: rng.chance(1, 2),
+        })
+    } else {
+        None
+    };
+    let synced = encode_msg_synced(&msg, &views, ctx.as_ref());
+    match decode_msg_synced(&synced) {
+        Ok((m, v, c)) if m == msg && v == views && c == ctx => {
+            rep.note("repl.msg_roundtrip_ok", 1)
+        }
+        other => rep.failures.push(Failure {
+            oracle: "codec",
+            index,
+            detail: format!(
+                "synced CtrlMsg round-trip mismatch: sent {msg:?} + {} views + {ctx:?}, got {other:?}",
+                views.len()
+            ),
+            repro: hex(&synced),
+        }),
+    }
+    // a pre-replication decoder must still read the message fields and
+    // simply never look at the view section
+    match decode_msg(&synced) {
+        Ok(m) if m == msg => rep.note("repl.msg_backcompat_ok", 1),
+        other => rep.failures.push(Failure {
+            oracle: "codec",
+            index,
+            detail: format!("plain decoder choked on synced frame: {other:?}"),
+            repro: hex(&synced),
+        }),
+    }
+    // and the synced decoder must accept pre-replication frames: plain
+    // and traced encodings decode with an empty view section
+    let plain = match ctx.as_ref() {
+        Some(c) => encode_msg_traced(&msg, c),
+        None => encode_msg(&msg),
+    };
+    match decode_msg_synced(&plain) {
+        Ok((m, v, c)) if m == msg && v.is_empty() && c == ctx => rep.note("repl.msg_plain_ok", 1),
+        other => rep.failures.push(Failure {
+            oracle: "codec",
+            index,
+            detail: format!("synced decoder misread a plain frame: {other:?}"),
+            repro: hex(&plain),
+        }),
+    }
+    // empty views emit no section at all — byte-identical frames
+    if encode_msg_synced(&msg, &[], ctx.as_ref()) != plain {
+        rep.failures.push(Failure {
+            oracle: "codec",
+            index,
+            detail: "empty view section changed the frame bytes".into(),
+            repro: hex(&plain),
+        });
+    }
+
+    // pong-direction: reply + delta section
+    let reply = gen_ctrl_reply(rng);
+    let deltas: Vec<FuncDelta> = (0..rng.range(1, 4)).map(|_| gen_delta(rng)).collect();
+    let synced = encode_reply_synced(&reply, &deltas);
+    match decode_reply_synced(&synced) {
+        Ok((r, d)) if r == reply && d == deltas => rep.note("repl.reply_roundtrip_ok", 1),
+        other => rep.failures.push(Failure {
+            oracle: "codec",
+            index,
+            detail: format!(
+                "synced CtrlReply round-trip mismatch: sent {reply:?} + {} deltas, got {other:?}",
+                deltas.len()
+            ),
+            repro: hex(&synced),
+        }),
+    }
+    match decode_reply(&synced) {
+        Ok(r) if r == reply => rep.note("repl.reply_backcompat_ok", 1),
+        other => rep.failures.push(Failure {
+            oracle: "codec",
+            index,
+            detail: format!("plain reply decoder choked on synced frame: {other:?}"),
+            repro: hex(&synced),
+        }),
+    }
+    let plain = encode_reply(&reply);
+    match decode_reply_synced(&plain) {
+        Ok((r, d)) if r == reply && d.is_empty() => rep.note("repl.reply_plain_ok", 1),
+        other => rep.failures.push(Failure {
+            oracle: "codec",
+            index,
+            detail: format!("synced reply decoder misread a plain frame: {other:?}"),
+            repro: hex(&plain),
+        }),
+    }
+    // the telemetry helper must agree with the real encoder about the
+    // section's wire cost
+    if synced.len() != plain.len() + repl_deltas_wire_len(&deltas) {
+        rep.failures.push(Failure {
+            oracle: "codec",
+            index,
+            detail: format!(
+                "repl_deltas_wire_len disagrees with the encoder: {} != {} + {}",
+                synced.len(),
+                plain.len(),
+                repl_deltas_wire_len(&deltas)
+            ),
+            repro: hex(&synced),
+        });
+    }
+}
+
 fn check_ctrl_mutation(rng: &mut FuzzRng, rep: &mut OracleReport, index: u64) {
-    let mut bytes = match rng.below(3) {
+    let mut bytes = match rng.below(5) {
         0 => encode_msg(&gen_ctrl_msg(rng)),
         1 => encode_msg_traced(
             &gen_ctrl_msg(rng),
             &TraceContext::sampled(rng.next_u64(), 0),
         ),
+        2 => {
+            let views: Vec<FuncView> = (0..rng.range(1, 3)).map(|_| gen_view(rng)).collect();
+            encode_msg_synced(&gen_ctrl_msg(rng), &views, None)
+        }
+        3 => {
+            let deltas: Vec<FuncDelta> = (0..rng.range(1, 3)).map(|_| gen_delta(rng)).collect();
+            encode_reply_synced(&gen_ctrl_reply(rng), &deltas)
+        }
         _ => encode_reply(&gen_ctrl_reply(rng)),
     };
     if rng.chance(1, 4) {
@@ -315,7 +539,9 @@ fn check_ctrl_mutation(rng: &mut FuzzRng, rep: &mut OracleReport, index: u64) {
         let a = decode_msg(&bytes).is_ok();
         let b = decode_reply(&bytes).is_ok();
         let c = decode_msg_traced(&bytes).is_ok();
-        if a || b || c {
+        let d = decode_msg_synced(&bytes).is_ok();
+        let e = decode_reply_synced(&bytes).is_ok();
+        if a || b || c || d || e {
             outcome = "ctrl.mutate_ok";
         }
     }) {
@@ -438,11 +664,12 @@ pub fn run(seed: u64, start: u64, cases: u64) -> OracleReport {
     for index in start..start + cases {
         rep.cases += 1;
         let mut rng = FuzzRng::for_case(seed, "codec", index);
-        match index % 5 {
+        match index % 6 {
             0 => check_vm_roundtrip(&mut rng, &mut rep, index),
             1 => check_vm_mutation(&mut rng, &mut rep, index),
             2 => check_ctrl_roundtrip(&mut rng, &mut rep, index),
             3 => check_ctrl_mutation(&mut rng, &mut rep, index),
+            4 => check_repl_roundtrip(&mut rng, &mut rep, index),
             _ => check_reassembly(&mut rng, &mut rep, index),
         }
     }
@@ -459,10 +686,12 @@ mod tests {
         let b = run(23, 0, 100);
         assert_eq!(a.failures.len(), 0, "codec failures: {:?}", a.failures);
         assert_eq!(a.notes, b.notes);
-        // all five activities must have run
+        // all six activities must have run
         for key in [
             "vm.roundtrip_ok",
             "ctrl.msg_roundtrip_ok",
+            "repl.msg_roundtrip_ok",
+            "repl.reply_roundtrip_ok",
             "frag.reassembled_ok",
             "frag.bombardment_ok",
         ] {

@@ -101,6 +101,14 @@ fn build_enclave(
             e.set_global(f, 0, 11);
         }
         "pulsar" => e.set_array(f, 0, vec![0, 1, 2]),
+        "dist-rate-limit" => {
+            e.set_global(f, 0, 500_000_000);
+            e.set_array(f, 0, vec![0, 1, 2]);
+        }
+        "conn-steer" => {
+            e.set_array(f, 0, vec![5, 2, 9]);
+            e.set_array(f, 1, vec![71, 72, 73]);
+        }
         "qjump" => e.set_array(f, 0, vec![7, 0, 4, 1, 0, -1]),
         "replica-select" => e.set_array(f, 0, vec![50, 51, 52]),
         "port-knock" => {
@@ -348,7 +356,7 @@ mod tests {
 
     #[test]
     fn smoke_run_is_deterministic_and_clean() {
-        // 24 cases = every catalogue bundle twice through both legs
+        // 24 cases cycle the whole catalogue through both legs
         let a = run(31, 0, 24);
         let b = run(31, 0, 24);
         assert_eq!(a.failures.len(), 0, "exec divergences: {:?}", a.failures);

@@ -69,7 +69,7 @@ mod typeck;
 pub use compile::{compile, compile_with_options, CompileOptions, CompiledFunction};
 pub use error::{CompileError, ErrorKind};
 pub use schema::{
-    Access, ArrayDecl, Concurrency, FieldDecl, HeaderField, Schema, Scope, StateEffects,
+    Access, ArrayDecl, Concurrency, FieldDecl, HeaderField, ReplMode, Schema, Scope, StateEffects,
 };
 pub use token::Span;
 

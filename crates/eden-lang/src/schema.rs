@@ -47,6 +47,42 @@ pub enum Access {
     ReadWrite,
 }
 
+/// Replication mode for global state shared across the fleet (the
+/// `replicated(<mode>)` annotation). Only global scalars and arrays may be
+/// replicated — per-packet and per-message state is host-local by
+/// definition, and the type checker rejects the annotation there.
+///
+/// The dataplane semantics live in `eden-repl` / `eden-core`; the schema
+/// only records the programmer's consistency choice:
+///
+/// * **merged** modes are CRDT-style: every host keeps its own
+///   contribution, contributions commute, and any pairwise merge order
+///   converges to the same value. Reads see `combine(remote, local)`.
+/// * **sequenced** mode routes writes through the controller, which
+///   assigns a single global order; every host applies that order and a
+///   read returns the host's last-applied view.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ReplMode {
+    /// Merged by summation — commutative counters (rate-limit tokens,
+    /// byte counts). A read sees the sum of every host's contribution.
+    MergedSum,
+    /// Merged by maximum — high-water marks (largest sequence seen,
+    /// reputation ceilings). A read sees the fleet-wide max.
+    MergedMax,
+    /// Controller-ordered writes, read-your-host's-view.
+    Sequenced,
+}
+
+impl fmt::Display for ReplMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReplMode::MergedSum => write!(f, "merged(sum)"),
+            ReplMode::MergedMax => write!(f, "merged(max)"),
+            ReplMode::Sequenced => write!(f, "sequenced"),
+        }
+    }
+}
+
 /// Wire fields a packet-scope variable can map onto (the paper's
 /// `HeaderMap("IPv4", "TotalLength")` etc.). The enclave binds these to real
 /// header bytes; `Meta*` fields address the Eden metadata that stages attach
@@ -104,6 +140,8 @@ pub struct FieldDecl {
     pub header: Option<HeaderField>,
     /// Slot index within the scope, assigned in declaration order.
     pub slot: u8,
+    /// Cross-host replication mode; only valid on global scope.
+    pub repl: Option<ReplMode>,
 }
 
 /// A declared global array of structs; elements are flattened row-major
@@ -117,6 +155,8 @@ pub struct ArrayDecl {
     pub access: Access,
     /// Array id, assigned in declaration order.
     pub id: u8,
+    /// Cross-host replication mode (arrays are always global scope).
+    pub repl: Option<ReplMode>,
 }
 
 impl ArrayDecl {
@@ -131,12 +171,30 @@ impl ArrayDecl {
     }
 }
 
+/// What the builder declared most recently — the target of a trailing
+/// `.replicated(mode)` annotation. Builder bookkeeping only; two schemas
+/// with identical declarations compare equal regardless of it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum LastDecl {
+    Field,
+    Array,
+}
+
 /// Declared state layout for one action function.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default)]
 pub struct Schema {
     fields: Vec<FieldDecl>,
     arrays: Vec<ArrayDecl>,
+    last_decl: Option<LastDecl>,
 }
+
+impl PartialEq for Schema {
+    fn eq(&self, other: &Self) -> bool {
+        self.fields == other.fields && self.arrays == other.arrays
+    }
+}
+
+impl Eq for Schema {}
 
 impl Schema {
     /// Empty schema.
@@ -166,7 +224,9 @@ impl Schema {
             access,
             header,
             slot: slot as u8,
+            repl: None,
         });
+        self.last_decl = Some(LastDecl::Field);
         self
     }
 
@@ -198,7 +258,41 @@ impl Schema {
             fields: fields.iter().map(|s| s.to_string()).collect(),
             access,
             id: id as u8,
+            repl: None,
         });
+        self.last_decl = Some(LastDecl::Array);
+        self
+    }
+
+    /// Mark the most recently declared field or array as replicated across
+    /// the fleet with the given consistency mode:
+    ///
+    /// ```
+    /// use eden_lang::{Access, ReplMode, Schema};
+    /// let s = Schema::new()
+    ///     .global_field("Tokens", Access::ReadWrite)
+    ///     .replicated(ReplMode::MergedSum);
+    /// assert_eq!(
+    ///     s.field(eden_lang::Scope::Global, "Tokens").unwrap().repl,
+    ///     Some(ReplMode::MergedSum)
+    /// );
+    /// ```
+    ///
+    /// The annotation is recorded on any scope here; the type checker (and
+    /// the enclave's install-time validation) reject it on per-packet and
+    /// per-message state — replication of host-local lifetimes is a type
+    /// error, not a builder panic, so wire-decoded schemas hit the same
+    /// check as source-declared ones.
+    pub fn replicated(mut self, mode: ReplMode) -> Self {
+        match self.last_decl {
+            Some(LastDecl::Field) => {
+                self.fields.last_mut().expect("field declared").repl = Some(mode)
+            }
+            Some(LastDecl::Array) => {
+                self.arrays.last_mut().expect("array declared").repl = Some(mode)
+            }
+            None => panic!("replicated({mode}) with no preceding field or array declaration"),
+        }
         self
     }
 
@@ -227,6 +321,32 @@ impl Schema {
     /// Number of slots in a scope (for sizing enclave state blocks).
     pub fn scope_len(&self, scope: Scope) -> usize {
         self.fields.iter().filter(|f| f.scope == scope).count()
+    }
+
+    /// Does any field or array carry a `replicated(..)` annotation?
+    pub fn has_replicated(&self) -> bool {
+        self.fields.iter().any(|f| f.repl.is_some()) || self.arrays.iter().any(|a| a.repl.is_some())
+    }
+
+    /// Validate the replication annotations: replication is a property of
+    /// function-lifetime (global) state only. Per-packet and per-message
+    /// state dies with its packet/message on one host, so a replication
+    /// mode there is meaningless — reject it. Called by the type checker
+    /// and by install-time schema validation (wire-decoded schemas never
+    /// pass through the builder).
+    pub fn validate_repl(&self) -> Result<(), String> {
+        for f in &self.fields {
+            if let Some(mode) = f.repl {
+                if f.scope != Scope::Global {
+                    return Err(format!(
+                        "field '{}' is {} scope but declared replicated({mode}): \
+                         only global state can be replicated",
+                        f.name, f.scope
+                    ));
+                }
+            }
+        }
+        Ok(())
     }
 }
 
@@ -369,5 +489,49 @@ mod tests {
         e.read(Scope::Packet, 3);
         e.read(Scope::Packet, 3);
         assert_eq!(e.pkt_reads, vec![3]);
+    }
+
+    #[test]
+    fn replicated_marks_last_declaration() {
+        let s = Schema::new()
+            .global_field("Tokens", Access::ReadWrite)
+            .replicated(ReplMode::MergedSum)
+            .global_field("Local", Access::ReadWrite)
+            .global_array("Conns", &[""], Access::ReadWrite)
+            .replicated(ReplMode::Sequenced);
+        assert_eq!(
+            s.field(Scope::Global, "Tokens").unwrap().repl,
+            Some(ReplMode::MergedSum)
+        );
+        assert_eq!(s.field(Scope::Global, "Local").unwrap().repl, None);
+        assert_eq!(s.array("Conns").unwrap().repl, Some(ReplMode::Sequenced));
+        assert!(s.has_replicated());
+        assert!(s.validate_repl().is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "no preceding field")]
+    fn replicated_without_declaration_panics() {
+        let _ = Schema::new().replicated(ReplMode::MergedMax);
+    }
+
+    #[test]
+    fn replicated_non_global_rejected_by_validate() {
+        let s = Schema::new()
+            .msg_field("Size", Access::ReadWrite)
+            .replicated(ReplMode::MergedSum);
+        let err = s.validate_repl().unwrap_err();
+        assert!(err.contains("message"), "{err}");
+        assert!(err.contains("only global state can be replicated"), "{err}");
+    }
+
+    #[test]
+    fn schema_equality_ignores_builder_bookkeeping() {
+        let a = Schema::new()
+            .global_field("X", Access::ReadWrite)
+            .global_array("A", &[""], Access::ReadOnly);
+        let mut b = a.clone();
+        b.last_decl = None; // e.g. a wire-decoded copy never set it
+        assert_eq!(a, b);
     }
 }

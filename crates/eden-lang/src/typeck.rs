@@ -196,6 +196,14 @@ struct Checker<'a> {
 
 /// Check `function` against `schema`.
 pub fn check(function: &Function, schema: &Schema) -> Result<Checked, CompileError> {
+    // Replication annotations are part of the state typing (Figure 8 plus
+    // the replicated(<mode>) extension): replicating per-packet or
+    // per-message state is a type error, caught here so wire-decoded
+    // schemas get the same treatment as builder-declared ones.
+    if let Err(msg) = schema.validate_repl() {
+        return Err(CompileError::new(ErrorKind::Type(msg), function.body.span));
+    }
+
     let mut checker = Checker {
         schema,
         effects: StateEffects::default(),

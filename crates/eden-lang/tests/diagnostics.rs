@@ -3,7 +3,7 @@
 //! paper's controller compiles administrator-written programs, so rejected
 //! programs need errors as good as the accepted ones need bytecode.
 
-use eden_lang::{compile, Access, CompileError, ErrorKind, HeaderField, Schema};
+use eden_lang::{compile, Access, CompileError, ErrorKind, HeaderField, ReplMode, Schema};
 
 fn schema() -> Schema {
     Schema::new()
@@ -100,6 +100,42 @@ fn type_errors() {
         "fun (p, m, g) -> m.Count <- (p.Priority <- 1)",
         "must be an integer",
     );
+}
+
+#[test]
+fn replicated_per_message_state_is_a_type_error() {
+    // replicated(<mode>) is only meaningful on function-lifetime (global)
+    // state; a schema claiming a replicated per-message or per-packet field
+    // is rejected by the type checker, whatever the program does.
+    for (build, scope) in [
+        (
+            Schema::new()
+                .msg_field("Count", Access::ReadWrite)
+                .replicated(ReplMode::MergedSum),
+            "message",
+        ),
+        (
+            Schema::new()
+                .packet_field("Size", Access::ReadOnly, None)
+                .replicated(ReplMode::MergedMax),
+            "packet",
+        ),
+    ] {
+        let e = compile("repl-bad", "fun (p, m, g) -> 0", &build).expect_err("must be rejected");
+        assert!(matches!(e.kind, ErrorKind::Type(_)), "{e}");
+        assert!(e.to_string().contains(scope), "{e}");
+        assert!(
+            e.to_string()
+                .contains("only global state can be replicated"),
+            "{e}"
+        );
+    }
+    // ...while replicated global state type-checks fine.
+    let ok = Schema::new()
+        .msg_field("Count", Access::ReadWrite)
+        .global_field("Tokens", Access::ReadWrite)
+        .replicated(ReplMode::MergedSum);
+    compile("repl-ok", "fun (p, m, g) -> g.Tokens <- g.Tokens + 1", &ok).expect("compiles");
 }
 
 #[test]

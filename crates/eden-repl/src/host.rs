@@ -1,0 +1,432 @@
+//! Host-side replication runtime for one installed function.
+//!
+//! `HostRepl` owns everything the enclave needs besides its ordinary
+//! `FunctionState`: the merged **remote** contribution of every other host
+//! (read by the data path as a plain slice — the enclave swaps snapshots
+//! between batches, so there is no hot-path synchronization), the
+//! **outbox** of sequenced writes awaiting controller ordering, and the
+//! applied position of the sequenced log.
+
+use std::collections::VecDeque;
+
+use crate::spec::ReplSpec;
+use crate::sync::{FuncDelta, FuncView, SeqEntry, SeqOp, SeqTarget};
+use crate::{merged_read, state_digest};
+
+/// Sequenced writes buffered while unacked. A controller partition longer
+/// than the cap's worth of writes sheds the newest (counted, not silent);
+/// merged state is unaffected — contributions always travel whole.
+pub const SEQ_PENDING_CAP: usize = 1024;
+
+/// Applied sequenced entries kept for inspection (tests pin controller
+/// order against this; the flight recorder embeds it on divergence).
+pub const SEQ_LOG_CAP: usize = 256;
+
+/// Per-function host replication state.
+#[derive(Debug, Clone)]
+pub struct HostRepl {
+    spec: ReplSpec,
+    /// Merged contribution of every *other* host, per global slot (zero
+    /// for non-merged slots).
+    remote: Vec<i64>,
+    /// Same, per array id; each sized to the local array length.
+    remote_arrays: Vec<Vec<i64>>,
+    /// Version of the last controller view applied.
+    version: u64,
+    /// When that view arrived (enclave clock, ns).
+    updated_at_ns: u64,
+    next_op_id: u64,
+    pending: VecDeque<SeqOp>,
+    /// Sequenced ops shed because the pending queue was full.
+    shed_ops: u64,
+    applied_seq: u64,
+    applied_log: VecDeque<SeqEntry>,
+    /// Times the host fell behind the retained log and adopted a snapshot.
+    resyncs: u64,
+}
+
+impl HostRepl {
+    /// Runtime for a function whose local arrays have `array_lens`
+    /// elements (flattened), in array-id order.
+    pub fn new(spec: ReplSpec, array_lens: &[usize]) -> HostRepl {
+        let remote = vec![0; spec.global_len()];
+        let remote_arrays = (0..spec.array_len())
+            .map(|i| vec![0; array_lens.get(i).copied().unwrap_or(0)])
+            .collect();
+        HostRepl {
+            spec,
+            remote,
+            remote_arrays,
+            version: 0,
+            updated_at_ns: 0,
+            next_op_id: 1,
+            pending: VecDeque::new(),
+            shed_ops: 0,
+            applied_seq: 0,
+            applied_log: VecDeque::new(),
+            resyncs: 0,
+        }
+    }
+
+    #[inline]
+    pub fn spec(&self) -> &ReplSpec {
+        &self.spec
+    }
+
+    /// Remote contribution per global slot — what the data path snapshots.
+    #[inline]
+    pub fn remote_globals(&self) -> &[i64] {
+        &self.remote
+    }
+
+    /// Remote contribution of array `id` — what the data path snapshots.
+    #[inline]
+    pub fn remote_array(&self, id: usize) -> &[i64] {
+        self.remote_arrays.get(id).map_or(&[], Vec::as_slice)
+    }
+
+    /// All remote array contributions, in array-id order (the lane path
+    /// shares these read-only for the duration of one batch).
+    #[inline]
+    pub fn remote_arrays(&self) -> &[Vec<i64>] {
+        &self.remote_arrays
+    }
+
+    /// Queue a sequenced write to a global scalar.
+    pub fn seq_store_global(&mut self, slot: u8, value: i64) {
+        self.push_op(SeqTarget::Global { slot }, value);
+    }
+
+    /// Queue a sequenced write to an array element.
+    pub fn seq_store_array(&mut self, id: u8, index: u32, value: i64) {
+        self.push_op(SeqTarget::Array { id, index }, value);
+    }
+
+    fn push_op(&mut self, target: SeqTarget, value: i64) {
+        if self.pending.len() >= SEQ_PENDING_CAP {
+            self.shed_ops += 1;
+            return;
+        }
+        let op_id = self.next_op_id;
+        self.next_op_id += 1;
+        self.pending.push_back(SeqOp {
+            op_id,
+            target,
+            value,
+        });
+    }
+
+    /// Build the host → controller sync for this function. `globals` and
+    /// `arrays` are the function's local state (the merged contributions
+    /// live in the local slots). Pure read — resending is idempotent.
+    pub fn build_delta(&self, func: u32, globals: &[i64], arrays: &[Vec<i64>]) -> FuncDelta {
+        let merged = self
+            .spec
+            .merged_slots()
+            .map(|(slot, _)| (slot as u8, globals.get(slot).copied().unwrap_or(0)))
+            .collect();
+        let merged_arrays = self
+            .spec
+            .merged_arrays()
+            .map(|(id, _)| (id as u8, arrays.get(id).cloned().unwrap_or_default()))
+            .collect();
+        FuncDelta {
+            func,
+            merged,
+            merged_arrays,
+            seq_ops: self.pending.iter().copied().collect(),
+            applied_seq: self.applied_seq,
+            digest: self.digest(globals, arrays),
+        }
+    }
+
+    /// Digest of the host's *effective* state: merged totals as the data
+    /// path would read them, plus the applied sequenced position.
+    pub fn digest(&self, globals: &[i64], arrays: &[Vec<i64>]) -> u64 {
+        let totals: Vec<i64> = self
+            .spec
+            .merged_slots()
+            .map(|(slot, mode)| {
+                merged_read(
+                    mode,
+                    self.remote.get(slot).copied().unwrap_or(0),
+                    globals.get(slot).copied().unwrap_or(0),
+                )
+            })
+            .collect();
+        let array_totals: Vec<Vec<i64>> = self
+            .spec
+            .merged_arrays()
+            .map(|(id, mode)| {
+                let local = arrays.get(id).map_or(&[][..], Vec::as_slice);
+                let remote = self.remote_array(id);
+                local
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &l)| merged_read(mode, remote.get(i).copied().unwrap_or(0), l))
+                    .collect()
+            })
+            .collect();
+        state_digest(
+            totals,
+            array_totals.iter().map(Vec::as_slice),
+            self.applied_seq,
+        )
+    }
+
+    /// Apply a controller view: refresh the remote contributions, drop
+    /// acked outbox entries, and apply the sequenced tail **in controller
+    /// order** through `apply` (which writes the enclave's local state).
+    /// Idempotent — duplicate views re-apply nothing.
+    pub fn apply_view(
+        &mut self,
+        view: &FuncView,
+        now_ns: u64,
+        mut apply: impl FnMut(SeqTarget, i64),
+    ) {
+        for &(slot, v) in &view.remote {
+            if let Some(r) = self.remote.get_mut(slot as usize) {
+                if self.spec.global_mode(slot as usize).is_some() {
+                    *r = v;
+                }
+            }
+        }
+        for (id, vals) in &view.remote_arrays {
+            if self.spec.array_mode(*id as usize).is_none() {
+                continue;
+            }
+            if let Some(r) = self.remote_arrays.get_mut(*id as usize) {
+                let n = r.len().min(vals.len());
+                r[..n].copy_from_slice(&vals[..n]);
+                // a shorter remote view zeroes the tail rather than
+                // leaving stale contributions behind
+                for x in r[n..].iter_mut() {
+                    *x = 0;
+                }
+            }
+        }
+
+        // Ack: the hub has these ops; stop retransmitting them.
+        while let Some(front) = self.pending.front() {
+            if front.op_id <= view.acked_op_id {
+                self.pending.pop_front();
+            } else {
+                break;
+            }
+        }
+
+        // Resync: we fell behind the retained log; adopt absolute state.
+        if let Some(snap) = &view.snapshot {
+            if snap.seq > self.applied_seq {
+                for &(slot, v) in &snap.globals {
+                    apply(SeqTarget::Global { slot }, v);
+                }
+                for &(id, index, v) in &snap.cells {
+                    apply(SeqTarget::Array { id, index }, v);
+                }
+                self.applied_seq = snap.seq;
+                self.resyncs += 1;
+            }
+        }
+
+        // Ordered application of the sequenced tail. A gap means the view
+        // was built against a newer ack than ours — stop and wait for the
+        // next cadence rather than applying out of order.
+        for e in &view.entries {
+            if e.seq <= self.applied_seq {
+                continue; // duplicate
+            }
+            if e.seq != self.applied_seq + 1 {
+                break;
+            }
+            apply(e.op.target, e.op.value);
+            self.applied_seq = e.seq;
+            if self.applied_log.len() >= SEQ_LOG_CAP {
+                self.applied_log.pop_front();
+            }
+            self.applied_log.push_back(*e);
+        }
+
+        if view.version >= self.version {
+            self.version = view.version;
+        }
+        self.updated_at_ns = now_ns;
+    }
+
+    /// Sequenced entries applied on this host, oldest retained first —
+    /// the order pin for tests and divergence forensics.
+    pub fn applied_log(&self) -> impl Iterator<Item = &SeqEntry> {
+        self.applied_log.iter()
+    }
+
+    /// Position in the global sequenced order this host has applied to.
+    pub fn applied_seq(&self) -> u64 {
+        self.applied_seq
+    }
+
+    /// Sequenced ops awaiting an ack.
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Sequenced ops shed because the outbox was full.
+    pub fn shed_ops(&self) -> u64 {
+        self.shed_ops
+    }
+
+    /// Snapshot resyncs performed (fell behind the retained log).
+    pub fn resyncs(&self) -> u64 {
+        self.resyncs
+    }
+
+    /// Version of the last applied controller view.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Nanoseconds since the last controller view arrived — the staleness
+    /// a local decision may be acting on.
+    pub fn staleness_ns(&self, now_ns: u64) -> u64 {
+        now_ns.saturating_sub(self.updated_at_ns)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ReplMode;
+    use eden_lang::{Access, Schema};
+
+    fn spec() -> ReplSpec {
+        ReplSpec::from_schema(
+            &Schema::new()
+                .global_field("Tokens", Access::ReadWrite)
+                .replicated(ReplMode::MergedSum)
+                .global_field("Steer", Access::ReadWrite)
+                .replicated(ReplMode::Sequenced)
+                .global_array("Conns", &[""], Access::ReadWrite)
+                .replicated(ReplMode::Sequenced),
+        )
+    }
+
+    #[test]
+    fn delta_carries_contributions_and_pending_ops() {
+        let mut h = HostRepl::new(spec(), &[4]);
+        h.seq_store_global(1, 7);
+        h.seq_store_array(0, 2, 9);
+        let d = h.build_delta(0, &[42, 0], &[vec![0; 4]]);
+        assert_eq!(d.merged, vec![(0, 42)]);
+        assert_eq!(d.seq_ops.len(), 2);
+        assert_eq!(d.seq_ops[0].op_id, 1);
+        assert_eq!(d.seq_ops[1].target, SeqTarget::Array { id: 0, index: 2 });
+        assert_eq!(d.applied_seq, 0);
+    }
+
+    #[test]
+    fn view_acks_prefix_and_applies_in_order() {
+        let mut h = HostRepl::new(spec(), &[4]);
+        h.seq_store_global(1, 7);
+        h.seq_store_global(1, 8);
+        let mut writes = Vec::new();
+        let entry = |seq, value| SeqEntry {
+            seq,
+            host: 1,
+            op: SeqOp {
+                op_id: seq,
+                target: SeqTarget::Global { slot: 1 },
+                value,
+            },
+        };
+        let view = FuncView {
+            func: 0,
+            version: 3,
+            remote: vec![(0, 100)],
+            entries: vec![entry(1, 7), entry(2, 8)],
+            acked_op_id: 1,
+            ..Default::default()
+        };
+        h.apply_view(&view, 50, |t, v| writes.push((t, v)));
+        assert_eq!(h.remote_globals()[0], 100);
+        assert_eq!(h.pending_len(), 1, "op 1 acked, op 2 still pending");
+        assert_eq!(
+            writes,
+            vec![
+                (SeqTarget::Global { slot: 1 }, 7),
+                (SeqTarget::Global { slot: 1 }, 8),
+            ]
+        );
+        assert_eq!(h.applied_seq(), 2);
+        // duplicate view: nothing re-applies
+        writes.clear();
+        h.apply_view(&view, 60, |t, v| writes.push((t, v)));
+        assert!(writes.is_empty());
+        assert_eq!(h.applied_seq(), 2);
+        assert_eq!(h.staleness_ns(75), 15);
+    }
+
+    #[test]
+    fn gap_in_entries_defers_application() {
+        let mut h = HostRepl::new(spec(), &[4]);
+        let e = SeqEntry {
+            seq: 5,
+            host: 2,
+            op: SeqOp {
+                op_id: 1,
+                target: SeqTarget::Global { slot: 1 },
+                value: 1,
+            },
+        };
+        let view = FuncView {
+            entries: vec![e],
+            ..Default::default()
+        };
+        let mut writes = Vec::new();
+        h.apply_view(&view, 0, |t, v| writes.push((t, v)));
+        assert!(writes.is_empty(), "seq 5 with applied=0 is a gap");
+        assert_eq!(h.applied_seq(), 0);
+    }
+
+    #[test]
+    fn snapshot_resync_adopts_absolute_state() {
+        let mut h = HostRepl::new(spec(), &[4]);
+        let view = FuncView {
+            snapshot: Some(crate::SeqSnapshot {
+                seq: 10,
+                globals: vec![(1, 55)],
+                cells: vec![(0, 3, 7)],
+            }),
+            entries: vec![SeqEntry {
+                seq: 11,
+                host: 1,
+                op: SeqOp {
+                    op_id: 9,
+                    target: SeqTarget::Global { slot: 1 },
+                    value: 56,
+                },
+            }],
+            ..Default::default()
+        };
+        let mut writes = Vec::new();
+        h.apply_view(&view, 0, |t, v| writes.push((t, v)));
+        assert_eq!(
+            writes,
+            vec![
+                (SeqTarget::Global { slot: 1 }, 55),
+                (SeqTarget::Array { id: 0, index: 3 }, 7),
+                (SeqTarget::Global { slot: 1 }, 56),
+            ]
+        );
+        assert_eq!(h.applied_seq(), 11);
+        assert_eq!(h.resyncs(), 1);
+    }
+
+    #[test]
+    fn outbox_sheds_when_full_instead_of_growing() {
+        let mut h = HostRepl::new(spec(), &[]);
+        for i in 0..(SEQ_PENDING_CAP + 5) {
+            h.seq_store_global(1, i as i64);
+        }
+        assert_eq!(h.pending_len(), SEQ_PENDING_CAP);
+        assert_eq!(h.shed_ops(), 5);
+    }
+}

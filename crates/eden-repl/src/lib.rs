@@ -1,0 +1,145 @@
+//! # eden-repl — replicated cross-host state
+//!
+//! Eden's action functions read and write *host-local* state; the paper's
+//! fleet-wide scenarios (global rate limiting à la Pulsar, distributed
+//! reputation, connection-count-aware load balancing) need state that is
+//! shared across every enclave running the same function. Following the
+//! LOADER design, replication here never blocks the data path: functions
+//! make **purely local decisions against a replica view**, and the view is
+//! synchronized asynchronously over the existing controller heartbeat
+//! cadence.
+//!
+//! Two consistency modes, declared per global scalar/array in the schema
+//! ([`eden_lang::ReplMode`]):
+//!
+//! * **merged** (`MergedSum` / `MergedMax`) — state-based CRDT. Each host
+//!   owns a *contribution* (its local slot); a read combines the host's
+//!   contribution with the merged contribution of every other host
+//!   ([`merged_read`]). Contributions travel whole (not as op deltas), so
+//!   sync is idempotent under loss, duplication, and reordering, and any
+//!   merge order converges — no increment is ever lost.
+//! * **sequenced** — writes are routed through the controller, which
+//!   assigns a single global order ([`hub::ReplHub`]); every host applies
+//!   entries in that order and reads its own last-applied view.
+//!
+//! The crate is pure bookkeeping — no I/O, no clocks, no locks. The
+//! dataplane glue lives in `eden-core` (replica snapshots swapped between
+//! batches), the wire format in `eden-ctrl::proto` (delta/view sections
+//! piggybacked on heartbeats), and the fan-out policy in the controller.
+
+mod host;
+mod hub;
+mod spec;
+mod sync;
+
+pub use eden_lang::ReplMode;
+pub use host::{HostRepl, SEQ_LOG_CAP, SEQ_PENDING_CAP};
+pub use hub::{HubReport, ReplHub, DIVERGENCE_ROUNDS, SEQ_RETAIN_CAP};
+pub use spec::ReplSpec;
+pub use sync::{FuncDelta, FuncView, SeqEntry, SeqOp, SeqSnapshot, SeqTarget};
+
+/// Combine the merged remote contribution with the host's own, per mode.
+/// This is the read every replicated global load performs on the hot path
+/// (inlined there; this is the canonical definition the tests pin).
+#[inline]
+pub fn merged_read(mode: ReplMode, remote: i64, local: i64) -> i64 {
+    match mode {
+        ReplMode::MergedSum => remote.wrapping_add(local),
+        ReplMode::MergedMax => remote.max(local),
+        // Sequenced state is applied into the local slot in controller
+        // order; the remote column carries nothing for it.
+        ReplMode::Sequenced => local,
+    }
+}
+
+/// New local contribution after a store of `value`, per mode. The store
+/// targets what the function *observes* — `g.X <- g.X + d` must make the
+/// next read see `d` more — so for summed state the local contribution
+/// absorbs the difference against the (fixed-within-a-batch) remote part:
+/// `local' = value - remote`. Read-your-writes holds immediately, and the
+/// remote contribution is never double-counted.
+#[inline]
+pub fn merged_store(mode: ReplMode, remote: i64, value: i64) -> i64 {
+    match mode {
+        ReplMode::MergedSum => value.wrapping_sub(remote),
+        ReplMode::MergedMax => value,
+        ReplMode::Sequenced => value,
+    }
+}
+
+/// FNV-1a over a word stream — the digest both ends of the anti-entropy
+/// exchange compute over their effective replicated state. Not
+/// cryptographic; it detects *bugs and missed syncs*, not adversaries
+/// (control frames already ride an authenticated channel in a real
+/// deployment).
+pub fn fnv1a64<I: IntoIterator<Item = u64>>(words: I) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for w in words {
+        for b in w.to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    h
+}
+
+/// Digest of one function's effective replicated state: merged totals (in
+/// slot order), merged array elements (in id then index order), and the
+/// sequenced position. Two replicas that agree on this digest agree on
+/// every merged value and have applied the same sequenced prefix.
+pub fn state_digest<'a>(
+    totals: impl IntoIterator<Item = i64>,
+    array_totals: impl IntoIterator<Item = &'a [i64]>,
+    applied_seq: u64,
+) -> u64 {
+    let scalars = totals.into_iter().map(|v| v as u64);
+    let arrays = array_totals
+        .into_iter()
+        .flat_map(|a| a.iter().map(|&v| v as u64));
+    fnv1a64(scalars.chain(arrays).chain(std::iter::once(applied_seq)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merged_sum_read_your_writes() {
+        let remote = 40;
+        let mut local = 2;
+        // g.X <- g.X + 8 observed as read-then-store
+        let seen = merged_read(ReplMode::MergedSum, remote, local);
+        assert_eq!(seen, 42);
+        local = merged_store(ReplMode::MergedSum, remote, seen + 8);
+        assert_eq!(local, 10, "local contribution absorbed the increment");
+        assert_eq!(merged_read(ReplMode::MergedSum, remote, local), 50);
+    }
+
+    #[test]
+    fn merged_max_read_your_writes() {
+        let remote = 100;
+        let mut local = 7;
+        assert_eq!(merged_read(ReplMode::MergedMax, remote, local), 100);
+        local = merged_store(ReplMode::MergedMax, remote, 250);
+        assert_eq!(merged_read(ReplMode::MergedMax, remote, local), 250);
+        // lowering the local contribution cannot lower the fleet max
+        local = merged_store(ReplMode::MergedMax, remote, 5);
+        assert_eq!(merged_read(ReplMode::MergedMax, remote, local), 100);
+    }
+
+    #[test]
+    fn digest_is_order_and_content_sensitive() {
+        let a = state_digest([1, 2], [&[3i64, 4][..]], 9);
+        let b = state_digest([2, 1], [&[3i64, 4][..]], 9);
+        let c = state_digest([1, 2], [&[3i64, 4][..]], 10);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a, state_digest([1, 2], [&[3i64, 4][..]], 9));
+    }
+
+    #[test]
+    fn fnv_matches_reference_vector() {
+        // FNV-1a of eight zero bytes (one u64 word).
+        assert_eq!(fnv1a64([0u64]), 0xa8c7f832281a39c5);
+    }
+}

@@ -1,0 +1,115 @@
+//! Per-function replication layout, extracted from the schema.
+
+use eden_lang::{ReplMode, Schema, Scope};
+
+/// Which global slots and arrays of one function are replicated, and how.
+/// Indexed by the same slot/id numbers the compiled bytecode addresses, so
+/// the dataplane can branch on a flat lookup.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ReplSpec {
+    globals: Vec<Option<ReplMode>>,
+    arrays: Vec<Option<ReplMode>>,
+}
+
+impl ReplSpec {
+    /// Extract the replication layout from a schema. Assumes the schema
+    /// already passed [`Schema::validate_repl`] (non-global annotations
+    /// are a type error upstream).
+    pub fn from_schema(schema: &Schema) -> ReplSpec {
+        let mut globals = vec![None; schema.scope_len(Scope::Global)];
+        for f in schema.fields() {
+            if f.scope == Scope::Global {
+                globals[f.slot as usize] = f.repl;
+            }
+        }
+        let arrays = schema.arrays().iter().map(|a| a.repl).collect();
+        ReplSpec { globals, arrays }
+    }
+
+    /// True when nothing is replicated — the dataplane keeps its plain
+    /// host-local path and no sync sections go on the wire.
+    pub fn is_empty(&self) -> bool {
+        self.globals.iter().all(Option::is_none) && self.arrays.iter().all(Option::is_none)
+    }
+
+    /// Replication mode of global scalar `slot`, if any.
+    #[inline]
+    pub fn global_mode(&self, slot: usize) -> Option<ReplMode> {
+        self.globals.get(slot).copied().flatten()
+    }
+
+    /// Replication mode of global array `id`, if any.
+    #[inline]
+    pub fn array_mode(&self, id: usize) -> Option<ReplMode> {
+        self.arrays.get(id).copied().flatten()
+    }
+
+    /// Number of global scalar slots (replicated or not).
+    pub fn global_len(&self) -> usize {
+        self.globals.len()
+    }
+
+    /// Number of global arrays (replicated or not).
+    pub fn array_len(&self) -> usize {
+        self.arrays.len()
+    }
+
+    /// Slots with a *merged* mode, in slot order.
+    pub fn merged_slots(&self) -> impl Iterator<Item = (usize, ReplMode)> + '_ {
+        self.globals
+            .iter()
+            .enumerate()
+            .filter_map(|(i, m)| match m {
+                Some(ReplMode::MergedSum) => Some((i, ReplMode::MergedSum)),
+                Some(ReplMode::MergedMax) => Some((i, ReplMode::MergedMax)),
+                _ => None,
+            })
+    }
+
+    /// Arrays with a *merged* mode, in id order.
+    pub fn merged_arrays(&self) -> impl Iterator<Item = (usize, ReplMode)> + '_ {
+        self.arrays.iter().enumerate().filter_map(|(i, m)| match m {
+            Some(ReplMode::MergedSum) => Some((i, ReplMode::MergedSum)),
+            Some(ReplMode::MergedMax) => Some((i, ReplMode::MergedMax)),
+            _ => None,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eden_lang::Access;
+
+    #[test]
+    fn extraction_follows_slot_numbers() {
+        let s = Schema::new()
+            .packet_field("P", Access::ReadOnly, None)
+            .global_field("A", Access::ReadWrite)
+            .global_field("B", Access::ReadWrite)
+            .replicated(ReplMode::MergedSum)
+            .global_array("Xs", &[""], Access::ReadWrite)
+            .replicated(ReplMode::Sequenced)
+            .global_array("Ys", &[""], Access::ReadOnly);
+        let spec = ReplSpec::from_schema(&s);
+        assert!(!spec.is_empty());
+        assert_eq!(spec.global_mode(0), None);
+        assert_eq!(spec.global_mode(1), Some(ReplMode::MergedSum));
+        assert_eq!(spec.global_mode(2), None, "out of range is None");
+        assert_eq!(spec.array_mode(0), Some(ReplMode::Sequenced));
+        assert_eq!(spec.array_mode(1), None);
+        assert_eq!(spec.global_len(), 2);
+        assert_eq!(spec.array_len(), 2);
+        assert_eq!(
+            spec.merged_slots().collect::<Vec<_>>(),
+            vec![(1, ReplMode::MergedSum)]
+        );
+        assert_eq!(spec.merged_arrays().count(), 0);
+    }
+
+    #[test]
+    fn plain_schema_is_empty() {
+        let s = Schema::new().global_field("A", Access::ReadWrite);
+        assert!(ReplSpec::from_schema(&s).is_empty());
+    }
+}

@@ -1,0 +1,95 @@
+//! The sync payloads exchanged between a host's enclave agent and the
+//! controller. `eden-ctrl::proto` gives these a wire form; here they are
+//! plain data so both the hub and the host runtime can be tested without
+//! a network.
+
+/// What a sequenced write targets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SeqTarget {
+    /// Global scalar slot.
+    Global { slot: u8 },
+    /// One element of a global array (flattened index).
+    Array { id: u8, index: u32 },
+}
+
+/// One sequenced write as issued by a host, before ordering. `op_id` is
+/// per-host monotonic; the hub dedups retransmissions by it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SeqOp {
+    pub op_id: u64,
+    pub target: SeqTarget,
+    pub value: i64,
+}
+
+/// A sequenced write after the controller assigned its global position.
+/// Every host applies entries in ascending `seq`; two hosts that applied
+/// the same prefix hold identical sequenced state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SeqEntry {
+    pub seq: u64,
+    /// Host that issued the write (for attribution/debugging only).
+    pub host: u32,
+    pub op: SeqOp,
+}
+
+/// Absolute sequenced state through `seq` — the resync path for a host
+/// whose applied position fell behind the hub's retained log (long
+/// partition). Values are sparse: only targets ever written.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SeqSnapshot {
+    pub seq: u64,
+    /// (slot, value) for sequenced globals.
+    pub globals: Vec<(u8, i64)>,
+    /// (array id, flattened index, value) for sequenced array elements.
+    pub cells: Vec<(u8, u32, i64)>,
+}
+
+/// Host → controller sync for one function: the host's full merged
+/// contributions (idempotent under loss — resending is harmless), its
+/// not-yet-acked sequenced ops, where it has applied to, and its state
+/// digest for anti-entropy.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FuncDelta {
+    /// Function index in the enclave's install order.
+    pub func: u32,
+    /// (slot, contribution) for every merged global slot.
+    pub merged: Vec<(u8, i64)>,
+    /// (array id, contribution elements) for every merged array.
+    pub merged_arrays: Vec<(u8, Vec<i64>)>,
+    /// Sequenced ops issued but not yet acked, oldest first.
+    pub seq_ops: Vec<SeqOp>,
+    /// Host has applied sequenced entries through this position.
+    pub applied_seq: u64,
+    /// [`crate::state_digest`] over the host's effective state.
+    pub digest: u64,
+}
+
+/// Controller → host sync for one function: the merged view of *every
+/// other* host (never the recipient's own contribution — that would
+/// double-count), the sequenced tail the host is missing, and the
+/// controller's digest.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FuncView {
+    pub func: u32,
+    /// Monotonic view version (bumps whenever hub state changes).
+    pub version: u64,
+    /// (slot, merged-of-others) for every merged global slot.
+    pub remote: Vec<(u8, i64)>,
+    /// (array id, merged-of-others elements) for every merged array.
+    pub remote_arrays: Vec<(u8, Vec<i64>)>,
+    /// Present when the host's applied position predates the retained
+    /// log; adopt it, then apply `entries`.
+    pub snapshot: Option<SeqSnapshot>,
+    /// Sequenced entries after the host's applied position (or after the
+    /// snapshot), ascending.
+    pub entries: Vec<SeqEntry>,
+    /// The hub has ingested this host's ops through this id; the host
+    /// drops them from its pending queue.
+    pub acked_op_id: u64,
+    /// Controller's [`crate::state_digest`] over the fleet state.
+    pub digest: u64,
+    /// The anti-entropy check flagged this host as divergent (stable but
+    /// wrong digest for [`crate::DIVERGENCE_ROUNDS`] rounds) — the host
+    /// freezes its flight recorder for forensics.
+    pub divergent: bool,
+}

@@ -50,6 +50,30 @@ impl From<u32> for Json {
     }
 }
 
+/// One host's replication health, as the controller's hub sees it: how
+/// old the host's last state delta is, and whether the anti-entropy
+/// digest exchange has flagged its replica as divergent.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ReplLag {
+    /// The host's IPv4 address.
+    pub host: u32,
+    /// Nanoseconds since the host's last delta was ingested.
+    pub lag_ns: u64,
+    /// True when the host's replica digest stayed wrong long enough for
+    /// the divergence detector to fire.
+    pub divergent: bool,
+}
+
+impl ToJson for ReplLag {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("host", self.host.into()),
+            ("lag_ns", Json::UInt(self.lag_ns)),
+            ("divergent", Json::Bool(self.divergent)),
+        ])
+    }
+}
+
 /// Per-host reports plus fleet totals, maintained by the controller as
 /// stats replies arrive. Reports are keyed by host address; a fresh
 /// report replaces the previous one (counters are cumulative on the
@@ -58,8 +82,12 @@ impl From<u32> for Json {
 pub struct ClusterStats {
     reports: Vec<HostReport>,
     /// Controller-side latency histograms (`ctrl.rtt`,
-    /// `epoch.converge`), maintained by the controller itself.
+    /// `epoch.converge`, `repl.staleness`, `repl.delta_bytes`),
+    /// maintained by the controller itself.
     pub ctrl_latencies: Vec<LatencyStat>,
+    /// Per-host replica lag, refreshed from the replication hub whenever
+    /// replicated functions are installed (empty otherwise).
+    pub repl_lags: Vec<ReplLag>,
 }
 
 impl ClusterStats {
@@ -136,6 +164,10 @@ impl ToJson for ClusterStats {
             (
                 "ctrl_latencies",
                 Json::Arr(self.ctrl_latencies.iter().map(|l| l.to_json()).collect()),
+            ),
+            (
+                "repl_lags",
+                Json::Arr(self.repl_lags.iter().map(|l| l.to_json()).collect()),
             ),
         ])
     }

@@ -28,7 +28,7 @@ mod snapshot;
 mod span;
 mod trace;
 
-pub use cluster::{ClusterStats, HostReport};
+pub use cluster::{ClusterStats, HostReport, ReplLag};
 pub use flight::{FlightDump, FlightEvent, FlightKind, FlightRing};
 pub use hist::{bucket_bound, bucket_of, LatencyStat, LogHistogram, HIST_BUCKETS};
 pub use json::{Json, JsonParseError, ToJson};

@@ -218,6 +218,25 @@ pub fn render_cluster(cluster: &ClusterStats) -> String {
         latencies(&mut out, &r.latencies, &[("host", host.as_str())]);
     }
     latencies(&mut out, &cluster.ctrl_latencies, &[("host", "controller")]);
+    if !cluster.repl_lags.is_empty() {
+        typ(&mut out, "eden_repl_lag_ns", "gauge");
+        typ(&mut out, "eden_repl_divergent", "gauge");
+        for l in &cluster.repl_lags {
+            let host = l.host.to_string();
+            line(
+                &mut out,
+                "eden_repl_lag_ns",
+                &[("host", host.as_str())],
+                l.lag_ns,
+            );
+            line(
+                &mut out,
+                "eden_repl_divergent",
+                &[("host", host.as_str())],
+                u64::from(l.divergent),
+            );
+        }
+    }
     out
 }
 
@@ -376,6 +395,10 @@ eden_latency_samples_total{name=\"vm.exec\"} 100
         let text = render_cluster(&c);
         assert!(text.contains(r#"eden_cluster_hosts 1"#), "{text}");
         assert!(
+            !text.contains("eden_repl_lag_ns"),
+            "no repl section without replicated functions: {text}"
+        );
+        assert!(
             text.contains(r#"eden_enclave_processed_total{host="all"} 5"#),
             "{text}"
         );
@@ -384,5 +407,36 @@ eden_latency_samples_total{name=\"vm.exec\"} 100
             text.contains(r#"eden_enclave_processed_total{host="3"} 5"#),
             "{text}"
         );
+    }
+
+    /// Golden: the replication rows of the cluster exposition are pinned
+    /// byte-for-byte. Update the README metric table together with this.
+    #[test]
+    fn golden_repl_exposition() {
+        use crate::cluster::{ClusterStats, ReplLag};
+        let mut c = ClusterStats::new();
+        c.repl_lags = vec![
+            ReplLag {
+                host: 1,
+                lag_ns: 950_000,
+                divergent: false,
+            },
+            ReplLag {
+                host: 2,
+                lag_ns: 12_000_000,
+                divergent: true,
+            },
+        ];
+        let text = render_cluster(&c);
+        let repl: Vec<&str> = text.lines().filter(|l| l.contains("eden_repl")).collect();
+        let expected = [
+            "# TYPE eden_repl_lag_ns gauge",
+            "# TYPE eden_repl_divergent gauge",
+            "eden_repl_lag_ns{host=\"1\"} 950000",
+            "eden_repl_divergent{host=\"1\"} 0",
+            "eden_repl_lag_ns{host=\"2\"} 12000000",
+            "eden_repl_divergent{host=\"2\"} 1",
+        ];
+        assert_eq!(repl, expected, "full text:\n{text}");
     }
 }

@@ -13,7 +13,7 @@
 
 use eden::core::{Controller, Enclave, EnclaveConfig, EnclaveOp, MatchSpec};
 use eden::ctrl::{ControllerApp, CtrlConfig, EnclaveAgent, TICK};
-use eden::lang::{Access, HeaderField, Schema};
+use eden::lang::{Access, HeaderField, ReplMode, Schema};
 use eden::netsim::{LinkSpec, Network, NodeId, SimRng, Switch, SwitchConfig, Time};
 use eden::telemetry::{render_cluster, LatencyStat};
 use eden::transport::{app_timer_token, App, Host, Stack, StackConfig};
@@ -26,9 +26,15 @@ const CTRL_ADDR: u32 = 100;
 
 fn prio_ops(prio: u8) -> Vec<EnclaveOp> {
     let controller = Controller::new();
-    let schema =
-        Schema::new().packet_field("Priority", Access::ReadWrite, Some(HeaderField::Dot1qPcp));
-    let source = format!("fun (packet, msg, _global) -> packet.Priority <- {prio}");
+    // Priority stamping plus a fleet-wide packet counter on merged
+    // replicated state, so the replica-lag column below has a live feed.
+    let schema = Schema::new()
+        .packet_field("Priority", Access::ReadWrite, Some(HeaderField::Dot1qPcp))
+        .global_field("Count", Access::ReadWrite)
+        .replicated(ReplMode::MergedSum);
+    let source = format!(
+        "fun (packet, msg, _global) ->\n    packet.Priority <- {prio}\n    _global.Count <- _global.Count + 1"
+    );
     let func = controller
         .plan_function("set_prio", &source, &schema)
         .expect("compiles");
@@ -127,7 +133,7 @@ fn main() {
             }
         );
         println!(
-            "{:<5} {:>6} {:>10} {:>10} {:>6} {:>6} {:>16} {:>16}",
+            "{:<5} {:>6} {:>10} {:>10} {:>6} {:>6} {:>16} {:>16} {:>10}",
             "host",
             "epoch",
             "processed",
@@ -135,12 +141,19 @@ fn main() {
             "drops",
             "faults",
             "exec p50/p99",
-            "vm p50/p99"
+            "vm p50/p99",
+            "repl lag"
         );
         for addr in 1..=3u32 {
+            // replica age, from the controller's replication hub
+            let repl_cell = match cluster.repl_lags.iter().find(|l| l.host == addr) {
+                Some(l) if l.divergent => format!("{}us!", l.lag_ns / 1_000),
+                Some(l) => format!("{}us", l.lag_ns / 1_000),
+                None => "-".into(),
+            };
             match cluster.host(addr) {
                 Some(r) => println!(
-                    "{:<5} {:>6} {:>10} {:>10} {:>6} {:>6} {:>16} {:>16}",
+                    "{:<5} {:>6} {:>10} {:>10} {:>6} {:>6} {:>16} {:>16} {:>10}",
                     addr,
                     r.epoch,
                     r.enclave.processed,
@@ -149,14 +162,17 @@ fn main() {
                     r.enclave.faults,
                     lat_cell(&r.latencies, "stage.execute"),
                     lat_cell(&r.latencies, "vm.exec"),
+                    repl_cell,
                 ),
                 None => println!("{addr:<5} (no report yet)"),
             }
         }
         println!(
-            "ctrl: rtt {}  converge {}  spans {}\n",
+            "ctrl: rtt {}  converge {}  repl staleness {}  fleet count {}  spans {}\n",
             lat_cell(&cluster.ctrl_latencies, "ctrl.rtt"),
             lat_cell(&cluster.ctrl_latencies, "epoch.converge"),
+            lat_cell(&cluster.ctrl_latencies, "repl.staleness"),
+            app.repl().merged_total(0, 0),
             app.trace().len(),
         );
     }

@@ -14,6 +14,7 @@
 //! - [`core`] — stages, enclaves, controller (the paper's architecture)
 //! - [`ctrl`] — distributed control plane: wire protocol, epoch-based
 //!   two-phase updates, failure detection, reconciliation
+//! - [`repl`] — replicated cross-host state: merged and sequenced globals
 //! - [`apps`] — example stages, workloads, and the network-function library
 //! - [`telemetry`] — counters, snapshots, time series, and trace rings
 
@@ -21,6 +22,7 @@ pub use eden_apps as apps;
 pub use eden_core as core;
 pub use eden_ctrl as ctrl;
 pub use eden_lang as lang;
+pub use eden_repl as repl;
 pub use eden_telemetry as telemetry;
 pub use eden_vm as vm;
 pub use netsim;

@@ -1,0 +1,213 @@
+//! Property tests for the replication subsystem (`eden-repl`), driving
+//! the host runtime and the controller hub directly — no fabric, so the
+//! properties hold over *every* generated delivery schedule rather than
+//! one simulated run:
+//!
+//! 1. **Order-independent, idempotent merge** — merged contributions are
+//!    absolute and keyed per host, so any interleaving of duplicated
+//!    cross-host deliveries produces the same fleet total.
+//! 2. **No lost increments after heal** — arbitrary per-round partition
+//!    masks may drop deltas and views; once every host completes one
+//!    clean sync round, every replica reads the exact global sum.
+//! 3. **Bounded staleness while connected** — with sync completing every
+//!    round, no replica's view (nor the hub's ingest lag) is ever older
+//!    than one cadence, every read returns the exact running total, and
+//!    the divergence detector stays quiet.
+
+use eden::lang::{Access, ReplMode, Schema};
+use eden::netsim::SimRng;
+use eden::repl::{merged_read, merged_store, FuncDelta, FuncView, HostRepl, ReplHub, ReplSpec};
+use proptest::collection::vec as pvec;
+use proptest::prelude::*;
+
+const FUNC: usize = 0;
+const SLOT: usize = 0;
+/// Sync cadence the staleness bound is expressed in (1ms, the default
+/// heartbeat interval).
+const CADENCE_NS: u64 = 1_000_000;
+
+fn spec() -> ReplSpec {
+    ReplSpec::from_schema(
+        &Schema::new()
+            .global_field("Count", Access::ReadWrite)
+            .replicated(ReplMode::MergedSum),
+    )
+}
+
+/// One simulated end host: the per-function replication runtime plus the
+/// local global slots, mutated exactly the way the dataplane does it.
+struct SimHost {
+    addr: u32,
+    repl: HostRepl,
+    globals: Vec<i64>,
+}
+
+impl SimHost {
+    fn new(addr: u32) -> SimHost {
+        SimHost {
+            addr,
+            repl: HostRepl::new(spec(), &[]),
+            globals: vec![0],
+        }
+    }
+
+    /// The dataplane's `_global.Count <- _global.Count + by`: read the
+    /// effective (remote + local) value, store through the merge rule.
+    fn add(&mut self, by: i64) {
+        let remote = self.repl.remote_globals().get(SLOT).copied().unwrap_or(0);
+        let eff = merged_read(ReplMode::MergedSum, remote, self.globals[SLOT]);
+        self.globals[SLOT] = merged_store(ReplMode::MergedSum, remote, eff + by);
+    }
+
+    /// What a replicated read returns on this host right now.
+    fn effective(&self) -> i64 {
+        merged_read(
+            ReplMode::MergedSum,
+            self.repl.remote_globals()[SLOT],
+            self.globals[SLOT],
+        )
+    }
+
+    fn delta(&self) -> FuncDelta {
+        self.repl.build_delta(FUNC as u32, &self.globals, &[])
+    }
+
+    fn apply(&mut self, view: &FuncView, now_ns: u64) {
+        let SimHost { repl, globals, .. } = self;
+        repl.apply_view(view, now_ns, |target, value| {
+            if let eden::repl::SeqTarget::Global { slot } = target {
+                globals[slot as usize] = value;
+            }
+        });
+    }
+}
+
+fn fleet(n: usize) -> (ReplHub, Vec<SimHost>) {
+    let mut hub = ReplHub::new();
+    hub.install(FUNC, spec());
+    (hub, (0..n).map(|i| SimHost::new(i as u32 + 1)).collect())
+}
+
+/// One full sync round at `now_ns`: pongs (deltas) up for every host the
+/// mask lets through, then heartbeats (views) down under the same mask —
+/// the order the controller really runs in, deltas before views.
+fn sync_round(hub: &mut ReplHub, hosts: &mut [SimHost], up: &[bool], now_ns: u64) {
+    for h in hosts.iter() {
+        if up[(h.addr - 1) as usize] {
+            hub.ingest(h.addr, now_ns, &h.delta());
+        }
+    }
+    for h in hosts.iter_mut() {
+        if up[(h.addr - 1) as usize] {
+            if let Some(view) = hub.view_for(h.addr, FUNC) {
+                h.apply(&view, now_ns);
+            }
+        }
+    }
+}
+
+proptest! {
+    /// Satellite 1: merged contributions are absolute per host, so the
+    /// hub total is invariant under any interleaving of duplicated
+    /// deliveries across hosts.
+    #[test]
+    fn merged_ingest_is_order_independent_and_idempotent(
+        contribs in pvec(0i64..1_000, 2..6),
+        dups in 1usize..4,
+        seed in any::<u64>(),
+    ) {
+        let mut hub = ReplHub::new();
+        hub.install(FUNC, spec());
+
+        // Each host's delta scheduled `dups` times, then shuffled.
+        let mut order: Vec<usize> = (0..contribs.len())
+            .flat_map(|h| std::iter::repeat_n(h, dups))
+            .collect();
+        let mut rng = SimRng::new(seed);
+        for i in (1..order.len()).rev() {
+            let j = rng.below(i as u64 + 1) as usize;
+            order.swap(i, j);
+        }
+
+        for (now, &h) in (1u64..).zip(order.iter()) {
+            let delta = FuncDelta {
+                func: FUNC as u32,
+                merged: vec![(SLOT as u8, contribs[h])],
+                ..Default::default()
+            };
+            hub.ingest(h as u32 + 1, now, &delta);
+        }
+
+        let sum: i64 = contribs.iter().sum();
+        prop_assert_eq!(hub.merged_total(FUNC, SLOT), sum);
+    }
+
+    /// Satellite 2: arbitrary per-round loss (partitions included) delays
+    /// sync but loses nothing — after one clean round, every replica and
+    /// the hub read the exact global sum.
+    #[test]
+    fn no_increments_lost_after_partitions_heal(
+        rounds in pvec(pvec((0i64..50, proptest::bool::ANY), 3..4), 1..10),
+    ) {
+        let (mut hub, mut hosts) = fleet(3);
+        let mut now = CADENCE_NS;
+        let mut total = 0i64;
+
+        for round in &rounds {
+            let mut up = [false; 3];
+            for (i, &(by, delivered)) in round.iter().enumerate() {
+                hosts[i].add(by);
+                total += by;
+                up[i] = delivered;
+            }
+            sync_round(&mut hub, &mut hosts, &up, now);
+            now += CADENCE_NS;
+        }
+
+        // Heal: clean rounds for everyone.
+        for _ in 0..2 {
+            sync_round(&mut hub, &mut hosts, &[true; 3], now);
+            now += CADENCE_NS;
+        }
+
+        prop_assert_eq!(hub.merged_total(FUNC, SLOT), total);
+        for h in &hosts {
+            prop_assert_eq!(h.effective(), total, "host {} replica", h.addr);
+        }
+    }
+
+    /// Satellite 3: while every round's sync completes, replica age (both
+    /// ends) stays under one cadence, reads are exact, and the divergence
+    /// detector never fires.
+    #[test]
+    fn staleness_stays_bounded_by_the_sync_cadence(
+        rounds in pvec(pvec(0i64..100, 3..4), 2..12),
+    ) {
+        let (mut hub, mut hosts) = fleet(3);
+        let mut now = CADENCE_NS;
+        let mut total = 0i64;
+
+        for round in &rounds {
+            for (i, &by) in round.iter().enumerate() {
+                hosts[i].add(by);
+                total += by;
+            }
+            sync_round(&mut hub, &mut hosts, &[true; 3], now);
+
+            // Probe just before the next round: nothing may be older
+            // than one cadence on either end of the exchange.
+            let probe = now + CADENCE_NS - 1;
+            let report = hub.report(probe);
+            prop_assert_eq!(report.hosts.len(), 3);
+            for &(addr, lag_ns, divergent) in &report.hosts {
+                prop_assert!(lag_ns < CADENCE_NS, "host {addr} lag {lag_ns}ns");
+                prop_assert!(!divergent, "host {addr} flagged divergent");
+            }
+            for h in &hosts {
+                prop_assert!(h.repl.staleness_ns(probe) < CADENCE_NS);
+                prop_assert_eq!(h.effective(), total, "host {} replica", h.addr);
+            }
+            now += CADENCE_NS;
+        }
+    }
+}
