@@ -1,0 +1,440 @@
+//! Control-plane scale benchmark: root load and convergence of a **flat**
+//! controller (every host managed directly) against the **hierarchical**
+//! tier ([`eden_ctrl::AggregatorApp`]) at fleet sizes the flat design was
+//! never meant for, plus the wire savings of digest-anchored delta
+//! updates over full-table ships.
+//!
+//! Three experiments:
+//!
+//! * **flat vs hier push** — per `(mode, hosts)` point: virtual time from
+//!   `set_desired` to `all_in_sync`, and the root's control-wire load
+//!   (messages and KiB in both directions) over that window. Flat root
+//!   load grows linearly with hosts; the hierarchy (√n racks of √n hosts)
+//!   keeps root messages O(√n) — the headline `hier_root_msg_reduction`
+//!   and `hier_sublinear` gate metrics come from the 1024-host points.
+//! * **delta vs full ship** — a one-rule change to a 64-rule table,
+//!   reconverged with `delta_updates` on and off; the ratio of epoch
+//!   config bytes is `delta_reduction_rate` (gated ≥10×).
+//! * **virtual sweep** (nightly) — [`run_virtual`] models six-figure
+//!   fleets: real root and aggregator nodes over the simulated fabric,
+//!   each aggregator fronting thousands of in-process template children,
+//!   wire cost tallied arithmetically (see
+//!   [`AggregatorApp::with_virtual_children`]).
+//!
+//! Every metric here is virtual-time/deterministic — identical across
+//! machines at a given seed — so the bench gate thresholds are tight.
+
+use eden_core::{ClassId, Controller, Enclave, EnclaveConfig, EnclaveOp, MatchSpec};
+use eden_ctrl::{AggConfig, AggregatorApp, ControllerApp, CtrlConfig, EnclaveAgent, TICK};
+use eden_lang::{Access, HeaderField, Schema};
+use eden_telemetry::{Json, ToJson};
+use netsim::{LinkSpec, Network, NodeId, Switch, SwitchConfig, Time, TwoTier};
+use transport::{app_timer_token, App, Host, Stack, StackConfig};
+
+struct Idle;
+impl App for Idle {}
+
+/// One `(mode, hosts)` sweep point, aggregated over seeds.
+#[derive(Debug, Clone)]
+pub struct ScalePoint {
+    /// `"flat"` or `"hier"`.
+    pub mode: &'static str,
+    pub hosts: usize,
+    pub seeds: usize,
+    /// Mean virtual µs from `set_desired` to `all_in_sync`.
+    pub push_mean_us: f64,
+    /// Mean control messages through the root (sent + received) during
+    /// the push window.
+    pub root_msgs_mean: f64,
+    /// Mean KiB through the root during the push window.
+    pub root_kb_mean: f64,
+}
+
+impl ToJson for ScalePoint {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("mode", Json::Str(self.mode.into())),
+            ("hosts", Json::UInt(self.hosts as u64)),
+            // no `seeds` field: every gated metric is virtual-time
+            // deterministic, and seed count differs between the PR smoke
+            // run and the nightly full sweep — an identity mismatch would
+            // orphan the baseline's array elements in bench_gate
+            ("push_mean_us", Json::Float(self.push_mean_us)),
+            ("root_msgs_mean", Json::Float(self.root_msgs_mean)),
+            ("root_kb_mean", Json::Float(self.root_kb_mean)),
+        ])
+    }
+}
+
+/// Result of the delta-vs-full-ship experiment.
+#[derive(Debug, Clone)]
+pub struct DeltaPoint {
+    pub hosts: usize,
+    pub rules: usize,
+    pub seeds: usize,
+    /// Mean epoch-config KiB the root sent reconverging after a one-rule
+    /// change with deltas off (Reset-led full table every time).
+    pub full_kb_mean: f64,
+    /// Same change with digest-anchored deltas on.
+    pub delta_kb_mean: f64,
+}
+
+impl DeltaPoint {
+    /// Full-ship bytes over delta bytes — the ≥10× headline.
+    pub fn reduction(&self) -> f64 {
+        self.full_kb_mean / self.delta_kb_mean.max(1e-9)
+    }
+}
+
+impl ToJson for DeltaPoint {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("hosts", Json::UInt(self.hosts as u64)),
+            ("rules", Json::UInt(self.rules as u64)),
+            ("full_config_kb_mean", Json::Float(self.full_kb_mean)),
+            ("delta_config_kb_mean", Json::Float(self.delta_kb_mean)),
+            ("delta_reduction_rate", Json::Float(self.reduction())),
+        ])
+    }
+}
+
+const ROOT_ADDR: u32 = 1_000_000;
+const AGG_BASE: u32 = 500_000;
+const SLICE: Time = Time::from_micros(50);
+
+/// Host sizing for thousand-node fleets: one lane, small mailboxes. The
+/// control plane never touches the data path here, so only the footprint
+/// matters.
+fn lean_enclave() -> EnclaveConfig {
+    EnclaveConfig {
+        lanes: 1,
+        max_punted: 16,
+        max_messages_per_function: 64,
+        flight_capacity: 16,
+        ..EnclaveConfig::default()
+    }
+}
+
+/// Rack count for `hosts`: √n racks of √n hosts (the root-load sweet
+/// spot for a two-level tree).
+pub fn rack_count(hosts: usize) -> usize {
+    ((hosts as f64).sqrt().round() as usize).max(1)
+}
+
+/// Desired state: one priority-stamping function and `rules` match rules.
+/// `salt` varies the final rule so successive epochs differ by exactly
+/// one rule — the delta experiment's one-line change.
+fn desired_ops(core: &Controller, rules: usize, salt: u16) -> Vec<EnclaveOp> {
+    let schema =
+        Schema::new().packet_field("Priority", Access::ReadWrite, Some(HeaderField::Dot1qPcp));
+    let func = core
+        .plan_function(
+            "set_prio",
+            "fun (packet, msg, _global) -> packet.Priority <- 5",
+            &schema,
+        )
+        .expect("compiles");
+    let mut ops = vec![EnclaveOp::Reset, func];
+    for i in 0..rules {
+        let class = if i == rules - 1 {
+            1000 + u32::from(salt)
+        } else {
+            i as u32
+        };
+        ops.push(EnclaveOp::InstallRule {
+            table: 0,
+            spec: MatchSpec::Class(ClassId(class)),
+            func: 0,
+        });
+    }
+    ops
+}
+
+struct Cluster {
+    net: Network,
+    root: NodeId,
+}
+
+fn agent_stack(addr: u32, cfg: &CtrlConfig) -> Stack {
+    let mut stack = Stack::new(addr, StackConfig::default());
+    stack.set_hook(EnclaveAgent::new(Enclave::new(lean_enclave())));
+    stack.set_ctrl_port(cfg.ctrl_port);
+    stack
+}
+
+/// Flat: every host hangs off one switch, root manages all of them.
+fn build_flat(seed: u64, hosts: usize, cfg: CtrlConfig) -> Cluster {
+    let mut net = Network::new(seed);
+    let sw = net.add_node(Switch::new(SwitchConfig::default()));
+    for i in 0..hosts {
+        let addr = (i + 1) as u32;
+        let node = net.add_node(Host::new(agent_stack(addr, &cfg), Idle));
+        let (_, sp) = net.connect(node, sw, LinkSpec::ten_gbps());
+        net.node_mut::<Switch>(sw).install_route(addr, sp);
+    }
+    let addrs: Vec<u32> = (1..=hosts as u32).collect();
+    let root = net.add_node(Host::new(
+        Stack::new(ROOT_ADDR, StackConfig::default()),
+        ControllerApp::new(cfg, &addrs),
+    ));
+    let (_, sp) = net.connect(root, sw, LinkSpec::ten_gbps());
+    net.node_mut::<Switch>(sw).install_route(ROOT_ADDR, sp);
+    net.schedule_timer(root, Time::ZERO, app_timer_token(TICK));
+    Cluster { net, root }
+}
+
+/// Hierarchical: √n racks behind a core switch, one aggregator per rack
+/// fronting that rack's hosts, root at the core managing only the
+/// aggregators.
+fn build_hier(seed: u64, hosts: usize, cfg: CtrlConfig) -> Cluster {
+    let racks = rack_count(hosts);
+    let mut net = Network::new(seed);
+    let topo = TwoTier::build(&mut net, racks, LinkSpec::forty_gbps());
+
+    let mut ctrl = ControllerApp::new(cfg.clone(), &[]);
+    let mut next = 1u32;
+    for rack in 0..racks {
+        // spread the remainder over the first racks
+        let share = hosts / racks + usize::from(rack < hosts % racks);
+        let children: Vec<u32> = (0..share)
+            .map(|_| {
+                let addr = next;
+                next += 1;
+                let node = net.add_node(Host::new(agent_stack(addr, &cfg), Idle));
+                topo.attach(&mut net, rack, node, addr, LinkSpec::ten_gbps());
+                addr
+            })
+            .collect();
+        let agg_addr = AGG_BASE + rack as u32;
+        let agg = net.add_node(Host::new(
+            Stack::new(agg_addr, StackConfig::default()),
+            AggregatorApp::new(AggConfig { ctrl: cfg.clone() }, &children),
+        ));
+        topo.attach(&mut net, rack, agg, agg_addr, LinkSpec::ten_gbps());
+        net.schedule_timer(agg, Time::ZERO, app_timer_token(TICK));
+        ctrl.manage_aggregator(agg_addr, children);
+    }
+
+    let root = net.add_node(Host::new(
+        Stack::new(ROOT_ADDR, StackConfig::default()),
+        ctrl,
+    ));
+    topo.attach_core(&mut net, root, ROOT_ADDR, LinkSpec::forty_gbps());
+    net.schedule_timer(root, Time::ZERO, app_timer_token(TICK));
+    Cluster { net, root }
+}
+
+/// Virtual hierarchy for six-figure sweeps: real root + aggregator nodes,
+/// template children (no per-host simulation state).
+fn build_virtual(seed: u64, hosts: usize, cfg: CtrlConfig) -> Cluster {
+    let racks = rack_count(hosts);
+    let mut net = Network::new(seed);
+    let topo = TwoTier::build(&mut net, racks, LinkSpec::forty_gbps());
+
+    let mut ctrl = ControllerApp::new(cfg.clone(), &[]);
+    let mut next = 1u32;
+    for rack in 0..racks {
+        let share = hosts / racks + usize::from(rack < hosts % racks);
+        let children: Vec<u32> = (0..share)
+            .map(|_| {
+                let addr = next;
+                next += 1;
+                addr
+            })
+            .collect();
+        let agg_addr = AGG_BASE + rack as u32;
+        let agg = net.add_node(Host::new(
+            Stack::new(agg_addr, StackConfig::default()),
+            AggregatorApp::with_virtual_children(
+                AggConfig { ctrl: cfg.clone() },
+                share,
+                lean_enclave(),
+            ),
+        ));
+        topo.attach(&mut net, rack, agg, agg_addr, LinkSpec::ten_gbps());
+        net.schedule_timer(agg, Time::ZERO, app_timer_token(TICK));
+        ctrl.manage_aggregator(agg_addr, children);
+    }
+
+    let root = net.add_node(Host::new(
+        Stack::new(ROOT_ADDR, StackConfig::default()),
+        ctrl,
+    ));
+    topo.attach_core(&mut net, root, ROOT_ADDR, LinkSpec::forty_gbps());
+    net.schedule_timer(root, Time::ZERO, app_timer_token(TICK));
+    Cluster { net, root }
+}
+
+fn app(cluster: &mut Cluster) -> &mut ControllerApp {
+    let root = cluster.root;
+    &mut cluster.net.node_mut::<Host<ControllerApp>>(root).app
+}
+
+fn run_until_converged(cluster: &mut Cluster, mut t: Time, deadline: Time) -> Time {
+    loop {
+        t += SLICE;
+        assert!(
+            t <= deadline,
+            "control plane failed to converge by {deadline:?} \
+             ({}/{} hosts in sync)",
+            app(cluster).in_sync_hosts(),
+            app(cluster).fleet_size(),
+        );
+        cluster.net.run_until(t);
+        if app(cluster).all_in_sync() {
+            return t;
+        }
+    }
+}
+
+/// One push at one seed: bootstrap, push a fresh epoch, return
+/// `(push_us, root_msgs, root_bytes)` over the push window.
+fn run_push(mut cluster: Cluster, rules: usize) -> (f64, u64, u64) {
+    let deadline = Time::from_millis(2_000);
+    let t = run_until_converged(&mut cluster, Time::ZERO, deadline);
+
+    let ops = {
+        let a = app(&mut cluster);
+        desired_ops(&a.core, rules, 0)
+    };
+    let before = app(&mut cluster).wire();
+    app(&mut cluster).set_desired(ops).expect("valid ops");
+    let push_start = t;
+    let t = run_until_converged(&mut cluster, t, deadline);
+    let after = app(&mut cluster).wire();
+
+    let msgs = (after.msgs_sent - before.msgs_sent) + (after.msgs_received - before.msgs_received);
+    let bytes =
+        (after.bytes_sent - before.bytes_sent) + (after.bytes_received - before.bytes_received);
+    let push_us = (t - push_start).as_nanos() as f64 / 1_000.0;
+    (push_us, msgs, bytes)
+}
+
+fn aggregate(mode: &'static str, hosts: usize, samples: &[(f64, u64, u64)]) -> ScalePoint {
+    let n = samples.len() as f64;
+    ScalePoint {
+        mode,
+        hosts,
+        seeds: samples.len(),
+        push_mean_us: samples.iter().map(|s| s.0).sum::<f64>() / n,
+        root_msgs_mean: samples.iter().map(|s| s.1 as f64).sum::<f64>() / n,
+        root_kb_mean: samples.iter().map(|s| s.2 as f64).sum::<f64>() / n / 1024.0,
+    }
+}
+
+/// Flat sweep point: root manages every host directly.
+pub fn run_flat(hosts: usize, rules: usize, seeds: &[u64]) -> ScalePoint {
+    let samples: Vec<_> = seeds
+        .iter()
+        .map(|&s| run_push(build_flat(s, hosts, CtrlConfig::default()), rules))
+        .collect();
+    aggregate("flat", hosts, &samples)
+}
+
+/// Hierarchical sweep point: root manages √n aggregators.
+pub fn run_hier(hosts: usize, rules: usize, seeds: &[u64]) -> ScalePoint {
+    let samples: Vec<_> = seeds
+        .iter()
+        .map(|&s| run_push(build_hier(s, hosts, CtrlConfig::default()), rules))
+        .collect();
+    aggregate("hier", hosts, &samples)
+}
+
+/// Virtual hierarchical sweep point for six-figure fleets (nightly).
+pub fn run_virtual(hosts: usize, rules: usize, seeds: &[u64]) -> ScalePoint {
+    let samples: Vec<_> = seeds
+        .iter()
+        .map(|&s| run_push(build_virtual(s, hosts, CtrlConfig::default()), rules))
+        .collect();
+    aggregate("virtual", hosts, &samples)
+}
+
+/// Delta-vs-full experiment: converge a `rules`-sized table, change one
+/// rule, and measure the root's epoch-config bytes reconverging — once
+/// with `delta_updates` off, once on.
+pub fn run_delta(hosts: usize, rules: usize, seeds: &[u64]) -> DeltaPoint {
+    let mut full = Vec::new();
+    let mut delta = Vec::new();
+    for &seed in seeds {
+        for enable in [false, true] {
+            // Round tracing rides a 19-byte trailer on every config
+            // frame; it is orthogonal to the delta-vs-full question and
+            // would dilute the ratio, so both arms run untraced.
+            let cfg = CtrlConfig {
+                delta_updates: enable,
+                trace_rounds: false,
+                ..CtrlConfig::default()
+            };
+            let mut cluster = build_flat(seed, hosts, cfg);
+            let deadline = Time::from_millis(2_000);
+            let t = run_until_converged(&mut cluster, Time::ZERO, deadline);
+
+            // epoch 1: the big table, fully shipped either way
+            let ops = {
+                let a = app(&mut cluster);
+                desired_ops(&a.core, rules, 0)
+            };
+            app(&mut cluster).set_desired(ops).expect("valid ops");
+            let t = run_until_converged(&mut cluster, t, deadline);
+
+            // epoch 2: one rule changes
+            let ops = {
+                let a = app(&mut cluster);
+                desired_ops(&a.core, rules, 1)
+            };
+            let before = app(&mut cluster).wire().config_bytes_sent;
+            app(&mut cluster).set_desired(ops).expect("valid ops");
+            run_until_converged(&mut cluster, t, deadline);
+            let bytes = app(&mut cluster).wire().config_bytes_sent - before;
+            if enable {
+                delta.push(bytes as f64);
+            } else {
+                full.push(bytes as f64);
+            }
+        }
+    }
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+    DeltaPoint {
+        hosts,
+        rules,
+        seeds: seeds.len(),
+        full_kb_mean: mean(&full) / 1024.0,
+        delta_kb_mean: mean(&delta) / 1024.0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hier_beats_flat_on_root_messages() {
+        let flat = run_flat(16, 4, &[3]);
+        let hier = run_hier(16, 4, &[3]);
+        assert!(
+            hier.root_msgs_mean < flat.root_msgs_mean,
+            "hier {} vs flat {}",
+            hier.root_msgs_mean,
+            flat.root_msgs_mean
+        );
+    }
+
+    #[test]
+    fn delta_ships_far_fewer_config_bytes() {
+        let p = run_delta(4, 64, &[5]);
+        assert!(
+            p.reduction() >= 10.0,
+            "full {:.2} KiB vs delta {:.2} KiB ({}x)",
+            p.full_kb_mean,
+            p.delta_kb_mean,
+            p.reduction()
+        );
+    }
+
+    #[test]
+    fn virtual_mode_converges() {
+        let p = run_virtual(64, 4, &[7]);
+        assert_eq!(p.hosts, 64);
+        assert!(p.push_mean_us > 0.0);
+    }
+}

@@ -18,6 +18,7 @@
 
 pub mod batch;
 pub mod ctrl;
+pub mod ctrl_scale;
 pub mod fig09;
 pub mod fig10;
 pub mod fig11;

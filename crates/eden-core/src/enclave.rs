@@ -785,6 +785,30 @@ impl Enclave {
         Ok(())
     }
 
+    /// [`stage_epoch`](Self::stage_epoch) anchored against a config
+    /// digest: the delta's ops were planned as a *diff* from the
+    /// configuration whose digest is `base_digest`, so they are only
+    /// safe to stage if this enclave still holds exactly that
+    /// configuration. On mismatch nothing changes and
+    /// [`ApplyError::DigestMismatch`] is returned — the controller's cue
+    /// to fall back to a full-table ship, mirroring `ReplHub`'s snapshot
+    /// resync for laggards.
+    pub fn stage_epoch_delta(
+        &mut self,
+        epoch: u64,
+        base_digest: u64,
+        ops: &[EnclaveOp],
+    ) -> Result<(), ApplyError> {
+        let have = self.config_digest();
+        if have != base_digest {
+            return Err(ApplyError::DigestMismatch {
+                have,
+                want: base_digest,
+            });
+        }
+        self.stage_epoch(epoch, ops)
+    }
+
     /// Phase two: atomically apply the staged epoch. Called between
     /// packets (the simulator's event loop never interleaves a commit
     /// with a batch), so the data path observes the old configuration for
@@ -801,6 +825,15 @@ impl Enclave {
         self.active_epoch = epoch;
         for op in staged.ops {
             self.apply_ready(op);
+        }
+        // A delta epoch carries no `Reset`, so rules that survive from the
+        // previous configuration still wear the old epoch stamp. The commit
+        // adopts them into the new epoch wholesale — the whole table was
+        // validated as one unit, so `serves_single_epoch` must keep holding.
+        for t in &mut self.tables {
+            for r in &mut t.rules {
+                r.epoch = epoch;
+            }
         }
         self.flight_record(FlightKind::EpochCommit, epoch, 0);
         true
@@ -3194,6 +3227,64 @@ mod tests {
         c.stage_epoch(1, &epoch_ops(5)).expect("valid");
         assert!(c.commit_epoch(1));
         assert_ne!(a.config_digest(), c.config_digest());
+    }
+
+    #[test]
+    fn delta_epoch_stages_against_matching_digest() {
+        let mut e = Enclave::new(EnclaveConfig::default());
+        e.stage_epoch(1, &epoch_ops(3)).expect("valid");
+        assert!(e.commit_epoch(1));
+
+        // A diff appending one rule, anchored at the current digest.
+        let delta = vec![EnclaveOp::InstallRule {
+            table: 0,
+            spec: MatchSpec::Class(ClassId(1)),
+            func: 0,
+        }];
+        let base = e.config_digest();
+        e.stage_epoch_delta(2, base, &delta)
+            .expect("digest matches");
+        assert!(e.commit_epoch(2));
+        assert_eq!(e.active_epoch(), 2);
+        assert_eq!(e.tables[0].rules.len(), 2);
+        assert!(
+            e.serves_single_epoch(),
+            "surviving rules must be re-stamped into the committed epoch"
+        );
+
+        // The delta'd config is byte-for-byte the same structure a full
+        // replacement would have produced.
+        let mut full = Enclave::new(EnclaveConfig::default());
+        let mut ops = epoch_ops(3);
+        ops.push(EnclaveOp::InstallRule {
+            table: 0,
+            spec: MatchSpec::Class(ClassId(1)),
+            func: 0,
+        });
+        full.stage_epoch(2, &ops).expect("valid");
+        assert!(full.commit_epoch(2));
+        assert_eq!(e.config_digest(), full.config_digest());
+    }
+
+    #[test]
+    fn delta_epoch_rejects_stale_digest() {
+        let mut e = Enclave::new(EnclaveConfig::default());
+        e.stage_epoch(1, &epoch_ops(3)).expect("valid");
+        assert!(e.commit_epoch(1));
+        let have = e.config_digest();
+
+        let err = e
+            .stage_epoch_delta(2, have ^ 1, &[EnclaveOp::CreateTable])
+            .expect_err("anchored at a digest we don't have");
+        assert_eq!(
+            err,
+            ApplyError::DigestMismatch {
+                have,
+                want: have ^ 1
+            }
+        );
+        assert_eq!(e.staged_epoch(), None, "nothing staged on mismatch");
+        assert_eq!(e.config_digest(), have, "config untouched");
     }
 
     #[test]

@@ -75,6 +75,11 @@ pub enum ApplyError {
     NoSuchArray { op: usize, array: usize },
     /// Shipped bytecode failed to decode or re-verify.
     BadBytecode { op: usize, reason: String },
+    /// A delta epoch was anchored against a config digest this enclave
+    /// does not currently have — the sender's picture of our config is
+    /// stale, so applying the diff would corrupt it. The remedy is a
+    /// full-table resync.
+    DigestMismatch { have: u64, want: u64 },
 }
 
 impl std::fmt::Display for ApplyError {
@@ -95,6 +100,9 @@ impl std::fmt::Display for ApplyError {
             }
             ApplyError::BadBytecode { op, reason } => {
                 write!(f, "op {op}: bad bytecode: {reason}")
+            }
+            ApplyError::DigestMismatch { have, want } => {
+                write!(f, "digest mismatch: have {have:#018x} want {want:#018x}")
             }
         }
     }

@@ -89,10 +89,12 @@ impl EnclaveAgent {
             CtrlMsg::Heartbeat { .. } => (4, 0),
             CtrlMsg::PullStats => (5, 0),
             CtrlMsg::PullTrace { .. } => (6, 0),
+            CtrlMsg::DeltaPrepare { epoch, .. } => (7, *epoch),
+            CtrlMsg::AggSync { .. } => (8, 0),
         };
         self.enclave.flight_record(FlightKind::CtrlMsg, tag, epoch);
         let span_name = match &msg {
-            CtrlMsg::Prepare { .. } => Some("prepare"),
+            CtrlMsg::Prepare { .. } | CtrlMsg::DeltaPrepare { .. } => Some("prepare"),
             CtrlMsg::Commit { .. } => Some("commit"),
             CtrlMsg::Abort { .. } => Some("abort"),
             _ => None,
@@ -214,6 +216,51 @@ impl EnclaveAgent {
             CtrlMsg::PullTrace { max } => CtrlReply::Spans {
                 re,
                 spans: self.enclave.drain_spans(max as usize),
+            },
+            CtrlMsg::DeltaPrepare {
+                epoch,
+                base_digest,
+                ops,
+            } => {
+                let active = self.enclave.active_epoch();
+                if epoch < active {
+                    return CtrlReply::Nack {
+                        re,
+                        epoch,
+                        reason: format!("stale epoch {epoch} < active {active}"),
+                    };
+                }
+                if epoch == active {
+                    // Duplicate of an already-committed update.
+                    return CtrlReply::Ack {
+                        re,
+                        epoch,
+                        phase: AckPhase::Prepare,
+                    };
+                }
+                // A digest mismatch nacks like any validation error; the
+                // controller reads the reason and falls back to a full
+                // Prepare.
+                match self.enclave.stage_epoch_delta(epoch, base_digest, &ops) {
+                    Ok(()) => CtrlReply::Ack {
+                        re,
+                        epoch,
+                        phase: AckPhase::Prepare,
+                    },
+                    Err(e) => CtrlReply::Nack {
+                        re,
+                        epoch,
+                        reason: e.to_string(),
+                    },
+                }
+            }
+            // Only aggregators answer AggSync; a plain host nacking it
+            // tells a misconfigured parent immediately instead of
+            // timing out.
+            CtrlMsg::AggSync { .. } => CtrlReply::Nack {
+                re,
+                epoch: self.enclave.active_epoch(),
+                reason: "not an aggregator".into(),
             },
         }
     }

@@ -42,6 +42,7 @@ use eden_telemetry::{
 use netsim::{Ctx, Packet, Time, UdpHeader};
 use transport::{App, Stack};
 
+use crate::delta::{self, ConfigModel};
 use crate::proto::{self, AckPhase, CtrlMsg, CtrlReply, Reassembler};
 
 /// Timer payload of the controller's periodic tick (pass through
@@ -80,6 +81,11 @@ pub struct CtrlConfig {
     /// 0 disables explicit pulls and leaves heartbeat piggybacking as
     /// the only collection path.
     pub pull_trace_max: u16,
+    /// Ship config changes as digest-anchored [`CtrlMsg::DeltaPrepare`]
+    /// diffs when a host's last report matches a known history entry and
+    /// the diff is smaller on the wire. Off forces full-table ships —
+    /// the control arm for the wire-bytes benchmark.
+    pub delta_updates: bool,
 }
 
 impl Default for CtrlConfig {
@@ -96,6 +102,39 @@ impl Default for CtrlConfig {
             fail_after: Time::from_micros(5_000),
             trace_rounds: true,
             pull_trace_max: 256,
+            delta_updates: true,
+        }
+    }
+}
+
+/// Message/byte tallies for everything this endpoint puts on or takes
+/// off the control wire — the root-load metric the hierarchical tier
+/// exists to shrink. Counted at message granularity (encoded payload
+/// bytes, before fragmentation headers).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WireCounters {
+    pub msgs_sent: u64,
+    pub bytes_sent: u64,
+    pub msgs_received: u64,
+    pub bytes_received: u64,
+    /// Bytes of epoch-configuration traffic only (Prepare / DeltaPrepare
+    /// / Commit / Abort) — the delta-vs-full comparison metric.
+    pub config_bytes_sent: u64,
+}
+
+impl WireCounters {
+    /// Record one sent message of `payload_len` encoded bytes.
+    pub(crate) fn sent(&mut self, msg: &CtrlMsg, payload_len: usize) {
+        self.msgs_sent += 1;
+        self.bytes_sent += payload_len as u64;
+        if matches!(
+            msg,
+            CtrlMsg::Prepare { .. }
+                | CtrlMsg::DeltaPrepare { .. }
+                | CtrlMsg::Commit { .. }
+                | CtrlMsg::Abort { .. }
+        ) {
+            self.config_bytes_sent += payload_len as u64;
         }
     }
 }
@@ -145,6 +184,16 @@ struct HostState {
     /// failed resync (doubles per failure, resets on success).
     next_resync: Time,
     resync_backoff: Time,
+    /// `Some(children)` marks this entry as a rack/pod aggregator
+    /// fronting those hosts: heartbeats become [`CtrlMsg::AggSync`] and
+    /// its pongs summarize the whole shard.
+    subtree: Option<Vec<u32>>,
+    /// From the last AggPong: children converged to the agg's epoch.
+    subtree_synced: u32,
+    /// From the last AggPong: highest epoch any child reports, and
+    /// whether some child serves the epoch with a wrong digest.
+    subtree_max_epoch: u64,
+    subtree_diverged: bool,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -176,6 +225,27 @@ struct DesiredEntry {
     epoch: u64,
     ops: Vec<EnclaveOp>,
     digest: u64,
+    /// Value model of this configuration — the diff anchor for
+    /// [`CtrlMsg::DeltaPrepare`] planning against later entries.
+    model: ConfigModel,
+}
+
+fn new_host_state(addr: u32) -> HostState {
+    HostState {
+        addr,
+        status: HostStatus::Up,
+        last_heard: Time::ZERO,
+        ever_heard: false,
+        reported: None,
+        inflight: None,
+        next_heartbeat: Time::ZERO,
+        next_resync: Time::ZERO,
+        resync_backoff: Time::ZERO,
+        subtree: None,
+        subtree_synced: 0,
+        subtree_max_epoch: 0,
+        subtree_diverged: false,
+    }
 }
 
 /// The cluster controller, run as a host [`App`].
@@ -218,6 +288,8 @@ pub struct ControllerApp {
     repl_staleness: LogHistogram,
     /// Wire size of each pong's delta section.
     repl_delta_bytes: LogHistogram,
+    /// Control-wire load at this (root) endpoint.
+    wire: WireCounters,
 }
 
 impl ControllerApp {
@@ -228,24 +300,12 @@ impl ControllerApp {
             epoch: 0,
             ops: Vec::new(),
             digest: shadow.config_digest(),
+            model: ConfigModel::new(),
         }];
         ControllerApp {
             cfg,
             core: eden_core::Controller::new(),
-            hosts: hosts
-                .iter()
-                .map(|&addr| HostState {
-                    addr,
-                    status: HostStatus::Up,
-                    last_heard: Time::ZERO,
-                    ever_heard: false,
-                    reported: None,
-                    inflight: None,
-                    next_heartbeat: Time::ZERO,
-                    next_resync: Time::ZERO,
-                    resync_backoff: Time::ZERO,
-                })
-                .collect(),
+            hosts: hosts.iter().map(|&addr| new_host_state(addr)).collect(),
             history,
             shadow,
             round: None,
@@ -262,6 +322,24 @@ impl ControllerApp {
             repl: ReplHub::new(),
             repl_staleness: LogHistogram::new(),
             repl_delta_bytes: LogHistogram::new(),
+            wire: WireCounters::default(),
+        }
+    }
+
+    /// Promote `addr` to (or register it as) a rack/pod aggregator
+    /// fronting `children`. The controller stops talking to the children
+    /// directly: epoch phases and heartbeats go to the aggregator, which
+    /// runs its own shard round and reports the shard's convergence in
+    /// one [`CtrlReply::AggPong`] — root message count is
+    /// O(#aggregators), not O(#hosts).
+    pub fn manage_aggregator(&mut self, addr: u32, children: Vec<u32>) {
+        match self.hosts.iter_mut().find(|h| h.addr == addr) {
+            Some(h) => h.subtree = Some(children),
+            None => {
+                let mut h = new_host_state(addr);
+                h.subtree = Some(children);
+                self.hosts.push(h);
+            }
         }
     }
 
@@ -279,7 +357,14 @@ impl ControllerApp {
         self.shadow.stage_epoch(epoch, &ops)?;
         assert!(self.shadow.commit_epoch(epoch));
         let digest = self.shadow.config_digest();
-        self.history.push(DesiredEntry { epoch, ops, digest });
+        let mut model = self.desired().model.clone();
+        model.apply(&ops);
+        self.history.push(DesiredEntry {
+            epoch,
+            ops,
+            digest,
+            model,
+        });
         self.sync_repl_from_shadow();
         self.want_round = true;
         Ok(epoch)
@@ -295,20 +380,63 @@ impl ControllerApp {
         self.desired().digest
     }
 
-    /// Whether every managed host has *reported* the desired epoch and
-    /// digest — the convergence predicate benchmarks wait on. Down hosts
-    /// count: convergence requires the whole fleet.
+    /// Whether every managed endpoint has *reported* the desired epoch
+    /// and digest — the convergence predicate benchmarks wait on. Down
+    /// hosts count: convergence requires the whole fleet. An aggregator
+    /// additionally vouches for its shard: every child it fronts must
+    /// have converged too.
     pub fn all_in_sync(&self) -> bool {
-        self.hosts.len() == self.in_sync_count()
+        let want = (self.desired().epoch, self.desired().digest);
+        self.hosts.iter().all(|h| {
+            h.reported == Some(want)
+                && h.subtree
+                    .as_ref()
+                    .is_none_or(|c| h.subtree_synced as usize == c.len())
+        })
     }
 
-    /// How many hosts currently report the desired epoch + digest.
+    /// How many directly-managed endpoints report the desired epoch +
+    /// digest (an aggregator counts as one endpoint here; see
+    /// [`in_sync_hosts`](Self::in_sync_hosts) for the leaf count).
     pub fn in_sync_count(&self) -> usize {
         let want = (self.desired().epoch, self.desired().digest);
         self.hosts
             .iter()
             .filter(|h| h.reported == Some(want))
             .count()
+    }
+
+    /// Total enclave-bearing hosts under management: direct hosts plus
+    /// every aggregator's children.
+    pub fn fleet_size(&self) -> usize {
+        self.hosts
+            .iter()
+            .map(|h| h.subtree.as_ref().map_or(1, Vec::len))
+            .sum()
+    }
+
+    /// Leaf hosts currently converged to desired state, counting each
+    /// aggregator's last-reported shard tally.
+    pub fn in_sync_hosts(&self) -> usize {
+        let want = (self.desired().epoch, self.desired().digest);
+        self.hosts
+            .iter()
+            .map(|h| match &h.subtree {
+                Some(_) => {
+                    if h.reported == Some(want) {
+                        h.subtree_synced as usize
+                    } else {
+                        0
+                    }
+                }
+                None => usize::from(h.reported == Some(want)),
+            })
+            .sum()
+    }
+
+    /// Control-wire load counters at this (root) endpoint.
+    pub fn wire(&self) -> WireCounters {
+        self.wire
     }
 
     /// Liveness verdict for `addr` (None if unmanaged).
@@ -386,11 +514,56 @@ impl ControllerApp {
             .map(|e| e.digest)
     }
 
+    /// Choose the cheapest safe prepare for a host whose last report is
+    /// `reported`. When the report matches a history entry exactly (epoch
+    /// *and* digest — the host provably holds that configuration), a
+    /// diff from that entry to desired state ships as a digest-anchored
+    /// [`CtrlMsg::DeltaPrepare`]; anything else — unknown base,
+    /// undiffable shapes, or a diff that is not actually smaller on the
+    /// wire — ships the full Reset-led table. The agent's digest check
+    /// backstops any stale plan: a mismatch nacks and the controller
+    /// falls back to the full ship.
+    fn plan_prepare(&self, reported: Option<(u64, u64)>) -> CtrlMsg {
+        let entry = self.desired();
+        let full = CtrlMsg::Prepare {
+            epoch: entry.epoch,
+            ops: entry.ops.clone(),
+        };
+        if !self.cfg.delta_updates {
+            return full;
+        }
+        let Some((re, rd)) = reported else {
+            return full;
+        };
+        let Some(base) = self
+            .history
+            .iter()
+            .find(|e| e.epoch == re && e.digest == rd)
+        else {
+            return full;
+        };
+        let Some(ops) = delta::diff(&base.model, &entry.model) else {
+            return full;
+        };
+        let planned = CtrlMsg::DeltaPrepare {
+            epoch: entry.epoch,
+            base_digest: base.digest,
+            ops,
+        };
+        if proto::encode_msg(&planned).len() < proto::encode_msg(&full).len() {
+            planned
+        } else {
+            full
+        }
+    }
+
     /// Send `msg` to `to` as one or more control frames, returning the
     /// message id (which replies echo as `re`). A trace context rides as
     /// the frame trailer when given.
+    #[allow(clippy::too_many_arguments)]
     fn send(
         seq: &mut u32,
+        wire: &mut WireCounters,
         cfg: &CtrlConfig,
         to: u32,
         msg: &CtrlMsg,
@@ -408,6 +581,7 @@ impl ControllerApp {
             Some(t) => proto::encode_msg_traced(msg, t),
             None => proto::encode_msg(msg),
         };
+        wire.sent(msg, payload.len());
         for frame in proto::fragment(id, &payload) {
             stack.send_raw(Packet::ctrl(stack.addr, to, udp, frame), ctx);
         }
@@ -429,6 +603,7 @@ impl ControllerApp {
         let to = self.hosts[host_idx].addr;
         let id = Self::send(
             &mut self.msg_seq,
+            &mut self.wire,
             &self.cfg,
             to,
             &msg,
@@ -471,23 +646,47 @@ impl ControllerApp {
         for i in 0..self.hosts.len() {
             if now >= self.hosts[i].next_heartbeat {
                 self.nonce_seq += 1;
-                let msg = CtrlMsg::Heartbeat {
-                    nonce: self.nonce_seq,
-                };
                 let to = self.hosts[i].addr;
-                let views: Vec<FuncView> = self
-                    .repl
-                    .active_funcs()
-                    .into_iter()
-                    .filter_map(|f| self.repl.view_for(to, f))
-                    .collect();
+                let funcs = self.repl.active_funcs();
+                // An aggregator gets one AggSync carrying the views of
+                // every host in its shard, host-tagged; a plain host gets
+                // its own views on a regular heartbeat.
+                let (msg, payload) = match self.hosts[i].subtree.as_deref() {
+                    Some(children) => {
+                        let mut views = Vec::new();
+                        for &c in children {
+                            for &f in &funcs {
+                                if let Some(v) = self.repl.view_for(c, f) {
+                                    views.push((c, v));
+                                }
+                            }
+                        }
+                        let msg = CtrlMsg::AggSync {
+                            nonce: self.nonce_seq,
+                            views,
+                        };
+                        let payload = proto::encode_msg(&msg);
+                        (msg, payload)
+                    }
+                    None => {
+                        let msg = CtrlMsg::Heartbeat {
+                            nonce: self.nonce_seq,
+                        };
+                        let views: Vec<FuncView> = funcs
+                            .iter()
+                            .filter_map(|&f| self.repl.view_for(to, f))
+                            .collect();
+                        let payload = proto::encode_msg_synced(&msg, &views, None);
+                        (msg, payload)
+                    }
+                };
                 self.msg_seq = self.msg_seq.wrapping_add(1);
                 let id = self.msg_seq;
                 let udp = UdpHeader {
                     src_port: self.cfg.src_port,
                     dst_port: self.cfg.ctrl_port,
                 };
-                let payload = proto::encode_msg_synced(&msg, &views, None);
+                self.wire.sent(&msg, payload.len());
                 for frame in proto::fragment(id, &payload) {
                     stack.send_raw(Packet::ctrl(stack.addr, to, udp, frame), ctx);
                 }
@@ -502,6 +701,7 @@ impl ControllerApp {
                     let to = self.hosts[i].addr;
                     Self::send(
                         &mut self.msg_seq,
+                        &mut self.wire,
                         &self.cfg,
                         to,
                         &CtrlMsg::PullStats,
@@ -512,6 +712,7 @@ impl ControllerApp {
                     if self.cfg.pull_trace_max > 0 {
                         Self::send(
                             &mut self.msg_seq,
+                            &mut self.wire,
                             &self.cfg,
                             to,
                             &CtrlMsg::PullTrace {
@@ -554,6 +755,7 @@ impl ControllerApp {
                 Some(t) => proto::encode_msg_traced(&msg, t),
                 None => proto::encode_msg(&msg),
             };
+            self.wire.sent(&msg, payload.len());
             for frame in proto::fragment(id, &payload) {
                 stack.send_raw(Packet::ctrl(stack.addr, to, udp, frame), ctx);
             }
@@ -622,7 +824,6 @@ impl ControllerApp {
 
     fn open_round(&mut self, stack: &mut Stack, ctx: &mut Ctx<'_>) {
         let epoch = self.desired().epoch;
-        let ops = self.desired().ops.clone();
         let targets: Vec<usize> = (0..self.hosts.len())
             .filter(|&i| self.hosts[i].status == HostStatus::Up)
             .collect();
@@ -641,20 +842,23 @@ impl ControllerApp {
         };
         let trace = (trace_id != 0).then(|| TraceContext::sampled(trace_id, root_span));
         let mut pending = Vec::with_capacity(targets.len());
+        // Most of a converged fleet shares one base config, so plans are
+        // cached per reported (epoch, digest) — one diff serves the rack.
+        let mut plans: Vec<((u64, u64), CtrlMsg)> = Vec::new();
         for i in targets {
-            // An individual resync in flight is superseded by the round.
-            self.send_tracked(
-                i,
-                CtrlMsg::Prepare {
-                    epoch,
-                    ops: ops.clone(),
+            let msg = match self.hosts[i].reported {
+                Some(base) => match plans.iter().find(|(b, _)| *b == base) {
+                    Some((_, m)) => m.clone(),
+                    None => {
+                        let m = self.plan_prepare(Some(base));
+                        plans.push((base, m.clone()));
+                        m
+                    }
                 },
-                AckPhase::Prepare,
-                Origin::Round,
-                trace,
-                stack,
-                ctx,
-            );
+                None => self.plan_prepare(None),
+            };
+            // An individual resync in flight is superseded by the round.
+            self.send_tracked(i, msg, AckPhase::Prepare, Origin::Round, trace, stack, ctx);
             pending.push(self.hosts[i].addr);
         }
         self.round = Some(Round {
@@ -679,10 +883,17 @@ impl ControllerApp {
             let Some(reported) = h.reported else {
                 continue; // never heard: wait for the first pong
             };
-            if reported == want {
+            // An aggregator whose own config converged can still be
+            // vouching for a diverged or run-ahead child (it cannot mint
+            // epochs itself); the root heals the shard the same way it
+            // heals a directly-managed diverged host — a fresh epoch.
+            let subtree_ahead = h.subtree.is_some()
+                && reported == want
+                && (h.subtree_diverged || h.subtree_max_epoch > want.0);
+            if reported == want && !subtree_ahead {
                 continue;
             }
-            if reported.0 >= want.0 {
+            if reported.0 >= want.0 || subtree_ahead {
                 // Same (or newer) epoch but wrong digest: the host
                 // diverged. Freeze the shadow's flight recorder (the
                 // controller-side record of what it believed) and
@@ -690,33 +901,31 @@ impl ControllerApp {
                 // prepare/commit replay heals the whole fleet.
                 let addr = h.addr;
                 let reported_digest = reported.1;
+                let ahead = reported.0.max(h.subtree_max_epoch);
                 self.shadow
                     .flight_record(FlightKind::Divergence, u64::from(addr), reported_digest);
                 self.shadow.freeze_flight("divergence");
                 let entry = self.desired();
-                let epoch = reported.0 + 1;
+                let epoch = ahead + 1;
                 let ops = entry.ops.clone();
                 self.shadow
                     .stage_epoch(epoch, &ops)
                     .expect("desired ops validated when set");
                 assert!(self.shadow.commit_epoch(epoch));
                 let digest = self.shadow.config_digest();
-                self.history.push(DesiredEntry { epoch, ops, digest });
+                let model = self.desired().model.clone();
+                self.history.push(DesiredEntry {
+                    epoch,
+                    ops,
+                    digest,
+                    model,
+                });
                 self.sync_repl_from_shadow();
                 self.want_round = true;
                 return;
             }
-            let epoch = want.0;
-            let ops = self.desired().ops.clone();
-            self.send_tracked(
-                i,
-                CtrlMsg::Prepare { epoch, ops },
-                AckPhase::Prepare,
-                Origin::Resync,
-                None,
-                stack,
-                ctx,
-            );
+            let msg = self.plan_prepare(Some(reported));
+            self.send_tracked(i, msg, AckPhase::Prepare, Origin::Resync, None, stack, ctx);
         }
     }
 
@@ -919,6 +1128,37 @@ impl ControllerApp {
                     self.trace.ingest(span);
                 }
             }
+            CtrlReply::AggPong {
+                epoch,
+                digest,
+                hosts_synced,
+                max_epoch,
+                diverged,
+                deltas,
+                spans,
+                ..
+            } => {
+                self.hosts[i].reported = Some((epoch, digest));
+                self.hosts[i].subtree_synced = hosts_synced;
+                self.hosts[i].subtree_max_epoch = max_epoch;
+                self.hosts[i].subtree_diverged = diverged;
+                for span in spans {
+                    self.trace.ingest(span);
+                }
+                if !deltas.is_empty() {
+                    let now_ns = now.as_nanos();
+                    let bare: Vec<FuncDelta> = deltas.iter().map(|(_, d)| d.clone()).collect();
+                    self.repl_delta_bytes
+                        .record(proto::repl_deltas_wire_len(&bare) as u64);
+                    // Host-tagged fan-in: each child's contribution lands
+                    // under its own address, exactly as if it had ponged
+                    // the root directly.
+                    for (host, d) in &deltas {
+                        self.repl.ingest(*host, now_ns, d);
+                    }
+                    self.refresh_ctrl_latencies();
+                }
+            }
             CtrlReply::Stats {
                 epoch,
                 digest,
@@ -996,7 +1236,7 @@ impl ControllerApp {
                     (Origin::Resync, AckPhase::Abort) => {}
                 }
             }
-            CtrlReply::Nack { re, .. } => {
+            CtrlReply::Nack { re, epoch, .. } => {
                 let matches = self.hosts[i]
                     .inflight
                     .as_ref()
@@ -1004,14 +1244,32 @@ impl ControllerApp {
                 if !matches {
                     return;
                 }
-                let (origin, phase) = {
+                let (origin, phase, was_delta, trace) = {
                     let f = self.hosts[i].inflight.as_ref().unwrap();
                     self.rtt
                         .record(now.as_nanos().saturating_sub(f.sent_at.as_nanos()));
-                    (f.origin, f.phase)
+                    (
+                        f.origin,
+                        f.phase,
+                        matches!(f.msg, CtrlMsg::DeltaPrepare { .. }),
+                        f.ctx,
+                    )
                 };
                 self.refresh_ctrl_latencies();
                 self.hosts[i].inflight = None;
+                if was_delta && phase == AckPhase::Prepare && epoch == self.desired().epoch {
+                    // The digest anchor missed (the host's config is not
+                    // what its last report promised) or the diff failed
+                    // validation there: fall back to the full Reset-led
+                    // ship on the same track — a round host stays in the
+                    // round's pending set, a resync stays a resync.
+                    let msg = CtrlMsg::Prepare {
+                        epoch,
+                        ops: self.desired().ops.clone(),
+                    };
+                    self.send_tracked(i, msg, AckPhase::Prepare, origin, trace, stack, ctx);
+                    return;
+                }
                 match (origin, phase) {
                     (Origin::Round, AckPhase::Prepare) => self.abort_round(stack, ctx),
                     (Origin::Round, _) => {
@@ -1059,6 +1317,8 @@ impl App for ControllerApp {
             Ok(Some(p)) => p,
             Ok(None) | Err(_) => return,
         };
+        self.wire.msgs_received += 1;
+        self.wire.bytes_received += payload.len() as u64;
         let Ok((reply, deltas)) = proto::decode_reply_synced(&payload) else {
             return;
         };

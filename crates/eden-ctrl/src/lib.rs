@@ -47,9 +47,13 @@
 //! ```
 
 pub mod agent;
+pub mod aggregator;
 pub mod controller;
+pub mod delta;
 pub mod proto;
 
 pub use agent::EnclaveAgent;
-pub use controller::{ControllerApp, CtrlConfig, HostStatus, TICK};
+pub use aggregator::{AggConfig, AggregatorApp};
+pub use controller::{ControllerApp, CtrlConfig, HostStatus, WireCounters, TICK};
+pub use delta::ConfigModel;
 pub use proto::{AckPhase, CtrlMsg, CtrlReply, ProtoError, Reassembler};

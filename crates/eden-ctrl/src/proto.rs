@@ -80,6 +80,26 @@ pub enum CtrlMsg {
     /// Ask for up to `max` buffered spans (heartbeat piggybacking keeps
     /// the steady-state flow; this drains a backlog).
     PullTrace { max: u16 },
+    /// Phase one of a two-phase update shipped as a *diff*: `ops` were
+    /// planned against the configuration whose digest is `base_digest`,
+    /// and the receiver must hold exactly that configuration to stage
+    /// them ([`Enclave::stage_epoch_delta`](eden_core::Enclave::stage_epoch_delta)).
+    /// A digest mismatch nacks, and the sender falls back to a full
+    /// [`CtrlMsg::Prepare`] — a pre-delta receiver drops the unknown tag
+    /// and the same fallback covers it.
+    DeltaPrepare {
+        epoch: u64,
+        base_digest: u64,
+        ops: Vec<EnclaveOp>,
+    },
+    /// Root → aggregator heartbeat: a liveness probe that also fans
+    /// replication views *down* through the tier, host-tagged so the
+    /// aggregator can forward each host its own view. Answered by
+    /// [`CtrlReply::AggPong`].
+    AggSync {
+        nonce: u64,
+        views: Vec<(u32, FuncView)>,
+    },
 }
 
 /// Which request an [`CtrlReply::Ack`] acknowledges.
@@ -126,6 +146,27 @@ pub enum CtrlReply {
     },
     /// Answer to [`CtrlMsg::PullTrace`]: drained spans, oldest first.
     Spans { re: u32, spans: Vec<Span> },
+    /// Aggregator → root heartbeat reply: the aggregator's own committed
+    /// `epoch`/`digest` plus a *summary* of its shard — how many children
+    /// it manages and how many have converged to that epoch — so the root
+    /// tracks a whole rack through one message. `deltas` fans the shard's
+    /// replication contributions *up*, host-tagged for per-host ingest;
+    /// `spans` piggybacks the shard's completed trace spans.
+    AggPong {
+        re: u32,
+        nonce: u64,
+        epoch: u64,
+        digest: u64,
+        hosts_total: u32,
+        hosts_synced: u32,
+        /// Highest epoch any child reports — lets the root spot a shard
+        /// that ran ahead (divergence) without per-host messages.
+        max_epoch: u64,
+        /// True when some child serves `epoch` with the wrong digest.
+        diverged: bool,
+        deltas: Vec<(u32, FuncDelta)>,
+        spans: Vec<Span>,
+    },
 }
 
 /// Decode failures. A malformed frame or message is dropped by the
@@ -1084,6 +1125,28 @@ pub fn encode_msg(msg: &CtrlMsg) -> Vec<u8> {
             w.u8(6);
             w.u16(*max);
         }
+        CtrlMsg::DeltaPrepare {
+            epoch,
+            base_digest,
+            ops,
+        } => {
+            w.u8(7);
+            w.u64(*epoch);
+            w.u64(*base_digest);
+            w.u16(ops.len() as u16);
+            for op in ops {
+                put_op(&mut w, op);
+            }
+        }
+        CtrlMsg::AggSync { nonce, views } => {
+            w.u8(8);
+            w.u64(*nonce);
+            w.u16(views.len() as u16);
+            for (host, v) in views {
+                w.u32(*host);
+                put_view(&mut w, v);
+            }
+        }
     }
     w.0
 }
@@ -1193,6 +1256,31 @@ fn read_msg(r: &mut Reader<'_>) -> Result<CtrlMsg, ProtoError> {
         4 => CtrlMsg::Heartbeat { nonce: r.u64()? },
         5 => CtrlMsg::PullStats,
         6 => CtrlMsg::PullTrace { max: r.u16()? },
+        7 => {
+            let epoch = r.u64()?;
+            let base_digest = r.u64()?;
+            let n = r.u16()?;
+            // every op costs at least its 1-byte tag
+            let mut ops = Vec::with_capacity((n as usize).min(r.remaining()));
+            for _ in 0..n {
+                ops.push(get_op(r)?);
+            }
+            CtrlMsg::DeltaPrepare {
+                epoch,
+                base_digest,
+                ops,
+            }
+        }
+        8 => {
+            let nonce = r.u64()?;
+            let n = r.u16()? as usize;
+            let mut views = Vec::with_capacity(n.min(r.remaining() / (4 + VIEW_WIRE_MIN)));
+            for _ in 0..n {
+                let host = r.u32()?;
+                views.push((host, get_view(r)?));
+            }
+            CtrlMsg::AggSync { nonce, views }
+        }
         other => return Err(ProtoError::BadTag(other)),
     };
     Ok(msg)
@@ -1251,6 +1339,34 @@ pub fn encode_reply(reply: &CtrlReply) -> Vec<u8> {
         CtrlReply::Spans { re, spans } => {
             w.u8(5);
             w.u32(*re);
+            put_spans(&mut w, spans);
+        }
+        CtrlReply::AggPong {
+            re,
+            nonce,
+            epoch,
+            digest,
+            hosts_total,
+            hosts_synced,
+            max_epoch,
+            diverged,
+            deltas,
+            spans,
+        } => {
+            w.u8(6);
+            w.u32(*re);
+            w.u64(*nonce);
+            w.u64(*epoch);
+            w.u64(*digest);
+            w.u32(*hosts_total);
+            w.u32(*hosts_synced);
+            w.u64(*max_epoch);
+            w.u8(u8::from(*diverged));
+            w.u16(deltas.len() as u16);
+            for (host, d) in deltas {
+                w.u32(*host);
+                put_delta(&mut w, d);
+            }
             put_spans(&mut w, spans);
         }
     }
@@ -1355,6 +1471,35 @@ fn read_reply(r: &mut Reader<'_>) -> Result<CtrlReply, ProtoError> {
             let re = r.u32()?;
             let spans = get_spans(r)?;
             CtrlReply::Spans { re, spans }
+        }
+        6 => {
+            let re = r.u32()?;
+            let nonce = r.u64()?;
+            let epoch = r.u64()?;
+            let digest = r.u64()?;
+            let hosts_total = r.u32()?;
+            let hosts_synced = r.u32()?;
+            let max_epoch = r.u64()?;
+            let diverged = r.u8()? != 0;
+            let n = r.u16()? as usize;
+            let mut deltas = Vec::with_capacity(n.min(r.remaining() / (4 + DELTA_WIRE_MIN)));
+            for _ in 0..n {
+                let host = r.u32()?;
+                deltas.push((host, get_delta(r)?));
+            }
+            let spans = get_spans(r)?;
+            CtrlReply::AggPong {
+                re,
+                nonce,
+                epoch,
+                digest,
+                hosts_total,
+                hosts_synced,
+                max_epoch,
+                diverged,
+                deltas,
+                spans,
+            }
         }
         other => return Err(ProtoError::BadTag(other)),
     };
@@ -2206,6 +2351,210 @@ mod tests {
         w.u32(0); // func
         w.u32(0); // array
         w.u32(u32::MAX); // claimed element count, no data follows
+        assert_eq!(decode_msg(&w.0), Err(ProtoError::Truncated));
+    }
+
+    #[test]
+    fn delta_and_agg_messages_round_trip() {
+        let msgs = vec![
+            CtrlMsg::DeltaPrepare {
+                epoch: 9,
+                base_digest: 0xFACE_0FF5,
+                ops: sample_ops(),
+            },
+            CtrlMsg::DeltaPrepare {
+                epoch: 10,
+                base_digest: 0,
+                ops: Vec::new(),
+            },
+            CtrlMsg::AggSync {
+                nonce: 77,
+                views: vec![
+                    (11, sample_views().remove(0)),
+                    (12, sample_views().remove(0)),
+                ],
+            },
+            CtrlMsg::AggSync {
+                nonce: 78,
+                views: Vec::new(),
+            },
+        ];
+        for m in msgs {
+            assert_eq!(decode_msg(&encode_msg(&m)).unwrap(), m);
+        }
+        let replies = vec![
+            CtrlReply::AggPong {
+                re: 4,
+                nonce: 77,
+                epoch: 9,
+                digest: 0xFACE,
+                hosts_total: 32,
+                hosts_synced: 31,
+                max_epoch: 10,
+                diverged: true,
+                deltas: vec![
+                    (11, sample_deltas().remove(0)),
+                    (13, sample_deltas().remove(1)),
+                ],
+                spans: sample_spans(),
+            },
+            CtrlReply::AggPong {
+                re: 5,
+                nonce: 78,
+                epoch: 0,
+                digest: 0,
+                hosts_total: 0,
+                hosts_synced: 0,
+                max_epoch: 0,
+                diverged: false,
+                deltas: Vec::new(),
+                spans: Vec::new(),
+            },
+        ];
+        for r in replies {
+            assert_eq!(decode_reply(&encode_reply(&r)).unwrap(), r);
+        }
+    }
+
+    // The delta/aggregation verbs compose with the optional trailing
+    // sections the same way every verb before them does: repl section
+    // after the message, trace trailer always last, section-unaware
+    // decoders see only their slice.
+    #[test]
+    fn delta_and_agg_verbs_compose_with_trailing_sections() {
+        let msg = CtrlMsg::DeltaPrepare {
+            epoch: 3,
+            base_digest: 0xB00,
+            ops: vec![EnclaveOp::RemoveRule { table: 0, rule: 2 }],
+        };
+        let ctx = TraceContext::sampled(0x99, 0x4000);
+        let buf = encode_msg_synced(&msg, &sample_views(), Some(&ctx));
+        let (m, v, c) = decode_msg_synced(&buf).unwrap();
+        assert_eq!((m, v, c), (msg.clone(), sample_views(), Some(ctx)));
+        assert_eq!(decode_msg(&buf).unwrap(), msg);
+
+        // AggPong spans live inside the verb, not the trailer, so the
+        // synced reply decoder must pass it through with no delta section.
+        let pong = CtrlReply::AggPong {
+            re: 1,
+            nonce: 2,
+            epoch: 3,
+            digest: 4,
+            hosts_total: 5,
+            hosts_synced: 5,
+            max_epoch: 3,
+            diverged: false,
+            deltas: vec![(9, sample_deltas().remove(0))],
+            spans: sample_spans(),
+        };
+        let (r, extra) = decode_reply_synced(&encode_reply(&pong)).unwrap();
+        assert_eq!(r, pong);
+        assert!(extra.is_empty());
+    }
+
+    // Wire pin for `DeltaPrepare`: byte-for-byte layout a third-party
+    // encoder could produce today. If this test breaks, the protocol
+    // revision changed and pre-delta peers can no longer be upgraded
+    // in place.
+    #[test]
+    fn delta_prepare_pinned_bytes_decode() {
+        let mut w = Writer::default();
+        w.u8(7); // DeltaPrepare — first tag past the pre-delta verb space
+        w.u64(21); // epoch
+        w.u64(0xC0FFEE); // base digest anchor
+        w.u16(2); // op count
+        w.u8(4); // InstallRule
+        w.u32(0);
+        w.u8(1); // MatchSpec::Class
+        w.u32(6);
+        w.u32(0); // func
+        w.u8(5); // RemoveRule
+        w.u32(0);
+        w.u32(1);
+        assert_eq!(
+            decode_msg(&w.0).unwrap(),
+            CtrlMsg::DeltaPrepare {
+                epoch: 21,
+                base_digest: 0xC0FFEE,
+                ops: vec![
+                    EnclaveOp::InstallRule {
+                        table: 0,
+                        spec: MatchSpec::Class(ClassId(6)),
+                        func: 0,
+                    },
+                    EnclaveOp::RemoveRule { table: 0, rule: 1 },
+                ],
+            }
+        );
+    }
+
+    // Interop with pre-delta peers: the new verbs claim fresh tags
+    // *above* the pre-delta space (msgs 0..=6, replies 0..=5), so an
+    // old decoder meeting one fails with `BadTag` and drops the frame —
+    // the sender's retry/backoff covers it, exactly like any loss. It
+    // can never misparse one as a verb it knows. Conversely the current
+    // decoder rejects tags beyond the new space the same way.
+    #[test]
+    fn pre_delta_decoders_drop_new_verbs_cleanly() {
+        let dp = encode_msg(&CtrlMsg::DeltaPrepare {
+            epoch: 1,
+            base_digest: 2,
+            ops: Vec::new(),
+        });
+        assert_eq!(dp[0], 7);
+        let sync = encode_msg(&CtrlMsg::AggSync {
+            nonce: 1,
+            views: Vec::new(),
+        });
+        assert_eq!(sync[0], 8);
+        let pong = encode_reply(&CtrlReply::AggPong {
+            re: 0,
+            nonce: 0,
+            epoch: 0,
+            digest: 0,
+            hosts_total: 0,
+            hosts_synced: 0,
+            max_epoch: 0,
+            diverged: false,
+            deltas: Vec::new(),
+            spans: Vec::new(),
+        });
+        assert_eq!(pong[0], 6);
+        // one-past-the-end tags stay errors, not silent misparses
+        assert_eq!(decode_msg(&[9]), Err(ProtoError::BadTag(9)));
+        assert_eq!(decode_reply(&[7]), Err(ProtoError::BadTag(7)));
+    }
+
+    // Count-field lies in the new verbs must truncate, not preallocate.
+    #[test]
+    fn agg_count_lies_are_truncated_not_oom() {
+        // AggSync claiming u16::MAX host-tagged views with no data
+        let mut w = Writer::default();
+        w.u8(8);
+        w.u64(1); // nonce
+        w.u16(u16::MAX);
+        assert_eq!(decode_msg(&w.0), Err(ProtoError::Truncated));
+
+        // AggPong claiming u16::MAX host-tagged deltas with no data
+        let mut w = Writer::default();
+        w.u8(6);
+        w.u32(1); // re
+        w.u64(1); // nonce
+        w.u64(1); // epoch
+        w.u64(1); // digest
+        w.u32(1); // hosts_total
+        w.u32(1); // hosts_synced
+        w.u64(1); // max_epoch
+        w.u8(0); // diverged
+        w.u16(u16::MAX);
+        assert_eq!(decode_reply(&w.0), Err(ProtoError::Truncated));
+
+        // DeltaPrepare claiming u16::MAX ops with no data
+        let mut w = Writer::default();
+        w.u8(7);
+        w.u64(1);
+        w.u64(1);
+        w.u16(u16::MAX);
         assert_eq!(decode_msg(&w.0), Err(ProtoError::Truncated));
     }
 }

@@ -87,7 +87,7 @@ fn gen_enclave_op(rng: &mut FuzzRng) -> EnclaveOp {
 }
 
 fn gen_ctrl_msg(rng: &mut FuzzRng) -> CtrlMsg {
-    match rng.below(6) {
+    match rng.below(8) {
         0 => CtrlMsg::Prepare {
             epoch: rng.next_u64(),
             ops: (0..rng.range(0, 6)).map(|_| gen_enclave_op(rng)).collect(),
@@ -103,6 +103,17 @@ fn gen_ctrl_msg(rng: &mut FuzzRng) -> CtrlMsg {
         },
         4 => CtrlMsg::PullTrace {
             max: rng.next_u64() as u16,
+        },
+        5 => CtrlMsg::DeltaPrepare {
+            epoch: rng.next_u64(),
+            base_digest: rng.next_u64(),
+            ops: (0..rng.range(0, 6)).map(|_| gen_enclave_op(rng)).collect(),
+        },
+        6 => CtrlMsg::AggSync {
+            nonce: rng.next_u64(),
+            views: (0..rng.range(0, 3))
+                .map(|_| (rng.next_u64() as u32, gen_view(rng)))
+                .collect(),
         },
         _ => CtrlMsg::PullStats,
     }
@@ -135,7 +146,7 @@ fn gen_latencies(rng: &mut FuzzRng) -> Vec<LatencyStat> {
 }
 
 fn gen_ctrl_reply(rng: &mut FuzzRng) -> CtrlReply {
-    match rng.below(5) {
+    match rng.below(6) {
         0 => CtrlReply::Ack {
             re: rng.next_u64() as u32,
             epoch: rng.next_u64(),
@@ -156,6 +167,20 @@ fn gen_ctrl_reply(rng: &mut FuzzRng) -> CtrlReply {
         3 => CtrlReply::Spans {
             re: rng.next_u64() as u32,
             spans: (0..rng.range(0, 8)).map(|_| gen_span(rng)).collect(),
+        },
+        4 => CtrlReply::AggPong {
+            re: rng.next_u64() as u32,
+            nonce: rng.next_u64(),
+            epoch: rng.next_u64(),
+            digest: rng.next_u64(),
+            hosts_total: rng.next_u64() as u32,
+            hosts_synced: rng.next_u64() as u32,
+            max_epoch: rng.next_u64(),
+            diverged: rng.chance(1, 2),
+            deltas: (0..rng.range(0, 3))
+                .map(|_| (rng.next_u64() as u32, gen_delta(rng)))
+                .collect(),
+            spans: (0..rng.range(0, 4)).map(|_| gen_span(rng)).collect(),
         },
         _ => CtrlReply::Stats {
             re: rng.next_u64() as u32,

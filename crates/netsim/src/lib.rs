@@ -33,6 +33,7 @@ pub mod rng;
 pub mod stats;
 pub mod switch;
 pub mod time;
+pub mod topo;
 pub mod wire;
 
 pub use arena::{PacketArena, PacketRef, PacketSlab};
@@ -49,3 +50,4 @@ pub use rng::{PacketRng, SimRng};
 pub use stats::{LinkStats, Summary};
 pub use switch::{Switch, SwitchConfig};
 pub use time::Time;
+pub use topo::{Rack, TwoTier};
