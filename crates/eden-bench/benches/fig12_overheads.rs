@@ -75,6 +75,20 @@ fn main() {
     println!("{}", cost_table.render());
     println!("paper §3.4.4: the compiler \"performs a number of optimizations\"");
 
+    println!("\n== New Table 1 bundles: cost class vs established peers ==");
+    let checks = fig12::new_bundle_checks(&costs);
+    let mut check_table = Table::new(&["function", "fused ns/pkt", "peer", "peer ns/pkt", "≤2x"]);
+    for c in &checks {
+        check_table.row(&[
+            c.function.into(),
+            format!("{:.0}", c.fused_ns_per_packet),
+            c.peer.into(),
+            format!("{:.0}", c.peer_fused_ns_per_packet),
+            if c.within_2x { "yes" } else { "NO" }.into(),
+        ]);
+    }
+    println!("{}", check_table.render());
+
     let artifact = Json::obj(vec![
         ("overheads", r.to_json()),
         (
@@ -84,6 +98,10 @@ fn main() {
         (
             "interp",
             Json::Arr(costs.iter().map(|c| c.to_json()).collect()),
+        ),
+        (
+            "new_bundles",
+            Json::Arr(checks.iter().map(|c| c.to_json()).collect()),
         ),
     ]);
     match emit_json("fig12", &artifact) {

@@ -38,7 +38,7 @@ fn bench_interp(c: &mut Criterion) {
                 },
             ),
         ] {
-            let program = compile_with_options(bundle.name, bundle.source, &schema, opts)
+            let program = compile_with_options(bundle.name, &bundle.source, &schema, opts)
                 .expect("catalogue compiles")
                 .program;
             let mut host = catalogue_host(&bundle);

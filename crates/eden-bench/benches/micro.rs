@@ -136,7 +136,7 @@ fn bench_compile(c: &mut Criterion) {
     let bundle = functions::pias_fig7();
     let schema = bundle.schema();
     c.bench_function("compile_fig7", |b| {
-        b.iter(|| black_box(eden_lang::compile("pias", bundle.source, &schema).expect("ok")))
+        b.iter(|| black_box(eden_lang::compile("pias", &bundle.source, &schema).expect("ok")))
     });
 }
 

@@ -32,7 +32,7 @@ fn main() {
 
     for bundle in catalogue() {
         let schema = bundle.schema();
-        let compiled = compile(bundle.name, bundle.source, &schema).expect("catalogue compiles");
+        let compiled = compile(bundle.name, &bundle.source, &schema).expect("catalogue compiles");
 
         let uses_state = !compiled.effects.msg_writes.is_empty()
             || !compiled.effects.glob_writes.is_empty()

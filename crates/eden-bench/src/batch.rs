@@ -165,6 +165,7 @@ pub fn run(smoke: bool) -> Vec<Point> {
         functions::pias(),           // PerMessage
         functions::message_wcmp(),   // PerMessage
         functions::flow_counter(),   // Serialized: always the serial path
+        functions::l4lb(),           // Serialized + rendezvous-hash helper
     ];
     let mut points = Vec::new();
     for bundle in &bundles {

@@ -121,7 +121,7 @@ fn build_function(scheme: Scheme, engine: Engine) -> Option<InstalledFunction> {
         (Scheme::Baseline, Engine::Eden) => {
             // classification + interpretation run; output unmapped
             let schema = blind_schema(&bundle);
-            let compiled = compile(bundle.name, bundle.source, &schema).expect("compiles");
+            let compiled = compile(bundle.name, &bundle.source, &schema).expect("compiles");
             Some(InstalledFunction::interpreted("baseline-blind", compiled))
         }
         (_, Engine::Eden) => Some(bundle.interpreted()),

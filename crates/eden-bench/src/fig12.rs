@@ -315,7 +315,7 @@ pub fn interp_costs(batches: usize, per_batch: usize) -> Vec<InterpCost> {
     for bundle in functions::catalogue() {
         let schema = bundle.schema();
         let cost_of = |opts: CompileOptions| -> f64 {
-            let program = compile_with_options(bundle.name, bundle.source, &schema, opts)
+            let program = compile_with_options(bundle.name, &bundle.source, &schema, opts)
                 .expect("catalogue compiles")
                 .program;
             let mut host = catalogue_host(&bundle);
@@ -338,6 +338,74 @@ pub fn interp_costs(batches: usize, per_batch: usize) -> Vec<InterpCost> {
     out
 }
 
+/// One new-bundle cost sanity row: the XFSM-era Table 1 additions must
+/// stay in the same cost class as the established bundle doing the most
+/// similar work, or the machine lowering has regressed.
+#[derive(Debug, Clone)]
+pub struct NewBundleCheck {
+    pub function: &'static str,
+    /// The established bundle it is compared against.
+    pub peer: &'static str,
+    pub fused_ns_per_packet: f64,
+    pub peer_fused_ns_per_packet: f64,
+    /// Quality flag the bench gate holds: fused cost ≤ 2× the peer's.
+    pub within_2x: bool,
+}
+
+impl ToJson for NewBundleCheck {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("function", self.function.into()),
+            ("peer", self.peer.into()),
+            ("fused_ns_per_packet", self.fused_ns_per_packet.into()),
+            (
+                "peer_fused_ns_per_packet",
+                self.peer_fused_ns_per_packet.into(),
+            ),
+            ("within_2x", self.within_2x.into()),
+        ])
+    }
+}
+
+/// Pair each Table 1 bundle added with the XFSM layer against the
+/// established bundle whose data path is closest in shape, and flag
+/// whether its fused interpreter cost stays within 2×.
+pub fn new_bundle_checks(costs: &[InterpCost]) -> Vec<NewBundleCheck> {
+    // (new bundle, comparable veteran): l4lb's rendezvous walk vs wcmp's
+    // weight walk; conga's DRE arg-min walk and ids's full signature-table
+    // scan vs pias's threshold-ladder walk (all are per-packet multi-row
+    // table walks that cannot early-exit in the generic bench state —
+    // unlike sff, whose search terminates at row 0 there); the two
+    // flow-state machines vs conntrack and flow-counter respectively
+    const PAIRS: [(&str, &str); 5] = [
+        ("l4lb", "wcmp"),
+        ("conga", "pias"),
+        ("ids", "pias"),
+        ("stateful-firewall", "conntrack"),
+        ("rate-limit", "flow-counter"),
+    ];
+    let fused = |name: &str| -> f64 {
+        costs
+            .iter()
+            .find(|c| c.function == name)
+            .map(|c| c.fused_ns_per_packet)
+            .unwrap_or(f64::NAN)
+    };
+    PAIRS
+        .iter()
+        .map(|(new, peer)| {
+            let (a, b) = (fused(new), fused(peer));
+            NewBundleCheck {
+                function: new,
+                peer,
+                fused_ns_per_packet: a,
+                peer_fused_ns_per_packet: b,
+                within_2x: a.is_finite() && b.is_finite() && a <= 2.0 * b,
+            }
+        })
+        .collect()
+}
+
 /// §5.4: interpreter operand-stack/heap footprint of the case-study
 /// programs ("in the order of 64 and 256 bytes respectively").
 pub fn footprints() -> Vec<Footprint> {
@@ -350,7 +418,7 @@ pub fn footprints() -> Vec<Footprint> {
         (functions::wcmp(), 3),
         (functions::pulsar(), 4),
     ] {
-        let compiled = eden_lang::compile(bundle.name, bundle.source, &bundle.schema())
+        let compiled = eden_lang::compile(bundle.name, &bundle.source, &bundle.schema())
             .expect("catalogue compiles");
         let mut host = VecHost::with_slots(8, 8, 8);
         match setup {

@@ -95,6 +95,12 @@ impl<'a> NativeEnv<'a> {
         self.host.now_ns()
     }
 
+    /// The VM's deterministic `hash (a, b)` mixer (pure — draws no host
+    /// state), so native forms match bytecode hashing bit-for-bit.
+    pub fn hash(&self, a: i64, b: i64) -> i64 {
+        eden_vm::hash2(a, b)
+    }
+
     /// Direct the packet to rate-limited queue `queue` charging `charge`.
     pub fn set_queue(&mut self, queue: i64, charge: i64) -> Result<(), VmError> {
         self.host.effect(Effect::SetQueue { queue, charge })?;

@@ -86,7 +86,7 @@ impl Host for SharedGlobalHost {
 fn parallel_functions_run_concurrently_without_coordination() {
     // SFF is `Parallel`: read-only global array, writes only packet state.
     let bundle = functions::sff();
-    let compiled = compile("sff", bundle.source, &bundle.schema()).unwrap();
+    let compiled = compile("sff", &bundle.source, &bundle.schema()).unwrap();
     assert_eq!(compiled.concurrency, Concurrency::Parallel);
     let program = Arc::new(compiled.program);
 
@@ -123,7 +123,7 @@ fn serialized_function_is_correct_under_the_global_lock() {
     // "only one parallel invocation" discipline, here made safe by mutual
     // exclusion around whole invocations.
     let bundle = functions::flow_counter();
-    let compiled = compile("ctr", bundle.source, &bundle.schema()).unwrap();
+    let compiled = compile("ctr", &bundle.source, &bundle.schema()).unwrap();
     assert_eq!(compiled.concurrency, Concurrency::Serialized);
     let program = Arc::new(compiled.program);
     let global = Arc::new(Mutex::new(vec![0i64; 2]));

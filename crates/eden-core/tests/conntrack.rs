@@ -132,7 +132,7 @@ fn shipped_bytecode_behaves_like_locally_compiled() {
     let controller = eden_core::Controller::new();
     let bundle = functions::conntrack();
     let blob = controller
-        .ship_function("conntrack", bundle.source, &bundle.schema())
+        .ship_function("conntrack", &bundle.source, &bundle.schema())
         .expect("compiles and encodes");
     let function = eden_core::InstalledFunction::from_shipped(
         "conntrack",

@@ -1,0 +1,370 @@
+//! Random XFSM machines, lowered through the eden-lang builder.
+//!
+//! The XFSM layer is itself a small compiler stage: a machine is a data
+//! structure that *renders* deterministic eden-lang source. This
+//! generator drives that stage with random-but-valid machines — every
+//! static rule `Xfsm::validate` enforces is respected by construction
+//! (transitions only target declared codes, no empty rows, state writes
+//! only with a state field) — and hands the rendered source to the
+//! three-way compiler differential. The free-form `gen_source` arm
+//! explores the grammar broadly; this arm concentrates on the highly
+//! structured dispatch/guard/timeout/helper shapes the real catalogue
+//! machines lower to, which is where the fused superinstructions earn
+//! their keep.
+
+use crate::gen_source::{SchemaDesc, SourceCase};
+use crate::rng::FuzzRng;
+use eden_lang::xfsm::{arr, arr_field, arr_len, glob, lit, local, msg, pkt, rand};
+use eden_lang::{Helper, XAction, XBin, XExpr, XState, Xfsm};
+
+/// What the generator may reference at a given point.
+struct Ctx {
+    pkt: Vec<(String, bool)>,
+    msg: Vec<(String, bool)>,
+    glob: Vec<(String, bool)>,
+    /// `(alias, writable, flat)`; named arrays have fields `F0`, `F1`.
+    arrays: Vec<(String, bool, bool)>,
+    /// Entry-bound locals (visible to guards and all row actions).
+    locals: Vec<String>,
+    /// Declared helper calls, ready-made.
+    helper_calls: Vec<XExpr>,
+    /// The state field's name when it lives in `msg` (never written by
+    /// row actions directly — the machine's `next` codes own it).
+    state_msg: Option<String>,
+}
+
+/// A machine-shaped schema: `M0` is always present and writable so the
+/// machine can keep its state there.
+fn gen_schema(rng: &mut FuzzRng) -> SchemaDesc {
+    let mut pkt = Vec::new();
+    for i in 0..rng.range(1, 4) {
+        pkt.push((format!("P{i}"), rng.chance(2, 3)));
+    }
+    let mut msg = vec![("M0".to_string(), true)];
+    for i in 1..rng.range(1, 4) {
+        msg.push((format!("M{i}"), rng.chance(2, 3)));
+    }
+    let mut glob = Vec::new();
+    for i in 0..rng.range(0, 3) {
+        glob.push((format!("G{i}"), rng.chance(2, 3)));
+    }
+    let mut arrays = Vec::new();
+    for i in 0..rng.range(0, 3) {
+        let fields = if rng.chance(1, 2) {
+            vec![String::new()] // flat: accessed as `alias.[i]`
+        } else {
+            vec!["F0".to_string(), "F1".to_string()]
+        };
+        arrays.push((format!("Xs{i}"), fields, rng.chance(1, 2)));
+    }
+    SchemaDesc {
+        pkt,
+        msg,
+        glob,
+        arrays,
+    }
+}
+
+/// A read of array `ai` with the index clamped to stay mostly in range
+/// (wild indices still slip through the `+ 1`, so the out-of-range trap
+/// is exercised — identically in every build).
+fn arr_read(rng: &mut FuzzRng, ctx: &Ctx, leaf: XExpr) -> XExpr {
+    let (alias, _, flat) = rng.pick(&ctx.arrays).clone();
+    let idx = leaf.rem(arr_len(&alias).add(lit(1)));
+    if flat {
+        arr(&alias, idx)
+    } else {
+        let field = if rng.chance(1, 2) { "F0" } else { "F1" };
+        arr_field(&alias, idx, field)
+    }
+}
+
+fn gen_leaf(rng: &mut FuzzRng, ctx: &Ctx) -> XExpr {
+    match rng.below(8) {
+        0 | 1 => lit(rng.interesting_i64()),
+        2 => {
+            let (f, _) = rng.pick(&ctx.pkt).clone();
+            pkt(&f)
+        }
+        3 => {
+            let (f, _) = rng.pick(&ctx.msg).clone();
+            msg(&f)
+        }
+        4 if !ctx.glob.is_empty() => {
+            let (f, _) = rng.pick(&ctx.glob).clone();
+            glob(&f)
+        }
+        5 if !ctx.locals.is_empty() => local(rng.pick(&ctx.locals).as_str()),
+        6 if !ctx.arrays.is_empty() => {
+            let leaf = gen_leaf(rng, &no_array(ctx));
+            arr_read(rng, ctx, leaf)
+        }
+        7 if !ctx.arrays.is_empty() => {
+            let (alias, _, _) = rng.pick(&ctx.arrays).clone();
+            arr_len(&alias)
+        }
+        _ => lit(rng.below(64) as i64),
+    }
+}
+
+/// `ctx` with arrays masked off, to bound `gen_leaf` recursion.
+fn no_array(ctx: &Ctx) -> Ctx {
+    Ctx {
+        pkt: ctx.pkt.clone(),
+        msg: ctx.msg.clone(),
+        glob: ctx.glob.clone(),
+        arrays: Vec::new(),
+        locals: ctx.locals.clone(),
+        helper_calls: Vec::new(),
+        state_msg: ctx.state_msg.clone(),
+    }
+}
+
+fn gen_expr(rng: &mut FuzzRng, ctx: &Ctx, depth: u32) -> XExpr {
+    if depth == 0 {
+        return gen_leaf(rng, ctx);
+    }
+    match rng.below(12) {
+        0..=3 => gen_leaf(rng, ctx),
+        4 => {
+            let c = gen_cmp(rng, ctx, depth - 1);
+            let a = gen_expr(rng, ctx, depth - 1);
+            let b = gen_expr(rng, ctx, depth - 1);
+            c.pick(a, b)
+        }
+        5 if !ctx.helper_calls.is_empty() => rng.pick(&ctx.helper_calls).clone(),
+        6 => rand().rem(lit(1 + rng.below(64) as i64)),
+        7 => {
+            // mostly non-zero denominators; the raw path hits the
+            // divide-by-zero trap in every build alike
+            let a = gen_expr(rng, ctx, depth - 1);
+            let b = if rng.chance(4, 5) {
+                gen_leaf(rng, ctx).rem(lit(5)).add(lit(7))
+            } else {
+                gen_leaf(rng, ctx)
+            };
+            if rng.chance(1, 2) {
+                a.div(b)
+            } else {
+                a.rem(b)
+            }
+        }
+        _ => {
+            let a = gen_expr(rng, ctx, depth - 1);
+            let b = gen_expr(rng, ctx, depth - 1);
+            match rng.below(5) {
+                0 => a.add(b),
+                1 => a.sub(b),
+                2 => a.mul(b),
+                3 => a.and(b),
+                _ => a.or(b),
+            }
+        }
+    }
+}
+
+/// A comparison-shaped guard expression.
+fn gen_cmp(rng: &mut FuzzRng, ctx: &Ctx, depth: u32) -> XExpr {
+    let a = gen_expr(rng, ctx, depth);
+    let b = gen_expr(rng, ctx, depth);
+    match rng.below(6) {
+        0 => a.eq(b),
+        1 => a.ne(b),
+        2 => a.lt(b),
+        3 => a.le(b),
+        4 => a.gt(b),
+        _ => a.ge(b),
+    }
+}
+
+/// One row action. Writes only go to `ReadWrite` fields, and never to the
+/// state field (the machine's `next` codes own that word).
+fn gen_action(rng: &mut FuzzRng, ctx: &Ctx, allow_terminal: bool) -> XAction {
+    let writable_pkt: Vec<&String> = ctx.pkt.iter().filter(|(_, w)| *w).map(|(n, _)| n).collect();
+    let writable_msg: Vec<&String> = ctx
+        .msg
+        .iter()
+        .filter(|(n, w)| *w && Some(n.as_str()) != ctx.state_msg.as_deref())
+        .map(|(n, _)| n)
+        .collect();
+    let writable_glob: Vec<&String> = ctx
+        .glob
+        .iter()
+        .filter(|(_, w)| *w)
+        .map(|(n, _)| n)
+        .collect();
+    let writable_arr: Vec<&(String, bool, bool)> =
+        ctx.arrays.iter().filter(|(_, w, _)| *w).collect();
+    match rng.below(10) {
+        0 if !writable_pkt.is_empty() => {
+            let f = (*rng.pick(&writable_pkt)).clone();
+            XAction::set_pkt(&f, gen_expr(rng, ctx, 2))
+        }
+        1 | 2 if !writable_msg.is_empty() => {
+            let f = (*rng.pick(&writable_msg)).clone();
+            XAction::set_msg(&f, gen_expr(rng, ctx, 2))
+        }
+        3 if !writable_glob.is_empty() => {
+            let f = (*rng.pick(&writable_glob)).clone();
+            XAction::set_glob(&f, gen_expr(rng, ctx, 2))
+        }
+        4 if !writable_arr.is_empty() => {
+            let (alias, _, flat) = (*rng.pick(&writable_arr)).clone();
+            let idx = gen_leaf(rng, ctx).rem(arr_len(&alias).add(lit(1)));
+            let value = gen_expr(rng, ctx, 1);
+            if flat {
+                XAction::set_arr(&alias, idx, value)
+            } else {
+                XAction::SetArr {
+                    alias,
+                    index: idx,
+                    field: Some(if rng.chance(1, 2) { "F0" } else { "F1" }.to_string()),
+                    value,
+                }
+            }
+        }
+        5 => XAction::SetQueue(
+            gen_leaf(rng, ctx).rem(lit(3)).add(lit(1)),
+            gen_expr(rng, ctx, 1),
+        ),
+        6 if allow_terminal => {
+            if rng.chance(1, 2) {
+                XAction::Drop
+            } else {
+                XAction::ToController
+            }
+        }
+        7 => XAction::When(gen_cmp(rng, ctx, 1), vec![gen_action(rng, ctx, false)]),
+        _ => XAction::bind(&format!("t{}", rng.below(1000)), gen_expr(rng, ctx, 2)),
+    }
+}
+
+fn gen_actions(rng: &mut FuzzRng, ctx: &Ctx) -> Vec<XAction> {
+    (0..rng.range(1, 4))
+        .map(|i| gen_action(rng, ctx, i == 0))
+        .collect()
+}
+
+/// A complete random machine rendered to source, sharing [`SourceCase`]
+/// with the free-form generator so the oracle treats both arms alike.
+pub fn gen_case(rng: &mut FuzzRng) -> SourceCase {
+    let desc = gen_schema(rng);
+    let n_states = rng.range(1, 4) as i64;
+    // single-state machines exercise the no-state-field lowering (a bare
+    // guard chain); everything else dispatches on msg.M0
+    let stateless = n_states == 1 && rng.chance(1, 2);
+    let mut ctx = Ctx {
+        pkt: desc.pkt.clone(),
+        msg: desc.msg.clone(),
+        glob: desc.glob.clone(),
+        arrays: desc
+            .arrays
+            .iter()
+            .enumerate()
+            .map(|(i, (_, fields, w))| (format!("a{i}"), *w, fields.len() == 1))
+            .collect(),
+        locals: Vec::new(),
+        helper_calls: Vec::new(),
+        state_msg: if stateless {
+            None
+        } else {
+            Some("M0".to_string())
+        },
+    };
+
+    let mut m = Xfsm::new("fuzz-xfsm");
+    if !stateless {
+        m = m.state_in_msg("M0");
+    }
+    for (i, (name, _, _)) in desc.arrays.iter().enumerate() {
+        m = m.array(&format!("a{i}"), name);
+    }
+
+    // helpers over the first array, invoked through their canonical calls
+    if let Some((alias, _, flat)) = ctx.arrays.first().cloned() {
+        if rng.chance(1, 2) {
+            let probe = gen_leaf(rng, &no_array(&ctx));
+            let (h, call) = if flat && rng.chance(1, 2) {
+                if rng.chance(1, 2) {
+                    (Helper::arg_min("h0", &alias), Helper::arg_min_call("h0"))
+                } else {
+                    (
+                        Helper::arg_max_hash("h0", &alias, probe),
+                        Helper::arg_max_hash_call("h0"),
+                    )
+                }
+            } else {
+                let (mf, vf) = if flat {
+                    (None, None)
+                } else {
+                    (Some("F0"), Some("F1"))
+                };
+                let cmp = if rng.chance(1, 2) { XBin::Le } else { XBin::Eq };
+                (
+                    Helper::select("h0", &alias, cmp, probe, mf, vf, lit(rng.interesting_i64())),
+                    Helper::select_call("h0"),
+                )
+            };
+            m = m.helper(h);
+            ctx.helper_calls.push(call);
+        }
+    }
+
+    // entry binds render before helpers, so they may not call them yet
+    for i in 0..rng.range(0, 3) {
+        let saved = std::mem::take(&mut ctx.helper_calls);
+        let name = format!("e{i}");
+        m = m.entry(XAction::bind(&name, gen_expr(rng, &ctx, 2)));
+        ctx.helper_calls = saved;
+        ctx.locals.push(name);
+    }
+
+    for code in 0..n_states {
+        let mut s = XState::new(code, &format!("s{code}"));
+        let next = |rng: &mut FuzzRng| -> Option<i64> {
+            if stateless {
+                None // no state field: rows must not write one
+            } else if rng.chance(1, 2) {
+                Some(rng.below(n_states as u64) as i64)
+            } else {
+                None
+            }
+        };
+        if rng.chance(1, 4) {
+            // timeout row: clock is a readable field the machine may or
+            // may not actually stamp — expiry logic still has to agree
+            let clock = if rng.chance(1, 2) {
+                let (f, _) = rng.pick(&ctx.msg).clone();
+                msg(&f)
+            } else {
+                gen_leaf(rng, &no_array(&ctx))
+            };
+            let after = lit(1 + rng.below(1000) as i64);
+            s = s.timeout(clock, after, gen_actions(rng, &ctx), next(rng));
+        }
+        for _ in 0..rng.range(0, 3) {
+            s = s.on(gen_cmp(rng, &ctx, 1), gen_actions(rng, &ctx), next(rng));
+        }
+        // state 0 always gets an otherwise row so the machine does
+        // something on every packet; other states may even end up empty,
+        // which exercises the fail-open dispatch gap
+        if code == 0 || rng.chance(1, 2) {
+            s = s.otherwise(gen_actions(rng, &ctx), next(rng));
+        }
+        m = m.state(s);
+    }
+
+    if rng.chance(1, 3) {
+        let writable_pkt: Vec<&String> =
+            ctx.pkt.iter().filter(|(_, w)| *w).map(|(n, _)| n).collect();
+        if let Some(f) = writable_pkt.first() {
+            let f = (*f).clone();
+            m = m.epilogue(XAction::set_pkt(&f, gen_expr(rng, &ctx, 2)));
+        }
+    }
+
+    SourceCase {
+        desc,
+        source: m.render(),
+    }
+}

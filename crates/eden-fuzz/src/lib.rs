@@ -5,7 +5,11 @@
 //! * **compiler-diff** — every generated eden-lang source is compiled
 //!   three ways (plain, IR-optimized, superinstruction-fused); all builds
 //!   must agree on the outcome, every header/state word, every recorded
-//!   effect, and the RNG stream.
+//!   effect, and the RNG stream. Every fourth case comes from the
+//!   random-XFSM arm ([`gen_xfsm`]): a machine built through the
+//!   `eden_lang::xfsm` builder and rendered to source, so the structured
+//!   dispatch/guard/timeout shapes real catalogue functions lower to get
+//!   their own coverage.
 //! * **exec-diff** — every catalogue function's interpreted and native
 //!   forms must agree packet for packet (and the batched path must agree
 //!   with the serial path — the PR 2 equivalence, re-checked from random
@@ -25,6 +29,7 @@
 
 pub mod gen_bytecode;
 pub mod gen_source;
+pub mod gen_xfsm;
 pub mod minimize;
 pub mod oracle_codec;
 pub mod oracle_compiler;
@@ -51,11 +56,12 @@ pub fn run_oracle(name: &str, seed: u64, start: u64, cases: u64) -> OracleReport
 }
 
 /// Per-oracle share of a [`run_all`] budget, parallel to [`ORACLES`]. The
-/// compiler differential gets a double share: the three-way
+/// compiler differential gets a triple share: the three-way
 /// (plain/optimized/fused) comparison is the oracle standing most directly
-/// behind the IR passes and the superinstruction selector, so it gets the
-/// most throughput per smoke run.
-const WEIGHTS: [u64; 4] = [2, 1, 1, 1];
+/// behind the IR passes and the superinstruction selector, and since the
+/// XFSM arm joined it also stands behind the machine renderer, so it gets
+/// the most throughput per smoke run.
+const WEIGHTS: [u64; 4] = [3, 1, 1, 1];
 
 /// Run all four oracles, splitting `cases` by [`WEIGHTS`] (the last oracle
 /// absorbs rounding), and assemble the full report.

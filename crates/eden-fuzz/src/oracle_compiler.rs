@@ -256,9 +256,21 @@ pub fn run(seed: u64, start: u64, cases: u64) -> OracleReport {
     for index in start..start + cases {
         rep.cases += 1;
         let mut rng = FuzzRng::for_case(seed, "compiler-diff", index);
-        let case = gen_case(&mut rng);
+        // every fourth case is a rendered random-XFSM machine: the
+        // builder guarantees it is well-formed, so these concentrate on
+        // the structured dispatch/guard/timeout shapes the catalogue
+        // lowers to rather than grammar breadth
+        let xfsm = index % 4 == 3;
+        let case = if xfsm {
+            crate::gen_xfsm::gen_case(&mut rng)
+        } else {
+            gen_case(&mut rng)
+        };
         let spec = gen_host_spec(&mut rng, &case.desc);
         let schema = case.desc.to_schema();
+        if xfsm {
+            rep.note("xfsm_cases", 1);
+        }
         match check(&case.source, &schema, &spec) {
             CaseResult::Agree(tag) => rep.note(tag, 1),
             CaseResult::ResourceSkip => {
@@ -267,7 +279,14 @@ pub fn run(seed: u64, start: u64, cases: u64) -> OracleReport {
             }
             CaseResult::CompileError => rep.note("compile_errors", 1),
             CaseResult::Diverged(detail) => {
-                let repro = minimize_source(&case, &spec);
+                // rendered machines are whole-program artifacts — line
+                // deletion breaks the dispatch structure, so ship the
+                // source as-is instead of minimizing
+                let repro = if xfsm {
+                    case.source.clone()
+                } else {
+                    minimize_source(&case, &spec)
+                };
                 rep.failures.push(Failure {
                     oracle: "compiler-diff",
                     index,
@@ -276,7 +295,11 @@ pub fn run(seed: u64, start: u64, cases: u64) -> OracleReport {
                 });
             }
             CaseResult::CompileDiverged(detail) => {
-                let repro = minimize_source(&case, &spec);
+                let repro = if xfsm {
+                    case.source.clone()
+                } else {
+                    minimize_source(&case, &spec)
+                };
                 rep.failures.push(Failure {
                     oracle: "compiler-diff",
                     index,
@@ -321,6 +344,35 @@ mod tests {
             "generator health: only {compiled}/60 cases compiled: {:?}",
             a.notes
         );
+        // the XFSM arm took its quarter of the run
+        let xfsm = a
+            .notes
+            .iter()
+            .find(|(k, _)| k == "xfsm_cases")
+            .map(|(_, v)| *v)
+            .unwrap_or(0);
+        assert_eq!(xfsm, 15, "expected 60/4 xfsm cases: {:?}", a.notes);
+    }
+
+    #[test]
+    fn generated_machines_always_compile() {
+        // the builder's contract: a machine that passes validate() renders
+        // to source every build accepts — compile errors here are renderer
+        // bugs, not fuzz noise
+        for index in 0..40 {
+            let mut rng = FuzzRng::for_case(11, "xfsm-gen", index);
+            let case = crate::gen_xfsm::gen_case(&mut rng);
+            let schema = case.desc.to_schema();
+            for (name, opts) in MODES {
+                if let Err(e) = compile_with_options("fuzz", &case.source, &schema, opts) {
+                    panic!(
+                        "case {index} build '{name}' rejected a rendered machine: {}\n{}",
+                        e.render(&case.source),
+                        case.source
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -117,6 +117,20 @@ fn build_enclave(
             e.set_global(f, 3, 1003);
             e.set_global(f, 4, 22);
         }
+        "l4lb" => {
+            e.set_array(f, 0, vec![71, 72, 73]);
+            e.set_array(f, 1, vec![0, 0, 0]);
+        }
+        "conga" => e.set_array(f, 0, vec![5, 2, 9]),
+        "ids" => {
+            e.set_global(f, 0, 40);
+            e.set_array(f, 0, vec![22, 7, 1001, 5]);
+        }
+        "stateful-firewall" => e.set_global(f, 0, 6),
+        "rate-limit" => {
+            e.set_global(f, 0, 200);
+            e.set_global(f, 1, 100_000);
+        }
         _ => {}
     }
     (e, f)
@@ -333,6 +347,22 @@ pub fn run(seed: u64, start: u64, cases: u64) -> OracleReport {
         }
         rep.note("batch_serial_ok", 1);
     }
+    // Coverage backstop: a run long enough to cycle the whole catalogue
+    // must actually have exercised every bundle — a stale modulus or a
+    // shrunken catalogue otherwise silently narrows the differential.
+    if cases >= bundles.len() as u64 {
+        for bundle in &bundles {
+            let key = format!("interp_native_ok.{}", bundle.name);
+            if !rep.notes.iter().any(|(k, _)| *k == key) {
+                rep.failures.push(Failure {
+                    oracle: "exec-diff",
+                    index: start + cases,
+                    detail: format!("bundle {} was never exercised cleanly", bundle.name),
+                    repro: format!("bundle: {}\n(coverage assertion, no stream)\n", bundle.name),
+                });
+            }
+        }
+    }
     rep
 }
 
@@ -368,5 +398,14 @@ mod tests {
             .map(|(_, v)| v)
             .sum();
         assert_eq!(ok, 24);
+        // every catalogue bundle must appear in the differential
+        for bundle in catalogue() {
+            let key = format!("interp_native_ok.{}", bundle.name);
+            assert!(
+                a.notes.iter().any(|(k, _)| *k == key),
+                "bundle {} never exercised",
+                bundle.name
+            );
+        }
     }
 }

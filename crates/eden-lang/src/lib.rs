@@ -65,6 +65,7 @@ mod parser;
 mod schema;
 mod token;
 mod typeck;
+pub mod xfsm;
 
 pub use compile::{compile, compile_with_options, CompileOptions, CompiledFunction};
 pub use error::{CompileError, ErrorKind};
@@ -72,6 +73,7 @@ pub use schema::{
     Access, ArrayDecl, Concurrency, FieldDecl, HeaderField, ReplMode, Schema, Scope, StateEffects,
 };
 pub use token::Span;
+pub use xfsm::{Helper, XAction, XBin, XExpr, XState, Xfsm};
 
 // Internal surface used by tests and tooling.
 pub use ast::Expr;

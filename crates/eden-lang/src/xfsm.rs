@@ -1,0 +1,1229 @@
+//! XFSM — extended finite state machines over eden-lang.
+//!
+//! The stateful Table 1 functions (port knocking, connection tracking,
+//! firewalls, load balancers) all share one shape: per-flow or per-program
+//! state advanced by packet events — exactly the `(state, event) ->
+//! (action, next-state)` tables of the stateful-forwarding abstraction
+//! (Petrucci et al., see PAPERS.md). Hand-rolling each one as nested
+//! `if`/`elif` chains buries the table in control flow; this module makes
+//! the table the program.
+//!
+//! An [`Xfsm`] declares:
+//!
+//! * an optional **state field** (a `ReadWrite` message or global scalar)
+//!   holding the machine's current state code;
+//! * **states**, each with ordered **transitions**: a packet-predicate
+//!   guard ([`XExpr`]), a list of [`XAction`]s (header writes, state
+//!   updates, verdicts), and an optional next state;
+//! * an optional **timeout** per state — sugar for a highest-priority
+//!   transition guarded by `(now() - <clock field>) >= <duration>`;
+//! * **entry** actions run on every packet before dispatch, and
+//!   **epilogue** actions after it (cache-then-stamp idioms);
+//! * reusable **helpers** — the recursive table walks every catalogue
+//!   function needs (threshold/exact lookup, arg-min, rendezvous arg-max).
+//!
+//! Lowering is by *rendering to eden-lang source*: the machine prints as a
+//! deterministic DSL program and goes through the ordinary HIR → IR →
+//! fused-bytecode pipeline, so XFSM programs get dead-store elimination,
+//! branch threading, superinstruction fusion, the verifier, and native-form
+//! equivalence testing for free — and the controller can ship them like any
+//! other function.
+//!
+//! ## Semantics
+//!
+//! * Transitions of the in-state are tried in declaration order; the first
+//!   guard that holds fires, runs its actions, then writes the next-state
+//!   code (if any). The optional `otherwise` row fires when no guard holds.
+//! * A state's timeout, when present, is the *first* guard tried, so
+//!   `now()` is drawn exactly once per packet dispatched in that state.
+//!   The packet that observes the expiry drives the timeout transition and
+//!   is **not** re-dispatched in the new state; the next packet sees it.
+//! * `drop()`/`toController()` terminate the program. When a transition
+//!   both changes state and ends in a terminal action, the state write is
+//!   emitted *before* the first top-level terminal so the machine still
+//!   advances (a terminal nested inside [`XAction::When`] does not get
+//!   this treatment — the write would be conditional).
+//! * Dispatch is total only over the declared state codes: an undeclared
+//!   code in the state field falls through every arm and the packet passes
+//!   unmodified (fail-open, like the enclave's trap isolation).
+//!
+//! ## Example — port knocking as a table
+//!
+//! ```
+//! use eden_lang::xfsm::{glob, lit, local, pkt, XAction, Xfsm, XState};
+//! use eden_lang::{Access, Concurrency, Schema};
+//!
+//! let schema = Schema::new()
+//!     .packet_field("DstPort", Access::ReadOnly, None)
+//!     .global_field("Stage", Access::ReadWrite)
+//!     .global_field("Knock1", Access::ReadOnly)
+//!     .global_field("Protected", Access::ReadOnly);
+//!
+//! let machine = Xfsm::new("knock2")
+//!     .state_in_global("Stage")
+//!     .entry(XAction::bind("port", pkt("DstPort")))
+//!     .state(
+//!         XState::new(0, "shut")
+//!             .on(local("port").eq(glob("Knock1")), vec![], Some(1))
+//!             .on(local("port").eq(glob("Protected")), vec![XAction::Drop], None)
+//!             .otherwise(vec![], Some(0)),
+//!     )
+//!     .state(XState::new(1, "open")); // no rows: everything passes
+//! let compiled = machine.compile(&schema).unwrap();
+//! assert_eq!(compiled.concurrency, Concurrency::Serialized);
+//! assert!(machine.render().contains("_global.Stage <- 1"));
+//! ```
+
+use std::fmt::Write as _;
+
+use crate::compile::{compile, CompiledFunction};
+use crate::error::CompileError;
+use crate::schema::Schema;
+
+// ======================================================================
+// Expressions
+// ======================================================================
+
+/// Binary operators of the surface language.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum XBin {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Rem,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    And,
+    Or,
+}
+
+impl XBin {
+    fn sym(self) -> &'static str {
+        match self {
+            XBin::Add => "+",
+            XBin::Sub => "-",
+            XBin::Mul => "*",
+            XBin::Div => "/",
+            XBin::Rem => "%",
+            XBin::Eq => "=",
+            XBin::Ne => "<>",
+            XBin::Lt => "<",
+            XBin::Le => "<=",
+            XBin::Gt => ">",
+            XBin::Ge => ">=",
+            XBin::And => "&&",
+            XBin::Or => "||",
+        }
+    }
+}
+
+/// A typed expression tree that renders to fully parenthesized DSL text.
+///
+/// Guards are boolean-valued, action operands integer-valued; the type
+/// checker downstream enforces the distinction, so the builder stays thin.
+#[derive(Debug, Clone, PartialEq)]
+pub enum XExpr {
+    /// Integer literal.
+    Lit(i64),
+    /// `packet.<field>` read.
+    Pkt(String),
+    /// `msg.<field>` read.
+    Msg(String),
+    /// `_global.<field>` read.
+    Glob(String),
+    /// A `let`-bound local (entry binding or helper parameter).
+    Local(String),
+    /// `<alias>.[<index>]` (flat) or `<alias>.[<index>].<field>` (strided).
+    Arr {
+        alias: String,
+        index: Box<XExpr>,
+        field: Option<String>,
+    },
+    /// `<alias>.Length`.
+    Len(String),
+    /// Binary operation, always parenthesized.
+    Bin(XBin, Box<XExpr>, Box<XExpr>),
+    /// Arithmetic negation.
+    Neg(Box<XExpr>),
+    /// Boolean negation.
+    Not(Box<XExpr>),
+    /// Value-position `if`: `(if c then a else b)`.
+    Cond(Box<XExpr>, Box<XExpr>, Box<XExpr>),
+    /// `rand ()`.
+    Rand,
+    /// `randRange (n)`.
+    RandRange(Box<XExpr>),
+    /// `now ()` — draws the host clock.
+    Now,
+    /// `hash (a, b)` — the VM's deterministic mixer.
+    Hash(Box<XExpr>, Box<XExpr>),
+    /// Invocation of a declared [`Helper`] by name.
+    Call(String, Vec<XExpr>),
+}
+
+// Builder-DSL arithmetic: these intentionally shadow the `std::ops` names —
+// call sites read as expression algebra (`msg("Size").add(pkt("Size"))`),
+// and operator overloading would hide the XExpr construction.
+#[allow(clippy::should_implement_trait)]
+impl XExpr {
+    fn bin(self, op: XBin, rhs: XExpr) -> XExpr {
+        XExpr::Bin(op, Box::new(self), Box::new(rhs))
+    }
+    pub fn add(self, rhs: XExpr) -> XExpr {
+        self.bin(XBin::Add, rhs)
+    }
+    pub fn sub(self, rhs: XExpr) -> XExpr {
+        self.bin(XBin::Sub, rhs)
+    }
+    pub fn mul(self, rhs: XExpr) -> XExpr {
+        self.bin(XBin::Mul, rhs)
+    }
+    pub fn div(self, rhs: XExpr) -> XExpr {
+        self.bin(XBin::Div, rhs)
+    }
+    pub fn rem(self, rhs: XExpr) -> XExpr {
+        self.bin(XBin::Rem, rhs)
+    }
+    pub fn eq(self, rhs: XExpr) -> XExpr {
+        self.bin(XBin::Eq, rhs)
+    }
+    pub fn ne(self, rhs: XExpr) -> XExpr {
+        self.bin(XBin::Ne, rhs)
+    }
+    pub fn lt(self, rhs: XExpr) -> XExpr {
+        self.bin(XBin::Lt, rhs)
+    }
+    pub fn le(self, rhs: XExpr) -> XExpr {
+        self.bin(XBin::Le, rhs)
+    }
+    pub fn gt(self, rhs: XExpr) -> XExpr {
+        self.bin(XBin::Gt, rhs)
+    }
+    pub fn ge(self, rhs: XExpr) -> XExpr {
+        self.bin(XBin::Ge, rhs)
+    }
+    pub fn and(self, rhs: XExpr) -> XExpr {
+        self.bin(XBin::And, rhs)
+    }
+    pub fn or(self, rhs: XExpr) -> XExpr {
+        self.bin(XBin::Or, rhs)
+    }
+    /// `(if self then a else b)` with `self` as the condition.
+    pub fn pick(self, then: XExpr, els: XExpr) -> XExpr {
+        XExpr::Cond(Box::new(self), Box::new(then), Box::new(els))
+    }
+
+    fn render(&self, out: &mut String) {
+        match self {
+            XExpr::Lit(v) => {
+                // `-9223372036854775808` lexes as negate-of-overflow, so
+                // i64::MIN has to be spelled as an expression
+                if *v == i64::MIN {
+                    let _ = write!(out, "(-9223372036854775807 - 1)");
+                } else {
+                    let _ = write!(out, "{v}");
+                }
+            }
+            XExpr::Pkt(f) => {
+                let _ = write!(out, "packet.{f}");
+            }
+            XExpr::Msg(f) => {
+                let _ = write!(out, "msg.{f}");
+            }
+            XExpr::Glob(f) => {
+                let _ = write!(out, "_global.{f}");
+            }
+            XExpr::Local(n) => {
+                let _ = write!(out, "{n}");
+            }
+            XExpr::Arr {
+                alias,
+                index,
+                field,
+            } => {
+                let _ = write!(out, "{alias}.[");
+                index.render(out);
+                out.push(']');
+                if let Some(f) = field {
+                    let _ = write!(out, ".{f}");
+                }
+            }
+            XExpr::Len(alias) => {
+                let _ = write!(out, "{alias}.Length");
+            }
+            XExpr::Bin(op, a, b) => {
+                out.push('(');
+                a.render(out);
+                let _ = write!(out, " {} ", op.sym());
+                b.render(out);
+                out.push(')');
+            }
+            XExpr::Neg(e) => {
+                out.push_str("(-(");
+                e.render(out);
+                out.push_str("))");
+            }
+            XExpr::Not(e) => {
+                out.push_str("(not (");
+                e.render(out);
+                out.push_str("))");
+            }
+            XExpr::Cond(c, a, b) => {
+                out.push_str("(if ");
+                c.render(out);
+                out.push_str(" then ");
+                a.render(out);
+                out.push_str(" else ");
+                b.render(out);
+                out.push(')');
+            }
+            XExpr::Rand => out.push_str("rand ()"),
+            XExpr::RandRange(n) => {
+                out.push_str("randRange (");
+                n.render(out);
+                out.push(')');
+            }
+            XExpr::Now => out.push_str("now ()"),
+            XExpr::Hash(a, b) => {
+                out.push_str("hash (");
+                a.render(out);
+                out.push_str(", ");
+                b.render(out);
+                out.push(')');
+            }
+            XExpr::Call(name, args) => {
+                let _ = write!(out, "{name} (");
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(", ");
+                    }
+                    a.render(out);
+                }
+                out.push(')');
+            }
+        }
+    }
+
+    fn to_src(&self) -> String {
+        let mut s = String::new();
+        self.render(&mut s);
+        s
+    }
+}
+
+/// Integer literal.
+pub fn lit(v: i64) -> XExpr {
+    XExpr::Lit(v)
+}
+/// `packet.<field>` read.
+pub fn pkt(field: &str) -> XExpr {
+    XExpr::Pkt(field.to_string())
+}
+/// `msg.<field>` read.
+pub fn msg(field: &str) -> XExpr {
+    XExpr::Msg(field.to_string())
+}
+/// `_global.<field>` read.
+pub fn glob(field: &str) -> XExpr {
+    XExpr::Glob(field.to_string())
+}
+/// A bound local.
+pub fn local(name: &str) -> XExpr {
+    XExpr::Local(name.to_string())
+}
+/// Flat array element `<alias>.[<index>]`.
+pub fn arr(alias: &str, index: XExpr) -> XExpr {
+    XExpr::Arr {
+        alias: alias.to_string(),
+        index: Box::new(index),
+        field: None,
+    }
+}
+/// Strided array element field `<alias>.[<index>].<field>`.
+pub fn arr_field(alias: &str, index: XExpr, field: &str) -> XExpr {
+    XExpr::Arr {
+        alias: alias.to_string(),
+        index: Box::new(index),
+        field: Some(field.to_string()),
+    }
+}
+/// `<alias>.Length`.
+pub fn arr_len(alias: &str) -> XExpr {
+    XExpr::Len(alias.to_string())
+}
+/// Invoke a declared helper.
+pub fn call(name: &str, args: Vec<XExpr>) -> XExpr {
+    XExpr::Call(name.to_string(), args)
+}
+/// `now ()`.
+pub fn now() -> XExpr {
+    XExpr::Now
+}
+/// `rand ()`.
+pub fn rand() -> XExpr {
+    XExpr::Rand
+}
+/// `randRange (n)`.
+pub fn rand_range(n: XExpr) -> XExpr {
+    XExpr::RandRange(Box::new(n))
+}
+/// `hash (a, b)`.
+pub fn hash(a: XExpr, b: XExpr) -> XExpr {
+    XExpr::Hash(Box::new(a), Box::new(b))
+}
+
+// ======================================================================
+// Actions
+// ======================================================================
+
+/// One effect of a transition (or an entry/epilogue step).
+#[derive(Debug, Clone, PartialEq)]
+pub enum XAction {
+    /// `let <name> = <expr>` — a local visible to later actions, guards of
+    /// no one (guards run before actions), and helper bodies declared
+    /// after entry.
+    Let(String, XExpr),
+    /// `packet.<field> <- <expr>`.
+    SetPkt(String, XExpr),
+    /// `msg.<field> <- <expr>`.
+    SetMsg(String, XExpr),
+    /// `_global.<field> <- <expr>`.
+    SetGlob(String, XExpr),
+    /// `<alias>.[<index>](.<field>) <- <value>`.
+    SetArr {
+        alias: String,
+        index: XExpr,
+        field: Option<String>,
+        value: XExpr,
+    },
+    /// `setQueue (<queue>, <charge>)`.
+    SetQueue(XExpr, XExpr),
+    /// `drop ()` — terminal.
+    Drop,
+    /// `toController ()` — terminal.
+    ToController,
+    /// A guarded sub-block: `if <guard> then ( <actions> )`.
+    When(XExpr, Vec<XAction>),
+}
+
+impl XAction {
+    /// Shorthand for [`XAction::Let`].
+    pub fn bind(name: &str, value: XExpr) -> XAction {
+        XAction::Let(name.to_string(), value)
+    }
+    /// Shorthand for [`XAction::SetPkt`].
+    pub fn set_pkt(field: &str, value: XExpr) -> XAction {
+        XAction::SetPkt(field.to_string(), value)
+    }
+    /// Shorthand for [`XAction::SetMsg`].
+    pub fn set_msg(field: &str, value: XExpr) -> XAction {
+        XAction::SetMsg(field.to_string(), value)
+    }
+    /// Shorthand for [`XAction::SetGlob`].
+    pub fn set_glob(field: &str, value: XExpr) -> XAction {
+        XAction::SetGlob(field.to_string(), value)
+    }
+    /// Shorthand for a flat [`XAction::SetArr`].
+    pub fn set_arr(alias: &str, index: XExpr, value: XExpr) -> XAction {
+        XAction::SetArr {
+            alias: alias.to_string(),
+            index,
+            field: None,
+            value,
+        }
+    }
+
+    fn is_terminal(&self) -> bool {
+        matches!(self, XAction::Drop | XAction::ToController)
+    }
+
+    fn render(&self, indent: usize, out: &mut String) {
+        let pad = "    ".repeat(indent);
+        match self {
+            XAction::Let(name, v) => {
+                let _ = writeln!(out, "{pad}let {name} = {}", v.to_src());
+            }
+            XAction::SetPkt(f, v) => {
+                let _ = writeln!(out, "{pad}packet.{f} <- {}", v.to_src());
+            }
+            XAction::SetMsg(f, v) => {
+                let _ = writeln!(out, "{pad}msg.{f} <- {}", v.to_src());
+            }
+            XAction::SetGlob(f, v) => {
+                let _ = writeln!(out, "{pad}_global.{f} <- {}", v.to_src());
+            }
+            XAction::SetArr {
+                alias,
+                index,
+                field,
+                value,
+            } => {
+                let fld = field.as_ref().map(|f| format!(".{f}")).unwrap_or_default();
+                let _ = writeln!(
+                    out,
+                    "{pad}{alias}.[{}]{fld} <- {}",
+                    index.to_src(),
+                    value.to_src()
+                );
+            }
+            XAction::SetQueue(q, charge) => {
+                let _ = writeln!(out, "{pad}setQueue ({}, {})", q.to_src(), charge.to_src());
+            }
+            XAction::Drop => {
+                let _ = writeln!(out, "{pad}drop ()");
+            }
+            XAction::ToController => {
+                let _ = writeln!(out, "{pad}toController ()");
+            }
+            XAction::When(guard, body) => {
+                let _ = writeln!(out, "{pad}if {} then (", guard.to_src());
+                for a in body {
+                    a.render(indent + 1, out);
+                }
+                // a parenthesized block must end in an expression, not a
+                // binding — pad with a discarded 0 when it would
+                if matches!(body.last(), Some(XAction::Let(..))) {
+                    let _ = writeln!(out, "{}0", "    ".repeat(indent + 1));
+                }
+                let _ = writeln!(out, "{pad})");
+            }
+        }
+    }
+}
+
+// ======================================================================
+// Helpers — the recursive walks shared by the catalogue
+// ======================================================================
+
+/// A named `let rec` table walk, declared once and invoked with
+/// [`call`]. Helpers are rendered after the entry actions so they may
+/// reference entry-bound locals (the PIAS `msg_size` idiom).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Helper {
+    /// Linear scan returning the first matching element's value:
+    /// `probe <cmp> elem.<match_field>` selects, `elem.<value_field>` is
+    /// returned, `default` when nothing matches. With `cmp = Le` over
+    /// sorted limits this is the PIAS/SFF threshold table; with `Eq` it is
+    /// an exact-match lookup (signature tables, NAT maps).
+    Select {
+        name: String,
+        alias: String,
+        cmp: XBin,
+        probe: XExpr,
+        match_field: Option<String>,
+        value_field: Option<String>,
+        default: XExpr,
+    },
+    /// Index of the minimum element (least-loaded choice). Walks from
+    /// index 1 with 0 as the initial best, so a call is `name (1, 0)` via
+    /// [`Helper::arg_min_call`]; empty arrays make the *caller's* use of
+    /// the returned index trap, exactly like the hand-rolled idiom.
+    ArgMin { name: String, alias: String },
+    /// Rendezvous (highest-random-weight) pick: index maximizing
+    /// `hash (key, elem)`. Ties keep the lowest index, so every host
+    /// agrees on the winner for a given key and member set.
+    ArgMaxHash {
+        name: String,
+        alias: String,
+        key: XExpr,
+    },
+}
+
+impl Helper {
+    /// Threshold/exact-match table walk; see [`Helper::Select`].
+    pub fn select(
+        name: &str,
+        alias: &str,
+        cmp: XBin,
+        probe: XExpr,
+        match_field: Option<&str>,
+        value_field: Option<&str>,
+        default: XExpr,
+    ) -> Helper {
+        Helper::Select {
+            name: name.to_string(),
+            alias: alias.to_string(),
+            cmp,
+            probe,
+            match_field: match_field.map(str::to_string),
+            value_field: value_field.map(str::to_string),
+            default,
+        }
+    }
+    /// Least-element index walk; see [`Helper::ArgMin`].
+    pub fn arg_min(name: &str, alias: &str) -> Helper {
+        Helper::ArgMin {
+            name: name.to_string(),
+            alias: alias.to_string(),
+        }
+    }
+    /// Rendezvous-hash winner walk; see [`Helper::ArgMaxHash`].
+    pub fn arg_max_hash(name: &str, alias: &str, key: XExpr) -> Helper {
+        Helper::ArgMaxHash {
+            name: name.to_string(),
+            alias: alias.to_string(),
+            key,
+        }
+    }
+
+    /// The canonical invocation of a [`Helper::Select`].
+    pub fn select_call(name: &str) -> XExpr {
+        call(name, vec![lit(0)])
+    }
+    /// The canonical invocation of a [`Helper::ArgMin`].
+    pub fn arg_min_call(name: &str) -> XExpr {
+        call(name, vec![lit(1), lit(0)])
+    }
+    /// The canonical invocation of a [`Helper::ArgMaxHash`].
+    pub fn arg_max_hash_call(name: &str) -> XExpr {
+        call(name, vec![lit(0), lit(0), lit(-1)])
+    }
+
+    fn name(&self) -> &str {
+        match self {
+            Helper::Select { name, .. }
+            | Helper::ArgMin { name, .. }
+            | Helper::ArgMaxHash { name, .. } => name,
+        }
+    }
+
+    fn render(&self, out: &mut String) {
+        let elem = |alias: &str, index: &str, field: &Option<String>| {
+            let fld = field.as_ref().map(|f| format!(".{f}")).unwrap_or_default();
+            format!("{alias}.[{index}]{fld}")
+        };
+        match self {
+            Helper::Select {
+                name,
+                alias,
+                cmp,
+                probe,
+                match_field,
+                value_field,
+                default,
+            } => {
+                let _ = writeln!(out, "    let rec {name} index =");
+                let _ = writeln!(
+                    out,
+                    "        if index >= {alias}.Length then {}",
+                    default.to_src()
+                );
+                let _ = writeln!(
+                    out,
+                    "        elif {} {} {} then",
+                    probe.to_src(),
+                    cmp.sym(),
+                    elem(alias, "index", match_field)
+                );
+                let _ = writeln!(out, "            {}", elem(alias, "index", value_field));
+                let _ = writeln!(out, "        else {name} ((index + 1))");
+            }
+            Helper::ArgMin { name, alias } => {
+                let _ = writeln!(out, "    let rec {name} index best =");
+                let _ = writeln!(out, "        if index >= {alias}.Length then best");
+                let _ = writeln!(
+                    out,
+                    "        elif {alias}.[index] < {alias}.[best] then {name} ((index + 1), index)"
+                );
+                let _ = writeln!(out, "        else {name} ((index + 1), best)");
+            }
+            Helper::ArgMaxHash { name, alias, key } => {
+                let k = key.to_src();
+                let _ = writeln!(out, "    let rec {name} index champ score =");
+                let _ = writeln!(out, "        if index >= {alias}.Length then champ");
+                let _ = writeln!(out, "        elif hash ({k}, {alias}.[index]) > score then");
+                let _ = writeln!(
+                    out,
+                    "            {name} ((index + 1), index, hash ({k}, {alias}.[index]))"
+                );
+                let _ = writeln!(out, "        else {name} ((index + 1), champ, score)");
+            }
+        }
+    }
+}
+
+// ======================================================================
+// States and transitions
+// ======================================================================
+
+/// One row of a state's transition table.
+#[derive(Debug, Clone, PartialEq)]
+struct XTransition {
+    /// `None` for the `otherwise` row (and the timeout row carries its
+    /// synthesized guard explicitly).
+    guard: Option<XExpr>,
+    actions: Vec<XAction>,
+    /// State code to transition to; `None` leaves the state untouched.
+    next: Option<i64>,
+}
+
+/// One machine state: a code, a diagnostic name, an optional timeout, and
+/// the ordered transition rows.
+#[derive(Debug, Clone, PartialEq)]
+pub struct XState {
+    code: i64,
+    name: String,
+    timeout: Option<(XExpr, XExpr, Vec<XAction>, Option<i64>)>,
+    rows: Vec<XTransition>,
+    otherwise: Option<XTransition>,
+}
+
+impl XState {
+    /// A state with code `code` (the value stored in the state field) and
+    /// a human-readable name for diagnostics.
+    pub fn new(code: i64, name: &str) -> XState {
+        XState {
+            code,
+            name: name.to_string(),
+            timeout: None,
+            rows: Vec::new(),
+            otherwise: None,
+        }
+    }
+
+    /// Add a guarded transition row. Rows are tried in declaration order.
+    pub fn on(mut self, guard: XExpr, actions: Vec<XAction>, next: Option<i64>) -> XState {
+        self.rows.push(XTransition {
+            guard: Some(guard),
+            actions,
+            next,
+        });
+        self
+    }
+
+    /// The default row, fired when no guard holds.
+    pub fn otherwise(mut self, actions: Vec<XAction>, next: Option<i64>) -> XState {
+        assert!(
+            self.otherwise.is_none(),
+            "state '{}' already has an otherwise row",
+            self.name
+        );
+        self.otherwise = Some(XTransition {
+            guard: None,
+            actions,
+            next,
+        });
+        self
+    }
+
+    /// Timeout sugar: the highest-priority row, guarded by
+    /// `(now () - <clock>) >= <after>`. `clock` is typically a `ReadWrite`
+    /// state field stamped with `now()` by other transitions.
+    pub fn timeout(
+        mut self,
+        clock: XExpr,
+        after: XExpr,
+        actions: Vec<XAction>,
+        next: Option<i64>,
+    ) -> XState {
+        assert!(
+            self.timeout.is_none(),
+            "state '{}' already has a timeout",
+            self.name
+        );
+        self.timeout = Some((clock, after, actions, next));
+        self
+    }
+
+    /// All rows in dispatch order (timeout first, then guarded rows).
+    fn ordered_rows(&self) -> Vec<XTransition> {
+        let mut rows = Vec::new();
+        if let Some((clock, after, actions, next)) = &self.timeout {
+            rows.push(XTransition {
+                guard: Some(XExpr::Now.sub(clock.clone()).ge(after.clone())),
+                actions: actions.clone(),
+                next: *next,
+            });
+        }
+        rows.extend(self.rows.iter().cloned());
+        rows
+    }
+
+    fn is_empty(&self) -> bool {
+        self.timeout.is_none() && self.rows.is_empty() && self.otherwise.is_none()
+    }
+}
+
+// ======================================================================
+// The machine
+// ======================================================================
+
+/// Where the state field lives.
+#[derive(Debug, Clone, PartialEq)]
+enum StateField {
+    Msg(String),
+    Glob(String),
+}
+
+impl StateField {
+    fn read(&self) -> XExpr {
+        match self {
+            StateField::Msg(f) => msg(f),
+            StateField::Glob(f) => glob(f),
+        }
+    }
+    fn write(&self, value: XExpr) -> XAction {
+        match self {
+            StateField::Msg(f) => XAction::set_msg(f, value),
+            StateField::Glob(f) => XAction::set_glob(f, value),
+        }
+    }
+}
+
+/// An extended finite state machine; see the module docs for semantics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Xfsm {
+    name: String,
+    state_field: Option<StateField>,
+    aliases: Vec<(String, String)>,
+    helpers: Vec<Helper>,
+    entry: Vec<XAction>,
+    states: Vec<XState>,
+    epilogue: Vec<XAction>,
+}
+
+impl Xfsm {
+    /// An empty machine named `name` (used in compile diagnostics).
+    pub fn new(name: &str) -> Xfsm {
+        Xfsm {
+            name: name.to_string(),
+            state_field: None,
+            aliases: Vec::new(),
+            helpers: Vec::new(),
+            entry: Vec::new(),
+            states: Vec::new(),
+            epilogue: Vec::new(),
+        }
+    }
+
+    /// Keep the state code in per-message field `field` (per-flow
+    /// machines: conntrack, firewalls, NAT).
+    pub fn state_in_msg(mut self, field: &str) -> Xfsm {
+        self.state_field = Some(StateField::Msg(field.to_string()));
+        self
+    }
+
+    /// Keep the state code in global field `field` (per-program machines:
+    /// port knocking).
+    pub fn state_in_global(mut self, field: &str) -> Xfsm {
+        self.state_field = Some(StateField::Glob(field.to_string()));
+        self
+    }
+
+    /// Bind `_global.<array>` to local alias `alias` (arrays must be
+    /// touched through aliases in the surface language).
+    pub fn array(mut self, alias: &str, array: &str) -> Xfsm {
+        self.aliases.push((alias.to_string(), array.to_string()));
+        self
+    }
+
+    /// Declare a recursive helper walk; see [`Helper`].
+    pub fn helper(mut self, h: Helper) -> Xfsm {
+        assert!(
+            self.helpers.iter().all(|e| e.name() != h.name()),
+            "{}: duplicate helper '{}'",
+            self.name,
+            h.name()
+        );
+        self.helpers.push(h);
+        self
+    }
+
+    /// Append an action run on every packet before dispatch.
+    pub fn entry(mut self, a: XAction) -> Xfsm {
+        self.entry.push(a);
+        self
+    }
+
+    /// Append an action run on every packet after dispatch (unless a
+    /// terminal action already ended the program).
+    pub fn epilogue(mut self, a: XAction) -> Xfsm {
+        self.epilogue.push(a);
+        self
+    }
+
+    /// Add a state. Codes must be unique; transitions may only target
+    /// declared codes (checked at render time).
+    pub fn state(mut self, s: XState) -> Xfsm {
+        assert!(
+            self.states.iter().all(|e| e.code != s.code),
+            "{}: duplicate state code {}",
+            self.name,
+            s.code
+        );
+        self.states.push(s);
+        self
+    }
+
+    fn validate(&self) {
+        let codes: Vec<i64> = self.states.iter().map(|s| s.code).collect();
+        let mut targets = Vec::new();
+        for s in &self.states {
+            for row in s.ordered_rows() {
+                if let Some(n) = row.next {
+                    targets.push((s.name.clone(), n));
+                }
+            }
+            if let Some(o) = &s.otherwise {
+                if let Some(n) = o.next {
+                    targets.push((s.name.clone(), n));
+                }
+            }
+        }
+        for (state, n) in targets {
+            assert!(
+                codes.contains(&n),
+                "{}: state '{state}' transitions to undeclared code {n}",
+                self.name
+            );
+        }
+        for s in &self.states {
+            let empty_row = |r: &XTransition| {
+                r.actions.is_empty() && (r.next.is_none() || self.state_field.is_none())
+            };
+            assert!(
+                !s.ordered_rows().iter().any(empty_row)
+                    && !s.otherwise.as_ref().is_some_and(empty_row),
+                "{}: state '{}' has a row with nothing to emit (no actions, no state write)",
+                self.name,
+                s.name
+            );
+        }
+        let transitions_state =
+            self.states.iter().any(|s| !s.is_empty()) && (self.states.len() > 1);
+        if transitions_state || self.states.iter().any(state_advances) {
+            assert!(
+                self.state_field.is_some(),
+                "{}: multiple states or next-state writes need a state field \
+                 (state_in_msg / state_in_global)",
+                self.name
+            );
+        }
+        assert!(
+            !self.states.is_empty() || !self.entry.is_empty() || !self.epilogue.is_empty(),
+            "{}: empty machine",
+            self.name
+        );
+    }
+
+    /// Render the transition body: actions, with the next-state write
+    /// placed before the first top-level terminal (or appended).
+    fn render_row_body(&self, row: &XTransition, indent: usize, out: &mut String) {
+        let write = row
+            .next
+            .and_then(|n| self.state_field.as_ref().map(|f| f.write(lit(n))));
+        let mut pending = write;
+        for a in &row.actions {
+            if a.is_terminal() {
+                if let Some(w) = pending.take() {
+                    w.render(indent, out);
+                }
+            }
+            a.render(indent, out);
+        }
+        if let Some(w) = pending {
+            w.render(indent, out);
+        } else if matches!(row.actions.last(), Some(XAction::Let(..))) {
+            // no state write follows, so a trailing binding would end the
+            // block — pad with a discarded 0 to keep it an expression
+            let _ = writeln!(out, "{}0", "    ".repeat(indent));
+        }
+    }
+
+    /// Render one state's inner dispatch (guard chain) at `indent`.
+    fn render_state_body(&self, s: &XState, indent: usize, out: &mut String) {
+        let pad = "    ".repeat(indent);
+        let rows = s.ordered_rows();
+        if rows.is_empty() {
+            if let Some(o) = &s.otherwise {
+                self.render_row_body(o, indent, out);
+            }
+            return;
+        }
+        for (i, row) in rows.iter().enumerate() {
+            let kw = if i == 0 { "if" } else { "elif" };
+            let guard = row.guard.as_ref().expect("ordered rows carry guards");
+            let _ = writeln!(out, "{pad}{kw} {} then (", guard.to_src());
+            self.render_row_body(row, indent + 1, out);
+            let _ = writeln!(out, "{pad})");
+        }
+        if let Some(o) = &s.otherwise {
+            let _ = writeln!(out, "{pad}else (");
+            self.render_row_body(o, indent + 1, out);
+            let _ = writeln!(out, "{pad})");
+        }
+    }
+
+    /// Lower the machine to eden-lang source.
+    pub fn render(&self) -> String {
+        self.validate();
+        let mut out = String::from("fun (packet: Packet, msg: Message, _global: Global) ->\n");
+        for (alias, array) in &self.aliases {
+            let _ = writeln!(out, "    let {alias} = _global.{array}");
+        }
+        for a in &self.entry {
+            a.render(1, &mut out);
+        }
+        for h in &self.helpers {
+            h.render(&mut out);
+        }
+        let live: Vec<&XState> = self.states.iter().filter(|s| !s.is_empty()).collect();
+        match (&self.state_field, live.as_slice()) {
+            (_, []) => {}
+            (None, [only]) => self.render_state_body(only, 1, &mut out),
+            (Some(field), _) => {
+                // single-state machines with a state field still dispatch on
+                // it: undeclared codes must fall through (fail-open)
+                for (i, s) in live.iter().enumerate() {
+                    let kw = if i == 0 { "if" } else { "elif" };
+                    let _ = writeln!(
+                        out,
+                        "    {kw} {} then (",
+                        field.read().eq(lit(s.code)).to_src()
+                    );
+                    self.render_state_body(s, 2, &mut out);
+                    let _ = writeln!(out, "    )");
+                }
+            }
+            (None, _) => unreachable!("validate requires a state field for multiple states"),
+        }
+        for a in &self.epilogue {
+            a.render(1, &mut out);
+        }
+        out
+    }
+
+    /// Lower and compile through the standard pipeline (HIR → IR passes →
+    /// superinstruction fusion → verified bytecode).
+    pub fn compile(&self, schema: &Schema) -> Result<CompiledFunction, CompileError> {
+        compile(&self.name, &self.render(), schema)
+    }
+}
+
+/// Does any row of `s` write a next state?
+fn state_advances(s: &XState) -> bool {
+    s.ordered_rows().iter().any(|r| r.next.is_some())
+        || s.otherwise.as_ref().is_some_and(|o| o.next.is_some())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{Access, Concurrency};
+
+    fn knock_schema() -> Schema {
+        Schema::new()
+            .packet_field("DstPort", Access::ReadOnly, None)
+            .global_field("Stage", Access::ReadWrite)
+            .global_field("Knock1", Access::ReadOnly)
+            .global_field("Knock2", Access::ReadOnly)
+            .global_field("Protected", Access::ReadOnly)
+    }
+
+    fn knock_machine() -> Xfsm {
+        Xfsm::new("knock")
+            .state_in_global("Stage")
+            .entry(XAction::bind("port", pkt("DstPort")))
+            .state(
+                XState::new(0, "shut")
+                    .on(local("port").eq(glob("Knock1")), vec![], Some(1))
+                    .on(
+                        local("port").eq(glob("Protected")),
+                        vec![XAction::Drop],
+                        None,
+                    )
+                    .otherwise(vec![], Some(0)),
+            )
+            .state(
+                XState::new(1, "one")
+                    .on(local("port").eq(glob("Knock2")), vec![], Some(2))
+                    .on(
+                        local("port").eq(glob("Protected")),
+                        vec![XAction::Drop],
+                        None,
+                    )
+                    .otherwise(vec![], Some(0)),
+            )
+            .state(XState::new(2, "open"))
+    }
+
+    #[test]
+    fn renders_and_compiles_a_state_machine() {
+        let m = knock_machine();
+        let src = m.render();
+        assert!(src.contains("if (_global.Stage = 0) then ("), "{src}");
+        assert!(src.contains("_global.Stage <- 1"), "{src}");
+        let compiled = m.compile(&knock_schema()).expect("machine compiles");
+        assert_eq!(compiled.concurrency, Concurrency::Serialized);
+    }
+
+    #[test]
+    fn empty_states_fall_out_of_the_dispatch_chain() {
+        let src = knock_machine().render();
+        // state 2 has no rows: no arm tests for it, so code 2 falls
+        // through every guard and the packet passes (fail-open)
+        assert!(!src.contains("_global.Stage = 2"), "{src}");
+    }
+
+    #[test]
+    fn state_write_lands_before_a_terminal_action() {
+        let m = Xfsm::new("t")
+            .state_in_msg("State")
+            .state(XState::new(0, "a").on(
+                pkt("P").gt(lit(0)),
+                vec![
+                    XAction::set_glob("Blocked", glob("Blocked").add(lit(1))),
+                    XAction::Drop,
+                ],
+                Some(1),
+            ))
+            .state(XState::new(1, "b"));
+        let src = m.render();
+        let write = src.find("msg.State <- 1").expect("state write present");
+        let drop = src.find("drop ()").expect("drop present");
+        assert!(
+            write < drop,
+            "state write must precede the terminal:\n{src}"
+        );
+    }
+
+    #[test]
+    fn timeout_renders_as_highest_priority_now_guard() {
+        let m = Xfsm::new("t")
+            .state_in_msg("State")
+            .state(
+                XState::new(0, "est")
+                    .timeout(msg("Seen"), glob("Idle"), vec![XAction::Drop], Some(1))
+                    .on(
+                        pkt("P").eq(lit(0)),
+                        vec![XAction::set_msg("Seen", now())],
+                        None,
+                    ),
+            )
+            .state(XState::new(1, "new"));
+        let src = m.render();
+        let timeout = src
+            .find("((now () - msg.Seen) >= _global.Idle)")
+            .expect("timeout guard");
+        let refresh = src.find("msg.Seen <- now ()").expect("refresh row");
+        assert!(timeout < refresh, "timeout row must come first:\n{src}");
+    }
+
+    #[test]
+    fn single_state_machine_needs_no_state_field() {
+        let schema = Schema::new()
+            .packet_field("Size", Access::ReadOnly, None)
+            .packet_field("Priority", Access::ReadWrite, None)
+            .global_array(
+                "Priorities",
+                &["MessageSizeLimit", "Priority"],
+                Access::ReadOnly,
+            );
+        let m = Xfsm::new("sff-like")
+            .array("priorities", "Priorities")
+            .helper(Helper::select(
+                "search",
+                "priorities",
+                XBin::Le,
+                pkt("Size"),
+                Some("MessageSizeLimit"),
+                Some("Priority"),
+                lit(0),
+            ))
+            .state(XState::new(0, "only").otherwise(
+                vec![XAction::set_pkt("Priority", Helper::select_call("search"))],
+                None,
+            ));
+        let src = m.render();
+        assert!(src.contains("let rec search index ="), "{src}");
+        assert!(!src.contains("= 0) then ("), "no dispatch wrapper: {src}");
+        let compiled = m.compile(&schema).expect("compiles");
+        assert_eq!(compiled.concurrency, Concurrency::Parallel);
+    }
+
+    #[test]
+    fn helpers_compile_against_entry_locals() {
+        // the PIAS idiom: the helper probes a local bound in entry
+        let schema = Schema::new()
+            .packet_field("Size", Access::ReadOnly, None)
+            .packet_field("Priority", Access::ReadWrite, None)
+            .msg_field("Size", Access::ReadWrite)
+            .global_array(
+                "Priorities",
+                &["MessageSizeLimit", "Priority"],
+                Access::ReadOnly,
+            );
+        let m = Xfsm::new("pias-like")
+            .array("priorities", "Priorities")
+            .entry(XAction::bind("msg_size", msg("Size").add(pkt("Size"))))
+            .entry(XAction::set_msg("Size", local("msg_size")))
+            .helper(Helper::select(
+                "search",
+                "priorities",
+                XBin::Le,
+                local("msg_size"),
+                Some("MessageSizeLimit"),
+                Some("Priority"),
+                lit(0),
+            ))
+            .state(XState::new(0, "only").otherwise(
+                vec![XAction::set_pkt("Priority", Helper::select_call("search"))],
+                None,
+            ));
+        let compiled = m.compile(&schema).expect("compiles");
+        assert_eq!(compiled.concurrency, Concurrency::PerMessage);
+    }
+
+    #[test]
+    #[should_panic(expected = "undeclared code")]
+    fn transition_to_undeclared_state_panics() {
+        let _ = Xfsm::new("bad")
+            .state_in_msg("S")
+            .state(XState::new(0, "a").on(pkt("P").gt(lit(0)), vec![], Some(7)))
+            .render();
+    }
+
+    #[test]
+    #[should_panic(expected = "need a state field")]
+    fn multiple_states_without_state_field_panics() {
+        let _ = Xfsm::new("bad")
+            .state(XState::new(0, "a").otherwise(vec![XAction::Drop], None))
+            .state(XState::new(1, "b").otherwise(vec![XAction::Drop], None))
+            .render();
+    }
+
+    #[test]
+    fn rendezvous_helper_is_deterministic_per_key() {
+        let schema = Schema::new()
+            .packet_field("KeyHash", Access::ReadOnly, None)
+            .packet_field("Dst", Access::ReadWrite, None)
+            .global_array("Dips", &[""], Access::ReadOnly);
+        let m = Xfsm::new("rdv")
+            .array("dips", "Dips")
+            .helper(Helper::arg_max_hash("best", "dips", pkt("KeyHash")))
+            .state(XState::new(0, "only").otherwise(
+                vec![XAction::set_pkt(
+                    "Dst",
+                    arr("dips", Helper::arg_max_hash_call("best")),
+                )],
+                None,
+            ));
+        let compiled = m.compile(&schema).expect("compiles");
+        // run it twice over the same host: same key, same winner
+        let mut host = eden_vm::VecHost::with_slots(2, 0, 0);
+        host.arrays.push(vec![71, 72, 73]);
+        host.packet[0] = 12345;
+        let mut interp = eden_vm::Interpreter::new(eden_vm::Limits::default());
+        interp.run(&compiled.program, &mut host).expect("runs");
+        let first = host.packet[1];
+        host.packet[1] = 0;
+        interp.run(&compiled.program, &mut host).expect("runs");
+        assert_eq!(host.packet[1], first);
+        assert!([71, 72, 73].contains(&first));
+    }
+}

@@ -13,6 +13,19 @@ use crate::limits::{Limits, Usage};
 use crate::op::Op;
 use crate::program::Program;
 
+/// The deterministic two-input mixer behind the DSL's `hash (a, b)`
+/// builtin (`Op::Hash`): a splitmix64 finalizer over the xored pair,
+/// masked non-negative. Exposed so exact native forms of catalogue
+/// functions (rendezvous hashing, flow steering) reproduce bytecode
+/// hashing bit-for-bit.
+pub fn hash2(a: i64, b: i64) -> i64 {
+    let (a, b) = (a as u64, b as u64);
+    let mut z = a ^ b.rotate_left(32) ^ 0x9E3779B97F4A7C15;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    ((z ^ (z >> 31)) & (i64::MAX as u64)) as i64
+}
+
 /// How an action function finished.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Outcome {
@@ -455,12 +468,9 @@ impl Interpreter {
                     }
                     Op::Now => push!(host.now_ns()),
                     Op::Hash => {
-                        let b = pop!() as u64;
-                        let a = pop!() as u64;
-                        let mut z = a ^ b.rotate_left(32) ^ 0x9E3779B97F4A7C15;
-                        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
-                        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
-                        push!(((z ^ (z >> 31)) & (i64::MAX as u64)) as i64);
+                        let b = pop!();
+                        let a = pop!();
+                        push!(hash2(a, b));
                     }
 
                     Op::Drop => {

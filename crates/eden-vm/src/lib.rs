@@ -57,7 +57,7 @@ pub use codec::{
 pub use disasm::{disassemble, opcode_histogram};
 pub use error::{StateScope, VmError};
 pub use host::{Effect, Host, VecHost};
-pub use interp::{Interpreter, Outcome, TrapSite, VmCounters};
+pub use interp::{hash2, Interpreter, Outcome, TrapSite, VmCounters};
 pub use limits::{Limits, Usage};
 pub use op::{Cmp, Op};
 pub use pool::InterpreterPool;

@@ -12,13 +12,31 @@
 fn sff_disassembly_matches_golden() {
     let bundle = eden::apps::functions::sff();
     let compiled =
-        eden::lang::compile(bundle.name, bundle.source, &bundle.schema()).expect("sff compiles");
+        eden::lang::compile(bundle.name, &bundle.source, &bundle.schema()).expect("sff compiles");
     let got = eden::vm::disassemble(&compiled.program);
     let want = include_str!("golden/sff.disasm");
     assert_eq!(
         got, want,
         "disassembly of 'sff' diverged from tests/golden/sff.disasm;\n\
          if the pipeline change is intentional, regenerate the golden file"
+    );
+}
+
+/// Same pin for a bundle that goes through the XFSM builder: the golden
+/// file freezes the rendered eden-lang source's lowering, so a renderer
+/// change that alters the emitted dispatch/helper shape shows up as a
+/// bytecode diff even if every behavior test still passes.
+#[test]
+fn l4lb_disassembly_matches_golden() {
+    let bundle = eden::apps::functions::l4lb();
+    let compiled =
+        eden::lang::compile(bundle.name, &bundle.source, &bundle.schema()).expect("l4lb compiles");
+    let got = eden::vm::disassemble(&compiled.program);
+    let want = include_str!("golden/l4lb.disasm");
+    assert_eq!(
+        got, want,
+        "disassembly of 'l4lb' diverged from tests/golden/l4lb.disasm;\n\
+         if the pipeline or XFSM-renderer change is intentional, regenerate"
     );
 }
 

@@ -86,7 +86,7 @@ fn enclave_priorities_reach_the_switch_scheduler() {
         let f = e.install_function(eden::core::InstalledFunction::interpreted(
             "sff",
             controller
-                .compile_function("sff", bundle.source, &bundle.schema())
+                .compile_function("sff", &bundle.source, &bundle.schema())
                 .expect("compiles"),
         ));
         e.install_rule(TableId(0), MatchSpec::AnyOf(vec![bulk, small]), f);

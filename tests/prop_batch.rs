@@ -231,7 +231,7 @@ proptest! {
 #[test]
 fn dishonest_concurrency_declaration_traps_identically() {
     let bundle = functions::pias(); // writes msg.Size; honestly PerMessage
-    let compiled = compile(bundle.name, bundle.source, &bundle.schema()).unwrap();
+    let compiled = compile(bundle.name, &bundle.source, &bundle.schema()).unwrap();
     let bytecode = encode_program(&compiled.program);
     let mk = || {
         let mut e = Enclave::new(batchy_config());

@@ -187,7 +187,7 @@ fn controller_retunes_and_replaces_functions_mid_run() {
     let bundle = functions::sff();
     let mut enclave = Enclave::new(EnclaveConfig::default());
     let f = controller
-        .install_program(&mut enclave, "sff", bundle.source, &bundle.schema())
+        .install_program(&mut enclave, "sff", &bundle.source, &bundle.schema())
         .expect("compiles");
     enclave.install_rule(TableId(0), MatchSpec::Class(class), f);
     enclave.set_array(f, 0, vec![1 << 20, 5, i64::MAX, 0]);
@@ -216,7 +216,7 @@ fn controller_retunes_and_replaces_functions_mid_run() {
         let enclave = host.stack.hook_mut::<Enclave>().expect("enclave installed");
         let fixed = functions::fixed_priority();
         let blob = controller
-            .ship_function("fixed", fixed.source, &fixed.schema())
+            .ship_function("fixed", &fixed.source, &fixed.schema())
             .expect("ships");
         let f2 = enclave.install_function(
             eden::core::InstalledFunction::from_shipped(

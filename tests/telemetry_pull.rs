@@ -58,7 +58,7 @@ fn controller_pulls_snapshot_from_running_enclave() {
     let f = enclave.install_function(eden::core::InstalledFunction::interpreted(
         "sff",
         controller
-            .compile_function("sff", bundle.source, &bundle.schema())
+            .compile_function("sff", &bundle.source, &bundle.schema())
             .expect("compiles"),
     ));
     enclave.install_rule(TableId(0), MatchSpec::Class(class), f);
